@@ -1,0 +1,289 @@
+//! The BDD-based Pareto-front algorithm for DAG-shaped ADTs
+//! (Algorithm 3, `BDDBU`).
+//!
+//! The structure function is compiled into an ROBDD under a defense-first
+//! order (Definition 11), and a Pareto front is propagated from the
+//! terminals to the BDD root:
+//!
+//! * below the defense/attack boundary all fronts are singletons
+//!   `{(1⊗_D, u)}` — a shortest-path computation in the attacker's semiring
+//!   (identical to the BDD-based attack-tree analysis of
+//!   Lopuhaä-Zwakenberg et al. when `D = ∅`);
+//! * at a defense level the front merges "skip the defense" (`P₀`) with
+//!   "buy it" (`P₁` shifted by `β_D ⊗_D ·`), discarding dominated points.
+//!
+//! Theorem 2 of the paper states that the result is exactly `PF(T)`.
+//! Because the BDD shares isomorphic subgraphs, each node's front is
+//! computed once (memoized), giving the `O(|W| p²)` complexity the paper
+//! reports.
+
+use std::collections::HashMap;
+
+use adt_bdd::{Bdd, NodeRef};
+use adt_core::{Agent, AttributeDomain, AugmentedAdt, ParetoFront};
+
+use crate::bdd_compile::{compile, DefenseFirstOrder};
+use crate::error::AnalysisError;
+use crate::Front;
+
+/// Computes the Pareto front of an arbitrary (tree- or DAG-shaped) augmented
+/// ADT via its ROBDD, using the declaration defense-first order
+/// (Algorithm 3).
+///
+/// # Errors
+///
+/// This function currently cannot fail; it returns `Result` for signature
+/// symmetry with the other algorithms and to keep room for resource limits.
+///
+/// # Examples
+///
+/// The money-theft case study (Fig. 7) in its original DAG shape:
+///
+/// ```
+/// use adt_analysis::bdd_bu::bdd_bu;
+/// use adt_core::catalog;
+/// use adt_core::semiring::Ext;
+///
+/// # fn main() -> Result<(), adt_analysis::AnalysisError> {
+/// let front = bdd_bu(&catalog::money_theft())?;
+/// assert_eq!(
+///     front.points(),
+///     &[
+///         (Ext::Fin(0), Ext::Fin(80)),
+///         (Ext::Fin(20), Ext::Fin(90)),
+///         (Ext::Fin(50), Ext::Fin(140)),
+///     ]
+/// );
+/// # Ok(())
+/// # }
+/// ```
+pub fn bdd_bu<DD, DA>(t: &AugmentedAdt<DD, DA>) -> Result<Front<DD, DA>, AnalysisError>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    let order = DefenseFirstOrder::declaration(t.adt());
+    bdd_bu_with_order(t, &order)
+}
+
+/// [`bdd_bu`] under a caller-chosen defense-first order; used by the
+/// ordering ablation.
+///
+/// # Errors
+///
+/// See [`bdd_bu`].
+pub fn bdd_bu_with_order<DD, DA>(
+    t: &AugmentedAdt<DD, DA>,
+    order: &DefenseFirstOrder,
+) -> Result<Front<DD, DA>, AnalysisError>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    Ok(bdd_bu_report(t, order).front)
+}
+
+/// Everything the experiment harness wants to know about one `BDDBU` run.
+#[derive(Debug, Clone)]
+pub struct BddBuReport<VD, VA> {
+    /// The computed Pareto front.
+    pub front: ParetoFront<VD, VA>,
+    /// `|W|`: nodes of the compiled ROBDD (including terminals).
+    pub bdd_nodes: usize,
+    /// The largest intermediate front encountered (the paper's `p`).
+    pub max_front_width: usize,
+}
+
+/// Runs `BDDBU` and reports the BDD size and maximal front width along with
+/// the front itself.
+pub fn bdd_bu_report<DD, DA>(
+    t: &AugmentedAdt<DD, DA>,
+    order: &DefenseFirstOrder,
+) -> BddBuReport<DD::Value, DA::Value>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    let (bdd, root) = compile(t.adt(), order);
+    let mut run = Run {
+        t,
+        bdd: &bdd,
+        order,
+        root_agent: t.adt().root_agent(),
+        memo: HashMap::new(),
+        max_width: 0,
+    };
+    let front = run.front(root);
+    BddBuReport {
+        front,
+        bdd_nodes: bdd.node_count(root),
+        max_front_width: run.max_width,
+    }
+}
+
+struct Run<'a, DD: AttributeDomain, DA: AttributeDomain> {
+    t: &'a AugmentedAdt<DD, DA>,
+    bdd: &'a Bdd,
+    order: &'a DefenseFirstOrder,
+    root_agent: Agent,
+    memo: HashMap<NodeRef, Front<DD, DA>>,
+    max_width: usize,
+}
+
+impl<DD: AttributeDomain, DA: AttributeDomain> Run<'_, DD, DA> {
+    fn front(&mut self, w: NodeRef) -> Front<DD, DA> {
+        let dd = self.t.defender_domain();
+        let da = self.t.attacker_domain();
+        // Terminals (lines 2–5 of Algorithm 3): which terminal is the
+        // attacker's goal depends on the root agent.
+        if w == Bdd::FALSE || w == Bdd::TRUE {
+            let reached_goal = match self.root_agent {
+                Agent::Attacker => w == Bdd::TRUE,
+                Agent::Defender => w == Bdd::FALSE,
+            };
+            let value = if reached_goal { da.one() } else { da.zero() };
+            return ParetoFront::singleton((dd.one(), value));
+        }
+        if let Some(cached) = self.memo.get(&w) {
+            return cached.clone();
+        }
+        let level = self.bdd.level(w);
+        let low = self.bdd.low(w);
+        let high = self.bdd.high(w);
+        let result = if self.order.is_defense_level(level) {
+            // Lines 11–14: skip the defense (P0) or buy it (P1 shifted).
+            let p0 = self.front(low);
+            let p1 = self.front(high);
+            let cost = self
+                .t
+                .defense_value_of(self.order.event(level))
+                .expect("defense level maps to a defense step")
+                .clone();
+            let shifted: Vec<(DD::Value, DA::Value)> = p1
+                .iter()
+                .map(|(u, u1)| (dd.mul(&cost, u), u1.clone()))
+                .collect();
+            let shifted = ParetoFront::from_points(shifted, dd, da);
+            p0.merge(&shifted, dd, da)
+        } else {
+            // Lines 6–9: below the boundary, fronts are singletons; the
+            // attacker skips the step or pays for it, whichever is better.
+            let p0 = self.front(low);
+            let p1 = self.front(high);
+            debug_assert_eq!(p0.len(), 1, "attack-level fronts are singletons");
+            debug_assert_eq!(p1.len(), 1, "attack-level fronts are singletons");
+            let u0 = &p0.points()[0].1;
+            let u1 = &p1.points()[0].1;
+            let cost = self
+                .t
+                .attack_value_of(self.order.event(level))
+                .expect("attack level maps to an attack step");
+            let paid = da.mul(cost, u1);
+            ParetoFront::singleton((dd.one(), da.add(u0, &paid)))
+        };
+        self.max_width = self.max_width.max(result.len());
+        self.memo.insert(w, result.clone());
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bottom_up::bottom_up;
+    use crate::naive::naive;
+    use adt_core::catalog;
+    use adt_core::semiring::Ext;
+
+    fn fin(points: &[(u64, u64)]) -> Vec<(Ext<u64>, Ext<u64>)> {
+        points.iter().map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a))).collect()
+    }
+
+    #[test]
+    fn matches_bottom_up_on_paper_trees() {
+        for t in [
+            catalog::fig1(),
+            catalog::fig3(),
+            catalog::fig5(),
+            catalog::fig4(5),
+            catalog::money_theft_tree(),
+        ] {
+            assert_eq!(bdd_bu(&t).unwrap(), bottom_up(&t).unwrap());
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_dags() {
+        for t in [catalog::fig2(), catalog::money_theft()] {
+            assert_eq!(bdd_bu(&t).unwrap(), naive(&t).unwrap());
+        }
+    }
+
+    #[test]
+    fn money_theft_dag_front_matches_paper() {
+        let front = bdd_bu(&catalog::money_theft()).unwrap();
+        assert_eq!(front.points(), &fin(&[(0, 80), (20, 90), (50, 140)])[..]);
+    }
+
+    #[test]
+    fn all_orders_agree() {
+        for t in [catalog::fig2(), catalog::money_theft(), catalog::fig4(4)] {
+            let declaration =
+                bdd_bu_with_order(&t, &DefenseFirstOrder::declaration(t.adt())).unwrap();
+            let dfs = bdd_bu_with_order(&t, &DefenseFirstOrder::dfs(t.adt())).unwrap();
+            let force =
+                bdd_bu_with_order(&t, &DefenseFirstOrder::force(t.adt(), 10)).unwrap();
+            assert_eq!(declaration, dfs);
+            assert_eq!(declaration, force);
+        }
+    }
+
+    #[test]
+    fn fig4_front_is_exponential() {
+        let front = bdd_bu(&catalog::fig4(6)).unwrap();
+        assert_eq!(front.len(), 64);
+        for (k, point) in front.iter().enumerate() {
+            let k = k as u64;
+            assert_eq!(point, &(Ext::Fin(k), Ext::Fin(k)));
+        }
+    }
+
+    #[test]
+    fn report_exposes_bdd_size_and_width() {
+        let t = catalog::money_theft();
+        let order = DefenseFirstOrder::declaration(t.adt());
+        let report = bdd_bu_report(&t, &order);
+        assert_eq!(report.front.points(), &fin(&[(0, 80), (20, 90), (50, 140)])[..]);
+        assert!(report.bdd_nodes > 2, "nontrivial function has inner nodes");
+        assert!(report.max_front_width >= report.front.len());
+    }
+
+    #[test]
+    fn attack_tree_reduces_to_single_metric() {
+        // Fig. 1 has no defenses: BDDBU degenerates to the BDD-based
+        // attack-tree metric of [Lopuhaä-Zwakenberg et al.].
+        let front = bdd_bu(&catalog::fig1()).unwrap();
+        assert_eq!(front.points(), &fin(&[(0, 25)])[..]);
+    }
+
+    #[test]
+    fn unattackable_defense_gives_infinite_tail() {
+        let mut b = adt_core::AdtBuilder::new();
+        let a = b.attack("a").unwrap();
+        let d = b.defense("d").unwrap();
+        let root = b.inh("root", a, d).unwrap();
+        let adt = b.build(root).unwrap();
+        let t = adt_core::AugmentedAdt::builder(adt, adt_core::MinCost, adt_core::MinCost)
+            .attack_value("a", 5u64)
+            .unwrap()
+            .defense_value("d", 3u64)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let front = bdd_bu(&t).unwrap();
+        assert_eq!(
+            front.points(),
+            &[(Ext::Fin(0), Ext::Fin(5)), (Ext::Fin(3), Ext::Inf)]
+        );
+    }
+}

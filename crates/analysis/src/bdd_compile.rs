@@ -1,0 +1,370 @@
+//! Compilation of an ADT's structure function into an ROBDD under a
+//! *defense-first* variable ordering (Definition 11).
+//!
+//! The BDD-based analysis (Algorithm 3) requires every basic defense step to
+//! precede every basic attack step in the variable order — the attacker
+//! moves after observing the defense. Within that constraint the order is
+//! free, and it drives the BDD size; [`DefenseFirstOrder`] provides three
+//! strategies (declaration order, DFS order, FORCE) whose effect the
+//! ordering ablation measures.
+
+use std::collections::HashMap;
+
+use adt_bdd::{force_order, Bdd, Level, NodeRef};
+use adt_core::{Adt, Agent, Gate, NodeId};
+
+/// A defense-first variable ordering: a bijection between the basic steps of
+/// an ADT and BDD levels `0..|D|+|A|` in which all defenses come first.
+#[derive(Debug, Clone)]
+pub struct DefenseFirstOrder {
+    /// `event_at[level]` is the basic step at that level.
+    event_at: Vec<NodeId>,
+    /// Inverse map.
+    level_of: HashMap<NodeId, Level>,
+    defense_count: usize,
+}
+
+impl DefenseFirstOrder {
+    /// Defenses then attacks, each in declaration order — the baseline used
+    /// by [`bdd_bu`](crate::bdd_bu::bdd_bu).
+    pub fn declaration(adt: &Adt) -> Self {
+        let events =
+            adt.defenses().iter().chain(adt.attacks().iter()).copied().collect();
+        Self::from_events(adt, events)
+    }
+
+    /// Defenses then attacks, each ordered by first visit in a depth-first
+    /// traversal from the root. Keeps steps that sit close in the tree close
+    /// in the order, which often shrinks the BDD.
+    pub fn dfs(adt: &Adt) -> Self {
+        let mut defenses = Vec::with_capacity(adt.defense_count());
+        let mut attacks = Vec::with_capacity(adt.attack_count());
+        let mut seen = vec![false; adt.node_count()];
+        let mut stack = vec![adt.root()];
+        seen[adt.root().index()] = true;
+        while let Some(v) = stack.pop() {
+            let node = &adt[v];
+            if node.is_leaf() {
+                match node.agent() {
+                    Agent::Defender => defenses.push(v),
+                    Agent::Attacker => attacks.push(v),
+                }
+            }
+            // Push children in reverse so they pop in declaration order.
+            for &c in node.children().iter().rev() {
+                if !seen[c.index()] {
+                    seen[c.index()] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        defenses.extend(attacks);
+        Self::from_events(adt, defenses)
+    }
+
+    /// The FORCE heuristic (see [`adt_bdd::force_order`]) over the gate
+    /// co-occurrence hypergraph, constrained to keep defenses first.
+    ///
+    /// Each gate contributes one hyperedge containing the basic steps in its
+    /// subtree, so steps interacting under the same gate are pulled
+    /// together.
+    pub fn force(adt: &Adt, iterations: usize) -> Self {
+        // Provisional level per basic step: declaration order.
+        let baseline: Vec<NodeId> =
+            adt.defenses().iter().chain(adt.attacks().iter()).copied().collect();
+        let index_of: HashMap<NodeId, u32> = baseline
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+        // Leaf-descendant sets per node, computed bottom-up.
+        let mut leaves: Vec<Vec<u32>> = vec![Vec::new(); adt.node_count()];
+        let mut edges: Vec<Vec<u32>> = Vec::new();
+        for &v in adt.topological_order() {
+            let node = &adt[v];
+            if node.is_leaf() {
+                leaves[v.index()] = vec![index_of[&v]];
+            } else {
+                let mut set: Vec<u32> = node
+                    .children()
+                    .iter()
+                    .flat_map(|c| leaves[c.index()].iter().copied())
+                    .collect();
+                set.sort_unstable();
+                set.dedup();
+                leaves[v.index()] = set.clone();
+                if set.len() > 1 {
+                    edges.push(set);
+                }
+            }
+        }
+        let groups: Vec<u32> = baseline
+            .iter()
+            .map(|&id| match adt[id].agent() {
+                Agent::Defender => 0,
+                Agent::Attacker => 1,
+            })
+            .collect();
+        let order = force_order(baseline.len(), &edges, &groups, iterations);
+        let events = order.into_iter().map(|i| baseline[i as usize]).collect();
+        Self::from_events(adt, events)
+    }
+
+    /// A caller-supplied order: `events` lists every basic step exactly
+    /// once, defenses first (the paper's Fig. 6 uses `d2 < d1 < a1 < a2`,
+    /// which declaration order cannot express).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidOrder`](crate::AnalysisError::InvalidOrder) if
+    /// `events` is not a permutation of the basic steps or an attack
+    /// precedes a defense.
+    pub fn custom(adt: &Adt, events: Vec<NodeId>) -> Result<Self, crate::AnalysisError> {
+        let invalid = |reason: &str| crate::AnalysisError::InvalidOrder {
+            reason: reason.to_owned(),
+        };
+        if events.len() != adt.defense_count() + adt.attack_count() {
+            return Err(invalid("order must list every basic step exactly once"));
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut seen_attack = false;
+        for &id in &events {
+            let Some(node) = adt.get(id) else {
+                return Err(invalid("order mentions a foreign node id"));
+            };
+            if !node.is_leaf() {
+                return Err(invalid("order may only list basic steps"));
+            }
+            if !seen.insert(id) {
+                return Err(invalid("order lists a basic step twice"));
+            }
+            match node.agent() {
+                Agent::Attacker => seen_attack = true,
+                Agent::Defender if seen_attack => {
+                    return Err(invalid("defenses must precede attacks (Definition 11)"));
+                }
+                Agent::Defender => {}
+            }
+        }
+        Ok(Self::from_events(adt, events))
+    }
+
+    fn from_events(adt: &Adt, events: Vec<NodeId>) -> Self {
+        debug_assert_eq!(events.len(), adt.defense_count() + adt.attack_count());
+        let level_of = events
+            .iter()
+            .enumerate()
+            .map(|(level, &id)| (id, level as Level))
+            .collect();
+        DefenseFirstOrder {
+            event_at: events,
+            level_of,
+            defense_count: adt.defense_count(),
+        }
+    }
+
+    /// Number of variables (`|D| + |A|`).
+    pub fn var_count(&self) -> usize {
+        self.event_at.len()
+    }
+
+    /// Number of defense levels; levels `0..defense_count` are defenses.
+    pub fn defense_count(&self) -> usize {
+        self.defense_count
+    }
+
+    /// The basic step at a level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= var_count()`.
+    pub fn event(&self, level: Level) -> NodeId {
+        self.event_at[level as usize]
+    }
+
+    /// The level of a basic step, or `None` for gates.
+    pub fn level(&self, id: NodeId) -> Option<Level> {
+        self.level_of.get(&id).copied()
+    }
+
+    /// `true` if the level belongs to a defense step.
+    pub fn is_defense_level(&self, level: Level) -> bool {
+        (level as usize) < self.defense_count
+    }
+}
+
+/// Compiles the structure function `f_T` into an ROBDD under the given
+/// order, returning the manager and the root function.
+///
+/// Shared subtrees of DAG-shaped ADTs are compiled once (the compilation
+/// walks the topological order and memoizes per node), which is exactly why
+/// BDDs handle DAGs that the bottom-up front propagation cannot.
+pub fn compile(adt: &Adt, order: &DefenseFirstOrder) -> (Bdd, NodeRef) {
+    let mut bdd = Bdd::new(order.var_count());
+    let mut refs: Vec<NodeRef> = vec![Bdd::FALSE; adt.node_count()];
+    for &v in adt.topological_order() {
+        let node = &adt[v];
+        let f = match node.gate() {
+            Gate::Basic => {
+                bdd.var(order.level(v).expect("basic steps are ordered"))
+            }
+            Gate::And => {
+                let mut acc = Bdd::TRUE;
+                for &c in node.children() {
+                    acc = bdd.and(acc, refs[c.index()]);
+                }
+                acc
+            }
+            Gate::Or => {
+                let mut acc = Bdd::FALSE;
+                for &c in node.children() {
+                    acc = bdd.or(acc, refs[c.index()]);
+                }
+                acc
+            }
+            Gate::Inh => {
+                let inhibited = refs[node.children()[0].index()];
+                let trigger = refs[node.children()[1].index()];
+                bdd.and_not(inhibited, trigger)
+            }
+        };
+        refs[v.index()] = f;
+    }
+    let root = refs[adt.root().index()];
+    (bdd, root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_core::{catalog, AttackVector, DefenseVector};
+
+    fn assert_bdd_matches_structure(adt: &Adt, order: &DefenseFirstOrder) {
+        let (bdd, root) = compile(adt, order);
+        bdd.check_invariants(root).unwrap();
+        let d = adt.defense_count();
+        let a = adt.attack_count();
+        assert!(d + a <= 16, "exhaustive check needs a small tree");
+        for dm in 0u64..(1 << d) {
+            for am in 0u64..(1 << a) {
+                // Build the assignment in level space.
+                let mut assignment = vec![false; order.var_count()];
+                for (level, slot) in assignment.iter_mut().enumerate() {
+                    let id = order.event(level as Level);
+                    let pos = adt.basic_position(id).unwrap();
+                    *slot = match adt[id].agent() {
+                        Agent::Defender => dm >> pos & 1 == 1,
+                        Agent::Attacker => am >> pos & 1 == 1,
+                    };
+                }
+                let delta = DefenseVector::from_mask(d, dm);
+                let alpha = AttackVector::from_mask(a, am);
+                let expected = adt.evaluate(&delta, &alpha).unwrap().root_value();
+                assert_eq!(
+                    bdd.eval(root, &assignment),
+                    expected,
+                    "mismatch at δ={dm:b} α={am:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn declaration_order_is_defense_first() {
+        let t = catalog::money_theft();
+        let order = DefenseFirstOrder::declaration(t.adt());
+        assert_eq!(order.var_count(), 13);
+        assert_eq!(order.defense_count(), 3);
+        for level in 0..order.var_count() as Level {
+            let agent = t.adt()[order.event(level)].agent();
+            assert_eq!(
+                agent == Agent::Defender,
+                order.is_defense_level(level),
+                "level {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_orders_are_defense_first_permutations() {
+        let t = catalog::money_theft();
+        for order in [
+            DefenseFirstOrder::declaration(t.adt()),
+            DefenseFirstOrder::dfs(t.adt()),
+            DefenseFirstOrder::force(t.adt(), 10),
+        ] {
+            // Bijection between events and levels.
+            assert_eq!(order.var_count(), 13);
+            let mut seen = std::collections::HashSet::new();
+            for level in 0..order.var_count() as Level {
+                let id = order.event(level);
+                assert!(seen.insert(id), "event listed twice");
+                assert_eq!(order.level(id), Some(level));
+                // Defense-first.
+                assert_eq!(
+                    t.adt()[id].agent() == Agent::Defender,
+                    order.is_defense_level(level)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gates_have_no_level() {
+        let t = catalog::fig5();
+        let order = DefenseFirstOrder::declaration(t.adt());
+        assert_eq!(order.level(t.adt().root()), None);
+    }
+
+    #[test]
+    fn compiled_bdd_equals_structure_function_fig3() {
+        let t = catalog::fig3();
+        for order in [
+            DefenseFirstOrder::declaration(t.adt()),
+            DefenseFirstOrder::dfs(t.adt()),
+            DefenseFirstOrder::force(t.adt(), 10),
+        ] {
+            assert_bdd_matches_structure(t.adt(), &order);
+        }
+    }
+
+    #[test]
+    fn compiled_bdd_equals_structure_function_on_dags() {
+        let t = catalog::fig2();
+        for order in [
+            DefenseFirstOrder::declaration(t.adt()),
+            DefenseFirstOrder::dfs(t.adt()),
+            DefenseFirstOrder::force(t.adt(), 10),
+        ] {
+            assert_bdd_matches_structure(t.adt(), &order);
+        }
+        assert_bdd_matches_structure(
+            catalog::money_theft().adt(),
+            &DefenseFirstOrder::declaration(catalog::money_theft().adt()),
+        );
+    }
+
+    #[test]
+    fn fig6_bdd_has_expected_paths() {
+        // Fig. 6 of the paper draws the ROBDD of the two-branch inhibition
+        // ADT; with no defenses bought, a single attack reaches 1.
+        let adt = catalog::fig6();
+        let order = DefenseFirstOrder::declaration(&adt);
+        let (bdd, root) = compile(&adt, &order);
+        let paths = bdd.paths(root, true);
+        assert!(!paths.is_empty());
+        // Each path fixes some defenses to 0 and at least one attack to 1.
+        for path in &paths {
+            assert!(path
+                .iter()
+                .any(|&(level, value)| !order.is_defense_level(level) && value));
+        }
+    }
+
+    #[test]
+    fn defender_rooted_tree_compiles() {
+        let t = catalog::fig4(3);
+        let order = DefenseFirstOrder::declaration(t.adt());
+        assert_bdd_matches_structure(t.adt(), &order);
+    }
+}

@@ -1,0 +1,368 @@
+//! The bottom-up Pareto-front algorithm for tree-shaped ADTs
+//! (Algorithm 1, Table II).
+//!
+//! Fronts are propagated from the leaves to the root:
+//!
+//! * a basic attack step `a` contributes `{(1⊗_D, β_A(a))}`;
+//! * a basic defense step `d` contributes `{(1⊗_D, 1⊗_A), (β_D(d), 1⊕_A)}` —
+//!   either it is inactive (free to pass) or the defender pays `β_D(d)` and
+//!   the step cannot be overcome at this node;
+//! * a gate combines its children's fronts pairwise, applying `⊗_D` to the
+//!   defender coordinates and the Table-II operator
+//!   ([`table2_attacker_op`]) to the attacker coordinates, discarding
+//!   dominated points after each combination.
+//!
+//! Theorem 1 of the paper states that for tree-shaped ADTs the root front is
+//! exactly the Pareto front `PF(T)` of Definition 9.
+
+use adt_core::{
+    Agent, AttributeDomain, AugmentedAdt, Gate, NodeId, ParetoFront, SemiringOp,
+};
+
+use crate::error::AnalysisError;
+use crate::Front;
+
+/// The operator applied to the *attacker* coordinates when combining child
+/// fronts at a gate (Table II of the paper). The defender coordinates always
+/// combine with `⊗_D`.
+///
+/// | `γ(v)` | `τ(v)` | attacker op |
+/// |---|---|---|
+/// | `AND` | `A` | `⊗_A` — the attacker performs every branch |
+/// | `AND` | `D` | `⊕_A` — disabling any branch disables the defense |
+/// | `OR` | `A` | `⊕_A` — the attacker picks the cheapest branch |
+/// | `OR` | `D` | `⊗_A` — the attacker must disable every branch |
+/// | `INH` | `A` | `⊗_A` — activate the attack *and* defeat the trigger |
+/// | `INH` | `D` | `⊕_A` — break the defense directly or fire the trigger |
+///
+/// # Panics
+///
+/// Panics if called with [`Gate::Basic`], which has no combination step.
+pub fn table2_attacker_op(gate: Gate, agent: Agent) -> SemiringOp {
+    match (gate, agent) {
+        (Gate::And, Agent::Attacker) => SemiringOp::Mul,
+        (Gate::And, Agent::Defender) => SemiringOp::Add,
+        (Gate::Or, Agent::Attacker) => SemiringOp::Add,
+        (Gate::Or, Agent::Defender) => SemiringOp::Mul,
+        (Gate::Inh, Agent::Attacker) => SemiringOp::Mul,
+        (Gate::Inh, Agent::Defender) => SemiringOp::Add,
+        (Gate::Basic, _) => panic!("basic steps have no combination operator"),
+    }
+}
+
+/// Computes the Pareto front of a tree-shaped augmented ADT bottom-up
+/// (Algorithm 1).
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::NotTree`] if some node has more than one parent;
+/// the bottom-up propagation would double-count shared subtrees (§V of the
+/// paper). Use [`bdd_bu`](crate::bdd_bu::bdd_bu) for DAGs, or unfold with
+/// [`unfold_to_tree`](crate::tree_transform::unfold_to_tree).
+///
+/// # Examples
+///
+/// Example 5 of the paper:
+///
+/// ```
+/// use adt_analysis::bottom_up::bottom_up;
+/// use adt_core::catalog;
+/// use adt_core::semiring::Ext;
+///
+/// # fn main() -> Result<(), adt_analysis::AnalysisError> {
+/// let front = bottom_up(&catalog::fig5())?;
+/// assert_eq!(
+///     front.points(),
+///     &[
+///         (Ext::Fin(0), Ext::Fin(5)),
+///         (Ext::Fin(4), Ext::Fin(10)),
+///         (Ext::Fin(12), Ext::Inf),
+///     ]
+/// );
+/// # Ok(())
+/// # }
+/// ```
+pub fn bottom_up<DD, DA>(t: &AugmentedAdt<DD, DA>) -> Result<Front<DD, DA>, AnalysisError>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    if !t.adt().is_tree() {
+        return Err(AnalysisError::NotTree);
+    }
+    Ok(bu_with_leaf_fronts(t, |_, front| front))
+}
+
+/// Generalized bottom-up propagation: computes the root front of `t`,
+/// letting `leaf_front` replace the default front of any leaf.
+///
+/// The default closure (`|_, front| front`) yields Algorithm 1; the modular
+/// analysis substitutes the precomputed front of a collapsed module at its
+/// pseudo-leaf. The caller is responsible for `t` being tree-shaped.
+pub(crate) fn bu_with_leaf_fronts<DD, DA>(
+    t: &AugmentedAdt<DD, DA>,
+    mut leaf_front: impl FnMut(NodeId, Front<DD, DA>) -> Front<DD, DA>,
+) -> Front<DD, DA>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    let adt = t.adt();
+    let dd = t.defender_domain();
+    let da = t.attacker_domain();
+    let mut fronts: Vec<Option<Front<DD, DA>>> = vec![None; adt.node_count()];
+    for &v in adt.topological_order() {
+        let node = &adt[v];
+        let front = match node.gate() {
+            Gate::Basic => {
+                let default = match node.agent() {
+                    Agent::Attacker => {
+                        let pos = adt.basic_position(v).expect("leaf position");
+                        ParetoFront::singleton((dd.one(), t.attack_value(pos).clone()))
+                    }
+                    Agent::Defender => {
+                        let pos = adt.basic_position(v).expect("leaf position");
+                        ParetoFront::from_points(
+                            vec![
+                                (dd.one(), da.one()),
+                                (t.defense_value(pos).clone(), da.zero()),
+                            ],
+                            dd,
+                            da,
+                        )
+                    }
+                };
+                leaf_front(v, default)
+            }
+            gate => {
+                let op = table2_attacker_op(gate, node.agent());
+                let mut children = node.children().iter();
+                let first = *children.next().expect("gates have children");
+                let mut acc = fronts[first.index()]
+                    .take()
+                    .expect("child front computed before parent");
+                for &c in children {
+                    let child = fronts[c.index()]
+                        .take()
+                        .expect("child front computed before parent");
+                    acc = acc.product(&child, dd, da, op);
+                }
+                acc
+            }
+        };
+        fronts[v.index()] = Some(front);
+    }
+    fronts[adt.root().index()].take().expect("root front computed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_core::catalog;
+    use adt_core::semiring::{Ext, MinCost};
+    use adt_core::AdtBuilder;
+
+    type CostFront = ParetoFront<Ext<u64>, Ext<u64>>;
+
+    fn fin(points: &[(u64, u64)]) -> Vec<(Ext<u64>, Ext<u64>)> {
+        points.iter().map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a))).collect()
+    }
+
+    #[test]
+    fn fig3_front_matches_example_2() {
+        let front = bottom_up(&catalog::fig3()).unwrap();
+        // Feasible events: (00,010)→(0,10), (01,010)→(10,10), (10,010)→(5,10),
+        // (11,110)→(15,15); the Pareto front keeps (0,10) and (15,15).
+        assert_eq!(front.points(), &fin(&[(0, 10), (15, 15)])[..]);
+    }
+
+    #[test]
+    fn fig5_front_matches_example_5() {
+        let front = bottom_up(&catalog::fig5()).unwrap();
+        assert_eq!(
+            front.points(),
+            &[
+                (Ext::Fin(0), Ext::Fin(5)),
+                (Ext::Fin(4), Ext::Fin(10)),
+                (Ext::Fin(12), Ext::Inf),
+            ]
+        );
+    }
+
+    #[test]
+    fn fig4_front_is_exponential() {
+        for n in 1..=6u32 {
+            let front = bottom_up(&catalog::fig4(n)).unwrap();
+            assert_eq!(front.len(), 1 << n, "|PF| must be 2^{n}");
+            for (k, point) in front.iter().enumerate() {
+                let k = k as u64;
+                assert_eq!(point, &(Ext::Fin(k), Ext::Fin(k)));
+            }
+        }
+    }
+
+    #[test]
+    fn money_theft_tree_front_matches_paper() {
+        let front = bottom_up(&catalog::money_theft_tree()).unwrap();
+        assert_eq!(front.points(), &fin(&[(0, 90), (30, 150), (50, 165)])[..]);
+    }
+
+    #[test]
+    fn fig1_attack_tree_front_is_single_point() {
+        // No defenses: the front is the single cheapest attack.
+        let front = bottom_up(&catalog::fig1()).unwrap();
+        // Cheapest credentials (pa = 10) plus the key (sdk = 15).
+        assert_eq!(front.points(), &fin(&[(0, 25)])[..]);
+    }
+
+    #[test]
+    fn dag_is_rejected() {
+        let err = bottom_up(&catalog::money_theft()).unwrap_err();
+        assert_eq!(err, AnalysisError::NotTree);
+        let err = bottom_up(&catalog::fig2()).unwrap_err();
+        assert_eq!(err, AnalysisError::NotTree);
+    }
+
+    #[test]
+    fn table2_all_six_cases() {
+        use Agent::{Attacker as A, Defender as D};
+        assert_eq!(table2_attacker_op(Gate::And, A), SemiringOp::Mul);
+        assert_eq!(table2_attacker_op(Gate::And, D), SemiringOp::Add);
+        assert_eq!(table2_attacker_op(Gate::Or, A), SemiringOp::Add);
+        assert_eq!(table2_attacker_op(Gate::Or, D), SemiringOp::Mul);
+        assert_eq!(table2_attacker_op(Gate::Inh, A), SemiringOp::Mul);
+        assert_eq!(table2_attacker_op(Gate::Inh, D), SemiringOp::Add);
+    }
+
+    #[test]
+    #[should_panic(expected = "no combination operator")]
+    fn table2_rejects_basic() {
+        table2_attacker_op(Gate::Basic, Agent::Attacker);
+    }
+
+    /// Builds a one-gate AADT over two attack leaves (5 and 9).
+    fn two_leaf_gate(gate: Gate) -> AugmentedAdt<MinCost, MinCost> {
+        let mut b = AdtBuilder::new();
+        let x = b.attack("x").unwrap();
+        let y = b.attack("y").unwrap();
+        let root = match gate {
+            Gate::And => b.and("root", [x, y]).unwrap(),
+            Gate::Or => b.or("root", [x, y]).unwrap(),
+            _ => unreachable!(),
+        };
+        let adt = b.build(root).unwrap();
+        AugmentedAdt::builder(adt, MinCost, MinCost)
+            .attack_value("x", 5u64)
+            .unwrap()
+            .attack_value("y", 9u64)
+            .unwrap()
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn attacker_and_sums_costs() {
+        let front = bottom_up(&two_leaf_gate(Gate::And)).unwrap();
+        assert_eq!(front.points(), &fin(&[(0, 14)])[..]);
+    }
+
+    #[test]
+    fn attacker_or_takes_minimum() {
+        let front = bottom_up(&two_leaf_gate(Gate::Or)).unwrap();
+        assert_eq!(front.points(), &fin(&[(0, 5)])[..]);
+    }
+
+    #[test]
+    fn defender_or_requires_disabling_both() {
+        // OR of two defense leaves: the attacker cannot disable bare
+        // defenses, so once the defender pays for either the node stands.
+        let mut b = AdtBuilder::new();
+        let d1 = b.defense("d1").unwrap();
+        let d2 = b.defense("d2").unwrap();
+        let root = b.or("root", [d1, d2]).unwrap();
+        let adt = b.build(root).unwrap();
+        let t = AugmentedAdt::builder(adt, MinCost, MinCost)
+            .defense_value("d1", 3u64)
+            .unwrap()
+            .defense_value("d2", 7u64)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let front = bottom_up(&t).unwrap();
+        // Defender root: points are (defender cost, attacker cost to
+        // destroy). Doing nothing costs the attacker nothing; any investment
+        // makes the defense indestructible.
+        assert_eq!(
+            front.points(),
+            &[(Ext::Fin(0), Ext::Fin(0)), (Ext::Fin(3), Ext::Inf)]
+        );
+    }
+
+    #[test]
+    fn defender_and_breaks_at_weakest_link() {
+        // AND of two guarded defenses: attacker disables the conjunction by
+        // firing the cheaper trigger.
+        let mut b = AdtBuilder::new();
+        let d1 = b.defense("d1").unwrap();
+        let a1 = b.attack("a1").unwrap();
+        let g1 = b.inh("g1", d1, a1).unwrap();
+        let d2 = b.defense("d2").unwrap();
+        let a2 = b.attack("a2").unwrap();
+        let g2 = b.inh("g2", d2, a2).unwrap();
+        let root = b.and("root", [g1, g2]).unwrap();
+        let adt = b.build(root).unwrap();
+        let t = AugmentedAdt::builder(adt, MinCost, MinCost)
+            .defense_value("d1", 3u64)
+            .unwrap()
+            .attack_value("a1", 10u64)
+            .unwrap()
+            .defense_value("d2", 4u64)
+            .unwrap()
+            .attack_value("a2", 20u64)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let front = bottom_up(&t).unwrap();
+        // Full investment (7) forces the attacker to pay the cheaper trigger
+        // (10) to break the AND.
+        assert_eq!(front.points(), &fin(&[(0, 0), (7, 10)])[..]);
+    }
+
+    #[test]
+    fn front_is_canonical() {
+        let t = catalog::money_theft_tree();
+        let front = bottom_up(&t).unwrap();
+        assert!(front.is_canonical(t.defender_domain(), t.attacker_domain()));
+    }
+
+    #[test]
+    fn single_attack_leaf_front() {
+        let mut b = AdtBuilder::new();
+        let a = b.attack("a").unwrap();
+        let adt = b.build(a).unwrap();
+        let t = AugmentedAdt::builder(adt, MinCost, MinCost)
+            .attack_value("a", 42u64)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let front: CostFront = bottom_up(&t).unwrap();
+        assert_eq!(front.points(), &fin(&[(0, 42)])[..]);
+    }
+
+    #[test]
+    fn single_defense_leaf_front() {
+        let mut b = AdtBuilder::new();
+        let d = b.defense("d").unwrap();
+        let adt = b.build(d).unwrap();
+        let t = AugmentedAdt::builder(adt, MinCost, MinCost)
+            .defense_value("d", 6u64)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let front = bottom_up(&t).unwrap();
+        assert_eq!(
+            front.points(),
+            &[(Ext::Fin(0), Ext::Fin(0)), (Ext::Fin(6), Ext::Inf)]
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Errors of the Pareto-front analyses.
+
+use std::error::Error;
+use std::fmt;
+
+use adt_core::AdtError;
+
+/// Errors produced by the analysis algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The bottom-up algorithm requires a tree-shaped ADT (every node has a
+    /// single parent); use the BDD-based analysis for DAGs, or unfold the
+    /// DAG first.
+    NotTree,
+    /// The enumeration algorithms address basic attack steps with `u64`
+    /// masks and cannot handle more than 63 of them.
+    TooManyAttacks {
+        /// Number of basic attack steps in the tree.
+        count: usize,
+    },
+    /// The enumeration algorithms address basic defense steps with `u64`
+    /// masks and cannot handle more than 63 of them.
+    TooManyDefenses {
+        /// Number of basic defense steps in the tree.
+        count: usize,
+    },
+    /// Unfolding a DAG into a tree exceeded the node budget (unfolding is
+    /// worst-case exponential).
+    UnfoldTooLarge {
+        /// The configured node budget.
+        limit: usize,
+    },
+    /// A caller-supplied variable order violates Definition 11.
+    InvalidOrder {
+        /// Which constraint was violated.
+        reason: String,
+    },
+    /// An underlying structural operation failed.
+    Adt(AdtError),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::NotTree => {
+                write!(f, "the bottom-up algorithm requires a tree-shaped ADT")
+            }
+            AnalysisError::TooManyAttacks { count } => {
+                write!(f, "enumeration supports at most 63 basic attack steps, found {count}")
+            }
+            AnalysisError::TooManyDefenses { count } => {
+                write!(f, "enumeration supports at most 63 basic defense steps, found {count}")
+            }
+            AnalysisError::UnfoldTooLarge { limit } => {
+                write!(f, "unfolding exceeded the budget of {limit} nodes")
+            }
+            AnalysisError::InvalidOrder { reason } => {
+                write!(f, "invalid defense-first order: {reason}")
+            }
+            AnalysisError::Adt(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalysisError::Adt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AdtError> for AnalysisError {
+    fn from(e: AdtError) -> Self {
+        AnalysisError::Adt(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            AnalysisError::NotTree.to_string(),
+            "the bottom-up algorithm requires a tree-shaped ADT"
+        );
+        assert_eq!(
+            AnalysisError::TooManyAttacks { count: 70 }.to_string(),
+            "enumeration supports at most 63 basic attack steps, found 70"
+        );
+        assert_eq!(
+            AnalysisError::TooManyDefenses { count: 64 }.to_string(),
+            "enumeration supports at most 63 basic defense steps, found 64"
+        );
+        assert_eq!(
+            AnalysisError::UnfoldTooLarge { limit: 100 }.to_string(),
+            "unfolding exceeded the budget of 100 nodes"
+        );
+    }
+
+    #[test]
+    fn adt_errors_convert_and_chain() {
+        let err: AnalysisError = AdtError::Empty.into();
+        assert_eq!(err.to_string(), "the tree has no nodes");
+        assert!(Error::source(&err).is_some());
+        assert!(Error::source(&AnalysisError::NotTree).is_none());
+    }
+}

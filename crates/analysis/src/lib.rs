@@ -1,0 +1,70 @@
+//! # adt-analysis
+//!
+//! The Pareto-front algorithms of *"Attack-Defense Trees with Offensive and
+//! Defensive Attributes"* (DSN 2025):
+//!
+//! * [`bottom_up`](bottom_up::bottom_up) — Algorithm 1 with the Table-II
+//!   operators, for tree-shaped ADTs;
+//! * [`naive`](naive::naive) — Algorithm 2, exhaustive enumeration over
+//!   `2^{|D|} × 2^{|A|}` events, for arbitrary shapes (the baseline);
+//! * [`bdd_bu`](bdd_bu::bdd_bu) — Algorithm 3 over an ROBDD with a
+//!   defense-first variable order (Definition 11), for arbitrary shapes;
+//! * [`semantics`] — the literal Definitions 7–9 (`ρ`, `S`, `min_⊑ β̂(S)`)
+//!   with witnesses, used as the testing oracle;
+//! * [`tree_transform`] — the DAG→tree unfolding the paper's case study
+//!   applies before running the bottom-up pass;
+//! * [`modular`] — modular decomposition (the paper's future-work
+//!   extension): confined sharing is analyzed in isolation and substituted
+//!   as pseudo-leaf fronts;
+//! * [`strategies`] — the front *with witnesses*: which defenses realize
+//!   each Pareto point and which attack the rational attacker answers with.
+//!
+//! All algorithms are generic over the attacker/defender attribute domains
+//! of `adt-core` and agree with each other; the workspace's property tests
+//! pit them against each other on random ADTs.
+//!
+//! ## Example
+//!
+//! ```
+//! use adt_analysis::{bdd_bu::bdd_bu, bottom_up::bottom_up};
+//! use adt_core::catalog;
+//!
+//! # fn main() -> Result<(), adt_analysis::AnalysisError> {
+//! // Tree-shaped: bottom-up. DAG-shaped: BDD.
+//! let tree_front = bottom_up(&catalog::money_theft_tree())?;
+//! let dag_front = bdd_bu(&catalog::money_theft())?;
+//! println!("tree analysis: {tree_front}");
+//! println!("dag analysis:  {dag_front}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bdd_bu;
+pub mod bdd_compile;
+pub mod bottom_up;
+mod error;
+pub mod modular;
+pub mod naive;
+pub mod semantics;
+pub mod strategies;
+pub mod tree_transform;
+
+pub use bdd_bu::{bdd_bu, bdd_bu_report, bdd_bu_with_order, BddBuReport};
+pub use bdd_compile::{compile, DefenseFirstOrder};
+pub use bottom_up::{bottom_up, table2_attacker_op};
+pub use error::AnalysisError;
+pub use modular::{find_modules, modular_bdd_bu, proper_modules};
+pub use naive::{naive, naive_bitparallel};
+pub use semantics::{brute_force_front, feasible_events, optimal_response};
+pub use strategies::{pareto_strategies, pareto_strategies_with_order, Strategy};
+pub use tree_transform::{unfold_to_tree, unfolded, unfolded_size, DEFAULT_UNFOLD_LIMIT};
+
+use adt_core::{AttributeDomain, ParetoFront};
+
+/// The Pareto front between a defender domain and an attacker domain —
+/// shorthand for the value-typed [`ParetoFront`].
+pub type Front<DD, DA> =
+    ParetoFront<<DD as AttributeDomain>::Value, <DA as AttributeDomain>::Value>;

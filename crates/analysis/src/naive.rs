@@ -1,0 +1,299 @@
+//! The naive enumeration algorithm for DAG-shaped ADTs (Algorithm 2).
+//!
+//! For every defense vector `δ⃗` the algorithm scans all attack vectors,
+//! keeps the `⪯_A`-minimal metric among successful ones (or `1⊕_A` if none
+//! succeeds), and finally reduces the collected `(β̂_D(δ⃗), β̂_A(ρ(δ⃗)))`
+//! pairs to their Pareto front. Runtime is `Θ(2^{|D|+|A|} · |N|)` — the
+//! paper uses it as the correctness baseline and so do we.
+
+use adt_core::{AttributeDomain, AugmentedAdt, Evaluator, ParetoFront};
+
+use crate::error::AnalysisError;
+use crate::Front;
+
+/// Computes the Pareto front of an arbitrary (tree- or DAG-shaped) augmented
+/// ADT by exhaustive enumeration (Algorithm 2).
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::TooManyAttacks`]/[`AnalysisError::TooManyDefenses`]
+/// for trees with more than 63 basic steps of either kind (the enumeration
+/// uses `u64` masks; at that size the runtime would be prohibitive anyway).
+///
+/// # Examples
+///
+/// ```
+/// use adt_analysis::naive::naive;
+/// use adt_core::catalog;
+/// use adt_core::semiring::Ext;
+///
+/// # fn main() -> Result<(), adt_analysis::AnalysisError> {
+/// // The money-theft case study (Fig. 7), analyzed as a DAG.
+/// let front = naive(&catalog::money_theft())?;
+/// assert_eq!(
+///     front.points(),
+///     &[
+///         (Ext::Fin(0), Ext::Fin(80)),
+///         (Ext::Fin(20), Ext::Fin(90)),
+///         (Ext::Fin(50), Ext::Fin(140)),
+///     ]
+/// );
+/// # Ok(())
+/// # }
+/// ```
+pub fn naive<DD, DA>(t: &AugmentedAdt<DD, DA>) -> Result<Front<DD, DA>, AnalysisError>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    let attack_count = t.adt().attack_count();
+    if attack_count > 63 {
+        return Err(AnalysisError::TooManyAttacks { count: attack_count });
+    }
+    let defense_count = t.adt().defense_count();
+    if defense_count > 63 {
+        return Err(AnalysisError::TooManyDefenses { count: defense_count });
+    }
+
+    let dd = t.defender_domain();
+    let da = t.attacker_domain();
+    let mut eval = Evaluator::new(t.adt());
+    let mut points = Vec::with_capacity(1usize << defense_count);
+    for def_mask in 0..(1u64 << defense_count) {
+        let mut best: Option<DA::Value> = None;
+        for att_mask in 0..(1u64 << attack_count) {
+            if !eval.attack_succeeds_masks(def_mask, att_mask) {
+                continue;
+            }
+            let value = t.attack_metric_mask(att_mask);
+            best = Some(match best {
+                None => value,
+                Some(incumbent) => da.add(&incumbent, &value),
+            });
+        }
+        points.push((t.defense_metric_mask(def_mask), best.unwrap_or_else(|| da.zero())));
+    }
+    Ok(ParetoFront::from_points(points, dd, da))
+}
+
+/// Lane patterns: bit `j` of `LANE_PATTERN[p]` is bit `p` of the lane index
+/// `j`, so 64 consecutive attack masks can be evaluated in one bitwise pass.
+const LANE_PATTERN: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// Bit-parallel variant of [`naive`]: evaluates the structure function for
+/// 64 attack vectors at once, one bit lane per vector.
+///
+/// The low six attack positions vary across the lanes of one `u64` word
+/// (their per-node values are the classic Boolean constants
+/// `0xAAAA…`, `0xCCCC…`, …); the remaining positions and all defenses are
+/// constant per pass. Gate evaluation is then plain word-wide `&`/`|`/`&!`,
+/// cutting the `2^{|D|+|A|} · |N|` enumeration cost by up to 64×. Results
+/// are identical to [`naive`] — this is a performance ablation of the
+/// paper's baseline, not a new algorithm.
+///
+/// # Errors
+///
+/// Same limits as [`naive`]:
+/// [`AnalysisError::TooManyAttacks`]/[`AnalysisError::TooManyDefenses`]
+/// above 63 basic steps of either kind.
+pub fn naive_bitparallel<DD, DA>(
+    t: &AugmentedAdt<DD, DA>,
+) -> Result<Front<DD, DA>, AnalysisError>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    let attack_count = t.adt().attack_count();
+    if attack_count > 63 {
+        return Err(AnalysisError::TooManyAttacks { count: attack_count });
+    }
+    let defense_count = t.adt().defense_count();
+    if defense_count > 63 {
+        return Err(AnalysisError::TooManyDefenses { count: defense_count });
+    }
+
+    let adt = t.adt();
+    let dd = t.defender_domain();
+    let da = t.attacker_domain();
+    let root_agent = adt.root_agent();
+    let low_bits = attack_count.min(6);
+    let lane_count: u32 = 1u32 << low_bits; // lanes actually used (≤ 64)
+    let high_passes: u64 = 1 << (attack_count - low_bits);
+    let topo = adt.topological_order();
+    let mut values: Vec<u64> = vec![0; adt.node_count()];
+
+    let mut points = Vec::with_capacity(1usize << defense_count);
+    for def_mask in 0..(1u64 << defense_count) {
+        let mut best: Option<DA::Value> = None;
+        for high in 0..high_passes {
+            let base = high << low_bits;
+            for &v in topo {
+                let node = &adt[v];
+                let value = match node.gate() {
+                    adt_core::Gate::Basic => {
+                        let pos = adt.basic_position(v).expect("leaf position");
+                        match node.agent() {
+                            adt_core::Agent::Defender => {
+                                if def_mask >> pos & 1 == 1 {
+                                    u64::MAX
+                                } else {
+                                    0
+                                }
+                            }
+                            adt_core::Agent::Attacker => {
+                                if pos < low_bits {
+                                    LANE_PATTERN[pos]
+                                } else if base >> pos & 1 == 1 {
+                                    u64::MAX
+                                } else {
+                                    0
+                                }
+                            }
+                        }
+                    }
+                    adt_core::Gate::And => node
+                        .children()
+                        .iter()
+                        .fold(u64::MAX, |acc, c| acc & values[c.index()]),
+                    adt_core::Gate::Or => node
+                        .children()
+                        .iter()
+                        .fold(0, |acc, c| acc | values[c.index()]),
+                    adt_core::Gate::Inh => {
+                        values[node.children()[0].index()]
+                            & !values[node.children()[1].index()]
+                    }
+                };
+                values[v.index()] = value;
+            }
+            let mut successes = values[adt.root().index()];
+            if root_agent == adt_core::Agent::Defender {
+                successes = !successes;
+            }
+            // Only the lanes that correspond to real attack masks count.
+            if lane_count < 64 {
+                successes &= (1u64 << lane_count) - 1;
+            }
+            while successes != 0 {
+                let lane = successes.trailing_zeros() as u64;
+                successes &= successes - 1;
+                let value = t.attack_metric_mask(base | lane);
+                best = Some(match best {
+                    None => value,
+                    Some(incumbent) => da.add(&incumbent, &value),
+                });
+            }
+        }
+        points.push((t.defense_metric_mask(def_mask), best.unwrap_or_else(|| da.zero())));
+    }
+    Ok(ParetoFront::from_points(points, dd, da))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bottom_up::bottom_up;
+    use crate::semantics::brute_force_front;
+    use adt_core::semiring::Ext;
+    use adt_core::{catalog, AdtBuilder, AugmentedAdt, MinCost};
+
+    fn fin(points: &[(u64, u64)]) -> Vec<(Ext<u64>, Ext<u64>)> {
+        points.iter().map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a))).collect()
+    }
+
+    #[test]
+    fn matches_bottom_up_on_paper_trees() {
+        for t in [catalog::fig1(), catalog::fig3(), catalog::fig5(), catalog::fig4(4)] {
+            assert_eq!(naive(&t).unwrap(), bottom_up(&t).unwrap());
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_dags() {
+        for t in [catalog::fig2(), catalog::money_theft()] {
+            assert_eq!(naive(&t).unwrap(), brute_force_front(&t).unwrap());
+        }
+    }
+
+    #[test]
+    fn money_theft_dag_front_matches_paper() {
+        let front = naive(&catalog::money_theft()).unwrap();
+        assert_eq!(front.points(), &fin(&[(0, 80), (20, 90), (50, 140)])[..]);
+    }
+
+    #[test]
+    fn money_theft_tree_front_matches_paper() {
+        let front = naive(&catalog::money_theft_tree()).unwrap();
+        assert_eq!(front.points(), &fin(&[(0, 90), (30, 150), (50, 165)])[..]);
+    }
+
+    #[test]
+    fn fig4_front_is_exponential() {
+        let front = naive(&catalog::fig4(4)).unwrap();
+        assert_eq!(front.len(), 16);
+    }
+
+    #[test]
+    fn bitparallel_matches_naive_on_catalog() {
+        for t in [
+            catalog::fig1(),
+            catalog::fig2(),
+            catalog::fig3(),
+            catalog::fig4(5),
+            catalog::fig5(),
+            catalog::money_theft(),
+            catalog::money_theft_tree(),
+        ] {
+            assert_eq!(naive_bitparallel(&t).unwrap(), naive(&t).unwrap());
+        }
+    }
+
+    #[test]
+    fn bitparallel_handles_fewer_than_six_attacks() {
+        // Exercise the partial-lane masking path (|A| < 6).
+        let t = catalog::fig5(); // 2 attacks
+        assert_eq!(naive_bitparallel(&t).unwrap(), naive(&t).unwrap());
+        let t = catalog::fig4(2); // 2 attacks, defender root
+        assert_eq!(naive_bitparallel(&t).unwrap(), naive(&t).unwrap());
+    }
+
+    #[test]
+    fn bitparallel_handles_more_than_six_attacks() {
+        // Exercise the multi-pass path (|A| > 6).
+        let t = catalog::money_theft(); // 10 attacks
+        assert!(t.adt().attack_count() > 6);
+        assert_eq!(naive_bitparallel(&t).unwrap(), naive(&t).unwrap());
+        let t = catalog::fig4(8); // 8 attacks
+        assert_eq!(naive_bitparallel(&t).unwrap(), naive(&t).unwrap());
+    }
+
+    #[test]
+    fn impossible_attack_yields_infinite_point() {
+        // One inhibited attack with no alternative: with the defense bought,
+        // no attack succeeds, so the front gains a (cost, ∞) point.
+        let mut b = AdtBuilder::new();
+        let a = b.attack("a").unwrap();
+        let d = b.defense("d").unwrap();
+        let root = b.inh("root", a, d).unwrap();
+        let adt = b.build(root).unwrap();
+        let t = AugmentedAdt::builder(adt, MinCost, MinCost)
+            .attack_value("a", 5u64)
+            .unwrap()
+            .defense_value("d", 3u64)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let front = naive(&t).unwrap();
+        assert_eq!(
+            front.points(),
+            &[(Ext::Fin(0), Ext::Fin(5)), (Ext::Fin(3), Ext::Inf)]
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! Reference semantics: the optimal attack response `ρ(δ⃗)` (Definition 7),
+//! the feasible events `S` (Definition 8) and the brute-force Pareto front.
+//!
+//! These functions enumerate attack vectors exhaustively and therefore only
+//! scale to small trees, but they implement the definitions *literally* and
+//! serve as the oracle against which the bottom-up and BDD algorithms are
+//! verified.
+
+use adt_core::{
+    AttackVector, AttributeDomain, AugmentedAdt, DefenseVector, Evaluator, ParetoFront,
+};
+
+use crate::error::AnalysisError;
+use crate::Front;
+
+/// The attacker's best response to one defense vector (Definition 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimalResponse<VA> {
+    /// A `⪯_A`-minimal successful attack vector, or `None` if no attack
+    /// succeeds against this defense (the paper's `ρ(δ⃗) = ⊥`).
+    pub attack: Option<AttackVector>,
+    /// Its metric value `β̂_A(ρ(δ⃗))`; equals `1⊕_A` when no attack succeeds.
+    pub value: VA,
+}
+
+/// One element of the feasible-event set `S` (Definition 8): a defense
+/// vector, the attacker's optimal response, and the event's metric pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeasibleEvent<VD, VA> {
+    /// The defender's choice.
+    pub defense: DefenseVector,
+    /// The attacker's optimal response to it.
+    pub response: OptimalResponse<VA>,
+    /// `β̂(δ⃗, ρ(δ⃗))`.
+    pub metric: (VD, VA),
+}
+
+fn check_enumerable<DD, DA>(t: &AugmentedAdt<DD, DA>) -> Result<(), AnalysisError>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    let attacks = t.adt().attack_count();
+    if attacks > 63 {
+        return Err(AnalysisError::TooManyAttacks { count: attacks });
+    }
+    let defenses = t.adt().defense_count();
+    if defenses > 63 {
+        return Err(AnalysisError::TooManyDefenses { count: defenses });
+    }
+    Ok(())
+}
+
+/// Computes the attacker's optimal response `ρ(δ⃗)` to a defense vector by
+/// exhaustive enumeration (Definition 7).
+///
+/// If several successful attacks share the minimal metric value, the one
+/// with the smallest bit mask is returned (the definition allows any).
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::TooManyAttacks`] for trees with more than 63
+/// basic attack steps, or [`AdtError::VectorLength`](adt_core::AdtError) if
+/// the vector does not fit the tree.
+pub fn optimal_response<DD, DA>(
+    t: &AugmentedAdt<DD, DA>,
+    delta: &DefenseVector,
+) -> Result<OptimalResponse<DA::Value>, AnalysisError>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    check_enumerable(t)?;
+    if delta.len() != t.adt().defense_count() {
+        return Err(AnalysisError::Adt(adt_core::AdtError::VectorLength {
+            expected: t.adt().defense_count(),
+            found: delta.len(),
+        }));
+    }
+    let mut eval = Evaluator::new(t.adt());
+    let def_mask = delta.as_mask().expect("at most 63 defenses");
+    Ok(best_response(t, &mut eval, def_mask))
+}
+
+/// Shared inner loop: scans all `2^{|A|}` attack masks against one defense
+/// mask.
+fn best_response<DD, DA>(
+    t: &AugmentedAdt<DD, DA>,
+    eval: &mut Evaluator<'_>,
+    def_mask: u64,
+) -> OptimalResponse<DA::Value>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    let da = t.attacker_domain();
+    let attack_count = t.adt().attack_count();
+    let mut best: Option<(u64, DA::Value)> = None;
+    for att_mask in 0..(1u64 << attack_count) {
+        if !eval.attack_succeeds_masks(def_mask, att_mask) {
+            continue;
+        }
+        let value = t.attack_metric_mask(att_mask);
+        let better = match &best {
+            None => true,
+            Some((_, incumbent)) => da.lt(&value, incumbent),
+        };
+        if better {
+            best = Some((att_mask, value));
+        }
+    }
+    match best {
+        Some((mask, value)) => OptimalResponse {
+            attack: Some(AttackVector::from_mask(attack_count, mask)),
+            value,
+        },
+        None => OptimalResponse { attack: None, value: da.zero() },
+    }
+}
+
+/// The feasible-event set of one tree: one entry per defense vector.
+pub type FeasibleEvents<DD, DA> = Vec<
+    FeasibleEvent<
+        <DD as AttributeDomain>::Value,
+        <DA as AttributeDomain>::Value,
+    >,
+>;
+
+/// Enumerates the feasible-event set `S` (Definition 8): one entry per
+/// defense vector, each with the attacker's optimal response.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::TooManyAttacks`]/[`AnalysisError::TooManyDefenses`]
+/// for trees beyond the 63-step enumeration limit.
+pub fn feasible_events<DD, DA>(
+    t: &AugmentedAdt<DD, DA>,
+) -> Result<FeasibleEvents<DD, DA>, AnalysisError>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    check_enumerable(t)?;
+    let defense_count = t.adt().defense_count();
+    let mut eval = Evaluator::new(t.adt());
+    let mut events = Vec::with_capacity(1usize << defense_count);
+    for def_mask in 0..(1u64 << defense_count) {
+        let response = best_response(t, &mut eval, def_mask);
+        let metric = (t.defense_metric_mask(def_mask), response.value.clone());
+        events.push(FeasibleEvent {
+            defense: DefenseVector::from_mask(defense_count, def_mask),
+            response,
+            metric,
+        });
+    }
+    Ok(events)
+}
+
+/// The Pareto front straight from the definitions: `min_⊑ β̂(S)`.
+///
+/// This is the specification the faster algorithms are tested against; it
+/// coincides with [`naive`](crate::naive::naive) but also materializes the
+/// witnesses.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::TooManyAttacks`]/[`AnalysisError::TooManyDefenses`]
+/// for trees beyond the 63-step enumeration limit.
+pub fn brute_force_front<DD, DA>(
+    t: &AugmentedAdt<DD, DA>,
+) -> Result<Front<DD, DA>, AnalysisError>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    let points = feasible_events(t)?
+        .into_iter()
+        .map(|e| e.metric)
+        .collect();
+    Ok(ParetoFront::from_points(
+        points,
+        t.defender_domain(),
+        t.attacker_domain(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_core::catalog;
+    use adt_core::semiring::Ext;
+
+    #[test]
+    fn example2_responses_on_fig3() {
+        let t = catalog::fig3();
+        // ρ(00) = 010 with cost 10.
+        let r = optimal_response(&t, &DefenseVector::from_binary_str("00").unwrap()).unwrap();
+        assert_eq!(r.attack.as_ref().unwrap().to_string(), "010");
+        assert_eq!(r.value, Ext::Fin(10));
+        // Single defenses leave the response unchanged.
+        for d in ["01", "10"] {
+            let r =
+                optimal_response(&t, &DefenseVector::from_binary_str(d).unwrap()).unwrap();
+            assert_eq!(r.attack.as_ref().unwrap().to_string(), "010", "δ = {d}");
+        }
+        // ρ(11) = 110 with cost 15.
+        let r = optimal_response(&t, &DefenseVector::from_binary_str("11").unwrap()).unwrap();
+        assert_eq!(r.attack.as_ref().unwrap().to_string(), "110");
+        assert_eq!(r.value, Ext::Fin(15));
+    }
+
+    #[test]
+    fn feasible_events_match_example_2() {
+        let t = catalog::fig3();
+        let events = feasible_events(&t).unwrap();
+        assert_eq!(events.len(), 4);
+        let summary: Vec<(String, String)> = events
+            .iter()
+            .map(|e| {
+                (
+                    e.defense.to_string(),
+                    e.response.attack.as_ref().unwrap().to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            summary,
+            vec![
+                ("00".into(), "010".into()),
+                ("10".into(), "010".into()),
+                ("01".into(), "010".into()),
+                ("11".into(), "110".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn response_is_none_when_no_attack_succeeds() {
+        // A lone inhibited attack: with the defense active nothing works.
+        let mut b = adt_core::AdtBuilder::new();
+        let a = b.attack("a").unwrap();
+        let d = b.defense("d").unwrap();
+        let root = b.inh("root", a, d).unwrap();
+        let adt = b.build(root).unwrap();
+        let t = adt_core::AugmentedAdt::builder(adt, adt_core::MinCost, adt_core::MinCost)
+            .attack_value("a", 5u64)
+            .unwrap()
+            .defense_value("d", 3u64)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let r = optimal_response(&t, &DefenseVector::from_binary_str("1").unwrap()).unwrap();
+        assert_eq!(r.attack, None);
+        assert_eq!(r.value, Ext::Inf);
+        // And without the defense the attack stands.
+        let r = optimal_response(&t, &DefenseVector::from_binary_str("0").unwrap()).unwrap();
+        assert_eq!(r.value, Ext::Fin(5));
+    }
+
+    #[test]
+    fn brute_force_front_on_paper_trees() {
+        let fin = |pts: &[(u64, u64)]| {
+            pts.iter().map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a))).collect::<Vec<_>>()
+        };
+        let front = brute_force_front(&catalog::fig3()).unwrap();
+        assert_eq!(front.points(), &fin(&[(0, 10), (15, 15)])[..]);
+        let front = brute_force_front(&catalog::fig5()).unwrap();
+        assert_eq!(
+            front.points(),
+            &[
+                (Ext::Fin(0), Ext::Fin(5)),
+                (Ext::Fin(4), Ext::Fin(10)),
+                (Ext::Fin(12), Ext::Inf),
+            ]
+        );
+    }
+
+    #[test]
+    fn brute_force_handles_dags() {
+        // The money-theft DAG (§VI-A): front {(0,80), (20,90), (50,140)}.
+        let front = brute_force_front(&catalog::money_theft()).unwrap();
+        assert_eq!(
+            front.points(),
+            &[
+                (Ext::Fin(0), Ext::Fin(80)),
+                (Ext::Fin(20), Ext::Fin(90)),
+                (Ext::Fin(50), Ext::Fin(140)),
+            ]
+        );
+    }
+
+    #[test]
+    fn defender_rooted_fig4_responses_mirror_defenses() {
+        let t = catalog::fig4(3);
+        for mask in 0u64..8 {
+            let delta = DefenseVector::from_mask(3, mask);
+            let r = optimal_response(&t, &delta).unwrap();
+            assert_eq!(
+                r.attack.as_ref().unwrap().as_mask().unwrap(),
+                mask,
+                "ρ(δ⃗) must equal δ⃗ on Fig. 4"
+            );
+        }
+    }
+
+    #[test]
+    fn vector_length_is_validated() {
+        let t = catalog::fig3();
+        let err = optimal_response(&t, &DefenseVector::none(9)).unwrap_err();
+        assert!(matches!(
+            err,
+            AnalysisError::Adt(adt_core::AdtError::VectorLength { .. })
+        ));
+    }
+}

@@ -1,0 +1,368 @@
+//! Strategy extraction: Pareto fronts with *witnesses*.
+//!
+//! The paper's algorithms output metric pairs; a practitioner also wants to
+//! know **which defenses to buy** at each front point and **which attack**
+//! the rational attacker answers with. This module re-runs the `BDDBU`
+//! propagation (Algorithm 3) carrying partial defense/attack vectors along
+//! with every Pareto point, so each point of the result names a concrete
+//! defense set achieving it and the attacker's optimal response to that set.
+//!
+//! The extraction is exact, not a re-enumeration: witnesses ride along the
+//! same dynamic program, so it scales exactly as far as `BDDBU` itself
+//! (unlike [`optimal_response`](crate::semantics::optimal_response), which
+//! enumerates `2^{|A|}` attacks).
+
+use std::collections::HashMap;
+
+use adt_bdd::{Bdd, NodeRef};
+use adt_core::{
+    Agent, AttackVector, AttributeDomain, AugmentedAdt, BitVec, DefenseVector,
+    ParetoFront,
+};
+
+use crate::bdd_compile::{compile, DefenseFirstOrder};
+use crate::error::AnalysisError;
+use crate::Front;
+
+/// One Pareto-optimal point together with the strategies realizing it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Strategy<VD, VA> {
+    /// The defense vector to deploy.
+    pub defense: DefenseVector,
+    /// The attacker's optimal response to it, or `None` if this investment
+    /// blocks every attack.
+    pub attack: Option<AttackVector>,
+    /// `β̂_D` of the defense vector.
+    pub defense_value: VD,
+    /// `β̂_A` of the response (`1⊕_A` when `attack` is `None`).
+    pub attack_value: VA,
+}
+
+/// Computes the Pareto front *with witnesses* for an arbitrary augmented
+/// ADT, using the declaration defense-first order.
+///
+/// The metric pairs of the result are exactly the front of
+/// [`bdd_bu`](crate::bdd_bu::bdd_bu); each entry adds a defense vector
+/// attaining the point and the attacker's optimal answer.
+///
+/// # Errors
+///
+/// Currently infallible (kept `Result` for symmetry with the other
+/// algorithms).
+///
+/// # Examples
+///
+/// ```
+/// use adt_analysis::strategies::pareto_strategies;
+/// use adt_core::catalog;
+///
+/// # fn main() -> Result<(), adt_analysis::AnalysisError> {
+/// let t = catalog::money_theft();
+/// let strategies = pareto_strategies(&t)?;
+/// // Budget 0: the attacker phishes and executes the transfer.
+/// let first = strategies[0].attack.as_ref().unwrap();
+/// let names: Vec<&str> = first
+///     .iter_active()
+///     .map(|pos| t.adt()[t.adt().attacks()[pos]].name())
+///     .collect();
+/// assert!(names.contains(&"phishing"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn pareto_strategies<DD, DA>(
+    t: &AugmentedAdt<DD, DA>,
+) -> Result<Vec<Strategy<DD::Value, DA::Value>>, AnalysisError>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    let order = DefenseFirstOrder::declaration(t.adt());
+    pareto_strategies_with_order(t, &order)
+}
+
+/// [`pareto_strategies`] under a caller-chosen defense-first order.
+///
+/// # Errors
+///
+/// See [`pareto_strategies`].
+pub fn pareto_strategies_with_order<DD, DA>(
+    t: &AugmentedAdt<DD, DA>,
+    order: &DefenseFirstOrder,
+) -> Result<Vec<Strategy<DD::Value, DA::Value>>, AnalysisError>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    let (bdd, root) = compile(t.adt(), order);
+    let mut run = Run { t, bdd: &bdd, order, memo: HashMap::new() };
+    let points = run.points(root);
+    let da = t.attacker_domain();
+    Ok(points
+        .into_iter()
+        .map(|p| {
+            let blocked = p.attack_value == da.zero();
+            Strategy {
+                defense: DefenseVector::from(p.defense),
+                attack: if blocked { None } else { Some(AttackVector::from(p.attack)) },
+                defense_value: p.defense_value,
+                attack_value: p.attack_value,
+            }
+        })
+        .collect())
+}
+
+/// A front point with partial witness vectors, during propagation.
+#[derive(Debug, Clone)]
+struct WitnessPoint<VD, VA> {
+    defense_value: VD,
+    attack_value: VA,
+    defense: BitVec,
+    attack: BitVec,
+}
+
+struct Run<'a, DD: AttributeDomain, DA: AttributeDomain> {
+    t: &'a AugmentedAdt<DD, DA>,
+    bdd: &'a Bdd,
+    order: &'a DefenseFirstOrder,
+    memo: HashMap<NodeRef, Vec<WitnessPoint<DD::Value, DA::Value>>>,
+}
+
+impl<DD: AttributeDomain, DA: AttributeDomain> Run<'_, DD, DA> {
+    fn points(&mut self, w: NodeRef) -> Vec<WitnessPoint<DD::Value, DA::Value>> {
+        let dd = self.t.defender_domain();
+        let da = self.t.attacker_domain();
+        let defense_count = self.t.adt().defense_count();
+        let attack_count = self.t.adt().attack_count();
+        if w == Bdd::FALSE || w == Bdd::TRUE {
+            let reached_goal = match self.t.adt().root_agent() {
+                Agent::Attacker => w == Bdd::TRUE,
+                Agent::Defender => w == Bdd::FALSE,
+            };
+            return vec![WitnessPoint {
+                defense_value: dd.one(),
+                attack_value: if reached_goal { da.one() } else { da.zero() },
+                defense: BitVec::zeros(defense_count),
+                attack: BitVec::zeros(attack_count),
+            }];
+        }
+        if let Some(cached) = self.memo.get(&w) {
+            return cached.clone();
+        }
+        let level = self.bdd.level(w);
+        let event = self.order.event(level);
+        let position = self
+            .t
+            .adt()
+            .basic_position(event)
+            .expect("levels map to basic steps");
+        let low = self.points(self.bdd.low(w));
+        let high = self.points(self.bdd.high(w));
+        let result = if self.order.is_defense_level(level) {
+            let cost = self
+                .t
+                .defense_value_of(event)
+                .expect("defense level maps to a defense step")
+                .clone();
+            let mut combined = low;
+            for mut p in high {
+                p.defense_value = dd.mul(&cost, &p.defense_value);
+                p.defense.set(position, true);
+                combined.push(p);
+            }
+            reduce(combined, dd, da)
+        } else {
+            // Singleton fronts below the boundary: pick the cheaper of
+            // skipping the attack step or performing it.
+            debug_assert_eq!(low.len(), 1);
+            debug_assert_eq!(high.len(), 1);
+            let skip = low.into_iter().next().expect("singleton");
+            let mut pay = high.into_iter().next().expect("singleton");
+            let step = self
+                .t
+                .attack_value_of(event)
+                .expect("attack level maps to an attack step");
+            pay.attack_value = da.mul(step, &pay.attack_value);
+            pay.attack.set(position, true);
+            let chosen = if da.le(&skip.attack_value, &pay.attack_value) {
+                skip
+            } else {
+                pay
+            };
+            vec![chosen]
+        };
+        self.memo.insert(w, result.clone());
+        result
+    }
+}
+
+/// `min_⊑` over witness points: same staircase sweep as
+/// [`ParetoFront::from_points`], keeping one witness per surviving metric
+/// pair.
+fn reduce<DD, DA>(
+    mut points: Vec<WitnessPoint<DD::Value, DA::Value>>,
+    dd: &DD,
+    da: &DA,
+) -> Vec<WitnessPoint<DD::Value, DA::Value>>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    points.sort_by(|p, q| {
+        dd.compare(&p.defense_value, &q.defense_value)
+            .then_with(|| da.compare(&q.attack_value, &p.attack_value))
+    });
+    let mut reduced: Vec<WitnessPoint<DD::Value, DA::Value>> = Vec::new();
+    for point in points {
+        let keep = match reduced.last() {
+            None => true,
+            Some(last) => {
+                da.compare(&point.attack_value, &last.attack_value)
+                    == std::cmp::Ordering::Greater
+            }
+        };
+        if keep {
+            reduced.push(point);
+        }
+    }
+    reduced
+}
+
+/// Converts strategies back into the bare metric front (for comparison with
+/// the other algorithms).
+pub fn strategies_front<DD, DA>(
+    t: &AugmentedAdt<DD, DA>,
+    strategies: &[Strategy<DD::Value, DA::Value>],
+) -> Front<DD, DA>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    ParetoFront::from_points(
+        strategies
+            .iter()
+            .map(|s| (s.defense_value.clone(), s.attack_value.clone()))
+            .collect(),
+        t.defender_domain(),
+        t.attacker_domain(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bdd_bu::bdd_bu;
+    use crate::semantics::optimal_response;
+    use adt_core::catalog;
+    use adt_core::semiring::Ext;
+
+    fn names(t: &adt_core::Adt, alpha: &AttackVector) -> Vec<String> {
+        alpha
+            .iter_active()
+            .map(|pos| t[t.attacks()[pos]].name().to_owned())
+            .collect()
+    }
+
+    #[test]
+    fn metric_pairs_match_bdd_bu() {
+        for t in [
+            catalog::fig3(),
+            catalog::fig5(),
+            catalog::fig2(),
+            catalog::money_theft(),
+            catalog::fig4(4),
+        ] {
+            let strategies = pareto_strategies(&t).unwrap();
+            assert_eq!(strategies_front(&t, &strategies), bdd_bu(&t).unwrap());
+        }
+    }
+
+    #[test]
+    fn money_theft_witnesses_are_the_paper_narrative() {
+        let t = catalog::money_theft();
+        let strategies = pareto_strategies(&t).unwrap();
+        assert_eq!(strategies.len(), 3);
+        // (0, 80): no defense; Phishing + Log In & Execute Transfer.
+        assert_eq!(strategies[0].defense.count_active(), 0);
+        let mut attack = names(t.adt(), strategies[0].attack.as_ref().unwrap());
+        attack.sort();
+        assert_eq!(attack, vec!["log_in_execute_transfer", "phishing"]);
+        // (20, 90): SMS auth; attacker moves to the ATM.
+        let d = &strategies[1].defense;
+        let active: Vec<&str> = d
+            .iter_active()
+            .map(|pos| t.adt()[t.adt().defenses()[pos]].name())
+            .collect();
+        assert_eq!(active, vec!["sms_auth"]);
+        let mut attack = names(t.adt(), strategies[1].attack.as_ref().unwrap());
+        attack.sort();
+        assert_eq!(attack, vec!["eavesdrop", "steal_card", "withdraw_cash"]);
+        // (50, 140): SMS auth + cover keypad; attacker returns online,
+        // stealing the phone.
+        let mut attack = names(t.adt(), strategies[2].attack.as_ref().unwrap());
+        attack.sort();
+        assert_eq!(
+            attack,
+            vec!["log_in_execute_transfer", "phishing", "steal_phone"]
+        );
+    }
+
+    #[test]
+    fn witnesses_are_feasible_and_optimal() {
+        for t in [catalog::fig3(), catalog::fig5(), catalog::money_theft()] {
+            for s in pareto_strategies(&t).unwrap() {
+                // The defense vector's metric matches.
+                assert_eq!(t.defense_metric(&s.defense).unwrap(), s.defense_value);
+                match &s.attack {
+                    Some(alpha) => {
+                        // The witness attack succeeds and has the stated cost.
+                        assert!(t.adt().attack_succeeds(&s.defense, alpha).unwrap());
+                        assert_eq!(t.attack_metric(alpha).unwrap(), s.attack_value);
+                        // And it is *optimal*: enumeration agrees.
+                        let best = optimal_response(&t, &s.defense).unwrap();
+                        assert_eq!(best.value, s.attack_value);
+                    }
+                    None => {
+                        let best = optimal_response(&t, &s.defense).unwrap();
+                        assert_eq!(best.attack, None);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_points_have_no_attack() {
+        // Single inhibited attack: buying the defense blocks everything.
+        let mut b = adt_core::AdtBuilder::new();
+        let a = b.attack("a").unwrap();
+        let d = b.defense("d").unwrap();
+        let root = b.inh("root", a, d).unwrap();
+        let adt = b.build(root).unwrap();
+        let t = adt_core::AugmentedAdt::builder(adt, adt_core::MinCost, adt_core::MinCost)
+            .attack_value("a", 5u64)
+            .unwrap()
+            .defense_value("d", 3u64)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let strategies = pareto_strategies(&t).unwrap();
+        assert_eq!(strategies.len(), 2);
+        assert!(strategies[0].attack.is_some());
+        assert_eq!(strategies[1].attack, None);
+        assert_eq!(strategies[1].attack_value, Ext::Inf);
+        assert!(strategies[1].defense.is_active(0));
+    }
+
+    #[test]
+    fn fig4_strategies_mirror_defenses() {
+        // On the exponential family, ρ(δ⃗) = δ⃗: each witness attack mask
+        // equals its defense mask.
+        let t = catalog::fig4(4);
+        let strategies = pareto_strategies(&t).unwrap();
+        assert_eq!(strategies.len(), 16);
+        for s in &strategies {
+            let alpha = s.attack.as_ref().expect("always disableable");
+            assert_eq!(s.defense.as_mask(), alpha.as_mask());
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Unfolding DAG-shaped ADTs into trees by duplicating shared subtrees.
+//!
+//! The paper's case study (§VI-A) applies exactly this transformation:
+//! *"we assume that Phishing needs to be performed twice in order to
+//! activate both Get Password and Get username. This turns the ADT into a
+//! tree-shaped one, and we can perform the Bottom-Up algorithm."*
+//!
+//! Note that unfolding changes the semantics: each copy of a shared step
+//! must be paid for separately (the paper's tree front for Fig. 7 prices
+//! Phishing twice, which is why it differs from the DAG front). The
+//! transformation is worst-case exponential, hence the node budget.
+
+use adt_core::{AdtBuilder, AttributeDomain, AugmentedAdt, Gate, NodeId};
+
+use crate::error::AnalysisError;
+
+/// Default node budget for [`unfold_to_tree`].
+pub const DEFAULT_UNFOLD_LIMIT: usize = 100_000;
+
+/// Unfolds an ADT into a tree by duplicating every shared subtree, copying
+/// attribute values onto the duplicates.
+///
+/// Returns the unfolded augmented tree and, for each new node (indexed by
+/// [`NodeId::index`]), the original node it was copied from. The first copy
+/// of a node keeps its name; later copies get `_dup2`, `_dup3`, …
+/// suffixes.
+///
+/// On an already tree-shaped input this is a rename-free deep copy.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::UnfoldTooLarge`] if the unfolded tree would
+/// exceed `limit` nodes.
+pub fn unfold_to_tree<DD, DA>(
+    t: &AugmentedAdt<DD, DA>,
+    limit: usize,
+) -> Result<(AugmentedAdt<DD, DA>, Vec<NodeId>), AnalysisError>
+where
+    DD: AttributeDomain + Clone,
+    DA: AttributeDomain + Clone,
+{
+    let adt = t.adt();
+    let mut builder = AdtBuilder::new();
+    let mut origin: Vec<NodeId> = Vec::new();
+    let mut copies: Vec<usize> = vec![0; adt.node_count()];
+
+    // Explicit stack of (original node, state); state tracks how many
+    // children have been instantiated, with their new ids accumulating on a
+    // value stack.
+    struct Frame {
+        orig: NodeId,
+        next_child: usize,
+        new_children: Vec<NodeId>,
+    }
+    let mut stack = vec![Frame { orig: adt.root(), next_child: 0, new_children: Vec::new() }];
+    let mut finished: Option<NodeId> = None;
+    while let Some(frame) = stack.last_mut() {
+        if let Some(child_id) = finished.take() {
+            frame.new_children.push(child_id);
+        }
+        let node = &adt[frame.orig];
+        if frame.next_child < node.children().len() {
+            let child = node.children()[frame.next_child];
+            frame.next_child += 1;
+            stack.push(Frame { orig: child, next_child: 0, new_children: Vec::new() });
+            continue;
+        }
+        // All children instantiated: create this copy.
+        if builder.node_count() >= limit {
+            return Err(AnalysisError::UnfoldTooLarge { limit });
+        }
+        copies[frame.orig.index()] += 1;
+        let copy_nr = copies[frame.orig.index()];
+        let name = if copy_nr == 1 {
+            node.name().to_owned()
+        } else {
+            format!("{}_dup{copy_nr}", node.name())
+        };
+        let new_id = match node.gate() {
+            Gate::Basic => builder.leaf(node.agent(), name)?,
+            Gate::And => builder.and(name, frame.new_children.clone())?,
+            Gate::Or => builder.or(name, frame.new_children.clone())?,
+            Gate::Inh => {
+                builder.inh(name, frame.new_children[0], frame.new_children[1])?
+            }
+        };
+        debug_assert_eq!(new_id.index(), origin.len());
+        origin.push(frame.orig);
+        finished = Some(new_id);
+        stack.pop();
+    }
+    let root = finished.expect("root instantiated last");
+    let unfolded = builder.build(root)?;
+    debug_assert!(unfolded.is_tree());
+
+    let aadt = AugmentedAdt::from_fns(
+        unfolded,
+        t.defender_domain().clone(),
+        t.attacker_domain().clone(),
+        |_, id| {
+            t.defense_value_of(origin[id.index()])
+                .expect("defense copy originates from a defense")
+                .clone()
+        },
+        |_, id| {
+            t.attack_value_of(origin[id.index()])
+                .expect("attack copy originates from an attack")
+                .clone()
+        },
+    );
+    Ok((aadt, origin))
+}
+
+/// How many nodes [`unfold_to_tree`] would create, without building
+/// anything; useful to decide between unfolding and the BDD analysis.
+pub fn unfolded_size(adt: &adt_core::Adt) -> u128 {
+    // Number of tree copies of each node = number of root paths to it.
+    let mut paths: Vec<u128> = vec![0; adt.node_count()];
+    paths[adt.root().index()] = 1;
+    for &v in adt.topological_order().iter().rev() {
+        let p = paths[v.index()];
+        if p == 0 {
+            continue;
+        }
+        for &c in adt[v].children() {
+            paths[c.index()] += p;
+        }
+    }
+    paths.iter().sum()
+}
+
+/// Convenience wrapper for [`unfold_to_tree`] with the default budget,
+/// discarding the origin map.
+///
+/// # Errors
+///
+/// See [`unfold_to_tree`].
+pub fn unfolded<DD, DA>(
+    t: &AugmentedAdt<DD, DA>,
+) -> Result<AugmentedAdt<DD, DA>, AnalysisError>
+where
+    DD: AttributeDomain + Clone,
+    DA: AttributeDomain + Clone,
+{
+    unfold_to_tree(t, DEFAULT_UNFOLD_LIMIT).map(|(tree, _)| tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bottom_up::bottom_up;
+    use adt_core::catalog;
+    use adt_core::semiring::Ext;
+
+    #[test]
+    fn money_theft_unfolds_to_the_paper_tree() {
+        let dag = catalog::money_theft();
+        let (tree, origin) = unfold_to_tree(&dag, 1000).unwrap();
+        assert!(tree.adt().is_tree());
+        // One extra node: the duplicated Phishing.
+        assert_eq!(tree.adt().node_count(), dag.adt().node_count() + 1);
+        // The duplicate carries the original's cost.
+        let dup = tree
+            .adt()
+            .iter()
+            .find(|(_, n)| n.name().starts_with("phishing_dup"))
+            .map(|(id, _)| id)
+            .expect("phishing is duplicated");
+        assert_eq!(tree.attack_value_of(dup), Some(&Ext::Fin(70)));
+        assert_eq!(dag.adt()[origin[dup.index()]].name(), "phishing");
+        // And the bottom-up front matches the paper's tree analysis.
+        let front = bottom_up(&tree).unwrap();
+        let fin = |pts: &[(u64, u64)]| {
+            pts.iter().map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a))).collect::<Vec<_>>()
+        };
+        assert_eq!(front.points(), &fin(&[(0, 90), (30, 150), (50, 165)])[..]);
+    }
+
+    #[test]
+    fn unfolding_a_tree_is_a_copy() {
+        let t = catalog::fig3();
+        let (copy, origin) = unfold_to_tree(&t, 1000).unwrap();
+        assert_eq!(copy.adt().node_count(), t.adt().node_count());
+        for (id, node) in copy.adt().iter() {
+            assert_eq!(node.name(), t.adt()[origin[id.index()]].name());
+        }
+        assert_eq!(bottom_up(&copy).unwrap(), bottom_up(&t).unwrap());
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let dag = catalog::money_theft();
+        let err = unfold_to_tree(&dag, 10).unwrap_err();
+        assert_eq!(err, AnalysisError::UnfoldTooLarge { limit: 10 });
+    }
+
+    #[test]
+    fn unfolded_size_predicts_unfolding() {
+        let dag = catalog::money_theft();
+        let (tree, _) = unfold_to_tree(&dag, 1000).unwrap();
+        assert_eq!(unfolded_size(dag.adt()), tree.adt().node_count() as u128);
+        let t = catalog::fig3();
+        assert_eq!(unfolded_size(t.adt()), t.adt().node_count() as u128);
+    }
+
+    #[test]
+    fn deep_sharing_multiplies_copies() {
+        // A chain of t AND gates each referencing the previous twice would
+        // be exponential; three levels suffice to see the growth.
+        let mut b = adt_core::AdtBuilder::new();
+        let a = b.attack("a").unwrap();
+        let b1 = b.attack("b1").unwrap();
+        let l1 = b.and("l1", [a, b1]).unwrap();
+        let b2 = b.attack("b2").unwrap();
+        let l2a = b.and("l2a", [l1, b2]).unwrap();
+        let b3 = b.attack("b3").unwrap();
+        let l2b = b.and("l2b", [l1, b3]).unwrap();
+        let root = b.or("root", [l2a, l2b]).unwrap();
+        let adt = b.build(root).unwrap();
+        assert_eq!(unfolded_size(&adt), 11);
+        let t = AugmentedAdt::from_fns(
+            adt,
+            adt_core::MinCost,
+            adt_core::MinCost,
+            |_, _| Ext::Fin(0),
+            |_, _| Ext::Fin(1),
+        );
+        let (tree, _) = unfold_to_tree(&t, 1000).unwrap();
+        assert_eq!(tree.adt().node_count(), 11);
+        assert!(tree.adt().is_tree());
+    }
+
+    #[test]
+    fn unfolded_convenience_function() {
+        let tree = unfolded(&catalog::money_theft()).unwrap();
+        assert!(tree.adt().is_tree());
+    }
+}

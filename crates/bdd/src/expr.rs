@@ -1,0 +1,114 @@
+//! A small Boolean-expression IR, the input language of the BDD builder.
+//!
+//! Variables are identified by their *level* in the (externally chosen)
+//! variable order; the expression layer is deliberately ignorant of what a
+//! variable means (the analysis crate maps ADT basic steps onto levels).
+
+use crate::Level;
+
+/// A Boolean expression over variables `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bexpr {
+    /// A constant.
+    Const(bool),
+    /// The variable at the given level.
+    Var(Level),
+    /// Negation.
+    Not(Box<Bexpr>),
+    /// Conjunction of zero or more operands (empty = `true`).
+    And(Vec<Bexpr>),
+    /// Disjunction of zero or more operands (empty = `false`).
+    Or(Vec<Bexpr>),
+}
+
+impl Bexpr {
+    /// The variable at `level`.
+    pub fn var(level: Level) -> Bexpr {
+        Bexpr::Var(level)
+    }
+
+    /// Negates an expression.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(expr: Bexpr) -> Bexpr {
+        Bexpr::Not(Box::new(expr))
+    }
+
+    /// Conjunction of the given expressions.
+    pub fn and<I: IntoIterator<Item = Bexpr>>(operands: I) -> Bexpr {
+        Bexpr::And(operands.into_iter().collect())
+    }
+
+    /// Disjunction of the given expressions.
+    pub fn or<I: IntoIterator<Item = Bexpr>>(operands: I) -> Bexpr {
+        Bexpr::Or(operands.into_iter().collect())
+    }
+
+    /// `inhibited ∧ ¬trigger` — the structure-function clause of an
+    /// inhibition gate.
+    pub fn inhibit(inhibited: Bexpr, trigger: Bexpr) -> Bexpr {
+        Bexpr::and([inhibited, Bexpr::not(trigger)])
+    }
+
+    /// Evaluates the expression under a full assignment (index = level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression mentions a level `>= assignment.len()`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            Bexpr::Const(b) => *b,
+            Bexpr::Var(l) => assignment[*l as usize],
+            Bexpr::Not(e) => !e.eval(assignment),
+            Bexpr::And(es) => es.iter().all(|e| e.eval(assignment)),
+            Bexpr::Or(es) => es.iter().any(|e| e.eval(assignment)),
+        }
+    }
+
+    /// The highest level mentioned plus one (a safe variable count), or 0
+    /// for constant expressions.
+    pub fn var_count(&self) -> usize {
+        match self {
+            Bexpr::Const(_) => 0,
+            Bexpr::Var(l) => *l as usize + 1,
+            Bexpr::Not(e) => e.var_count(),
+            Bexpr::And(es) | Bexpr::Or(es) => {
+                es.iter().map(Bexpr::var_count).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic_connectives() {
+        let e = Bexpr::and([Bexpr::var(0), Bexpr::not(Bexpr::var(1))]);
+        assert!(e.eval(&[true, false]));
+        assert!(!e.eval(&[true, true]));
+        assert!(!e.eval(&[false, false]));
+    }
+
+    #[test]
+    fn empty_connectives_are_units() {
+        assert!(Bexpr::and([]).eval(&[]));
+        assert!(!Bexpr::or([]).eval(&[]));
+    }
+
+    #[test]
+    fn inhibit_matches_structure_function() {
+        let e = Bexpr::inhibit(Bexpr::var(0), Bexpr::var(1));
+        assert!(e.eval(&[true, false]));
+        assert!(!e.eval(&[true, true]));
+        assert!(!e.eval(&[false, false]));
+        assert!(!e.eval(&[false, true]));
+    }
+
+    #[test]
+    fn var_count_is_max_level_plus_one() {
+        let e = Bexpr::or([Bexpr::var(2), Bexpr::and([Bexpr::var(5), Bexpr::Const(true)])]);
+        assert_eq!(e.var_count(), 6);
+        assert_eq!(Bexpr::Const(false).var_count(), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # adt-bdd
+//!
+//! A reduced ordered binary decision diagram (ROBDD) engine, built from
+//! scratch as the substrate for the BDD-based Pareto-front algorithm of
+//! *"Attack-Defense Trees with Offensive and Defensive Attributes"*
+//! (DSN 2025, §V).
+//!
+//! The crate is independent of the ADT layer: its input language is the
+//! small Boolean-expression IR [`Bexpr`] plus direct manager operations,
+//! and variables are anonymous *levels* in a caller-chosen order. The
+//! analysis crate maps ADT basic steps onto levels (defense-first, per
+//! Definition 11 of the paper).
+//!
+//! Features:
+//!
+//! * hash-consed unique table — equal functions are pointer-equal
+//!   ([`Bdd::ite`] and friends never build unreduced nodes);
+//! * ITE-based `and`/`or`/`not`/`xor`/`and_not` with an operation cache;
+//! * restriction (cofactoring), support computation, SAT counting, path
+//!   enumeration and Graphviz export;
+//! * the FORCE static ordering heuristic with *ordering groups*
+//!   ([`force_order`]), used for defense-first order ablations.
+//!
+//! ## Example
+//!
+//! ```
+//! use adt_bdd::{Bdd, Bexpr};
+//!
+//! // f = (d ∧ ¬a) over the order d < a — a defense that an attack disables.
+//! let mut bdd = Bdd::new(2);
+//! let f = bdd.build(&Bexpr::inhibit(Bexpr::var(0), Bexpr::var(1)));
+//! assert!(bdd.eval(f, &[true, false]));
+//! assert!(!bdd.eval(f, &[true, true]));
+//! assert_eq!(bdd.sat_count(f), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod expr;
+mod manager;
+mod reorder;
+
+/// A variable's position in the global order (0 = tested first).
+pub type Level = u32;
+
+pub use expr::Bexpr;
+pub use manager::{Bdd, NodeRef};
+pub use reorder::force_order;

@@ -1,0 +1,727 @@
+//! The ROBDD manager: hash-consed node store with ITE-based operations.
+//!
+//! The manager owns every node; functions are referred to by [`NodeRef`].
+//! Reducedness (Definition 10 of the paper) is maintained structurally:
+//! `mk` never creates a node with equal children and never duplicates an
+//! existing `(level, low, high)` triple, so two equal Boolean functions over
+//! the same variable order always receive the same [`NodeRef`] — equality of
+//! functions is pointer equality.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::expr::Bexpr;
+use crate::Level;
+
+/// Level number used for the two terminal nodes; compares greater than any
+/// real variable level so that `min` over levels finds the branching
+/// variable.
+const TERMINAL_LEVEL: Level = Level::MAX;
+
+/// A reference to a node owned by a [`Bdd`] manager.
+///
+/// The constants [`Bdd::FALSE`] and [`Bdd::TRUE`] refer to the two terminal
+/// nodes of every manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeRef(u32);
+
+impl NodeRef {
+    /// Index of this node in the manager's arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// `true` for the `0`/`1` terminals.
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BddNode {
+    level: Level,
+    low: NodeRef,
+    high: NodeRef,
+}
+
+/// A reduced ordered binary decision diagram manager over a fixed number of
+/// variables.
+///
+/// # Examples
+///
+/// ```
+/// use adt_bdd::{Bdd, Bexpr};
+///
+/// let mut bdd = Bdd::new(2);
+/// let f = bdd.build(&Bexpr::and([Bexpr::var(0), Bexpr::var(1)]));
+/// assert!(bdd.eval(f, &[true, true]));
+/// assert!(!bdd.eval(f, &[true, false]));
+/// assert_eq!(bdd.sat_count(f), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bdd {
+    nodes: Vec<BddNode>,
+    unique: HashMap<(Level, NodeRef, NodeRef), NodeRef>,
+    ite_cache: HashMap<(NodeRef, NodeRef, NodeRef), NodeRef>,
+    var_count: usize,
+}
+
+impl Bdd {
+    /// The `0` terminal.
+    pub const FALSE: NodeRef = NodeRef(0);
+    /// The `1` terminal.
+    pub const TRUE: NodeRef = NodeRef(1);
+
+    /// Creates a manager for Boolean functions over `var_count` variables
+    /// (levels `0..var_count`).
+    pub fn new(var_count: usize) -> Self {
+        let terminal =
+            BddNode { level: TERMINAL_LEVEL, low: Self::FALSE, high: Self::FALSE };
+        Bdd {
+            nodes: vec![terminal, terminal],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            var_count,
+        }
+    }
+
+    /// Number of variables of this manager.
+    pub fn var_count(&self) -> usize {
+        self.var_count
+    }
+
+    /// Total number of nodes ever created (including both terminals).
+    pub fn total_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The constant function for `value`.
+    pub fn constant(&self, value: bool) -> NodeRef {
+        if value {
+            Self::TRUE
+        } else {
+            Self::FALSE
+        }
+    }
+
+    /// The projection function of the variable at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= var_count`.
+    pub fn var(&mut self, level: Level) -> NodeRef {
+        assert!(
+            (level as usize) < self.var_count,
+            "variable level {level} out of range for {} variables",
+            self.var_count
+        );
+        self.mk(level, Self::FALSE, Self::TRUE)
+    }
+
+    /// The branching level of a node ([`Level::MAX`] for terminals).
+    pub fn level(&self, f: NodeRef) -> Level {
+        self.nodes[f.index()].level
+    }
+
+    /// The low (`0`-labeled) child of a nonterminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    pub fn low(&self, f: NodeRef) -> NodeRef {
+        assert!(!f.is_terminal(), "terminals have no children");
+        self.nodes[f.index()].low
+    }
+
+    /// The high (`1`-labeled) child of a nonterminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    pub fn high(&self, f: NodeRef) -> NodeRef {
+        assert!(!f.is_terminal(), "terminals have no children");
+        self.nodes[f.index()].high
+    }
+
+    fn mk(&mut self, level: Level, low: NodeRef, high: NodeRef) -> NodeRef {
+        if low == high {
+            return low;
+        }
+        match self.unique.entry((level, low, high)) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let r = NodeRef(self.nodes.len() as u32);
+                self.nodes.push(BddNode { level, low, high });
+                e.insert(r);
+                r
+            }
+        }
+    }
+
+    /// If-then-else: the function `(f ∧ g) ∨ (¬f ∧ h)`. All other Boolean
+    /// operations are derived from this one.
+    pub fn ite(&mut self, f: NodeRef, g: NodeRef, h: NodeRef) -> NodeRef {
+        // Terminal and absorption cases.
+        if f == Self::TRUE {
+            return g;
+        }
+        if f == Self::FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == Self::TRUE && h == Self::FALSE {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let level = self
+            .level(f)
+            .min(self.level(g))
+            .min(self.level(h));
+        let (f0, f1) = self.cofactors(f, level);
+        let (g0, g1) = self.cofactors(g, level);
+        let (h0, h1) = self.cofactors(h, level);
+        let low = self.ite(f0, g0, h0);
+        let high = self.ite(f1, g1, h1);
+        let r = self.mk(level, low, high);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    fn cofactors(&self, f: NodeRef, level: Level) -> (NodeRef, NodeRef) {
+        let node = &self.nodes[f.index()];
+        if node.level == level {
+            (node.low, node.high)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        self.ite(f, g, Self::FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        self.ite(f, Self::TRUE, g)
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(&mut self, f: NodeRef) -> NodeRef {
+        self.ite(f, Self::FALSE, Self::TRUE)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// `f ∧ ¬g` — the inhibition clause of the structure function.
+    pub fn and_not(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
+        let ng = self.not(g);
+        self.and(f, ng)
+    }
+
+    /// Builds the ROBDD of a Boolean expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression mentions a level `>= var_count`.
+    pub fn build(&mut self, expr: &Bexpr) -> NodeRef {
+        match expr {
+            Bexpr::Const(b) => self.constant(*b),
+            Bexpr::Var(l) => self.var(*l),
+            Bexpr::Not(e) => {
+                let f = self.build(e);
+                self.not(f)
+            }
+            Bexpr::And(es) => {
+                let mut acc = Self::TRUE;
+                for e in es {
+                    let f = self.build(e);
+                    acc = self.and(acc, f);
+                    if acc == Self::FALSE {
+                        break;
+                    }
+                }
+                acc
+            }
+            Bexpr::Or(es) => {
+                let mut acc = Self::FALSE;
+                for e in es {
+                    let f = self.build(e);
+                    acc = self.or(acc, f);
+                    if acc == Self::TRUE {
+                        break;
+                    }
+                }
+                acc
+            }
+        }
+    }
+
+    /// Evaluates `f` under a full assignment (index = level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() < var_count`.
+    pub fn eval(&self, f: NodeRef, assignment: &[bool]) -> bool {
+        assert!(
+            assignment.len() >= self.var_count,
+            "assignment covers {} of {} variables",
+            assignment.len(),
+            self.var_count
+        );
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let node = &self.nodes[cur.index()];
+            cur = if assignment[node.level as usize] { node.high } else { node.low };
+        }
+        cur == Self::TRUE
+    }
+
+    /// Restricts (cofactors) `f` by fixing the variable at `level` to
+    /// `value`.
+    pub fn restrict(&mut self, f: NodeRef, level: Level, value: bool) -> NodeRef {
+        let mut memo = HashMap::new();
+        self.restrict_rec(f, level, value, &mut memo)
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: NodeRef,
+        level: Level,
+        value: bool,
+        memo: &mut HashMap<NodeRef, NodeRef>,
+    ) -> NodeRef {
+        if f.is_terminal() || self.level(f) > level {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let node = self.nodes[f.index()];
+        let r = if node.level == level {
+            if value {
+                node.high
+            } else {
+                node.low
+            }
+        } else {
+            let low = self.restrict_rec(node.low, level, value, memo);
+            let high = self.restrict_rec(node.high, level, value, memo);
+            self.mk(node.level, low, high)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Number of satisfying assignments of `f` over all `var_count`
+    /// variables.
+    pub fn sat_count(&self, f: NodeRef) -> u128 {
+        let mut memo: HashMap<NodeRef, u128> = HashMap::new();
+        let below_root = self.count_from(f, &mut memo);
+        let root_level = if f.is_terminal() { self.var_count as u64 } else { u64::from(self.level(f)) };
+        below_root << root_level
+    }
+
+    /// Satisfying assignments of the sub-function rooted at `f`, counting
+    /// only variables at or below `f`'s level.
+    fn count_from(&self, f: NodeRef, memo: &mut HashMap<NodeRef, u128>) -> u128 {
+        if f == Self::FALSE {
+            return 0;
+        }
+        if f == Self::TRUE {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let node = &self.nodes[f.index()];
+        let gap = |child: NodeRef| -> u64 {
+            let child_level = if child.is_terminal() {
+                self.var_count as u64
+            } else {
+                u64::from(self.level(child))
+            };
+            child_level - u64::from(node.level) - 1
+        };
+        let low = self.count_from(node.low, memo) << gap(node.low);
+        let high = self.count_from(node.high, memo) << gap(node.high);
+        let total = low + high;
+        memo.insert(f, total);
+        total
+    }
+
+    /// Number of nodes reachable from `f`, including terminals — the
+    /// paper's `|W|`, the driver of `BDDBU`'s complexity.
+    pub fn node_count(&self, f: NodeRef) -> usize {
+        let mut seen = vec![f];
+        let mut visited: Vec<bool> = vec![false; self.nodes.len()];
+        visited[f.index()] = true;
+        let mut count = 0;
+        while let Some(cur) = seen.pop() {
+            count += 1;
+            if !cur.is_terminal() {
+                let node = &self.nodes[cur.index()];
+                for child in [node.low, node.high] {
+                    if !visited[child.index()] {
+                        visited[child.index()] = true;
+                        seen.push(child);
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// The set of levels on which `f` depends, in increasing order.
+    pub fn support(&self, f: NodeRef) -> Vec<Level> {
+        let mut seen = vec![f];
+        let mut visited: Vec<bool> = vec![false; self.nodes.len()];
+        visited[f.index()] = true;
+        let mut levels = Vec::new();
+        while let Some(cur) = seen.pop() {
+            if cur.is_terminal() {
+                continue;
+            }
+            let node = &self.nodes[cur.index()];
+            levels.push(node.level);
+            for child in [node.low, node.high] {
+                if !visited[child.index()] {
+                    visited[child.index()] = true;
+                    seen.push(child);
+                }
+            }
+        }
+        levels.sort_unstable();
+        levels.dedup();
+        levels
+    }
+
+    /// All root-to-terminal paths of `f` that end in the `target` terminal.
+    ///
+    /// Each path lists `(level, value)` for the variables *tested* on the
+    /// path; untested (skipped) variables are unconstrained, which is how the
+    /// paper's Example 6 writes `f_T(10, 0*) = 0`.
+    pub fn paths(&self, f: NodeRef, target: bool) -> Vec<Vec<(Level, bool)>> {
+        let target = self.constant(target);
+        let mut out = Vec::new();
+        let mut prefix = Vec::new();
+        self.paths_rec(f, target, &mut prefix, &mut out);
+        out
+    }
+
+    fn paths_rec(
+        &self,
+        f: NodeRef,
+        target: NodeRef,
+        prefix: &mut Vec<(Level, bool)>,
+        out: &mut Vec<Vec<(Level, bool)>>,
+    ) {
+        if f == target {
+            out.push(prefix.clone());
+            return;
+        }
+        if f.is_terminal() {
+            return;
+        }
+        let node = self.nodes[f.index()];
+        prefix.push((node.level, false));
+        self.paths_rec(node.low, target, prefix, out);
+        prefix.pop();
+        prefix.push((node.level, true));
+        self.paths_rec(node.high, target, prefix, out);
+        prefix.pop();
+    }
+
+    /// Renders the sub-diagram rooted at `f` as a Graphviz `digraph`, with
+    /// dashed `0`-edges and solid `1`-edges (the paper's Fig. 6 convention).
+    ///
+    /// `var_name` maps levels to display names.
+    pub fn to_dot(&self, f: NodeRef, var_name: impl Fn(Level) -> String) -> String {
+        let mut out = String::from("digraph bdd {\n");
+        let mut stack = vec![f];
+        let mut visited = vec![false; self.nodes.len()];
+        visited[f.index()] = true;
+        while let Some(cur) = stack.pop() {
+            if cur.is_terminal() {
+                let _ = writeln!(
+                    out,
+                    "    n{} [label=\"{}\", shape=square];",
+                    cur.index(),
+                    if cur == Self::TRUE { 1 } else { 0 },
+                );
+                continue;
+            }
+            let node = &self.nodes[cur.index()];
+            let _ = writeln!(
+                out,
+                "    n{} [label=\"{}\", shape=circle];",
+                cur.index(),
+                var_name(node.level),
+            );
+            let _ = writeln!(out, "    n{} -> n{} [style=dashed];", cur.index(), node.low.index());
+            let _ = writeln!(out, "    n{} -> n{};", cur.index(), node.high.index());
+            for child in [node.low, node.high] {
+                if !visited[child.index()] {
+                    visited[child.index()] = true;
+                    stack.push(child);
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Checks the reducedness and ordering invariants of Definition 10 for
+    /// the sub-diagram rooted at `f`; used by tests.
+    pub fn check_invariants(&self, f: NodeRef) -> Result<(), String> {
+        let mut stack = vec![f];
+        let mut visited = vec![false; self.nodes.len()];
+        visited[f.index()] = true;
+        while let Some(cur) = stack.pop() {
+            if cur.is_terminal() {
+                continue;
+            }
+            let node = &self.nodes[cur.index()];
+            if node.low == node.high {
+                return Err(format!("node {cur:?} has identical children"));
+            }
+            for child in [node.low, node.high] {
+                if !child.is_terminal() && self.level(child) <= node.level {
+                    return Err(format!(
+                        "edge {cur:?} -> {child:?} violates the variable order"
+                    ));
+                }
+                if !visited[child.index()] {
+                    visited[child.index()] = true;
+                    stack.push(child);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively checks that a BDD equals an expression on every
+    /// assignment of `n` variables.
+    fn assert_equals_expr(bdd: &Bdd, f: NodeRef, expr: &Bexpr, n: usize) {
+        for mask in 0u32..(1 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+            assert_eq!(
+                bdd.eval(f, &assignment),
+                expr.eval(&assignment),
+                "mismatch at {assignment:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn terminals_behave_as_constants() {
+        let bdd = Bdd::new(2);
+        assert!(bdd.eval(Bdd::TRUE, &[false, false]));
+        assert!(!bdd.eval(Bdd::FALSE, &[true, true]));
+        assert_eq!(bdd.constant(true), Bdd::TRUE);
+        assert_eq!(bdd.constant(false), Bdd::FALSE);
+        assert!(Bdd::TRUE.is_terminal() && Bdd::FALSE.is_terminal());
+    }
+
+    #[test]
+    fn var_projects_its_level() {
+        let mut bdd = Bdd::new(3);
+        let v1 = bdd.var(1);
+        assert!(bdd.eval(v1, &[false, true, false]));
+        assert!(!bdd.eval(v1, &[true, false, true]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn var_out_of_range_panics() {
+        Bdd::new(2).var(2);
+    }
+
+    #[test]
+    fn hash_consing_gives_canonical_refs() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f1 = bdd.and(a, b);
+        let f2 = bdd.and(b, a);
+        assert_eq!(f1, f2, "AND is commutative, so the ROBDDs must coincide");
+        let n = bdd.not(f1);
+        let nn = bdd.not(n);
+        assert_eq!(nn, f1, "double negation restores the same node");
+    }
+
+    #[test]
+    fn all_binary_ops_match_truth_tables() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        type Case = (NodeRef, fn(bool, bool) -> bool);
+        let cases: Vec<Case> = vec![
+            (bdd.and(a, b), |x, y| x && y),
+            (bdd.or(a, b), |x, y| x || y),
+            (bdd.xor(a, b), |x, y| x ^ y),
+            (bdd.and_not(a, b), |x, y| x && !y),
+        ];
+        for (f, op) in cases {
+            for mask in 0u32..4 {
+                let x = mask & 1 == 1;
+                let y = mask & 2 == 2;
+                assert_eq!(bdd.eval(f, &[x, y]), op(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn build_matches_eval_exhaustively() {
+        let n = 4;
+        let expr = Bexpr::or([
+            Bexpr::and([Bexpr::var(0), Bexpr::not(Bexpr::var(2))]),
+            Bexpr::and([Bexpr::var(1), Bexpr::var(3)]),
+            Bexpr::not(Bexpr::var(0)),
+        ]);
+        let mut bdd = Bdd::new(n);
+        let f = bdd.build(&expr);
+        assert_equals_expr(&bdd, f, &expr, n);
+        bdd.check_invariants(f).unwrap();
+    }
+
+    #[test]
+    fn ite_matches_definition_exhaustively() {
+        let mut bdd = Bdd::new(3);
+        let f = bdd.var(0);
+        let g = bdd.var(1);
+        let h = bdd.var(2);
+        let ite = bdd.ite(f, g, h);
+        for mask in 0u32..8 {
+            let a: Vec<bool> = (0..3).map(|i| mask >> i & 1 == 1).collect();
+            assert_eq!(bdd.eval(ite, &a), if a[0] { a[1] } else { a[2] });
+        }
+    }
+
+    #[test]
+    fn sat_count_of_standard_functions() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let and3 = bdd.and(a, b);
+        let and3 = bdd.and(and3, c);
+        assert_eq!(bdd.sat_count(and3), 1);
+        let or3 = bdd.or(a, b);
+        let or3 = bdd.or(or3, c);
+        assert_eq!(bdd.sat_count(or3), 7);
+        assert_eq!(bdd.sat_count(Bdd::TRUE), 8);
+        assert_eq!(bdd.sat_count(Bdd::FALSE), 0);
+        // A single variable is satisfied by half the assignments.
+        assert_eq!(bdd.sat_count(b), 4);
+    }
+
+    #[test]
+    fn restrict_fixes_one_variable() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.and(a, b);
+        assert_eq!(bdd.restrict(f, 0, true), b);
+        assert_eq!(bdd.restrict(f, 0, false), Bdd::FALSE);
+        assert_eq!(bdd.restrict(f, 1, true), a);
+        // Restricting a variable outside the support is the identity.
+        let g = bdd.restrict(b, 0, true);
+        assert_eq!(g, b);
+    }
+
+    #[test]
+    fn support_lists_only_relevant_levels() {
+        let mut bdd = Bdd::new(4);
+        let a = bdd.var(0);
+        let c = bdd.var(2);
+        let f = bdd.or(a, c);
+        assert_eq!(bdd.support(f), vec![0, 2]);
+        assert!(bdd.support(Bdd::TRUE).is_empty());
+    }
+
+    #[test]
+    fn node_count_counts_reachable_nodes() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.and(a, b);
+        // Nodes: x0, x1, and both terminals.
+        assert_eq!(bdd.node_count(f), 4);
+        assert_eq!(bdd.node_count(Bdd::TRUE), 1);
+    }
+
+    #[test]
+    fn paths_enumerate_ways_to_reach_terminal() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.or(a, b);
+        let to_one = bdd.paths(f, true);
+        // x0=1 (skipping x1), or x0=0 ∧ x1=1.
+        assert_eq!(to_one.len(), 2);
+        assert!(to_one.contains(&vec![(0, true)]));
+        assert!(to_one.contains(&vec![(0, false), (1, true)]));
+        let to_zero = bdd.paths(f, false);
+        assert_eq!(to_zero, vec![vec![(0, false), (1, false)]]);
+    }
+
+    #[test]
+    fn dot_output_mentions_every_node() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.xor(a, b);
+        let dot = bdd.to_dot(f, |l| format!("x{l}"));
+        assert!(dot.starts_with("digraph bdd {"));
+        assert!(dot.contains("x0"));
+        assert!(dot.contains("x1"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("shape=square"));
+    }
+
+    #[test]
+    fn invariant_checker_accepts_built_functions() {
+        let mut bdd = Bdd::new(5);
+        let expr = Bexpr::or([
+            Bexpr::inhibit(Bexpr::var(3), Bexpr::var(0)),
+            Bexpr::inhibit(Bexpr::var(4), Bexpr::var(1)),
+            Bexpr::var(2),
+        ]);
+        let f = bdd.build(&expr);
+        bdd.check_invariants(f).unwrap();
+        assert_equals_expr(&bdd, f, &expr, 5);
+    }
+
+    #[test]
+    fn sat_count_handles_root_level_gap() {
+        let mut bdd = Bdd::new(4);
+        // Function over level 3 only: the three levels above are free.
+        let d = bdd.var(3);
+        assert_eq!(bdd.sat_count(d), 8);
+    }
+
+    #[test]
+    fn build_short_circuits_constants() {
+        let mut bdd = Bdd::new(1);
+        let f = bdd.build(&Bexpr::and([Bexpr::Const(false), Bexpr::var(0)]));
+        assert_eq!(f, Bdd::FALSE);
+        let g = bdd.build(&Bexpr::or([Bexpr::Const(true), Bexpr::var(0)]));
+        assert_eq!(g, Bdd::TRUE);
+    }
+}

@@ -1,0 +1,159 @@
+//! Static variable-ordering heuristics.
+//!
+//! BDD size depends heavily on the variable order, and finding the optimal
+//! order is NP-hard; the paper (§V-B, §VII) leaves ordering heuristics that
+//! respect the *defense-first* constraint as future work. This module
+//! implements the classic FORCE heuristic (Aloul, Markov & Sakallah) with
+//! support for *ordering groups*: variables are first ranked by their group
+//! and only reordered within it, which is exactly what defense-first
+//! orderings need (defenses in group 0, attacks in group 1).
+
+use crate::Level;
+
+/// Computes a variable order with the FORCE heuristic.
+///
+/// * `var_count` — number of variables.
+/// * `edges` — hyperedges of the co-occurrence hypergraph; for an ADT, one
+///   edge per gate listing the basic steps below it (or a cheaper
+///   approximation, e.g. the leaves of each gate's children).
+/// * `groups` — group rank per variable; the output order sorts primarily by
+///   group, so variables never cross group boundaries. Use a constant slice
+///   for unconstrained ordering.
+/// * `iterations` — how many center-of-gravity rounds to run (a handful
+///   suffices; the algorithm converges quickly).
+///
+/// Returns a permutation: `order[i]` is the variable placed at level `i`.
+///
+/// # Panics
+///
+/// Panics if `groups.len() != var_count` or an edge mentions a variable
+/// `>= var_count`.
+pub fn force_order(
+    var_count: usize,
+    edges: &[Vec<Level>],
+    groups: &[u32],
+    iterations: usize,
+) -> Vec<Level> {
+    assert_eq!(groups.len(), var_count, "one group per variable required");
+    for edge in edges {
+        for &v in edge {
+            assert!((v as usize) < var_count, "edge mentions variable {v} out of range");
+        }
+    }
+    // Current position of each variable (as f64 for center-of-gravity math).
+    let mut position: Vec<f64> = (0..var_count).map(|i| i as f64).collect();
+    for _ in 0..iterations {
+        // Center of gravity of each hyperedge.
+        let cogs: Vec<f64> = edges
+            .iter()
+            .map(|edge| {
+                if edge.is_empty() {
+                    0.0
+                } else {
+                    edge.iter().map(|&v| position[v as usize]).sum::<f64>()
+                        / edge.len() as f64
+                }
+            })
+            .collect();
+        // New position of each variable: mean of the COGs of its edges.
+        let mut sum = vec![0.0f64; var_count];
+        let mut count = vec![0usize; var_count];
+        for (edge, &cog) in edges.iter().zip(&cogs) {
+            for &v in edge {
+                sum[v as usize] += cog;
+                count[v as usize] += 1;
+            }
+        }
+        for v in 0..var_count {
+            if count[v] > 0 {
+                position[v] = sum[v] / count[v] as f64;
+            }
+        }
+        // Re-rank: sort by (group, position) and assign integer positions,
+        // which keeps groups contiguous and the iteration stable.
+        let mut by_rank: Vec<usize> = (0..var_count).collect();
+        by_rank.sort_by(|&a, &b| {
+            groups[a]
+                .cmp(&groups[b])
+                .then_with(|| position[a].partial_cmp(&position[b]).expect("finite positions"))
+                .then_with(|| a.cmp(&b))
+        });
+        for (rank, &v) in by_rank.iter().enumerate() {
+            position[v] = rank as f64;
+        }
+    }
+    let mut order: Vec<usize> = (0..var_count).collect();
+    order.sort_by(|&a, &b| {
+        groups[a]
+            .cmp(&groups[b])
+            .then_with(|| position[a].partial_cmp(&position[b]).expect("finite positions"))
+            .then_with(|| a.cmp(&b))
+    });
+    order.into_iter().map(|v| v as Level).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_without_edges() {
+        let order = force_order(4, &[], &[0, 0, 0, 0], 5);
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn output_is_a_permutation() {
+        let edges = vec![vec![0, 3], vec![1, 2], vec![0, 2]];
+        let order = force_order(4, &edges, &[0; 4], 10);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn related_variables_move_together() {
+        // Variables 0 and 5 co-occur heavily; FORCE should place them
+        // adjacently even though they start far apart.
+        let edges = vec![vec![0, 5], vec![0, 5], vec![0, 5], vec![1, 2], vec![3, 4]];
+        let order = force_order(6, &edges, &[0; 6], 20);
+        let pos = |v: Level| order.iter().position(|&x| x == v).unwrap() as i64;
+        assert!((pos(0) - pos(5)).abs() == 1, "0 and 5 should be adjacent in {order:?}");
+    }
+
+    #[test]
+    fn groups_are_never_crossed() {
+        // Strong attraction between 0 (group 0) and 3 (group 1) must not pull
+        // variable 3 into group 0's region.
+        let edges = vec![vec![0, 3], vec![0, 3], vec![0, 3]];
+        let groups = [0, 0, 1, 1];
+        let order = force_order(4, &edges, &groups, 20);
+        let rank_of = |v: Level| order.iter().position(|&x| x == v).unwrap();
+        for v0 in [0u32, 1] {
+            for v1 in [2u32, 3] {
+                assert!(
+                    rank_of(v0) < rank_of(v1),
+                    "group 0 variable {v0} must precede group 1 variable {v1} in {order:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_iterations_keeps_group_sorted_identity() {
+        let order = force_order(4, &[vec![0, 1]], &[1, 0, 1, 0], 0);
+        assert_eq!(order, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one group per variable")]
+    fn mismatched_groups_panics() {
+        force_order(3, &[], &[0, 0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_out_of_range_panics() {
+        force_order(2, &[vec![5]], &[0, 0], 1);
+    }
+}

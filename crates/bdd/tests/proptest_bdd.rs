@@ -1,0 +1,120 @@
+//! Property-based equivalence of the ROBDD engine against direct expression
+//! evaluation, plus structural invariants, on randomly generated Boolean
+//! expressions.
+
+use proptest::prelude::*;
+
+use adt_bdd::{Bdd, Bexpr};
+
+const VARS: usize = 6;
+
+/// Random Boolean expressions over `VARS` variables, up to depth 4.
+fn bexpr() -> impl Strategy<Value = Bexpr> {
+    let leaf = prop_oneof![
+        (0u32..VARS as u32).prop_map(Bexpr::Var),
+        any::<bool>().prop_map(Bexpr::Const),
+    ];
+    leaf.prop_recursive(4, 64, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Bexpr::not),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Bexpr::And),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Bexpr::Or),
+            (inner.clone(), inner).prop_map(|(a, b)| Bexpr::inhibit(a, b)),
+        ]
+    })
+}
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0u32..1 << VARS).map(|mask| (0..VARS).map(|i| mask >> i & 1 == 1).collect())
+}
+
+proptest! {
+    /// The built BDD computes exactly the expression's truth table.
+    #[test]
+    fn bdd_equals_expression(expr in bexpr()) {
+        let mut bdd = Bdd::new(VARS);
+        let f = bdd.build(&expr);
+        for assignment in assignments() {
+            prop_assert_eq!(bdd.eval(f, &assignment), expr.eval(&assignment));
+        }
+    }
+
+    /// Reducedness and ordering invariants hold for every built function.
+    #[test]
+    fn built_bdds_are_reduced_and_ordered(expr in bexpr()) {
+        let mut bdd = Bdd::new(VARS);
+        let f = bdd.build(&expr);
+        prop_assert!(bdd.check_invariants(f).is_ok());
+    }
+
+    /// Canonicity: building the same function twice gives the same node,
+    /// and double negation is the identity.
+    #[test]
+    fn canonicity_and_negation(expr in bexpr()) {
+        let mut bdd = Bdd::new(VARS);
+        let f1 = bdd.build(&expr);
+        let f2 = bdd.build(&expr);
+        prop_assert_eq!(f1, f2);
+        let n = bdd.not(f1);
+        let nn = bdd.not(n);
+        prop_assert_eq!(nn, f1);
+        // f ∧ ¬f = 0 and f ∨ ¬f = 1.
+        prop_assert_eq!(bdd.and(f1, n), Bdd::FALSE);
+        prop_assert_eq!(bdd.or(f1, n), Bdd::TRUE);
+    }
+
+    /// `sat_count` agrees with brute-force counting.
+    #[test]
+    fn sat_count_matches_truth_table(expr in bexpr()) {
+        let mut bdd = Bdd::new(VARS);
+        let f = bdd.build(&expr);
+        let expected = assignments().filter(|a| expr.eval(a)).count() as u128;
+        prop_assert_eq!(bdd.sat_count(f), expected);
+    }
+
+    /// Shannon expansion: `f = (x ∧ f|x=1) ∨ (¬x ∧ f|x=0)` for every
+    /// variable.
+    #[test]
+    fn restrict_satisfies_shannon_expansion(expr in bexpr(), level in 0u32..VARS as u32) {
+        let mut bdd = Bdd::new(VARS);
+        let f = bdd.build(&expr);
+        let hi = bdd.restrict(f, level, true);
+        let lo = bdd.restrict(f, level, false);
+        let x = bdd.var(level);
+        let left = bdd.and(x, hi);
+        let nx = bdd.not(x);
+        let right = bdd.and(nx, lo);
+        let rebuilt = bdd.or(left, right);
+        prop_assert_eq!(rebuilt, f);
+    }
+
+    /// The support never mentions variables the truth table ignores.
+    #[test]
+    fn support_is_semantically_relevant(expr in bexpr()) {
+        let mut bdd = Bdd::new(VARS);
+        let f = bdd.build(&expr);
+        for level in bdd.support(f) {
+            // Flipping a support variable changes the output somewhere.
+            let hi = bdd.restrict(f, level, true);
+            let lo = bdd.restrict(f, level, false);
+            prop_assert_ne!(hi, lo, "level {} is in the support but irrelevant", level);
+        }
+    }
+
+    /// Every path to `1` indeed evaluates to `1` under any completion.
+    #[test]
+    fn paths_are_faithful(expr in bexpr()) {
+        let mut bdd = Bdd::new(VARS);
+        let f = bdd.build(&expr);
+        for path in bdd.paths(f, true) {
+            // Fix path variables; set the rest to false, then to true.
+            for default in [false, true] {
+                let mut assignment = vec![default; VARS];
+                for (level, value) in &path {
+                    assignment[*level as usize] = *value;
+                }
+                prop_assert!(bdd.eval(f, &assignment));
+            }
+        }
+    }
+}

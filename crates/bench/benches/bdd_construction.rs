@@ -1,0 +1,40 @@
+//! Substrate micro-benchmark: compiling structure functions into ROBDDs.
+//!
+//! The paper attributes `Naive`'s occasional wins on tiny inputs to BDD
+//! construction overhead; this bench isolates that cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use adt_analysis::{compile, DefenseFirstOrder};
+use adt_core::catalog;
+use adt_gen::{random_adt, RandomAdtConfig};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_construction");
+    group.bench_function("money_theft", |b| {
+        let t = catalog::money_theft();
+        let order = DefenseFirstOrder::declaration(t.adt());
+        b.iter(|| compile(black_box(t.adt()), &order))
+    });
+    for target in [40usize, 100, 200] {
+        let t = random_adt(&RandomAdtConfig::tree(target), 3);
+        let order = DefenseFirstOrder::declaration(t.adt());
+        let nodes = t.adt().node_count();
+        group.bench_with_input(BenchmarkId::new("random_tree", nodes), &t, |b, t| {
+            b.iter(|| compile(black_box(t.adt()), &order))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full workspace bench run in
+    // minutes; pass --measurement-time to override when precision matters.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_construction
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig. 7 / §VI-A: the money-theft case study under all three algorithms.
+//!
+//! Regenerates the timing side of the case study: `BU` on the unfolded tree,
+//! `BDDBU` and `Naive` on the original DAG (the paper's Fig. 7 fronts are
+//! asserted in the test suites; here we measure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use adt_analysis::{bdd_bu, bottom_up, modular_bdd_bu, naive, naive_bitparallel};
+use adt_core::catalog;
+
+fn bench_case_study(c: &mut Criterion) {
+    let tree = catalog::money_theft_tree();
+    let dag = catalog::money_theft();
+
+    let mut group = c.benchmark_group("case_study");
+    group.bench_function("bu_tree", |b| {
+        b.iter(|| bottom_up(black_box(&tree)).unwrap())
+    });
+    group.bench_function("bddbu_dag", |b| {
+        b.iter(|| bdd_bu(black_box(&dag)).unwrap())
+    });
+    group.bench_function("naive_dag", |b| {
+        b.iter(|| naive(black_box(&dag)).unwrap())
+    });
+    group.bench_function("naive64_dag", |b| {
+        b.iter(|| naive_bitparallel(black_box(&dag)).unwrap())
+    });
+    group.bench_function("modular_dag", |b| {
+        b.iter(|| modular_bdd_bu(black_box(&dag)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full workspace bench run in
+    // minutes; pass --measurement-time to override when precision matters.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_case_study
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig. 10: scaling of `BU` and `BDDBU` with tree size, up to the paper's
+//! 325-node ceiling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use adt_analysis::{bdd_bu, bottom_up};
+use adt_gen::{random_adt, RandomAdtConfig};
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    for target in [50usize, 100, 200, 325] {
+        let tree = random_adt(&RandomAdtConfig::tree(target), 7);
+        let nodes = tree.adt().node_count();
+        group.bench_with_input(BenchmarkId::new("bu", nodes), &tree, |b, t| {
+            b.iter(|| bottom_up(black_box(t)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("bddbu", nodes), &tree, |b, t| {
+            b.iter(|| bdd_bu(black_box(t)).unwrap())
+        });
+    }
+    for target in [50usize, 100, 150] {
+        let dag = random_adt(&RandomAdtConfig::dag(target), 7);
+        let nodes = dag.adt().node_count();
+        group.bench_with_input(BenchmarkId::new("bddbu_dag", nodes), &dag, |b, t| {
+            b.iter(|| bdd_bu(black_box(t)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full workspace bench run in
+    // minutes; pass --measurement-time to override when precision matters.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_fig10
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fig. 4: the family with `|PF(T)| = 2^n`, where every algorithm is
+//! inherently exponential — the shape to verify is the 2^n growth itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use adt_analysis::{bdd_bu, bottom_up, naive};
+use adt_core::catalog;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for n in [2u32, 4, 6, 8, 10] {
+        let t = catalog::fig4(n);
+        group.bench_with_input(BenchmarkId::new("bu", n), &t, |b, t| {
+            b.iter(|| bottom_up(black_box(t)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("bddbu", n), &t, |b, t| {
+            b.iter(|| bdd_bu(black_box(t)).unwrap())
+        });
+        if n <= 8 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &t, |b, t| {
+                b.iter(|| naive(black_box(t)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full workspace bench run in
+    // minutes; pass --measurement-time to override when precision matters.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig. 9: pairwise comparison of `Naive`, `BU` and `BDDBU` on random ADTs
+//! with `|N| < 45` (the paper's primary suite), sampled at three sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use adt_analysis::{bdd_bu, bottom_up, naive};
+use adt_gen::{random_adt, RandomAdtConfig};
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(20);
+    for target in [15usize, 30, 44] {
+        let tree = random_adt(&RandomAdtConfig::tree(target), 42);
+        let dag = random_adt(&RandomAdtConfig::dag(target), 42);
+        let nodes = tree.adt().node_count();
+        group.bench_with_input(BenchmarkId::new("bu_tree", nodes), &tree, |b, t| {
+            b.iter(|| bottom_up(black_box(t)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("bddbu_tree", nodes), &tree, |b, t| {
+            b.iter(|| bdd_bu(black_box(t)).unwrap())
+        });
+        let dag_nodes = dag.adt().node_count();
+        group.bench_with_input(BenchmarkId::new("bddbu_dag", dag_nodes), &dag, |b, t| {
+            b.iter(|| bdd_bu(black_box(t)).unwrap())
+        });
+        // Naive is exponential: only run it while the basic-step count is
+        // small enough to finish within a bench iteration budget.
+        if tree.adt().attack_count() + tree.adt().defense_count() <= 22 {
+            group.bench_with_input(BenchmarkId::new("naive_tree", nodes), &tree, |b, t| {
+                b.iter(|| naive(black_box(t)).unwrap())
+            });
+        }
+        if dag.adt().attack_count() + dag.adt().defense_count() <= 22 {
+            group.bench_with_input(BenchmarkId::new("naive_dag", dag_nodes), &dag, |b, t| {
+                b.iter(|| naive(black_box(t)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full workspace bench run in
+    // minutes; pass --measurement-time to override when precision matters.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_fig9
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation: modular decomposition against plain `BDDBU` on DAGs with
+//! localized sharing — the paper's §VII modular-decomposition question.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use adt_analysis::{bdd_bu, modular_bdd_bu};
+use adt_gen::{random_adt, RandomAdtConfig};
+
+fn bench_modular(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modular");
+    group.sample_size(20);
+    for target in [40usize, 80, 120] {
+        let t = random_adt(&RandomAdtConfig::dag(target), 13);
+        let nodes = t.adt().node_count();
+        group.bench_with_input(BenchmarkId::new("bddbu", nodes), &t, |b, t| {
+            b.iter(|| bdd_bu(black_box(t)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("modular", nodes), &t, |b, t| {
+            b.iter(|| modular_bdd_bu(black_box(t)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full workspace bench run in
+    // minutes; pass --measurement-time to override when precision matters.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_modular
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Ablation: `BDDBU` under the three defense-first variable orders
+//! (declaration, DFS, FORCE) — the paper's §VII ordering question.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use adt_analysis::{bdd_bu_with_order, DefenseFirstOrder};
+use adt_gen::{random_adt, RandomAdtConfig};
+
+fn bench_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordering");
+    group.sample_size(20);
+    for target in [40usize, 80] {
+        let t = random_adt(&RandomAdtConfig::dag(target), 11);
+        let nodes = t.adt().node_count();
+        let declaration = DefenseFirstOrder::declaration(t.adt());
+        let dfs = DefenseFirstOrder::dfs(t.adt());
+        let force = DefenseFirstOrder::force(t.adt(), 20);
+        group.bench_with_input(BenchmarkId::new("declaration", nodes), &t, |b, t| {
+            b.iter(|| bdd_bu_with_order(black_box(t), &declaration).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dfs", nodes), &t, |b, t| {
+            b.iter(|| bdd_bu_with_order(black_box(t), &dfs).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("force", nodes), &t, |b, t| {
+            b.iter(|| bdd_bu_with_order(black_box(t), &force).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full workspace bench run in
+    // minutes; pass --measurement-time to override when precision matters.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_orders
+}
+criterion_main!(benches);

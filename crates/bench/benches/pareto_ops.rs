@@ -1,0 +1,65 @@
+//! Substrate micro-benchmark: Pareto-front reduction, merge and product —
+//! the inner loop of both `BU` and `BDDBU` (the paper's `p²` factor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use adt_core::semiring::{Ext, MinCost};
+use adt_core::{ParetoFront, SemiringOp};
+
+type Front = ParetoFront<Ext<u64>, Ext<u64>>;
+
+/// A staircase of `n` points plus `n` dominated points, shuffled
+/// deterministically.
+fn noisy_points(n: u64) -> Vec<(Ext<u64>, Ext<u64>)> {
+    let mut points = Vec::with_capacity(2 * n as usize);
+    for i in 0..n {
+        points.push((Ext::Fin(i * 3), Ext::Fin(i * 5)));
+        points.push((Ext::Fin(i * 3 + 1), Ext::Fin(i * 5))); // dominated
+    }
+    // Deterministic interleave to avoid sorted input.
+    points.rotate_left(n as usize / 2);
+    points
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto");
+    for n in [16u64, 128, 1024] {
+        let points = noisy_points(n);
+        group.bench_with_input(BenchmarkId::new("from_points", 2 * n), &points, |b, p| {
+            b.iter(|| Front::from_points(black_box(p.clone()), &MinCost, &MinCost))
+        });
+        let front = Front::from_points(points.clone(), &MinCost, &MinCost);
+        let other = Front::from_points(
+            points.iter().map(|(d, a)| (d.plus(Ext::Fin(1)), *a)).collect(),
+            &MinCost,
+            &MinCost,
+        );
+        group.bench_with_input(
+            BenchmarkId::new("merge", front.len() + other.len()),
+            &(front.clone(), other.clone()),
+            |b, (x, y)| b.iter(|| x.merge(black_box(y), &MinCost, &MinCost)),
+        );
+        if n <= 128 {
+            group.bench_with_input(
+                BenchmarkId::new("product", front.len() * other.len()),
+                &(front, other),
+                |b, (x, y)| {
+                    b.iter(|| x.product(black_box(y), &MinCost, &MinCost, SemiringOp::Add))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full workspace bench run in
+    // minutes; pass --measurement-time to override when precision matters.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_pareto
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Table I: the same analysis under each attribute domain — measures that
+//! the generic semiring machinery costs the same regardless of the domain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use adt_analysis::bottom_up;
+use adt_core::semiring::{
+    AttributeDomain, Ext, MinCost, MinSkill, MinTimePar, MinTimeSeq, Prob, Probability,
+};
+use adt_core::{catalog, AugmentedAdt};
+
+fn remap<DA: AttributeDomain + Clone>(
+    base: &AugmentedAdt<MinCost, MinCost>,
+    domain: DA,
+    map: impl Fn(u64) -> DA::Value,
+) -> AugmentedAdt<MinCost, DA> {
+    AugmentedAdt::from_fns(
+        base.adt().clone(),
+        MinCost,
+        domain,
+        |t, id| *base.defense_value(t.basic_position(id).unwrap()),
+        |t, id| map(*base.attack_value(t.basic_position(id).unwrap()).finite().unwrap()),
+    )
+}
+
+fn bench_domains(c: &mut Criterion) {
+    let base = catalog::money_theft_tree();
+    let mut group = c.benchmark_group("table1_domains");
+
+    let t = remap(&base, MinCost, Ext::Fin);
+    group.bench_function("min_cost", |b| b.iter(|| bottom_up(black_box(&t)).unwrap()));
+    let t = remap(&base, MinTimeSeq, Ext::Fin);
+    group.bench_function("min_time_seq", |b| b.iter(|| bottom_up(black_box(&t)).unwrap()));
+    let t = remap(&base, MinTimePar, Ext::Fin);
+    group.bench_function("min_time_par", |b| b.iter(|| bottom_up(black_box(&t)).unwrap()));
+    let t = remap(&base, MinSkill, Ext::Fin);
+    group.bench_function("min_skill", |b| b.iter(|| bottom_up(black_box(&t)).unwrap()));
+    let t = remap(&base, Probability, |cost| Prob::new(cost as f64 / 200.0).unwrap());
+    group.bench_function("probability", |b| b.iter(|| bottom_up(black_box(&t)).unwrap()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep the full workspace bench run in
+    // minutes; pass --measurement-time to override when precision matters.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_domains
+}
+criterion_main!(benches);

@@ -1,0 +1,519 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! experiments <command> [flags]
+//!
+//! commands:
+//!   table1               Table I  — the five semiring domains end-to-end
+//!   table2               Table II — bottom-up operator table
+//!   fig3                 Fig. 3   — running example front
+//!   fig4  [--max-n N]    Fig. 4   — |PF| = 2^n worst-case family
+//!   fig5                 Fig. 5   — worked bottom-up example
+//!   fig6                 Fig. 6   — ROBDD of the example ADT
+//!   case-study           Fig. 7/8 — money-theft case study (§VI-A)
+//!   fig9  [--count N] [--max-nodes M] [--seed S] [--work-cap E] [--csv F]
+//!                        Fig. 9   — pairwise runtime comparison
+//!   fig10 [--per-bucket K] [--max-nodes M] [--seed S] [--work-cap E] [--csv F]
+//!                        Fig. 10  — median runtime per 20-node bucket
+//!   ablation-ordering [--count N] [--max-nodes M] [--seed S]
+//!                        BDD size/time under three defense-first orders
+//!   ablation-modular  [--count N] [--max-nodes M] [--seed S]
+//!                        modular decomposition vs plain BDDBU
+//!   all                  everything above with fast defaults
+//! ```
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use adt_analysis::{
+    bdd_bu, bdd_bu_report, bdd_bu_with_order, bottom_up, modular_bdd_bu, naive,
+    table2_attacker_op, DefenseFirstOrder,
+};
+use adt_bench::{bucket_of, median, naive_work, secs, secs_opt, time_avg, time_once, Csv};
+use adt_core::semiring::{
+    AttributeDomain, Ext, MinCost, MinSkill, MinTimePar, MinTimeSeq, Prob, Probability,
+};
+use adt_core::{catalog, Agent, AugmentedAdt, Gate};
+use adt_gen::{bucket_suite, paper_suite, Instance, Shape};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    let flags = parse_flags(&args[1.min(args.len())..]);
+    match command {
+        "table1" => table1(),
+        "table2" => table2(),
+        "fig3" => fig3(),
+        "fig4" => fig4(flags.num("max-n", 10) as u32),
+        "fig5" => fig5(),
+        "fig6" => fig6(),
+        "case-study" | "fig7" | "fig8" => case_study(),
+        "fig9" => fig9(&flags),
+        "fig10" => fig10(&flags),
+        "ablation-ordering" => ablation_ordering(&flags),
+        "ablation-modular" => ablation_modular(&flags),
+        "all" => {
+            table1();
+            table2();
+            fig3();
+            fig5();
+            fig6();
+            fig4(8);
+            case_study();
+            fig9(&flags);
+            fig10(&flags);
+            ablation_ordering(&flags);
+            ablation_modular(&flags);
+        }
+        _ => {
+            eprintln!("unknown command `{command}`; see the module docs for usage");
+            std::process::exit(2);
+        }
+    }
+}
+
+struct Flags(HashMap<String, String>);
+
+impl Flags {
+    fn num(&self, key: &str, default: u64) -> u64 {
+        self.0
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number")))
+            .unwrap_or(default)
+    }
+
+    fn path(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(String::as_str)
+    }
+}
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(key) = arg.strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            map.insert(key.to_owned(), value);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Flags(map)
+}
+
+fn heading(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+// ---------------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------------
+
+/// Runs the money-theft tree under every Table-I attribute domain for the
+/// attacker (defender stays min-cost). Integer domains reuse the paper's
+/// costs; the probability domain maps cost `c` to success probability
+/// `c / 200` (synthetic, the paper assigns no probabilities).
+fn table1() {
+    heading("Table I — semiring attribute domains (attacker side swept)");
+    let base = catalog::money_theft_tree();
+
+    fn with_attacker_domain<DA: AttributeDomain + Clone>(
+        base: &AugmentedAdt<MinCost, MinCost>,
+        domain: DA,
+        map: impl Fn(u64) -> DA::Value,
+    ) -> AugmentedAdt<MinCost, DA> {
+        AugmentedAdt::from_fns(
+            base.adt().clone(),
+            MinCost,
+            domain,
+            |t, id| {
+                let pos = t.basic_position(id).expect("leaf");
+                *base.defense_value(pos)
+            },
+            |t, id| {
+                let pos = t.basic_position(id).expect("leaf");
+                map(*base.attack_value(pos).finite().expect("finite cost"))
+            },
+        )
+    }
+
+    println!("{:<22} {:<10} front", "metric", "⊗ / ⪯");
+    let t = with_attacker_domain(&base, MinCost, Ext::Fin);
+    println!("{:<22} {:<10} {}", "min cost", "+ / ≤", bottom_up(&t).unwrap());
+    let t = with_attacker_domain(&base, MinTimeSeq, Ext::Fin);
+    println!("{:<22} {:<10} {}", "min time (sequential)", "+ / ≤", bottom_up(&t).unwrap());
+    let t = with_attacker_domain(&base, MinTimePar, Ext::Fin);
+    println!("{:<22} {:<10} {}", "min time (parallel)", "max / ≤", bottom_up(&t).unwrap());
+    let t = with_attacker_domain(&base, MinSkill, Ext::Fin);
+    println!("{:<22} {:<10} {}", "min skill", "max / ≤", bottom_up(&t).unwrap());
+    let t = with_attacker_domain(&base, Probability, |c| {
+        Prob::new(c as f64 / 200.0).expect("costs are below 200")
+    });
+    println!("{:<22} {:<10} {}", "probability", "· / ≥", bottom_up(&t).unwrap());
+    println!("(probability uses the synthetic mapping p = cost/200)");
+}
+
+// ---------------------------------------------------------------------------
+// Table II
+// ---------------------------------------------------------------------------
+
+fn table2() {
+    heading("Table II — bottom-up operators (defender op is always ⊗_D)");
+    println!("{:<6} {:<6} {:<8} {:<8}", "γ(v)", "τ(v)", "def op", "att op");
+    for gate in [Gate::And, Gate::Or, Gate::Inh] {
+        for agent in [Agent::Attacker, Agent::Defender] {
+            println!(
+                "{:<6} {:<6} {:<8} {:<8}",
+                gate.to_string(),
+                agent.to_string(),
+                "⊗_D",
+                match table2_attacker_op(gate, agent) {
+                    adt_core::SemiringOp::Add => "⊕_A",
+                    adt_core::SemiringOp::Mul => "⊗_A",
+                }
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worked examples
+// ---------------------------------------------------------------------------
+
+fn fig3() {
+    heading("Fig. 3 — running example (Examples 1-3)");
+    let t = catalog::fig3();
+    let front = bottom_up(&t).unwrap();
+    println!("bottom-up front : {front}");
+    println!("naive front     : {}", naive(&t).unwrap());
+    println!("bddbu front     : {}", bdd_bu(&t).unwrap());
+    println!("expected (paper): feasible events S = {{(00,010),(01,010),(10,010),(11,110)}}");
+}
+
+fn fig4(max_n: u32) {
+    heading("Fig. 4 — worst case |PF(T)| = 2^n");
+    println!(
+        "{:>3} {:>8} {:>10} {:>12} {:>12} {:>12}",
+        "n", "|N|", "|PF|", "t_bu (s)", "t_bddbu (s)", "t_naive (s)"
+    );
+    for n in 1..=max_n {
+        let t = catalog::fig4(n);
+        let front = bottom_up(&t).unwrap();
+        assert_eq!(front.len(), 1usize << n, "|PF| must equal 2^n");
+        let t_bu = time_avg(Duration::from_millis(5), || bottom_up(&t).unwrap());
+        let t_bdd = time_avg(Duration::from_millis(5), || bdd_bu(&t).unwrap());
+        let t_naive = if n <= 10 {
+            Some(time_once(|| naive(&t).unwrap()).1)
+        } else {
+            None
+        };
+        println!(
+            "{:>3} {:>8} {:>10} {:>12} {:>12} {:>12}",
+            n,
+            t.adt().node_count(),
+            front.len(),
+            secs(t_bu),
+            secs(t_bdd),
+            secs_opt(t_naive),
+        );
+    }
+}
+
+fn fig5() {
+    heading("Fig. 5 — worked bottom-up example (Example 5)");
+    let t = catalog::fig5();
+    println!("bottom-up front : {}", bottom_up(&t).unwrap());
+    println!("expected (paper): {{(0, 5), (4, 10), (12, ∞)}}");
+}
+
+fn fig6() {
+    heading("Fig. 6 — ROBDD of the example ADT (order d2 < d1 < a1 < a2)");
+    let adt = catalog::fig6();
+    let order = DefenseFirstOrder::custom(
+        &adt,
+        ["d2", "d1", "a1", "a2"]
+            .iter()
+            .map(|n| adt.node_id(n).expect("catalog names"))
+            .collect(),
+    )
+    .expect("defense-first");
+    let (bdd, root) = adt_analysis::compile(&adt, &order);
+    println!("BDD nodes: {}", bdd.node_count(root));
+    println!("paths to 1 (level, value):");
+    for path in bdd.paths(root, true) {
+        let rendered: Vec<String> = path
+            .iter()
+            .map(|&(level, value)| {
+                format!("{}={}", adt[order.event(level)].name(), u8::from(value))
+            })
+            .collect();
+        println!("  {}", rendered.join(" → "));
+    }
+    println!("dot:\n{}", bdd.to_dot(root, |l| adt[order.event(l)].name().to_owned()));
+}
+
+// ---------------------------------------------------------------------------
+// §VI-A case study (Figs. 7 and 8)
+// ---------------------------------------------------------------------------
+
+fn case_study() {
+    heading("§VI-A case study — money theft (Figs. 7 and 8)");
+    let tree = catalog::money_theft_tree();
+    let dag = catalog::money_theft();
+
+    let bu_front = bottom_up(&tree).unwrap();
+    let (bdd_front, t_bdd) = time_once(|| bdd_bu(&dag).unwrap());
+    let t_bu = time_avg(Duration::from_millis(5), || bottom_up(&tree).unwrap());
+    let naive_front = naive(&dag).unwrap();
+
+    println!("tree analysis (BU):    {bu_front}");
+    println!("  paper:               {{(0, 90), (30, 150), (50, 165)}}");
+    println!("  attack-only baseline [Kordy & Wideł 2018]: 165");
+    println!("dag analysis (BDDBU):  {bdd_front}");
+    println!("  paper:               {{(0, 80), (20, 90), (50, 140)}}");
+    println!("  set-semantics baseline [Kordy & Wideł 2018]: 140");
+    println!("dag analysis (Naive):  {naive_front}");
+    println!("t_bu = {} s, t_bddbu = {} s", secs(t_bu), secs(t_bdd));
+
+    println!("\nFig. 8 series (defense budget → attack cost):");
+    for (label, front) in [("BU", &bu_front), ("BDDBU", &bdd_front)] {
+        let series: Vec<String> =
+            front.iter().map(|(d, a)| format!("({d}, {a})")).collect();
+        println!("  {label:<6} {}", series.join(" "));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9 — pairwise runtime comparison
+// ---------------------------------------------------------------------------
+
+struct Timings {
+    t_naive: Option<Duration>,
+    t_bu: Option<Duration>,
+    t_bddbu: Duration,
+}
+
+fn measure(instance: &Instance, work_cap: u128) -> Timings {
+    let t = &instance.adt;
+    let t_naive = match naive_work(t) {
+        Some(work) if work <= work_cap => Some(time_once(|| naive(t).unwrap()).1),
+        _ => None,
+    };
+    let t_bu = if t.adt().is_tree() {
+        Some(time_avg(Duration::from_millis(2), || bottom_up(t).unwrap()))
+    } else {
+        None
+    };
+    let t_bddbu = time_avg(Duration::from_millis(2), || bdd_bu(t).unwrap());
+    Timings { t_naive, t_bu, t_bddbu }
+}
+
+fn fig9(flags: &Flags) {
+    let count = flags.num("count", 120) as usize;
+    let max_nodes = flags.num("max-nodes", 45) as usize;
+    let seed = flags.num("seed", 42);
+    let work_cap = 1u128 << flags.num("work-cap", 26);
+    heading("Fig. 9 — pairwise runtimes on random ADTs");
+    println!(
+        "{count} instances, |N| < {max_nodes}, master seed {seed}, naive capped at 2^{} evals",
+        flags.num("work-cap", 26)
+    );
+
+    let mut csv = Csv::new(&[
+        "instance", "seed", "nodes", "shape", "t_naive_s", "t_bu_s", "t_bddbu_s",
+    ]);
+    // Half trees (so BU participates), half DAGs — the generator's natural
+    // mix in the paper.
+    let mut instances = paper_suite(count / 2, max_nodes, Shape::Tree, seed);
+    instances.extend(paper_suite(count - count / 2, max_nodes, Shape::Dag, seed + 1));
+    for (i, instance) in instances.iter().enumerate() {
+        let timings = measure(instance, work_cap);
+        let shape = if instance.adt.adt().is_tree() { "tree" } else { "dag" };
+        csv.row([
+            i.to_string(),
+            instance.seed.to_string(),
+            instance.nodes().to_string(),
+            shape.to_owned(),
+            secs_opt(timings.t_naive),
+            secs_opt(timings.t_bu),
+            secs(timings.t_bddbu),
+        ]);
+    }
+    emit(&csv, flags.path("csv"));
+    summarize_wins(&csv);
+}
+
+fn summarize_wins(csv: &Csv) {
+    // Parse our own CSV back for a quick textual summary of who wins.
+    let text = csv.finish();
+    let mut naive_vs_bdd = (0usize, 0usize);
+    let mut bu_vs_bdd = (0usize, 0usize);
+    for line in text.lines().skip(1) {
+        let fields: Vec<&str> = line.split(',').collect();
+        let parse = |s: &str| s.parse::<f64>().ok();
+        if let (Some(n), Some(b)) = (parse(fields[4]), parse(fields[6])) {
+            if n < b {
+                naive_vs_bdd.0 += 1;
+            } else {
+                naive_vs_bdd.1 += 1;
+            }
+        }
+        if let (Some(u), Some(b)) = (parse(fields[5]), parse(fields[6])) {
+            if u < b {
+                bu_vs_bdd.0 += 1;
+            } else {
+                bu_vs_bdd.1 += 1;
+            }
+        }
+    }
+    println!(
+        "naive faster than bddbu on {} instances, slower on {} \
+         (paper: naive wins only on very small trees)",
+        naive_vs_bdd.0, naive_vs_bdd.1
+    );
+    println!(
+        "bu faster than bddbu on {} tree instances, slower on {} (paper: BU wins on trees)",
+        bu_vs_bdd.0, bu_vs_bdd.1
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 10 — median runtime per 20-node bucket
+// ---------------------------------------------------------------------------
+
+fn fig10(flags: &Flags) {
+    let per_bucket = flags.num("per-bucket", 6) as usize;
+    let max_nodes = flags.num("max-nodes", 325) as usize;
+    let seed = flags.num("seed", 43);
+    let work_cap = 1u128 << flags.num("work-cap", 26);
+    heading("Fig. 10 — median runtime per 20-node size bucket");
+    println!("{per_bucket} instances per bucket, sizes up to {max_nodes}, master seed {seed}");
+
+    type BucketTimes = (Vec<Duration>, Vec<Duration>, Vec<Duration>);
+    let instances = bucket_suite(per_bucket, max_nodes, Shape::Tree, seed);
+    let mut buckets: HashMap<usize, BucketTimes> = HashMap::new();
+    for instance in &instances {
+        let timings = measure(instance, work_cap);
+        let entry = buckets.entry(bucket_of(instance.nodes())).or_default();
+        if let Some(t) = timings.t_naive {
+            entry.0.push(t);
+        }
+        if let Some(t) = timings.t_bu {
+            entry.1.push(t);
+        }
+        entry.2.push(timings.t_bddbu);
+    }
+    let mut csv = Csv::new(&["bucket", "median_naive_s", "median_bu_s", "median_bddbu_s"]);
+    let mut keys: Vec<usize> = buckets.keys().copied().collect();
+    keys.sort_unstable();
+    for bucket in keys {
+        let (naive_ts, bu_ts, bdd_ts) = buckets.get_mut(&bucket).expect("key");
+        csv.row([
+            bucket.to_string(),
+            median(naive_ts).map(secs).unwrap_or_else(|| "-".into()),
+            median(bu_ts).map(secs).unwrap_or_else(|| "-".into()),
+            median(bdd_ts).map(secs).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    emit(&csv, flags.path("csv"));
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (the paper's §VII future work, implemented)
+// ---------------------------------------------------------------------------
+
+fn ablation_ordering(flags: &Flags) {
+    let count = flags.num("count", 30) as usize;
+    let max_nodes = flags.num("max-nodes", 60) as usize;
+    let seed = flags.num("seed", 44);
+    heading("Ablation — BDD size under defense-first orderings");
+    let instances = paper_suite(count, max_nodes, Shape::Dag, seed);
+    let mut csv = Csv::new(&[
+        "instance", "nodes", "bdd_declaration", "bdd_dfs", "bdd_force", "t_decl_s",
+        "t_dfs_s", "t_force_s",
+    ]);
+    let mut totals = [0usize; 3];
+    for (i, instance) in instances.iter().enumerate() {
+        let t = &instance.adt;
+        let orders = [
+            DefenseFirstOrder::declaration(t.adt()),
+            DefenseFirstOrder::dfs(t.adt()),
+            DefenseFirstOrder::force(t.adt(), 20),
+        ];
+        let reports: Vec<_> = orders.iter().map(|o| bdd_bu_report(t, o)).collect();
+        assert!(
+            reports.windows(2).all(|w| w[0].front == w[1].front),
+            "orders must agree on the front"
+        );
+        let times: Vec<Duration> = orders
+            .iter()
+            .map(|o| {
+                time_avg(Duration::from_millis(2), || {
+                    bdd_bu_with_order(t, o).unwrap()
+                })
+            })
+            .collect();
+        for (k, report) in reports.iter().enumerate() {
+            totals[k] += report.bdd_nodes;
+        }
+        csv.row([
+            i.to_string(),
+            instance.nodes().to_string(),
+            reports[0].bdd_nodes.to_string(),
+            reports[1].bdd_nodes.to_string(),
+            reports[2].bdd_nodes.to_string(),
+            secs(times[0]),
+            secs(times[1]),
+            secs(times[2]),
+        ]);
+    }
+    emit(&csv, flags.path("csv"));
+    println!(
+        "total BDD nodes — declaration: {}, dfs: {}, force: {}",
+        totals[0], totals[1], totals[2]
+    );
+}
+
+fn ablation_modular(flags: &Flags) {
+    let count = flags.num("count", 30) as usize;
+    let max_nodes = flags.num("max-nodes", 80) as usize;
+    let seed = flags.num("seed", 45);
+    heading("Ablation — modular decomposition vs plain BDDBU");
+    let instances = paper_suite(count, max_nodes, Shape::Dag, seed);
+    let mut csv = Csv::new(&["instance", "nodes", "shared", "t_bddbu_s", "t_modular_s"]);
+    let mut wins = 0usize;
+    for (i, instance) in instances.iter().enumerate() {
+        let t = &instance.adt;
+        assert_eq!(
+            modular_bdd_bu(t).unwrap(),
+            bdd_bu(t).unwrap(),
+            "modular analysis must agree with BDDBU"
+        );
+        let t_bdd = time_avg(Duration::from_millis(2), || bdd_bu(t).unwrap());
+        let t_mod = time_avg(Duration::from_millis(2), || modular_bdd_bu(t).unwrap());
+        if t_mod < t_bdd {
+            wins += 1;
+        }
+        csv.row([
+            i.to_string(),
+            instance.nodes().to_string(),
+            t.adt().stats().shared_nodes.to_string(),
+            secs(t_bdd),
+            secs(t_mod),
+        ]);
+    }
+    emit(&csv, flags.path("csv"));
+    println!("modular faster on {wins}/{count} instances");
+}
+
+fn emit(csv: &Csv, path: Option<&str>) {
+    match path {
+        Some(path) => {
+            std::fs::write(path, csv.finish()).expect("writable csv path");
+            println!("wrote {} rows to {path}", csv.rows());
+        }
+        None => print!("{}", csv.finish()),
+    }
+}

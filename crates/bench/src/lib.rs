@@ -1,0 +1,167 @@
+//! Shared harness utilities for the experiment binary and the Criterion
+//! benches: timing, work estimation, size buckets, medians and CSV output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use adt_core::{AttributeDomain, AugmentedAdt};
+
+/// Times one run of a closure.
+pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed())
+}
+
+/// Times a closure, repeating short runs until at least `min_total` has
+/// elapsed, and reports the average per-run duration. Keeps fast algorithms
+/// (the paper measures down to 10⁻⁶ s) out of timer-resolution noise.
+pub fn time_avg<R>(min_total: Duration, mut f: impl FnMut() -> R) -> Duration {
+    let start = Instant::now();
+    let mut runs = 0u32;
+    loop {
+        let _ = std::hint::black_box(f());
+        runs += 1;
+        let elapsed = start.elapsed();
+        if elapsed >= min_total || runs >= 1_000_000 {
+            return elapsed / runs;
+        }
+    }
+}
+
+/// Median of a slice of durations (`None` when empty).
+pub fn median(durations: &mut [Duration]) -> Option<Duration> {
+    if durations.is_empty() {
+        return None;
+    }
+    durations.sort_unstable();
+    Some(durations[durations.len() / 2])
+}
+
+/// The 20-node bucket an instance falls into, reported by its inclusive
+/// upper bound (sizes 1–20 → 20, 21–40 → 40, …) — the grouping of the
+/// paper's Fig. 10.
+pub fn bucket_of(nodes: usize) -> usize {
+    nodes.div_ceil(20).max(1) * 20
+}
+
+/// Estimated structure-function evaluations of the `Naive` algorithm:
+/// `2^{|D|+|A|}`; `None` when the exponent does not even fit.
+pub fn naive_work<DD, DA>(t: &AugmentedAdt<DD, DA>) -> Option<u128>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    let bits = t.adt().defense_count() + t.adt().attack_count();
+    if bits >= 127 {
+        None
+    } else {
+        Some(1u128 << bits)
+    }
+}
+
+/// Renders seconds the way the paper's log-scale plots do.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3e}", d.as_secs_f64())
+}
+
+/// Renders an optional duration, using `-` for "not run".
+pub fn secs_opt(d: Option<Duration>) -> String {
+    d.map(secs).unwrap_or_else(|| "-".to_owned())
+}
+
+/// A minimal CSV emitter (no quoting needs arise: all fields are numeric or
+/// simple identifiers).
+#[derive(Debug, Default)]
+pub struct Csv {
+    lines: Vec<String>,
+}
+
+impl Csv {
+    /// Starts a CSV document with the given header.
+    pub fn new(header: &[&str]) -> Self {
+        Csv { lines: vec![header.join(",")] }
+    }
+
+    /// Appends one row.
+    pub fn row<I, S>(&mut self, fields: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let row = fields
+            .into_iter()
+            .map(|f| f.as_ref().to_owned())
+            .collect::<Vec<_>>()
+            .join(",");
+        self.lines.push(row);
+    }
+
+    /// The document text.
+    pub fn finish(&self) -> String {
+        let mut out = self.lines.join("\n");
+        out.push('\n');
+        out
+    }
+
+    /// Number of data rows.
+    pub fn rows(&self) -> usize {
+        self.lines.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds() {
+        assert_eq!(bucket_of(1), 20);
+        assert_eq!(bucket_of(20), 20);
+        assert_eq!(bucket_of(21), 40);
+        assert_eq!(bucket_of(325), 340);
+    }
+
+    #[test]
+    fn median_of_durations() {
+        let mut ds = vec![
+            Duration::from_millis(5),
+            Duration::from_millis(1),
+            Duration::from_millis(9),
+        ];
+        assert_eq!(median(&mut ds), Some(Duration::from_millis(5)));
+        assert_eq!(median(&mut []), None);
+    }
+
+    #[test]
+    fn naive_work_estimates() {
+        let t = adt_core::catalog::fig3();
+        assert_eq!(naive_work(&t), Some(32)); // 2 defenses + 3 attacks.
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut csv = Csv::new(&["a", "b"]);
+        csv.row(["1", "2"]);
+        csv.row(vec!["3".to_owned(), "4".to_owned()]);
+        assert_eq!(csv.rows(), 2);
+        assert_eq!(csv.finish(), "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn timing_returns_positive() {
+        let (value, d) = time_once(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(d.as_nanos() > 0 || d.is_zero());
+        let avg = time_avg(Duration::from_micros(100), || std::hint::black_box(3 + 4));
+        assert!(avg <= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(secs(Duration::from_secs(1)), "1.000e0");
+        assert_eq!(secs_opt(None), "-");
+    }
+}

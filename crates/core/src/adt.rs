@@ -1,0 +1,1023 @@
+//! The attack-defense tree structure (Definition 1) and its builder.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Index;
+
+use crate::error::AdtError;
+use crate::node::{Agent, Gate, Node, NodeId};
+use crate::vectors::{AttackVector, DefenseVector};
+
+/// An attack-defense tree `T = (N, E, γ, τ, ϑ)` (Definition 1).
+///
+/// The node set is stored as an arena; edges point from parents to children.
+/// Despite the name, the underlying graph is a rooted *DAG*: a node may have
+/// several parents (shared subtrees). [`Adt::is_tree`] reports whether the
+/// structure is tree-shaped, which determines whether the bottom-up analysis
+/// applies.
+///
+/// An `Adt` is immutable once built; use [`AdtBuilder`] to construct one.
+///
+/// # Examples
+///
+/// ```
+/// use adt_core::adt::AdtBuilder;
+/// use adt_core::node::Agent;
+///
+/// # fn main() -> Result<(), adt_core::error::AdtError> {
+/// let mut b = AdtBuilder::new();
+/// let a = b.attack("pick_lock")?;
+/// let d = b.defense("guard")?;
+/// let gate = b.inh("guarded_entry", a, d)?;
+/// let adt = b.build(gate)?;
+/// assert!(adt.is_tree());
+/// assert_eq!(adt.attack_count(), 1);
+/// assert_eq!(adt.defense_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adt {
+    nodes: Vec<Node>,
+    root: NodeId,
+    /// Reachable nodes in a topological order with children before parents.
+    topo: Vec<NodeId>,
+    /// Reverse adjacency: parents of each node.
+    parents: Vec<Vec<NodeId>>,
+    /// Basic attack steps (`A`), in declaration order.
+    attacks: Vec<NodeId>,
+    /// Basic defense steps (`D`), in declaration order.
+    defenses: Vec<NodeId>,
+    /// For each basic step, its position within `attacks`/`defenses`.
+    basic_pos: Vec<Option<u32>>,
+    name_index: HashMap<String, NodeId>,
+    tree: bool,
+}
+
+impl Adt {
+    /// The root node `R_T`.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The agent of the root, which decides the attacker's goal (Definition
+    /// 7): reaching structure value `1` for an attacker root, `0` for a
+    /// defender root.
+    pub fn root_agent(&self) -> Agent {
+        self[self.root].agent()
+    }
+
+    /// Number of nodes `|N|`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node with the given id, or `None` if the id does not belong to
+    /// this tree.
+    pub fn get(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.index())
+    }
+
+    /// Iterates over all nodes with their ids, in declaration order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId::new(i), n))
+    }
+
+    /// The id of the node with the given name.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// Looks a node up by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdtError::UnknownName`] if no node has this name.
+    pub fn require(&self, name: &str) -> Result<NodeId, AdtError> {
+        self.node_id(name).ok_or_else(|| AdtError::UnknownName(name.to_owned()))
+    }
+
+    /// Nodes in a topological order with children before parents; the last
+    /// element is the root.
+    pub fn topological_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// The parents of a node (empty for the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this tree.
+    pub fn parents(&self, id: NodeId) -> &[NodeId] {
+        &self.parents[id.index()]
+    }
+
+    /// `true` if every non-root node has exactly one parent, i.e. the ADT is
+    /// tree-shaped and the bottom-up algorithm of the paper applies.
+    pub fn is_tree(&self) -> bool {
+        self.tree
+    }
+
+    /// The basic attack steps `A`, in declaration order. Positions in this
+    /// slice are the indices of [`AttackVector`].
+    pub fn attacks(&self) -> &[NodeId] {
+        &self.attacks
+    }
+
+    /// The basic defense steps `D`, in declaration order. Positions in this
+    /// slice are the indices of [`DefenseVector`].
+    pub fn defenses(&self) -> &[NodeId] {
+        &self.defenses
+    }
+
+    /// Number of basic attack steps `|A|`.
+    pub fn attack_count(&self) -> usize {
+        self.attacks.len()
+    }
+
+    /// Number of basic defense steps `|D|`.
+    pub fn defense_count(&self) -> usize {
+        self.defenses.len()
+    }
+
+    /// For a basic step, its position within [`Adt::attacks`] or
+    /// [`Adt::defenses`] (depending on its agent); `None` for gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this tree.
+    pub fn basic_position(&self, id: NodeId) -> Option<usize> {
+        self.basic_pos[id.index()].map(|p| p as usize)
+    }
+
+    /// Builds an attack vector activating exactly the named basic attack
+    /// steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdtError::UnknownName`] if a name does not refer to a basic
+    /// attack step of this tree.
+    pub fn attack_vector<I, S>(&self, names: I) -> Result<AttackVector, AdtError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut alpha = AttackVector::none(self.attack_count());
+        for name in names {
+            let name = name.as_ref();
+            let id = self.require(name)?;
+            match (self[id].agent(), self.basic_position(id)) {
+                (Agent::Attacker, Some(pos)) => alpha.set(pos, true),
+                _ => return Err(AdtError::UnknownName(name.to_owned())),
+            }
+        }
+        Ok(alpha)
+    }
+
+    /// Builds a defense vector activating exactly the named basic defense
+    /// steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdtError::UnknownName`] if a name does not refer to a basic
+    /// defense step of this tree.
+    pub fn defense_vector<I, S>(&self, names: I) -> Result<DefenseVector, AdtError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut delta = DefenseVector::none(self.defense_count());
+        for name in names {
+            let name = name.as_ref();
+            let id = self.require(name)?;
+            match (self[id].agent(), self.basic_position(id)) {
+                (Agent::Defender, Some(pos)) => delta.set(pos, true),
+                _ => return Err(AdtError::UnknownName(name.to_owned())),
+            }
+        }
+        Ok(delta)
+    }
+
+    /// All node ids in the subtree rooted at `v` (descendants including `v`),
+    /// in increasing id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this tree.
+    pub fn descendants(&self, v: NodeId) -> Vec<NodeId> {
+        assert!(v.index() < self.nodes.len(), "node {v} out of range");
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![v];
+        seen[v.index()] = true;
+        while let Some(u) = stack.pop() {
+            for &c in self[u].children() {
+                if !seen[c.index()] {
+                    seen[c.index()] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        (0..self.nodes.len()).filter(|&i| seen[i]).map(NodeId::new).collect()
+    }
+
+    /// Extracts the sub-ADT rooted at `v` as a standalone tree.
+    ///
+    /// Returns the new tree together with a mapping from each new node id to
+    /// the id of the original node it was copied from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this tree.
+    pub fn subtree(&self, v: NodeId) -> (Adt, Vec<NodeId>) {
+        let members = self.descendants(v);
+        let mut old_to_new: HashMap<NodeId, NodeId> = HashMap::with_capacity(members.len());
+        let mut nodes = Vec::with_capacity(members.len());
+        // Members are in increasing id order, so children (smaller ids) are
+        // renumbered before their parents.
+        for &old in &members {
+            let node = &self[old];
+            let children =
+                node.children().iter().map(|c| old_to_new[c]).collect::<Vec<_>>();
+            let new_id = NodeId::new(nodes.len());
+            old_to_new.insert(old, new_id);
+            nodes.push(Node {
+                name: node.name.clone(),
+                agent: node.agent,
+                gate: node.gate,
+                children,
+            });
+        }
+        let root = old_to_new[&v];
+        let adt = Adt::from_parts(nodes, root)
+            .expect("subtree of a valid ADT is a valid ADT");
+        (adt, members)
+    }
+
+    /// Longest root-to-leaf path length (a single node has depth 0).
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.nodes.len()];
+        for &v in &self.topo {
+            let d = self[v]
+                .children()
+                .iter()
+                .map(|c| depth[c.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            depth[v.index()] = d;
+        }
+        depth[self.root.index()]
+    }
+
+    /// Summary statistics used by the experiment harness.
+    pub fn stats(&self) -> Stats {
+        let mut stats = Stats {
+            nodes: self.node_count(),
+            and_gates: 0,
+            or_gates: 0,
+            inh_gates: 0,
+            attacks: self.attack_count(),
+            defenses: self.defense_count(),
+            shared_nodes: 0,
+            depth: self.depth(),
+            tree: self.tree,
+        };
+        for (id, node) in self.iter() {
+            match node.gate() {
+                Gate::And => stats.and_gates += 1,
+                Gate::Or => stats.or_gates += 1,
+                Gate::Inh => stats.inh_gates += 1,
+                Gate::Basic => {}
+            }
+            if self.parents(id).len() > 1 {
+                stats.shared_nodes += 1;
+            }
+        }
+        stats
+    }
+
+    /// Re-checks every constraint of Definition 1 on this tree.
+    ///
+    /// Trees produced by [`AdtBuilder::build`] always pass; this is exposed
+    /// so that alternative construction paths (e.g. parsers) can be audited
+    /// independently.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as an [`AdtError`].
+    pub fn validate(&self) -> Result<(), AdtError> {
+        validate_nodes(&self.nodes, self.root)?;
+        Ok(())
+    }
+
+    /// Assembles an `Adt` from raw parts, validating Definition 1 and
+    /// computing the derived indices.
+    pub(crate) fn from_parts(nodes: Vec<Node>, root: NodeId) -> Result<Adt, AdtError> {
+        if nodes.is_empty() {
+            return Err(AdtError::Empty);
+        }
+        if root.index() >= nodes.len() {
+            return Err(AdtError::InvalidNode { id: root, len: nodes.len() });
+        }
+        validate_nodes(&nodes, root)?;
+
+        let topo = topological_order(&nodes, root)?;
+        // Reachability: every node must appear in the topological order.
+        if topo.len() != nodes.len() {
+            let mut reached = vec![false; nodes.len()];
+            for &v in &topo {
+                reached[v.index()] = true;
+            }
+            let missing = (0..nodes.len()).find(|&i| !reached[i]).expect("some node missing");
+            return Err(AdtError::Unreachable(nodes[missing].name.clone()));
+        }
+
+        let mut parents = vec![Vec::new(); nodes.len()];
+        for (i, node) in nodes.iter().enumerate() {
+            for &c in node.children() {
+                parents[c.index()].push(NodeId::new(i));
+            }
+        }
+        let tree = (0..nodes.len())
+            .all(|i| parents[i].len() == usize::from(NodeId::new(i) != root));
+
+        let mut attacks = Vec::new();
+        let mut defenses = Vec::new();
+        let mut basic_pos = vec![None; nodes.len()];
+        let mut name_index = HashMap::with_capacity(nodes.len());
+        for (i, node) in nodes.iter().enumerate() {
+            name_index.insert(node.name.clone(), NodeId::new(i));
+            if node.is_leaf() {
+                match node.agent() {
+                    Agent::Attacker => {
+                        basic_pos[i] = Some(attacks.len() as u32);
+                        attacks.push(NodeId::new(i));
+                    }
+                    Agent::Defender => {
+                        basic_pos[i] = Some(defenses.len() as u32);
+                        defenses.push(NodeId::new(i));
+                    }
+                }
+            }
+        }
+
+        Ok(Adt { nodes, root, topo, parents, attacks, defenses, basic_pos, name_index, tree })
+    }
+}
+
+impl Index<NodeId> for Adt {
+    type Output = Node;
+
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this tree.
+    fn index(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+}
+
+impl fmt::Display for Adt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ADT with {} nodes (root `{}`, {} BAS, {} BDS, {})",
+            self.node_count(),
+            self[self.root].name(),
+            self.attack_count(),
+            self.defense_count(),
+            if self.tree { "tree" } else { "dag" },
+        )?;
+        for (id, node) in self.iter() {
+            write!(f, "  {id} {node}")?;
+            if !node.children().is_empty() {
+                let kids = node
+                    .children()
+                    .iter()
+                    .map(|c| self[*c].name())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                write!(f, " -> [{kids}]")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Summary statistics of an [`Adt`], as reported by [`Adt::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Total number of nodes `|N|`.
+    pub nodes: usize,
+    /// Number of `AND` gates.
+    pub and_gates: usize,
+    /// Number of `OR` gates.
+    pub or_gates: usize,
+    /// Number of `INH` gates.
+    pub inh_gates: usize,
+    /// Number of basic attack steps `|A|`.
+    pub attacks: usize,
+    /// Number of basic defense steps `|D|`.
+    pub defenses: usize,
+    /// Nodes with more than one parent (0 for tree-shaped ADTs).
+    pub shared_nodes: usize,
+    /// Longest root-to-leaf path.
+    pub depth: usize,
+    /// Whether the ADT is tree-shaped.
+    pub tree: bool,
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|N|={} (AND={}, OR={}, INH={}, BAS={}, BDS={}), shared={}, depth={}, {}",
+            self.nodes,
+            self.and_gates,
+            self.or_gates,
+            self.inh_gates,
+            self.attacks,
+            self.defenses,
+            self.shared_nodes,
+            self.depth,
+            if self.tree { "tree" } else { "dag" },
+        )
+    }
+}
+
+/// Checks the local Definition-1 constraints for every node.
+fn validate_nodes(nodes: &[Node], _root: NodeId) -> Result<(), AdtError> {
+    let mut seen_names: HashMap<&str, NodeId> = HashMap::with_capacity(nodes.len());
+    for (i, node) in nodes.iter().enumerate() {
+        if seen_names.insert(node.name(), NodeId::new(i)).is_some() {
+            return Err(AdtError::DuplicateName(node.name().to_owned()));
+        }
+        for &c in node.children() {
+            if c.index() >= nodes.len() {
+                return Err(AdtError::InvalidNode { id: c, len: nodes.len() });
+            }
+        }
+        let mut child_set = node.children().to_vec();
+        child_set.sort_unstable();
+        if let Some(w) = child_set.windows(2).find(|w| w[0] == w[1]) {
+            return Err(AdtError::DuplicateChild {
+                gate: node.name().to_owned(),
+                child: nodes[w[0].index()].name().to_owned(),
+            });
+        }
+        match node.gate() {
+            Gate::Basic => {
+                debug_assert!(node.children().is_empty());
+            }
+            Gate::And | Gate::Or => {
+                if node.children().is_empty() {
+                    return Err(AdtError::EmptyGate(node.name().to_owned()));
+                }
+                for &c in node.children() {
+                    if nodes[c.index()].agent() != node.agent() {
+                        return Err(AdtError::MixedAgents {
+                            gate: node.name().to_owned(),
+                            child: nodes[c.index()].name().to_owned(),
+                        });
+                    }
+                }
+            }
+            Gate::Inh => {
+                debug_assert_eq!(node.children().len(), 2);
+                let inhibited = &nodes[node.children()[0].index()];
+                let trigger = &nodes[node.children()[1].index()];
+                if inhibited.agent() == trigger.agent() {
+                    return Err(AdtError::InhSameAgent(node.name().to_owned()));
+                }
+                if node.agent() != inhibited.agent() {
+                    return Err(AdtError::MixedAgents {
+                        gate: node.name().to_owned(),
+                        child: inhibited.name().to_owned(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Iterative DFS post-order over the reachable part of the graph; detects
+/// cycles (which cannot arise through [`AdtBuilder`] but may through other
+/// construction paths).
+fn topological_order(nodes: &[Node], root: NodeId) -> Result<Vec<NodeId>, AdtError> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Unvisited,
+        InProgress,
+        Done,
+    }
+    let mut state = vec![State::Unvisited; nodes.len()];
+    let mut order = Vec::with_capacity(nodes.len());
+    // Stack of (node, next child index to visit).
+    let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+    state[root.index()] = State::InProgress;
+    while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+        let children = nodes[v.index()].children();
+        if *next < children.len() {
+            let c = children[*next];
+            *next += 1;
+            match state[c.index()] {
+                State::Unvisited => {
+                    state[c.index()] = State::InProgress;
+                    stack.push((c, 0));
+                }
+                State::InProgress => {
+                    return Err(AdtError::Cycle(nodes[c.index()].name().to_owned()));
+                }
+                State::Done => {}
+            }
+        } else {
+            state[v.index()] = State::Done;
+            order.push(v);
+            stack.pop();
+        }
+    }
+    Ok(order)
+}
+
+/// Incremental builder for [`Adt`] values.
+///
+/// Children must be created before the gates that reference them, which
+/// makes cycles unrepresentable. Agent assignments of gates are inferred:
+/// `AND`/`OR` gates take the agent of their children (which must agree,
+/// Definition 1), and an `INH` gate takes the agent of its *inhibited* child.
+///
+/// # Examples
+///
+/// Figure 5 of the paper, `OR(INH(a1 ! d1), INH(a2 ! d2))`:
+///
+/// ```
+/// use adt_core::adt::AdtBuilder;
+///
+/// # fn main() -> Result<(), adt_core::error::AdtError> {
+/// let mut b = AdtBuilder::new();
+/// let a1 = b.attack("a1")?;
+/// let d1 = b.defense("d1")?;
+/// let i1 = b.inh("i1", a1, d1)?;
+/// let a2 = b.attack("a2")?;
+/// let d2 = b.defense("d2")?;
+/// let i2 = b.inh("i2", a2, d2)?;
+/// let root = b.or("root", [i1, i2])?;
+/// let adt = b.build(root)?;
+/// assert_eq!(adt.node_count(), 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AdtBuilder {
+    nodes: Vec<Node>,
+    names: HashMap<String, NodeId>,
+}
+
+impl AdtBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The agent of an already-added node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not minted by this builder.
+    pub fn agent_of(&self, id: NodeId) -> Agent {
+        self.nodes[id.index()].agent()
+    }
+
+    /// Adds a basic step for the given agent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdtError::DuplicateName`] if the name is already taken.
+    pub fn leaf(&mut self, agent: Agent, name: impl Into<String>) -> Result<NodeId, AdtError> {
+        self.push(name.into(), agent, Gate::Basic, Vec::new())
+    }
+
+    /// Adds a basic attack step (shorthand for
+    /// [`leaf`](Self::leaf)`(Agent::Attacker, ..)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdtError::DuplicateName`] if the name is already taken.
+    pub fn attack(&mut self, name: impl Into<String>) -> Result<NodeId, AdtError> {
+        self.leaf(Agent::Attacker, name)
+    }
+
+    /// Adds a basic defense step (shorthand for
+    /// [`leaf`](Self::leaf)`(Agent::Defender, ..)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdtError::DuplicateName`] if the name is already taken.
+    pub fn defense(&mut self, name: impl Into<String>) -> Result<NodeId, AdtError> {
+        self.leaf(Agent::Defender, name)
+    }
+
+    /// Adds an `AND` gate over the given children; the gate's agent is the
+    /// children's common agent.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is taken, the child list is empty or
+    /// contains duplicates or foreign ids, or the children's agents differ.
+    pub fn and<I>(&mut self, name: impl Into<String>, children: I) -> Result<NodeId, AdtError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        self.gate(name.into(), Gate::And, children.into_iter().collect())
+    }
+
+    /// Adds an `OR` gate over the given children; the gate's agent is the
+    /// children's common agent.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is taken, the child list is empty or
+    /// contains duplicates or foreign ids, or the children's agents differ.
+    pub fn or<I>(&mut self, name: impl Into<String>, children: I) -> Result<NodeId, AdtError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        self.gate(name.into(), Gate::Or, children.into_iter().collect())
+    }
+
+    /// Adds an inhibition gate: `inhibited` propagates unless `trigger` is
+    /// active. The gate's agent is the agent of `inhibited`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is taken, an id is foreign, or the two
+    /// children belong to the same agent.
+    pub fn inh(
+        &mut self,
+        name: impl Into<String>,
+        inhibited: NodeId,
+        trigger: NodeId,
+    ) -> Result<NodeId, AdtError> {
+        let name = name.into();
+        self.check_id(inhibited)?;
+        self.check_id(trigger)?;
+        let inh_agent = self.nodes[inhibited.index()].agent();
+        if inh_agent == self.nodes[trigger.index()].agent() {
+            return Err(AdtError::InhSameAgent(name));
+        }
+        if inhibited == trigger {
+            return Err(AdtError::DuplicateChild {
+                gate: name,
+                child: self.nodes[inhibited.index()].name().to_owned(),
+            });
+        }
+        self.push(name, inh_agent, Gate::Inh, vec![inhibited, trigger])
+    }
+
+    /// Finishes construction with the given root node, validating every
+    /// Definition-1 constraint and computing the derived indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `root` is foreign or some node is unreachable
+    /// from it.
+    pub fn build(self, root: NodeId) -> Result<Adt, AdtError> {
+        Adt::from_parts(self.nodes, root)
+    }
+
+    fn gate(
+        &mut self,
+        name: String,
+        gate: Gate,
+        children: Vec<NodeId>,
+    ) -> Result<NodeId, AdtError> {
+        if children.is_empty() {
+            return Err(AdtError::EmptyGate(name));
+        }
+        for &c in &children {
+            self.check_id(c)?;
+        }
+        let mut sorted = children.clone();
+        sorted.sort_unstable();
+        if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
+            return Err(AdtError::DuplicateChild {
+                gate: name,
+                child: self.nodes[w[0].index()].name().to_owned(),
+            });
+        }
+        let agent = self.nodes[children[0].index()].agent();
+        for &c in &children[1..] {
+            if self.nodes[c.index()].agent() != agent {
+                return Err(AdtError::MixedAgents {
+                    gate: name,
+                    child: self.nodes[c.index()].name().to_owned(),
+                });
+            }
+        }
+        self.push(name, agent, gate, children)
+    }
+
+    fn push(
+        &mut self,
+        name: String,
+        agent: Agent,
+        gate: Gate,
+        children: Vec<NodeId>,
+    ) -> Result<NodeId, AdtError> {
+        if self.names.contains_key(&name) {
+            return Err(AdtError::DuplicateName(name));
+        }
+        let id = NodeId::new(self.nodes.len());
+        self.names.insert(name.clone(), id);
+        self.nodes.push(Node { name, agent, gate, children });
+        Ok(id)
+    }
+
+    fn check_id(&self, id: NodeId) -> Result<(), AdtError> {
+        if id.index() >= self.nodes.len() {
+            return Err(AdtError::InvalidNode { id, len: self.nodes.len() });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of the paper (Fig. 3): `OR` over a guarded branch
+    /// and a plain attack; see `catalog::fig3` for the attributed version.
+    fn fig3_structure() -> Adt {
+        let mut b = AdtBuilder::new();
+        let d1 = b.defense("d1").unwrap();
+        let d2 = b.defense("d2").unwrap();
+        let d_and = b.and("d_and", [d1, d2]).unwrap();
+        let a1 = b.attack("a1").unwrap();
+        let d_eff = b.inh("d_eff", d_and, a1).unwrap();
+        let a2 = b.attack("a2").unwrap();
+        let guarded = b.inh("guarded", a2, d_eff).unwrap();
+        let a3 = b.attack("a3").unwrap();
+        let root = b.or("root", [guarded, a3]).unwrap();
+        b.build(root).unwrap()
+    }
+
+    #[test]
+    fn builder_constructs_valid_tree() {
+        let adt = fig3_structure();
+        assert_eq!(adt.node_count(), 9);
+        assert!(adt.is_tree());
+        assert_eq!(adt.attack_count(), 3);
+        assert_eq!(adt.defense_count(), 2);
+        assert_eq!(adt.root_agent(), Agent::Attacker);
+        adt.validate().unwrap();
+    }
+
+    #[test]
+    fn attack_and_defense_lists_in_declaration_order() {
+        let adt = fig3_structure();
+        let names: Vec<_> = adt.attacks().iter().map(|&a| adt[a].name()).collect();
+        assert_eq!(names, vec!["a1", "a2", "a3"]);
+        let names: Vec<_> = adt.defenses().iter().map(|&d| adt[d].name()).collect();
+        assert_eq!(names, vec!["d1", "d2"]);
+    }
+
+    #[test]
+    fn basic_position_maps_into_vectors() {
+        let adt = fig3_structure();
+        let a2 = adt.node_id("a2").unwrap();
+        assert_eq!(adt.basic_position(a2), Some(1));
+        let d2 = adt.node_id("d2").unwrap();
+        assert_eq!(adt.basic_position(d2), Some(1));
+        let root = adt.root();
+        assert_eq!(adt.basic_position(root), None);
+    }
+
+    #[test]
+    fn topological_order_places_children_first() {
+        let adt = fig3_structure();
+        let order = adt.topological_order();
+        assert_eq!(order.len(), adt.node_count());
+        let pos: HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for (id, node) in adt.iter() {
+            for &c in node.children() {
+                assert!(pos[&c] < pos[&id], "child {c} after parent {id}");
+            }
+        }
+        assert_eq!(*order.last().unwrap(), adt.root());
+    }
+
+    #[test]
+    fn parents_are_tracked() {
+        let adt = fig3_structure();
+        let d1 = adt.node_id("d1").unwrap();
+        let d_and = adt.node_id("d_and").unwrap();
+        assert_eq!(adt.parents(d1), &[d_and]);
+        assert!(adt.parents(adt.root()).is_empty());
+    }
+
+    #[test]
+    fn dag_with_shared_node_is_not_tree() {
+        let mut b = AdtBuilder::new();
+        let shared = b.attack("shared").unwrap();
+        let x = b.attack("x").unwrap();
+        let left = b.and("left", [shared, x]).unwrap();
+        let y = b.attack("y").unwrap();
+        let right = b.and("right", [shared, y]).unwrap();
+        let root = b.or("root", [left, right]).unwrap();
+        let adt = b.build(root).unwrap();
+        assert!(!adt.is_tree());
+        assert_eq!(adt.stats().shared_nodes, 1);
+        assert_eq!(adt.parents(adt.node_id("shared").unwrap()).len(), 2);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut b = AdtBuilder::new();
+        b.attack("a").unwrap();
+        assert_eq!(b.defense("a").unwrap_err(), AdtError::DuplicateName("a".into()));
+    }
+
+    #[test]
+    fn empty_gate_rejected() {
+        let mut b = AdtBuilder::new();
+        assert_eq!(b.and("g", []).unwrap_err(), AdtError::EmptyGate("g".into()));
+        assert_eq!(b.or("g", []).unwrap_err(), AdtError::EmptyGate("g".into()));
+    }
+
+    #[test]
+    fn mixed_agents_rejected() {
+        let mut b = AdtBuilder::new();
+        let a = b.attack("a").unwrap();
+        let d = b.defense("d").unwrap();
+        assert_eq!(
+            b.and("g", [a, d]).unwrap_err(),
+            AdtError::MixedAgents { gate: "g".into(), child: "d".into() }
+        );
+    }
+
+    #[test]
+    fn inh_same_agent_rejected() {
+        let mut b = AdtBuilder::new();
+        let a1 = b.attack("a1").unwrap();
+        let a2 = b.attack("a2").unwrap();
+        assert_eq!(b.inh("i", a1, a2).unwrap_err(), AdtError::InhSameAgent("i".into()));
+    }
+
+    #[test]
+    fn inh_agent_follows_inhibited_child() {
+        let mut b = AdtBuilder::new();
+        let a = b.attack("a").unwrap();
+        let d = b.defense("d").unwrap();
+        let i_att = b.inh("i_att", a, d).unwrap();
+        assert_eq!(b.agent_of(i_att), Agent::Attacker);
+        let i_def = b.inh("i_def", d, a).unwrap();
+        assert_eq!(b.agent_of(i_def), Agent::Defender);
+    }
+
+    #[test]
+    fn duplicate_child_rejected() {
+        let mut b = AdtBuilder::new();
+        let a = b.attack("a").unwrap();
+        let a2 = b.attack("a2").unwrap();
+        assert!(matches!(b.and("g", [a, a2, a]), Err(AdtError::DuplicateChild { .. })));
+    }
+
+    #[test]
+    fn foreign_id_rejected() {
+        let mut b = AdtBuilder::new();
+        let _ = b.attack("a").unwrap();
+        let bogus = NodeId::new(17);
+        assert!(matches!(b.or("g", [bogus]), Err(AdtError::InvalidNode { .. })));
+    }
+
+    #[test]
+    fn unreachable_node_rejected() {
+        let mut b = AdtBuilder::new();
+        let a = b.attack("a").unwrap();
+        let _orphan = b.attack("orphan").unwrap();
+        let root = b.or("root", [a]).unwrap();
+        assert_eq!(b.build(root).unwrap_err(), AdtError::Unreachable("orphan".into()));
+    }
+
+    #[test]
+    fn empty_builder_rejected() {
+        let b = AdtBuilder::new();
+        assert_eq!(b.build(NodeId::new(0)).unwrap_err(), AdtError::Empty);
+    }
+
+    #[test]
+    fn single_leaf_is_a_valid_tree() {
+        let mut b = AdtBuilder::new();
+        let a = b.attack("a").unwrap();
+        let adt = b.build(a).unwrap();
+        assert_eq!(adt.node_count(), 1);
+        assert!(adt.is_tree());
+        assert_eq!(adt.depth(), 0);
+        assert_eq!(adt.root_agent(), Agent::Attacker);
+    }
+
+    #[test]
+    fn attack_vector_by_names() {
+        let adt = fig3_structure();
+        let alpha = adt.attack_vector(["a2", "a3"]).unwrap();
+        assert_eq!(alpha.to_string(), "011");
+        // Unknown and non-attack names are rejected.
+        assert!(adt.attack_vector(["nope"]).is_err());
+        assert!(adt.attack_vector(["d1"]).is_err());
+        assert!(adt.attack_vector(["root"]).is_err());
+    }
+
+    #[test]
+    fn defense_vector_by_names() {
+        let adt = fig3_structure();
+        let delta = adt.defense_vector(["d1"]).unwrap();
+        assert_eq!(delta.to_string(), "10");
+        assert!(adt.defense_vector(["a1"]).is_err());
+    }
+
+    #[test]
+    fn descendants_of_inner_node() {
+        let adt = fig3_structure();
+        let d_eff = adt.node_id("d_eff").unwrap();
+        let names: Vec<_> =
+            adt.descendants(d_eff).iter().map(|&v| adt[v].name().to_owned()).collect();
+        assert_eq!(names, vec!["d1", "d2", "d_and", "a1", "d_eff"]);
+    }
+
+    #[test]
+    fn subtree_extraction_is_self_contained() {
+        let adt = fig3_structure();
+        let guarded = adt.node_id("guarded").unwrap();
+        let (sub, mapping) = adt.subtree(guarded);
+        assert_eq!(sub.node_count(), 7);
+        assert_eq!(sub[sub.root()].name(), "guarded");
+        assert!(sub.is_tree());
+        sub.validate().unwrap();
+        // Mapping points back to the original nodes.
+        for (new_id, node) in sub.iter() {
+            assert_eq!(adt[mapping[new_id.index()]].name(), node.name());
+        }
+    }
+
+    #[test]
+    fn depth_of_fig3() {
+        // root -> guarded -> d_eff -> d_and -> d1 is the longest path.
+        assert_eq!(fig3_structure().depth(), 4);
+    }
+
+    #[test]
+    fn stats_summarize_structure() {
+        let adt = fig3_structure();
+        let stats = adt.stats();
+        assert_eq!(stats.nodes, 9);
+        assert_eq!(stats.and_gates, 1);
+        assert_eq!(stats.or_gates, 1);
+        assert_eq!(stats.inh_gates, 2);
+        assert_eq!(stats.attacks, 3);
+        assert_eq!(stats.defenses, 2);
+        assert_eq!(stats.shared_nodes, 0);
+        assert!(stats.tree);
+        let shown = stats.to_string();
+        assert!(shown.contains("|N|=9"));
+        assert!(shown.contains("tree"));
+    }
+
+    #[test]
+    fn display_lists_nodes() {
+        let adt = fig3_structure();
+        let shown = adt.to_string();
+        assert!(shown.contains("ADT with 9 nodes"));
+        assert!(shown.contains("root"));
+        assert!(shown.contains("guarded"));
+    }
+
+    #[test]
+    fn require_reports_unknown_names() {
+        let adt = fig3_structure();
+        assert!(adt.require("a1").is_ok());
+        assert_eq!(adt.require("zz").unwrap_err(), AdtError::UnknownName("zz".into()));
+    }
+
+    #[test]
+    fn get_returns_none_for_foreign_id() {
+        let adt = fig3_structure();
+        assert!(adt.get(NodeId::new(99)).is_none());
+        assert!(adt.get(adt.root()).is_some());
+    }
+
+    #[test]
+    fn root_agent_defender() {
+        let mut b = AdtBuilder::new();
+        let d = b.defense("d").unwrap();
+        let a = b.attack("a").unwrap();
+        let root = b.inh("root", d, a).unwrap();
+        let adt = b.build(root).unwrap();
+        assert_eq!(adt.root_agent(), Agent::Defender);
+    }
+}

@@ -1,0 +1,532 @@
+//! Augmented attack-defense trees (Definitions 5–6): an ADT together with
+//! attacker and defender attribute domains and basic assignments `β_A`, `β_D`.
+
+use std::fmt;
+
+use crate::adt::Adt;
+use crate::error::AdtError;
+use crate::node::{Agent, NodeId};
+use crate::semiring::AttributeDomain;
+use crate::vectors::{AttackVector, DefenseVector, Event};
+
+/// An augmented attack-defense tree `(T, D_D, D_A, β_D, β_A)`
+/// (Definition 5).
+///
+/// The defender's attribute domain `D_D` and the attacker's `D_A` are
+/// independent type parameters; the paper's examples use min-cost for both,
+/// but any pair of [`AttributeDomain`]s works.
+///
+/// # Examples
+///
+/// ```
+/// use adt_core::adt::AdtBuilder;
+/// use adt_core::attributed::AugmentedAdt;
+/// use adt_core::semiring::{Ext, MinCost};
+///
+/// # fn main() -> Result<(), adt_core::error::AdtError> {
+/// let mut b = AdtBuilder::new();
+/// let a = b.attack("a")?;
+/// let d = b.defense("d")?;
+/// let root = b.inh("root", a, d)?;
+/// let adt = b.build(root)?;
+///
+/// let aadt = AugmentedAdt::builder(adt, MinCost, MinCost)
+///     .attack_value("a", 5u64)?
+///     .defense_value("d", 3u64)?
+///     .finish()?;
+///
+/// let alpha = aadt.adt().attack_vector(["a"])?;
+/// assert_eq!(aadt.attack_metric(&alpha)?, Ext::Fin(5));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AugmentedAdt<DD: AttributeDomain, DA: AttributeDomain> {
+    adt: Adt,
+    dom_def: DD,
+    dom_att: DA,
+    /// Indexed by defense position (see [`Adt::defenses`]).
+    def_values: Vec<DD::Value>,
+    /// Indexed by attack position (see [`Adt::attacks`]).
+    att_values: Vec<DA::Value>,
+}
+
+impl<DD: AttributeDomain, DA: AttributeDomain> AugmentedAdt<DD, DA> {
+    /// Starts attributing the given tree; values are supplied by name via
+    /// the returned builder.
+    pub fn builder(adt: Adt, dom_def: DD, dom_att: DA) -> AugmentedAdtBuilder<DD, DA> {
+        let att = vec![None; adt.attack_count()];
+        let def = vec![None; adt.defense_count()];
+        AugmentedAdtBuilder { adt, dom_def, dom_att, def_values: def, att_values: att }
+    }
+
+    /// Attributes the tree by evaluating one closure per basic attack step
+    /// and one per basic defense step (each receives the node id).
+    pub fn from_fns(
+        adt: Adt,
+        dom_def: DD,
+        dom_att: DA,
+        mut def_fn: impl FnMut(&Adt, NodeId) -> DD::Value,
+        mut att_fn: impl FnMut(&Adt, NodeId) -> DA::Value,
+    ) -> Self {
+        let def_values = adt.defenses().iter().map(|&d| def_fn(&adt, d)).collect();
+        let att_values = adt.attacks().iter().map(|&a| att_fn(&adt, a)).collect();
+        AugmentedAdt { adt, dom_def, dom_att, def_values, att_values }
+    }
+
+    /// The underlying tree.
+    pub fn adt(&self) -> &Adt {
+        &self.adt
+    }
+
+    /// The defender's attribute domain `D_D`.
+    pub fn defender_domain(&self) -> &DD {
+        &self.dom_def
+    }
+
+    /// The attacker's attribute domain `D_A`.
+    pub fn attacker_domain(&self) -> &DA {
+        &self.dom_att
+    }
+
+    /// `β_A` of the basic attack step at the given vector position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position >= attack_count()`.
+    pub fn attack_value(&self, position: usize) -> &DA::Value {
+        &self.att_values[position]
+    }
+
+    /// `β_D` of the basic defense step at the given vector position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position >= defense_count()`.
+    pub fn defense_value(&self, position: usize) -> &DD::Value {
+        &self.def_values[position]
+    }
+
+    /// `β_A` of a basic attack step by node id, or `None` if the node is not
+    /// a basic attack step.
+    pub fn attack_value_of(&self, id: NodeId) -> Option<&DA::Value> {
+        let node = self.adt.get(id)?;
+        if node.is_leaf() && node.agent() == Agent::Attacker {
+            Some(&self.att_values[self.adt.basic_position(id)?])
+        } else {
+            None
+        }
+    }
+
+    /// `β_D` of a basic defense step by node id, or `None` if the node is
+    /// not a basic defense step.
+    pub fn defense_value_of(&self, id: NodeId) -> Option<&DD::Value> {
+        let node = self.adt.get(id)?;
+        if node.is_leaf() && node.agent() == Agent::Defender {
+            Some(&self.def_values[self.adt.basic_position(id)?])
+        } else {
+            None
+        }
+    }
+
+    /// The defender metric `β̂_D(δ⃗)` (Definition 6): the `⊗_D`-product of
+    /// the values of all activated defense steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdtError::VectorLength`] if the vector length does not
+    /// match the tree's number of basic defense steps.
+    pub fn defense_metric(&self, delta: &DefenseVector) -> Result<DD::Value, AdtError> {
+        if delta.len() != self.adt.defense_count() {
+            return Err(AdtError::VectorLength {
+                expected: self.adt.defense_count(),
+                found: delta.len(),
+            });
+        }
+        Ok(self
+            .dom_def
+            .product(delta.iter_active().map(|pos| &self.def_values[pos])))
+    }
+
+    /// The attacker metric `β̂_A(α⃗)` (Definition 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdtError::VectorLength`] if the vector length does not
+    /// match the tree's number of basic attack steps.
+    pub fn attack_metric(&self, alpha: &AttackVector) -> Result<DA::Value, AdtError> {
+        if alpha.len() != self.adt.attack_count() {
+            return Err(AdtError::VectorLength {
+                expected: self.adt.attack_count(),
+                found: alpha.len(),
+            });
+        }
+        Ok(self
+            .dom_att
+            .product(alpha.iter_active().map(|pos| &self.att_values[pos])))
+    }
+
+    /// The event metric `β̂(δ⃗, α⃗) = (β̂_D(δ⃗), β̂_A(α⃗))` (Definition 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdtError::VectorLength`] on mismatched vectors.
+    pub fn event_metric(&self, event: &Event) -> Result<(DD::Value, DA::Value), AdtError> {
+        Ok((self.defense_metric(&event.0)?, self.attack_metric(&event.1)?))
+    }
+
+    /// `β̂_D` over a bit mask (bit `i` activates defense position `i`); the
+    /// allocation-free fast path for the enumeration algorithms.
+    ///
+    /// Bits beyond the number of defense steps are ignored.
+    pub fn defense_metric_mask(&self, mask: u64) -> DD::Value {
+        debug_assert!(self.adt.defense_count() <= 64);
+        let mut acc = self.dom_def.one();
+        let mut rest = mask;
+        while rest != 0 {
+            let pos = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            if pos >= self.def_values.len() {
+                break;
+            }
+            acc = self.dom_def.mul(&acc, &self.def_values[pos]);
+        }
+        acc
+    }
+
+    /// `β̂_A` over a bit mask (bit `i` activates attack position `i`).
+    ///
+    /// Bits beyond the number of attack steps are ignored.
+    pub fn attack_metric_mask(&self, mask: u64) -> DA::Value {
+        debug_assert!(self.adt.attack_count() <= 64);
+        let mut acc = self.dom_att.one();
+        let mut rest = mask;
+        while rest != 0 {
+            let pos = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            if pos >= self.att_values.len() {
+                break;
+            }
+            acc = self.dom_att.mul(&acc, &self.att_values[pos]);
+        }
+        acc
+    }
+}
+
+impl<DD, DA> fmt::Display for AugmentedAdt<DD, DA>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+    DD::Value: fmt::Display,
+    DA::Value: fmt::Display,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.adt)?;
+        for (pos, &id) in self.adt.attacks().iter().enumerate() {
+            writeln!(f, "  β_A({}) = {}", self.adt[id].name(), self.att_values[pos])?;
+        }
+        for (pos, &id) in self.adt.defenses().iter().enumerate() {
+            writeln!(f, "  β_D({}) = {}", self.adt[id].name(), self.def_values[pos])?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder returned by [`AugmentedAdt::builder`]: assigns attribute values
+/// to basic steps by name and validates completeness on
+/// [`finish`](AugmentedAdtBuilder::finish).
+#[derive(Debug, Clone)]
+pub struct AugmentedAdtBuilder<DD: AttributeDomain, DA: AttributeDomain> {
+    adt: Adt,
+    dom_def: DD,
+    dom_att: DA,
+    def_values: Vec<Option<DD::Value>>,
+    att_values: Vec<Option<DA::Value>>,
+}
+
+impl<DD: AttributeDomain, DA: AttributeDomain> AugmentedAdtBuilder<DD, DA> {
+    /// Assigns `β_A` for the named basic attack step.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is unknown, refers to a gate, or refers
+    /// to a defense step.
+    pub fn attack_value(
+        mut self,
+        name: &str,
+        value: impl Into<DA::Value>,
+    ) -> Result<Self, AdtError> {
+        let pos = self.leaf_position(name, Agent::Attacker)?;
+        self.att_values[pos] = Some(value.into());
+        Ok(self)
+    }
+
+    /// Assigns `β_D` for the named basic defense step.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is unknown, refers to a gate, or refers
+    /// to an attack step.
+    pub fn defense_value(
+        mut self,
+        name: &str,
+        value: impl Into<DD::Value>,
+    ) -> Result<Self, AdtError> {
+        let pos = self.leaf_position(name, Agent::Defender)?;
+        self.def_values[pos] = Some(value.into());
+        Ok(self)
+    }
+
+    /// Finishes attribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdtError::MissingAttribute`] naming the first basic step
+    /// without a value.
+    pub fn finish(self) -> Result<AugmentedAdt<DD, DA>, AdtError> {
+        let mut att_values = Vec::with_capacity(self.att_values.len());
+        for (pos, value) in self.att_values.into_iter().enumerate() {
+            match value {
+                Some(v) => att_values.push(v),
+                None => {
+                    let id = self.adt.attacks()[pos];
+                    return Err(AdtError::MissingAttribute(self.adt[id].name().to_owned()));
+                }
+            }
+        }
+        let mut def_values = Vec::with_capacity(self.def_values.len());
+        for (pos, value) in self.def_values.into_iter().enumerate() {
+            match value {
+                Some(v) => def_values.push(v),
+                None => {
+                    let id = self.adt.defenses()[pos];
+                    return Err(AdtError::MissingAttribute(self.adt[id].name().to_owned()));
+                }
+            }
+        }
+        Ok(AugmentedAdt {
+            adt: self.adt,
+            dom_def: self.dom_def,
+            dom_att: self.dom_att,
+            def_values,
+            att_values,
+        })
+    }
+
+    fn leaf_position(&self, name: &str, expected: Agent) -> Result<usize, AdtError> {
+        let id = self.adt.require(name)?;
+        let node = &self.adt[id];
+        if !node.is_leaf() {
+            return Err(AdtError::AttributeOnGate(name.to_owned()));
+        }
+        if node.agent() != expected {
+            return Err(AdtError::WrongAgent { node: name.to_owned(), expected });
+        }
+        Ok(self.adt.basic_position(id).expect("leaves have positions"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adt::AdtBuilder;
+    use crate::semiring::{Ext, MinCost, MinSkill, Prob, Probability};
+
+    /// Fig. 3 of the paper with the costs of Example 1:
+    /// a1=5, a2=10, a3=20, d1=5, d2=10.
+    fn fig3() -> AugmentedAdt<MinCost, MinCost> {
+        let mut b = AdtBuilder::new();
+        let d1 = b.defense("d1").unwrap();
+        let d2 = b.defense("d2").unwrap();
+        let d_and = b.and("d_and", [d1, d2]).unwrap();
+        let a1 = b.attack("a1").unwrap();
+        let d_eff = b.inh("d_eff", d_and, a1).unwrap();
+        let a2 = b.attack("a2").unwrap();
+        let guarded = b.inh("guarded", a2, d_eff).unwrap();
+        let a3 = b.attack("a3").unwrap();
+        let root = b.or("root", [guarded, a3]).unwrap();
+        let adt = b.build(root).unwrap();
+        AugmentedAdt::builder(adt, MinCost, MinCost)
+            .attack_value("a1", 5u64)
+            .unwrap()
+            .attack_value("a2", 10u64)
+            .unwrap()
+            .attack_value("a3", 20u64)
+            .unwrap()
+            .defense_value("d1", 5u64)
+            .unwrap()
+            .defense_value("d2", 10u64)
+            .unwrap()
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn example1_metric_values() {
+        // Example 1: β̂_D({d1, d2}) = 15, β̂_A({a1, a2}) = 15.
+        let t = fig3();
+        let delta = t.adt().defense_vector(["d1", "d2"]).unwrap();
+        let alpha = t.adt().attack_vector(["a1", "a2"]).unwrap();
+        assert_eq!(t.defense_metric(&delta).unwrap(), Ext::Fin(15));
+        assert_eq!(t.attack_metric(&alpha).unwrap(), Ext::Fin(15));
+        assert_eq!(
+            t.event_metric(&(delta, alpha)).unwrap(),
+            (Ext::Fin(15), Ext::Fin(15))
+        );
+    }
+
+    #[test]
+    fn empty_vectors_give_units() {
+        let t = fig3();
+        let delta = DefenseVector::none(2);
+        let alpha = AttackVector::none(3);
+        assert_eq!(t.defense_metric(&delta).unwrap(), Ext::Fin(0));
+        assert_eq!(t.attack_metric(&alpha).unwrap(), Ext::Fin(0));
+    }
+
+    #[test]
+    fn mask_metrics_agree_with_vectors() {
+        let t = fig3();
+        for dm in 0u64..4 {
+            for am in 0u64..8 {
+                let delta = DefenseVector::from_mask(2, dm);
+                let alpha = AttackVector::from_mask(3, am);
+                assert_eq!(t.defense_metric_mask(dm), t.defense_metric(&delta).unwrap());
+                assert_eq!(t.attack_metric_mask(am), t.attack_metric(&alpha).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn values_accessible_by_position_and_id() {
+        let t = fig3();
+        assert_eq!(*t.attack_value(0), Ext::Fin(5));
+        assert_eq!(*t.defense_value(1), Ext::Fin(10));
+        let a2 = t.adt().node_id("a2").unwrap();
+        assert_eq!(t.attack_value_of(a2), Some(&Ext::Fin(10)));
+        let d1 = t.adt().node_id("d1").unwrap();
+        assert_eq!(t.defense_value_of(d1), Some(&Ext::Fin(5)));
+        // Wrong kind or gates give None.
+        assert_eq!(t.attack_value_of(d1), None);
+        assert_eq!(t.defense_value_of(a2), None);
+        let root = t.adt().root();
+        assert_eq!(t.attack_value_of(root), None);
+    }
+
+    #[test]
+    fn builder_rejects_unknown_gate_and_wrong_agent() {
+        let t = fig3();
+        let adt = t.adt().clone();
+        let b = AugmentedAdt::<MinCost, MinCost>::builder(adt.clone(), MinCost, MinCost);
+        assert_eq!(
+            b.clone().attack_value("zz", 1u64).unwrap_err(),
+            AdtError::UnknownName("zz".into())
+        );
+        assert_eq!(
+            b.clone().attack_value("root", 1u64).unwrap_err(),
+            AdtError::AttributeOnGate("root".into())
+        );
+        assert_eq!(
+            b.clone().attack_value("d1", 1u64).unwrap_err(),
+            AdtError::WrongAgent { node: "d1".into(), expected: Agent::Attacker }
+        );
+        assert_eq!(
+            b.defense_value("a1", 1u64).unwrap_err(),
+            AdtError::WrongAgent { node: "a1".into(), expected: Agent::Defender }
+        );
+    }
+
+    #[test]
+    fn finish_requires_all_attributes() {
+        let adt = fig3().adt().clone();
+        let err = AugmentedAdt::<MinCost, MinCost>::builder(adt, MinCost, MinCost)
+            .attack_value("a1", 5u64)
+            .unwrap()
+            .finish()
+            .unwrap_err();
+        assert!(matches!(err, AdtError::MissingAttribute(_)));
+    }
+
+    #[test]
+    fn from_fns_attributes_every_leaf() {
+        let adt = fig3().adt().clone();
+        let t = AugmentedAdt::from_fns(
+            adt,
+            MinCost,
+            MinCost,
+            |_, _| Ext::Fin(7),
+            |_, _| Ext::Fin(3),
+        );
+        assert_eq!(*t.attack_value(0), Ext::Fin(3));
+        assert_eq!(*t.defense_value(0), Ext::Fin(7));
+    }
+
+    #[test]
+    fn mixed_domains_defender_cost_attacker_probability() {
+        let mut b = AdtBuilder::new();
+        let a = b.attack("a").unwrap();
+        let d = b.defense("d").unwrap();
+        let root = b.inh("root", a, d).unwrap();
+        let adt = b.build(root).unwrap();
+        let t = AugmentedAdt::builder(adt, MinCost, Probability)
+            .attack_value("a", Prob::new(0.8).unwrap())
+            .unwrap()
+            .defense_value("d", 10u64)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let alpha = t.adt().attack_vector(["a"]).unwrap();
+        assert_eq!(t.attack_metric(&alpha).unwrap(), Prob::new(0.8).unwrap());
+        // The empty attack has probability 1 (the unit of ·).
+        assert_eq!(
+            t.attack_metric(&AttackVector::none(1)).unwrap(),
+            Prob::ONE
+        );
+    }
+
+    #[test]
+    fn skill_metric_takes_max() {
+        let mut b = AdtBuilder::new();
+        let x = b.attack("x").unwrap();
+        let y = b.attack("y").unwrap();
+        let root = b.and("root", [x, y]).unwrap();
+        let adt = b.build(root).unwrap();
+        let t = AugmentedAdt::builder(adt, MinCost, MinSkill)
+            .attack_value("x", 3u64)
+            .unwrap()
+            .attack_value("y", 9u64)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let alpha = t.adt().attack_vector(["x", "y"]).unwrap();
+        assert_eq!(t.attack_metric(&alpha).unwrap(), Ext::Fin(9));
+    }
+
+    #[test]
+    fn metric_rejects_wrong_length() {
+        let t = fig3();
+        assert!(matches!(
+            t.defense_metric(&DefenseVector::none(5)),
+            Err(AdtError::VectorLength { expected: 2, found: 5 })
+        ));
+        assert!(matches!(
+            t.attack_metric(&AttackVector::none(1)),
+            Err(AdtError::VectorLength { expected: 3, found: 1 })
+        ));
+    }
+
+    #[test]
+    fn display_shows_attributions() {
+        let t = fig3();
+        let shown = t.to_string();
+        assert!(shown.contains("β_A(a1) = 5"));
+        assert!(shown.contains("β_D(d2) = 10"));
+    }
+
+    #[test]
+    fn domains_accessible() {
+        let t = fig3();
+        assert_eq!(*t.defender_domain(), MinCost);
+        assert_eq!(*t.attacker_domain(), MinCost);
+    }
+}

@@ -1,0 +1,137 @@
+//! Graphviz DOT export for attack-defense trees.
+//!
+//! Attack nodes are drawn as red ellipses and defense nodes as green boxes,
+//! following the visual convention of the paper's figures; the edge to an
+//! inhibition trigger carries the small-circle arrowhead (`odot`) the paper
+//! uses to mark inhibitors.
+
+use std::fmt::Write as _;
+
+use crate::adt::Adt;
+use crate::attributed::AugmentedAdt;
+use crate::node::{Agent, Gate};
+use crate::semiring::AttributeDomain;
+
+/// Renders the tree as a Graphviz `digraph`.
+pub fn to_dot(adt: &Adt) -> String {
+    render(adt, |_, _| None)
+}
+
+/// Renders an augmented tree, annotating every basic step with its
+/// attribute value.
+pub fn to_dot_with_values<DD, DA>(aadt: &AugmentedAdt<DD, DA>) -> String
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+    DD::Value: std::fmt::Display,
+    DA::Value: std::fmt::Display,
+{
+    render(aadt.adt(), |adt, id| {
+        let node = &adt[id];
+        if !node.is_leaf() {
+            return None;
+        }
+        match node.agent() {
+            Agent::Attacker => aadt.attack_value_of(id).map(|v| v.to_string()),
+            Agent::Defender => aadt.defense_value_of(id).map(|v| v.to_string()),
+        }
+    })
+}
+
+fn render(
+    adt: &Adt,
+    value_label: impl Fn(&Adt, crate::node::NodeId) -> Option<String>,
+) -> String {
+    let mut out = String::from("digraph adt {\n");
+    out.push_str("    rankdir=TB;\n");
+    for (id, node) in adt.iter() {
+        let shape = match node.agent() {
+            Agent::Attacker => "ellipse",
+            Agent::Defender => "box",
+        };
+        let color = match node.agent() {
+            Agent::Attacker => "indianred1",
+            Agent::Defender => "palegreen",
+        };
+        let gate = match node.gate() {
+            Gate::Basic => String::new(),
+            other => format!("\\n[{other}]"),
+        };
+        let value = match value_label(adt, id) {
+            Some(v) => format!("\\n({v})"),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "    n{} [label=\"{}{gate}{value}\", shape={shape}, style=filled, fillcolor={color}];",
+            id.index(),
+            escape(node.name()),
+        );
+    }
+    for (id, node) in adt.iter() {
+        let trigger = node.trigger();
+        for &child in node.children() {
+            if Some(child) == trigger {
+                let _ = writeln!(
+                    out,
+                    "    n{} -> n{} [arrowhead=odot, style=dashed];",
+                    id.index(),
+                    child.index()
+                );
+            } else {
+                let _ = writeln!(out, "    n{} -> n{};", id.index(), child.index());
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(name: &str) -> String {
+    name.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let t = catalog::fig5();
+        let dot = to_dot(t.adt());
+        assert!(dot.starts_with("digraph adt {"));
+        assert!(dot.ends_with("}\n"));
+        // 7 nodes, 6 edges.
+        assert_eq!(dot.matches("label=").count(), 7);
+        assert_eq!(dot.matches("->").count(), 6);
+        // Trigger edges carry the odot arrowhead (two INH gates).
+        assert_eq!(dot.matches("arrowhead=odot").count(), 2);
+    }
+
+    #[test]
+    fn attack_and_defense_styles_differ() {
+        let t = catalog::fig5();
+        let dot = to_dot(t.adt());
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("indianred1"));
+        assert!(dot.contains("palegreen"));
+    }
+
+    #[test]
+    fn values_are_annotated() {
+        let t = catalog::fig5();
+        let dot = to_dot_with_values(&t);
+        assert!(dot.contains("a1\\n(5)"));
+        assert!(dot.contains("d2\\n(8)"));
+        // Gates carry their type but no value.
+        assert!(dot.contains("[INH]"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        assert_eq!(escape(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape(r"a\b"), r"a\\b");
+    }
+}

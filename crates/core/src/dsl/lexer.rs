@@ -1,0 +1,284 @@
+//! Tokenizer for the ADT text format.
+
+use super::{DslError, DslErrorKind};
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Token {
+    Ident(String),
+    Str(String),
+    Int(u64),
+    Float(f64),
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Eq,
+    Bang,
+    Eof,
+}
+
+impl Token {
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("`{s}`"),
+            Token::Str(s) => format!("\"{s}\""),
+            Token::Int(v) => format!("`{v}`"),
+            Token::Float(v) => format!("`{v}`"),
+            Token::LBrace => "`{`".to_owned(),
+            Token::RBrace => "`}`".to_owned(),
+            Token::LBracket => "`[`".to_owned(),
+            Token::RBracket => "`]`".to_owned(),
+            Token::LParen => "`(`".to_owned(),
+            Token::RParen => "`)`".to_owned(),
+            Token::Comma => "`,`".to_owned(),
+            Token::Semi => "`;`".to_owned(),
+            Token::Eq => "`=`".to_owned(),
+            Token::Bang => "`!`".to_owned(),
+            Token::Eof => "end of input".to_owned(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Spanned {
+    pub(crate) token: Token,
+    pub(crate) line: u32,
+    pub(crate) col: u32,
+}
+
+pub(crate) fn lex(source: &str) -> Result<Vec<Spanned>, DslError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    loop {
+        let (tok_line, tok_col) = (line, col);
+        let Some(&c) = chars.peek() else {
+            tokens.push(Spanned { token: Token::Eof, line, col });
+            return Ok(tokens);
+        };
+        match c {
+            c if c.is_whitespace() => {
+                bump!();
+            }
+            '#' => {
+                while chars.peek().is_some_and(|&c| c != '\n') {
+                    bump!();
+                }
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'/') {
+                    while chars.peek().is_some_and(|&c| c != '\n') {
+                        bump!();
+                    }
+                } else {
+                    return Err(DslError::new(
+                        tok_line,
+                        tok_col,
+                        DslErrorKind::UnexpectedChar('/'),
+                    ));
+                }
+            }
+            '{' | '}' | '[' | ']' | '(' | ')' | ',' | ';' | '=' | '!' => {
+                bump!();
+                let token = match c {
+                    '{' => Token::LBrace,
+                    '}' => Token::RBrace,
+                    '[' => Token::LBracket,
+                    ']' => Token::RBracket,
+                    '(' => Token::LParen,
+                    ')' => Token::RParen,
+                    ',' => Token::Comma,
+                    ';' => Token::Semi,
+                    '=' => Token::Eq,
+                    _ => Token::Bang,
+                };
+                tokens.push(Spanned { token, line: tok_line, col: tok_col });
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        Some('"') => break,
+                        Some('\n') | None => {
+                            return Err(DslError::new(
+                                tok_line,
+                                tok_col,
+                                DslErrorKind::UnterminatedString,
+                            ));
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                tokens.push(Spanned { token: Token::Str(s), line: tok_line, col: tok_col });
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    text.push(bump!().expect("peeked digit"));
+                }
+                let token = if chars.peek() == Some(&'.') {
+                    text.push(bump!().expect("peeked dot"));
+                    while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        text.push(bump!().expect("peeked digit"));
+                    }
+                    match text.parse::<f64>() {
+                        Ok(v) if v.is_finite() => Token::Float(v),
+                        _ => {
+                            return Err(DslError::new(
+                                tok_line,
+                                tok_col,
+                                DslErrorKind::BadNumber(text),
+                            ));
+                        }
+                    }
+                } else {
+                    match text.parse::<u64>() {
+                        Ok(v) => Token::Int(v),
+                        Err(_) => {
+                            return Err(DslError::new(
+                                tok_line,
+                                tok_col,
+                                DslErrorKind::BadNumber(text),
+                            ));
+                        }
+                    }
+                };
+                tokens.push(Spanned { token, line: tok_line, col: tok_col });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while chars
+                    .peek()
+                    .is_some_and(|&c| c.is_ascii_alphanumeric() || c == '_')
+                {
+                    text.push(bump!().expect("peeked ident char"));
+                }
+                tokens.push(Spanned {
+                    token: Token::Ident(text),
+                    line: tok_line,
+                    col: tok_col,
+                });
+            }
+            other => {
+                return Err(DslError::new(
+                    tok_line,
+                    tok_col,
+                    DslErrorKind::UnexpectedChar(other),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn punctuation_and_idents() {
+        assert_eq!(
+            kinds("and g [a, b];"),
+            vec![
+                Token::Ident("and".into()),
+                Token::Ident("g".into()),
+                Token::LBracket,
+                Token::Ident("a".into()),
+                Token::Comma,
+                Token::Ident("b".into()),
+                Token::RBracket,
+                Token::Semi,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("5 0.25 100"),
+            vec![Token::Int(5), Token::Float(0.25), Token::Int(100), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn strings() {
+        assert_eq!(
+            kinds(r#""money theft""#),
+            vec![Token::Str("money theft".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // rest of line\n# hash comment\nb"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unexpected_char_reported_with_position() {
+        let err = lex("a\n @").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 2));
+        assert_eq!(err.kind, DslErrorKind::UnexpectedChar('@'));
+    }
+
+    #[test]
+    fn unterminated_string_reported() {
+        let err = lex("\"abc").unwrap_err();
+        assert_eq!(err.kind, DslErrorKind::UnterminatedString);
+    }
+
+    #[test]
+    fn lone_slash_rejected() {
+        let err = lex("/").unwrap_err();
+        assert_eq!(err.kind, DslErrorKind::UnexpectedChar('/'));
+    }
+
+    #[test]
+    fn bang_separator() {
+        assert_eq!(
+            kinds("(a ! d)"),
+            vec![
+                Token::LParen,
+                Token::Ident("a".into()),
+                Token::Bang,
+                Token::Ident("d".into()),
+                Token::RParen,
+                Token::Eof,
+            ]
+        );
+    }
+}

@@ -1,0 +1,440 @@
+//! A small textual format for attack-defense trees.
+//!
+//! The format is line-oriented and order-independent; names are resolved
+//! after the whole document is read, so gates may be declared before their
+//! children. Node names always follow a keyword or delimiter, so even the
+//! statement keywords (`and`, `root`, …) are usable as node names.
+//!
+//! ```text
+//! adt "fig5" {
+//!     attack a1 { cost = 5 }
+//!     attack a2 { cost = 10 }
+//!     defense d1 { cost = 4 }
+//!     defense d2 { cost = 8 }
+//!     inh i1 (a1 ! d1)
+//!     inh i2 (a2 ! d2)
+//!     or root_node [i1, i2]
+//!     root root_node
+//! }
+//! ```
+//!
+//! Leaves may carry any number of named numeric attributes; which attribute
+//! feeds which semiring domain is decided when converting the parsed
+//! [`Document`] into an [`AugmentedAdt`], e.g. via [`Document::to_cost_adt`].
+
+mod lexer;
+mod parser;
+mod printer;
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::adt::Adt;
+use crate::attributed::AugmentedAdt;
+use crate::error::AdtError;
+use crate::node::{Node, NodeId};
+use crate::semiring::MinCost;
+
+pub use printer::print_document;
+
+/// A numeric attribute value attached to a leaf in the DSL.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttrValue {
+    /// An unsigned integer literal, e.g. `cost = 60`.
+    Int(u64),
+    /// A floating point literal, e.g. `prob = 0.25`.
+    Float(f64),
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(v) => v.fmt(f),
+            AttrValue::Float(v) => {
+                // Keep a decimal point so the value re-parses as a float.
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v:.1}")
+                } else {
+                    v.fmt(f)
+                }
+            }
+        }
+    }
+}
+
+/// A parsed DSL document: the tree plus per-leaf attribute maps.
+#[derive(Debug, Clone)]
+pub struct Document {
+    /// The document name (the string after the `adt` keyword).
+    pub name: String,
+    /// The parsed tree.
+    pub adt: Adt,
+    pub(crate) attrs: HashMap<NodeId, Vec<(String, AttrValue)>>,
+}
+
+impl Document {
+    /// Parses a DSL document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DslError`] carrying the source position of the first
+    /// problem.
+    pub fn parse(source: &str) -> Result<Document, DslError> {
+        parser::parse(source)
+    }
+
+    /// Wraps an existing tree as a document with explicit per-node
+    /// attributes; gates in the attribute list are ignored.
+    pub fn new<I>(name: impl Into<String>, adt: Adt, attrs: I) -> Document
+    where
+        I: IntoIterator<Item = (NodeId, Vec<(String, AttrValue)>)>,
+    {
+        let attrs = attrs
+            .into_iter()
+            .filter(|(id, values)| {
+                adt.get(*id).is_some_and(Node::is_leaf) && !values.is_empty()
+            })
+            .collect();
+        Document { name: name.into(), adt, attrs }
+    }
+
+    /// Wraps a min-cost/min-cost augmented tree as a document whose leaves
+    /// carry their costs under the `cost` attribute; `to_dsl` then yields a
+    /// file that [`Document::to_cost_adt`] round-trips.
+    pub fn from_cost_adt(
+        name: impl Into<String>,
+        aadt: &AugmentedAdt<MinCost, MinCost>,
+    ) -> Document {
+        let adt = aadt.adt().clone();
+        let attrs = adt
+            .iter()
+            .filter(|(_, node)| node.is_leaf())
+            .map(|(id, node)| {
+                let value = match node.agent() {
+                    crate::node::Agent::Attacker => aadt.attack_value_of(id),
+                    crate::node::Agent::Defender => aadt.defense_value_of(id),
+                }
+                .expect("leaves are attributed");
+                let value = match value {
+                    crate::semiring::Ext::Fin(v) => AttrValue::Int(*v),
+                    crate::semiring::Ext::Inf => AttrValue::Float(f64::INFINITY),
+                };
+                (id, vec![("cost".to_owned(), value)])
+            })
+            .collect::<Vec<_>>();
+        Document::new(name, adt, attrs)
+    }
+
+    /// The attributes attached to a node (empty for gates and unattributed
+    /// leaves).
+    pub fn attrs(&self, node: NodeId) -> &[(String, AttrValue)] {
+        self.attrs.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Looks up one attribute of one node.
+    pub fn attr(&self, node: NodeId, key: &str) -> Option<AttrValue> {
+        self.attrs(node).iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// Renders the document back to DSL text; parsing the output yields a
+    /// structurally equal document.
+    pub fn to_dsl(&self) -> String {
+        printer::print_document(self)
+    }
+
+    /// Builds a min-cost/min-cost augmented tree from the integer attribute
+    /// `key` of every leaf (the configuration of all the paper's examples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DslError`] if a leaf lacks the attribute or carries a
+    /// non-integer value.
+    pub fn to_cost_adt(&self, key: &str) -> Result<AugmentedAdt<MinCost, MinCost>, DslError> {
+        let mut builder = AugmentedAdt::builder(self.adt.clone(), MinCost, MinCost);
+        for (id, node) in self.adt.iter() {
+            if !node.is_leaf() {
+                continue;
+            }
+            let value = match self.attr(id, key) {
+                Some(AttrValue::Int(v)) => v,
+                Some(AttrValue::Float(_)) => {
+                    return Err(DslError::plain(DslErrorKind::NonIntegerAttr {
+                        node: node.name().to_owned(),
+                        key: key.to_owned(),
+                    }));
+                }
+                None => {
+                    return Err(DslError::plain(DslErrorKind::MissingAttr {
+                        node: node.name().to_owned(),
+                        key: key.to_owned(),
+                    }));
+                }
+            };
+            builder = match node.agent() {
+                crate::node::Agent::Attacker => builder
+                    .attack_value(node.name(), value)
+                    .map_err(|e| DslError::plain(DslErrorKind::Adt(e)))?,
+                crate::node::Agent::Defender => builder
+                    .defense_value(node.name(), value)
+                    .map_err(|e| DslError::plain(DslErrorKind::Adt(e)))?,
+            };
+        }
+        builder
+            .finish()
+            .map_err(|e| DslError::plain(DslErrorKind::Adt(e)))
+    }
+}
+
+/// An error while lexing, parsing or converting a DSL document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DslError {
+    /// 1-based source line, or 0 for errors without a position.
+    pub line: u32,
+    /// 1-based source column, or 0 for errors without a position.
+    pub col: u32,
+    /// What went wrong.
+    pub kind: DslErrorKind,
+}
+
+impl DslError {
+    pub(crate) fn new(line: u32, col: u32, kind: DslErrorKind) -> Self {
+        DslError { line, col, kind }
+    }
+
+    pub(crate) fn plain(kind: DslErrorKind) -> Self {
+        DslError { line: 0, col: 0, kind }
+    }
+}
+
+/// The specific failure inside a [`DslError`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DslErrorKind {
+    /// A character that cannot start any token.
+    UnexpectedChar(char),
+    /// A string literal without a closing quote.
+    UnterminatedString,
+    /// A malformed numeric literal.
+    BadNumber(String),
+    /// The parser expected something else here.
+    UnexpectedToken {
+        /// Description of the token that was found.
+        found: String,
+        /// What the parser expected instead.
+        expected: &'static str,
+    },
+    /// Two declarations share a name.
+    DuplicateDecl(String),
+    /// A gate references an undeclared child.
+    UnknownChild {
+        /// The gate (or `root` statement) with the dangling reference.
+        gate: String,
+        /// The undeclared name.
+        child: String,
+    },
+    /// Declarations form a reference cycle.
+    CyclicDecls(String),
+    /// The document has no `root` statement.
+    MissingRoot,
+    /// The document has more than one `root` statement.
+    MultipleRoots,
+    /// Structural validation failed after parsing.
+    Adt(AdtError),
+    /// A leaf lacks a required attribute.
+    MissingAttr {
+        /// The leaf lacking the attribute.
+        node: String,
+        /// The attribute key that was requested.
+        key: String,
+    },
+    /// An attribute has the wrong numeric type.
+    NonIntegerAttr {
+        /// The leaf carrying the attribute.
+        node: String,
+        /// The attribute key with the wrong type.
+        key: String,
+    },
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}: ", self.line, self.col)?;
+        }
+        match &self.kind {
+            DslErrorKind::UnexpectedChar(c) => write!(f, "unexpected character `{c}`"),
+            DslErrorKind::UnterminatedString => write!(f, "unterminated string literal"),
+            DslErrorKind::BadNumber(s) => write!(f, "malformed number `{s}`"),
+            DslErrorKind::UnexpectedToken { found, expected } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            DslErrorKind::DuplicateDecl(name) => {
+                write!(f, "node `{name}` is declared twice")
+            }
+            DslErrorKind::UnknownChild { gate, child } => {
+                write!(f, "gate `{gate}` references undeclared node `{child}`")
+            }
+            DslErrorKind::CyclicDecls(name) => {
+                write!(f, "declarations form a cycle through `{name}`")
+            }
+            DslErrorKind::MissingRoot => write!(f, "missing `root` statement"),
+            DslErrorKind::MultipleRoots => write!(f, "more than one `root` statement"),
+            DslErrorKind::Adt(e) => e.fmt(f),
+            DslErrorKind::MissingAttr { node, key } => {
+                write!(f, "leaf `{node}` lacks attribute `{key}`")
+            }
+            DslErrorKind::NonIntegerAttr { node, key } => {
+                write!(f, "attribute `{key}` of `{node}` must be an integer")
+            }
+        }
+    }
+}
+
+impl Error for DslError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::Ext;
+
+    const FIG5: &str = r#"
+        adt "fig5" {
+            attack a1 { cost = 5 }
+            attack a2 { cost = 10 }
+            defense d1 { cost = 4 }
+            defense d2 { cost = 8 }
+            inh i1 (a1 ! d1)
+            inh i2 (a2 ! d2)
+            or top [i1, i2]
+            root top
+        }
+    "#;
+
+    #[test]
+    fn parse_fig5() {
+        let doc = Document::parse(FIG5).unwrap();
+        assert_eq!(doc.name, "fig5");
+        assert_eq!(doc.adt.node_count(), 7);
+        assert_eq!(doc.adt[doc.adt.root()].name(), "top");
+        let a1 = doc.adt.node_id("a1").unwrap();
+        assert_eq!(doc.attr(a1, "cost"), Some(AttrValue::Int(5)));
+    }
+
+    #[test]
+    fn to_cost_adt_reads_attributes() {
+        let doc = Document::parse(FIG5).unwrap();
+        let t = doc.to_cost_adt("cost").unwrap();
+        let a2 = t.adt().node_id("a2").unwrap();
+        assert_eq!(t.attack_value_of(a2), Some(&Ext::Fin(10)));
+        let d2 = t.adt().node_id("d2").unwrap();
+        assert_eq!(t.defense_value_of(d2), Some(&Ext::Fin(8)));
+    }
+
+    #[test]
+    fn round_trip_through_printer() {
+        let doc = Document::parse(FIG5).unwrap();
+        let printed = doc.to_dsl();
+        let reparsed = Document::parse(&printed).unwrap();
+        assert_eq!(reparsed.name, doc.name);
+        assert_eq!(reparsed.adt.node_count(), doc.adt.node_count());
+        for (id, node) in doc.adt.iter() {
+            let other = reparsed.adt.node_id(node.name()).unwrap();
+            assert_eq!(reparsed.adt[other].gate(), node.gate());
+            assert_eq!(reparsed.adt[other].agent(), node.agent());
+            assert_eq!(reparsed.attrs(other), doc.attrs(id));
+        }
+    }
+
+    #[test]
+    fn missing_cost_attribute_reported() {
+        let src = r#"
+            adt "x" {
+                attack a
+                root a
+            }
+        "#;
+        let doc = Document::parse(src).unwrap();
+        let err = doc.to_cost_adt("cost").unwrap_err();
+        assert_eq!(
+            err.kind,
+            DslErrorKind::MissingAttr { node: "a".into(), key: "cost".into() }
+        );
+    }
+
+    #[test]
+    fn float_cost_attribute_rejected() {
+        let src = r#"
+            adt "x" {
+                attack a { cost = 1.5 }
+                root a
+            }
+        "#;
+        let doc = Document::parse(src).unwrap();
+        let err = doc.to_cost_adt("cost").unwrap_err();
+        assert!(matches!(err.kind, DslErrorKind::NonIntegerAttr { .. }));
+    }
+
+    #[test]
+    fn float_attrs_are_preserved() {
+        let src = r#"
+            adt "p" {
+                attack a { prob = 0.25, cost = 3 }
+                root a
+            }
+        "#;
+        let doc = Document::parse(src).unwrap();
+        let a = doc.adt.node_id("a").unwrap();
+        assert_eq!(doc.attr(a, "prob"), Some(AttrValue::Float(0.25)));
+        assert_eq!(doc.attr(a, "cost"), Some(AttrValue::Int(3)));
+        assert_eq!(doc.attr(a, "other"), None);
+    }
+
+    #[test]
+    fn document_new_filters_gate_attrs() {
+        let doc = Document::parse(FIG5).unwrap();
+        let a1 = doc.adt.node_id("a1").unwrap();
+        let root = doc.adt.root();
+        let rebuilt = Document::new(
+            "rebuilt",
+            doc.adt.clone(),
+            vec![
+                (a1, vec![("cost".to_owned(), AttrValue::Int(5))]),
+                (root, vec![("cost".to_owned(), AttrValue::Int(99))]),
+            ],
+        );
+        assert_eq!(rebuilt.attr(a1, "cost"), Some(AttrValue::Int(5)));
+        assert_eq!(rebuilt.attr(root, "cost"), None);
+    }
+
+    #[test]
+    fn from_cost_adt_round_trips_through_dsl() {
+        let aadt = crate::catalog::fig5();
+        let doc = Document::from_cost_adt("fig5", &aadt);
+        let reparsed = Document::parse(&doc.to_dsl()).unwrap();
+        let rebuilt = reparsed.to_cost_adt("cost").unwrap();
+        for (id, node) in aadt.adt().iter() {
+            if !node.is_leaf() {
+                continue;
+            }
+            let other = rebuilt.adt().node_id(node.name()).unwrap();
+            assert_eq!(rebuilt.attack_value_of(other), aadt.attack_value_of(id));
+            assert_eq!(rebuilt.defense_value_of(other), aadt.defense_value_of(id));
+        }
+    }
+
+    #[test]
+    fn attr_value_display_round_trips() {
+        assert_eq!(AttrValue::Int(5).to_string(), "5");
+        assert_eq!(AttrValue::Float(0.25).to_string(), "0.25");
+        assert_eq!(AttrValue::Float(2.0).to_string(), "2.0");
+    }
+
+    #[test]
+    fn error_display_includes_position() {
+        let err = DslError::new(3, 7, DslErrorKind::UnexpectedChar('%'));
+        assert_eq!(err.to_string(), "3:7: unexpected character `%`");
+        let plain = DslError::plain(DslErrorKind::MissingRoot);
+        assert_eq!(plain.to_string(), "missing `root` statement");
+    }
+}

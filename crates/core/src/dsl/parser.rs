@@ -1,0 +1,515 @@
+//! Recursive-descent parser for the ADT text format.
+
+use std::collections::HashMap;
+
+use super::lexer::{lex, Spanned, Token};
+use super::{AttrValue, Document, DslError, DslErrorKind};
+use crate::adt::AdtBuilder;
+use crate::node::{Agent, NodeId};
+
+#[derive(Debug)]
+enum Decl {
+    Leaf { agent: Agent, name: String, attrs: Vec<(String, AttrValue)> },
+    And { name: String, children: Vec<String> },
+    Or { name: String, children: Vec<String> },
+    Inh { name: String, inhibited: String, trigger: String },
+}
+
+impl Decl {
+    fn name(&self) -> &str {
+        match self {
+            Decl::Leaf { name, .. }
+            | Decl::And { name, .. }
+            | Decl::Or { name, .. }
+            | Decl::Inh { name, .. } => name,
+        }
+    }
+
+    fn children(&self) -> Vec<&str> {
+        match self {
+            Decl::Leaf { .. } => Vec::new(),
+            Decl::And { children, .. } | Decl::Or { children, .. } => {
+                children.iter().map(String::as_str).collect()
+            }
+            Decl::Inh { inhibited, trigger, .. } => vec![inhibited, trigger],
+        }
+    }
+}
+
+pub(crate) fn parse(source: &str) -> Result<Document, DslError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.document()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Spanned {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Spanned {
+        let tok = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn error(&self, expected: &'static str) -> DslError {
+        let here = self.peek();
+        DslError::new(
+            here.line,
+            here.col,
+            DslErrorKind::UnexpectedToken { found: here.token.describe(), expected },
+        )
+    }
+
+    fn expect(&mut self, token: Token, expected: &'static str) -> Result<(), DslError> {
+        if self.peek().token == token {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(expected))
+        }
+    }
+
+    fn keyword(&mut self, word: &'static str) -> Result<(), DslError> {
+        match &self.peek().token {
+            Token::Ident(s) if s == word => {
+                self.bump();
+                Ok(())
+            }
+            _ => Err(self.error(match word {
+                "adt" => "keyword `adt`",
+                _ => "a keyword",
+            })),
+        }
+    }
+
+    fn node_name(&mut self) -> Result<String, DslError> {
+        // Names always follow a keyword or delimiter, so keywords are valid
+        // node names here without ambiguity.
+        let here = self.peek().clone();
+        match here.token {
+            Token::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            _ => Err(self.error("a node name")),
+        }
+    }
+
+    fn document(&mut self) -> Result<Document, DslError> {
+        self.keyword("adt")?;
+        let name = match self.bump() {
+            Spanned { token: Token::Str(s), .. } => s,
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.error("a document name string"));
+            }
+        };
+        self.expect(Token::LBrace, "`{`")?;
+
+        let mut decls: Vec<Decl> = Vec::new();
+        let mut root: Option<(String, u32, u32)> = None;
+        loop {
+            let here = self.peek().clone();
+            match &here.token {
+                Token::RBrace => {
+                    self.bump();
+                    break;
+                }
+                Token::Semi => {
+                    self.bump();
+                }
+                Token::Ident(word) => match word.as_str() {
+                    "attack" => {
+                        self.bump();
+                        decls.push(self.leaf(Agent::Attacker)?);
+                    }
+                    "defense" => {
+                        self.bump();
+                        decls.push(self.leaf(Agent::Defender)?);
+                    }
+                    "and" => {
+                        self.bump();
+                        let name = self.node_name()?;
+                        let children = self.child_list()?;
+                        decls.push(Decl::And { name, children });
+                    }
+                    "or" => {
+                        self.bump();
+                        let name = self.node_name()?;
+                        let children = self.child_list()?;
+                        decls.push(Decl::Or { name, children });
+                    }
+                    "inh" => {
+                        self.bump();
+                        let name = self.node_name()?;
+                        self.expect(Token::LParen, "`(`")?;
+                        let inhibited = self.node_name()?;
+                        self.expect(Token::Bang, "`!`")?;
+                        let trigger = self.node_name()?;
+                        self.expect(Token::RParen, "`)`")?;
+                        decls.push(Decl::Inh { name, inhibited, trigger });
+                    }
+                    "root" => {
+                        self.bump();
+                        let target = self.node_name()?;
+                        if root.is_some() {
+                            return Err(DslError::new(
+                                here.line,
+                                here.col,
+                                DslErrorKind::MultipleRoots,
+                            ));
+                        }
+                        root = Some((target, here.line, here.col));
+                    }
+                    _ => return Err(self.error("a statement keyword")),
+                },
+                _ => return Err(self.error("a statement keyword or `}`")),
+            }
+        }
+        self.expect(Token::Eof, "end of input")?;
+
+        let Some((root_name, root_line, root_col)) = root else {
+            return Err(DslError::plain(DslErrorKind::MissingRoot));
+        };
+        instantiate(name, decls, &root_name, root_line, root_col)
+    }
+
+    fn leaf(&mut self, agent: Agent) -> Result<Decl, DslError> {
+        let name = self.node_name()?;
+        let mut attrs = Vec::new();
+        if self.peek().token == Token::LBrace {
+            self.bump();
+            loop {
+                match &self.peek().token {
+                    Token::RBrace => {
+                        self.bump();
+                        break;
+                    }
+                    Token::Comma => {
+                        self.bump();
+                    }
+                    Token::Ident(_) => {
+                        let key = match self.bump().token {
+                            Token::Ident(k) => k,
+                            _ => unreachable!("peeked ident"),
+                        };
+                        self.expect(Token::Eq, "`=`")?;
+                        let value = match self.bump().token {
+                            Token::Int(v) => AttrValue::Int(v),
+                            Token::Float(v) => AttrValue::Float(v),
+                            _ => {
+                                self.pos = self.pos.saturating_sub(1);
+                                return Err(self.error("a numeric attribute value"));
+                            }
+                        };
+                        attrs.push((key, value));
+                    }
+                    _ => return Err(self.error("an attribute name or `}`")),
+                }
+            }
+        }
+        Ok(Decl::Leaf { agent, name, attrs })
+    }
+
+    fn child_list(&mut self) -> Result<Vec<String>, DslError> {
+        self.expect(Token::LBracket, "`[`")?;
+        let mut children = Vec::new();
+        loop {
+            match &self.peek().token {
+                Token::RBracket => {
+                    self.bump();
+                    break;
+                }
+                Token::Comma => {
+                    self.bump();
+                }
+                Token::Ident(_) => children.push(self.node_name()?),
+                _ => return Err(self.error("a child name or `]`")),
+            }
+        }
+        Ok(children)
+    }
+}
+
+/// Orders declarations children-first and feeds them to [`AdtBuilder`].
+fn instantiate(
+    doc_name: String,
+    decls: Vec<Decl>,
+    root_name: &str,
+    root_line: u32,
+    root_col: u32,
+) -> Result<Document, DslError> {
+    let mut index: HashMap<&str, usize> = HashMap::with_capacity(decls.len());
+    for (i, decl) in decls.iter().enumerate() {
+        if index.insert(decl.name(), i).is_some() {
+            return Err(DslError::plain(DslErrorKind::DuplicateDecl(
+                decl.name().to_owned(),
+            )));
+        }
+    }
+    for decl in &decls {
+        for child in decl.children() {
+            if !index.contains_key(child) {
+                return Err(DslError::plain(DslErrorKind::UnknownChild {
+                    gate: decl.name().to_owned(),
+                    child: child.to_owned(),
+                }));
+            }
+        }
+    }
+
+    // Iterative DFS post-order over the declaration graph.
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Unvisited,
+        InProgress,
+        Done,
+    }
+    let mut state = vec![State::Unvisited; decls.len()];
+    let mut order: Vec<usize> = Vec::with_capacity(decls.len());
+    for start in 0..decls.len() {
+        if state[start] != State::Unvisited {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        state[start] = State::InProgress;
+        while let Some(&mut (i, ref mut next)) = stack.last_mut() {
+            let children = decls[i].children();
+            if *next < children.len() {
+                let child = index[children[*next]];
+                *next += 1;
+                match state[child] {
+                    State::Unvisited => {
+                        state[child] = State::InProgress;
+                        stack.push((child, 0));
+                    }
+                    State::InProgress => {
+                        return Err(DslError::plain(DslErrorKind::CyclicDecls(
+                            decls[child].name().to_owned(),
+                        )));
+                    }
+                    State::Done => {}
+                }
+            } else {
+                state[i] = State::Done;
+                order.push(i);
+                stack.pop();
+            }
+        }
+    }
+
+    let mut builder = AdtBuilder::new();
+    let mut ids: HashMap<&str, NodeId> = HashMap::with_capacity(decls.len());
+    let mut attrs: HashMap<NodeId, Vec<(String, AttrValue)>> = HashMap::new();
+    for &i in &order {
+        let decl = &decls[i];
+        let result = match decl {
+            Decl::Leaf { agent, name, attrs: leaf_attrs } => {
+                let id = builder.leaf(*agent, name.clone());
+                if let Ok(id) = id {
+                    if !leaf_attrs.is_empty() {
+                        attrs.insert(id, leaf_attrs.clone());
+                    }
+                }
+                id
+            }
+            Decl::And { name, children } => {
+                let kids: Vec<NodeId> = children.iter().map(|c| ids[c.as_str()]).collect();
+                builder.and(name.clone(), kids)
+            }
+            Decl::Or { name, children } => {
+                let kids: Vec<NodeId> = children.iter().map(|c| ids[c.as_str()]).collect();
+                builder.or(name.clone(), kids)
+            }
+            Decl::Inh { name, inhibited, trigger } => {
+                builder.inh(name.clone(), ids[inhibited.as_str()], ids[trigger.as_str()])
+            }
+        };
+        let id = result.map_err(|e| DslError::plain(DslErrorKind::Adt(e)))?;
+        ids.insert(decl.name(), id);
+    }
+
+    let Some(&root_id) = ids.get(root_name) else {
+        return Err(DslError::new(
+            root_line,
+            root_col,
+            DslErrorKind::UnknownChild { gate: "root".to_owned(), child: root_name.to_owned() },
+        ));
+    };
+    let adt = builder
+        .build(root_id)
+        .map_err(|e| DslError::plain(DslErrorKind::Adt(e)))?;
+    // Re-key attributes: builder node ids survive `build` unchanged.
+    Ok(Document { name: doc_name, adt, attrs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::AdtError;
+    use crate::node::Gate;
+
+    #[test]
+    fn forward_references_are_resolved() {
+        let src = r#"
+            adt "fwd" {
+                root top
+                or top [left, right]
+                and left [a, b]
+                attack right { cost = 1 }
+                attack a { cost = 2 }
+                attack b { cost = 3 }
+            }
+        "#;
+        let doc = Document::parse(src).unwrap();
+        assert_eq!(doc.adt.node_count(), 5);
+        assert_eq!(doc.adt[doc.adt.root()].name(), "top");
+        assert_eq!(doc.adt[doc.adt.node_id("left").unwrap()].gate(), Gate::And);
+    }
+
+    #[test]
+    fn inh_parses_inhibited_then_trigger() {
+        let src = r#"
+            adt "inh" {
+                attack a { cost = 1 }
+                defense d { cost = 2 }
+                inh g (a ! d)
+                root g
+            }
+        "#;
+        let doc = Document::parse(src).unwrap();
+        let g = doc.adt.node_id("g").unwrap();
+        let a = doc.adt.node_id("a").unwrap();
+        let d = doc.adt.node_id("d").unwrap();
+        assert_eq!(doc.adt[g].inhibited(), Some(a));
+        assert_eq!(doc.adt[g].trigger(), Some(d));
+    }
+
+    #[test]
+    fn missing_root_rejected() {
+        let src = r#"adt "x" { attack a }"#;
+        let err = Document::parse(src).unwrap_err();
+        assert_eq!(err.kind, DslErrorKind::MissingRoot);
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        let src = r#"adt "x" { attack a root a root a }"#;
+        let err = Document::parse(src).unwrap_err();
+        assert_eq!(err.kind, DslErrorKind::MultipleRoots);
+    }
+
+    #[test]
+    fn unknown_child_rejected() {
+        let src = r#"adt "x" { or g [nope] root g }"#;
+        let err = Document::parse(src).unwrap_err();
+        assert_eq!(
+            err.kind,
+            DslErrorKind::UnknownChild { gate: "g".into(), child: "nope".into() }
+        );
+    }
+
+    #[test]
+    fn unknown_root_target_rejected() {
+        let src = r#"adt "x" { attack a root zz }"#;
+        let err = Document::parse(src).unwrap_err();
+        assert!(matches!(err.kind, DslErrorKind::UnknownChild { .. }));
+    }
+
+    #[test]
+    fn duplicate_declaration_rejected() {
+        let src = r#"adt "x" { attack a attack a root a }"#;
+        let err = Document::parse(src).unwrap_err();
+        assert_eq!(err.kind, DslErrorKind::DuplicateDecl("a".into()));
+    }
+
+    #[test]
+    fn cyclic_declarations_rejected() {
+        let src = r#"adt "x" { or g [h] or h [g] root g }"#;
+        let err = Document::parse(src).unwrap_err();
+        assert!(matches!(err.kind, DslErrorKind::CyclicDecls(_)));
+    }
+
+    #[test]
+    fn keywords_are_valid_node_names() {
+        let src = r#"adt "x" { attack root root root }"#;
+        let doc = Document::parse(src).unwrap();
+        assert_eq!(doc.adt[doc.adt.root()].name(), "root");
+    }
+
+    #[test]
+    fn structural_violations_surface_as_adt_errors() {
+        // Mixed agents under an AND.
+        let src = r#"
+            adt "x" {
+                attack a
+                defense d
+                and g [a, d]
+                root g
+            }
+        "#;
+        let err = Document::parse(src).unwrap_err();
+        assert_eq!(
+            err.kind,
+            DslErrorKind::Adt(AdtError::MixedAgents { gate: "g".into(), child: "d".into() })
+        );
+    }
+
+    #[test]
+    fn unreachable_decl_rejected() {
+        let src = r#"
+            adt "x" {
+                attack a
+                attack orphan
+                root a
+            }
+        "#;
+        let err = Document::parse(src).unwrap_err();
+        assert_eq!(err.kind, DslErrorKind::Adt(AdtError::Unreachable("orphan".into())));
+    }
+
+    #[test]
+    fn dag_shaped_documents_parse() {
+        let src = r#"
+            adt "dag" {
+                attack shared { cost = 1 }
+                attack x { cost = 2 }
+                attack y { cost = 3 }
+                and left [shared, x]
+                and right [shared, y]
+                or top [left, right]
+                root top
+            }
+        "#;
+        let doc = Document::parse(src).unwrap();
+        assert!(!doc.adt.is_tree());
+    }
+
+    #[test]
+    fn missing_document_name_rejected() {
+        let err = Document::parse("adt { }").unwrap_err();
+        assert!(matches!(err.kind, DslErrorKind::UnexpectedToken { .. }));
+    }
+
+    #[test]
+    fn garbage_statement_rejected() {
+        let err = Document::parse(r#"adt "x" { banana a root a }"#).unwrap_err();
+        assert!(matches!(err.kind, DslErrorKind::UnexpectedToken { .. }));
+    }
+
+    #[test]
+    fn semicolons_are_optional_separators() {
+        let src = r#"adt "x" { attack a; root a; }"#;
+        let doc = Document::parse(src).unwrap();
+        assert_eq!(doc.adt.node_count(), 1);
+    }
+}

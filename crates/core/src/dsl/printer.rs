@@ -1,0 +1,104 @@
+//! Canonical pretty-printer for the ADT text format.
+
+use std::fmt::Write as _;
+
+use super::Document;
+use crate::node::{Agent, Gate};
+
+/// Renders a document to DSL text in declaration order; parsing the output
+/// reproduces the document.
+pub fn print_document(doc: &Document) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "adt \"{}\" {{", doc.name);
+    for (id, node) in doc.adt.iter() {
+        match node.gate() {
+            Gate::Basic => {
+                let keyword = match node.agent() {
+                    Agent::Attacker => "attack",
+                    Agent::Defender => "defense",
+                };
+                let _ = write!(out, "    {keyword} {}", node.name());
+                let attrs = doc.attrs(id);
+                if !attrs.is_empty() {
+                    let body = attrs
+                        .iter()
+                        .map(|(k, v)| format!("{k} = {v}"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let _ = write!(out, " {{ {body} }}");
+                }
+                out.push('\n');
+            }
+            Gate::And | Gate::Or => {
+                let keyword = if node.gate() == Gate::And { "and" } else { "or" };
+                let kids = node
+                    .children()
+                    .iter()
+                    .map(|&c| doc.adt[c].name())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(out, "    {keyword} {} [{kids}]", node.name());
+            }
+            Gate::Inh => {
+                let inhibited = doc.adt[node.inhibited().expect("inh gate")].name();
+                let trigger = doc.adt[node.trigger().expect("inh gate")].name();
+                let _ = writeln!(out, "    inh {} ({inhibited} ! {trigger})", node.name());
+            }
+        }
+    }
+    let _ = writeln!(out, "    root {}", doc.adt[doc.adt.root()].name());
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printed_document_contains_all_statement_kinds() {
+        let src = r#"
+            adt "mix" {
+                attack a { cost = 5 }
+                defense d { cost = 4, prob = 0.5 }
+                inh g (a ! d)
+                attack b
+                or top [g, b]
+                root top
+            }
+        "#;
+        let doc = Document::parse(src).unwrap();
+        let printed = print_document(&doc);
+        assert!(printed.contains("adt \"mix\" {"));
+        assert!(printed.contains("attack a { cost = 5 }"));
+        assert!(printed.contains("defense d { cost = 4, prob = 0.5 }"));
+        assert!(printed.contains("inh g (a ! d)"));
+        assert!(printed.contains("or top [g, b]"));
+        assert!(printed.contains("root top"));
+    }
+
+    #[test]
+    fn printed_document_reparses_identically() {
+        let src = r#"
+            adt "rt" {
+                attack a { cost = 1 }
+                defense d { cost = 2 }
+                inh g (a ! d)
+                and pair [a2, a3]
+                attack a2 { cost = 3 }
+                attack a3 { cost = 4 }
+                or top [g, pair]
+                root top
+            }
+        "#;
+        let doc = Document::parse(src).unwrap();
+        let reparsed = Document::parse(&print_document(&doc)).unwrap();
+        assert_eq!(reparsed.adt.node_count(), doc.adt.node_count());
+        assert_eq!(
+            reparsed.adt[reparsed.adt.root()].name(),
+            doc.adt[doc.adt.root()].name()
+        );
+        // Printing is idempotent once canonicalized.
+        assert_eq!(print_document(&reparsed), print_document(&doc));
+    }
+}

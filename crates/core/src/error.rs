@@ -1,0 +1,189 @@
+//! Error types for ADT construction, validation and attribution.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::node::{Agent, NodeId};
+
+/// Errors produced while building, validating or attributing an
+/// attack-defense tree.
+///
+/// Every constraint of Definition 1 of the paper maps to a variant here, so
+/// the error itself documents which well-formedness rule was violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AdtError {
+    /// Two nodes were declared with the same name.
+    DuplicateName(String),
+    /// A node name was referenced but never declared.
+    UnknownName(String),
+    /// A [`NodeId`] did not refer to a node of this tree (e.g. it was minted
+    /// by a different builder).
+    InvalidNode {
+        /// The offending id.
+        id: NodeId,
+        /// The number of nodes in the tree.
+        len: usize,
+    },
+    /// An `AND`/`OR` gate was declared without children; Definition 1
+    /// requires `γ(v) = BS` if and only if `v` is a leaf.
+    EmptyGate(String),
+    /// The same child appears twice under one gate (the edge relation `E` is
+    /// a set).
+    DuplicateChild {
+        /// The gate listing the duplicate.
+        gate: String,
+        /// The repeated child.
+        child: String,
+    },
+    /// An `AND`/`OR` gate has a child whose agent differs from the gate's
+    /// (Definition 1: `τ(w) = τ(v)` for all children `w`).
+    MixedAgents {
+        /// The gate whose agent constraint is violated.
+        gate: String,
+        /// The child with the conflicting agent.
+        child: String,
+    },
+    /// An `INH` gate whose trigger and inhibited child belong to the same
+    /// agent (Definition 1: `τ(ϑ̄(v)) ≠ τ(θ(v))`).
+    InhSameAgent(String),
+    /// A node is not reachable from the root (the paper requires `(N, E)` to
+    /// be a *rooted* DAG).
+    Unreachable(String),
+    /// A cycle was detected while traversing the graph.
+    Cycle(String),
+    /// A basic step has no attribute value assigned.
+    MissingAttribute(String),
+    /// An attribute value was assigned to a non-leaf node.
+    AttributeOnGate(String),
+    /// A basic step of one agent was addressed as if it belonged to the
+    /// other (e.g. assigning an attacker attribute to a defense step).
+    WrongAgent {
+        /// The addressed node.
+        node: String,
+        /// The agent the operation requires.
+        expected: Agent,
+    },
+    /// A vector had the wrong length for this tree.
+    VectorLength {
+        /// The number of basic steps of the tree.
+        expected: usize,
+        /// The length of the supplied vector.
+        found: usize,
+    },
+    /// The tree has no nodes at all.
+    Empty,
+}
+
+impl fmt::Display for AdtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdtError::DuplicateName(name) => {
+                write!(f, "duplicate node name `{name}`")
+            }
+            AdtError::UnknownName(name) => {
+                write!(f, "unknown node name `{name}`")
+            }
+            AdtError::InvalidNode { id, len } => {
+                write!(f, "node id {id} is out of range for a tree with {len} nodes")
+            }
+            AdtError::EmptyGate(name) => {
+                write!(f, "gate `{name}` has no children")
+            }
+            AdtError::DuplicateChild { gate, child } => {
+                write!(f, "gate `{gate}` lists child `{child}` more than once")
+            }
+            AdtError::MixedAgents { gate, child } => {
+                write!(
+                    f,
+                    "gate `{gate}` and its child `{child}` belong to different agents"
+                )
+            }
+            AdtError::InhSameAgent(name) => {
+                write!(
+                    f,
+                    "inhibition gate `{name}` requires a trigger and an inhibited child \
+                     of opposite agents"
+                )
+            }
+            AdtError::Unreachable(name) => {
+                write!(f, "node `{name}` is not reachable from the root")
+            }
+            AdtError::Cycle(name) => {
+                write!(f, "cycle detected through node `{name}`")
+            }
+            AdtError::MissingAttribute(name) => {
+                write!(f, "basic step `{name}` has no attribute value")
+            }
+            AdtError::AttributeOnGate(name) => {
+                write!(f, "attribute assigned to non-leaf node `{name}`")
+            }
+            AdtError::WrongAgent { node, expected } => {
+                write!(f, "node `{node}` does not belong to agent {expected}")
+            }
+            AdtError::VectorLength { expected, found } => {
+                write!(f, "vector has length {found}, expected {expected}")
+            }
+            AdtError::Empty => write!(f, "the tree has no nodes"),
+        }
+    }
+}
+
+impl Error for AdtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let cases: Vec<(AdtError, &str)> = vec![
+            (AdtError::DuplicateName("a".into()), "duplicate node name `a`"),
+            (AdtError::UnknownName("x".into()), "unknown node name `x`"),
+            (
+                AdtError::InvalidNode { id: NodeId::new(7), len: 3 },
+                "node id #7 is out of range for a tree with 3 nodes",
+            ),
+            (AdtError::EmptyGate("g".into()), "gate `g` has no children"),
+            (
+                AdtError::DuplicateChild { gate: "g".into(), child: "c".into() },
+                "gate `g` lists child `c` more than once",
+            ),
+            (
+                AdtError::MixedAgents { gate: "g".into(), child: "c".into() },
+                "gate `g` and its child `c` belong to different agents",
+            ),
+            (AdtError::Unreachable("n".into()), "node `n` is not reachable from the root"),
+            (AdtError::Cycle("n".into()), "cycle detected through node `n`"),
+            (AdtError::MissingAttribute("b".into()), "basic step `b` has no attribute value"),
+            (AdtError::AttributeOnGate("g".into()), "attribute assigned to non-leaf node `g`"),
+            (
+                AdtError::WrongAgent { node: "d".into(), expected: Agent::Attacker },
+                "node `d` does not belong to agent A",
+            ),
+            (
+                AdtError::VectorLength { expected: 3, found: 2 },
+                "vector has length 2, expected 3",
+            ),
+            (AdtError::Empty, "the tree has no nodes"),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.to_string(), want);
+        }
+    }
+
+    #[test]
+    fn inh_same_agent_message_mentions_gate() {
+        let err = AdtError::InhSameAgent("i".into());
+        assert!(err.to_string().contains("`i`"));
+    }
+
+    #[test]
+    fn error_trait_object_is_usable() {
+        fn as_dyn(e: AdtError) -> Box<dyn Error + Send + Sync> {
+            Box::new(e)
+        }
+        let boxed = as_dyn(AdtError::Empty);
+        assert_eq!(boxed.to_string(), "the tree has no nodes");
+    }
+}

@@ -1,0 +1,68 @@
+//! # adt-core
+//!
+//! The attack-defense tree (ADT) formalism of *"Attack-Defense Trees with
+//! Offensive and Defensive Attributes"* (DSN 2025): tree structure
+//! (Definition 1), attack/defense vectors (Definition 2), the structure
+//! function (Definition 3), linearly ordered unital semiring attribute
+//! domains (Definition 4, Table I), augmented trees (Definitions 5–6) and
+//! Pareto fronts between defender and attacker metrics (Definition 9).
+//!
+//! The algorithms that *compute* Pareto fronts (bottom-up, naive
+//! enumeration, BDD-based) live in the companion crate `adt-analysis`; this
+//! crate provides the data model they share.
+//!
+//! ## Quick example
+//!
+//! An attack `a` (cost 5) that a defense `d` (cost 3) can inhibit:
+//!
+//! ```
+//! use adt_core::adt::AdtBuilder;
+//! use adt_core::attributed::AugmentedAdt;
+//! use adt_core::semiring::{Ext, MinCost};
+//!
+//! # fn main() -> Result<(), adt_core::error::AdtError> {
+//! let mut b = AdtBuilder::new();
+//! let a = b.attack("a")?;
+//! let d = b.defense("d")?;
+//! let root = b.inh("root", a, d)?;
+//! let adt = b.build(root)?;
+//!
+//! let aadt = AugmentedAdt::builder(adt, MinCost, MinCost)
+//!     .attack_value("a", 5u64)?
+//!     .defense_value("d", 3u64)?
+//!     .finish()?;
+//!
+//! let delta = aadt.adt().defense_vector(["d"])?;
+//! let alpha = aadt.adt().attack_vector(["a"])?;
+//! // The defense inhibits the attack:
+//! assert!(!aadt.adt().attack_succeeds(&delta, &alpha)?);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adt;
+pub mod attributed;
+pub mod catalog;
+pub mod dot;
+pub mod dsl;
+pub mod error;
+pub mod node;
+pub mod pareto;
+pub mod semiring;
+pub mod structure;
+pub mod vectors;
+
+pub use adt::{Adt, AdtBuilder, Stats};
+pub use attributed::{AugmentedAdt, AugmentedAdtBuilder};
+pub use error::AdtError;
+pub use node::{Agent, Gate, Node, NodeId};
+pub use pareto::{dominates, ParetoFront};
+pub use semiring::{
+    AttributeDomain, Ext, Lex, MinCost, MinSkill, MinTimePar, MinTimeSeq, Prob, Probability,
+    SemiringOp,
+};
+pub use structure::{Evaluation, Evaluator};
+pub use vectors::{AttackVector, BitVec, DefenseVector, Event};

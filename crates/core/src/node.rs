@@ -1,0 +1,266 @@
+//! Nodes of an attack-defense tree: identifiers, agents and gate types.
+
+use std::fmt;
+
+/// Index of a node inside an [`Adt`](crate::adt::Adt) arena.
+///
+/// Node ids are minted by [`AdtBuilder`](crate::adt::AdtBuilder) in
+/// declaration order; children are always declared before their parents, so
+/// `id(child) < id(parent)` holds for every edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    pub(crate) fn new(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize);
+        NodeId(index as u32)
+    }
+
+    /// Position of this node in the arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The two actors of an attack-defense tree (the paper's `τ`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Agent {
+    /// The offensive actor (`A`).
+    Attacker,
+    /// The defensive actor (`D`).
+    Defender,
+}
+
+impl Agent {
+    /// The other agent.
+    #[must_use]
+    pub fn opposite(self) -> Agent {
+        match self {
+            Agent::Attacker => Agent::Defender,
+            Agent::Defender => Agent::Attacker,
+        }
+    }
+
+    /// `true` for [`Agent::Attacker`].
+    pub fn is_attacker(self) -> bool {
+        matches!(self, Agent::Attacker)
+    }
+
+    /// `true` for [`Agent::Defender`].
+    pub fn is_defender(self) -> bool {
+        matches!(self, Agent::Defender)
+    }
+}
+
+impl fmt::Display for Agent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Agent::Attacker => f.write_str("A"),
+            Agent::Defender => f.write_str("D"),
+        }
+    }
+}
+
+/// Gate type of a node (the paper's `γ`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// Basic step (`BS`): a leaf, either a basic attack step or a basic
+    /// defense step depending on the node's [`Agent`].
+    Basic,
+    /// Conjunction: active when *all* children are active.
+    And,
+    /// Disjunction: active when *any* child is active.
+    Or,
+    /// Inhibition (`INH`): two children of opposite agents; active when the
+    /// *inhibited* child is active and the *trigger* child is not.
+    Inh,
+}
+
+impl Gate {
+    /// `true` for [`Gate::Basic`].
+    pub fn is_basic(self) -> bool {
+        matches!(self, Gate::Basic)
+    }
+
+    /// `true` for `AND`, `OR` and `INH` gates.
+    pub fn is_gate(self) -> bool {
+        !self.is_basic()
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Gate::Basic => "BS",
+            Gate::And => "AND",
+            Gate::Or => "OR",
+            Gate::Inh => "INH",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single node of an attack-defense tree.
+///
+/// Nodes are created through [`AdtBuilder`](crate::adt::AdtBuilder), which
+/// enforces the well-formedness constraints of Definition 1; the fields are
+/// therefore private and immutable once built.
+///
+/// For [`Gate::Inh`] nodes `children[0]` is the *inhibited* child `θ(v)` and
+/// `children[1]` is the *trigger* `ϑ̄(v)`; use [`Node::inhibited`] and
+/// [`Node::trigger`] rather than relying on positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    pub(crate) name: String,
+    pub(crate) agent: Agent,
+    pub(crate) gate: Gate,
+    pub(crate) children: Vec<NodeId>,
+}
+
+impl Node {
+    /// The node's unique name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The agent owning this node (the paper's `τ(v)`).
+    pub fn agent(&self) -> Agent {
+        self.agent
+    }
+
+    /// The gate type of this node (the paper's `γ(v)`).
+    pub fn gate(&self) -> Gate {
+        self.gate
+    }
+
+    /// Children in declaration order. Empty exactly for basic steps.
+    ///
+    /// For inhibition gates the order is `[inhibited, trigger]`.
+    pub fn children(&self) -> &[NodeId] {
+        &self.children
+    }
+
+    /// `true` if this node is a basic step (a leaf).
+    pub fn is_leaf(&self) -> bool {
+        self.gate.is_basic()
+    }
+
+    /// The inhibited child `θ(v)` of an inhibition gate, or `None` for other
+    /// gate types.
+    pub fn inhibited(&self) -> Option<NodeId> {
+        match self.gate {
+            Gate::Inh => Some(self.children[0]),
+            _ => None,
+        }
+    }
+
+    /// The trigger child `ϑ̄(v)` of an inhibition gate (the child that can
+    /// stop propagation), or `None` for other gate types.
+    pub fn trigger(&self) -> Option<NodeId> {
+        match self.gate {
+            Gate::Inh => Some(self.children[1]),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{} {}]", self.name, self.agent, self.gate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_index() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "#42");
+    }
+
+    #[test]
+    fn node_ids_order_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(3), NodeId::new(3));
+    }
+
+    #[test]
+    fn agent_opposite_is_involutive() {
+        for agent in [Agent::Attacker, Agent::Defender] {
+            assert_eq!(agent.opposite().opposite(), agent);
+            assert_ne!(agent.opposite(), agent);
+        }
+    }
+
+    #[test]
+    fn agent_predicates() {
+        assert!(Agent::Attacker.is_attacker());
+        assert!(!Agent::Attacker.is_defender());
+        assert!(Agent::Defender.is_defender());
+        assert!(!Agent::Defender.is_attacker());
+    }
+
+    #[test]
+    fn agent_display_matches_paper_notation() {
+        assert_eq!(Agent::Attacker.to_string(), "A");
+        assert_eq!(Agent::Defender.to_string(), "D");
+    }
+
+    #[test]
+    fn gate_display_matches_paper_notation() {
+        assert_eq!(Gate::Basic.to_string(), "BS");
+        assert_eq!(Gate::And.to_string(), "AND");
+        assert_eq!(Gate::Or.to_string(), "OR");
+        assert_eq!(Gate::Inh.to_string(), "INH");
+    }
+
+    #[test]
+    fn gate_predicates_partition() {
+        for gate in [Gate::Basic, Gate::And, Gate::Or, Gate::Inh] {
+            assert_ne!(gate.is_basic(), gate.is_gate());
+        }
+    }
+
+    #[test]
+    fn inhibited_and_trigger_only_on_inh() {
+        let leaf = Node {
+            name: "a".into(),
+            agent: Agent::Attacker,
+            gate: Gate::Basic,
+            children: Vec::new(),
+        };
+        assert_eq!(leaf.inhibited(), None);
+        assert_eq!(leaf.trigger(), None);
+        assert!(leaf.is_leaf());
+
+        let inh = Node {
+            name: "i".into(),
+            agent: Agent::Attacker,
+            gate: Gate::Inh,
+            children: vec![NodeId::new(0), NodeId::new(1)],
+        };
+        assert_eq!(inh.inhibited(), Some(NodeId::new(0)));
+        assert_eq!(inh.trigger(), Some(NodeId::new(1)));
+        assert!(!inh.is_leaf());
+    }
+
+    #[test]
+    fn node_display_contains_name_agent_gate() {
+        let n = Node {
+            name: "phishing".into(),
+            agent: Agent::Attacker,
+            gate: Gate::Basic,
+            children: Vec::new(),
+        };
+        assert_eq!(n.to_string(), "phishing [A BS]");
+    }
+}

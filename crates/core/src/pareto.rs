@@ -1,0 +1,464 @@
+//! Pareto fronts between defender and attacker metrics (Definition 9).
+//!
+//! A point `(s, t)` pairs a defender metric value `s ∈ V_D` with an attacker
+//! metric value `t ∈ V_A`. Point `(s₁, t₁)` *dominates* `(s₂, t₂)` when
+//! `s₁ ⪯_D s₂` and `t₁ ⪰_A t₂`: the defender pays no more and forces the
+//! attacker at least as high. The Pareto front of a set is the subset of
+//! non-dominated points.
+//!
+//! Because both domain orders are total, a reduced front is a *staircase*:
+//! sorted strictly increasing in the defender coordinate (w.r.t. `⪯_D`) and
+//! strictly increasing in the attacker coordinate (w.r.t. `⪯_A`).
+//! [`ParetoFront`] maintains this canonical form, which makes reduction a
+//! sort plus sweep and equality structural.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::semiring::{AttributeDomain, SemiringOp};
+
+/// Whether `p` dominates `q` (Definition 9): `p.0 ⪯_D q.0` and
+/// `p.1 ⪰_A q.1`.
+///
+/// Note that every point dominates itself; the Pareto front keeps points not
+/// dominated by any *other* (non-equal) point.
+pub fn dominates<DD, DA>(
+    dom_def: &DD,
+    dom_att: &DA,
+    p: &(DD::Value, DA::Value),
+    q: &(DD::Value, DA::Value),
+) -> bool
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    dom_def.le(&p.0, &q.0) && dom_att.le(&q.1, &p.1)
+}
+
+/// A reduced Pareto front between a defender metric and an attacker metric.
+///
+/// The type parameters are the *value* types of the two domains; operations
+/// that need the orders or operators take the domains as arguments.
+///
+/// # Examples
+///
+/// Example 3 of the paper: among `{(10, 10), (5, 20), (5, 5)}` only
+/// `(5, 20)` is Pareto optimal.
+///
+/// ```
+/// use adt_core::pareto::ParetoFront;
+/// use adt_core::semiring::{Ext, MinCost};
+///
+/// let front = ParetoFront::from_points(
+///     vec![
+///         (Ext::Fin(10), Ext::Fin(10)),
+///         (Ext::Fin(5), Ext::Fin(20)),
+///         (Ext::Fin(5), Ext::Fin(5)),
+///     ],
+///     &MinCost,
+///     &MinCost,
+/// );
+/// assert_eq!(front.points(), &[(Ext::Fin(5), Ext::Fin(20))]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ParetoFront<VD, VA> {
+    points: Vec<(VD, VA)>,
+}
+
+impl<VD, VA> ParetoFront<VD, VA>
+where
+    VD: Clone + PartialEq + fmt::Debug,
+    VA: Clone + PartialEq + fmt::Debug,
+{
+    /// The empty front (no feasible event at all).
+    pub fn empty() -> Self {
+        ParetoFront { points: Vec::new() }
+    }
+
+    /// A front holding a single point.
+    pub fn singleton(point: (VD, VA)) -> Self {
+        ParetoFront { points: vec![point] }
+    }
+
+    /// Reduces an arbitrary set of points to its Pareto front
+    /// (the paper's `min_⊑`).
+    pub fn from_points<DD, DA>(points: Vec<(VD, VA)>, dom_def: &DD, dom_att: &DA) -> Self
+    where
+        DD: AttributeDomain<Value = VD>,
+        DA: AttributeDomain<Value = VA>,
+    {
+        let mut points = points;
+        // Sort by defender value ascending; within equal defender values put
+        // the ⪯_A-greatest (defender-preferred) attacker value first.
+        points.sort_unstable_by(|p, q| {
+            dom_def
+                .compare(&p.0, &q.0)
+                .then_with(|| dom_att.compare(&q.1, &p.1))
+        });
+        let mut reduced: Vec<(VD, VA)> = Vec::new();
+        for point in points {
+            let keep = match reduced.last() {
+                None => true,
+                // All previous points have s ⪯_D current s, and the best
+                // (⪯_A-greatest) attacker value seen so far is the last kept
+                // one; the current point survives only if it strictly
+                // improves on it.
+                Some(last) => dom_att.compare(&point.1, &last.1) == Ordering::Greater,
+            };
+            if keep {
+                reduced.push(point);
+            }
+        }
+        ParetoFront { points: reduced }
+    }
+
+    /// The points of the front, sorted ascending in the defender coordinate
+    /// (and, consequently, ascending in the attacker coordinate).
+    pub fn points(&self) -> &[(VD, VA)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the front has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates over the points in canonical order.
+    pub fn iter(&self) -> std::slice::Iter<'_, (VD, VA)> {
+        self.points.iter()
+    }
+
+    /// Union of two fronts, reduced.
+    pub fn merge<DD, DA>(&self, other: &Self, dom_def: &DD, dom_att: &DA) -> Self
+    where
+        DD: AttributeDomain<Value = VD>,
+        DA: AttributeDomain<Value = VA>,
+    {
+        let mut points = Vec::with_capacity(self.len() + other.len());
+        points.extend_from_slice(&self.points);
+        points.extend_from_slice(&other.points);
+        Self::from_points(points, dom_def, dom_att)
+    }
+
+    /// Pairwise combination of two fronts, reduced: defender coordinates are
+    /// combined with `⊗_D`, attacker coordinates with the given operator.
+    ///
+    /// This is steps 2–4 of the paper's bottom-up algorithm: the operator
+    /// for the attacker coordinate is chosen per gate by Table II.
+    pub fn product<DD, DA>(
+        &self,
+        other: &Self,
+        dom_def: &DD,
+        dom_att: &DA,
+        att_op: SemiringOp,
+    ) -> Self
+    where
+        DD: AttributeDomain<Value = VD>,
+        DA: AttributeDomain<Value = VA>,
+    {
+        let mut points = Vec::with_capacity(self.len() * other.len());
+        for (d1, a1) in &self.points {
+            for (d2, a2) in &other.points {
+                points.push((dom_def.mul(d1, d2), att_op.apply(dom_att, a1, a2)));
+            }
+        }
+        Self::from_points(points, dom_def, dom_att)
+    }
+
+    /// Whether some point of the front dominates `q`.
+    pub fn dominates_point<DD, DA>(
+        &self,
+        dom_def: &DD,
+        dom_att: &DA,
+        q: &(VD, VA),
+    ) -> bool
+    where
+        DD: AttributeDomain<Value = VD>,
+        DA: AttributeDomain<Value = VA>,
+    {
+        self.points.iter().any(|p| dominates(dom_def, dom_att, p, q))
+    }
+
+    /// The defender's best achievable point within a budget: among front
+    /// points whose defender value is `⪯_D budget`, the one forcing the
+    /// `⪯_A`-greatest attacker value. Returns `None` if even the cheapest
+    /// front point exceeds the budget.
+    pub fn best_within_budget<DD, DA>(
+        &self,
+        dom_def: &DD,
+        dom_att: &DA,
+        budget: &VD,
+    ) -> Option<&(VD, VA)>
+    where
+        DD: AttributeDomain<Value = VD>,
+        DA: AttributeDomain<Value = VA>,
+    {
+        let _ = dom_att; // order within budget follows canonical sorting
+        self.points
+            .iter()
+            .take_while(|p| dom_def.le(&p.0, budget))
+            .last()
+    }
+
+    /// Checks the canonical staircase invariant; used by tests and debug
+    /// assertions.
+    pub fn is_canonical<DD, DA>(&self, dom_def: &DD, dom_att: &DA) -> bool
+    where
+        DD: AttributeDomain<Value = VD>,
+        DA: AttributeDomain<Value = VA>,
+    {
+        self.points.windows(2).all(|w| {
+            dom_def.compare(&w[0].0, &w[1].0) == Ordering::Less
+                && dom_att.compare(&w[0].1, &w[1].1) == Ordering::Less
+        })
+    }
+}
+
+impl<VD, VA> Default for ParetoFront<VD, VA>
+where
+    VD: Clone + PartialEq + fmt::Debug,
+    VA: Clone + PartialEq + fmt::Debug,
+{
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl<'a, VD, VA> IntoIterator for &'a ParetoFront<VD, VA> {
+    type Item = &'a (VD, VA);
+    type IntoIter = std::slice::Iter<'a, (VD, VA)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+impl<VD: fmt::Display, VA: fmt::Display> fmt::Display for ParetoFront<VD, VA> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, (d, a)) in self.points.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "({d}, {a})")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{Ext, MinCost, Prob, Probability};
+
+    type Front = ParetoFront<Ext<u64>, Ext<u64>>;
+
+    fn fin(points: &[(u64, u64)]) -> Vec<(Ext<u64>, Ext<u64>)> {
+        points.iter().map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a))).collect()
+    }
+
+    #[test]
+    fn example3_single_dominating_point() {
+        let front = Front::from_points(
+            fin(&[(10, 10), (5, 20), (5, 5)]),
+            &MinCost,
+            &MinCost,
+        );
+        assert_eq!(front.points(), &fin(&[(5, 20)])[..]);
+    }
+
+    #[test]
+    fn example5_or_combination() {
+        // OR(INH(a1!d1), INH(a2!d2)) with the paper's costs: product of the
+        // two INH fronts with (⊗_D, ⊕_A), then reduction.
+        let left = Front::from_points(
+            vec![(Ext::Fin(0), Ext::Fin(5)), (Ext::Fin(4), Ext::Inf)],
+            &MinCost,
+            &MinCost,
+        );
+        let right = Front::from_points(
+            vec![(Ext::Fin(0), Ext::Fin(10)), (Ext::Fin(8), Ext::Inf)],
+            &MinCost,
+            &MinCost,
+        );
+        let or = left.product(&right, &MinCost, &MinCost, SemiringOp::Add);
+        assert_eq!(
+            or.points(),
+            &[
+                (Ext::Fin(0), Ext::Fin(5)),
+                (Ext::Fin(4), Ext::Fin(10)),
+                (Ext::Fin(12), Ext::Inf),
+            ]
+        );
+    }
+
+    #[test]
+    fn reduction_removes_duplicates() {
+        let front = Front::from_points(fin(&[(3, 7), (3, 7), (3, 7)]), &MinCost, &MinCost);
+        assert_eq!(front.len(), 1);
+    }
+
+    #[test]
+    fn reduction_keeps_incomparable_chain() {
+        let pts = fin(&[(0, 90), (30, 150), (50, 165)]);
+        let front = Front::from_points(pts.clone(), &MinCost, &MinCost);
+        assert_eq!(front.points(), &pts[..]);
+        assert!(front.is_canonical(&MinCost, &MinCost));
+    }
+
+    #[test]
+    fn reduction_same_defender_keeps_best_attacker() {
+        let front = Front::from_points(fin(&[(5, 10), (5, 30), (5, 20)]), &MinCost, &MinCost);
+        assert_eq!(front.points(), &fin(&[(5, 30)])[..]);
+    }
+
+    #[test]
+    fn reduction_same_attacker_keeps_cheapest_defender() {
+        let front = Front::from_points(fin(&[(9, 10), (5, 10), (7, 10)]), &MinCost, &MinCost);
+        assert_eq!(front.points(), &fin(&[(5, 10)])[..]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = Front::empty();
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+        let single = Front::singleton((Ext::Fin(1), Ext::Fin(2)));
+        assert_eq!(single.len(), 1);
+        assert!(!single.is_empty());
+        assert_eq!(Front::default(), Front::empty());
+    }
+
+    #[test]
+    fn dominates_matches_definition() {
+        let p = (Ext::Fin(5u64), Ext::Fin(20u64));
+        let q = (Ext::Fin(10u64), Ext::Fin(10u64));
+        assert!(dominates(&MinCost, &MinCost, &p, &q));
+        assert!(!dominates(&MinCost, &MinCost, &q, &p));
+        // Every point dominates itself.
+        assert!(dominates(&MinCost, &MinCost, &p, &p));
+    }
+
+    #[test]
+    fn merge_is_reduced_union() {
+        let a = Front::from_points(fin(&[(0, 10)]), &MinCost, &MinCost);
+        let b = Front::from_points(fin(&[(5, 8), (5, 30)]), &MinCost, &MinCost);
+        let merged = a.merge(&b, &MinCost, &MinCost);
+        assert_eq!(merged.points(), &fin(&[(0, 10), (5, 30)])[..]);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a = Front::from_points(fin(&[(0, 10), (4, 12)]), &MinCost, &MinCost);
+        assert_eq!(a.merge(&Front::empty(), &MinCost, &MinCost), a);
+        assert_eq!(Front::empty().merge(&a, &MinCost, &MinCost), a);
+    }
+
+    #[test]
+    fn product_with_mul_adds_both_coordinates() {
+        let a = Front::from_points(fin(&[(0, 5), (4, 8)]), &MinCost, &MinCost);
+        let b = Front::singleton((Ext::Fin(2), Ext::Fin(3)));
+        let prod = a.product(&b, &MinCost, &MinCost, SemiringOp::Mul);
+        assert_eq!(prod.points(), &fin(&[(2, 8), (6, 11)])[..]);
+    }
+
+    #[test]
+    fn product_with_empty_is_empty() {
+        let a = Front::from_points(fin(&[(0, 5)]), &MinCost, &MinCost);
+        let prod = a.product(&Front::empty(), &MinCost, &MinCost, SemiringOp::Mul);
+        assert!(prod.is_empty());
+    }
+
+    #[test]
+    fn dominates_point_over_front() {
+        let front = Front::from_points(fin(&[(0, 10), (5, 30)]), &MinCost, &MinCost);
+        assert!(front.dominates_point(&MinCost, &MinCost, &(Ext::Fin(6), Ext::Fin(30))));
+        assert!(front.dominates_point(&MinCost, &MinCost, &(Ext::Fin(0), Ext::Fin(10))));
+        assert!(!front.dominates_point(&MinCost, &MinCost, &(Ext::Fin(3), Ext::Fin(31))));
+    }
+
+    #[test]
+    fn best_within_budget_walks_the_staircase() {
+        let front = Front::from_points(
+            fin(&[(0, 90), (30, 150), (50, 165)]),
+            &MinCost,
+            &MinCost,
+        );
+        let at = |b: u64| {
+            front
+                .best_within_budget(&MinCost, &MinCost, &Ext::Fin(b))
+                .map(|p| p.1)
+        };
+        assert_eq!(at(0), Some(Ext::Fin(90)));
+        assert_eq!(at(29), Some(Ext::Fin(90)));
+        assert_eq!(at(30), Some(Ext::Fin(150)));
+        assert_eq!(at(49), Some(Ext::Fin(150)));
+        assert_eq!(at(1000), Some(Ext::Fin(165)));
+    }
+
+    #[test]
+    fn best_within_budget_none_when_unaffordable() {
+        let front = Front::from_points(fin(&[(10, 90)]), &MinCost, &MinCost);
+        assert!(front
+            .best_within_budget(&MinCost, &MinCost, &Ext::Fin(9))
+            .is_none());
+    }
+
+    #[test]
+    fn probability_attacker_front_orders_reversed() {
+        // Defender cost vs attack success probability: raising the budget
+        // should lower the attacker's success probability. With ⪯_A = ≥,
+        // the canonical order is ascending in ⪯_A, i.e. descending
+        // numerically.
+        let p = |v: f64| Prob::new(v).unwrap();
+        let front = ParetoFront::from_points(
+            vec![
+                (Ext::Fin(0u64), p(0.9)),
+                (Ext::Fin(10), p(0.5)),
+                (Ext::Fin(10), p(0.7)), // dominated: same cost, higher prob survives for defender? no —
+                // for the defender a *lower* attack probability is better, so (10, 0.5) survives.
+                (Ext::Fin(20), p(0.5)), // dominated by (10, 0.5)
+                (Ext::Fin(30), p(0.1)),
+            ],
+            &MinCost,
+            &Probability,
+        );
+        assert_eq!(
+            front.points(),
+            &[
+                (Ext::Fin(0), p(0.9)),
+                (Ext::Fin(10), p(0.5)),
+                (Ext::Fin(30), p(0.1)),
+            ]
+        );
+        assert!(front.is_canonical(&MinCost, &Probability));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let front = Front::from_points(fin(&[(0, 5), (4, 10)]), &MinCost, &MinCost);
+        assert_eq!(front.to_string(), "{(0, 5), (4, 10)}");
+        assert_eq!(Front::empty().to_string(), "{}");
+        let with_inf = Front::from_points(
+            vec![(Ext::Fin(0), Ext::Fin(5)), (Ext::Fin(12), Ext::Inf)],
+            &MinCost,
+            &MinCost,
+        );
+        assert_eq!(with_inf.to_string(), "{(0, 5), (12, ∞)}");
+    }
+
+    #[test]
+    fn into_iterator_for_reference() {
+        let front = Front::from_points(fin(&[(0, 5), (4, 10)]), &MinCost, &MinCost);
+        let sum: u64 = (&front)
+            .into_iter()
+            .filter_map(|(d, _)| d.finite().copied())
+            .sum();
+        assert_eq!(sum, 4);
+    }
+}

@@ -1,0 +1,256 @@
+//! The five attribute domains of Table I.
+
+use std::cmp::Ordering;
+
+use super::ext::Ext;
+use super::prob::Prob;
+use super::AttributeDomain;
+
+/// Minimal cost (Table I, row 1): `V = [0, ∞]`, `⊗ = +`, `⪯ = ≤`.
+///
+/// The canonical domain of the paper's examples: every basic step carries a
+/// cost, independent steps add up, and each agent prefers cheaper.
+///
+/// # Examples
+///
+/// ```
+/// use adt_core::semiring::{AttributeDomain, Ext, MinCost};
+///
+/// let d = MinCost;
+/// assert_eq!(d.mul(&Ext::Fin(5), &Ext::Fin(10)), Ext::Fin(15));
+/// assert_eq!(d.add(&Ext::Fin(5), &Ext::Fin(10)), Ext::Fin(5));
+/// assert_eq!(d.zero(), Ext::Inf);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinCost;
+
+impl AttributeDomain for MinCost {
+    type Value = Ext<u64>;
+
+    fn mul(&self, x: &Ext<u64>, y: &Ext<u64>) -> Ext<u64> {
+        x.plus(*y)
+    }
+
+    fn one(&self) -> Ext<u64> {
+        Ext::Fin(0)
+    }
+
+    fn zero(&self) -> Ext<u64> {
+        Ext::Inf
+    }
+
+    fn compare(&self, x: &Ext<u64>, y: &Ext<u64>) -> Ordering {
+        x.cmp(y)
+    }
+}
+
+/// Minimal sequential time (Table I, row 2): identical algebra to
+/// [`MinCost`] — durations of sequential steps add up.
+///
+/// The type is distinct from [`MinCost`] so that attacker and defender
+/// metrics of different kinds cannot be mixed up in user code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinTimeSeq;
+
+impl AttributeDomain for MinTimeSeq {
+    type Value = Ext<u64>;
+
+    fn mul(&self, x: &Ext<u64>, y: &Ext<u64>) -> Ext<u64> {
+        x.plus(*y)
+    }
+
+    fn one(&self) -> Ext<u64> {
+        Ext::Fin(0)
+    }
+
+    fn zero(&self) -> Ext<u64> {
+        Ext::Inf
+    }
+
+    fn compare(&self, x: &Ext<u64>, y: &Ext<u64>) -> Ordering {
+        x.cmp(y)
+    }
+}
+
+/// Minimal parallel time (Table I, row 3): `⊗ = max` — steps run in
+/// parallel, so the combined duration is the longest one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinTimePar;
+
+impl AttributeDomain for MinTimePar {
+    type Value = Ext<u64>;
+
+    fn mul(&self, x: &Ext<u64>, y: &Ext<u64>) -> Ext<u64> {
+        x.max_with(*y)
+    }
+
+    fn one(&self) -> Ext<u64> {
+        Ext::Fin(0)
+    }
+
+    fn zero(&self) -> Ext<u64> {
+        Ext::Inf
+    }
+
+    fn compare(&self, x: &Ext<u64>, y: &Ext<u64>) -> Ordering {
+        x.cmp(y)
+    }
+}
+
+/// Minimal skill (Table I, row 4): `⊗ = max` — an agent capable of the
+/// hardest step is capable of all of them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinSkill;
+
+impl AttributeDomain for MinSkill {
+    type Value = Ext<u64>;
+
+    fn mul(&self, x: &Ext<u64>, y: &Ext<u64>) -> Ext<u64> {
+        x.max_with(*y)
+    }
+
+    fn one(&self) -> Ext<u64> {
+        Ext::Fin(0)
+    }
+
+    fn zero(&self) -> Ext<u64> {
+        Ext::Inf
+    }
+
+    fn compare(&self, x: &Ext<u64>, y: &Ext<u64>) -> Ordering {
+        x.cmp(y)
+    }
+}
+
+/// Success probability (Table I, row 5): `V = [0, 1]`, `⊗ = ·`, `⪯ = ≥`.
+///
+/// The order is *reversed*: an agent prefers higher success probability, so
+/// `compare` returns `Less` for the numerically larger value. Accordingly
+/// `1⊗ = 1` (certain, `⪯`-minimal) and `1⊕ = 0` (impossible, `⪯`-maximal —
+/// the value of "no successful attack exists").
+///
+/// # Examples
+///
+/// ```
+/// use adt_core::semiring::{AttributeDomain, Prob, Probability};
+///
+/// # fn main() -> Result<(), adt_core::semiring::ProbError> {
+/// let d = Probability;
+/// let p = Prob::new(0.9)?;
+/// let q = Prob::new(0.5)?;
+/// // ⊕ selects the ⪯-minimum, i.e. the *higher* probability:
+/// assert_eq!(d.add(&p, &q), p);
+/// assert_eq!(d.mul(&p, &q), Prob::new(0.45)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Probability;
+
+impl AttributeDomain for Probability {
+    type Value = Prob;
+
+    fn mul(&self, x: &Prob, y: &Prob) -> Prob {
+        x.and(*y)
+    }
+
+    fn one(&self) -> Prob {
+        Prob::ONE
+    }
+
+    fn zero(&self) -> Prob {
+        Prob::ZERO
+    }
+
+    fn compare(&self, x: &Prob, y: &Prob) -> Ordering {
+        // ⪯ is ≥: the larger probability is the ⪯-smaller element.
+        y.cmp(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::assert_domain_laws;
+
+    fn ext_samples() -> Vec<Ext<u64>> {
+        vec![Ext::Fin(0), Ext::Fin(1), Ext::Fin(5), Ext::Fin(10), Ext::Fin(1000), Ext::Inf]
+    }
+
+    #[test]
+    fn min_cost_laws() {
+        assert_domain_laws(&MinCost, &ext_samples());
+    }
+
+    #[test]
+    fn min_time_seq_laws() {
+        assert_domain_laws(&MinTimeSeq, &ext_samples());
+    }
+
+    #[test]
+    fn min_time_par_laws() {
+        assert_domain_laws(&MinTimePar, &ext_samples());
+    }
+
+    #[test]
+    fn min_skill_laws() {
+        assert_domain_laws(&MinSkill, &ext_samples());
+    }
+
+    #[test]
+    fn probability_laws() {
+        // Dyadic rationals: all pairwise/triple products are exact in f64,
+        // so the law assertions (which use exact equality) are meaningful.
+        let samples: Vec<Prob> = [0.0, 0.25, 0.5, 0.75, 1.0]
+            .into_iter()
+            .map(|p| Prob::new(p).unwrap())
+            .collect();
+        assert_domain_laws(&Probability, &samples);
+    }
+
+    #[test]
+    fn min_cost_operations() {
+        let d = MinCost;
+        assert_eq!(d.mul(&Ext::Fin(5), &Ext::Fin(10)), Ext::Fin(15));
+        assert_eq!(d.mul(&Ext::Fin(5), &Ext::Inf), Ext::Inf);
+        assert_eq!(d.add(&Ext::Fin(5), &Ext::Fin(10)), Ext::Fin(5));
+        assert_eq!(d.add(&Ext::Inf, &Ext::Fin(10)), Ext::Fin(10));
+    }
+
+    #[test]
+    fn parallel_time_takes_max() {
+        let d = MinTimePar;
+        assert_eq!(d.mul(&Ext::Fin(5), &Ext::Fin(10)), Ext::Fin(10));
+        assert_eq!(d.add(&Ext::Fin(5), &Ext::Fin(10)), Ext::Fin(5));
+    }
+
+    #[test]
+    fn skill_takes_max() {
+        let d = MinSkill;
+        assert_eq!(d.mul(&Ext::Fin(3), &Ext::Fin(7)), Ext::Fin(7));
+        assert_eq!(d.mul(&Ext::Fin(3), &Ext::Inf), Ext::Inf);
+    }
+
+    #[test]
+    fn probability_order_is_reversed() {
+        let d = Probability;
+        let high = Prob::new(0.9).unwrap();
+        let low = Prob::new(0.2).unwrap();
+        // Higher probability is preferred: high ≺ low.
+        assert!(d.lt(&high, &low));
+        assert_eq!(d.add(&high, &low), high);
+        // 1⊗ = 1 is minimal, 1⊕ = 0 is maximal.
+        assert!(d.le(&d.one(), &high));
+        assert!(d.le(&high, &d.zero()));
+    }
+
+    #[test]
+    fn probability_product() {
+        let d = Probability;
+        let p = Prob::new(0.5).unwrap();
+        let q = Prob::new(0.5).unwrap();
+        assert_eq!(d.mul(&p, &q), Prob::new(0.25).unwrap());
+        assert_eq!(d.mul(&p, &d.one()), p);
+        assert_eq!(d.mul(&p, &d.zero()), d.zero());
+    }
+}

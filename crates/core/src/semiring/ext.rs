@@ -1,0 +1,177 @@
+//! Values extended with infinity: the carrier `[0, ∞]` of Table I.
+
+use std::fmt;
+
+/// A value of `T` extended with a greatest element `∞`.
+///
+/// The cost-like domains of Table I work over `[0, ∞]`: the paper's `1⊕` for
+/// min-cost is `∞`, which encodes "no successful attack exists". The PDF of
+/// the paper typesets this as `8`; we print `∞`.
+///
+/// # Examples
+///
+/// ```
+/// use adt_core::semiring::Ext;
+///
+/// let a = Ext::Fin(5u64);
+/// assert!(a < Ext::Inf);
+/// assert_eq!(a.plus(Ext::Fin(7)), Ext::Fin(12));
+/// assert_eq!(a.plus(Ext::Inf), Ext::Inf);
+/// assert_eq!(Ext::<u64>::Inf.to_string(), "∞");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ext<T> {
+    /// A finite value.
+    Fin(T),
+    /// The greatest element `∞`.
+    Inf,
+}
+
+impl<T> Ext<T> {
+    /// `true` if the value is finite.
+    pub fn is_finite(&self) -> bool {
+        matches!(self, Ext::Fin(_))
+    }
+
+    /// `true` if the value is `∞`.
+    pub fn is_infinite(&self) -> bool {
+        matches!(self, Ext::Inf)
+    }
+
+    /// The finite value, if any.
+    pub fn finite(&self) -> Option<&T> {
+        match self {
+            Ext::Fin(v) => Some(v),
+            Ext::Inf => None,
+        }
+    }
+
+    /// Consumes the value and returns the finite part, if any.
+    pub fn into_finite(self) -> Option<T> {
+        match self {
+            Ext::Fin(v) => Some(v),
+            Ext::Inf => None,
+        }
+    }
+
+    /// Applies a function to the finite part, keeping `∞` fixed.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Ext<U> {
+        match self {
+            Ext::Fin(v) => Ext::Fin(f(v)),
+            Ext::Inf => Ext::Inf,
+        }
+    }
+}
+
+impl<T: Ord> Ord for Ext<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (self, other) {
+            (Ext::Fin(a), Ext::Fin(b)) => a.cmp(b),
+            (Ext::Fin(_), Ext::Inf) => std::cmp::Ordering::Less,
+            (Ext::Inf, Ext::Fin(_)) => std::cmp::Ordering::Greater,
+            (Ext::Inf, Ext::Inf) => std::cmp::Ordering::Equal,
+        }
+    }
+}
+
+impl<T: Ord> PartialOrd for Ext<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> From<T> for Ext<T> {
+    fn from(value: T) -> Self {
+        Ext::Fin(value)
+    }
+}
+
+impl Ext<u64> {
+    /// Extended addition: `x + ∞ = ∞`, finite values saturate at `u64::MAX`.
+    #[must_use]
+    pub fn plus(self, other: Self) -> Self {
+        match (self, other) {
+            (Ext::Fin(a), Ext::Fin(b)) => Ext::Fin(a.saturating_add(b)),
+            _ => Ext::Inf,
+        }
+    }
+
+    /// Extended maximum.
+    #[must_use]
+    pub fn max_with(self, other: Self) -> Self {
+        std::cmp::max(self, other)
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Ext<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ext::Fin(v) => v.fmt(f),
+            Ext::Inf => f.write_str("∞"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_puts_infinity_last() {
+        let mut values = vec![Ext::Inf, Ext::Fin(3u64), Ext::Fin(1), Ext::Inf, Ext::Fin(2)];
+        values.sort();
+        assert_eq!(
+            values,
+            vec![Ext::Fin(1), Ext::Fin(2), Ext::Fin(3), Ext::Inf, Ext::Inf]
+        );
+    }
+
+    #[test]
+    fn plus_is_absorbing_at_infinity() {
+        assert_eq!(Ext::Fin(2).plus(Ext::Fin(3)), Ext::Fin(5));
+        assert_eq!(Ext::Fin(2).plus(Ext::Inf), Ext::Inf);
+        assert_eq!(Ext::Inf.plus(Ext::Fin(2)), Ext::Inf);
+        assert_eq!(Ext::<u64>::Inf.plus(Ext::Inf), Ext::Inf);
+    }
+
+    #[test]
+    fn plus_saturates_instead_of_overflowing() {
+        assert_eq!(Ext::Fin(u64::MAX).plus(Ext::Fin(1)), Ext::Fin(u64::MAX));
+    }
+
+    #[test]
+    fn max_with() {
+        assert_eq!(Ext::Fin(2u64).max_with(Ext::Fin(7)), Ext::Fin(7));
+        assert_eq!(Ext::Fin(9u64).max_with(Ext::Inf), Ext::Inf);
+    }
+
+    #[test]
+    fn accessors() {
+        let f = Ext::Fin(4u32);
+        assert!(f.is_finite() && !f.is_infinite());
+        assert_eq!(f.finite(), Some(&4));
+        assert_eq!(f.into_finite(), Some(4));
+        let i: Ext<u32> = Ext::Inf;
+        assert!(i.is_infinite());
+        assert_eq!(i.finite(), None);
+        assert_eq!(i.into_finite(), None);
+    }
+
+    #[test]
+    fn map_preserves_infinity() {
+        assert_eq!(Ext::Fin(3u64).map(|v| v * 2), Ext::Fin(6));
+        assert_eq!(Ext::<u64>::Inf.map(|v| v * 2), Ext::Inf);
+    }
+
+    #[test]
+    fn display_uses_infinity_symbol() {
+        assert_eq!(Ext::Fin(12u64).to_string(), "12");
+        assert_eq!(Ext::<u64>::Inf.to_string(), "∞");
+    }
+
+    #[test]
+    fn from_wraps_finite() {
+        let e: Ext<u64> = 9.into();
+        assert_eq!(e, Ext::Fin(9));
+    }
+}

@@ -1,0 +1,142 @@
+//! Lexicographic product of two attribute domains.
+
+use std::cmp::Ordering;
+
+use super::domains::{MinCost, MinTimeSeq, Probability};
+use super::AttributeDomain;
+
+/// Marker for attribute domains whose `⊗` is *strictly* monotone on
+/// non-absorbing values: `x ≺ y` implies `x ⊗ z ≺ y ⊗ z` whenever neither
+/// side collapses into `1⊕`.
+///
+/// This holds for the additive domains ([`MinCost`], [`MinTimeSeq`]) and for
+/// [`Probability`], but *not* for the `max`-based domains
+/// ([`MinTimePar`](super::MinTimePar), [`MinSkill`](super::MinSkill)):
+/// `max(1, 10) = max(2, 10)` loses strictness on perfectly ordinary values.
+/// Strictness is what makes the lexicographic product [`Lex`] a valid
+/// Definition-4 domain, so `Lex` demands it of its primary component.
+pub trait StrictlyMonotone: AttributeDomain {}
+
+impl StrictlyMonotone for MinCost {}
+impl StrictlyMonotone for MinTimeSeq {}
+impl StrictlyMonotone for Probability {}
+
+/// The lexicographic product of two attribute domains: values are pairs,
+/// `⊗` acts componentwise, and the order compares the primary component
+/// first and breaks ties with the secondary.
+///
+/// This lets a single Pareto analysis rank, say, attacker strategies
+/// primarily by cost and secondarily by required skill — a combination the
+/// paper's Table I cannot express but its framework supports.
+///
+/// # Validity
+///
+/// `Lex` is a Definition-4 domain on the values the analyses actually
+/// compute: products of finite leaf attributions, plus the absorbing
+/// `zero() = (1⊕, 1⊕)` contributed by "no successful attack exists". On that
+/// set, monotonicity of the componentwise `⊗` with respect to the
+/// lexicographic order follows from strict monotonicity of the primary
+/// component (hence the [`StrictlyMonotone`] bound) and from `zero()` being
+/// absorbing as a whole pair. Mixed values such as `(∞, 5)` — a finite
+/// secondary under an infinite primary — are unreachable: `∞` only enters
+/// through `zero()`, whose secondary component is already `1⊕`.
+///
+/// # Examples
+///
+/// ```
+/// use adt_core::semiring::{AttributeDomain, Ext, Lex, MinCost, MinSkill};
+///
+/// let d = Lex(MinCost, MinSkill);
+/// let cheap_skilled = (Ext::Fin(5), Ext::Fin(9));
+/// let pricey_easy = (Ext::Fin(7), Ext::Fin(1));
+/// // Cost dominates the comparison:
+/// assert_eq!(d.add(&cheap_skilled, &pricey_easy), cheap_skilled);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Lex<D1, D2>(pub D1, pub D2);
+
+impl<D1, D2> AttributeDomain for Lex<D1, D2>
+where
+    D1: StrictlyMonotone,
+    D2: AttributeDomain,
+{
+    type Value = (D1::Value, D2::Value);
+
+    fn mul(&self, x: &Self::Value, y: &Self::Value) -> Self::Value {
+        (self.0.mul(&x.0, &y.0), self.1.mul(&x.1, &y.1))
+    }
+
+    fn one(&self) -> Self::Value {
+        (self.0.one(), self.1.one())
+    }
+
+    fn zero(&self) -> Self::Value {
+        (self.0.zero(), self.1.zero())
+    }
+
+    fn compare(&self, x: &Self::Value, y: &Self::Value) -> Ordering {
+        self.0.compare(&x.0, &y.0).then_with(|| self.1.compare(&x.1, &y.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{Ext, MinCost, MinSkill, MinTimePar, Prob};
+
+    #[test]
+    fn compare_is_lexicographic() {
+        let d = Lex(MinCost, MinSkill);
+        let a = (Ext::Fin(1u64), Ext::Fin(100u64));
+        let b = (Ext::Fin(2), Ext::Fin(0));
+        let c = (Ext::Fin(1), Ext::Fin(50));
+        assert_eq!(d.compare(&a, &b), Ordering::Less);
+        assert_eq!(d.compare(&a, &c), Ordering::Greater);
+        assert_eq!(d.compare(&a, &a), Ordering::Equal);
+    }
+
+    #[test]
+    fn mul_acts_componentwise() {
+        let d = Lex(MinCost, MinTimePar);
+        let a = (Ext::Fin(3u64), Ext::Fin(10u64));
+        let b = (Ext::Fin(4), Ext::Fin(7));
+        assert_eq!(d.mul(&a, &b), (Ext::Fin(7), Ext::Fin(10)));
+    }
+
+    #[test]
+    fn units_and_absorbing() {
+        let d = Lex(MinCost, MinSkill);
+        assert_eq!(d.one(), (Ext::Fin(0), Ext::Fin(0)));
+        assert_eq!(d.zero(), (Ext::Inf, Ext::Inf));
+    }
+
+    #[test]
+    fn lex_with_probability_component() {
+        let d = Lex(MinCost, crate::semiring::Probability);
+        let a = (Ext::Fin(5u64), Prob::new(0.9).unwrap());
+        let b = (Ext::Fin(5), Prob::new(0.2).unwrap());
+        // Equal cost: higher probability preferred (⪯ reversed in component 2).
+        assert_eq!(d.add(&a, &b), a);
+    }
+
+    #[test]
+    fn lex_satisfies_domain_laws_on_reachable_values() {
+        let d = Lex(MinCost, MinSkill);
+        // Reachable values: products of finite pairs, plus the full zero().
+        let mut samples = Vec::new();
+        for c in [0u64, 2, 7] {
+            for s in [0u64, 5, 11] {
+                samples.push((Ext::Fin(c), Ext::Fin(s)));
+            }
+        }
+        samples.push(d.zero());
+        crate::semiring::assert_domain_laws(&d, &samples);
+    }
+
+    #[test]
+    fn zero_is_absorbing_as_a_pair() {
+        let d = Lex(MinCost, MinSkill);
+        let x = (Ext::Fin(4u64), Ext::Fin(2u64));
+        assert_eq!(d.mul(&x, &d.zero()), d.zero());
+    }
+}

@@ -1,0 +1,240 @@
+//! Semiring attribute domains (Definition 4, Table I).
+//!
+//! A *linearly ordered unital semiring attribute domain* is a tuple
+//! `L = (V, ⊗, 1⊕, 1⊗, ⪯)` where `⊗` is a commutative, associative,
+//! `⪯`-monotone binary operation with unit `1⊗` (which is `⪯`-minimal), and
+//! `1⊕` is `⪯`-maximal. The induced `⊕` is `x ⊕ y = min_⪯(x, y)`, which turns
+//! `(V, ⊕, ⊗)` into an absorbing semiring.
+//!
+//! The five domains of Table I are provided as zero-sized types:
+//! [`MinCost`], [`MinTimeSeq`], [`MinTimePar`], [`MinSkill`] and
+//! [`Probability`]. The attacker and the defender each pick their own domain
+//! (Definition 5); nothing requires the two to coincide.
+//!
+//! | Metric | `V` | `⊕` | `⊗` | `1⊕` | `1⊗` | `⪯` |
+//! |---|---|---|---|---|---|---|
+//! | min cost | `[0, ∞]` | min | `+` | `∞` | `0` | `≤` |
+//! | min time (sequential) | `[0, ∞]` | min | `+` | `∞` | `0` | `≤` |
+//! | min time (parallel) | `[0, ∞]` | min | `max` | `∞` | `0` | `≤` |
+//! | min skill | `[0, ∞]` | min | `max` | `∞` | `0` | `≤` |
+//! | probability | `[0, 1]` | max | `·` | `0` | `1` | `≥` |
+//!
+//! (The probability row follows Definition 4: with `⪯ = ≥`, the unit `1` of
+//! multiplication is `⪯`-minimal and `0` is `⪯`-maximal.)
+
+use std::cmp::Ordering;
+use std::fmt;
+
+mod domains;
+mod ext;
+mod lex;
+mod prob;
+
+pub use domains::{MinCost, MinSkill, MinTimePar, MinTimeSeq, Probability};
+pub use ext::Ext;
+pub use lex::{Lex, StrictlyMonotone};
+pub use prob::{Prob, ProbError};
+
+/// A linearly ordered unital semiring attribute domain (Definition 4).
+///
+/// Implementations must satisfy, for all `x, y, z`:
+///
+/// * `mul(x, y) == mul(y, x)` (commutativity);
+/// * `mul(mul(x, y), z) == mul(x, mul(y, z))` (associativity);
+/// * `mul(x, one()) == x` (unit);
+/// * `compare(one(), x) != Greater` (the unit is `⪯`-minimal);
+/// * `compare(x, zero()) != Greater` (`1⊕` is `⪯`-maximal);
+/// * if `compare(x, y) != Greater` then
+///   `compare(mul(x, z), mul(y, z)) != Greater` (monotonicity);
+/// * `compare` is a total order.
+///
+/// The naming follows semiring convention: [`add`](AttributeDomain::add) is
+/// the paper's `⊕` (the `⪯`-minimum) with neutral element
+/// [`zero`](AttributeDomain::zero) (`1⊕`), and [`mul`](AttributeDomain::mul)
+/// is the paper's `⊗` with neutral element [`one`](AttributeDomain::one)
+/// (`1⊗`).
+pub trait AttributeDomain {
+    /// The carrier set `V`.
+    type Value: Clone + PartialEq + fmt::Debug;
+
+    /// The combination operator `⊗`.
+    fn mul(&self, x: &Self::Value, y: &Self::Value) -> Self::Value;
+
+    /// The unit `1⊗` of `⊗`, which is also the `⪯`-minimal element.
+    fn one(&self) -> Self::Value;
+
+    /// The `⪯`-maximal element `1⊕` (the neutral element of `⊕`).
+    ///
+    /// `β̂_A(ρ(δ⃗)) = zero()` encodes "no successful attack exists"
+    /// (Definition 7).
+    fn zero(&self) -> Self::Value;
+
+    /// The linear order `⪯`: `Less` means `x ≺ y`, i.e. `x` is *preferred*
+    /// by the agent optimizing over this domain.
+    fn compare(&self, x: &Self::Value, y: &Self::Value) -> Ordering;
+
+    /// The selection operator `⊕`, defined as `x ⊕ y = min_⪯(x, y)`.
+    fn add(&self, x: &Self::Value, y: &Self::Value) -> Self::Value {
+        if self.compare(x, y) == Ordering::Greater {
+            y.clone()
+        } else {
+            x.clone()
+        }
+    }
+
+    /// `x ⪯ y`.
+    fn le(&self, x: &Self::Value, y: &Self::Value) -> bool {
+        self.compare(x, y) != Ordering::Greater
+    }
+
+    /// `x ≺ y` (strict).
+    fn lt(&self, x: &Self::Value, y: &Self::Value) -> bool {
+        self.compare(x, y) == Ordering::Less
+    }
+
+    /// Folds `⊗` over an iterator, starting from `1⊗`.
+    ///
+    /// This computes the paper's `⨂` as used in Definition 6.
+    fn product<'a, I>(&self, values: I) -> Self::Value
+    where
+        I: IntoIterator<Item = &'a Self::Value>,
+        Self::Value: 'a,
+    {
+        values
+            .into_iter()
+            .fold(self.one(), |acc, v| self.mul(&acc, v))
+    }
+
+    /// Folds `⊕` over an iterator, starting from `1⊕` (i.e. the `⪯`-minimum
+    /// of the values, or `1⊕` if the iterator is empty).
+    fn sum<'a, I>(&self, values: I) -> Self::Value
+    where
+        I: IntoIterator<Item = &'a Self::Value>,
+        Self::Value: 'a,
+    {
+        values
+            .into_iter()
+            .fold(self.zero(), |acc, v| self.add(&acc, v))
+    }
+}
+
+/// Selects one of the two semiring operators; used to express the paper's
+/// Table II (which operator the bottom-up algorithm applies to the attacker
+/// coordinate at each gate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SemiringOp {
+    /// The selection operator `⊕` (`⪯`-minimum).
+    Add,
+    /// The combination operator `⊗`.
+    Mul,
+}
+
+impl SemiringOp {
+    /// Applies the selected operator in the given domain.
+    pub fn apply<D: AttributeDomain>(
+        self,
+        domain: &D,
+        x: &D::Value,
+        y: &D::Value,
+    ) -> D::Value {
+        match self {
+            SemiringOp::Add => domain.add(x, y),
+            SemiringOp::Mul => domain.mul(x, y),
+        }
+    }
+}
+
+impl fmt::Display for SemiringOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemiringOp::Add => f.write_str("⊕"),
+            SemiringOp::Mul => f.write_str("⊗"),
+        }
+    }
+}
+
+/// Asserts every Definition-4 law on the given sample values; used by the
+/// unit tests of each domain (and available to downstream tests).
+///
+/// # Panics
+///
+/// Panics with a descriptive message if any law is violated.
+pub fn assert_domain_laws<D: AttributeDomain>(domain: &D, samples: &[D::Value]) {
+    let one = domain.one();
+    let zero = domain.zero();
+    for x in samples {
+        assert_eq!(&domain.mul(x, &one), x, "1⊗ must be the unit of ⊗ (x = {x:?})");
+        assert!(
+            domain.le(&one, x),
+            "1⊗ must be ⪯-minimal (violated by {x:?})"
+        );
+        assert!(
+            domain.le(x, &zero),
+            "1⊕ must be ⪯-maximal (violated by {x:?})"
+        );
+        for y in samples {
+            assert_eq!(
+                domain.mul(x, y),
+                domain.mul(y, x),
+                "⊗ must be commutative ({x:?}, {y:?})"
+            );
+            let min = domain.add(x, y);
+            assert!(
+                (min == *x || min == *y) && domain.le(&min, x) && domain.le(&min, y),
+                "⊕ must be the ⪯-minimum ({x:?}, {y:?})"
+            );
+            // compare must be total and antisymmetric on distinct values.
+            let xy = domain.compare(x, y);
+            let yx = domain.compare(y, x);
+            assert_eq!(xy, yx.reverse(), "compare must be antisymmetric");
+            for z in samples {
+                assert_eq!(
+                    domain.mul(&domain.mul(x, y), z),
+                    domain.mul(x, &domain.mul(y, z)),
+                    "⊗ must be associative ({x:?}, {y:?}, {z:?})"
+                );
+                if domain.le(x, y) {
+                    assert!(
+                        domain.le(&domain.mul(x, z), &domain.mul(y, z)),
+                        "⊗ must be ⪯-monotone ({x:?} ⪯ {y:?}, z = {z:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semiring_op_applies_in_min_cost() {
+        let d = MinCost;
+        let x = Ext::Fin(3);
+        let y = Ext::Fin(5);
+        assert_eq!(SemiringOp::Add.apply(&d, &x, &y), Ext::Fin(3));
+        assert_eq!(SemiringOp::Mul.apply(&d, &x, &y), Ext::Fin(8));
+    }
+
+    #[test]
+    fn semiring_op_display() {
+        assert_eq!(SemiringOp::Add.to_string(), "⊕");
+        assert_eq!(SemiringOp::Mul.to_string(), "⊗");
+    }
+
+    #[test]
+    fn sum_of_empty_iterator_is_zero() {
+        let d = MinCost;
+        assert_eq!(d.sum([]), Ext::Inf);
+        assert_eq!(d.product([]), Ext::Fin(0));
+    }
+
+    #[test]
+    fn sum_and_product_fold() {
+        let d = MinCost;
+        let values = [Ext::Fin(4), Ext::Fin(2), Ext::Fin(9)];
+        assert_eq!(d.sum(&values), Ext::Fin(2));
+        assert_eq!(d.product(&values), Ext::Fin(15));
+    }
+}

@@ -1,0 +1,183 @@
+//! Probabilities: the carrier `[0, 1]` of Table I's probability domain.
+
+use std::error::Error;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A probability in `[0, 1]`.
+///
+/// The invariant (finite, within bounds) is checked at construction, which
+/// makes `Eq`, `Ord` and `Hash` well-defined despite the `f64`
+/// representation (`NaN` is unrepresentable).
+///
+/// # Examples
+///
+/// ```
+/// use adt_core::semiring::Prob;
+///
+/// # fn main() -> Result<(), adt_core::semiring::ProbError> {
+/// let p = Prob::new(0.25)?;
+/// let q = Prob::new(0.5)?;
+/// assert_eq!(p.and(q).value(), 0.125);
+/// assert!(Prob::new(1.5).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prob(f64);
+
+impl Prob {
+    /// The impossible event.
+    pub const ZERO: Prob = Prob(0.0);
+    /// The certain event.
+    pub const ONE: Prob = Prob(1.0);
+
+    /// Creates a probability, validating `0 <= p <= 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError`] if `p` is `NaN`, infinite or out of bounds.
+    pub fn new(p: f64) -> Result<Prob, ProbError> {
+        if p.is_finite() && (0.0..=1.0).contains(&p) {
+            Ok(Prob(p))
+        } else {
+            Err(ProbError(p))
+        }
+    }
+
+    /// The underlying value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Product of probabilities (joint probability of independent events).
+    #[must_use]
+    pub fn and(self, other: Prob) -> Prob {
+        Prob(self.0 * other.0)
+    }
+
+    /// The numerically larger probability.
+    #[must_use]
+    pub fn max_with(self, other: Prob) -> Prob {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for Prob {}
+
+impl PartialOrd for Prob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Prob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Safe: the constructor rejects NaN.
+        self.0.partial_cmp(&other.0).expect("Prob is never NaN")
+    }
+}
+
+impl Hash for Prob {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Normalize -0.0 so that equal values hash equally.
+        let bits = if self.0 == 0.0 { 0.0f64.to_bits() } else { self.0.to_bits() };
+        bits.hash(state);
+    }
+}
+
+impl fmt::Display for Prob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl TryFrom<f64> for Prob {
+    type Error = ProbError;
+
+    fn try_from(p: f64) -> Result<Prob, ProbError> {
+        Prob::new(p)
+    }
+}
+
+/// Error returned when constructing a [`Prob`] from a value outside
+/// `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbError(f64);
+
+impl fmt::Display for ProbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "value {} is not a probability in [0, 1]", self.0)
+    }
+}
+
+impl Error for ProbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(p: Prob) -> u64 {
+        let mut h = DefaultHasher::new();
+        p.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn construction_validates_bounds() {
+        assert!(Prob::new(0.0).is_ok());
+        assert!(Prob::new(1.0).is_ok());
+        assert!(Prob::new(0.5).is_ok());
+        assert!(Prob::new(-0.1).is_err());
+        assert!(Prob::new(1.1).is_err());
+        assert!(Prob::new(f64::NAN).is_err());
+        assert!(Prob::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn try_from_matches_new() {
+        assert_eq!(Prob::try_from(0.3).unwrap(), Prob::new(0.3).unwrap());
+        assert!(Prob::try_from(2.0).is_err());
+    }
+
+    #[test]
+    fn and_multiplies() {
+        let p = Prob::new(0.5).unwrap();
+        let q = Prob::new(0.25).unwrap();
+        assert_eq!(p.and(q).value(), 0.125);
+        assert_eq!(p.and(Prob::ZERO), Prob::ZERO);
+        assert_eq!(p.and(Prob::ONE), p);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let p = Prob::new(0.2).unwrap();
+        let q = Prob::new(0.8).unwrap();
+        assert!(p < q);
+        assert_eq!(p.max_with(q), q);
+        assert_eq!(q.max_with(p), q);
+    }
+
+    #[test]
+    fn negative_zero_hashes_like_zero() {
+        let neg = Prob::new(-0.0).unwrap();
+        assert_eq!(neg, Prob::ZERO);
+        assert_eq!(hash_of(neg), hash_of(Prob::ZERO));
+    }
+
+    #[test]
+    fn error_display() {
+        let err = Prob::new(3.0).unwrap_err();
+        assert_eq!(err.to_string(), "value 3 is not a probability in [0, 1]");
+    }
+
+    #[test]
+    fn display_shows_value() {
+        assert_eq!(Prob::new(0.25).unwrap().to_string(), "0.25");
+    }
+}

@@ -1,0 +1,452 @@
+//! The structure function `f_T(δ⃗, α⃗, v)` (Definition 3).
+//!
+//! Given a defense vector and an attack vector, the structure function
+//! decides for every node whether it is *active*: a basic step is active when
+//! its vector bit is set, an `AND` gate when all children are active, an `OR`
+//! gate when any child is, and an `INH` gate when its inhibited child is
+//! active while its trigger is not.
+//!
+//! Evaluation is iterative over the precomputed topological order, so shared
+//! subtrees of DAG-shaped ADTs are evaluated exactly once, and arbitrarily
+//! deep trees do not overflow the stack.
+
+use crate::adt::Adt;
+use crate::error::AdtError;
+use crate::node::{Agent, Gate, NodeId};
+use crate::vectors::{AttackVector, BitVec, DefenseVector};
+
+/// The result of evaluating the structure function on a full tree: one
+/// Boolean per node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evaluation {
+    values: BitVec,
+    root: NodeId,
+}
+
+impl Evaluation {
+    /// Structure value of the given node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to the evaluated tree.
+    pub fn value(&self, v: NodeId) -> bool {
+        self.values.get(v.index())
+    }
+
+    /// Structure value of the root, `f_T(δ⃗, α⃗, R_T)`.
+    pub fn root_value(&self) -> bool {
+        self.values.get(self.root.index())
+    }
+}
+
+/// Reusable structure-function evaluator.
+///
+/// The enumeration-heavy algorithms (the paper's `Naive`, Algorithm 2) call
+/// the structure function up to `2^{|D|+|A|}` times; this type keeps the
+/// scratch buffer alive across calls so that the hot path allocates nothing.
+///
+/// # Examples
+///
+/// ```
+/// use adt_core::adt::AdtBuilder;
+/// use adt_core::structure::Evaluator;
+///
+/// # fn main() -> Result<(), adt_core::error::AdtError> {
+/// let mut b = AdtBuilder::new();
+/// let a = b.attack("a")?;
+/// let d = b.defense("d")?;
+/// let root = b.inh("root", a, d)?;
+/// let adt = b.build(root)?;
+///
+/// let mut eval = Evaluator::new(&adt);
+/// assert!(eval.root_from_masks(0b0, 0b1)); // attack alone succeeds
+/// assert!(!eval.root_from_masks(0b1, 0b1)); // the defense inhibits it
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Evaluator<'a> {
+    adt: &'a Adt,
+    values: Vec<bool>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator for the given tree.
+    pub fn new(adt: &'a Adt) -> Self {
+        Evaluator { adt, values: vec![false; adt.node_count()] }
+    }
+
+    /// The tree this evaluator works on.
+    pub fn adt(&self) -> &'a Adt {
+        self.adt
+    }
+
+    /// Evaluates the structure function for full vectors and returns the
+    /// root value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdtError::VectorLength`] if a vector does not match the
+    /// tree's number of basic attack/defense steps.
+    pub fn root_value(
+        &mut self,
+        delta: &DefenseVector,
+        alpha: &AttackVector,
+    ) -> Result<bool, AdtError> {
+        self.check_lengths(delta, alpha)?;
+        Ok(self.run(
+            |pos| delta.is_active(pos),
+            |pos| alpha.is_active(pos),
+        ))
+    }
+
+    /// Evaluates the structure function with the activation sets given as
+    /// bit masks (bit `i` of `def_mask`/`att_mask` activates the `i`-th basic
+    /// defense/attack step). This is the allocation-free fast path used by
+    /// the enumeration algorithms.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the tree has more than 64 basic steps of
+    /// either kind; use [`Evaluator::root_value`] for larger trees.
+    pub fn root_from_masks(&mut self, def_mask: u64, att_mask: u64) -> bool {
+        debug_assert!(self.adt.defense_count() <= 64);
+        debug_assert!(self.adt.attack_count() <= 64);
+        self.run(
+            |pos| def_mask >> pos & 1 == 1,
+            |pos| att_mask >> pos & 1 == 1,
+        )
+    }
+
+    /// Whether the attack described by the masks *succeeds* in the sense of
+    /// Definition 7: structure value `1` at an attacker root, `0` at a
+    /// defender root.
+    pub fn attack_succeeds_masks(&mut self, def_mask: u64, att_mask: u64) -> bool {
+        let value = self.root_from_masks(def_mask, att_mask);
+        match self.adt.root_agent() {
+            Agent::Attacker => value,
+            Agent::Defender => !value,
+        }
+    }
+
+    fn check_lengths(
+        &self,
+        delta: &DefenseVector,
+        alpha: &AttackVector,
+    ) -> Result<(), AdtError> {
+        if delta.len() != self.adt.defense_count() {
+            return Err(AdtError::VectorLength {
+                expected: self.adt.defense_count(),
+                found: delta.len(),
+            });
+        }
+        if alpha.len() != self.adt.attack_count() {
+            return Err(AdtError::VectorLength {
+                expected: self.adt.attack_count(),
+                found: alpha.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn run(
+        &mut self,
+        def_active: impl Fn(usize) -> bool,
+        att_active: impl Fn(usize) -> bool,
+    ) -> bool {
+        let adt = self.adt;
+        for &v in adt.topological_order() {
+            let node = &adt[v];
+            let value = match node.gate() {
+                Gate::Basic => {
+                    let pos = adt
+                        .basic_position(v)
+                        .expect("basic step has a vector position");
+                    match node.agent() {
+                        Agent::Attacker => att_active(pos),
+                        Agent::Defender => def_active(pos),
+                    }
+                }
+                Gate::And => node.children().iter().all(|c| self.values[c.index()]),
+                Gate::Or => node.children().iter().any(|c| self.values[c.index()]),
+                Gate::Inh => {
+                    let inhibited = self.values[node.children()[0].index()];
+                    let trigger = self.values[node.children()[1].index()];
+                    inhibited && !trigger
+                }
+            };
+            self.values[v.index()] = value;
+        }
+        self.values[adt.root().index()]
+    }
+
+    fn snapshot(&self) -> Evaluation {
+        Evaluation { values: BitVec::from_bools(&self.values), root: self.adt.root() }
+    }
+}
+
+impl Adt {
+    /// Evaluates the structure function on full vectors, returning the value
+    /// at every node (Definition 3).
+    ///
+    /// For repeated evaluation prefer [`Evaluator`], which reuses its
+    /// scratch buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdtError::VectorLength`] if a vector does not match the
+    /// tree's number of basic attack/defense steps.
+    pub fn evaluate(
+        &self,
+        delta: &DefenseVector,
+        alpha: &AttackVector,
+    ) -> Result<Evaluation, AdtError> {
+        let mut eval = Evaluator::new(self);
+        eval.root_value(delta, alpha)?;
+        Ok(eval.snapshot())
+    }
+
+    /// The structure function at a single node, `f_T(δ⃗, α⃗, v)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdtError::VectorLength`] on mismatched vectors, or
+    /// [`AdtError::InvalidNode`] if `v` does not belong to this tree.
+    pub fn structure_function(
+        &self,
+        delta: &DefenseVector,
+        alpha: &AttackVector,
+        v: NodeId,
+    ) -> Result<bool, AdtError> {
+        if v.index() >= self.node_count() {
+            return Err(AdtError::InvalidNode { id: v, len: self.node_count() });
+        }
+        Ok(self.evaluate(delta, alpha)?.value(v))
+    }
+
+    /// Whether the event `(δ⃗, α⃗)` is a *successful attack* (Definition 7):
+    /// the structure value at the root is `1` if the root belongs to the
+    /// attacker, `0` if it belongs to the defender.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdtError::VectorLength`] on mismatched vectors.
+    pub fn attack_succeeds(
+        &self,
+        delta: &DefenseVector,
+        alpha: &AttackVector,
+    ) -> Result<bool, AdtError> {
+        let value = self.evaluate(delta, alpha)?.root_value();
+        Ok(match self.root_agent() {
+            Agent::Attacker => value,
+            Agent::Defender => !value,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adt::AdtBuilder;
+
+    /// Fig. 3 of the paper: root = OR(INH(a2 ! INH(AND(d1,d2) ! a1)), a3).
+    fn fig3() -> Adt {
+        let mut b = AdtBuilder::new();
+        let d1 = b.defense("d1").unwrap();
+        let d2 = b.defense("d2").unwrap();
+        let d_and = b.and("d_and", [d1, d2]).unwrap();
+        let a1 = b.attack("a1").unwrap();
+        let d_eff = b.inh("d_eff", d_and, a1).unwrap();
+        let a2 = b.attack("a2").unwrap();
+        let guarded = b.inh("guarded", a2, d_eff).unwrap();
+        let a3 = b.attack("a3").unwrap();
+        let root = b.or("root", [guarded, a3]).unwrap();
+        b.build(root).unwrap()
+    }
+
+    fn dv(adt: &Adt, s: &str) -> DefenseVector {
+        let _ = adt;
+        DefenseVector::from_binary_str(s).unwrap()
+    }
+
+    fn av(adt: &Adt, s: &str) -> AttackVector {
+        let _ = adt;
+        AttackVector::from_binary_str(s).unwrap()
+    }
+
+    #[test]
+    fn single_attack_leaf() {
+        let mut b = AdtBuilder::new();
+        let a = b.attack("a").unwrap();
+        let adt = b.build(a).unwrap();
+        assert!(adt
+            .attack_succeeds(&DefenseVector::none(0), &av(&adt, "1"))
+            .unwrap());
+        assert!(!adt
+            .attack_succeeds(&DefenseVector::none(0), &av(&adt, "0"))
+            .unwrap());
+    }
+
+    #[test]
+    fn and_gate_requires_all_children() {
+        let mut b = AdtBuilder::new();
+        let x = b.attack("x").unwrap();
+        let y = b.attack("y").unwrap();
+        let root = b.and("root", [x, y]).unwrap();
+        let adt = b.build(root).unwrap();
+        let delta = DefenseVector::none(0);
+        assert!(!adt.attack_succeeds(&delta, &av(&adt, "10")).unwrap());
+        assert!(!adt.attack_succeeds(&delta, &av(&adt, "01")).unwrap());
+        assert!(adt.attack_succeeds(&delta, &av(&adt, "11")).unwrap());
+    }
+
+    #[test]
+    fn or_gate_requires_any_child() {
+        let mut b = AdtBuilder::new();
+        let x = b.attack("x").unwrap();
+        let y = b.attack("y").unwrap();
+        let root = b.or("root", [x, y]).unwrap();
+        let adt = b.build(root).unwrap();
+        let delta = DefenseVector::none(0);
+        assert!(adt.attack_succeeds(&delta, &av(&adt, "10")).unwrap());
+        assert!(adt.attack_succeeds(&delta, &av(&adt, "01")).unwrap());
+        assert!(!adt.attack_succeeds(&delta, &av(&adt, "00")).unwrap());
+    }
+
+    #[test]
+    fn inh_gate_semantics() {
+        let mut b = AdtBuilder::new();
+        let a = b.attack("a").unwrap();
+        let d = b.defense("d").unwrap();
+        let root = b.inh("root", a, d).unwrap();
+        let adt = b.build(root).unwrap();
+        // inhibited ∧ ¬trigger
+        assert!(adt.attack_succeeds(&dv(&adt, "0"), &av(&adt, "1")).unwrap());
+        assert!(!adt.attack_succeeds(&dv(&adt, "1"), &av(&adt, "1")).unwrap());
+        assert!(!adt.attack_succeeds(&dv(&adt, "0"), &av(&adt, "0")).unwrap());
+        assert!(!adt.attack_succeeds(&dv(&adt, "1"), &av(&adt, "0")).unwrap());
+    }
+
+    #[test]
+    fn defender_root_success_is_structure_zero() {
+        // root = INH(d ! a): a defender node destroyed by the attack `a`.
+        let mut b = AdtBuilder::new();
+        let d = b.defense("d").unwrap();
+        let a = b.attack("a").unwrap();
+        let root = b.inh("root", d, a).unwrap();
+        let adt = b.build(root).unwrap();
+        assert_eq!(adt.root_agent(), Agent::Defender);
+        // Defense active, no attack: structure 1, attack fails.
+        assert!(!adt.attack_succeeds(&dv(&adt, "1"), &av(&adt, "0")).unwrap());
+        // Defense active, trigger attack: structure 0, attack succeeds.
+        assert!(adt.attack_succeeds(&dv(&adt, "1"), &av(&adt, "1")).unwrap());
+        // Defense not activated at all: already inactive, attack succeeds.
+        assert!(adt.attack_succeeds(&dv(&adt, "0"), &av(&adt, "0")).unwrap());
+    }
+
+    #[test]
+    fn example2_attack_responses_on_fig3() {
+        let adt = fig3();
+        // With no defenses, 010 and 001 both succeed.
+        assert!(adt.attack_succeeds(&dv(&adt, "00"), &av(&adt, "010")).unwrap());
+        assert!(adt.attack_succeeds(&dv(&adt, "00"), &av(&adt, "001")).unwrap());
+        // A single defense has no effect (AND gate of defenses).
+        assert!(adt.attack_succeeds(&dv(&adt, "10"), &av(&adt, "010")).unwrap());
+        assert!(adt.attack_succeeds(&dv(&adt, "01"), &av(&adt, "010")).unwrap());
+        // Both defenses block 010 but not 110 (a1 disables the defense pair)
+        // nor 001.
+        assert!(!adt.attack_succeeds(&dv(&adt, "11"), &av(&adt, "010")).unwrap());
+        assert!(adt.attack_succeeds(&dv(&adt, "11"), &av(&adt, "110")).unwrap());
+        assert!(adt.attack_succeeds(&dv(&adt, "11"), &av(&adt, "001")).unwrap());
+    }
+
+    #[test]
+    fn evaluation_exposes_inner_nodes() {
+        let adt = fig3();
+        let eval = adt.evaluate(&dv(&adt, "11"), &av(&adt, "010")).unwrap();
+        assert!(eval.value(adt.node_id("d_and").unwrap()));
+        assert!(eval.value(adt.node_id("d_eff").unwrap()));
+        assert!(!eval.value(adt.node_id("guarded").unwrap()));
+        assert!(!eval.root_value());
+    }
+
+    #[test]
+    fn structure_function_at_node() {
+        let adt = fig3();
+        let d_and = adt.node_id("d_and").unwrap();
+        assert!(adt
+            .structure_function(&dv(&adt, "11"), &av(&adt, "000"), d_and)
+            .unwrap());
+        assert!(!adt
+            .structure_function(&dv(&adt, "01"), &av(&adt, "000"), d_and)
+            .unwrap());
+    }
+
+    #[test]
+    fn structure_function_rejects_foreign_node() {
+        let adt = fig3();
+        let err = adt
+            .structure_function(&dv(&adt, "00"), &av(&adt, "000"), NodeId::new(99))
+            .unwrap_err();
+        assert!(matches!(err, AdtError::InvalidNode { .. }));
+    }
+
+    #[test]
+    fn vector_length_mismatch_rejected() {
+        let adt = fig3();
+        let err = adt
+            .attack_succeeds(&dv(&adt, "1"), &av(&adt, "000"))
+            .unwrap_err();
+        assert_eq!(err, AdtError::VectorLength { expected: 2, found: 1 });
+        let err = adt
+            .attack_succeeds(&dv(&adt, "00"), &av(&adt, "01"))
+            .unwrap_err();
+        assert_eq!(err, AdtError::VectorLength { expected: 3, found: 2 });
+    }
+
+    #[test]
+    fn masks_agree_with_vectors() {
+        let adt = fig3();
+        let mut eval = Evaluator::new(&adt);
+        for dm in 0u64..4 {
+            for am in 0u64..8 {
+                let delta = DefenseVector::from_mask(2, dm);
+                let alpha = AttackVector::from_mask(3, am);
+                assert_eq!(
+                    eval.root_from_masks(dm, am),
+                    adt.evaluate(&delta, &alpha).unwrap().root_value(),
+                    "mismatch at δ={dm:02b} α={am:03b}",
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_node_evaluated_once_consistently() {
+        // DAG: both branches share the `phishing` step.
+        let mut b = AdtBuilder::new();
+        let ph = b.attack("phishing").unwrap();
+        let u = b.attack("user").unwrap();
+        let gu = b.or("get_user", [u, ph]).unwrap();
+        let p = b.attack("pwd").unwrap();
+        let gp = b.or("get_pwd", [p, ph]).unwrap();
+        let root = b.and("root", [gu, gp]).unwrap();
+        let adt = b.build(root).unwrap();
+        // Phishing alone activates both branches.
+        let alpha = adt.attack_vector(["phishing"]).unwrap();
+        assert!(adt.attack_succeeds(&DefenseVector::none(0), &alpha).unwrap());
+        // `user` alone does not.
+        let alpha = adt.attack_vector(["user"]).unwrap();
+        assert!(!adt.attack_succeeds(&DefenseVector::none(0), &alpha).unwrap());
+    }
+
+    #[test]
+    fn evaluator_is_reusable() {
+        let adt = fig3();
+        let mut eval = Evaluator::new(&adt);
+        assert!(eval.root_from_masks(0b00, 0b010));
+        assert!(!eval.root_from_masks(0b11, 0b010));
+        assert!(eval.root_from_masks(0b11, 0b011));
+        assert_eq!(eval.adt().node_count(), 9);
+    }
+}

@@ -1,0 +1,502 @@
+//! Attack and defense vectors (Definition 2).
+//!
+//! The attacker and the defender each select a set of basic steps to
+//! activate. Following the paper, these sets are represented as binary
+//! vectors over the basic attack steps (`BAS`) and basic defense steps
+//! (`BDS`) respectively, where index `i` refers to the `i`-th basic step in
+//! declaration order. The paper writes vectors as binary strings such as
+//! `"010"`; [`BitVec::from_binary_str`] and the `Display` implementations use
+//! the same notation (index 0 is the leftmost character).
+
+use std::fmt;
+
+use crate::error::AdtError;
+
+/// A fixed-length vector of bits, the backing store of [`AttackVector`] and
+/// [`DefenseVector`].
+///
+/// This is a small, dependency-free bit vector supporting the operations the
+/// analyses need: point access, population count, iteration over set bits and
+/// conversion to/from `u64` masks for the enumeration-heavy algorithms.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// A vector of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec { blocks: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// A vector of `len` one bits.
+    pub fn ones(len: usize) -> Self {
+        let mut bits = Self::zeros(len);
+        for i in 0..len {
+            bits.set(i, true);
+        }
+        bits
+    }
+
+    /// Builds a vector of length `len` with the given indices set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= len`.
+    pub fn from_indices<I>(len: usize, indices: I) -> Self
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let mut bits = Self::zeros(len);
+        for i in indices {
+            bits.set(i, true);
+        }
+        bits
+    }
+
+    /// Builds a vector of length `len <= 64` from the low bits of `mask`
+    /// (bit `i` of the mask becomes index `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    pub fn from_mask(len: usize, mask: u64) -> Self {
+        assert!(len <= 64, "from_mask supports at most 64 bits, got {len}");
+        let mut bits = Self::zeros(len);
+        if len > 0 {
+            let keep = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+            if !bits.blocks.is_empty() {
+                bits.blocks[0] = mask & keep;
+            }
+        }
+        bits
+    }
+
+    /// Builds a vector from a slice of booleans.
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut bits = Self::zeros(bools.len());
+        for (i, &b) in bools.iter().enumerate() {
+            bits.set(i, b);
+        }
+        bits
+    }
+
+    /// Parses the paper's binary-string notation, e.g. `"010"` for the
+    /// vector with only index 1 set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdtError::UnknownName`] if the string contains a character
+    /// other than `0` or `1`.
+    pub fn from_binary_str(s: &str) -> Result<Self, AdtError> {
+        let mut bits = Self::zeros(s.len());
+        for (i, c) in s.chars().enumerate() {
+            match c {
+                '0' => {}
+                '1' => bits.set(i, true),
+                other => return Err(AdtError::UnknownName(other.to_string())),
+            }
+        }
+        Ok(bits)
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Value of bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        (self.blocks[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        let block = &mut self.blocks[i / 64];
+        let bit = 1u64 << (i % 64);
+        if value {
+            *block |= bit;
+        } else {
+            *block &= !bit;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// `true` if no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Iterates over the indices of set bits, in increasing order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes { bits: self, block: 0, current: self.blocks.first().copied().unwrap_or(0) }
+    }
+
+    /// The vector as a `u64` mask, if it fits (length `<= 64`).
+    pub fn as_mask(&self) -> Option<u64> {
+        if self.len <= 64 {
+            Some(self.blocks.first().copied().unwrap_or(0))
+        } else {
+            None
+        }
+    }
+
+    fn binary_string(&self) -> String {
+        (0..self.len).map(|i| if self.get(i) { '1' } else { '0' }).collect()
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.binary_string())
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec({})", self.binary_string())
+    }
+}
+
+/// Iterator over the set bits of a [`BitVec`], created by
+/// [`BitVec::iter_ones`].
+#[derive(Debug, Clone)]
+pub struct IterOnes<'a> {
+    bits: &'a BitVec,
+    block: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let tz = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.block * 64 + tz);
+            }
+            self.block += 1;
+            if self.block >= self.bits.blocks.len() {
+                return None;
+            }
+            self.current = self.bits.blocks[self.block];
+        }
+    }
+}
+
+macro_rules! vector_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, PartialEq, Eq, Hash)]
+        pub struct $name {
+            bits: BitVec,
+        }
+
+        impl $name {
+            /// The all-zero vector of the given length (no step activated).
+            pub fn none(len: usize) -> Self {
+                Self { bits: BitVec::zeros(len) }
+            }
+
+            /// The all-one vector of the given length (every step activated).
+            pub fn all(len: usize) -> Self {
+                Self { bits: BitVec::ones(len) }
+            }
+
+            /// Builds a vector with the given basic-step positions activated.
+            ///
+            /// # Panics
+            ///
+            /// Panics if any index is `>= len`.
+            pub fn from_indices<I>(len: usize, indices: I) -> Self
+            where
+                I: IntoIterator<Item = usize>,
+            {
+                Self { bits: BitVec::from_indices(len, indices) }
+            }
+
+            /// Builds a vector of length `len <= 64` from a bit mask.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `len > 64`.
+            pub fn from_mask(len: usize, mask: u64) -> Self {
+                Self { bits: BitVec::from_mask(len, mask) }
+            }
+
+            /// Parses the paper's binary-string notation (e.g. `"010"`).
+            ///
+            /// # Errors
+            ///
+            /// Returns an error if the string contains characters other than
+            /// `0` and `1`.
+            pub fn from_binary_str(s: &str) -> Result<Self, AdtError> {
+                Ok(Self { bits: BitVec::from_binary_str(s)? })
+            }
+
+            /// Number of basic steps covered by this vector.
+            pub fn len(&self) -> usize {
+                self.bits.len()
+            }
+
+            /// `true` if the vector has zero length.
+            pub fn is_empty(&self) -> bool {
+                self.bits.is_empty()
+            }
+
+            /// Whether the basic step at `position` is activated.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `position >= len`.
+            pub fn is_active(&self, position: usize) -> bool {
+                self.bits.get(position)
+            }
+
+            /// Activates or deactivates the basic step at `position`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `position >= len`.
+            pub fn set(&mut self, position: usize, active: bool) {
+                self.bits.set(position, active)
+            }
+
+            /// Number of activated steps.
+            pub fn count_active(&self) -> usize {
+                self.bits.count_ones()
+            }
+
+            /// Iterates over the positions of activated steps.
+            pub fn iter_active(&self) -> IterOnes<'_> {
+                self.bits.iter_ones()
+            }
+
+            /// The underlying bit vector.
+            pub fn as_bits(&self) -> &BitVec {
+                &self.bits
+            }
+
+            /// The vector as a `u64` mask, if it fits (length `<= 64`).
+            pub fn as_mask(&self) -> Option<u64> {
+                self.bits.as_mask()
+            }
+        }
+
+        impl From<BitVec> for $name {
+            fn from(bits: BitVec) -> Self {
+                Self { bits }
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(&self.bits, f)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.bits)
+            }
+        }
+    };
+}
+
+vector_newtype! {
+    /// An attack vector `α⃗ ∈ B^A` (Definition 2): which basic attack steps
+    /// the attacker activates. Index `i` refers to the `i`-th basic attack
+    /// step of the tree in declaration order
+    /// (see [`Adt::attacks`](crate::adt::Adt::attacks)).
+    AttackVector
+}
+
+vector_newtype! {
+    /// A defense vector `δ⃗ ∈ B^D` (Definition 2): which basic defense steps
+    /// the defender activates. Index `i` refers to the `i`-th basic defense
+    /// step of the tree in declaration order
+    /// (see [`Adt::defenses`](crate::adt::Adt::defenses)).
+    DefenseVector
+}
+
+/// An event (Definition 2): a pair of a defense vector and an attack vector.
+///
+/// The defender moves first; the event records one full scenario.
+pub type Event = (DefenseVector, AttackVector);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_no_bits_set() {
+        let b = BitVec::zeros(130);
+        assert_eq!(b.len(), 130);
+        assert_eq!(b.count_ones(), 0);
+        assert!(b.is_zero());
+        assert!((0..130).all(|i| !b.get(i)));
+    }
+
+    #[test]
+    fn ones_has_all_bits_set() {
+        let b = BitVec::ones(70);
+        assert_eq!(b.count_ones(), 70);
+        assert!((0..70).all(|i| b.get(i)));
+    }
+
+    #[test]
+    fn set_and_get_across_block_boundary() {
+        let mut b = BitVec::zeros(128);
+        b.set(63, true);
+        b.set(64, true);
+        b.set(127, true);
+        assert!(b.get(63) && b.get(64) && b.get(127));
+        assert_eq!(b.count_ones(), 3);
+        b.set(64, false);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(3).get(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        BitVec::zeros(3).set(5, true);
+    }
+
+    #[test]
+    fn from_indices_sets_exactly_those() {
+        let b = BitVec::from_indices(10, [1, 4, 9]);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn from_mask_respects_length() {
+        let b = BitVec::from_mask(3, 0b1111_1101);
+        assert_eq!(b.to_string(), "101");
+        assert_eq!(b.as_mask(), Some(0b101));
+    }
+
+    #[test]
+    fn from_mask_full_64_bits() {
+        let b = BitVec::from_mask(64, u64::MAX);
+        assert_eq!(b.count_ones(), 64);
+        assert_eq!(b.as_mask(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn from_mask_zero_length() {
+        let b = BitVec::from_mask(0, u64::MAX);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn from_mask_too_long_panics() {
+        BitVec::from_mask(65, 0);
+    }
+
+    #[test]
+    fn binary_str_round_trip() {
+        let b = BitVec::from_binary_str("0110010").unwrap();
+        assert_eq!(b.to_string(), "0110010");
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![1, 2, 5]);
+    }
+
+    #[test]
+    fn binary_str_rejects_garbage() {
+        assert!(BitVec::from_binary_str("01x").is_err());
+    }
+
+    #[test]
+    fn from_bools_matches_input() {
+        let b = BitVec::from_bools(&[true, false, true]);
+        assert_eq!(b.to_string(), "101");
+    }
+
+    #[test]
+    fn iter_ones_empty_vector() {
+        let b = BitVec::zeros(0);
+        assert_eq!(b.iter_ones().count(), 0);
+        assert_eq!(b.as_mask(), Some(0));
+    }
+
+    #[test]
+    fn iter_ones_spans_blocks() {
+        let b = BitVec::from_indices(200, [0, 63, 64, 128, 199]);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 128, 199]);
+    }
+
+    #[test]
+    fn as_mask_none_for_long_vectors() {
+        assert_eq!(BitVec::zeros(65).as_mask(), None);
+    }
+
+    #[test]
+    fn attack_vector_display_matches_paper_notation() {
+        // Example 2 writes `011` for the attack consisting of a2 and a3.
+        let alpha = AttackVector::from_indices(3, [1, 2]);
+        assert_eq!(alpha.to_string(), "011");
+        assert_eq!(format!("{alpha:?}"), "AttackVector(011)");
+    }
+
+    #[test]
+    fn defense_vector_from_binary_str() {
+        let delta = DefenseVector::from_binary_str("10").unwrap();
+        assert!(delta.is_active(0));
+        assert!(!delta.is_active(1));
+        assert_eq!(delta.count_active(), 1);
+    }
+
+    #[test]
+    fn vector_newtypes_are_distinct_types() {
+        fn takes_attack(_: &AttackVector) {}
+        let alpha = AttackVector::none(2);
+        takes_attack(&alpha);
+        // A DefenseVector would not compile here; nothing further to assert.
+    }
+
+    #[test]
+    fn vector_set_and_query() {
+        let mut delta = DefenseVector::none(4);
+        delta.set(2, true);
+        assert!(delta.is_active(2));
+        assert_eq!(delta.iter_active().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(delta.as_mask(), Some(0b0100));
+    }
+
+    #[test]
+    fn vector_all_and_none() {
+        assert_eq!(AttackVector::all(5).count_active(), 5);
+        assert_eq!(AttackVector::none(5).count_active(), 0);
+        assert!(AttackVector::none(0).is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! Parametric ADT families with known analytic behavior.
+//!
+//! These complement the random suite: their Pareto fronts are known in
+//! closed form, so they make good correctness anchors and scaling
+//! benchmarks. The paper's own worst-case family (Fig. 4) lives in
+//! `adt_core::catalog::fig4`; the families here generalize the remaining
+//! patterns of the paper's figures.
+
+use adt_core::{AdtBuilder, Agent, AugmentedAdt, MinCost};
+
+/// The attacker-rooted "ladder": `OR(INH(a_1 ! d_1), …, INH(a_n ! d_n))`
+/// with `β_A(a_i) = i` and `β_D(d_i) = i` — Fig. 5 generalized to `n`
+/// rungs.
+///
+/// The attacker always takes the cheapest unguarded rung, so the front
+/// walks through the rungs in cost order: `(0, 1), (1, 2), (3, 3), …,
+/// (n(n+1)/2, ∞)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ladder(n: usize) -> AugmentedAdt<MinCost, MinCost> {
+    assert!(n > 0, "ladder requires at least one rung");
+    let mut b = AdtBuilder::new();
+    let mut gates = Vec::with_capacity(n);
+    for i in 1..=n {
+        let a = b.attack(format!("a{i}")).expect("fresh name");
+        let d = b.defense(format!("d{i}")).expect("fresh name");
+        let g = b.inh(format!("i{i}"), a, d).expect("opposite agents");
+        gates.push(g);
+    }
+    let root = b.or("root", gates).expect("nonempty");
+    let adt = b.build(root).expect("well-formed");
+    AugmentedAdt::from_fns(
+        adt,
+        MinCost,
+        MinCost,
+        |t, id| (leaf_index(t, id)).into(),
+        |t, id| (leaf_index(t, id)).into(),
+    )
+}
+
+/// An alternating counter-chain of depth `n`: an attack guarded by a
+/// defense, which is itself disabled by a deeper counter-attack, and so on —
+/// the "DNS hijack disables SU" pattern of Fig. 2, iterated.
+///
+/// All leaves cost 1. Each additional level flips which agent profits from
+/// spending more, producing a front that grows linearly with `n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn counter_chain(n: usize) -> AugmentedAdt<MinCost, MinCost> {
+    assert!(n > 0, "counter_chain requires at least one level");
+    // Counter level i (1-based) belongs to the defender when i is odd and
+    // to the attacker when i is even; the chain nests in the trigger slot:
+    // root = INH(base ! INH(c1 ! INH(c2 ! … c_n))).
+    let level_agent = |i: usize| if i % 2 == 1 { Agent::Defender } else { Agent::Attacker };
+    let mut b = AdtBuilder::new();
+    let mut current = b
+        .leaf(level_agent(n), format!("c{n}"))
+        .expect("fresh name");
+    for i in (1..n).rev() {
+        let leaf = b.leaf(level_agent(i), format!("c{i}")).expect("fresh name");
+        current = b.inh(format!("l{i}"), leaf, current).expect("opposite agents");
+    }
+    let base = b.attack("base").expect("fresh name");
+    let root = b.inh("l0", base, current).expect("opposite agents");
+    let adt = b.build(root).expect("well-formed");
+    AugmentedAdt::from_fns(adt, MinCost, MinCost, |_, _| 1u64.into(), |_, _| 1u64.into())
+}
+
+fn leaf_index(adt: &adt_core::Adt, id: adt_core::NodeId) -> u64 {
+    // Leaf names are `a{i}`/`d{i}`; recover i for the cost.
+    adt[id].name()[1..].parse::<u64>().expect("family names end in an index")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_core::semiring::Ext;
+
+    #[test]
+    fn ladder_structure() {
+        let t = ladder(4);
+        assert_eq!(t.adt().node_count(), 3 * 4 + 1);
+        assert!(t.adt().is_tree());
+        assert_eq!(t.adt().root_agent(), Agent::Attacker);
+        let a3 = t.adt().node_id("a3").unwrap();
+        assert_eq!(t.attack_value_of(a3), Some(&Ext::Fin(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rung")]
+    fn ladder_zero_panics() {
+        ladder(0);
+    }
+
+    #[test]
+    fn counter_chain_alternates_agents() {
+        let t = counter_chain(3);
+        let adt = t.adt();
+        // base (A), c1 (D), c2 (A), c3 (D): 4 leaves, 3 gates.
+        assert_eq!(adt.node_count(), 7);
+        assert_eq!(adt.attack_count(), 2);
+        assert_eq!(adt.defense_count(), 2);
+        // The root is attacker-owned (the base attack, thrice guarded).
+        assert_eq!(adt.root_agent(), Agent::Attacker);
+        adt.validate().unwrap();
+    }
+
+    #[test]
+    fn counter_chain_nests_counters_in_the_trigger() {
+        let t = counter_chain(2);
+        let adt = t.adt();
+        let root = adt.root();
+        // root = INH(base ! l1); l1 = INH(c1 ! c2).
+        let base = adt.node_id("base").unwrap();
+        let l1 = adt.node_id("l1").unwrap();
+        assert_eq!(adt[root].inhibited(), Some(base));
+        assert_eq!(adt[root].trigger(), Some(l1));
+        let c1 = adt.node_id("c1").unwrap();
+        let c2 = adt.node_id("c2").unwrap();
+        assert_eq!(adt[l1].inhibited(), Some(c1));
+        assert_eq!(adt[l1].trigger(), Some(c2));
+        assert_eq!(adt[l1].agent(), Agent::Defender);
+    }
+
+    #[test]
+    fn counter_chain_semantics_alternate() {
+        // n = 2: defense c1 blocks base unless counter-attack c2 fires.
+        let t = counter_chain(2);
+        let adt = t.adt();
+        let no_def = adt.defense_vector::<[&str; 0], &str>([]).unwrap();
+        let with_def = adt.defense_vector(["c1"]).unwrap();
+        let base_only = adt.attack_vector(["base"]).unwrap();
+        let with_counter = adt.attack_vector(["base", "c2"]).unwrap();
+        assert!(adt.attack_succeeds(&no_def, &base_only).unwrap());
+        assert!(!adt.attack_succeeds(&with_def, &base_only).unwrap());
+        assert!(adt.attack_succeeds(&with_def, &with_counter).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn counter_chain_zero_panics() {
+        counter_chain(0);
+    }
+}

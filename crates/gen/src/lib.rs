@@ -1,0 +1,24 @@
+//! # adt-gen
+//!
+//! Workload generators for the experiments of *"Attack-Defense Trees with
+//! Offensive and Defensive Attributes"* (DSN 2025, §VI-B and Appendix):
+//!
+//! * [`random`] — seeded random ADTs following the paper's recipe (random
+//!   gate type, agent and arity until the node budget is reached), in tree
+//!   and DAG flavors;
+//! * [`suite`] — the paper's evaluation collections: 120 instances with
+//!   `|N| < 45`, and 20-node buckets up to 325 nodes;
+//! * [`family`] — parametric families with closed-form fronts (the ladder
+//!   of Fig. 5, alternating counter-chains); the paper's exponential family
+//!   (Fig. 4) lives in `adt_core::catalog::fig4`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod family;
+pub mod random;
+pub mod suite;
+
+pub use family::{counter_chain, ladder};
+pub use random::{attribute_random, random_adt, RandomAdtConfig, Shape};
+pub use suite::{bucket_suite, paper_suite, Instance};

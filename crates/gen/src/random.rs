@@ -1,0 +1,330 @@
+//! Random ADT generation (the paper's Appendix / §VI-B).
+//!
+//! The paper describes its workload generator as: *"After setting a maximum
+//! number of children n, nodes with random properties (gate type,
+//! attack/defense type, number of children) are recursively generated until
+//! the tree contains n nodes. This approach naturally creates tree- and
+//! DAG-structured ADTs."* This module follows that recipe with explicit,
+//! documented probability knobs and a seeded RNG so that experiment suites
+//! are exactly reproducible.
+//!
+//! Generation grows an attacker-rooted tree top-down. Each expansion either
+//! creates a leaf or an `AND`/`OR` gate with 2..=`max_children` children;
+//! any node may additionally be wrapped in an inhibition gate whose trigger
+//! is a small opposite-agent subtree (counter-attacks nest recursively, so
+//! defenses can themselves be guarded and counter-countered). In DAG mode,
+//! an expansion may instead reuse an already-built same-agent subtree,
+//! which yields shared nodes exactly like Fig. 7's Phishing.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use adt_core::{Adt, AdtBuilder, Agent, AugmentedAdt, MinCost, NodeId};
+
+/// The shape of generated ADTs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Every node has one parent; the bottom-up analysis applies.
+    Tree,
+    /// Subtree reuse is allowed, producing shared nodes.
+    Dag,
+}
+
+/// Configuration of the random generator.
+///
+/// The defaults mirror the paper's setup as far as it is documented; all
+/// knobs are public so experiments can sweep them.
+#[derive(Debug, Clone)]
+pub struct RandomAdtConfig {
+    /// Approximate number of nodes `|N|` to generate (the generator stops
+    /// opening new gates once the budget is reached, so the result may
+    /// overshoot by at most `max_children + 2`).
+    pub target_nodes: usize,
+    /// Maximum children per `AND`/`OR` gate (minimum 2).
+    pub max_children: usize,
+    /// Probability that a gate is `AND` rather than `OR`.
+    pub p_and: f64,
+    /// Probability that a node gets an inhibition counter (of the opposite
+    /// agent) wrapped around it.
+    pub p_counter: f64,
+    /// In DAG mode, probability that an expansion reuses an existing
+    /// same-agent subtree instead of building a new one.
+    pub p_share: f64,
+    /// Tree or DAG output.
+    pub shape: Shape,
+    /// Leaf costs are drawn uniformly from this inclusive range.
+    pub cost_range: (u64, u64),
+}
+
+impl Default for RandomAdtConfig {
+    fn default() -> Self {
+        RandomAdtConfig {
+            target_nodes: 45,
+            max_children: 4,
+            p_and: 0.4,
+            p_counter: 0.25,
+            p_share: 0.15,
+            shape: Shape::Tree,
+            cost_range: (1, 100),
+        }
+    }
+}
+
+impl RandomAdtConfig {
+    /// A tree-shaped configuration with the given node budget.
+    pub fn tree(target_nodes: usize) -> Self {
+        RandomAdtConfig { target_nodes, shape: Shape::Tree, ..Self::default() }
+    }
+
+    /// A DAG-shaped configuration with the given node budget.
+    pub fn dag(target_nodes: usize) -> Self {
+        RandomAdtConfig { target_nodes, shape: Shape::Dag, ..Self::default() }
+    }
+}
+
+/// Generates one random min-cost/min-cost ADT from a seed.
+///
+/// The same `(config, seed)` pair always produces the same tree — the RNG
+/// is a fixed `ChaCha8` stream, so reproducibility survives `rand` upgrades
+/// (the portability guarantee `StdRng` explicitly does not make).
+///
+/// # Panics
+///
+/// Panics if `target_nodes == 0`, `max_children < 2`, or the cost range is
+/// empty.
+pub fn random_adt(config: &RandomAdtConfig, seed: u64) -> AugmentedAdt<MinCost, MinCost> {
+    assert!(config.target_nodes > 0, "target_nodes must be positive");
+    assert!(config.max_children >= 2, "gates need at least two children");
+    assert!(config.cost_range.0 <= config.cost_range.1, "empty cost range");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut generator = Generator {
+        config,
+        rng: &mut rng,
+        builder: AdtBuilder::new(),
+        next_id: 0,
+        attack_roots: Vec::new(),
+        defense_roots: Vec::new(),
+    };
+    let root = generator.subtree(Agent::Attacker, 0, config.target_nodes);
+    let builder = generator.builder;
+    let adt = builder.build(root).expect("generated ADTs are well-formed");
+    debug_assert!(adt.validate().is_ok());
+    attribute_random(adt, config, &mut rng)
+}
+
+/// Attaches uniformly random costs to every leaf of an existing structure.
+pub fn attribute_random(
+    adt: Adt,
+    config: &RandomAdtConfig,
+    rng: &mut ChaCha8Rng,
+) -> AugmentedAdt<MinCost, MinCost> {
+    let (lo, hi) = config.cost_range;
+    let def_costs: Vec<u64> =
+        adt.defenses().iter().map(|_| rng.random_range(lo..=hi)).collect();
+    let att_costs: Vec<u64> =
+        adt.attacks().iter().map(|_| rng.random_range(lo..=hi)).collect();
+    AugmentedAdt::from_fns(
+        adt,
+        MinCost,
+        MinCost,
+        |t, id| def_costs[t.basic_position(id).expect("defense leaf")].into(),
+        |t, id| att_costs[t.basic_position(id).expect("attack leaf")].into(),
+    )
+}
+
+struct Generator<'a> {
+    config: &'a RandomAdtConfig,
+    rng: &'a mut ChaCha8Rng,
+    builder: AdtBuilder,
+    next_id: usize,
+    /// Completed attacker-agent subtree roots, candidates for reuse.
+    attack_roots: Vec<NodeId>,
+    /// Completed defender-agent subtree roots, candidates for reuse.
+    defense_roots: Vec<NodeId>,
+}
+
+impl Generator<'_> {
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        self.next_id += 1;
+        format!("{prefix}{}", self.next_id)
+    }
+
+    /// Builds one subtree for `agent` within a node `budget` and returns
+    /// its root; at most `budget` nodes are created. `depth` bounds
+    /// counter-chain nesting.
+    fn subtree(&mut self, agent: Agent, depth: usize, budget: usize) -> NodeId {
+        let budget = budget.max(1);
+        // Reuse an existing subtree (DAG mode only).
+        if self.config.shape == Shape::Dag && depth > 0 {
+            let pool = match agent {
+                Agent::Attacker => &self.attack_roots,
+                Agent::Defender => &self.defense_roots,
+            };
+            if !pool.is_empty() && self.rng.random_bool(self.config.p_share) {
+                let i = self.rng.random_range(0..pool.len());
+                return pool[i];
+            }
+        }
+
+        // Optionally reserve part of the budget for an inhibition counter of
+        // the opposite agent (a countermeasure, or a counter-counter-attack).
+        let with_counter =
+            depth < 8 && budget >= 4 && self.rng.random_bool(self.config.p_counter);
+        let (core_budget, counter_budget) = if with_counter {
+            let counter = (budget - 1) / 3;
+            (budget - 1 - counter, counter)
+        } else {
+            (budget, 0)
+        };
+
+        // Large budgets always expand into gates so that generated sizes
+        // track the target; near the leaves a 15% leaf chance varies the
+        // shape.
+        let gate_prob = if core_budget >= 16 { 1.0 } else { 0.85 };
+        let core = if core_budget >= 3 && self.rng.random_bool(gate_prob) {
+            // A gate with 2..=max_children children splitting the budget.
+            let max_arity = self.config.max_children.min(core_budget - 1).max(2);
+            let arity = self.rng.random_range(2..=max_arity);
+            let child_budget = (core_budget - 1) / arity;
+            let mut extra = (core_budget - 1) % arity;
+            let children: Vec<NodeId> = (0..arity)
+                .map(|_| {
+                    let bonus = usize::from(extra > 0);
+                    extra = extra.saturating_sub(1);
+                    self.subtree(agent, depth + 1, child_budget + bonus)
+                })
+                .collect();
+            // Children may be deduplicated by sharing; collapse to the
+            // single child if the reuse merged the list.
+            let mut unique = children.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            if unique.len() < 2 {
+                unique[0]
+            } else if self.rng.random_bool(self.config.p_and) {
+                let name = self.fresh_name("g");
+                self.builder.and(name, unique).expect("distinct same-agent children")
+            } else {
+                let name = self.fresh_name("g");
+                self.builder.or(name, unique).expect("distinct same-agent children")
+            }
+        } else {
+            let name = match agent {
+                Agent::Attacker => self.fresh_name("a"),
+                Agent::Defender => self.fresh_name("d"),
+            };
+            self.builder.leaf(agent, name).expect("fresh name")
+        };
+
+        let result = if with_counter {
+            let trigger = self.subtree(agent.opposite(), depth + 1, counter_budget);
+            let name = self.fresh_name("i");
+            self.builder.inh(name, core, trigger).expect("opposite agents")
+        } else {
+            core
+        };
+
+        match agent {
+            Agent::Attacker => self.attack_roots.push(result),
+            Agent::Defender => self.defense_roots.push(result),
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = RandomAdtConfig::tree(40);
+        let a = random_adt(&config, 7);
+        let b = random_adt(&config, 7);
+        assert_eq!(a.adt().node_count(), b.adt().node_count());
+        for ((_, x), (_, y)) in a.adt().iter().zip(b.adt().iter()) {
+            assert_eq!(x, y);
+        }
+        // Different seeds give different trees (overwhelmingly likely).
+        let c = random_adt(&config, 8);
+        let same = a.adt().node_count() == c.adt().node_count()
+            && a.adt().iter().zip(c.adt().iter()).all(|((_, x), (_, y))| x == y);
+        assert!(!same, "seeds 7 and 8 produced identical trees");
+    }
+
+    #[test]
+    fn tree_mode_produces_trees() {
+        let config = RandomAdtConfig::tree(60);
+        for seed in 0..20 {
+            let t = random_adt(&config, seed);
+            assert!(t.adt().is_tree(), "seed {seed} produced a DAG");
+            t.adt().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn dag_mode_produces_valid_dags() {
+        let config = RandomAdtConfig::dag(60);
+        let mut saw_sharing = false;
+        for seed in 0..20 {
+            let t = random_adt(&config, seed);
+            t.adt().validate().unwrap();
+            saw_sharing |= !t.adt().is_tree();
+        }
+        assert!(saw_sharing, "no seed produced any shared node");
+    }
+
+    #[test]
+    fn sizes_land_near_target() {
+        for target in [10, 45, 100, 250] {
+            let config = RandomAdtConfig::tree(target);
+            for seed in 0..5 {
+                let n = random_adt(&config, seed).adt().node_count();
+                assert!(n <= target, "target {target}, seed {seed}: overshoot to {n}");
+                assert!(
+                    3 * n >= target,
+                    "target {target}, seed {seed}: undershoot to {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generated_trees_contain_both_agents() {
+        let config = RandomAdtConfig::tree(80);
+        let mut saw_defense = false;
+        for seed in 0..10 {
+            let t = random_adt(&config, seed);
+            assert!(t.adt().attack_count() > 0);
+            saw_defense |= t.adt().defense_count() > 0;
+        }
+        assert!(saw_defense, "no defenses generated across 10 seeds");
+    }
+
+    #[test]
+    fn costs_respect_the_range() {
+        let config = RandomAdtConfig { cost_range: (5, 9), ..RandomAdtConfig::tree(50) };
+        let t = random_adt(&config, 3);
+        for pos in 0..t.adt().attack_count() {
+            let v = *t.attack_value(pos).finite().unwrap();
+            assert!((5..=9).contains(&v));
+        }
+        for pos in 0..t.adt().defense_count() {
+            let v = *t.defense_value(pos).finite().unwrap();
+            assert!((5..=9).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target_nodes must be positive")]
+    fn zero_target_panics() {
+        random_adt(&RandomAdtConfig::tree(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two children")]
+    fn tiny_max_children_panics() {
+        let config = RandomAdtConfig { max_children: 1, ..RandomAdtConfig::tree(10) };
+        random_adt(&config, 0);
+    }
+}

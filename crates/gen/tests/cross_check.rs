@@ -1,0 +1,79 @@
+//! Generator-level integration tests: everything `adt-gen` produces must be
+//! analyzable, and the analyses must agree (the generator is the foundation
+//! of the paper's entire evaluation, so it gets its own gate).
+
+use adt_analysis::{bdd_bu, bottom_up, naive};
+use adt_core::semiring::Ext;
+use adt_gen::{bucket_suite, counter_chain, ladder, paper_suite, Shape};
+
+#[test]
+fn ladder_front_is_the_triangular_staircase() {
+    // Rung i costs i for both agents; the attacker walks up the rungs as the
+    // defender buys them: (Σ_{j<i} j, i) for i = 1..=n, then (Σ j, ∞).
+    for n in 1..=6usize {
+        let t = ladder(n);
+        let front = bottom_up(&t).unwrap();
+        assert_eq!(front.len(), n + 1);
+        let mut spent = 0u64;
+        for (i, (d, a)) in front.iter().enumerate() {
+            if i < n {
+                assert_eq!(d, &Ext::Fin(spent), "ladder({n}), point {i}");
+                assert_eq!(a, &Ext::Fin(i as u64 + 1));
+                spent += i as u64 + 1;
+            } else {
+                assert_eq!(d, &Ext::Fin(spent));
+                assert_eq!(a, &Ext::Inf);
+            }
+        }
+        assert_eq!(front, bdd_bu(&t).unwrap());
+    }
+}
+
+#[test]
+fn counter_chain_front_alternates() {
+    // Unit costs everywhere: the defender's first counter forces the
+    // attacker to add the counter-counter, and so on. The front depth grows
+    // with the chain length.
+    for n in 1..=6usize {
+        let t = counter_chain(n);
+        let front = bottom_up(&t).unwrap();
+        assert_eq!(front, naive(&t).unwrap(), "counter_chain({n})");
+        assert_eq!(front, bdd_bu(&t).unwrap(), "counter_chain({n})");
+        // With no defenses the base attack costs 1.
+        assert_eq!(front.points()[0], (Ext::Fin(0), Ext::Fin(1)));
+    }
+}
+
+#[test]
+fn paper_suite_instances_all_analyzable() {
+    for instance in paper_suite(25, 35, Shape::Tree, 99) {
+        let t = &instance.adt;
+        let front = bottom_up(t).unwrap();
+        assert!(!front.is_empty());
+        assert_eq!(front, bdd_bu(t).unwrap(), "seed {}", instance.seed);
+    }
+    for instance in paper_suite(25, 35, Shape::Dag, 100) {
+        let t = &instance.adt;
+        let front = bdd_bu(t).unwrap();
+        assert!(!front.is_empty());
+        if t.adt().attack_count() + t.adt().defense_count() <= 20 {
+            assert_eq!(front, naive(t).unwrap(), "seed {}", instance.seed);
+        }
+    }
+}
+
+#[test]
+fn bucket_suite_scales_to_paper_sizes() {
+    // A thin slice of the Fig. 10 suite: one instance per bucket up to 200
+    // nodes, analyzable by both fast algorithms.
+    for instance in bucket_suite(1, 200, Shape::Tree, 7) {
+        let t = &instance.adt;
+        assert_eq!(
+            bottom_up(t).unwrap(),
+            bdd_bu(t).unwrap(),
+            "seed {} ({} nodes)",
+            instance.seed,
+            instance.nodes()
+        );
+    }
+}

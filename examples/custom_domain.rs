@@ -1,0 +1,117 @@
+//! Implementing a custom semiring attribute domain (Definition 4) and mixing
+//! different domains for the two agents — here: defender money vs attacker
+//! *detectability*, with probability and a lexicographic combination as
+//! further variations.
+//!
+//! ```sh
+//! cargo run --example custom_domain
+//! ```
+
+use std::cmp::Ordering;
+
+use adtrees::core::{AdtBuilder, Lex, MinSkill};
+use adtrees::prelude::*;
+
+/// How conspicuous an attack is. The attacker wants to stay quiet: the
+/// metric of a strategy is its *loudest* step (`⊗ = max`), and quieter is
+/// better (`⪯` orders by noise level).
+///
+/// This is a valid linearly ordered unital semiring attribute domain:
+/// `max` is commutative, associative, monotone; `Silent` is its unit and the
+/// `⪯`-minimum; `Alarmed` is the `⪯`-maximum (the value of "no undetected
+/// attack exists").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum Noise {
+    /// Leaves no trace.
+    Silent,
+    /// Shows up in routine log review.
+    Logged,
+    /// Pages the on-call team.
+    Alerted,
+    /// Trips physical alarms — treated as "not achievable undetected".
+    Alarmed,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Detectability;
+
+impl AttributeDomain for Detectability {
+    type Value = Noise;
+
+    fn mul(&self, x: &Noise, y: &Noise) -> Noise {
+        *x.max(y)
+    }
+
+    fn one(&self) -> Noise {
+        Noise::Silent
+    }
+
+    fn zero(&self) -> Noise {
+        Noise::Alarmed
+    }
+
+    fn compare(&self, x: &Noise, y: &Noise) -> Ordering {
+        x.cmp(y)
+    }
+}
+
+fn build() -> Result<Adt, AdtError> {
+    let mut b = AdtBuilder::new();
+    let tailgate = b.attack("tailgate")?;
+    let badge_check = b.defense("badge_check")?;
+    let tailgate_guarded = b.inh("tailgate_guarded", tailgate, badge_check)?;
+    let pick_lock = b.attack("pick_lock")?;
+    let cameras = b.defense("cameras")?;
+    let pick_guarded = b.inh("pick_guarded", pick_lock, cameras)?;
+    let smash_window = b.attack("smash_window")?;
+    let root = b.or("enter_building", [tailgate_guarded, pick_guarded, smash_window])?;
+    b.build(root)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Defender pays money; attacker pays *noise*.
+    let aadt = AugmentedAdt::builder(build()?, MinCost, Detectability)
+        .defense_value("badge_check", 50u64)?
+        .defense_value("cameras", 120u64)?
+        .attack_value("tailgate", Noise::Silent)?
+        .attack_value("pick_lock", Noise::Logged)?
+        .attack_value("smash_window", Noise::Alerted)?
+        .finish()?;
+    let front = bottom_up(&aadt)?;
+    println!("defense budget vs quietest intrusion:");
+    for (cost, noise) in &front {
+        println!("  spend {cost:>3} → attacker cannot stay below {noise:?}");
+    }
+    assert_eq!(front, bdd_bu(&aadt)?, "custom domains flow through BDDBU too");
+
+    // Probability for the attacker (Table I row 5): success chances
+    // multiply, and the defender pushes the best chance down.
+    let p = |v: f64| Prob::new(v).expect("valid probability");
+    let aadt = AugmentedAdt::builder(build()?, MinCost, Probability)
+        .defense_value("badge_check", 50u64)?
+        .defense_value("cameras", 120u64)?
+        .attack_value("tailgate", p(0.9))?
+        .attack_value("pick_lock", p(0.6))?
+        .attack_value("smash_window", p(0.99))?
+        .finish()?;
+    let front = bottom_up(&aadt)?;
+    println!("\ndefense budget vs attack success probability:");
+    for (cost, prob) in &front {
+        println!("  spend {cost:>3} → best attack succeeds with p = {prob}");
+    }
+
+    // Lexicographic combination: rank attacks by cost, break ties by skill.
+    let aadt = AugmentedAdt::builder(build()?, MinCost, Lex(MinCost, MinSkill))
+        .defense_value("badge_check", 50u64)?
+        .defense_value("cameras", 120u64)?
+        .attack_value("tailgate", (Ext::Fin(10), Ext::Fin(1)))?
+        .attack_value("pick_lock", (Ext::Fin(10), Ext::Fin(8)))?
+        .attack_value("smash_window", (Ext::Fin(25), Ext::Fin(2)))?
+        .finish()?;
+    let front = bottom_up(&aadt)?;
+    println!("\ndefense budget vs (attack cost, required skill):");
+    for (cost, (a_cost, skill)) in &front {
+        println!("  spend {cost:>3} → cheapest attack costs {a_cost} at skill {skill}");
+    }
+    Ok(())
+}

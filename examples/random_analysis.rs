@@ -1,0 +1,59 @@
+//! Generate a random ADT suite (the paper's §VI-B workload), analyze every
+//! instance with all applicable algorithms, and cross-check that they agree.
+//!
+//! ```sh
+//! cargo run --release --example random_analysis [count] [max_nodes] [seed]
+//! ```
+
+use adtrees::gen::{paper_suite, Shape};
+use adtrees::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let count: usize = args.next().map(|a| a.parse()).transpose()?.unwrap_or(20);
+    let max_nodes: usize = args.next().map(|a| a.parse()).transpose()?.unwrap_or(40);
+    let seed: u64 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(1);
+
+    println!("{count} instances per shape, |N| < {max_nodes}, master seed {seed}\n");
+    println!(
+        "{:<6} {:<6} {:>5} {:>4} {:>4} {:>6} front",
+        "shape", "seed", "|N|", "|A|", "|D|", "|PF|"
+    );
+
+    for shape in [Shape::Tree, Shape::Dag] {
+        for instance in paper_suite(count, max_nodes, shape, seed) {
+            let t = &instance.adt;
+            let front = bdd_bu(t)?;
+            // Cross-check against the other algorithms.
+            if t.adt().is_tree() {
+                assert_eq!(front, bottom_up(t)?, "BU disagrees on seed {}", instance.seed);
+            }
+            assert_eq!(front, modular_bdd_bu(t)?, "modular disagrees on {}", instance.seed);
+            if t.adt().attack_count() + t.adt().defense_count() <= 20 {
+                assert_eq!(front, naive(t)?, "naive disagrees on seed {}", instance.seed);
+            }
+            let shape_name = if t.adt().is_tree() { "tree" } else { "dag" };
+            println!(
+                "{:<6} {:<6} {:>5} {:>4} {:>4} {:>6} {}",
+                shape_name,
+                instance.seed,
+                t.adt().node_count(),
+                t.adt().attack_count(),
+                t.adt().defense_count(),
+                front.len(),
+                truncate(&front.to_string(), 60),
+            );
+        }
+    }
+    println!("\nall algorithms agree on every instance ✓");
+    Ok(())
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_owned()
+    } else {
+        let prefix: String = s.chars().take(max).collect();
+        format!("{prefix}…")
+    }
+}

@@ -1,0 +1,68 @@
+//! # adtrees
+//!
+//! A Rust implementation of *"Attack-Defense Trees with Offensive and
+//! Defensive Attributes"* (DSN 2025): attack-defense trees in which **both**
+//! agents carry quantitative attributes from semiring attribute domains, and
+//! efficient algorithms for the **Pareto front** between the defender's
+//! metric and the attacker's optimal-response metric.
+//!
+//! This crate is a facade re-exporting the workspace's public API:
+//!
+//! * [`core`] (`adt-core`) — the formalism: trees, vectors, structure
+//!   function, semiring domains, Pareto fronts, the figure catalog, a text
+//!   format and DOT export;
+//! * [`bdd`] (`adt-bdd`) — the from-scratch ROBDD engine;
+//! * [`analysis`] (`adt-analysis`) — the paper's algorithms: bottom-up
+//!   (trees), naive enumeration and `BDDBU` (DAGs), plus DAG unfolding and
+//!   modular decomposition;
+//! * [`gen`] (`adt-gen`) — seeded random workloads and parametric families.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adtrees::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build: an attack (cost 100) that a defense (cost 30) inhibits, plus an
+//! // unguarded fallback attack (cost 250).
+//! let mut b = AdtBuilder::new();
+//! let breach = b.attack("breach")?;
+//! let firewall = b.defense("firewall")?;
+//! let guarded = b.inh("guarded_breach", breach, firewall)?;
+//! let insider = b.attack("insider")?;
+//! let root = b.or("compromise", [guarded, insider])?;
+//! let adt = b.build(root)?;
+//!
+//! let aadt = AugmentedAdt::builder(adt, MinCost, MinCost)
+//!     .attack_value("breach", 100u64)?
+//!     .defense_value("firewall", 30u64)?
+//!     .attack_value("insider", 250u64)?
+//!     .finish()?;
+//!
+//! // Analyze: the Pareto front between defense budget and attack cost.
+//! let front = bottom_up(&aadt)?;
+//! assert_eq!(front.to_string(), "{(0, 100), (30, 250)}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use adt_analysis as analysis;
+pub use adt_bdd as bdd;
+pub use adt_core as core;
+pub use adt_gen as gen;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use adt_analysis::{
+        bdd_bu, bottom_up, brute_force_front, modular_bdd_bu, naive, unfold_to_tree,
+        AnalysisError, DefenseFirstOrder,
+    };
+    pub use adt_core::{
+        Adt, AdtBuilder, AdtError, Agent, AttackVector, AttributeDomain, AugmentedAdt,
+        DefenseVector, Ext, Gate, MinCost, MinSkill, MinTimePar, MinTimeSeq, NodeId,
+        ParetoFront, Prob, Probability, SemiringOp,
+    };
+}

@@ -1,0 +1,193 @@
+//! Cross-algorithm agreement on seeded random workloads — the executable
+//! form of the paper's Theorems 1 and 2.
+//!
+//! On every generated instance, all applicable algorithms must compute the
+//! same Pareto front as the brute-force Definitions 7–9.
+
+use adtrees::analysis::{
+    bdd_bu_with_order, bottom_up, brute_force_front, modular_bdd_bu, naive,
+    unfold_to_tree, unfolded_size, DefenseFirstOrder,
+};
+use adtrees::gen::{paper_suite, random_adt, RandomAdtConfig, Shape};
+
+#[test]
+fn trees_bu_equals_naive_equals_bddbu() {
+    for instance in paper_suite(40, 28, Shape::Tree, 0xA11CE) {
+        let t = &instance.adt;
+        let reference = brute_force_front(t).unwrap();
+        assert_eq!(
+            bottom_up(t).unwrap(),
+            reference,
+            "BU diverges from Definitions 7-9 on seed {}",
+            instance.seed
+        );
+        assert_eq!(
+            naive(t).unwrap(),
+            reference,
+            "Naive diverges on seed {}",
+            instance.seed
+        );
+        for order in [
+            DefenseFirstOrder::declaration(t.adt()),
+            DefenseFirstOrder::dfs(t.adt()),
+            DefenseFirstOrder::force(t.adt(), 10),
+        ] {
+            assert_eq!(
+                bdd_bu_with_order(t, &order).unwrap(),
+                reference,
+                "BDDBU diverges on seed {}",
+                instance.seed
+            );
+        }
+    }
+}
+
+#[test]
+fn dags_naive_equals_bddbu_equals_modular() {
+    for instance in paper_suite(40, 28, Shape::Dag, 0xD46) {
+        let t = &instance.adt;
+        let reference = naive(t).unwrap();
+        for order in [
+            DefenseFirstOrder::declaration(t.adt()),
+            DefenseFirstOrder::dfs(t.adt()),
+            DefenseFirstOrder::force(t.adt(), 10),
+        ] {
+            assert_eq!(
+                bdd_bu_with_order(t, &order).unwrap(),
+                reference,
+                "BDDBU diverges on DAG seed {}",
+                instance.seed
+            );
+        }
+        assert_eq!(
+            modular_bdd_bu(t).unwrap(),
+            reference,
+            "modular analysis diverges on DAG seed {}",
+            instance.seed
+        );
+    }
+}
+
+#[test]
+fn unfolding_matches_direct_tree_analysis() {
+    // On a tree, unfolding is the identity, so BU before and after agree.
+    for seed in 0..10 {
+        let t = random_adt(&RandomAdtConfig::tree(30), seed);
+        let (copy, _) = unfold_to_tree(&t, 10_000).unwrap();
+        assert_eq!(bottom_up(&t).unwrap(), bottom_up(&copy).unwrap(), "seed {seed}");
+    }
+}
+
+#[test]
+fn unfolded_dag_analysis_is_internally_consistent() {
+    // Unfolding a DAG changes semantics (shared steps are paid per copy),
+    // but the unfolded tree must itself be analyzed consistently by BU and
+    // BDDBU.
+    for seed in 0..10 {
+        let t = random_adt(&RandomAdtConfig::dag(25), seed);
+        if unfolded_size(t.adt()) > 2_000 {
+            continue;
+        }
+        let (tree, _) = unfold_to_tree(&t, 2_000).unwrap();
+        assert_eq!(
+            bottom_up(&tree).unwrap(),
+            naive(&tree).unwrap(),
+            "unfolded tree analyses disagree on seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn fronts_are_canonical_staircases() {
+    use adtrees::prelude::*;
+    for instance in paper_suite(30, 40, Shape::Dag, 0x57A1) {
+        let t = &instance.adt;
+        let front = adtrees::analysis::bdd_bu(t).unwrap();
+        assert!(
+            front.is_canonical(&MinCost, &MinCost),
+            "non-canonical front on seed {}",
+            instance.seed
+        );
+        assert!(!front.is_empty(), "fronts are never empty (the empty defense exists)");
+    }
+}
+
+#[test]
+fn larger_trees_bu_equals_bddbu() {
+    // Beyond the brute-force range, pit the two fast algorithms against
+    // each other (the paper's Fig. 9c setting).
+    for instance in paper_suite(10, 150, Shape::Tree, 0xB16) {
+        let t = &instance.adt;
+        assert_eq!(
+            bottom_up(t).unwrap(),
+            adtrees::analysis::bdd_bu(t).unwrap(),
+            "seed {}",
+            instance.seed
+        );
+    }
+}
+
+#[test]
+fn non_cost_domains_agree_across_algorithms() {
+    // The algorithms are generic over the attribute domains; exercise the
+    // probability and skill domains end-to-end (Table I beyond min-cost).
+    use adtrees::core::catalog;
+    use adtrees::core::{AugmentedAdt, MinCost, MinSkill, Prob, Probability};
+
+    let base = catalog::fig3();
+    // Attacker skill: βA reused as skill levels.
+    let skill = AugmentedAdt::from_fns(
+        base.adt().clone(),
+        MinCost,
+        MinSkill,
+        |t, id| *base.defense_value(t.basic_position(id).unwrap()),
+        |t, id| *base.attack_value(t.basic_position(id).unwrap()),
+    );
+    let front = bottom_up(&skill).unwrap();
+    assert_eq!(front, naive(&skill).unwrap());
+    assert_eq!(front, adtrees::analysis::bdd_bu(&skill).unwrap());
+
+    // Attacker success probability: p = 1 / (1 + cost), dyadic-free but the
+    // algorithms only compare and multiply, so no exactness is needed for
+    // agreement.
+    let prob = AugmentedAdt::from_fns(
+        base.adt().clone(),
+        MinCost,
+        Probability,
+        |t, id| *base.defense_value(t.basic_position(id).unwrap()),
+        |t, id| {
+            let c = *base
+                .attack_value(t.basic_position(id).unwrap())
+                .finite()
+                .unwrap() as f64;
+            Prob::new(1.0 / (1.0 + c)).unwrap()
+        },
+    );
+    let front = bottom_up(&prob).unwrap();
+    assert_eq!(front, naive(&prob).unwrap());
+    assert_eq!(front, adtrees::analysis::bdd_bu(&prob).unwrap());
+    // The probability front is descending numerically (⪯_A is ≥).
+    for w in front.points().windows(2) {
+        assert!(w[0].1.value() > w[1].1.value());
+    }
+}
+
+#[test]
+fn strategies_agree_on_paper_suite() {
+    use adtrees::analysis::{pareto_strategies, strategies::strategies_front};
+    for instance in paper_suite(20, 30, Shape::Dag, 0x5712A7) {
+        let t = &instance.adt;
+        let strategies = pareto_strategies(t).unwrap();
+        assert_eq!(
+            strategies_front(t, &strategies),
+            adtrees::analysis::bdd_bu(t).unwrap(),
+            "seed {}",
+            instance.seed
+        );
+        for s in &strategies {
+            if let Some(alpha) = &s.attack {
+                assert!(t.adt().attack_succeeds(&s.defense, alpha).unwrap());
+            }
+        }
+    }
+}

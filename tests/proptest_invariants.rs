@@ -1,0 +1,192 @@
+//! Property-based tests over the core data structures and the algorithm
+//! stack, driven by proptest.
+
+use proptest::prelude::*;
+
+use adtrees::analysis::{bdd_bu, bottom_up, naive, optimal_response};
+use adtrees::core::dsl::Document;
+use adtrees::core::semiring::{AttributeDomain, Ext, MinCost};
+use adtrees::core::{dominates, DefenseVector, ParetoFront};
+use adtrees::gen::{random_adt, RandomAdtConfig};
+
+type Front = ParetoFront<Ext<u64>, Ext<u64>>;
+
+fn ext_value() -> impl Strategy<Value = Ext<u64>> {
+    prop_oneof![9 => (0u64..1_000).prop_map(Ext::Fin), 1 => Just(Ext::Inf)]
+}
+
+fn point() -> impl Strategy<Value = (Ext<u64>, Ext<u64>)> {
+    (ext_value(), ext_value())
+}
+
+proptest! {
+    /// The reduced front contains no dominated pair and loses no coverage:
+    /// every input point is dominated by some front point.
+    #[test]
+    fn front_reduction_is_sound_and_complete(points in prop::collection::vec(point(), 0..60)) {
+        let front = Front::from_points(points.clone(), &MinCost, &MinCost);
+        for (i, p) in front.iter().enumerate() {
+            for (j, q) in front.iter().enumerate() {
+                if i != j {
+                    prop_assert!(
+                        !dominates(&MinCost, &MinCost, p, q),
+                        "{p:?} dominates {q:?} inside the front"
+                    );
+                }
+            }
+        }
+        for p in &points {
+            prop_assert!(
+                front.dominates_point(&MinCost, &MinCost, p),
+                "input point {p:?} not covered"
+            );
+        }
+        prop_assert!(front.is_canonical(&MinCost, &MinCost));
+    }
+
+    /// Reduction is idempotent and merge is commutative.
+    #[test]
+    fn front_algebra(
+        xs in prop::collection::vec(point(), 0..40),
+        ys in prop::collection::vec(point(), 0..40),
+    ) {
+        let fx = Front::from_points(xs.clone(), &MinCost, &MinCost);
+        let again = Front::from_points(fx.points().to_vec(), &MinCost, &MinCost);
+        prop_assert_eq!(&again, &fx);
+        let fy = Front::from_points(ys, &MinCost, &MinCost);
+        prop_assert_eq!(fx.merge(&fy, &MinCost, &MinCost), fy.merge(&fx, &MinCost, &MinCost));
+        // Merging with itself changes nothing.
+        prop_assert_eq!(fx.merge(&fx, &MinCost, &MinCost), fx);
+    }
+
+    /// `best_within_budget` returns the maximal affordable point.
+    #[test]
+    fn budget_queries(points in prop::collection::vec(point(), 1..40), budget in 0u64..1_000) {
+        let front = Front::from_points(points, &MinCost, &MinCost);
+        let budget = Ext::Fin(budget);
+        let best = front.best_within_budget(&MinCost, &MinCost, &budget);
+        match best {
+            None => {
+                for (d, _) in &front {
+                    prop_assert!(!MinCost.le(d, &budget));
+                }
+            }
+            Some((d, a)) => {
+                prop_assert!(MinCost.le(d, &budget));
+                for (d2, a2) in &front {
+                    if MinCost.le(d2, &budget) {
+                        prop_assert!(MinCost.le(a2, a), "({d2:?},{a2:?}) beats ({d:?},{a:?})");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every generated tree is well-formed, and the three algorithms agree
+    /// with each other (Theorems 1–2 in executable form).
+    #[test]
+    fn algorithms_agree_on_random_trees(seed in 0u64..300, target in 8usize..24) {
+        let t = random_adt(&RandomAdtConfig::tree(target), seed);
+        t.adt().validate().unwrap();
+        let reference = naive(&t).unwrap();
+        prop_assert_eq!(bottom_up(&t).unwrap(), reference.clone());
+        prop_assert_eq!(bdd_bu(&t).unwrap(), reference);
+    }
+
+    /// DAG mode: BDDBU equals the enumeration baseline, which equals its
+    /// bit-parallel variant.
+    #[test]
+    fn algorithms_agree_on_random_dags(seed in 0u64..300, target in 8usize..24) {
+        use adtrees::analysis::naive_bitparallel;
+        let t = random_adt(&RandomAdtConfig::dag(target), seed);
+        t.adt().validate().unwrap();
+        let reference = naive(&t).unwrap();
+        prop_assert_eq!(naive_bitparallel(&t).unwrap(), reference.clone());
+        prop_assert_eq!(bdd_bu(&t).unwrap(), reference);
+    }
+
+    /// Monotonicity of the optimal response: activating one more defense
+    /// never lowers the attacker's optimal cost.
+    #[test]
+    fn responses_are_monotone_in_defenses(seed in 0u64..150, target in 8usize..20) {
+        let t = random_adt(&RandomAdtConfig::tree(target), seed);
+        let d = t.adt().defense_count();
+        prop_assume!((1..=8).contains(&d) && t.adt().attack_count() <= 14);
+        for mask in 0u64..(1 << d) {
+            let base = optimal_response(&t, &DefenseVector::from_mask(d, mask)).unwrap();
+            for bit in 0..d {
+                if mask >> bit & 1 == 1 {
+                    continue;
+                }
+                let bigger = DefenseVector::from_mask(d, mask | 1 << bit);
+                let stronger = optimal_response(&t, &bigger).unwrap();
+                prop_assert!(
+                    MinCost.le(&base.value, &stronger.value),
+                    "defense activation lowered ρ from {:?} to {:?}",
+                    base.value,
+                    stronger.value
+                );
+            }
+        }
+    }
+
+    /// The DSL round-trips every generated tree, preserving the analysis.
+    #[test]
+    fn dsl_round_trip_preserves_analysis(seed in 0u64..150, target in 8usize..24) {
+        let t = random_adt(&RandomAdtConfig::dag(target), seed);
+        let doc = Document::from_cost_adt("generated", &t);
+        let reparsed = Document::parse(&doc.to_dsl()).unwrap();
+        let rebuilt = reparsed.to_cost_adt("cost").unwrap();
+        prop_assert_eq!(rebuilt.adt().node_count(), t.adt().node_count());
+        prop_assert_eq!(bdd_bu(&rebuilt).unwrap(), bdd_bu(&t).unwrap());
+    }
+
+    /// Structure-function evaluation agrees between the vector and the mask
+    /// entry points on random trees.
+    #[test]
+    fn mask_and_vector_evaluation_agree(seed in 0u64..100, target in 8usize..20) {
+        use adtrees::core::{AttackVector, Evaluator};
+        let t = random_adt(&RandomAdtConfig::dag(target), seed);
+        let adt = t.adt();
+        prop_assume!(adt.attack_count() <= 10 && adt.defense_count() <= 6);
+        let mut eval = Evaluator::new(adt);
+        for dm in 0..(1u64 << adt.defense_count()) {
+            for am in 0..(1u64 << adt.attack_count()) {
+                let delta = DefenseVector::from_mask(adt.defense_count(), dm);
+                let alpha = AttackVector::from_mask(adt.attack_count(), am);
+                prop_assert_eq!(
+                    eval.root_from_masks(dm, am),
+                    adt.evaluate(&delta, &alpha).unwrap().root_value()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Strategy extraction: on random DAGs the witnesses are feasible,
+    /// optimal, and their metric pairs equal the BDDBU front.
+    #[test]
+    fn strategies_are_faithful_witnesses(seed in 0u64..150, target in 8usize..22) {
+        use adtrees::analysis::{pareto_strategies, strategies::strategies_front};
+        let t = random_adt(&RandomAdtConfig::dag(target), seed);
+        prop_assume!(t.adt().attack_count() <= 16);
+        let strategies = pareto_strategies(&t).unwrap();
+        prop_assert_eq!(strategies_front(&t, &strategies), bdd_bu(&t).unwrap());
+        for s in &strategies {
+            prop_assert_eq!(t.defense_metric(&s.defense).unwrap(), s.defense_value);
+            match &s.attack {
+                Some(alpha) => {
+                    prop_assert!(t.adt().attack_succeeds(&s.defense, alpha).unwrap());
+                    prop_assert_eq!(t.attack_metric(alpha).unwrap(), s.attack_value.clone());
+                    let best = optimal_response(&t, &s.defense).unwrap();
+                    prop_assert_eq!(best.value, s.attack_value.clone());
+                }
+                None => {
+                    let best = optimal_response(&t, &s.defense).unwrap();
+                    prop_assert_eq!(best.attack, None);
+                }
+            }
+        }
+    }
+}
