@@ -17,8 +17,6 @@
 //! computed once (memoized), giving the `O(|W| p²)` complexity the paper
 //! reports.
 
-use std::collections::HashMap;
-
 use adt_bdd::{Bdd, NodeRef};
 use adt_core::{Agent, AttributeDomain, AugmentedAdt, ParetoFront};
 
@@ -110,7 +108,10 @@ where
         bdd: &bdd,
         order,
         root_agent: t.adt().root_agent(),
-        memo: HashMap::new(),
+        // Dense memo indexed by NodeRef: the compiled manager's arena is
+        // exactly the working set, so a Vec probe (one bounds check)
+        // replaces a SipHash lookup on the hottest path of Algorithm 3.
+        memo: vec![None; bdd.total_nodes()],
         max_width: 0,
     };
     let front = run.front(root);
@@ -121,69 +122,118 @@ where
     }
 }
 
+/// The memoized front of one BDD node.
+///
+/// Below the defense/attack boundary every front is the singleton
+/// `{(1⊗_D, u)}` (lines 6–9 of Algorithm 3 — a shortest-path computation in
+/// the attacker's semiring), so those nodes store just the scalar `u`:
+/// no `Vec`, no allocation. Only defense-level nodes hold real fronts.
+#[derive(Debug, Clone)]
+enum NodeFront<VD, VA> {
+    /// `{(1⊗_D, u)}`, stored as `u`.
+    Scalar(VA),
+    /// A genuine multi-point front (defense levels only).
+    Front(ParetoFront<VD, VA>),
+}
+
 struct Run<'a, DD: AttributeDomain, DA: AttributeDomain> {
     t: &'a AugmentedAdt<DD, DA>,
     bdd: &'a Bdd,
     order: &'a DefenseFirstOrder,
     root_agent: Agent,
-    memo: HashMap<NodeRef, Front<DD, DA>>,
+    memo: Vec<Option<NodeFront<DD::Value, DA::Value>>>,
     max_width: usize,
 }
 
 impl<DD: AttributeDomain, DA: AttributeDomain> Run<'_, DD, DA> {
-    fn front(&mut self, w: NodeRef) -> Front<DD, DA> {
+    /// Propagates fronts from the terminals to `root` in one ascending
+    /// (= topological, children-first) sweep over the reachable arena
+    /// indices — no recursion, so arbitrarily deep diagrams are fine, and
+    /// each node's front is computed exactly once.
+    ///
+    /// Attack-level nodes (the bulk of a defense-first diagram) exchange
+    /// plain semiring scalars; fronts materialize only at and above the
+    /// defense boundary.
+    fn front(&mut self, root: NodeRef) -> Front<DD, DA> {
         let dd = self.t.defender_domain();
         let da = self.t.attacker_domain();
-        // Terminals (lines 2–5 of Algorithm 3): which terminal is the
-        // attacker's goal depends on the root agent.
-        if w == Bdd::FALSE || w == Bdd::TRUE {
-            let reached_goal = match self.root_agent {
-                Agent::Attacker => w == Bdd::TRUE,
-                Agent::Defender => w == Bdd::FALSE,
+        for w in self.bdd.reachable_topological(root) {
+            // Terminals (lines 2–5 of Algorithm 3): which terminal is the
+            // attacker's goal depends on the root agent.
+            if w == Bdd::FALSE || w == Bdd::TRUE {
+                let reached_goal = match self.root_agent {
+                    Agent::Attacker => w == Bdd::TRUE,
+                    Agent::Defender => w == Bdd::FALSE,
+                };
+                let value = if reached_goal { da.one() } else { da.zero() };
+                self.memo[w.index()] = Some(NodeFront::Scalar(value));
+                continue;
+            }
+            let level = self.bdd.level(w);
+            let low = self.bdd.low(w);
+            let high = self.bdd.high(w);
+            let result = if self.order.is_defense_level(level) {
+                // Lines 11–14: skip the defense (P0) or buy it (P1
+                // shifted); `merge_shifted` fuses the shift, the union and
+                // the reduction into one linear sweep.
+                let cost = self
+                    .t
+                    .defense_value_of(self.order.event(level))
+                    .expect("defense level maps to a defense step");
+                let (p0_singleton, p1_singleton);
+                let p0 = match self.memo[low.index()]
+                    .as_ref()
+                    .expect("child before parent")
+                {
+                    NodeFront::Front(front) => front,
+                    NodeFront::Scalar(u) => {
+                        p0_singleton = ParetoFront::singleton((dd.one(), u.clone()));
+                        &p0_singleton
+                    }
+                };
+                let p1 = match self.memo[high.index()]
+                    .as_ref()
+                    .expect("child before parent")
+                {
+                    NodeFront::Front(front) => front,
+                    NodeFront::Scalar(u) => {
+                        p1_singleton = ParetoFront::singleton((dd.one(), u.clone()));
+                        &p1_singleton
+                    }
+                };
+                let merged = p0.merge_shifted(p1, cost, dd, da);
+                self.max_width = self.max_width.max(merged.len());
+                NodeFront::Front(merged)
+            } else {
+                // Lines 6–9: below the boundary, fronts are singletons; the
+                // attacker skips the step or pays for it, whichever is
+                // better. Pure scalar semiring arithmetic — no allocation.
+                let NodeFront::Scalar(u0) = self.memo[low.index()]
+                    .as_ref()
+                    .expect("child before parent")
+                else {
+                    unreachable!("attack-level children are attack-level or terminal")
+                };
+                let NodeFront::Scalar(u1) = self.memo[high.index()]
+                    .as_ref()
+                    .expect("child before parent")
+                else {
+                    unreachable!("attack-level children are attack-level or terminal")
+                };
+                let cost = self
+                    .t
+                    .attack_value_of(self.order.event(level))
+                    .expect("attack level maps to an attack step");
+                let paid = da.mul(cost, u1);
+                self.max_width = self.max_width.max(1);
+                NodeFront::Scalar(da.add(u0, &paid))
             };
-            let value = if reached_goal { da.one() } else { da.zero() };
-            return ParetoFront::singleton((dd.one(), value));
+            self.memo[w.index()] = Some(result);
         }
-        if let Some(cached) = self.memo.get(&w) {
-            return cached.clone();
+        match self.memo[root.index()].take().expect("root front computed") {
+            NodeFront::Front(front) => front,
+            NodeFront::Scalar(u) => ParetoFront::singleton((dd.one(), u)),
         }
-        let level = self.bdd.level(w);
-        let low = self.bdd.low(w);
-        let high = self.bdd.high(w);
-        let result = if self.order.is_defense_level(level) {
-            // Lines 11–14: skip the defense (P0) or buy it (P1 shifted).
-            let p0 = self.front(low);
-            let p1 = self.front(high);
-            let cost = self
-                .t
-                .defense_value_of(self.order.event(level))
-                .expect("defense level maps to a defense step")
-                .clone();
-            let shifted: Vec<(DD::Value, DA::Value)> = p1
-                .iter()
-                .map(|(u, u1)| (dd.mul(&cost, u), u1.clone()))
-                .collect();
-            let shifted = ParetoFront::from_points(shifted, dd, da);
-            p0.merge(&shifted, dd, da)
-        } else {
-            // Lines 6–9: below the boundary, fronts are singletons; the
-            // attacker skips the step or pays for it, whichever is better.
-            let p0 = self.front(low);
-            let p1 = self.front(high);
-            debug_assert_eq!(p0.len(), 1, "attack-level fronts are singletons");
-            debug_assert_eq!(p1.len(), 1, "attack-level fronts are singletons");
-            let u0 = &p0.points()[0].1;
-            let u1 = &p1.points()[0].1;
-            let cost = self
-                .t
-                .attack_value_of(self.order.event(level))
-                .expect("attack level maps to an attack step");
-            let paid = da.mul(cost, u1);
-            ParetoFront::singleton((dd.one(), da.add(u0, &paid)))
-        };
-        self.max_width = self.max_width.max(result.len());
-        self.memo.insert(w, result.clone());
-        result
     }
 }
 
@@ -196,7 +246,10 @@ mod tests {
     use adt_core::semiring::Ext;
 
     fn fin(points: &[(u64, u64)]) -> Vec<(Ext<u64>, Ext<u64>)> {
-        points.iter().map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a))).collect()
+        points
+            .iter()
+            .map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a)))
+            .collect()
     }
 
     #[test]
@@ -231,8 +284,7 @@ mod tests {
             let declaration =
                 bdd_bu_with_order(&t, &DefenseFirstOrder::declaration(t.adt())).unwrap();
             let dfs = bdd_bu_with_order(&t, &DefenseFirstOrder::dfs(t.adt())).unwrap();
-            let force =
-                bdd_bu_with_order(&t, &DefenseFirstOrder::force(t.adt(), 10)).unwrap();
+            let force = bdd_bu_with_order(&t, &DefenseFirstOrder::force(t.adt(), 10)).unwrap();
             assert_eq!(declaration, dfs);
             assert_eq!(declaration, force);
         }
@@ -253,7 +305,10 @@ mod tests {
         let t = catalog::money_theft();
         let order = DefenseFirstOrder::declaration(t.adt());
         let report = bdd_bu_report(&t, &order);
-        assert_eq!(report.front.points(), &fin(&[(0, 80), (20, 90), (50, 140)])[..]);
+        assert_eq!(
+            report.front.points(),
+            &fin(&[(0, 80), (20, 90), (50, 140)])[..]
+        );
         assert!(report.bdd_nodes > 2, "nontrivial function has inner nodes");
         assert!(report.max_front_width >= report.front.len());
     }

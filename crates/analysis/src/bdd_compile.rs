@@ -19,8 +19,9 @@ use adt_core::{Adt, Agent, Gate, NodeId};
 pub struct DefenseFirstOrder {
     /// `event_at[level]` is the basic step at that level.
     event_at: Vec<NodeId>,
-    /// Inverse map.
-    level_of: HashMap<NodeId, Level>,
+    /// Inverse map, dense over node indices (`None` for gates), so the
+    /// compile loop's per-leaf lookup is an array probe.
+    level_of: Vec<Option<Level>>,
     defense_count: usize,
 }
 
@@ -28,8 +29,12 @@ impl DefenseFirstOrder {
     /// Defenses then attacks, each in declaration order — the baseline used
     /// by [`bdd_bu`](crate::bdd_bu::bdd_bu).
     pub fn declaration(adt: &Adt) -> Self {
-        let events =
-            adt.defenses().iter().chain(adt.attacks().iter()).copied().collect();
+        let events = adt
+            .defenses()
+            .iter()
+            .chain(adt.attacks().iter())
+            .copied()
+            .collect();
         Self::from_events(adt, events)
     }
 
@@ -70,8 +75,12 @@ impl DefenseFirstOrder {
     /// together.
     pub fn force(adt: &Adt, iterations: usize) -> Self {
         // Provisional level per basic step: declaration order.
-        let baseline: Vec<NodeId> =
-            adt.defenses().iter().chain(adt.attacks().iter()).copied().collect();
+        let baseline: Vec<NodeId> = adt
+            .defenses()
+            .iter()
+            .chain(adt.attacks().iter())
+            .copied()
+            .collect();
         let index_of: HashMap<NodeId, u32> = baseline
             .iter()
             .enumerate()
@@ -151,11 +160,10 @@ impl DefenseFirstOrder {
 
     fn from_events(adt: &Adt, events: Vec<NodeId>) -> Self {
         debug_assert_eq!(events.len(), adt.defense_count() + adt.attack_count());
-        let level_of = events
-            .iter()
-            .enumerate()
-            .map(|(level, &id)| (id, level as Level))
-            .collect();
+        let mut level_of = vec![None; adt.node_count()];
+        for (level, &id) in events.iter().enumerate() {
+            level_of[id.index()] = Some(level as Level);
+        }
         DefenseFirstOrder {
             event_at: events,
             level_of,
@@ -182,9 +190,10 @@ impl DefenseFirstOrder {
         self.event_at[level as usize]
     }
 
-    /// The level of a basic step, or `None` for gates.
+    /// The level of a basic step, or `None` for gates (and for node ids
+    /// outside this order's ADT).
     pub fn level(&self, id: NodeId) -> Option<Level> {
-        self.level_of.get(&id).copied()
+        self.level_of.get(id.index()).copied().flatten()
     }
 
     /// `true` if the level belongs to a defense step.
@@ -205,9 +214,7 @@ pub fn compile(adt: &Adt, order: &DefenseFirstOrder) -> (Bdd, NodeRef) {
     for &v in adt.topological_order() {
         let node = &adt[v];
         let f = match node.gate() {
-            Gate::Basic => {
-                bdd.var(order.level(v).expect("basic steps are ordered"))
-            }
+            Gate::Basic => bdd.var(order.level(v).expect("basic steps are ordered")),
             Gate::And => {
                 let mut acc = Bdd::TRUE;
                 for &c in node.children() {

@@ -15,9 +15,7 @@
 //! Theorem 1 of the paper states that for tree-shaped ADTs the root front is
 //! exactly the Pareto front `PF(T)` of Definition 9.
 
-use adt_core::{
-    Agent, AttributeDomain, AugmentedAdt, Gate, NodeId, ParetoFront, SemiringOp,
-};
+use adt_core::{Agent, AttributeDomain, AugmentedAdt, Gate, NodeId, ParetoFront, SemiringOp};
 
 use crate::error::AnalysisError;
 use crate::Front;
@@ -152,7 +150,9 @@ where
         };
         fronts[v.index()] = Some(front);
     }
-    fronts[adt.root().index()].take().expect("root front computed")
+    fronts[adt.root().index()]
+        .take()
+        .expect("root front computed")
 }
 
 #[cfg(test)]
@@ -165,7 +165,10 @@ mod tests {
     type CostFront = ParetoFront<Ext<u64>, Ext<u64>>;
 
     fn fin(points: &[(u64, u64)]) -> Vec<(Ext<u64>, Ext<u64>)> {
-        points.iter().map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a))).collect()
+        points
+            .iter()
+            .map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a)))
+            .collect()
     }
 
     #[test]

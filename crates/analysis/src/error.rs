@@ -47,10 +47,16 @@ impl fmt::Display for AnalysisError {
                 write!(f, "the bottom-up algorithm requires a tree-shaped ADT")
             }
             AnalysisError::TooManyAttacks { count } => {
-                write!(f, "enumeration supports at most 63 basic attack steps, found {count}")
+                write!(
+                    f,
+                    "enumeration supports at most 63 basic attack steps, found {count}"
+                )
             }
             AnalysisError::TooManyDefenses { count } => {
-                write!(f, "enumeration supports at most 63 basic defense steps, found {count}")
+                write!(
+                    f,
+                    "enumeration supports at most 63 basic defense steps, found {count}"
+                )
             }
             AnalysisError::UnfoldTooLarge { limit } => {
                 write!(f, "unfolding exceeded the budget of {limit} nodes")

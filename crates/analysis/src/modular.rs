@@ -56,9 +56,7 @@ pub fn find_modules(adt: &Adt) -> Vec<NodeId> {
         .filter(|&v| {
             let set = &desc[v.index()];
             ids.iter().all(|&u| {
-                u == v
-                    || !in_set(set, u)
-                    || adt.parents(u).iter().all(|&p| in_set(set, p))
+                u == v || !in_set(set, u) || adt.parents(u).iter().all(|&p| in_set(set, p))
             })
         })
         .collect()
@@ -89,9 +87,7 @@ pub fn proper_modules(adt: &Adt) -> Vec<NodeId> {
 ///
 /// Currently infallible (returns `Result` for symmetry with the other
 /// algorithms).
-pub fn modular_bdd_bu<DD, DA>(
-    t: &AugmentedAdt<DD, DA>,
-) -> Result<Front<DD, DA>, AnalysisError>
+pub fn modular_bdd_bu<DD, DA>(t: &AugmentedAdt<DD, DA>) -> Result<Front<DD, DA>, AnalysisError>
 where
     DD: AttributeDomain + Clone,
     DA: AttributeDomain + Clone,
@@ -194,21 +190,30 @@ where
         quotient,
         dd,
         da,
-        |q, id| match t.adt().node_id(q[id].name()).and_then(|o| t.defense_value_of(o)) {
+        |q, id| match t
+            .adt()
+            .node_id(q[id].name())
+            .and_then(|o| t.defense_value_of(o))
+        {
             Some(v) => v.clone(),
             None => t.defender_domain().one(),
         },
-        |q, id| match t.adt().node_id(q[id].name()).and_then(|o| t.attack_value_of(o)) {
+        |q, id| match t
+            .adt()
+            .node_id(q[id].name())
+            .and_then(|o| t.attack_value_of(o))
+        {
             Some(v) => v.clone(),
             None => t.attacker_domain().one(),
         },
     );
-    Ok(bu_with_leaf_fronts(&quotient_aadt, |id, default| {
-        match module_fronts.get(quotient_aadt.adt()[id].name()) {
+    Ok(bu_with_leaf_fronts(
+        &quotient_aadt,
+        |id, default| match module_fronts.get(quotient_aadt.adt()[id].name()) {
             Some(front) => front.clone(),
             None => default,
-        }
-    }))
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -258,7 +263,11 @@ mod tests {
 
     #[test]
     fn modular_analysis_matches_bottom_up_on_trees() {
-        for t in [catalog::fig3(), catalog::fig5(), catalog::money_theft_tree()] {
+        for t in [
+            catalog::fig3(),
+            catalog::fig5(),
+            catalog::money_theft_tree(),
+        ] {
             assert_eq!(
                 modular_bdd_bu(&t).unwrap(),
                 crate::bottom_up::bottom_up(&t).unwrap()
@@ -270,7 +279,9 @@ mod tests {
     fn money_theft_modular_front_matches_paper() {
         let front = modular_bdd_bu(&catalog::money_theft()).unwrap();
         let fin = |pts: &[(u64, u64)]| {
-            pts.iter().map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a))).collect::<Vec<_>>()
+            pts.iter()
+                .map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a)))
+                .collect::<Vec<_>>()
         };
         assert_eq!(front.points(), &fin(&[(0, 80), (20, 90), (50, 140)])[..]);
     }

@@ -48,11 +48,15 @@ where
 {
     let attack_count = t.adt().attack_count();
     if attack_count > 63 {
-        return Err(AnalysisError::TooManyAttacks { count: attack_count });
+        return Err(AnalysisError::TooManyAttacks {
+            count: attack_count,
+        });
     }
     let defense_count = t.adt().defense_count();
     if defense_count > 63 {
-        return Err(AnalysisError::TooManyDefenses { count: defense_count });
+        return Err(AnalysisError::TooManyDefenses {
+            count: defense_count,
+        });
     }
 
     let dd = t.defender_domain();
@@ -71,7 +75,10 @@ where
                 Some(incumbent) => da.add(&incumbent, &value),
             });
         }
-        points.push((t.defense_metric_mask(def_mask), best.unwrap_or_else(|| da.zero())));
+        points.push((
+            t.defense_metric_mask(def_mask),
+            best.unwrap_or_else(|| da.zero()),
+        ));
     }
     Ok(ParetoFront::from_points(points, dd, da))
 }
@@ -103,20 +110,22 @@ const LANE_PATTERN: [u64; 6] = [
 /// Same limits as [`naive`]:
 /// [`AnalysisError::TooManyAttacks`]/[`AnalysisError::TooManyDefenses`]
 /// above 63 basic steps of either kind.
-pub fn naive_bitparallel<DD, DA>(
-    t: &AugmentedAdt<DD, DA>,
-) -> Result<Front<DD, DA>, AnalysisError>
+pub fn naive_bitparallel<DD, DA>(t: &AugmentedAdt<DD, DA>) -> Result<Front<DD, DA>, AnalysisError>
 where
     DD: AttributeDomain,
     DA: AttributeDomain,
 {
     let attack_count = t.adt().attack_count();
     if attack_count > 63 {
-        return Err(AnalysisError::TooManyAttacks { count: attack_count });
+        return Err(AnalysisError::TooManyAttacks {
+            count: attack_count,
+        });
     }
     let defense_count = t.adt().defense_count();
     if defense_count > 63 {
-        return Err(AnalysisError::TooManyDefenses { count: defense_count });
+        return Err(AnalysisError::TooManyDefenses {
+            count: defense_count,
+        });
     }
 
     let adt = t.adt();
@@ -167,8 +176,7 @@ where
                         .iter()
                         .fold(0, |acc, c| acc | values[c.index()]),
                     adt_core::Gate::Inh => {
-                        values[node.children()[0].index()]
-                            & !values[node.children()[1].index()]
+                        values[node.children()[0].index()] & !values[node.children()[1].index()]
                     }
                 };
                 values[v.index()] = value;
@@ -191,7 +199,10 @@ where
                 });
             }
         }
-        points.push((t.defense_metric_mask(def_mask), best.unwrap_or_else(|| da.zero())));
+        points.push((
+            t.defense_metric_mask(def_mask),
+            best.unwrap_or_else(|| da.zero()),
+        ));
     }
     Ok(ParetoFront::from_points(points, dd, da))
 }
@@ -205,12 +216,20 @@ mod tests {
     use adt_core::{catalog, AdtBuilder, AugmentedAdt, MinCost};
 
     fn fin(points: &[(u64, u64)]) -> Vec<(Ext<u64>, Ext<u64>)> {
-        points.iter().map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a))).collect()
+        points
+            .iter()
+            .map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a)))
+            .collect()
     }
 
     #[test]
     fn matches_bottom_up_on_paper_trees() {
-        for t in [catalog::fig1(), catalog::fig3(), catalog::fig5(), catalog::fig4(4)] {
+        for t in [
+            catalog::fig1(),
+            catalog::fig3(),
+            catalog::fig5(),
+            catalog::fig4(4),
+        ] {
             assert_eq!(naive(&t).unwrap(), bottom_up(&t).unwrap());
         }
     }

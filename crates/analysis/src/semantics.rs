@@ -114,17 +114,16 @@ where
             attack: Some(AttackVector::from_mask(attack_count, mask)),
             value,
         },
-        None => OptimalResponse { attack: None, value: da.zero() },
+        None => OptimalResponse {
+            attack: None,
+            value: da.zero(),
+        },
     }
 }
 
 /// The feasible-event set of one tree: one entry per defense vector.
-pub type FeasibleEvents<DD, DA> = Vec<
-    FeasibleEvent<
-        <DD as AttributeDomain>::Value,
-        <DA as AttributeDomain>::Value,
-    >,
->;
+pub type FeasibleEvents<DD, DA> =
+    Vec<FeasibleEvent<<DD as AttributeDomain>::Value, <DA as AttributeDomain>::Value>>;
 
 /// Enumerates the feasible-event set `S` (Definition 8): one entry per
 /// defense vector, each with the attacker's optimal response.
@@ -166,17 +165,12 @@ where
 ///
 /// Returns [`AnalysisError::TooManyAttacks`]/[`AnalysisError::TooManyDefenses`]
 /// for trees beyond the 63-step enumeration limit.
-pub fn brute_force_front<DD, DA>(
-    t: &AugmentedAdt<DD, DA>,
-) -> Result<Front<DD, DA>, AnalysisError>
+pub fn brute_force_front<DD, DA>(t: &AugmentedAdt<DD, DA>) -> Result<Front<DD, DA>, AnalysisError>
 where
     DD: AttributeDomain,
     DA: AttributeDomain,
 {
-    let points = feasible_events(t)?
-        .into_iter()
-        .map(|e| e.metric)
-        .collect();
+    let points = feasible_events(t)?.into_iter().map(|e| e.metric).collect();
     Ok(ParetoFront::from_points(
         points,
         t.defender_domain(),
@@ -199,8 +193,7 @@ mod tests {
         assert_eq!(r.value, Ext::Fin(10));
         // Single defenses leave the response unchanged.
         for d in ["01", "10"] {
-            let r =
-                optimal_response(&t, &DefenseVector::from_binary_str(d).unwrap()).unwrap();
+            let r = optimal_response(&t, &DefenseVector::from_binary_str(d).unwrap()).unwrap();
             assert_eq!(r.attack.as_ref().unwrap().to_string(), "010", "δ = {d}");
         }
         // ρ(11) = 110 with cost 15.
@@ -260,7 +253,9 @@ mod tests {
     #[test]
     fn brute_force_front_on_paper_trees() {
         let fin = |pts: &[(u64, u64)]| {
-            pts.iter().map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a))).collect::<Vec<_>>()
+            pts.iter()
+                .map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a)))
+                .collect::<Vec<_>>()
         };
         let front = brute_force_front(&catalog::fig3()).unwrap();
         assert_eq!(front.points(), &fin(&[(0, 10), (15, 15)])[..]);

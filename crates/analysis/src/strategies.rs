@@ -16,8 +16,7 @@ use std::collections::HashMap;
 
 use adt_bdd::{Bdd, NodeRef};
 use adt_core::{
-    Agent, AttackVector, AttributeDomain, AugmentedAdt, BitVec, DefenseVector,
-    ParetoFront,
+    Agent, AttackVector, AttributeDomain, AugmentedAdt, BitVec, DefenseVector, ParetoFront,
 };
 
 use crate::bdd_compile::{compile, DefenseFirstOrder};
@@ -37,6 +36,12 @@ pub struct Strategy<VD, VA> {
     /// `β̂_A` of the response (`1⊕_A` when `attack` is `None`).
     pub attack_value: VA,
 }
+
+/// The result of strategy extraction: one witness per Pareto point.
+pub type StrategiesResult<DD, DA> = Result<
+    Vec<Strategy<<DD as AttributeDomain>::Value, <DA as AttributeDomain>::Value>>,
+    AnalysisError,
+>;
 
 /// Computes the Pareto front *with witnesses* for an arbitrary augmented
 /// ADT, using the declaration defense-first order.
@@ -69,9 +74,7 @@ pub struct Strategy<VD, VA> {
 /// # Ok(())
 /// # }
 /// ```
-pub fn pareto_strategies<DD, DA>(
-    t: &AugmentedAdt<DD, DA>,
-) -> Result<Vec<Strategy<DD::Value, DA::Value>>, AnalysisError>
+pub fn pareto_strategies<DD, DA>(t: &AugmentedAdt<DD, DA>) -> StrategiesResult<DD, DA>
 where
     DD: AttributeDomain,
     DA: AttributeDomain,
@@ -88,13 +91,18 @@ where
 pub fn pareto_strategies_with_order<DD, DA>(
     t: &AugmentedAdt<DD, DA>,
     order: &DefenseFirstOrder,
-) -> Result<Vec<Strategy<DD::Value, DA::Value>>, AnalysisError>
+) -> StrategiesResult<DD, DA>
 where
     DD: AttributeDomain,
     DA: AttributeDomain,
 {
     let (bdd, root) = compile(t.adt(), order);
-    let mut run = Run { t, bdd: &bdd, order, memo: HashMap::new() };
+    let mut run = Run {
+        t,
+        bdd: &bdd,
+        order,
+        memo: HashMap::new(),
+    };
     let points = run.points(root);
     let da = t.attacker_domain();
     Ok(points
@@ -103,7 +111,11 @@ where
             let blocked = p.attack_value == da.zero();
             Strategy {
                 defense: DefenseVector::from(p.defense),
-                attack: if blocked { None } else { Some(AttackVector::from(p.attack)) },
+                attack: if blocked {
+                    None
+                } else {
+                    Some(AttackVector::from(p.attack))
+                },
                 defense_value: p.defense_value,
                 attack_value: p.attack_value,
             }
@@ -120,11 +132,17 @@ struct WitnessPoint<VD, VA> {
     attack: BitVec,
 }
 
+/// Per-node memo of partially built witnesses.
+type WitnessMemo<DD, DA> = HashMap<
+    NodeRef,
+    Vec<WitnessPoint<<DD as AttributeDomain>::Value, <DA as AttributeDomain>::Value>>,
+>;
+
 struct Run<'a, DD: AttributeDomain, DA: AttributeDomain> {
     t: &'a AugmentedAdt<DD, DA>,
     bdd: &'a Bdd,
     order: &'a DefenseFirstOrder,
-    memo: HashMap<NodeRef, Vec<WitnessPoint<DD::Value, DA::Value>>>,
+    memo: WitnessMemo<DD, DA>,
 }
 
 impl<DD: AttributeDomain, DA: AttributeDomain> Run<'_, DD, DA> {
@@ -216,8 +234,7 @@ where
         let keep = match reduced.last() {
             None => true,
             Some(last) => {
-                da.compare(&point.attack_value, &last.attack_value)
-                    == std::cmp::Ordering::Greater
+                da.compare(&point.attack_value, &last.attack_value) == std::cmp::Ordering::Greater
             }
         };
         if keep {

@@ -52,7 +52,11 @@ where
         next_child: usize,
         new_children: Vec<NodeId>,
     }
-    let mut stack = vec![Frame { orig: adt.root(), next_child: 0, new_children: Vec::new() }];
+    let mut stack = vec![Frame {
+        orig: adt.root(),
+        next_child: 0,
+        new_children: Vec::new(),
+    }];
     let mut finished: Option<NodeId> = None;
     while let Some(frame) = stack.last_mut() {
         if let Some(child_id) = finished.take() {
@@ -62,7 +66,11 @@ where
         if frame.next_child < node.children().len() {
             let child = node.children()[frame.next_child];
             frame.next_child += 1;
-            stack.push(Frame { orig: child, next_child: 0, new_children: Vec::new() });
+            stack.push(Frame {
+                orig: child,
+                next_child: 0,
+                new_children: Vec::new(),
+            });
             continue;
         }
         // All children instantiated: create this copy.
@@ -80,9 +88,7 @@ where
             Gate::Basic => builder.leaf(node.agent(), name)?,
             Gate::And => builder.and(name, frame.new_children.clone())?,
             Gate::Or => builder.or(name, frame.new_children.clone())?,
-            Gate::Inh => {
-                builder.inh(name, frame.new_children[0], frame.new_children[1])?
-            }
+            Gate::Inh => builder.inh(name, frame.new_children[0], frame.new_children[1])?,
         };
         debug_assert_eq!(new_id.index(), origin.len());
         origin.push(frame.orig);
@@ -135,9 +141,7 @@ pub fn unfolded_size(adt: &adt_core::Adt) -> u128 {
 /// # Errors
 ///
 /// See [`unfold_to_tree`].
-pub fn unfolded<DD, DA>(
-    t: &AugmentedAdt<DD, DA>,
-) -> Result<AugmentedAdt<DD, DA>, AnalysisError>
+pub fn unfolded<DD, DA>(t: &AugmentedAdt<DD, DA>) -> Result<AugmentedAdt<DD, DA>, AnalysisError>
 where
     DD: AttributeDomain + Clone,
     DA: AttributeDomain + Clone,
@@ -171,7 +175,9 @@ mod tests {
         // And the bottom-up front matches the paper's tree analysis.
         let front = bottom_up(&tree).unwrap();
         let fin = |pts: &[(u64, u64)]| {
-            pts.iter().map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a))).collect::<Vec<_>>()
+            pts.iter()
+                .map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a)))
+                .collect::<Vec<_>>()
         };
         assert_eq!(front.points(), &fin(&[(0, 90), (30, 150), (50, 165)])[..]);
     }

@@ -1,0 +1,319 @@
+//! The PR-1 baseline BDD manager, frozen for differential testing and
+//! benchmarking.
+//!
+//! [`ControlBdd`] is the `std::collections::HashMap`-based (SipHash,
+//! unbounded-cache, recursive-walk) manager that [`crate::Bdd`] replaced.
+//! It is kept because it makes two things cheap:
+//!
+//! * **differential property tests** — random expressions are compiled by
+//!   both managers and compared structurally (same reduced shape) and
+//!   semantically (same truth table), which pins the optimized kernel to an
+//!   independently implemented oracle;
+//! * **speedup accounting** — the `bench_baseline` binary in `adt-bench`
+//!   measures the optimized kernel against this control and records the
+//!   ratio in `BENCH_PR1.json`.
+//!
+//! Do not "optimize" this module; its value is that it stays the old code.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use crate::expr::Bexpr;
+use crate::Level;
+
+/// Level number of the two terminals (compares greater than any variable).
+const TERMINAL_LEVEL: Level = Level::MAX;
+
+/// A node reference of a [`ControlBdd`] (distinct from [`crate::NodeRef`]
+/// so the two managers cannot be mixed up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ControlRef(u32);
+
+impl ControlRef {
+    /// Index of this node in the manager's arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// `true` for the `0`/`1` terminals.
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ControlNode {
+    level: Level,
+    low: ControlRef,
+    high: ControlRef,
+}
+
+/// The baseline ROBDD manager: `HashMap` unique table, unbounded `HashMap`
+/// ITE cache, recursive walks. See the module docs for why it exists.
+#[derive(Debug, Clone)]
+pub struct ControlBdd {
+    nodes: Vec<ControlNode>,
+    unique: HashMap<(Level, ControlRef, ControlRef), ControlRef>,
+    ite_cache: HashMap<(ControlRef, ControlRef, ControlRef), ControlRef>,
+    var_count: usize,
+}
+
+impl ControlBdd {
+    /// The `0` terminal.
+    pub const FALSE: ControlRef = ControlRef(0);
+    /// The `1` terminal.
+    pub const TRUE: ControlRef = ControlRef(1);
+
+    /// Creates a manager over `var_count` variables.
+    pub fn new(var_count: usize) -> Self {
+        let terminal = ControlNode {
+            level: TERMINAL_LEVEL,
+            low: Self::FALSE,
+            high: Self::FALSE,
+        };
+        ControlBdd {
+            nodes: vec![terminal, terminal],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            var_count,
+        }
+    }
+
+    /// Number of variables of this manager.
+    pub fn var_count(&self) -> usize {
+        self.var_count
+    }
+
+    /// Total number of nodes ever created (including both terminals).
+    pub fn total_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The constant function for `value`.
+    pub fn constant(&self, value: bool) -> ControlRef {
+        if value {
+            Self::TRUE
+        } else {
+            Self::FALSE
+        }
+    }
+
+    /// The projection function of the variable at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= var_count`.
+    pub fn var(&mut self, level: Level) -> ControlRef {
+        assert!(
+            (level as usize) < self.var_count,
+            "variable level {level} out of range for {} variables",
+            self.var_count
+        );
+        self.mk(level, Self::FALSE, Self::TRUE)
+    }
+
+    /// The branching level of a node ([`Level::MAX`] for terminals).
+    pub fn level(&self, f: ControlRef) -> Level {
+        self.nodes[f.index()].level
+    }
+
+    /// The low child of a nonterminal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    pub fn low(&self, f: ControlRef) -> ControlRef {
+        assert!(!f.is_terminal(), "terminals have no children");
+        self.nodes[f.index()].low
+    }
+
+    /// The high child of a nonterminal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    pub fn high(&self, f: ControlRef) -> ControlRef {
+        assert!(!f.is_terminal(), "terminals have no children");
+        self.nodes[f.index()].high
+    }
+
+    fn mk(&mut self, level: Level, low: ControlRef, high: ControlRef) -> ControlRef {
+        if low == high {
+            return low;
+        }
+        match self.unique.entry((level, low, high)) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let r = ControlRef(self.nodes.len() as u32);
+                self.nodes.push(ControlNode { level, low, high });
+                e.insert(r);
+                r
+            }
+        }
+    }
+
+    /// If-then-else (recursive, cached in an unbounded `HashMap`).
+    pub fn ite(&mut self, f: ControlRef, g: ControlRef, h: ControlRef) -> ControlRef {
+        if f == Self::TRUE {
+            return g;
+        }
+        if f == Self::FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == Self::TRUE && h == Self::FALSE {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let level = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f0, f1) = self.cofactors(f, level);
+        let (g0, g1) = self.cofactors(g, level);
+        let (h0, h1) = self.cofactors(h, level);
+        let low = self.ite(f0, g0, h0);
+        let high = self.ite(f1, g1, h1);
+        let r = self.mk(level, low, high);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    fn cofactors(&self, f: ControlRef, level: Level) -> (ControlRef, ControlRef) {
+        let node = &self.nodes[f.index()];
+        if node.level == level {
+            (node.low, node.high)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: ControlRef, g: ControlRef) -> ControlRef {
+        self.ite(f, g, Self::FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: ControlRef, g: ControlRef) -> ControlRef {
+        self.ite(f, Self::TRUE, g)
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(&mut self, f: ControlRef) -> ControlRef {
+        self.ite(f, Self::FALSE, Self::TRUE)
+    }
+
+    /// `f ∧ ¬g`.
+    pub fn and_not(&mut self, f: ControlRef, g: ControlRef) -> ControlRef {
+        let ng = self.not(g);
+        self.and(f, ng)
+    }
+
+    /// Builds the ROBDD of a Boolean expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression mentions a level `>= var_count`.
+    pub fn build(&mut self, expr: &Bexpr) -> ControlRef {
+        match expr {
+            Bexpr::Const(b) => self.constant(*b),
+            Bexpr::Var(l) => self.var(*l),
+            Bexpr::Not(e) => {
+                let f = self.build(e);
+                self.not(f)
+            }
+            Bexpr::And(es) => {
+                let mut acc = Self::TRUE;
+                for e in es {
+                    let f = self.build(e);
+                    acc = self.and(acc, f);
+                    if acc == Self::FALSE {
+                        break;
+                    }
+                }
+                acc
+            }
+            Bexpr::Or(es) => {
+                let mut acc = Self::FALSE;
+                for e in es {
+                    let f = self.build(e);
+                    acc = self.or(acc, f);
+                    if acc == Self::TRUE {
+                        break;
+                    }
+                }
+                acc
+            }
+        }
+    }
+
+    /// Evaluates `f` under a full assignment (index = level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() < var_count`.
+    pub fn eval(&self, f: ControlRef, assignment: &[bool]) -> bool {
+        assert!(
+            assignment.len() >= self.var_count,
+            "assignment covers {} of {} variables",
+            assignment.len(),
+            self.var_count
+        );
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let node = &self.nodes[cur.index()];
+            cur = if assignment[node.level as usize] {
+                node.high
+            } else {
+                node.low
+            };
+        }
+        cur == Self::TRUE
+    }
+
+    /// Number of nodes reachable from `f`, including terminals.
+    pub fn node_count(&self, f: ControlRef) -> usize {
+        let mut seen = vec![f];
+        let mut visited: Vec<bool> = vec![false; self.nodes.len()];
+        visited[f.index()] = true;
+        let mut count = 0;
+        while let Some(cur) = seen.pop() {
+            count += 1;
+            if !cur.is_terminal() {
+                let node = &self.nodes[cur.index()];
+                for child in [node.low, node.high] {
+                    if !visited[child.index()] {
+                        visited[child.index()] = true;
+                        seen.push(child);
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_manager_still_works() {
+        let mut bdd = ControlBdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let ab = bdd.and(a, b);
+        let f = bdd.or(ab, c);
+        for mask in 0u32..8 {
+            let assignment: Vec<bool> = (0..3).map(|i| mask >> i & 1 == 1).collect();
+            assert_eq!(
+                bdd.eval(f, &assignment),
+                (assignment[0] && assignment[1]) || assignment[2]
+            );
+        }
+        assert_eq!(bdd.node_count(f), 5);
+    }
+}

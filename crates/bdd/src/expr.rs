@@ -71,9 +71,7 @@ impl Bexpr {
             Bexpr::Const(_) => 0,
             Bexpr::Var(l) => *l as usize + 1,
             Bexpr::Not(e) => e.var_count(),
-            Bexpr::And(es) | Bexpr::Or(es) => {
-                es.iter().map(Bexpr::var_count).max().unwrap_or(0)
-            }
+            Bexpr::And(es) | Bexpr::Or(es) => es.iter().map(Bexpr::var_count).max().unwrap_or(0),
         }
     }
 }
@@ -107,7 +105,10 @@ mod tests {
 
     #[test]
     fn var_count_is_max_level_plus_one() {
-        let e = Bexpr::or([Bexpr::var(2), Bexpr::and([Bexpr::var(5), Bexpr::Const(true)])]);
+        let e = Bexpr::or([
+            Bexpr::var(2),
+            Bexpr::and([Bexpr::var(5), Bexpr::Const(true)]),
+        ]);
         assert_eq!(e.var_count(), 6);
         assert_eq!(Bexpr::Const(false).var_count(), 0);
     }

@@ -14,12 +14,18 @@
 //! Features:
 //!
 //! * hash-consed unique table — equal functions are pointer-equal
-//!   ([`Bdd::ite`] and friends never build unreduced nodes);
-//! * ITE-based `and`/`or`/`not`/`xor`/`and_not` with an operation cache;
+//!   ([`Bdd::ite`] and friends never build unreduced nodes); the table is
+//!   a custom open-addressed array of `u32` node indices with
+//!   multiplicative hashing (see the kernel-design notes in `manager`);
+//! * ITE-based `and`/`or`/`not`/`xor`/`and_not` with a direct-mapped lossy
+//!   operation cache, evaluated with an explicit work stack;
 //! * restriction (cofactoring), support computation, SAT counting, path
-//!   enumeration and Graphviz export;
+//!   enumeration and Graphviz export — all iterative, so deep DAG-shaped
+//!   diagrams cannot overflow the call stack;
 //! * the FORCE static ordering heuristic with *ordering groups*
-//!   ([`force_order`]), used for defense-first order ablations.
+//!   ([`force_order`]), used for defense-first order ablations;
+//! * the frozen PR-1 baseline manager ([`control::ControlBdd`]) for
+//!   differential tests and speedup accounting.
 //!
 //! ## Example
 //!
@@ -37,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod control;
 mod expr;
 mod manager;
 mod reorder;

@@ -6,9 +6,44 @@
 //! existing `(level, low, high)` triple, so two equal Boolean functions over
 //! the same variable order always receive the same [`NodeRef`] — equality of
 //! functions is pointer equality.
+//!
+//! # Kernel design
+//!
+//! The two data structures on the `BDDBU` hot path are engineered for
+//! throughput rather than generality (the `HashMap`-based baseline they
+//! replaced survives as [`crate::control::ControlBdd`] for differential
+//! tests and benchmarks):
+//!
+//! * **Node store** — a flat `Vec<BddNode>` arena; a [`NodeRef`] is a `u32`
+//!   index into it. Nodes are never deleted, and `mk` creates children
+//!   before parents, so *child indices are always smaller than parent
+//!   indices*: ascending index order is a topological order of every
+//!   diagram, which the iterative `sat_count`/`restrict` sweeps exploit.
+//!
+//! * **Unique table** — open addressing with linear probing over a
+//!   power-of-two slot array of `u32` node indices (`u32::MAX` = empty).
+//!   The key of a slot is the `(level, low, high)` triple of the node it
+//!   points at, so the table stores 4 bytes per entry instead of a
+//!   16-byte key plus SipHash state. Hashing is multiplicative (two
+//!   rounds of golden-ratio mixing, FxHash-style), a handful of cycles
+//!   versus SipHash's dozens. Since nodes are never removed there are no
+//!   tombstones: growth (at 1/2 load — linear probing degrades sharply
+//!   past that) simply reinserts every node index into a doubled array.
+//!
+//! * **ITE cache** — a *direct-mapped, lossy* cache: a power-of-two array
+//!   of `(f, g, h, result)` quadruples where a new entry simply overwrites
+//!   whatever hashed to the same slot. Collisions cost a recomputation,
+//!   never correctness, and the cache needs no eviction bookkeeping and no
+//!   rehashing. It starts at 64 entries and doubles (discarding contents —
+//!   it is a cache) whenever the node count overtakes it, capped at 2^18
+//!   entries (4 MiB), so small managers stay allocation-light while large
+//!   compilations keep a useful hit rate.
+//!
+//! * **Iterative walks** — `ite`, `sat_count` and `restrict` use explicit
+//!   stacks or index sweeps instead of recursion, so the DAG-shaped
+//!   workloads from `adt-gen` (whose diagrams can be thousands of levels
+//!   deep) cannot overflow the call stack.
 
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use crate::expr::Bexpr;
@@ -18,6 +53,22 @@ use crate::Level;
 /// real variable level so that `min` over levels finds the branching
 /// variable.
 const TERMINAL_LEVEL: Level = Level::MAX;
+
+/// Empty-slot sentinel of the unique table and the ITE cache. Also the one
+/// `u32` that is never a valid node index (`mk` asserts the arena stays
+/// below it).
+const EMPTY: u32 = u32::MAX;
+
+/// Initial slot count of the unique table (power of two).
+const UNIQUE_INITIAL_SLOTS: usize = 64;
+
+/// Initial entry count of the ITE cache (power of two). Deliberately tiny:
+/// a fresh manager compiling a small function should not pay for zeroing
+/// kilobytes of cache; the cache grows with the arena.
+const ITE_CACHE_INITIAL: usize = 1 << 6;
+
+/// Entry-count ceiling of the ITE cache: 2^18 quadruples = 4 MiB.
+const ITE_CACHE_MAX: usize = 1 << 18;
 
 /// A reference to a node owned by a [`Bdd`] manager.
 ///
@@ -45,6 +96,153 @@ struct BddNode {
     high: NodeRef,
 }
 
+/// Two rounds of golden-ratio multiplicative mixing over the node triple.
+///
+/// Weak by hash-table-theory standards, strong enough in practice: the
+/// inputs are small dense integers, and linear probing over a power-of-two
+/// table only needs the high bits to spread.
+#[inline]
+fn hash_triple(level: Level, low: u32, high: u32) -> u64 {
+    const K: u64 = 0x9E37_79B9_7F4A_7C15;
+    let packed = (u64::from(low) << 32) | u64::from(high);
+    let mut h = packed.wrapping_mul(K);
+    h ^= h >> 32;
+    h = (h ^ u64::from(level)).wrapping_mul(K);
+    h ^ (h >> 29)
+}
+
+/// The open-addressed unique table: maps `(level, low, high)` to the node
+/// index holding that triple. Keys live in the node arena; the table stores
+/// only indices.
+#[derive(Debug, Clone)]
+struct UniqueTable {
+    /// Power-of-two slot array of node indices; [`EMPTY`] marks a free slot.
+    slots: Vec<u32>,
+    /// Number of occupied slots.
+    len: usize,
+}
+
+impl UniqueTable {
+    fn new() -> Self {
+        UniqueTable {
+            slots: vec![EMPTY; UNIQUE_INITIAL_SLOTS],
+            len: 0,
+        }
+    }
+
+    /// `true` once load exceeds 1/2 — linear probing degrades sharply past
+    /// that, and at 4 bytes per slot the memory cost of headroom is small.
+    #[inline]
+    fn needs_growth(&self) -> bool {
+        self.len * 2 >= self.slots.len()
+    }
+
+    /// Doubles the slot array, reinserting every node index. No tombstones
+    /// exist (nodes are never deleted) and all triples are distinct, so
+    /// reinsertion never compares keys.
+    #[cold]
+    fn grow(&mut self, nodes: &[BddNode]) {
+        let mask = self.slots.len() * 2 - 1;
+        let mut slots = vec![EMPTY; self.slots.len() * 2];
+        for (index, node) in nodes.iter().enumerate().skip(2) {
+            let mut i = hash_triple(node.level, node.low.0, node.high.0) as usize & mask;
+            while slots[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            slots[i] = index as u32;
+        }
+        self.slots = slots;
+    }
+}
+
+/// One quadruple of the direct-mapped ITE cache.
+#[derive(Debug, Clone, Copy)]
+struct IteEntry {
+    f: u32,
+    g: u32,
+    h: u32,
+    result: u32,
+}
+
+const VACANT_ENTRY: IteEntry = IteEntry {
+    f: EMPTY,
+    g: EMPTY,
+    h: EMPTY,
+    result: EMPTY,
+};
+
+/// The direct-mapped lossy operation cache for [`Bdd::ite`].
+#[derive(Debug, Clone)]
+struct IteCache {
+    /// Power-of-two entry array; an entry with `f == EMPTY` is vacant.
+    entries: Vec<IteEntry>,
+}
+
+impl IteCache {
+    fn new() -> Self {
+        IteCache {
+            entries: vec![VACANT_ENTRY; ITE_CACHE_INITIAL],
+        }
+    }
+
+    /// Direct-mapped slot of `(f, g, h)`: the same mixer as the unique
+    /// table ([`hash_triple`]), with `h` in the scalar position.
+    #[inline]
+    fn slot(&self, f: NodeRef, g: NodeRef, h: NodeRef) -> usize {
+        (hash_triple(h.0, f.0, g.0) >> 32) as usize & (self.entries.len() - 1)
+    }
+
+    #[inline]
+    fn get(&self, f: NodeRef, g: NodeRef, h: NodeRef) -> Option<NodeRef> {
+        let entry = &self.entries[self.slot(f, g, h)];
+        if entry.f == f.0 && entry.g == g.0 && entry.h == h.0 {
+            Some(NodeRef(entry.result))
+        } else {
+            None
+        }
+    }
+
+    /// Stores a result, overwriting whatever occupied the slot, and doubles
+    /// the (empty) cache first if the node arena has outgrown it.
+    #[inline]
+    fn insert(&mut self, f: NodeRef, g: NodeRef, h: NodeRef, result: NodeRef, nodes: usize) {
+        // Keep roughly one entry per arena node: measured on the
+        // construction and fig4 suites, doubling past that buys no hit
+        // rate worth the extra zeroing.
+        if self.entries.len() < nodes && self.entries.len() < ITE_CACHE_MAX {
+            self.grow(nodes);
+        }
+        let slot = self.slot(f, g, h);
+        self.entries[slot] = IteEntry {
+            f: f.0,
+            g: g.0,
+            h: h.0,
+            result: result.0,
+        };
+    }
+
+    /// Replaces the cache with a larger empty one (lossy by design; the
+    /// next few ITEs recompute and repopulate).
+    #[cold]
+    fn grow(&mut self, target_entries: usize) {
+        let mut target = self.entries.len();
+        while target < target_entries && target < ITE_CACHE_MAX {
+            target *= 2;
+        }
+        self.entries = vec![VACANT_ENTRY; target];
+    }
+}
+
+/// A pending step of the iterative [`Bdd::ite`] evaluation.
+#[derive(Debug, Clone)]
+enum IteFrame {
+    /// Evaluate `ite(f, g, h)` and push the result.
+    Expand(NodeRef, NodeRef, NodeRef),
+    /// Pop the two cofactor results, build the node at `level`, cache it
+    /// under the original `(f, g, h)`.
+    Reduce(Level, NodeRef, NodeRef, NodeRef),
+}
+
 /// A reduced ordered binary decision diagram manager over a fixed number of
 /// variables.
 ///
@@ -62,9 +260,15 @@ struct BddNode {
 #[derive(Debug, Clone)]
 pub struct Bdd {
     nodes: Vec<BddNode>,
-    unique: HashMap<(Level, NodeRef, NodeRef), NodeRef>,
-    ite_cache: HashMap<(NodeRef, NodeRef, NodeRef), NodeRef>,
+    unique: UniqueTable,
+    ite_cache: IteCache,
     var_count: usize,
+    /// Scratch work stack of [`Bdd::ite`], kept to avoid one allocation
+    /// per operation (always left empty between calls).
+    ite_frames: Vec<IteFrame>,
+    /// Scratch result stack of [`Bdd::ite`] (always left empty between
+    /// calls).
+    ite_results: Vec<NodeRef>,
 }
 
 impl Bdd {
@@ -76,13 +280,18 @@ impl Bdd {
     /// Creates a manager for Boolean functions over `var_count` variables
     /// (levels `0..var_count`).
     pub fn new(var_count: usize) -> Self {
-        let terminal =
-            BddNode { level: TERMINAL_LEVEL, low: Self::FALSE, high: Self::FALSE };
+        let terminal = BddNode {
+            level: TERMINAL_LEVEL,
+            low: Self::FALSE,
+            high: Self::FALSE,
+        };
         Bdd {
             nodes: vec![terminal, terminal],
-            unique: HashMap::new(),
-            ite_cache: HashMap::new(),
+            unique: UniqueTable::new(),
+            ite_cache: IteCache::new(),
             var_count,
+            ite_frames: Vec::new(),
+            ite_results: Vec::new(),
         }
     }
 
@@ -144,61 +353,146 @@ impl Bdd {
         self.nodes[f.index()].high
     }
 
+    /// Hash-consing constructor: the canonical node for
+    /// `(level, low, high)`, reusing an existing one when the triple is
+    /// already in the arena.
     fn mk(&mut self, level: Level, low: NodeRef, high: NodeRef) -> NodeRef {
         if low == high {
             return low;
         }
-        match self.unique.entry((level, low, high)) {
-            Entry::Occupied(e) => *e.get(),
-            Entry::Vacant(e) => {
+        if self.unique.needs_growth() {
+            self.unique.grow(&self.nodes);
+        }
+        let mask = self.unique.slots.len() - 1;
+        let mut i = hash_triple(level, low.0, high.0) as usize & mask;
+        loop {
+            let slot = self.unique.slots[i];
+            if slot == EMPTY {
+                assert!(
+                    self.nodes.len() < EMPTY as usize,
+                    "node arena exhausted the u32 index space"
+                );
                 let r = NodeRef(self.nodes.len() as u32);
                 self.nodes.push(BddNode { level, low, high });
-                e.insert(r);
-                r
+                self.unique.slots[i] = r.0;
+                self.unique.len += 1;
+                return r;
             }
+            let node = &self.nodes[slot as usize];
+            if node.level == level && node.low == low && node.high == high {
+                return NodeRef(slot);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// The constant-time ITE exits: terminal conditions and absorptions
+    /// that need no cache lookup.
+    #[inline]
+    fn ite_shortcut(f: NodeRef, g: NodeRef, h: NodeRef) -> Option<NodeRef> {
+        if f == Self::TRUE {
+            return Some(g);
+        }
+        if f == Self::FALSE {
+            return Some(h);
+        }
+        if g == h {
+            return Some(g);
+        }
+        if g == Self::TRUE && h == Self::FALSE {
+            return Some(f);
+        }
+        None
+    }
+
+    /// Rewrites `(f, g, h)` into an equivalent canonical triple so that
+    /// commuting calls share one cache entry and one expansion:
+    /// `ite(f, f, h) = ite(f, 1, h)`, `ite(f, g, f) = ite(f, g, 0)`, and
+    /// the conjunction `ite(f, g, 0)` / disjunction `ite(f, 1, h)` forms
+    /// order their two operands by arena index.
+    #[inline]
+    fn ite_normalize(f: &mut NodeRef, g: &mut NodeRef, h: &mut NodeRef) {
+        if g == f {
+            *g = Self::TRUE;
+        }
+        if h == f {
+            *h = Self::FALSE;
+        }
+        if *h == Self::FALSE && g.0 < f.0 {
+            std::mem::swap(f, g);
+        } else if *g == Self::TRUE && h.0 < f.0 {
+            std::mem::swap(f, h);
         }
     }
 
     /// If-then-else: the function `(f ∧ g) ∨ (¬f ∧ h)`. All other Boolean
     /// operations are derived from this one.
+    ///
+    /// Evaluated with an explicit work stack, so arbitrarily deep diagrams
+    /// cannot overflow the call stack.
     pub fn ite(&mut self, f: NodeRef, g: NodeRef, h: NodeRef) -> NodeRef {
-        // Terminal and absorption cases.
-        if f == Self::TRUE {
-            return g;
-        }
-        if f == Self::FALSE {
-            return h;
-        }
-        if g == h {
-            return g;
-        }
-        if g == Self::TRUE && h == Self::FALSE {
-            return f;
-        }
-        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+        if let Some(r) = Self::ite_shortcut(f, g, h) {
             return r;
         }
-        let level = self
-            .level(f)
-            .min(self.level(g))
-            .min(self.level(h));
-        let (f0, f1) = self.cofactors(f, level);
-        let (g0, g1) = self.cofactors(g, level);
-        let (h0, h1) = self.cofactors(h, level);
-        let low = self.ite(f0, g0, h0);
-        let high = self.ite(f1, g1, h1);
-        let r = self.mk(level, low, high);
-        self.ite_cache.insert((f, g, h), r);
-        r
-    }
-
-    fn cofactors(&self, f: NodeRef, level: Level) -> (NodeRef, NodeRef) {
-        let node = &self.nodes[f.index()];
-        if node.level == level {
-            (node.low, node.high)
-        } else {
-            (f, f)
+        // Reuse the scratch stacks across calls: one ITE would otherwise
+        // pay two heap allocations, which dominates small operations.
+        let mut frames = std::mem::take(&mut self.ite_frames);
+        let mut results = std::mem::take(&mut self.ite_results);
+        debug_assert!(frames.is_empty() && results.is_empty());
+        frames.push(IteFrame::Expand(f, g, h));
+        while let Some(frame) = frames.pop() {
+            match frame {
+                IteFrame::Expand(mut f, mut g, mut h) => {
+                    if let Some(r) = Self::ite_shortcut(f, g, h) {
+                        results.push(r);
+                        continue;
+                    }
+                    Self::ite_normalize(&mut f, &mut g, &mut h);
+                    // Normalization can expose a new shortcut
+                    // (e.g. ite(f, f, 0) became ite(f, 1, 0) = f).
+                    if let Some(r) = Self::ite_shortcut(f, g, h) {
+                        results.push(r);
+                        continue;
+                    }
+                    if let Some(r) = self.ite_cache.get(f, g, h) {
+                        results.push(r);
+                        continue;
+                    }
+                    // One arena load per operand: the node copy serves
+                    // both the level minimum and the cofactor split.
+                    let nf = self.nodes[f.index()];
+                    let ng = self.nodes[g.index()];
+                    let nh = self.nodes[h.index()];
+                    let level = nf.level.min(ng.level).min(nh.level);
+                    let split = |node: BddNode, operand: NodeRef| {
+                        if node.level == level {
+                            (node.low, node.high)
+                        } else {
+                            (operand, operand)
+                        }
+                    };
+                    let (f0, f1) = split(nf, f);
+                    let (g0, g1) = split(ng, g);
+                    let (h0, h1) = split(nh, h);
+                    frames.push(IteFrame::Reduce(level, f, g, h));
+                    // The low branch is pushed last so it evaluates first;
+                    // `Reduce` pops high then low.
+                    frames.push(IteFrame::Expand(f1, g1, h1));
+                    frames.push(IteFrame::Expand(f0, g0, h0));
+                }
+                IteFrame::Reduce(level, f, g, h) => {
+                    let high = results.pop().expect("high cofactor result");
+                    let low = results.pop().expect("low cofactor result");
+                    let r = self.mk(level, low, high);
+                    self.ite_cache.insert(f, g, h, r, self.nodes.len());
+                    results.push(r);
+                }
+            }
         }
+        let root = results.pop().expect("root result");
+        self.ite_frames = frames;
+        self.ite_results = results;
+        root
     }
 
     /// Conjunction.
@@ -224,9 +518,13 @@ impl Bdd {
     }
 
     /// `f ∧ ¬g` — the inhibition clause of the structure function.
+    ///
+    /// A single ITE (`ite(g, 0, f)`), not a negation followed by a
+    /// conjunction: the complement diagram of `g` is never materialized,
+    /// which matters because every INH gate of an ADT compiles through
+    /// here.
     pub fn and_not(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
-        let ng = self.not(g);
-        self.and(f, ng)
+        self.ite(g, Self::FALSE, f)
     }
 
     /// Builds the ROBDD of a Boolean expression.
@@ -282,125 +580,196 @@ impl Bdd {
         let mut cur = f;
         while !cur.is_terminal() {
             let node = &self.nodes[cur.index()];
-            cur = if assignment[node.level as usize] { node.high } else { node.low };
+            cur = if assignment[node.level as usize] {
+                node.high
+            } else {
+                node.low
+            };
         }
         cur == Self::TRUE
     }
 
-    /// Restricts (cofactors) `f` by fixing the variable at `level` to
-    /// `value`.
-    pub fn restrict(&mut self, f: NodeRef, level: Level, value: bool) -> NodeRef {
-        let mut memo = HashMap::new();
-        self.restrict_rec(f, level, value, &mut memo)
+    /// Marks, in `reachable` (indexed by node index, sized `top + 1`), the
+    /// nodes of the sub-diagram rooted at index `top` whose restriction at
+    /// `cutoff` may differ from the node itself — i.e. nodes reachable
+    /// through branchings strictly above `cutoff`.
+    ///
+    /// Runs as a single descending index sweep: children always have
+    /// smaller indices than parents, so by the time an index is visited its
+    /// reachability is final.
+    fn mark_above(&self, top: usize, cutoff: Level, reachable: &mut [bool]) {
+        reachable[top] = true;
+        for index in (2..=top).rev() {
+            if !reachable[index] {
+                continue;
+            }
+            let node = &self.nodes[index];
+            if node.level >= cutoff {
+                continue;
+            }
+            reachable[node.low.index()] = true;
+            reachable[node.high.index()] = true;
+        }
     }
 
-    fn restrict_rec(
-        &mut self,
-        f: NodeRef,
-        level: Level,
-        value: bool,
-        memo: &mut HashMap<NodeRef, NodeRef>,
-    ) -> NodeRef {
+    /// Restricts (cofactors) `f` by fixing the variable at `level` to
+    /// `value`.
+    ///
+    /// Implemented as two linear index sweeps (mark, then rebuild in
+    /// ascending = topological order) instead of recursion.
+    pub fn restrict(&mut self, f: NodeRef, level: Level, value: bool) -> NodeRef {
         if f.is_terminal() || self.level(f) > level {
             return f;
         }
-        if let Some(&r) = memo.get(&f) {
-            return r;
-        }
-        let node = self.nodes[f.index()];
-        let r = if node.level == level {
-            if value {
-                node.high
-            } else {
-                node.low
+        let top = f.index();
+        let mut reachable = vec![false; top + 1];
+        self.mark_above(top, level, &mut reachable);
+        // results[i] = the restriction of node i; only filled for marked
+        // indices, whose children are either terminals, marked earlier
+        // indices, or nodes at levels > `level` (which map to themselves).
+        let mut results: Vec<NodeRef> = vec![NodeRef(EMPTY); top + 1];
+        for index in 2..=top {
+            if !reachable[index] {
+                continue;
             }
+            let node = self.nodes[index];
+            let r = if node.level > level {
+                NodeRef(index as u32)
+            } else if node.level == level {
+                if value {
+                    node.high
+                } else {
+                    node.low
+                }
+            } else {
+                let low = Self::restricted_child(&results, node.low);
+                let high = Self::restricted_child(&results, node.high);
+                self.mk(node.level, low, high)
+            };
+            results[index] = r;
+        }
+        results[top]
+    }
+
+    /// The already-computed restriction of `child` during a [`restrict`]
+    /// sweep (terminals restrict to themselves).
+    ///
+    /// [`restrict`]: Bdd::restrict
+    fn restricted_child(results: &[NodeRef], child: NodeRef) -> NodeRef {
+        if child.is_terminal() {
+            child
         } else {
-            let low = self.restrict_rec(node.low, level, value, memo);
-            let high = self.restrict_rec(node.high, level, value, memo);
-            self.mk(node.level, low, high)
-        };
-        memo.insert(f, r);
-        r
+            let r = results[child.index()];
+            debug_assert_ne!(r.0, EMPTY, "child restricted before parent");
+            r
+        }
     }
 
     /// Number of satisfying assignments of `f` over all `var_count`
     /// variables.
+    ///
+    /// A single ascending (= topological) index sweep over the reachable
+    /// sub-diagram; no recursion, no hashing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count exceeds `u128` (possible once the manager has
+    /// 128 or more variables; counts that fit are returned exactly — a
+    /// conjunction chain over 50 000 variables still counts fine).
     pub fn sat_count(&self, f: NodeRef) -> u128 {
-        let mut memo: HashMap<NodeRef, u128> = HashMap::new();
-        let below_root = self.count_from(f, &mut memo);
-        let root_level = if f.is_terminal() { self.var_count as u64 } else { u64::from(self.level(f)) };
-        below_root << root_level
-    }
-
-    /// Satisfying assignments of the sub-function rooted at `f`, counting
-    /// only variables at or below `f`'s level.
-    fn count_from(&self, f: NodeRef, memo: &mut HashMap<NodeRef, u128>) -> u128 {
+        // Free variables multiply the count by two per skipped level; a
+        // nonzero count whose shift would overflow u128 is a hard error,
+        // never a silent wrap.
+        let shifted = |count: u128, gap: u64| -> u128 {
+            if count == 0 {
+                0
+            } else {
+                assert!(
+                    gap <= u64::from(count.leading_zeros()),
+                    "sat_count exceeds u128"
+                );
+                count << (gap as u32)
+            }
+        };
         if f == Self::FALSE {
             return 0;
         }
         if f == Self::TRUE {
-            return 1;
+            return shifted(1, self.var_count as u64);
         }
-        if let Some(&c) = memo.get(&f) {
-            return c;
-        }
-        let node = &self.nodes[f.index()];
-        let gap = |child: NodeRef| -> u64 {
-            let child_level = if child.is_terminal() {
+        let top = f.index();
+        let mut reachable = vec![false; top + 1];
+        self.mark_above(top, TERMINAL_LEVEL, &mut reachable);
+        // counts[i] = satisfying assignments of node i over the variables
+        // at or below its own level.
+        let mut counts = vec![0u128; top + 1];
+        counts[Self::TRUE.index()] = 1;
+        let child_level = |child: NodeRef| -> u64 {
+            if child.is_terminal() {
                 self.var_count as u64
             } else {
-                u64::from(self.level(child))
-            };
-            child_level - u64::from(node.level) - 1
+                u64::from(self.nodes[child.index()].level)
+            }
         };
-        let low = self.count_from(node.low, memo) << gap(node.low);
-        let high = self.count_from(node.high, memo) << gap(node.high);
-        let total = low + high;
-        memo.insert(f, total);
-        total
+        for index in 2..=top {
+            if !reachable[index] {
+                continue;
+            }
+            let node = &self.nodes[index];
+            let level = u64::from(node.level);
+            let low = shifted(counts[node.low.index()], child_level(node.low) - level - 1);
+            let high = shifted(
+                counts[node.high.index()],
+                child_level(node.high) - level - 1,
+            );
+            counts[index] = low.checked_add(high).expect("sat_count exceeds u128");
+        }
+        shifted(counts[top], u64::from(self.nodes[top].level))
+    }
+
+    /// The nodes reachable from `f` (terminals included), in ascending
+    /// index order — which is a topological order: every node appears
+    /// after both of its children.
+    ///
+    /// This is the iteration scheme `BDDBU` uses to propagate Pareto
+    /// fronts without recursion.
+    pub fn reachable_topological(&self, f: NodeRef) -> Vec<NodeRef> {
+        if f.is_terminal() {
+            return vec![f];
+        }
+        let top = f.index();
+        let mut reachable = vec![false; top + 1];
+        self.mark_above(top, TERMINAL_LEVEL, &mut reachable);
+        (0..=top)
+            .filter(|&i| reachable[i])
+            .map(|i| NodeRef(i as u32))
+            .collect()
     }
 
     /// Number of nodes reachable from `f`, including terminals — the
     /// paper's `|W|`, the driver of `BDDBU`'s complexity.
     pub fn node_count(&self, f: NodeRef) -> usize {
-        let mut seen = vec![f];
-        let mut visited: Vec<bool> = vec![false; self.nodes.len()];
-        visited[f.index()] = true;
-        let mut count = 0;
-        while let Some(cur) = seen.pop() {
-            count += 1;
-            if !cur.is_terminal() {
-                let node = &self.nodes[cur.index()];
-                for child in [node.low, node.high] {
-                    if !visited[child.index()] {
-                        visited[child.index()] = true;
-                        seen.push(child);
-                    }
-                }
-            }
+        if f.is_terminal() {
+            return 1;
         }
-        count
+        let top = f.index();
+        let mut reachable = vec![false; top + 1];
+        self.mark_above(top, TERMINAL_LEVEL, &mut reachable);
+        reachable.iter().filter(|&&m| m).count()
     }
 
     /// The set of levels on which `f` depends, in increasing order.
     pub fn support(&self, f: NodeRef) -> Vec<Level> {
-        let mut seen = vec![f];
-        let mut visited: Vec<bool> = vec![false; self.nodes.len()];
-        visited[f.index()] = true;
-        let mut levels = Vec::new();
-        while let Some(cur) = seen.pop() {
-            if cur.is_terminal() {
-                continue;
-            }
-            let node = &self.nodes[cur.index()];
-            levels.push(node.level);
-            for child in [node.low, node.high] {
-                if !visited[child.index()] {
-                    visited[child.index()] = true;
-                    seen.push(child);
-                }
-            }
+        if f.is_terminal() {
+            return Vec::new();
         }
+        let top = f.index();
+        let mut reachable = vec![false; top + 1];
+        self.mark_above(top, TERMINAL_LEVEL, &mut reachable);
+        let mut levels: Vec<Level> = (2..=top)
+            .filter(|&i| reachable[i])
+            .map(|i| self.nodes[i].level)
+            .collect();
         levels.sort_unstable();
         levels.dedup();
         levels
@@ -411,35 +780,50 @@ impl Bdd {
     /// Each path lists `(level, value)` for the variables *tested* on the
     /// path; untested (skipped) variables are unconstrained, which is how the
     /// paper's Example 6 writes `f_T(10, 0*) = 0`.
+    ///
+    /// Iterative (explicit walk stack), like every other diagram walk of
+    /// this manager; the output itself can of course be exponential.
     pub fn paths(&self, f: NodeRef, target: bool) -> Vec<Vec<(Level, bool)>> {
+        /// One step of the depth-first path walk.
+        enum Walk {
+            /// Explore a node (emitting the prefix if it is the target).
+            Enter(NodeRef),
+            /// Append an edge label to the prefix.
+            Push(Level, bool),
+            /// Drop the innermost edge label.
+            Pop,
+        }
         let target = self.constant(target);
         let mut out = Vec::new();
-        let mut prefix = Vec::new();
-        self.paths_rec(f, target, &mut prefix, &mut out);
+        let mut prefix: Vec<(Level, bool)> = Vec::new();
+        let mut walk = vec![Walk::Enter(f)];
+        while let Some(step) = walk.pop() {
+            match step {
+                Walk::Enter(cur) => {
+                    if cur == target {
+                        out.push(prefix.clone());
+                        continue;
+                    }
+                    if cur.is_terminal() {
+                        continue;
+                    }
+                    let node = self.nodes[cur.index()];
+                    // Reverse push order so the low branch walks first,
+                    // matching the recursive formulation's output order.
+                    walk.push(Walk::Pop);
+                    walk.push(Walk::Enter(node.high));
+                    walk.push(Walk::Push(node.level, true));
+                    walk.push(Walk::Pop);
+                    walk.push(Walk::Enter(node.low));
+                    walk.push(Walk::Push(node.level, false));
+                }
+                Walk::Push(level, value) => prefix.push((level, value)),
+                Walk::Pop => {
+                    prefix.pop();
+                }
+            }
+        }
         out
-    }
-
-    fn paths_rec(
-        &self,
-        f: NodeRef,
-        target: NodeRef,
-        prefix: &mut Vec<(Level, bool)>,
-        out: &mut Vec<Vec<(Level, bool)>>,
-    ) {
-        if f == target {
-            out.push(prefix.clone());
-            return;
-        }
-        if f.is_terminal() {
-            return;
-        }
-        let node = self.nodes[f.index()];
-        prefix.push((node.level, false));
-        self.paths_rec(node.low, target, prefix, out);
-        prefix.pop();
-        prefix.push((node.level, true));
-        self.paths_rec(node.high, target, prefix, out);
-        prefix.pop();
     }
 
     /// Renders the sub-diagram rooted at `f` as a Graphviz `digraph`, with
@@ -468,7 +852,12 @@ impl Bdd {
                 cur.index(),
                 var_name(node.level),
             );
-            let _ = writeln!(out, "    n{} -> n{} [style=dashed];", cur.index(), node.low.index());
+            let _ = writeln!(
+                out,
+                "    n{} -> n{} [style=dashed];",
+                cur.index(),
+                node.low.index()
+            );
             let _ = writeln!(out, "    n{} -> n{};", cur.index(), node.high.index());
             for child in [node.low, node.high] {
                 if !visited[child.index()] {
@@ -499,6 +888,11 @@ impl Bdd {
                 if !child.is_terminal() && self.level(child) <= node.level {
                     return Err(format!(
                         "edge {cur:?} -> {child:?} violates the variable order"
+                    ));
+                }
+                if child.index() >= cur.index() {
+                    return Err(format!(
+                        "edge {cur:?} -> {child:?} violates the arena's child-first order"
                     ));
                 }
                 if !visited[child.index()] {
@@ -723,5 +1117,109 @@ mod tests {
         assert_eq!(f, Bdd::FALSE);
         let g = bdd.build(&Bexpr::or([Bexpr::Const(true), Bexpr::var(0)]));
         assert_eq!(g, Bdd::TRUE);
+    }
+
+    #[test]
+    fn unique_table_survives_many_growth_rounds() {
+        // Force thousands of distinct nodes through the table so it grows
+        // repeatedly, then verify hash consing still deduplicates.
+        let n = 14;
+        let mut bdd = Bdd::new(n);
+        let mut f = Bdd::FALSE;
+        // A parity-ish function has an exponential-free but wide diagram.
+        for level in 0..n as Level {
+            let v = bdd.var(level);
+            f = bdd.xor(f, v);
+        }
+        assert!(
+            bdd.total_nodes() > 2 * n,
+            "parity needs two nodes per level"
+        );
+        let mut g = Bdd::FALSE;
+        for level in 0..n as Level {
+            let v = bdd.var(level);
+            g = bdd.xor(g, v);
+        }
+        assert_eq!(f, g, "rebuilding must hit the unique table, not copy");
+        bdd.check_invariants(f).unwrap();
+        assert_eq!(bdd.sat_count(f), 1 << (n - 1));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_the_stack() {
+        // A conjunction over thousands of levels produces a diagram whose
+        // depth equals the variable count; the iterative walks must handle
+        // it without recursing.
+        let n: usize = 50_000;
+        let mut bdd = Bdd::new(n);
+        let mut f = Bdd::TRUE;
+        for level in (0..n as Level).rev() {
+            let v = bdd.var(level);
+            f = bdd.and(v, f);
+        }
+        assert_eq!(bdd.sat_count(f), 1);
+        let g = bdd.restrict(f, 0, true);
+        assert_eq!(bdd.level(g), 1);
+        let mut h = Bdd::TRUE;
+        for level in (1..n as Level).rev() {
+            let v = bdd.var(level);
+            h = bdd.and(v, h);
+        }
+        assert_eq!(g, h);
+        // An ITE over two deep operands exercises the explicit work stack:
+        // x0 ? (x0 ∧ rest) : rest collapses to rest, leaving x0 free.
+        let x = bdd.var(0);
+        let deep_ite = bdd.ite(x, f, h);
+        assert_eq!(deep_ite, h);
+        assert_eq!(bdd.sat_count(deep_ite), 2);
+        // Path enumeration is iterative too: the single 50 000-edge path
+        // to `1` must come back without recursing.
+        let to_one = bdd.paths(f, true);
+        assert_eq!(to_one.len(), 1);
+        assert_eq!(to_one[0].len(), n);
+        assert!(to_one[0].iter().all(|&(_, v)| v));
+    }
+
+    #[test]
+    fn sat_count_panics_instead_of_wrapping() {
+        // 130 free variables push the count of a single projection to
+        // 2^129 > u128::MAX; that must be a loud failure, not a wrap.
+        let mut bdd = Bdd::new(130);
+        let v = bdd.var(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bdd.sat_count(v)));
+        assert!(result.is_err(), "overflowing count must panic");
+        // The TRUE terminal over ≥128 variables overflows the same way.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bdd.sat_count(Bdd::TRUE)));
+        assert!(result.is_err(), "2^130 does not fit in u128");
+        // But a sparse function whose count fits is still exact.
+        let mut chain = Bdd::TRUE;
+        for level in (0..130).rev() {
+            let var = bdd.var(level);
+            chain = bdd.and(var, chain);
+        }
+        assert_eq!(bdd.sat_count(chain), 1);
+    }
+
+    #[test]
+    fn lossy_cache_never_affects_results() {
+        // Build enough distinct functions that the direct-mapped cache
+        // keeps evicting, then re-check canonicity of an early function.
+        let n = 10;
+        let mut bdd = Bdd::new(n);
+        let vars: Vec<NodeRef> = (0..n as Level).map(|l| bdd.var(l)).collect();
+        let first = bdd.and(vars[0], vars[1]);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let f = bdd.and(vars[i], vars[j]);
+                    let g = bdd.or(vars[i], vars[j]);
+                    bdd.xor(f, g);
+                }
+            }
+        }
+        let again = bdd.and(vars[0], vars[1]);
+        assert_eq!(first, again);
+        bdd.check_invariants(again).unwrap();
     }
 }

@@ -37,7 +37,10 @@ pub fn force_order(
     assert_eq!(groups.len(), var_count, "one group per variable required");
     for edge in edges {
         for &v in edge {
-            assert!((v as usize) < var_count, "edge mentions variable {v} out of range");
+            assert!(
+                (v as usize) < var_count,
+                "edge mentions variable {v} out of range"
+            );
         }
     }
     // Current position of each variable (as f64 for center-of-gravity math).
@@ -50,8 +53,7 @@ pub fn force_order(
                 if edge.is_empty() {
                     0.0
                 } else {
-                    edge.iter().map(|&v| position[v as usize]).sum::<f64>()
-                        / edge.len() as f64
+                    edge.iter().map(|&v| position[v as usize]).sum::<f64>() / edge.len() as f64
                 }
             })
             .collect();
@@ -75,7 +77,11 @@ pub fn force_order(
         by_rank.sort_by(|&a, &b| {
             groups[a]
                 .cmp(&groups[b])
-                .then_with(|| position[a].partial_cmp(&position[b]).expect("finite positions"))
+                .then_with(|| {
+                    position[a]
+                        .partial_cmp(&position[b])
+                        .expect("finite positions")
+                })
                 .then_with(|| a.cmp(&b))
         });
         for (rank, &v) in by_rank.iter().enumerate() {
@@ -86,7 +92,11 @@ pub fn force_order(
     order.sort_by(|&a, &b| {
         groups[a]
             .cmp(&groups[b])
-            .then_with(|| position[a].partial_cmp(&position[b]).expect("finite positions"))
+            .then_with(|| {
+                position[a]
+                    .partial_cmp(&position[b])
+                    .expect("finite positions")
+            })
             .then_with(|| a.cmp(&b))
     });
     order.into_iter().map(|v| v as Level).collect()
@@ -118,7 +128,10 @@ mod tests {
         let edges = vec![vec![0, 5], vec![0, 5], vec![0, 5], vec![1, 2], vec![3, 4]];
         let order = force_order(6, &edges, &[0; 6], 20);
         let pos = |v: Level| order.iter().position(|&x| x == v).unwrap() as i64;
-        assert!((pos(0) - pos(5)).abs() == 1, "0 and 5 should be adjacent in {order:?}");
+        assert!(
+            (pos(0) - pos(5)).abs() == 1,
+            "0 and 5 should be adjacent in {order:?}"
+        );
     }
 
     #[test]

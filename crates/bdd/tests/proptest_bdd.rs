@@ -1,9 +1,15 @@
 //! Property-based equivalence of the ROBDD engine against direct expression
 //! evaluation, plus structural invariants, on randomly generated Boolean
 //! expressions.
+//!
+//! The optimized kernel (open-addressed unique table, direct-mapped lossy
+//! ITE cache, iterative walks) is additionally pinned to two independent
+//! oracles: brute-force truth-table evaluation of the source expression,
+//! and the frozen `HashMap`-based [`ControlBdd`] it replaced.
 
 use proptest::prelude::*;
 
+use adt_bdd::control::ControlBdd;
 use adt_bdd::{Bdd, Bexpr};
 
 const VARS: usize = 6;
@@ -99,6 +105,59 @@ proptest! {
             let lo = bdd.restrict(f, level, false);
             prop_assert_ne!(hi, lo, "level {} is in the support but irrelevant", level);
         }
+    }
+
+    /// Differential check of the open-addressed unique table and the lossy
+    /// ITE cache against the frozen `HashMap`-based control manager: both
+    /// kernels must produce the same truth table *and* the same reduced
+    /// diagram (same reachable node count — reduced ordered BDDs of equal
+    /// functions over equal orders are isomorphic).
+    #[test]
+    fn optimized_kernel_matches_hashmap_control(expr in bexpr()) {
+        let mut bdd = Bdd::new(VARS);
+        let f = bdd.build(&expr);
+        let mut control = ControlBdd::new(VARS);
+        let cf = control.build(&expr);
+        for assignment in assignments() {
+            let expected = expr.eval(&assignment);
+            prop_assert_eq!(bdd.eval(f, &assignment), expected);
+            prop_assert_eq!(control.eval(cf, &assignment), expected);
+        }
+        prop_assert_eq!(bdd.node_count(f), control.node_count(cf));
+    }
+
+    /// Interleaving many operations (stressing lossy-cache eviction and
+    /// unique-table growth) never breaks canonicity: rebuilding the same
+    /// expression later must return the very same node.
+    #[test]
+    fn canonicity_survives_cache_pressure(
+        exprs in prop::collection::vec(bexpr(), 2..8),
+    ) {
+        let mut bdd = Bdd::new(VARS);
+        let first: Vec<_> = exprs.iter().map(|e| bdd.build(e)).collect();
+        // Extra traffic to churn the direct-mapped cache between builds.
+        for window in first.windows(2) {
+            bdd.xor(window[0], window[1]);
+            bdd.and_not(window[0], window[1]);
+        }
+        let again: Vec<_> = exprs.iter().map(|e| bdd.build(e)).collect();
+        prop_assert_eq!(&first, &again);
+        for f in first {
+            prop_assert!(bdd.check_invariants(f).is_ok());
+        }
+    }
+
+    /// `and_not` (a single ITE since PR 1) agrees with the two-step
+    /// negation-then-conjunction it replaced.
+    #[test]
+    fn and_not_equals_negated_conjunction(a in bexpr(), b in bexpr()) {
+        let mut bdd = Bdd::new(VARS);
+        let fa = bdd.build(&a);
+        let fb = bdd.build(&b);
+        let direct = bdd.and_not(fa, fb);
+        let nb = bdd.not(fb);
+        let two_step = bdd.and(fa, nb);
+        prop_assert_eq!(direct, two_step);
     }
 
     /// Every path to `1` indeed evaluates to `1` under any completion.

@@ -18,12 +18,8 @@ fn bench_case_study(c: &mut Criterion) {
     group.bench_function("bu_tree", |b| {
         b.iter(|| bottom_up(black_box(&tree)).unwrap())
     });
-    group.bench_function("bddbu_dag", |b| {
-        b.iter(|| bdd_bu(black_box(&dag)).unwrap())
-    });
-    group.bench_function("naive_dag", |b| {
-        b.iter(|| naive(black_box(&dag)).unwrap())
-    });
+    group.bench_function("bddbu_dag", |b| b.iter(|| bdd_bu(black_box(&dag)).unwrap()));
+    group.bench_function("naive_dag", |b| b.iter(|| naive(black_box(&dag)).unwrap()));
     group.bench_function("naive64_dag", |b| {
         b.iter(|| naive_bitparallel(black_box(&dag)).unwrap())
     });

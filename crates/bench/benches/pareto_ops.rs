@@ -31,7 +31,10 @@ fn bench_pareto(c: &mut Criterion) {
         });
         let front = Front::from_points(points.clone(), &MinCost, &MinCost);
         let other = Front::from_points(
-            points.iter().map(|(d, a)| (d.plus(Ext::Fin(1)), *a)).collect(),
+            points
+                .iter()
+                .map(|(d, a)| (d.plus(Ext::Fin(1)), *a))
+                .collect(),
             &MinCost,
             &MinCost,
         );
@@ -44,9 +47,7 @@ fn bench_pareto(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new("product", front.len() * other.len()),
                 &(front, other),
-                |b, (x, y)| {
-                    b.iter(|| x.product(black_box(y), &MinCost, &MinCost, SemiringOp::Add))
-                },
+                |b, (x, y)| b.iter(|| x.product(black_box(y), &MinCost, &MinCost, SemiringOp::Add)),
             );
         }
     }

@@ -20,7 +20,12 @@ fn remap<DA: AttributeDomain + Clone>(
         MinCost,
         domain,
         |t, id| *base.defense_value(t.basic_position(id).unwrap()),
-        |t, id| map(*base.attack_value(t.basic_position(id).unwrap()).finite().unwrap()),
+        |t, id| {
+            map(*base
+                .attack_value(t.basic_position(id).unwrap())
+                .finite()
+                .unwrap())
+        },
     )
 }
 
@@ -31,13 +36,23 @@ fn bench_domains(c: &mut Criterion) {
     let t = remap(&base, MinCost, Ext::Fin);
     group.bench_function("min_cost", |b| b.iter(|| bottom_up(black_box(&t)).unwrap()));
     let t = remap(&base, MinTimeSeq, Ext::Fin);
-    group.bench_function("min_time_seq", |b| b.iter(|| bottom_up(black_box(&t)).unwrap()));
+    group.bench_function("min_time_seq", |b| {
+        b.iter(|| bottom_up(black_box(&t)).unwrap())
+    });
     let t = remap(&base, MinTimePar, Ext::Fin);
-    group.bench_function("min_time_par", |b| b.iter(|| bottom_up(black_box(&t)).unwrap()));
+    group.bench_function("min_time_par", |b| {
+        b.iter(|| bottom_up(black_box(&t)).unwrap())
+    });
     let t = remap(&base, MinSkill, Ext::Fin);
-    group.bench_function("min_skill", |b| b.iter(|| bottom_up(black_box(&t)).unwrap()));
-    let t = remap(&base, Probability, |cost| Prob::new(cost as f64 / 200.0).unwrap());
-    group.bench_function("probability", |b| b.iter(|| bottom_up(black_box(&t)).unwrap()));
+    group.bench_function("min_skill", |b| {
+        b.iter(|| bottom_up(black_box(&t)).unwrap())
+    });
+    let t = remap(&base, Probability, |cost| {
+        Prob::new(cost as f64 / 200.0).unwrap()
+    });
+    group.bench_function("probability", |b| {
+        b.iter(|| bottom_up(black_box(&t)).unwrap())
+    });
     group.finish();
 }
 

@@ -1,0 +1,265 @@
+//! Baseline speedup accounting for the PR-1 BDD kernel.
+//!
+//! Runs the workloads of the `bdd_construction` and `fig4_exponential`
+//! criterion suites twice — once on the optimized kernel
+//! ([`adt_bdd::Bdd`] + linear-merge Pareto fronts + dense memo) and once on
+//! the frozen `HashMap`-based control ([`adt_bdd::control::ControlBdd`] +
+//! sort-based front reduction + `HashMap` memo, i.e. the pre-PR-1 code
+//! path) — and writes the measured ratios to `BENCH_PR1.json`.
+//!
+//! Usage: `cargo run --release -p adt-bench --bin bench_baseline [-- OUT]`
+//! (default output path `BENCH_PR1.json`; set `BENCH_MS` to change the
+//! per-case measurement window, default 300 ms).
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use adt_analysis::{bdd_bu, compile, DefenseFirstOrder};
+use adt_bdd::control::{ControlBdd, ControlRef};
+use adt_bench::time_avg;
+use adt_core::semiring::{AttributeDomain, MinCost};
+use adt_core::{catalog, Adt, Agent, AugmentedAdt, Gate, ParetoFront};
+use adt_gen::{random_adt, RandomAdtConfig};
+
+type CostAdt = AugmentedAdt<MinCost, MinCost>;
+type Front = ParetoFront<<MinCost as AttributeDomain>::Value, <MinCost as AttributeDomain>::Value>;
+
+/// Compiles the structure function on the control manager — the same
+/// topological-order loop as [`adt_analysis::compile`], minus the new
+/// kernel.
+fn control_compile(adt: &Adt, order: &DefenseFirstOrder) -> (ControlBdd, ControlRef) {
+    let mut bdd = ControlBdd::new(order.var_count());
+    let mut refs: Vec<ControlRef> = vec![ControlBdd::FALSE; adt.node_count()];
+    for &v in adt.topological_order() {
+        let node = &adt[v];
+        let f = match node.gate() {
+            Gate::Basic => bdd.var(order.level(v).expect("basic steps are ordered")),
+            Gate::And => {
+                let mut acc = ControlBdd::TRUE;
+                for &c in node.children() {
+                    acc = bdd.and(acc, refs[c.index()]);
+                }
+                acc
+            }
+            Gate::Or => {
+                let mut acc = ControlBdd::FALSE;
+                for &c in node.children() {
+                    acc = bdd.or(acc, refs[c.index()]);
+                }
+                acc
+            }
+            Gate::Inh => {
+                let inhibited = refs[node.children()[0].index()];
+                let trigger = refs[node.children()[1].index()];
+                bdd.and_not(inhibited, trigger)
+            }
+        };
+        refs[v.index()] = f;
+    }
+    let root = refs[adt.root().index()];
+    (bdd, root)
+}
+
+/// The pre-PR-1 `BDDBU`: control manager, recursive walk, `HashMap` memo,
+/// and the sort-based front reduction (`from_points` over concatenations —
+/// exactly what `merge` used to do).
+fn control_bdd_bu(t: &CostAdt) -> Front {
+    struct Run<'a> {
+        t: &'a CostAdt,
+        bdd: &'a ControlBdd,
+        order: &'a DefenseFirstOrder,
+        root_agent: Agent,
+        memo: HashMap<ControlRef, Front>,
+    }
+    impl Run<'_> {
+        fn front(&mut self, w: ControlRef) -> Front {
+            let dd = self.t.defender_domain();
+            let da = self.t.attacker_domain();
+            if w.is_terminal() {
+                let reached_goal = match self.root_agent {
+                    Agent::Attacker => w == ControlBdd::TRUE,
+                    Agent::Defender => w == ControlBdd::FALSE,
+                };
+                let value = if reached_goal { da.one() } else { da.zero() };
+                return ParetoFront::singleton((dd.one(), value));
+            }
+            if let Some(cached) = self.memo.get(&w) {
+                return cached.clone();
+            }
+            let level = self.bdd.level(w);
+            let low = self.bdd.low(w);
+            let high = self.bdd.high(w);
+            let p0 = self.front(low);
+            let p1 = self.front(high);
+            let result = if self.order.is_defense_level(level) {
+                let cost = self
+                    .t
+                    .defense_value_of(self.order.event(level))
+                    .expect("defense level maps to a defense step");
+                let cost = *cost;
+                let mut points: Vec<_> = p0.points().to_vec();
+                points.extend(p1.iter().map(|(u, u1)| (dd.mul(&cost, u), *u1)));
+                ParetoFront::from_points(points, dd, da)
+            } else {
+                let u0 = &p0.points()[0].1;
+                let u1 = &p1.points()[0].1;
+                let cost = self
+                    .t
+                    .attack_value_of(self.order.event(level))
+                    .expect("attack level maps to an attack step");
+                let paid = da.mul(cost, u1);
+                ParetoFront::singleton((dd.one(), da.add(u0, &paid)))
+            };
+            self.memo.insert(w, result.clone());
+            result
+        }
+    }
+    let order = DefenseFirstOrder::declaration(t.adt());
+    let (bdd, root) = control_compile(t.adt(), &order);
+    let mut run = Run {
+        t,
+        bdd: &bdd,
+        order: &order,
+        root_agent: t.adt().root_agent(),
+        memo: HashMap::new(),
+    };
+    run.front(root)
+}
+
+struct Measurement {
+    suite: &'static str,
+    case: String,
+    control_ns: f64,
+    optimized_ns: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.control_ns / self.optimized_ns
+    }
+}
+
+fn ns(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e9
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = values.fold((0.0, 0u32), |(s, n), v| (s + v.ln(), n + 1));
+    (sum / f64::from(n.max(1))).exp()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR1.json".into());
+    let window = Duration::from_millis(
+        std::env::var("BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300),
+    );
+    let mut results: Vec<Measurement> = Vec::new();
+
+    // --- bdd_construction: structure-function compilation ---------------
+    let mut construction_cases: Vec<(String, CostAdt)> =
+        vec![("money_theft".into(), catalog::money_theft())];
+    for target in [40usize, 100, 200] {
+        let t = random_adt(&RandomAdtConfig::tree(target), 3);
+        let nodes = t.adt().node_count();
+        construction_cases.push((format!("random_tree_{nodes}"), t));
+    }
+    for (case, t) in &construction_cases {
+        let order = DefenseFirstOrder::declaration(t.adt());
+        // Sanity: both kernels must agree on the compiled diagram size.
+        let (bdd, root) = compile(t.adt(), &order);
+        let (cbdd, croot) = control_compile(t.adt(), &order);
+        assert_eq!(
+            bdd.node_count(root),
+            cbdd.node_count(croot),
+            "kernel disagreement on {case}"
+        );
+        let optimized = time_avg(window, || compile(t.adt(), &order));
+        let control = time_avg(window, || control_compile(t.adt(), &order));
+        eprintln!(
+            "bdd_construction/{case}: control {:.1}ns optimized {:.1}ns",
+            ns(control),
+            ns(optimized)
+        );
+        results.push(Measurement {
+            suite: "bdd_construction",
+            case: case.clone(),
+            control_ns: ns(control),
+            optimized_ns: ns(optimized),
+        });
+    }
+
+    // --- fig4_exponential: the 2^n-front family through BDDBU -----------
+    for n in [2u32, 4, 6, 8, 10] {
+        let t = catalog::fig4(n);
+        let reference = bdd_bu(&t).expect("bdd_bu cannot fail");
+        assert_eq!(
+            reference,
+            control_bdd_bu(&t),
+            "front disagreement on fig4({n})"
+        );
+        let optimized = time_avg(window, || bdd_bu(&t).unwrap());
+        let control = time_avg(window, || control_bdd_bu(&t));
+        eprintln!(
+            "fig4_exponential/bddbu_{n}: control {:.1}ns optimized {:.1}ns",
+            ns(control),
+            ns(optimized)
+        );
+        results.push(Measurement {
+            suite: "fig4_exponential",
+            case: format!("bddbu_{n}"),
+            control_ns: ns(control),
+            optimized_ns: ns(optimized),
+        });
+    }
+
+    // --- JSON emission ---------------------------------------------------
+    let mut json = String::from("{\n");
+    json.push_str("  \"pr\": 1,\n");
+    json.push_str(
+        "  \"description\": \"Optimized BDD kernel (open-addressed unique table, \
+         direct-mapped lossy ITE cache, iterative walks, linear Pareto merges, dense memo) \
+         vs the frozen HashMap-based control on the bdd_construction and fig4_exponential \
+         workloads.\",\n",
+    );
+    json.push_str("  \"benches\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"suite\": \"{}\", \"case\": \"{}\", \"control_ns\": {:.1}, \
+             \"optimized_ns\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            m.suite,
+            m.case,
+            m.control_ns,
+            m.optimized_ns,
+            m.speedup(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    let construction = geomean(
+        results
+            .iter()
+            .filter(|m| m.suite == "bdd_construction")
+            .map(Measurement::speedup),
+    );
+    let fig4 = geomean(
+        results
+            .iter()
+            .filter(|m| m.suite == "fig4_exponential")
+            .map(Measurement::speedup),
+    );
+    json.push_str("  \"summary\": {\n");
+    json.push_str(&format!(
+        "    \"bdd_construction_geomean_speedup\": {construction:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"fig4_exponential_geomean_speedup\": {fig4:.2}\n"
+    ));
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark baseline");
+    eprintln!("wrote {out_path}: construction ×{construction:.2}, fig4 ×{fig4:.2}");
+}

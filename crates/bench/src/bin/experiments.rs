@@ -26,8 +26,8 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use adt_analysis::{
-    bdd_bu, bdd_bu_report, bdd_bu_with_order, bottom_up, modular_bdd_bu, naive,
-    table2_attacker_op, DefenseFirstOrder,
+    bdd_bu, bdd_bu_report, bdd_bu_with_order, bottom_up, modular_bdd_bu, naive, table2_attacker_op,
+    DefenseFirstOrder,
 };
 use adt_bench::{bucket_of, median, naive_work, secs, secs_opt, time_avg, time_once, Csv};
 use adt_core::semiring::{
@@ -78,7 +78,10 @@ impl Flags {
     fn num(&self, key: &str, default: u64) -> u64 {
         self.0
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects a number"))
+            })
             .unwrap_or(default)
     }
 
@@ -141,17 +144,42 @@ fn table1() {
 
     println!("{:<22} {:<10} front", "metric", "⊗ / ⪯");
     let t = with_attacker_domain(&base, MinCost, Ext::Fin);
-    println!("{:<22} {:<10} {}", "min cost", "+ / ≤", bottom_up(&t).unwrap());
+    println!(
+        "{:<22} {:<10} {}",
+        "min cost",
+        "+ / ≤",
+        bottom_up(&t).unwrap()
+    );
     let t = with_attacker_domain(&base, MinTimeSeq, Ext::Fin);
-    println!("{:<22} {:<10} {}", "min time (sequential)", "+ / ≤", bottom_up(&t).unwrap());
+    println!(
+        "{:<22} {:<10} {}",
+        "min time (sequential)",
+        "+ / ≤",
+        bottom_up(&t).unwrap()
+    );
     let t = with_attacker_domain(&base, MinTimePar, Ext::Fin);
-    println!("{:<22} {:<10} {}", "min time (parallel)", "max / ≤", bottom_up(&t).unwrap());
+    println!(
+        "{:<22} {:<10} {}",
+        "min time (parallel)",
+        "max / ≤",
+        bottom_up(&t).unwrap()
+    );
     let t = with_attacker_domain(&base, MinSkill, Ext::Fin);
-    println!("{:<22} {:<10} {}", "min skill", "max / ≤", bottom_up(&t).unwrap());
+    println!(
+        "{:<22} {:<10} {}",
+        "min skill",
+        "max / ≤",
+        bottom_up(&t).unwrap()
+    );
     let t = with_attacker_domain(&base, Probability, |c| {
         Prob::new(c as f64 / 200.0).expect("costs are below 200")
     });
-    println!("{:<22} {:<10} {}", "probability", "· / ≥", bottom_up(&t).unwrap());
+    println!(
+        "{:<22} {:<10} {}",
+        "probability",
+        "· / ≥",
+        bottom_up(&t).unwrap()
+    );
     println!("(probability uses the synthetic mapping p = cost/200)");
 }
 
@@ -161,7 +189,10 @@ fn table1() {
 
 fn table2() {
     heading("Table II — bottom-up operators (defender op is always ⊗_D)");
-    println!("{:<6} {:<6} {:<8} {:<8}", "γ(v)", "τ(v)", "def op", "att op");
+    println!(
+        "{:<6} {:<6} {:<8} {:<8}",
+        "γ(v)", "τ(v)", "def op", "att op"
+    );
     for gate in [Gate::And, Gate::Or, Gate::Inh] {
         for agent in [Agent::Attacker, Agent::Defender] {
             println!(
@@ -251,7 +282,10 @@ fn fig6() {
             .collect();
         println!("  {}", rendered.join(" → "));
     }
-    println!("dot:\n{}", bdd.to_dot(root, |l| adt[order.event(l)].name().to_owned()));
+    println!(
+        "dot:\n{}",
+        bdd.to_dot(root, |l| adt[order.event(l)].name().to_owned())
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -279,8 +313,7 @@ fn case_study() {
 
     println!("\nFig. 8 series (defense budget → attack cost):");
     for (label, front) in [("BU", &bu_front), ("BDDBU", &bdd_front)] {
-        let series: Vec<String> =
-            front.iter().map(|(d, a)| format!("({d}, {a})")).collect();
+        let series: Vec<String> = front.iter().map(|(d, a)| format!("({d}, {a})")).collect();
         println!("  {label:<6} {}", series.join(" "));
     }
 }
@@ -307,7 +340,11 @@ fn measure(instance: &Instance, work_cap: u128) -> Timings {
         None
     };
     let t_bddbu = time_avg(Duration::from_millis(2), || bdd_bu(t).unwrap());
-    Timings { t_naive, t_bu, t_bddbu }
+    Timings {
+        t_naive,
+        t_bu,
+        t_bddbu,
+    }
 }
 
 fn fig9(flags: &Flags) {
@@ -322,15 +359,30 @@ fn fig9(flags: &Flags) {
     );
 
     let mut csv = Csv::new(&[
-        "instance", "seed", "nodes", "shape", "t_naive_s", "t_bu_s", "t_bddbu_s",
+        "instance",
+        "seed",
+        "nodes",
+        "shape",
+        "t_naive_s",
+        "t_bu_s",
+        "t_bddbu_s",
     ]);
     // Half trees (so BU participates), half DAGs — the generator's natural
     // mix in the paper.
     let mut instances = paper_suite(count / 2, max_nodes, Shape::Tree, seed);
-    instances.extend(paper_suite(count - count / 2, max_nodes, Shape::Dag, seed + 1));
+    instances.extend(paper_suite(
+        count - count / 2,
+        max_nodes,
+        Shape::Dag,
+        seed + 1,
+    ));
     for (i, instance) in instances.iter().enumerate() {
         let timings = measure(instance, work_cap);
-        let shape = if instance.adt.adt().is_tree() { "tree" } else { "dag" };
+        let shape = if instance.adt.adt().is_tree() {
+            "tree"
+        } else {
+            "dag"
+        };
         csv.row([
             i.to_string(),
             instance.seed.to_string(),
@@ -431,8 +483,14 @@ fn ablation_ordering(flags: &Flags) {
     heading("Ablation — BDD size under defense-first orderings");
     let instances = paper_suite(count, max_nodes, Shape::Dag, seed);
     let mut csv = Csv::new(&[
-        "instance", "nodes", "bdd_declaration", "bdd_dfs", "bdd_force", "t_decl_s",
-        "t_dfs_s", "t_force_s",
+        "instance",
+        "nodes",
+        "bdd_declaration",
+        "bdd_dfs",
+        "bdd_force",
+        "t_decl_s",
+        "t_dfs_s",
+        "t_force_s",
     ]);
     let mut totals = [0usize; 3];
     for (i, instance) in instances.iter().enumerate() {

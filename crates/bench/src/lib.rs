@@ -82,7 +82,9 @@ pub struct Csv {
 impl Csv {
     /// Starts a CSV document with the given header.
     pub fn new(header: &[&str]) -> Self {
-        Csv { lines: vec![header.join(",")] }
+        Csv {
+            lines: vec![header.join(",")],
+        }
     }
 
     /// Appends one row.

@@ -80,7 +80,10 @@ impl Adt {
 
     /// Iterates over all nodes with their ids, in declaration order.
     pub fn iter(&self) -> impl ExactSizeIterator<Item = (NodeId, &Node)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeId::new(i), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId::new(i), n))
     }
 
     /// The id of the node with the given name.
@@ -94,7 +97,8 @@ impl Adt {
     ///
     /// Returns [`AdtError::UnknownName`] if no node has this name.
     pub fn require(&self, name: &str) -> Result<NodeId, AdtError> {
-        self.node_id(name).ok_or_else(|| AdtError::UnknownName(name.to_owned()))
+        self.node_id(name)
+            .ok_or_else(|| AdtError::UnknownName(name.to_owned()))
     }
 
     /// Nodes in a topological order with children before parents; the last
@@ -217,7 +221,10 @@ impl Adt {
                 }
             }
         }
-        (0..self.nodes.len()).filter(|&i| seen[i]).map(NodeId::new).collect()
+        (0..self.nodes.len())
+            .filter(|&i| seen[i])
+            .map(NodeId::new)
+            .collect()
     }
 
     /// Extracts the sub-ADT rooted at `v` as a standalone tree.
@@ -236,8 +243,11 @@ impl Adt {
         // renumbered before their parents.
         for &old in &members {
             let node = &self[old];
-            let children =
-                node.children().iter().map(|c| old_to_new[c]).collect::<Vec<_>>();
+            let children = node
+                .children()
+                .iter()
+                .map(|c| old_to_new[c])
+                .collect::<Vec<_>>();
             let new_id = NodeId::new(nodes.len());
             old_to_new.insert(old, new_id);
             nodes.push(Node {
@@ -248,8 +258,7 @@ impl Adt {
             });
         }
         let root = old_to_new[&v];
-        let adt = Adt::from_parts(nodes, root)
-            .expect("subtree of a valid ADT is a valid ADT");
+        let adt = Adt::from_parts(nodes, root).expect("subtree of a valid ADT is a valid ADT");
         (adt, members)
     }
 
@@ -316,7 +325,10 @@ impl Adt {
             return Err(AdtError::Empty);
         }
         if root.index() >= nodes.len() {
-            return Err(AdtError::InvalidNode { id: root, len: nodes.len() });
+            return Err(AdtError::InvalidNode {
+                id: root,
+                len: nodes.len(),
+            });
         }
         validate_nodes(&nodes, root)?;
 
@@ -327,7 +339,9 @@ impl Adt {
             for &v in &topo {
                 reached[v.index()] = true;
             }
-            let missing = (0..nodes.len()).find(|&i| !reached[i]).expect("some node missing");
+            let missing = (0..nodes.len())
+                .find(|&i| !reached[i])
+                .expect("some node missing");
             return Err(AdtError::Unreachable(nodes[missing].name.clone()));
         }
 
@@ -337,8 +351,8 @@ impl Adt {
                 parents[c.index()].push(NodeId::new(i));
             }
         }
-        let tree = (0..nodes.len())
-            .all(|i| parents[i].len() == usize::from(NodeId::new(i) != root));
+        let tree =
+            (0..nodes.len()).all(|i| parents[i].len() == usize::from(NodeId::new(i) != root));
 
         let mut attacks = Vec::new();
         let mut defenses = Vec::new();
@@ -360,7 +374,17 @@ impl Adt {
             }
         }
 
-        Ok(Adt { nodes, root, topo, parents, attacks, defenses, basic_pos, name_index, tree })
+        Ok(Adt {
+            nodes,
+            root,
+            topo,
+            parents,
+            attacks,
+            defenses,
+            basic_pos,
+            name_index,
+            tree,
+        })
     }
 }
 
@@ -453,7 +477,10 @@ fn validate_nodes(nodes: &[Node], _root: NodeId) -> Result<(), AdtError> {
         }
         for &c in node.children() {
             if c.index() >= nodes.len() {
-                return Err(AdtError::InvalidNode { id: c, len: nodes.len() });
+                return Err(AdtError::InvalidNode {
+                    id: c,
+                    len: nodes.len(),
+                });
             }
         }
         let mut child_set = node.children().to_vec();
@@ -734,13 +761,21 @@ impl AdtBuilder {
         }
         let id = NodeId::new(self.nodes.len());
         self.names.insert(name.clone(), id);
-        self.nodes.push(Node { name, agent, gate, children });
+        self.nodes.push(Node {
+            name,
+            agent,
+            gate,
+            children,
+        });
         Ok(id)
     }
 
     fn check_id(&self, id: NodeId) -> Result<(), AdtError> {
         if id.index() >= self.nodes.len() {
-            return Err(AdtError::InvalidNode { id, len: self.nodes.len() });
+            return Err(AdtError::InvalidNode {
+                id,
+                len: self.nodes.len(),
+            });
         }
         Ok(())
     }
@@ -802,8 +837,7 @@ mod tests {
         let adt = fig3_structure();
         let order = adt.topological_order();
         assert_eq!(order.len(), adt.node_count());
-        let pos: HashMap<NodeId, usize> =
-            order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let pos: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         for (id, node) in adt.iter() {
             for &c in node.children() {
                 assert!(pos[&c] < pos[&id], "child {c} after parent {id}");
@@ -840,7 +874,10 @@ mod tests {
     fn duplicate_name_rejected() {
         let mut b = AdtBuilder::new();
         b.attack("a").unwrap();
-        assert_eq!(b.defense("a").unwrap_err(), AdtError::DuplicateName("a".into()));
+        assert_eq!(
+            b.defense("a").unwrap_err(),
+            AdtError::DuplicateName("a".into())
+        );
     }
 
     #[test]
@@ -857,7 +894,10 @@ mod tests {
         let d = b.defense("d").unwrap();
         assert_eq!(
             b.and("g", [a, d]).unwrap_err(),
-            AdtError::MixedAgents { gate: "g".into(), child: "d".into() }
+            AdtError::MixedAgents {
+                gate: "g".into(),
+                child: "d".into()
+            }
         );
     }
 
@@ -866,7 +906,10 @@ mod tests {
         let mut b = AdtBuilder::new();
         let a1 = b.attack("a1").unwrap();
         let a2 = b.attack("a2").unwrap();
-        assert_eq!(b.inh("i", a1, a2).unwrap_err(), AdtError::InhSameAgent("i".into()));
+        assert_eq!(
+            b.inh("i", a1, a2).unwrap_err(),
+            AdtError::InhSameAgent("i".into())
+        );
     }
 
     #[test]
@@ -885,7 +928,10 @@ mod tests {
         let mut b = AdtBuilder::new();
         let a = b.attack("a").unwrap();
         let a2 = b.attack("a2").unwrap();
-        assert!(matches!(b.and("g", [a, a2, a]), Err(AdtError::DuplicateChild { .. })));
+        assert!(matches!(
+            b.and("g", [a, a2, a]),
+            Err(AdtError::DuplicateChild { .. })
+        ));
     }
 
     #[test]
@@ -893,7 +939,10 @@ mod tests {
         let mut b = AdtBuilder::new();
         let _ = b.attack("a").unwrap();
         let bogus = NodeId::new(17);
-        assert!(matches!(b.or("g", [bogus]), Err(AdtError::InvalidNode { .. })));
+        assert!(matches!(
+            b.or("g", [bogus]),
+            Err(AdtError::InvalidNode { .. })
+        ));
     }
 
     #[test]
@@ -902,7 +951,10 @@ mod tests {
         let a = b.attack("a").unwrap();
         let _orphan = b.attack("orphan").unwrap();
         let root = b.or("root", [a]).unwrap();
-        assert_eq!(b.build(root).unwrap_err(), AdtError::Unreachable("orphan".into()));
+        assert_eq!(
+            b.build(root).unwrap_err(),
+            AdtError::Unreachable("orphan".into())
+        );
     }
 
     #[test]
@@ -945,8 +997,11 @@ mod tests {
     fn descendants_of_inner_node() {
         let adt = fig3_structure();
         let d_eff = adt.node_id("d_eff").unwrap();
-        let names: Vec<_> =
-            adt.descendants(d_eff).iter().map(|&v| adt[v].name().to_owned()).collect();
+        let names: Vec<_> = adt
+            .descendants(d_eff)
+            .iter()
+            .map(|&v| adt[v].name().to_owned())
+            .collect();
         assert_eq!(names, vec!["d1", "d2", "d_and", "a1", "d_eff"]);
     }
 
@@ -1001,7 +1056,10 @@ mod tests {
     fn require_reports_unknown_names() {
         let adt = fig3_structure();
         assert!(adt.require("a1").is_ok());
-        assert_eq!(adt.require("zz").unwrap_err(), AdtError::UnknownName("zz".into()));
+        assert_eq!(
+            adt.require("zz").unwrap_err(),
+            AdtError::UnknownName("zz".into())
+        );
     }
 
     #[test]

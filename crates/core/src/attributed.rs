@@ -57,7 +57,13 @@ impl<DD: AttributeDomain, DA: AttributeDomain> AugmentedAdt<DD, DA> {
     pub fn builder(adt: Adt, dom_def: DD, dom_att: DA) -> AugmentedAdtBuilder<DD, DA> {
         let att = vec![None; adt.attack_count()];
         let def = vec![None; adt.defense_count()];
-        AugmentedAdtBuilder { adt, dom_def, dom_att, def_values: def, att_values: att }
+        AugmentedAdtBuilder {
+            adt,
+            dom_def,
+            dom_att,
+            def_values: def,
+            att_values: att,
+        }
     }
 
     /// Attributes the tree by evaluating one closure per basic attack step
@@ -71,7 +77,13 @@ impl<DD: AttributeDomain, DA: AttributeDomain> AugmentedAdt<DD, DA> {
     ) -> Self {
         let def_values = adt.defenses().iter().map(|&d| def_fn(&adt, d)).collect();
         let att_values = adt.attacks().iter().map(|&a| att_fn(&adt, a)).collect();
-        AugmentedAdt { adt, dom_def, dom_att, def_values, att_values }
+        AugmentedAdt {
+            adt,
+            dom_def,
+            dom_att,
+            def_values,
+            att_values,
+        }
     }
 
     /// The underlying tree.
@@ -172,7 +184,10 @@ impl<DD: AttributeDomain, DA: AttributeDomain> AugmentedAdt<DD, DA> {
     ///
     /// Returns [`AdtError::VectorLength`] on mismatched vectors.
     pub fn event_metric(&self, event: &Event) -> Result<(DD::Value, DA::Value), AdtError> {
-        Ok((self.defense_metric(&event.0)?, self.attack_metric(&event.1)?))
+        Ok((
+            self.defense_metric(&event.0)?,
+            self.attack_metric(&event.1)?,
+        ))
     }
 
     /// `β̂_D` over a bit mask (bit `i` activates defense position `i`); the
@@ -223,10 +238,20 @@ where
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.adt)?;
         for (pos, &id) in self.adt.attacks().iter().enumerate() {
-            writeln!(f, "  β_A({}) = {}", self.adt[id].name(), self.att_values[pos])?;
+            writeln!(
+                f,
+                "  β_A({}) = {}",
+                self.adt[id].name(),
+                self.att_values[pos]
+            )?;
         }
         for (pos, &id) in self.adt.defenses().iter().enumerate() {
-            writeln!(f, "  β_D({}) = {}", self.adt[id].name(), self.def_values[pos])?;
+            writeln!(
+                f,
+                "  β_D({}) = {}",
+                self.adt[id].name(),
+                self.def_values[pos]
+            )?;
         }
         Ok(())
     }
@@ -320,7 +345,10 @@ impl<DD: AttributeDomain, DA: AttributeDomain> AugmentedAdtBuilder<DD, DA> {
             return Err(AdtError::AttributeOnGate(name.to_owned()));
         }
         if node.agent() != expected {
-            return Err(AdtError::WrongAgent { node: name.to_owned(), expected });
+            return Err(AdtError::WrongAgent {
+                node: name.to_owned(),
+                expected,
+            });
         }
         Ok(self.adt.basic_position(id).expect("leaves have positions"))
     }
@@ -428,11 +456,17 @@ mod tests {
         );
         assert_eq!(
             b.clone().attack_value("d1", 1u64).unwrap_err(),
-            AdtError::WrongAgent { node: "d1".into(), expected: Agent::Attacker }
+            AdtError::WrongAgent {
+                node: "d1".into(),
+                expected: Agent::Attacker
+            }
         );
         assert_eq!(
             b.defense_value("a1", 1u64).unwrap_err(),
-            AdtError::WrongAgent { node: "a1".into(), expected: Agent::Defender }
+            AdtError::WrongAgent {
+                node: "a1".into(),
+                expected: Agent::Defender
+            }
         );
     }
 
@@ -478,10 +512,7 @@ mod tests {
         let alpha = t.adt().attack_vector(["a"]).unwrap();
         assert_eq!(t.attack_metric(&alpha).unwrap(), Prob::new(0.8).unwrap());
         // The empty attack has probability 1 (the unit of ·).
-        assert_eq!(
-            t.attack_metric(&AttackVector::none(1)).unwrap(),
-            Prob::ONE
-        );
+        assert_eq!(t.attack_metric(&AttackVector::none(1)).unwrap(), Prob::ONE);
     }
 
     #[test]
@@ -507,11 +538,17 @@ mod tests {
         let t = fig3();
         assert!(matches!(
             t.defense_metric(&DefenseVector::none(5)),
-            Err(AdtError::VectorLength { expected: 2, found: 5 })
+            Err(AdtError::VectorLength {
+                expected: 2,
+                found: 5
+            })
         ));
         assert!(matches!(
             t.attack_metric(&AttackVector::none(1)),
-            Err(AdtError::VectorLength { expected: 3, found: 1 })
+            Err(AdtError::VectorLength {
+                expected: 3,
+                found: 1
+            })
         ));
     }
 

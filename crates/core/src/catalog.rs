@@ -33,11 +33,7 @@ fn build(f: impl FnOnce(&mut AdtBuilder) -> Result<crate::node::NodeId, AdtError
     b.build(root).expect("catalog trees are well-formed")
 }
 
-fn attribute(
-    adt: Adt,
-    attacks: &[(&str, u64)],
-    defenses: &[(&str, u64)],
-) -> CostAdt {
+fn attribute(adt: Adt, attacks: &[(&str, u64)], defenses: &[(&str, u64)]) -> CostAdt {
     let mut builder = AugmentedAdt::builder(adt, MinCost, MinCost);
     for &(name, cost) in attacks {
         builder = builder
@@ -73,7 +69,13 @@ pub fn fig1() -> CostAdt {
     });
     attribute(
         adt,
-        &[("bu", 60), ("pa", 10), ("esv", 30), ("acv", 25), ("sdk", 15)],
+        &[
+            ("bu", 60),
+            ("pa", 10),
+            ("esv", 30),
+            ("acv", 25),
+            ("sdk", 15),
+        ],
         &[],
     )
 }
@@ -109,7 +111,14 @@ pub fn fig2() -> CostAdt {
     });
     attribute(
         adt,
-        &[("bu", 60), ("pa", 10), ("esv", 30), ("acv", 25), ("sdk", 15), ("dns", 20)],
+        &[
+            ("bu", 60),
+            ("pa", 10),
+            ("esv", 30),
+            ("acv", 25),
+            ("sdk", 15),
+            ("dns", 20),
+        ],
         &[("aput", 12), ("sko", 8), ("su", 5)],
     )
 }
@@ -134,7 +143,11 @@ pub fn fig3() -> CostAdt {
         let a3 = b.attack("a3")?;
         b.or("root", [guarded, a3])
     });
-    attribute(adt, &[("a1", 5), ("a2", 10), ("a3", 20)], &[("d1", 5), ("d2", 10)])
+    attribute(
+        adt,
+        &[("a1", 5), ("a2", 10), ("a3", 20)],
+        &[("d1", 5), ("d2", 10)],
+    )
 }
 
 /// Fig. 4: the worst-case family with `|PF(T)| = 2^n`.
@@ -164,10 +177,8 @@ pub fn fig4(n: u32) -> CostAdt {
         }
         b.or("root", gates)
     });
-    let attacks: Vec<(&str, u64)> =
-        attacks.iter().map(|(n, c)| (n.as_str(), *c)).collect();
-    let defenses: Vec<(&str, u64)> =
-        defenses.iter().map(|(n, c)| (n.as_str(), *c)).collect();
+    let attacks: Vec<(&str, u64)> = attacks.iter().map(|(n, c)| (n.as_str(), *c)).collect();
+    let defenses: Vec<(&str, u64)> = defenses.iter().map(|(n, c)| (n.as_str(), *c)).collect();
     attribute(adt, &attacks, &defenses)
 }
 
@@ -309,9 +320,15 @@ mod tests {
         assert_eq!(t.adt().root_agent(), Agent::Attacker);
         // Credentials alone are not enough: phishing without the key fails.
         let alpha = t.adt().attack_vector(["pa"]).unwrap();
-        assert!(!t.adt().attack_succeeds(&DefenseVector::none(0), &alpha).unwrap());
+        assert!(!t
+            .adt()
+            .attack_succeeds(&DefenseVector::none(0), &alpha)
+            .unwrap());
         let alpha = t.adt().attack_vector(["pa", "sdk"]).unwrap();
-        assert!(t.adt().attack_succeeds(&DefenseVector::none(0), &alpha).unwrap());
+        assert!(t
+            .adt()
+            .attack_succeeds(&DefenseVector::none(0), &alpha)
+            .unwrap());
     }
 
     #[test]

@@ -38,10 +38,7 @@ where
     })
 }
 
-fn render(
-    adt: &Adt,
-    value_label: impl Fn(&Adt, crate::node::NodeId) -> Option<String>,
-) -> String {
+fn render(adt: &Adt, value_label: impl Fn(&Adt, crate::node::NodeId) -> Option<String>) -> String {
     let mut out = String::from("digraph adt {\n");
     out.push_str("    rankdir=TB;\n");
     for (id, node) in adt.iter() {

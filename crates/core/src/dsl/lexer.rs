@@ -72,7 +72,11 @@ pub(crate) fn lex(source: &str) -> Result<Vec<Spanned>, DslError> {
     loop {
         let (tok_line, tok_col) = (line, col);
         let Some(&c) = chars.peek() else {
-            tokens.push(Spanned { token: Token::Eof, line, col });
+            tokens.push(Spanned {
+                token: Token::Eof,
+                line,
+                col,
+            });
             return Ok(tokens);
         };
         match c {
@@ -112,7 +116,11 @@ pub(crate) fn lex(source: &str) -> Result<Vec<Spanned>, DslError> {
                     '=' => Token::Eq,
                     _ => Token::Bang,
                 };
-                tokens.push(Spanned { token, line: tok_line, col: tok_col });
+                tokens.push(Spanned {
+                    token,
+                    line: tok_line,
+                    col: tok_col,
+                });
             }
             '"' => {
                 bump!();
@@ -130,7 +138,11 @@ pub(crate) fn lex(source: &str) -> Result<Vec<Spanned>, DslError> {
                         Some(c) => s.push(c),
                     }
                 }
-                tokens.push(Spanned { token: Token::Str(s), line: tok_line, col: tok_col });
+                tokens.push(Spanned {
+                    token: Token::Str(s),
+                    line: tok_line,
+                    col: tok_col,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut text = String::new();
@@ -164,7 +176,11 @@ pub(crate) fn lex(source: &str) -> Result<Vec<Spanned>, DslError> {
                         }
                     }
                 };
-                tokens.push(Spanned { token, line: tok_line, col: tok_col });
+                tokens.push(Spanned {
+                    token,
+                    line: tok_line,
+                    col: tok_col,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut text = String::new();
@@ -221,7 +237,12 @@ mod tests {
     fn numbers() {
         assert_eq!(
             kinds("5 0.25 100"),
-            vec![Token::Int(5), Token::Float(0.25), Token::Int(100), Token::Eof]
+            vec![
+                Token::Int(5),
+                Token::Float(0.25),
+                Token::Int(100),
+                Token::Eof
+            ]
         );
     }
 
@@ -237,7 +258,11 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             kinds("a // rest of line\n# hash comment\nb"),
-            vec![Token::Ident("a".into()), Token::Ident("b".into()), Token::Eof]
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Eof
+            ]
         );
     }
 

@@ -92,11 +92,13 @@ impl Document {
     {
         let attrs = attrs
             .into_iter()
-            .filter(|(id, values)| {
-                adt.get(*id).is_some_and(Node::is_leaf) && !values.is_empty()
-            })
+            .filter(|(id, values)| adt.get(*id).is_some_and(Node::is_leaf) && !values.is_empty())
             .collect();
-        Document { name: name.into(), adt, attrs }
+        Document {
+            name: name.into(),
+            adt,
+            attrs,
+        }
     }
 
     /// Wraps a min-cost/min-cost augmented tree as a document whose leaves
@@ -134,7 +136,10 @@ impl Document {
 
     /// Looks up one attribute of one node.
     pub fn attr(&self, node: NodeId, key: &str) -> Option<AttrValue> {
-        self.attrs(node).iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+        self.attrs(node)
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
     }
 
     /// Renders the document back to DSL text; parsing the output yields a
@@ -203,7 +208,11 @@ impl DslError {
     }
 
     pub(crate) fn plain(kind: DslErrorKind) -> Self {
-        DslError { line: 0, col: 0, kind }
+        DslError {
+            line: 0,
+            col: 0,
+            kind,
+        }
     }
 }
 
@@ -358,7 +367,10 @@ mod tests {
         let err = doc.to_cost_adt("cost").unwrap_err();
         assert_eq!(
             err.kind,
-            DslErrorKind::MissingAttr { node: "a".into(), key: "cost".into() }
+            DslErrorKind::MissingAttr {
+                node: "a".into(),
+                key: "cost".into()
+            }
         );
     }
 

@@ -9,10 +9,24 @@ use crate::node::{Agent, NodeId};
 
 #[derive(Debug)]
 enum Decl {
-    Leaf { agent: Agent, name: String, attrs: Vec<(String, AttrValue)> },
-    And { name: String, children: Vec<String> },
-    Or { name: String, children: Vec<String> },
-    Inh { name: String, inhibited: String, trigger: String },
+    Leaf {
+        agent: Agent,
+        name: String,
+        attrs: Vec<(String, AttrValue)>,
+    },
+    And {
+        name: String,
+        children: Vec<String>,
+    },
+    Or {
+        name: String,
+        children: Vec<String>,
+    },
+    Inh {
+        name: String,
+        inhibited: String,
+        trigger: String,
+    },
 }
 
 impl Decl {
@@ -31,7 +45,9 @@ impl Decl {
             Decl::And { children, .. } | Decl::Or { children, .. } => {
                 children.iter().map(String::as_str).collect()
             }
-            Decl::Inh { inhibited, trigger, .. } => vec![inhibited, trigger],
+            Decl::Inh {
+                inhibited, trigger, ..
+            } => vec![inhibited, trigger],
         }
     }
 }
@@ -65,7 +81,10 @@ impl Parser {
         DslError::new(
             here.line,
             here.col,
-            DslErrorKind::UnexpectedToken { found: here.token.describe(), expected },
+            DslErrorKind::UnexpectedToken {
+                found: here.token.describe(),
+                expected,
+            },
         )
     }
 
@@ -107,7 +126,10 @@ impl Parser {
     fn document(&mut self) -> Result<Document, DslError> {
         self.keyword("adt")?;
         let name = match self.bump() {
-            Spanned { token: Token::Str(s), .. } => s,
+            Spanned {
+                token: Token::Str(s),
+                ..
+            } => s,
             _ => {
                 self.pos = self.pos.saturating_sub(1);
                 return Err(self.error("a document name string"));
@@ -156,7 +178,11 @@ impl Parser {
                         self.expect(Token::Bang, "`!`")?;
                         let trigger = self.node_name()?;
                         self.expect(Token::RParen, "`)`")?;
-                        decls.push(Decl::Inh { name, inhibited, trigger });
+                        decls.push(Decl::Inh {
+                            name,
+                            inhibited,
+                            trigger,
+                        });
                     }
                     "root" => {
                         self.bump();
@@ -313,7 +339,11 @@ fn instantiate(
     for &i in &order {
         let decl = &decls[i];
         let result = match decl {
-            Decl::Leaf { agent, name, attrs: leaf_attrs } => {
+            Decl::Leaf {
+                agent,
+                name,
+                attrs: leaf_attrs,
+            } => {
                 let id = builder.leaf(*agent, name.clone());
                 if let Ok(id) = id {
                     if !leaf_attrs.is_empty() {
@@ -330,9 +360,11 @@ fn instantiate(
                 let kids: Vec<NodeId> = children.iter().map(|c| ids[c.as_str()]).collect();
                 builder.or(name.clone(), kids)
             }
-            Decl::Inh { name, inhibited, trigger } => {
-                builder.inh(name.clone(), ids[inhibited.as_str()], ids[trigger.as_str()])
-            }
+            Decl::Inh {
+                name,
+                inhibited,
+                trigger,
+            } => builder.inh(name.clone(), ids[inhibited.as_str()], ids[trigger.as_str()]),
         };
         let id = result.map_err(|e| DslError::plain(DslErrorKind::Adt(e)))?;
         ids.insert(decl.name(), id);
@@ -342,14 +374,21 @@ fn instantiate(
         return Err(DslError::new(
             root_line,
             root_col,
-            DslErrorKind::UnknownChild { gate: "root".to_owned(), child: root_name.to_owned() },
+            DslErrorKind::UnknownChild {
+                gate: "root".to_owned(),
+                child: root_name.to_owned(),
+            },
         ));
     };
     let adt = builder
         .build(root_id)
         .map_err(|e| DslError::plain(DslErrorKind::Adt(e)))?;
     // Re-key attributes: builder node ids survive `build` unchanged.
-    Ok(Document { name: doc_name, adt, attrs })
+    Ok(Document {
+        name: doc_name,
+        adt,
+        attrs,
+    })
 }
 
 #[cfg(test)]
@@ -414,7 +453,10 @@ mod tests {
         let err = Document::parse(src).unwrap_err();
         assert_eq!(
             err.kind,
-            DslErrorKind::UnknownChild { gate: "g".into(), child: "nope".into() }
+            DslErrorKind::UnknownChild {
+                gate: "g".into(),
+                child: "nope".into()
+            }
         );
     }
 
@@ -460,7 +502,10 @@ mod tests {
         let err = Document::parse(src).unwrap_err();
         assert_eq!(
             err.kind,
-            DslErrorKind::Adt(AdtError::MixedAgents { gate: "g".into(), child: "d".into() })
+            DslErrorKind::Adt(AdtError::MixedAgents {
+                gate: "g".into(),
+                child: "d".into()
+            })
         );
     }
 
@@ -474,7 +519,10 @@ mod tests {
             }
         "#;
         let err = Document::parse(src).unwrap_err();
-        assert_eq!(err.kind, DslErrorKind::Adt(AdtError::Unreachable("orphan".into())));
+        assert_eq!(
+            err.kind,
+            DslErrorKind::Adt(AdtError::Unreachable("orphan".into()))
+        );
     }
 
     #[test]

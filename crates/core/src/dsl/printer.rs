@@ -30,7 +30,11 @@ pub fn print_document(doc: &Document) -> String {
                 out.push('\n');
             }
             Gate::And | Gate::Or => {
-                let keyword = if node.gate() == Gate::And { "and" } else { "or" };
+                let keyword = if node.gate() == Gate::And {
+                    "and"
+                } else {
+                    "or"
+                };
                 let kids = node
                     .children()
                     .iter()

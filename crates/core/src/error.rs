@@ -85,7 +85,10 @@ impl fmt::Display for AdtError {
                 write!(f, "unknown node name `{name}`")
             }
             AdtError::InvalidNode { id, len } => {
-                write!(f, "node id {id} is out of range for a tree with {len} nodes")
+                write!(
+                    f,
+                    "node id {id} is out of range for a tree with {len} nodes"
+                )
             }
             AdtError::EmptyGate(name) => {
                 write!(f, "gate `{name}` has no children")
@@ -138,31 +141,61 @@ mod tests {
     #[test]
     fn display_is_lowercase_and_informative() {
         let cases: Vec<(AdtError, &str)> = vec![
-            (AdtError::DuplicateName("a".into()), "duplicate node name `a`"),
+            (
+                AdtError::DuplicateName("a".into()),
+                "duplicate node name `a`",
+            ),
             (AdtError::UnknownName("x".into()), "unknown node name `x`"),
             (
-                AdtError::InvalidNode { id: NodeId::new(7), len: 3 },
+                AdtError::InvalidNode {
+                    id: NodeId::new(7),
+                    len: 3,
+                },
                 "node id #7 is out of range for a tree with 3 nodes",
             ),
             (AdtError::EmptyGate("g".into()), "gate `g` has no children"),
             (
-                AdtError::DuplicateChild { gate: "g".into(), child: "c".into() },
+                AdtError::DuplicateChild {
+                    gate: "g".into(),
+                    child: "c".into(),
+                },
                 "gate `g` lists child `c` more than once",
             ),
             (
-                AdtError::MixedAgents { gate: "g".into(), child: "c".into() },
+                AdtError::MixedAgents {
+                    gate: "g".into(),
+                    child: "c".into(),
+                },
                 "gate `g` and its child `c` belong to different agents",
             ),
-            (AdtError::Unreachable("n".into()), "node `n` is not reachable from the root"),
-            (AdtError::Cycle("n".into()), "cycle detected through node `n`"),
-            (AdtError::MissingAttribute("b".into()), "basic step `b` has no attribute value"),
-            (AdtError::AttributeOnGate("g".into()), "attribute assigned to non-leaf node `g`"),
             (
-                AdtError::WrongAgent { node: "d".into(), expected: Agent::Attacker },
+                AdtError::Unreachable("n".into()),
+                "node `n` is not reachable from the root",
+            ),
+            (
+                AdtError::Cycle("n".into()),
+                "cycle detected through node `n`",
+            ),
+            (
+                AdtError::MissingAttribute("b".into()),
+                "basic step `b` has no attribute value",
+            ),
+            (
+                AdtError::AttributeOnGate("g".into()),
+                "attribute assigned to non-leaf node `g`",
+            ),
+            (
+                AdtError::WrongAgent {
+                    node: "d".into(),
+                    expected: Agent::Attacker,
+                },
                 "node `d` does not belong to agent A",
             ),
             (
-                AdtError::VectorLength { expected: 3, found: 2 },
+                AdtError::VectorLength {
+                    expected: 3,
+                    found: 2,
+                },
                 "vector has length 2, expected 3",
             ),
             (AdtError::Empty, "the tree has no nodes"),

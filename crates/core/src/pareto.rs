@@ -77,7 +77,9 @@ where
 
     /// A front holding a single point.
     pub fn singleton(point: (VD, VA)) -> Self {
-        ParetoFront { points: vec![point] }
+        ParetoFront {
+            points: vec![point],
+        }
     }
 
     /// Reduces an arbitrary set of points to its Pareto front
@@ -134,15 +136,65 @@ where
     }
 
     /// Union of two fronts, reduced.
+    ///
+    /// Exploits the canonical staircase invariant: both inputs are already
+    /// sorted by the reduction comparator, so a two-pointer sweep replays
+    /// exactly the merged order [`from_points`](Self::from_points) would
+    /// sort into and applies the same dominance filter on the fly —
+    /// `O(n + m)` instead of `O((n + m) log(n + m))`, with no intermediate
+    /// concatenated `Vec`.
     pub fn merge<DD, DA>(&self, other: &Self, dom_def: &DD, dom_att: &DA) -> Self
     where
         DD: AttributeDomain<Value = VD>,
         DA: AttributeDomain<Value = VA>,
     {
-        let mut points = Vec::with_capacity(self.len() + other.len());
-        points.extend_from_slice(&self.points);
-        points.extend_from_slice(&other.points);
-        Self::from_points(points, dom_def, dom_att)
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let (a, b) = (&self.points, &other.points);
+        let mut reduced: Vec<(VD, VA)> = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            // Pick the next point in the canonical sort order: defender
+            // ascending, and within equal defender values the ⪯_A-greatest
+            // attacker value first (the reduction comparator of
+            // `from_points`).
+            let next = if i == a.len() {
+                let p = &b[j];
+                j += 1;
+                p
+            } else if j == b.len() {
+                let p = &a[i];
+                i += 1;
+                p
+            } else {
+                let take_a = match dom_def.compare(&a[i].0, &b[j].0) {
+                    Ordering::Less => true,
+                    Ordering::Greater => false,
+                    Ordering::Equal => dom_att.compare(&b[j].1, &a[i].1) != Ordering::Greater,
+                };
+                if take_a {
+                    let p = &a[i];
+                    i += 1;
+                    p
+                } else {
+                    let p = &b[j];
+                    j += 1;
+                    p
+                }
+            };
+            let keep = match reduced.last() {
+                None => true,
+                Some(last) => dom_att.compare(&next.1, &last.1) == Ordering::Greater,
+            };
+            if keep {
+                reduced.push(next.clone());
+            }
+        }
+        ParetoFront { points: reduced }
     }
 
     /// Pairwise combination of two fronts, reduced: defender coordinates are
@@ -150,6 +202,15 @@ where
     ///
     /// This is steps 2–4 of the paper's bottom-up algorithm: the operator
     /// for the attacker coordinate is chosen per gate by Table II.
+    ///
+    /// Because `⊗` is `⪯`-monotone (an [`AttributeDomain`] axiom), pairing
+    /// one point of `self` with the whole of `other` yields points that are
+    /// already weakly ascending in both coordinates, so each such row
+    /// reduces to a staircase in one dominance sweep — no sorting — and the
+    /// rows fold together through the linear [`merge`](Self::merge). A
+    /// domain that violates the monotonicity axiom is still handled: the
+    /// row sweep detects out-of-order points and falls back to the
+    /// sort-based [`from_points`](Self::from_points) for that row.
     pub fn product<DD, DA>(
         &self,
         other: &Self,
@@ -161,27 +222,208 @@ where
         DD: AttributeDomain<Value = VD>,
         DA: AttributeDomain<Value = VA>,
     {
-        let mut points = Vec::with_capacity(self.len() * other.len());
-        for (d1, a1) in &self.points {
-            for (d2, a2) in &other.points {
-                points.push((dom_def.mul(d1, d2), att_op.apply(dom_att, a1, a2)));
-            }
+        if self.is_empty() || other.is_empty() {
+            return Self::empty();
         }
-        Self::from_points(points, dom_def, dom_att)
+        let mut acc: Option<Self> = None;
+        for (d1, a1) in &self.points {
+            let row = Self::product_row(d1, a1, other, dom_def, dom_att, att_op);
+            acc = Some(match acc {
+                None => row,
+                Some(front) => front.merge(&row, dom_def, dom_att),
+            });
+        }
+        acc.expect("nonempty fronts produce at least one row")
     }
 
-    /// Whether some point of the front dominates `q`.
-    pub fn dominates_point<DD, DA>(
-        &self,
+    /// One row of a [`product`](Self::product): `(d1, a1)` combined with
+    /// every point of `other`, reduced to a canonical staircase.
+    fn product_row<DD, DA>(
+        d1: &VD,
+        a1: &VA,
+        other: &Self,
         dom_def: &DD,
         dom_att: &DA,
-        q: &(VD, VA),
-    ) -> bool
+        att_op: SemiringOp,
+    ) -> Self
     where
         DD: AttributeDomain<Value = VD>,
         DA: AttributeDomain<Value = VA>,
     {
-        self.points.iter().any(|p| dominates(dom_def, dom_att, p, q))
+        let mut row: Vec<(VD, VA)> = Vec::with_capacity(other.len());
+        for (consumed, (d2, a2)) in other.points.iter().enumerate() {
+            let point = (dom_def.mul(d1, d2), att_op.apply(dom_att, a1, a2));
+            let Some(last) = row.last_mut() else {
+                row.push(point);
+                continue;
+            };
+            match dom_def.compare(&last.0, &point.0) {
+                Ordering::Greater => {
+                    // ⊗ turned out not to be monotone here; give up on the
+                    // sweep and reduce the raw row by sorting. Points the
+                    // sweep already dropped were each dominated by a kept
+                    // point, so reducing the kept ones plus the remainder
+                    // of the row loses nothing.
+                    row.push(point);
+                    let rest = other.points[consumed + 1..]
+                        .iter()
+                        .map(|(d2, a2)| (dom_def.mul(d1, d2), att_op.apply(dom_att, a1, a2)));
+                    row.extend(rest);
+                    return Self::from_points(row, dom_def, dom_att);
+                }
+                Ordering::Equal => {
+                    // Same defender cost: keep the ⪯_A-greatest attacker
+                    // value, which with ascending inputs is the newer one.
+                    if dom_att.compare(&point.1, &last.1) == Ordering::Greater {
+                        *last = point;
+                    }
+                }
+                Ordering::Less => {
+                    // Strictly more expensive for the defender: keep only
+                    // if it strictly improves the attacker coordinate.
+                    if dom_att.compare(&point.1, &last.1) == Ordering::Greater {
+                        row.push(point);
+                    }
+                }
+            }
+        }
+        ParetoFront { points: row }
+    }
+
+    /// The reduced union of `self` with `other` shifted by `cost`
+    /// (`(s, t) ↦ (cost ⊗_D s, t)`) — the whole defense-level step of
+    /// `BDDBU` (Algorithm 3, lines 11–14) in one `O(n + m)` sweep, without
+    /// materializing the shifted front.
+    ///
+    /// Monotonicity of `⊗_D` keeps the lazily shifted points sorted; if a
+    /// non-monotone domain breaks that, the computation restarts through
+    /// [`shift_defender`](Self::shift_defender) + [`merge`](Self::merge),
+    /// which handle it.
+    pub fn merge_shifted<DD, DA>(&self, other: &Self, cost: &VD, dom_def: &DD, dom_att: &DA) -> Self
+    where
+        DD: AttributeDomain<Value = VD>,
+        DA: AttributeDomain<Value = VA>,
+    {
+        if other.is_empty() {
+            return self.clone();
+        }
+        let (a, b) = (&self.points, &other.points);
+        let mut reduced: Vec<(VD, VA)> = Vec::with_capacity(a.len() + b.len());
+        let mut i = 0;
+        let mut j = 0;
+        let mut shifted_b: Option<(VD, VA)> = Some((dom_def.mul(cost, &b[0].0), b[0].1.clone()));
+        while i < a.len() || shifted_b.is_some() {
+            let next: (VD, VA) = match (&shifted_b, a.get(i)) {
+                (None, Some(p)) => {
+                    i += 1;
+                    p.clone()
+                }
+                (Some(_), ai) => {
+                    let take_a = match ai {
+                        None => false,
+                        Some(p) => {
+                            let q = shifted_b.as_ref().expect("checked above");
+                            match dom_def.compare(&p.0, &q.0) {
+                                Ordering::Less => true,
+                                Ordering::Greater => false,
+                                Ordering::Equal => dom_att.compare(&q.1, &p.1) != Ordering::Greater,
+                            }
+                        }
+                    };
+                    if take_a {
+                        i += 1;
+                        a[i - 1].clone()
+                    } else {
+                        let q = shifted_b.take().expect("checked above");
+                        j += 1;
+                        if let Some(raw) = b.get(j) {
+                            let next_shift = (dom_def.mul(cost, &raw.0), raw.1.clone());
+                            if dom_def.compare(&next_shift.0, &q.0) == Ordering::Less {
+                                // ⊗_D is not monotone for this domain;
+                                // redo the whole step through the
+                                // sort-tolerant pieces.
+                                let shifted = other.shift_defender(cost, dom_def, dom_att);
+                                return self.merge(&shifted, dom_def, dom_att);
+                            }
+                            shifted_b = Some(next_shift);
+                        }
+                        q
+                    }
+                }
+                (None, None) => unreachable!("loop condition"),
+            };
+            match reduced.last_mut() {
+                None => reduced.push(next),
+                Some(last) => {
+                    if dom_att.compare(&next.1, &last.1) == Ordering::Greater {
+                        // The shift can collapse distinct defender values
+                        // onto one (e.g. an ∞-cost defense, or saturating
+                        // arithmetic), and those equal-defender points
+                        // arrive attacker-ascending — the better one must
+                        // supersede the kept one, not join it.
+                        if dom_def.compare(&last.0, &next.0) == Ordering::Equal {
+                            *last = next;
+                        } else {
+                            reduced.push(next);
+                        }
+                    }
+                }
+            }
+        }
+        ParetoFront { points: reduced }
+    }
+
+    /// The front obtained by multiplying every defender coordinate with
+    /// `cost` (`(s, t) ↦ (cost ⊗_D s, t)`), reduced.
+    ///
+    /// This is the "buy the defense" shift of `BDDBU` (Algorithm 3, line
+    /// 13). Because `⊗_D` is `⪯`-monotone, the shifted points stay weakly
+    /// ascending in both coordinates, so one dominance sweep re-reduces
+    /// them in `O(p)` — no sort. A domain violating the monotonicity axiom
+    /// falls back to the sort-based reduction.
+    pub fn shift_defender<DD, DA>(&self, cost: &VD, dom_def: &DD, dom_att: &DA) -> Self
+    where
+        DD: AttributeDomain<Value = VD>,
+        DA: AttributeDomain<Value = VA>,
+    {
+        let mut shifted: Vec<(VD, VA)> = Vec::with_capacity(self.len());
+        for (index, (d, a)) in self.points.iter().enumerate() {
+            let point = (dom_def.mul(cost, d), a.clone());
+            let Some(last) = shifted.last_mut() else {
+                shifted.push(point);
+                continue;
+            };
+            match dom_def.compare(&last.0, &point.0) {
+                Ordering::Greater => {
+                    // Non-monotone ⊗_D; reduce by sorting instead.
+                    shifted.push(point);
+                    shifted.extend(
+                        self.points[index + 1..]
+                            .iter()
+                            .map(|(d, a)| (dom_def.mul(cost, d), a.clone())),
+                    );
+                    return Self::from_points(shifted, dom_def, dom_att);
+                }
+                // The attacker coordinates of a canonical front are already
+                // strictly ascending, so an equal defender value means the
+                // newer point supersedes the previous one, and a greater
+                // one extends the staircase.
+                Ordering::Equal => *last = point,
+                Ordering::Less => shifted.push(point),
+            }
+        }
+        ParetoFront { points: shifted }
+    }
+
+    /// Whether some point of the front dominates `q`.
+    pub fn dominates_point<DD, DA>(&self, dom_def: &DD, dom_att: &DA, q: &(VD, VA)) -> bool
+    where
+        DD: AttributeDomain<Value = VD>,
+        DA: AttributeDomain<Value = VA>,
+    {
+        self.points
+            .iter()
+            .any(|p| dominates(dom_def, dom_att, p, q))
     }
 
     /// The defender's best achievable point within a budget: among front
@@ -259,16 +501,15 @@ mod tests {
     type Front = ParetoFront<Ext<u64>, Ext<u64>>;
 
     fn fin(points: &[(u64, u64)]) -> Vec<(Ext<u64>, Ext<u64>)> {
-        points.iter().map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a))).collect()
+        points
+            .iter()
+            .map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a)))
+            .collect()
     }
 
     #[test]
     fn example3_single_dominating_point() {
-        let front = Front::from_points(
-            fin(&[(10, 10), (5, 20), (5, 5)]),
-            &MinCost,
-            &MinCost,
-        );
+        let front = Front::from_points(fin(&[(10, 10), (5, 20), (5, 5)]), &MinCost, &MinCost);
         assert_eq!(front.points(), &fin(&[(5, 20)])[..]);
     }
 
@@ -375,6 +616,24 @@ mod tests {
     }
 
     #[test]
+    fn merge_shifted_collapses_equal_shifted_defenders() {
+        // An unaffordable (∞-cost) defense maps every point of the bought
+        // branch onto the same defender value; the sweep must keep only
+        // the best attacker value among them, like from_points would.
+        let skip = Front::from_points(fin(&[(0, 5)]), &MinCost, &MinCost);
+        let buy = Front::from_points(fin(&[(0, 10), (5, 20)]), &MinCost, &MinCost);
+        let merged = skip.merge_shifted(&buy, &Ext::Inf, &MinCost, &MinCost);
+        assert_eq!(
+            merged.points(),
+            &[(Ext::Fin(0), Ext::Fin(5)), (Ext::Inf, Ext::Fin(20))]
+        );
+        assert!(merged.is_canonical(&MinCost, &MinCost));
+        // Same through the two-step oracle.
+        let shifted = buy.shift_defender(&Ext::Inf, &MinCost, &MinCost);
+        assert_eq!(merged, skip.merge(&shifted, &MinCost, &MinCost));
+    }
+
+    #[test]
     fn dominates_point_over_front() {
         let front = Front::from_points(fin(&[(0, 10), (5, 30)]), &MinCost, &MinCost);
         assert!(front.dominates_point(&MinCost, &MinCost, &(Ext::Fin(6), Ext::Fin(30))));
@@ -384,11 +643,7 @@ mod tests {
 
     #[test]
     fn best_within_budget_walks_the_staircase() {
-        let front = Front::from_points(
-            fin(&[(0, 90), (30, 150), (50, 165)]),
-            &MinCost,
-            &MinCost,
-        );
+        let front = Front::from_points(fin(&[(0, 90), (30, 150), (50, 165)]), &MinCost, &MinCost);
         let at = |b: u64| {
             front
                 .best_within_budget(&MinCost, &MinCost, &Ext::Fin(b))

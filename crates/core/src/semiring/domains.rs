@@ -174,7 +174,14 @@ mod tests {
     use crate::semiring::assert_domain_laws;
 
     fn ext_samples() -> Vec<Ext<u64>> {
-        vec![Ext::Fin(0), Ext::Fin(1), Ext::Fin(5), Ext::Fin(10), Ext::Fin(1000), Ext::Inf]
+        vec![
+            Ext::Fin(0),
+            Ext::Fin(1),
+            Ext::Fin(5),
+            Ext::Fin(10),
+            Ext::Fin(1000),
+            Ext::Inf,
+        ]
     }
 
     #[test]

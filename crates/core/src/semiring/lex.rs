@@ -75,7 +75,9 @@ where
     }
 
     fn compare(&self, x: &Self::Value, y: &Self::Value) -> Ordering {
-        self.0.compare(&x.0, &y.0).then_with(|| self.1.compare(&x.1, &y.1))
+        self.0
+            .compare(&x.0, &y.0)
+            .then_with(|| self.1.compare(&x.1, &y.1))
     }
 }
 

@@ -131,12 +131,7 @@ pub enum SemiringOp {
 
 impl SemiringOp {
     /// Applies the selected operator in the given domain.
-    pub fn apply<D: AttributeDomain>(
-        self,
-        domain: &D,
-        x: &D::Value,
-        y: &D::Value,
-    ) -> D::Value {
+    pub fn apply<D: AttributeDomain>(self, domain: &D, x: &D::Value, y: &D::Value) -> D::Value {
         match self {
             SemiringOp::Add => domain.add(x, y),
             SemiringOp::Mul => domain.mul(x, y),
@@ -163,7 +158,11 @@ pub fn assert_domain_laws<D: AttributeDomain>(domain: &D, samples: &[D::Value]) 
     let one = domain.one();
     let zero = domain.zero();
     for x in samples {
-        assert_eq!(&domain.mul(x, &one), x, "1⊗ must be the unit of ⊗ (x = {x:?})");
+        assert_eq!(
+            &domain.mul(x, &one),
+            x,
+            "1⊗ must be the unit of ⊗ (x = {x:?})"
+        );
         assert!(
             domain.le(&one, x),
             "1⊗ must be ⪯-minimal (violated by {x:?})"

@@ -85,7 +85,11 @@ impl Ord for Prob {
 impl Hash for Prob {
     fn hash<H: Hasher>(&self, state: &mut H) {
         // Normalize -0.0 so that equal values hash equally.
-        let bits = if self.0 == 0.0 { 0.0f64.to_bits() } else { self.0.to_bits() };
+        let bits = if self.0 == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            self.0.to_bits()
+        };
         bits.hash(state);
     }
 }

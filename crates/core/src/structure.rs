@@ -73,7 +73,10 @@ pub struct Evaluator<'a> {
 impl<'a> Evaluator<'a> {
     /// Creates an evaluator for the given tree.
     pub fn new(adt: &'a Adt) -> Self {
-        Evaluator { adt, values: vec![false; adt.node_count()] }
+        Evaluator {
+            adt,
+            values: vec![false; adt.node_count()],
+        }
     }
 
     /// The tree this evaluator works on.
@@ -94,10 +97,7 @@ impl<'a> Evaluator<'a> {
         alpha: &AttackVector,
     ) -> Result<bool, AdtError> {
         self.check_lengths(delta, alpha)?;
-        Ok(self.run(
-            |pos| delta.is_active(pos),
-            |pos| alpha.is_active(pos),
-        ))
+        Ok(self.run(|pos| delta.is_active(pos), |pos| alpha.is_active(pos)))
     }
 
     /// Evaluates the structure function with the activation sets given as
@@ -129,11 +129,7 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    fn check_lengths(
-        &self,
-        delta: &DefenseVector,
-        alpha: &AttackVector,
-    ) -> Result<(), AdtError> {
+    fn check_lengths(&self, delta: &DefenseVector, alpha: &AttackVector) -> Result<(), AdtError> {
         if delta.len() != self.adt.defense_count() {
             return Err(AdtError::VectorLength {
                 expected: self.adt.defense_count(),
@@ -181,7 +177,10 @@ impl<'a> Evaluator<'a> {
     }
 
     fn snapshot(&self) -> Evaluation {
-        Evaluation { values: BitVec::from_bools(&self.values), root: self.adt.root() }
+        Evaluation {
+            values: BitVec::from_bools(&self.values),
+            root: self.adt.root(),
+        }
     }
 }
 
@@ -219,7 +218,10 @@ impl Adt {
         v: NodeId,
     ) -> Result<bool, AdtError> {
         if v.index() >= self.node_count() {
-            return Err(AdtError::InvalidNode { id: v, len: self.node_count() });
+            return Err(AdtError::InvalidNode {
+                id: v,
+                len: self.node_count(),
+            });
         }
         Ok(self.evaluate(delta, alpha)?.value(v))
     }
@@ -348,16 +350,30 @@ mod tests {
     fn example2_attack_responses_on_fig3() {
         let adt = fig3();
         // With no defenses, 010 and 001 both succeed.
-        assert!(adt.attack_succeeds(&dv(&adt, "00"), &av(&adt, "010")).unwrap());
-        assert!(adt.attack_succeeds(&dv(&adt, "00"), &av(&adt, "001")).unwrap());
+        assert!(adt
+            .attack_succeeds(&dv(&adt, "00"), &av(&adt, "010"))
+            .unwrap());
+        assert!(adt
+            .attack_succeeds(&dv(&adt, "00"), &av(&adt, "001"))
+            .unwrap());
         // A single defense has no effect (AND gate of defenses).
-        assert!(adt.attack_succeeds(&dv(&adt, "10"), &av(&adt, "010")).unwrap());
-        assert!(adt.attack_succeeds(&dv(&adt, "01"), &av(&adt, "010")).unwrap());
+        assert!(adt
+            .attack_succeeds(&dv(&adt, "10"), &av(&adt, "010"))
+            .unwrap());
+        assert!(adt
+            .attack_succeeds(&dv(&adt, "01"), &av(&adt, "010"))
+            .unwrap());
         // Both defenses block 010 but not 110 (a1 disables the defense pair)
         // nor 001.
-        assert!(!adt.attack_succeeds(&dv(&adt, "11"), &av(&adt, "010")).unwrap());
-        assert!(adt.attack_succeeds(&dv(&adt, "11"), &av(&adt, "110")).unwrap());
-        assert!(adt.attack_succeeds(&dv(&adt, "11"), &av(&adt, "001")).unwrap());
+        assert!(!adt
+            .attack_succeeds(&dv(&adt, "11"), &av(&adt, "010"))
+            .unwrap());
+        assert!(adt
+            .attack_succeeds(&dv(&adt, "11"), &av(&adt, "110"))
+            .unwrap());
+        assert!(adt
+            .attack_succeeds(&dv(&adt, "11"), &av(&adt, "001"))
+            .unwrap());
     }
 
     #[test]
@@ -397,11 +413,23 @@ mod tests {
         let err = adt
             .attack_succeeds(&dv(&adt, "1"), &av(&adt, "000"))
             .unwrap_err();
-        assert_eq!(err, AdtError::VectorLength { expected: 2, found: 1 });
+        assert_eq!(
+            err,
+            AdtError::VectorLength {
+                expected: 2,
+                found: 1
+            }
+        );
         let err = adt
             .attack_succeeds(&dv(&adt, "00"), &av(&adt, "01"))
             .unwrap_err();
-        assert_eq!(err, AdtError::VectorLength { expected: 3, found: 2 });
+        assert_eq!(
+            err,
+            AdtError::VectorLength {
+                expected: 3,
+                found: 2
+            }
+        );
     }
 
     #[test]
@@ -434,10 +462,14 @@ mod tests {
         let adt = b.build(root).unwrap();
         // Phishing alone activates both branches.
         let alpha = adt.attack_vector(["phishing"]).unwrap();
-        assert!(adt.attack_succeeds(&DefenseVector::none(0), &alpha).unwrap());
+        assert!(adt
+            .attack_succeeds(&DefenseVector::none(0), &alpha)
+            .unwrap());
         // `user` alone does not.
         let alpha = adt.attack_vector(["user"]).unwrap();
-        assert!(!adt.attack_succeeds(&DefenseVector::none(0), &alpha).unwrap());
+        assert!(!adt
+            .attack_succeeds(&DefenseVector::none(0), &alpha)
+            .unwrap());
     }
 
     #[test]

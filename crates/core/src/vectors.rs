@@ -27,7 +27,10 @@ pub struct BitVec {
 impl BitVec {
     /// A vector of `len` zero bits.
     pub fn zeros(len: usize) -> Self {
-        BitVec { blocks: vec![0; len.div_ceil(64)], len }
+        BitVec {
+            blocks: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// A vector of `len` one bits.
@@ -65,7 +68,11 @@ impl BitVec {
         assert!(len <= 64, "from_mask supports at most 64 bits, got {len}");
         let mut bits = Self::zeros(len);
         if len > 0 {
-            let keep = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+            let keep = if len == 64 {
+                u64::MAX
+            } else {
+                (1u64 << len) - 1
+            };
             if !bits.blocks.is_empty() {
                 bits.blocks[0] = mask & keep;
             }
@@ -117,7 +124,11 @@ impl BitVec {
     ///
     /// Panics if `i >= len`.
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for length {}",
+            self.len
+        );
         (self.blocks[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -127,7 +138,11 @@ impl BitVec {
     ///
     /// Panics if `i >= len`.
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for length {}",
+            self.len
+        );
         let block = &mut self.blocks[i / 64];
         let bit = 1u64 << (i % 64);
         if value {
@@ -149,7 +164,11 @@ impl BitVec {
 
     /// Iterates over the indices of set bits, in increasing order.
     pub fn iter_ones(&self) -> IterOnes<'_> {
-        IterOnes { bits: self, block: 0, current: self.blocks.first().copied().unwrap_or(0) }
+        IterOnes {
+            bits: self,
+            block: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
     }
 
     /// The vector as a `u64` mask, if it fits (length `<= 64`).
@@ -162,7 +181,9 @@ impl BitVec {
     }
 
     fn binary_string(&self) -> String {
-        (0..self.len).map(|i| if self.get(i) { '1' } else { '0' }).collect()
+        (0..self.len)
+            .map(|i| if self.get(i) { '1' } else { '0' })
+            .collect()
     }
 }
 

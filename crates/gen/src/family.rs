@@ -55,24 +55,38 @@ pub fn counter_chain(n: usize) -> AugmentedAdt<MinCost, MinCost> {
     // Counter level i (1-based) belongs to the defender when i is odd and
     // to the attacker when i is even; the chain nests in the trigger slot:
     // root = INH(base ! INH(c1 ! INH(c2 ! … c_n))).
-    let level_agent = |i: usize| if i % 2 == 1 { Agent::Defender } else { Agent::Attacker };
+    let level_agent = |i: usize| {
+        if i % 2 == 1 {
+            Agent::Defender
+        } else {
+            Agent::Attacker
+        }
+    };
     let mut b = AdtBuilder::new();
-    let mut current = b
-        .leaf(level_agent(n), format!("c{n}"))
-        .expect("fresh name");
+    let mut current = b.leaf(level_agent(n), format!("c{n}")).expect("fresh name");
     for i in (1..n).rev() {
         let leaf = b.leaf(level_agent(i), format!("c{i}")).expect("fresh name");
-        current = b.inh(format!("l{i}"), leaf, current).expect("opposite agents");
+        current = b
+            .inh(format!("l{i}"), leaf, current)
+            .expect("opposite agents");
     }
     let base = b.attack("base").expect("fresh name");
     let root = b.inh("l0", base, current).expect("opposite agents");
     let adt = b.build(root).expect("well-formed");
-    AugmentedAdt::from_fns(adt, MinCost, MinCost, |_, _| 1u64.into(), |_, _| 1u64.into())
+    AugmentedAdt::from_fns(
+        adt,
+        MinCost,
+        MinCost,
+        |_, _| 1u64.into(),
+        |_, _| 1u64.into(),
+    )
 }
 
 fn leaf_index(adt: &adt_core::Adt, id: adt_core::NodeId) -> u64 {
     // Leaf names are `a{i}`/`d{i}`; recover i for the cost.
-    adt[id].name()[1..].parse::<u64>().expect("family names end in an index")
+    adt[id].name()[1..]
+        .parse::<u64>()
+        .expect("family names end in an index")
 }
 
 #[cfg(test)]

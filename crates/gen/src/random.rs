@@ -73,12 +73,20 @@ impl Default for RandomAdtConfig {
 impl RandomAdtConfig {
     /// A tree-shaped configuration with the given node budget.
     pub fn tree(target_nodes: usize) -> Self {
-        RandomAdtConfig { target_nodes, shape: Shape::Tree, ..Self::default() }
+        RandomAdtConfig {
+            target_nodes,
+            shape: Shape::Tree,
+            ..Self::default()
+        }
     }
 
     /// A DAG-shaped configuration with the given node budget.
     pub fn dag(target_nodes: usize) -> Self {
-        RandomAdtConfig { target_nodes, shape: Shape::Dag, ..Self::default() }
+        RandomAdtConfig {
+            target_nodes,
+            shape: Shape::Dag,
+            ..Self::default()
+        }
     }
 }
 
@@ -95,7 +103,10 @@ impl RandomAdtConfig {
 pub fn random_adt(config: &RandomAdtConfig, seed: u64) -> AugmentedAdt<MinCost, MinCost> {
     assert!(config.target_nodes > 0, "target_nodes must be positive");
     assert!(config.max_children >= 2, "gates need at least two children");
-    assert!(config.cost_range.0 <= config.cost_range.1, "empty cost range");
+    assert!(
+        config.cost_range.0 <= config.cost_range.1,
+        "empty cost range"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut generator = Generator {
         config,
@@ -119,10 +130,16 @@ pub fn attribute_random(
     rng: &mut ChaCha8Rng,
 ) -> AugmentedAdt<MinCost, MinCost> {
     let (lo, hi) = config.cost_range;
-    let def_costs: Vec<u64> =
-        adt.defenses().iter().map(|_| rng.random_range(lo..=hi)).collect();
-    let att_costs: Vec<u64> =
-        adt.attacks().iter().map(|_| rng.random_range(lo..=hi)).collect();
+    let def_costs: Vec<u64> = adt
+        .defenses()
+        .iter()
+        .map(|_| rng.random_range(lo..=hi))
+        .collect();
+    let att_costs: Vec<u64> = adt
+        .attacks()
+        .iter()
+        .map(|_| rng.random_range(lo..=hi))
+        .collect();
     AugmentedAdt::from_fns(
         adt,
         MinCost,
@@ -168,8 +185,7 @@ impl Generator<'_> {
 
         // Optionally reserve part of the budget for an inhibition counter of
         // the opposite agent (a countermeasure, or a counter-counter-attack).
-        let with_counter =
-            depth < 8 && budget >= 4 && self.rng.random_bool(self.config.p_counter);
+        let with_counter = depth < 8 && budget >= 4 && self.rng.random_bool(self.config.p_counter);
         let (core_budget, counter_budget) = if with_counter {
             let counter = (budget - 1) / 3;
             (budget - 1 - counter, counter)
@@ -177,10 +193,11 @@ impl Generator<'_> {
             (budget, 0)
         };
 
-        // Large budgets always expand into gates so that generated sizes
-        // track the target; near the leaves a 15% leaf chance varies the
-        // shape.
-        let gate_prob = if core_budget >= 16 { 1.0 } else { 0.85 };
+        // Budgets of 4+ always expand into gates so that generated sizes
+        // track the target (a premature leaf would strand the whole
+        // remaining budget); at the 3-node fringe a 15% leaf chance varies
+        // the shape.
+        let gate_prob = if core_budget >= 4 { 1.0 } else { 0.85 };
         let core = if core_budget >= 3 && self.rng.random_bool(gate_prob) {
             // A gate with 2..=max_children children splitting the budget.
             let max_arity = self.config.max_children.min(core_budget - 1).max(2);
@@ -203,10 +220,14 @@ impl Generator<'_> {
                 unique[0]
             } else if self.rng.random_bool(self.config.p_and) {
                 let name = self.fresh_name("g");
-                self.builder.and(name, unique).expect("distinct same-agent children")
+                self.builder
+                    .and(name, unique)
+                    .expect("distinct same-agent children")
             } else {
                 let name = self.fresh_name("g");
-                self.builder.or(name, unique).expect("distinct same-agent children")
+                self.builder
+                    .or(name, unique)
+                    .expect("distinct same-agent children")
             }
         } else {
             let name = match agent {
@@ -219,7 +240,9 @@ impl Generator<'_> {
         let result = if with_counter {
             let trigger = self.subtree(agent.opposite(), depth + 1, counter_budget);
             let name = self.fresh_name("i");
-            self.builder.inh(name, core, trigger).expect("opposite agents")
+            self.builder
+                .inh(name, core, trigger)
+                .expect("opposite agents")
         } else {
             core
         };
@@ -248,7 +271,10 @@ mod tests {
         // Different seeds give different trees (overwhelmingly likely).
         let c = random_adt(&config, 8);
         let same = a.adt().node_count() == c.adt().node_count()
-            && a.adt().iter().zip(c.adt().iter()).all(|((_, x), (_, y))| x == y);
+            && a.adt()
+                .iter()
+                .zip(c.adt().iter())
+                .all(|((_, x), (_, y))| x == y);
         assert!(!same, "seeds 7 and 8 produced identical trees");
     }
 
@@ -280,7 +306,10 @@ mod tests {
             let config = RandomAdtConfig::tree(target);
             for seed in 0..5 {
                 let n = random_adt(&config, seed).adt().node_count();
-                assert!(n <= target, "target {target}, seed {seed}: overshoot to {n}");
+                assert!(
+                    n <= target,
+                    "target {target}, seed {seed}: overshoot to {n}"
+                );
                 assert!(
                     3 * n >= target,
                     "target {target}, seed {seed}: undershoot to {n}"
@@ -303,7 +332,10 @@ mod tests {
 
     #[test]
     fn costs_respect_the_range() {
-        let config = RandomAdtConfig { cost_range: (5, 9), ..RandomAdtConfig::tree(50) };
+        let config = RandomAdtConfig {
+            cost_range: (5, 9),
+            ..RandomAdtConfig::tree(50)
+        };
         let t = random_adt(&config, 3);
         for pos in 0..t.adt().attack_count() {
             let v = *t.attack_value(pos).finite().unwrap();
@@ -324,7 +356,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two children")]
     fn tiny_max_children_panics() {
-        let config = RandomAdtConfig { max_children: 1, ..RandomAdtConfig::tree(10) };
+        let config = RandomAdtConfig {
+            max_children: 1,
+            ..RandomAdtConfig::tree(10)
+        };
         random_adt(&config, 0);
     }
 }

@@ -51,7 +51,11 @@ pub fn paper_suite(
                 Shape::Tree => RandomAdtConfig::tree(target),
                 Shape::Dag => RandomAdtConfig::dag(target),
             };
-            Instance { adt: random_adt(&config, seed), seed, target_nodes: target }
+            Instance {
+                adt: random_adt(&config, seed),
+                seed,
+                target_nodes: target,
+            }
         })
         .collect()
 }
@@ -106,7 +110,11 @@ mod tests {
     #[test]
     fn paper_suite_sizes_bounded() {
         for instance in paper_suite(30, 45, Shape::Tree, 1) {
-            assert!(instance.nodes() < 45, "instance too large: {}", instance.nodes());
+            assert!(
+                instance.nodes() < 45,
+                "instance too large: {}",
+                instance.nodes()
+            );
             assert!(instance.adt.adt().is_tree());
         }
     }
@@ -121,7 +129,7 @@ mod tests {
     fn bucket_suite_covers_every_bucket() {
         let suite = bucket_suite(3, 100, Shape::Tree, 5);
         assert_eq!(suite.len(), 15); // 5 buckets × 3
-        // Each bucket contributes instances that respect its upper bound.
+                                     // Each bucket contributes instances that respect its upper bound.
         for (i, instance) in suite.iter().enumerate() {
             let bucket = i / 3;
             let upper = (bucket + 1) * 20;

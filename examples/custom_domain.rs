@@ -64,7 +64,10 @@ fn build() -> Result<Adt, AdtError> {
     let cameras = b.defense("cameras")?;
     let pick_guarded = b.inh("pick_guarded", pick_lock, cameras)?;
     let smash_window = b.attack("smash_window")?;
-    let root = b.or("enter_building", [tailgate_guarded, pick_guarded, smash_window])?;
+    let root = b.or(
+        "enter_building",
+        [tailgate_guarded, pick_guarded, smash_window],
+    )?;
     b.build(root)
 }
 
@@ -82,7 +85,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (cost, noise) in &front {
         println!("  spend {cost:>3} → attacker cannot stay below {noise:?}");
     }
-    assert_eq!(front, bdd_bu(&aadt)?, "custom domains flow through BDDBU too");
+    assert_eq!(
+        front,
+        bdd_bu(&aadt)?,
+        "custom domains flow through BDDBU too"
+    );
 
     // Probability for the attacker (Table I row 5): success chances
     // multiply, and the defender pushes the best chance down.

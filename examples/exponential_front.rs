@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for (k, (d, a)) in front.iter().enumerate() {
             assert_eq!((d, a), (&Ext::Fin(k as u64), &Ext::Fin(k as u64)));
         }
-        println!("{n:>2} | {:>5} | {:>5} | {elapsed:>12.2?}", t.adt().node_count(), front.len());
+        println!(
+            "{n:>2} | {:>5} | {:>5} | {elapsed:>12.2?}",
+            t.adt().node_count(),
+            front.len()
+        );
     }
     println!("\nthe front doubles with every defense — the 2^|D| upper bound is tight");
     Ok(())

@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let point = front
             .best_within_budget(&MinCost, &MinCost, &Ext::Fin(budget))
             .expect("budget 0 is always affordable");
-        println!("  budget {budget:>3} → cheapest successful attack costs {}", point.1);
+        println!(
+            "  budget {budget:>3} → cheapest successful attack costs {}",
+            point.1
+        );
     }
 
     // The same front falls out of the DAG-capable algorithms.

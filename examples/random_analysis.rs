@@ -26,11 +26,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let front = bdd_bu(t)?;
             // Cross-check against the other algorithms.
             if t.adt().is_tree() {
-                assert_eq!(front, bottom_up(t)?, "BU disagrees on seed {}", instance.seed);
+                assert_eq!(
+                    front,
+                    bottom_up(t)?,
+                    "BU disagrees on seed {}",
+                    instance.seed
+                );
             }
-            assert_eq!(front, modular_bdd_bu(t)?, "modular disagrees on {}", instance.seed);
+            assert_eq!(
+                front,
+                modular_bdd_bu(t)?,
+                "modular disagrees on {}",
+                instance.seed
+            );
             if t.adt().attack_count() + t.adt().defense_count() <= 20 {
-                assert_eq!(front, naive(t)?, "naive disagrees on seed {}", instance.seed);
+                assert_eq!(
+                    front,
+                    naive(t)?,
+                    "naive disagrees on seed {}",
+                    instance.seed
+                );
             }
             let shape_name = if t.adt().is_tree() { "tree" } else { "dag" };
             println!(

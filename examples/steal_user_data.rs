@@ -43,7 +43,10 @@ const FIG2: &str = r#"
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let doc = Document::parse(FIG2)?;
     println!("parsed `{}` with {} nodes", doc.name, doc.adt.node_count());
-    println!("round-trips through the printer: {} bytes\n", doc.to_dsl().len());
+    println!(
+        "round-trips through the printer: {} bytes\n",
+        doc.to_dsl().len()
+    );
 
     let aadt = doc.to_cost_adt("cost")?;
     // `su` feeds two inhibition gates, so this is a DAG: the bottom-up

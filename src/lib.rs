@@ -57,12 +57,12 @@ pub use adt_gen as gen;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use adt_analysis::{
-        bdd_bu, bottom_up, brute_force_front, modular_bdd_bu, naive, unfold_to_tree,
-        AnalysisError, DefenseFirstOrder,
+        bdd_bu, bottom_up, brute_force_front, modular_bdd_bu, naive, unfold_to_tree, AnalysisError,
+        DefenseFirstOrder,
     };
     pub use adt_core::{
         Adt, AdtBuilder, AdtError, Agent, AttackVector, AttributeDomain, AugmentedAdt,
-        DefenseVector, Ext, Gate, MinCost, MinSkill, MinTimePar, MinTimeSeq, NodeId,
-        ParetoFront, Prob, Probability, SemiringOp,
+        DefenseVector, Ext, Gate, MinCost, MinSkill, MinTimePar, MinTimeSeq, NodeId, ParetoFront,
+        Prob, Probability, SemiringOp,
     };
 }

@@ -5,8 +5,8 @@
 //! same Pareto front as the brute-force Definitions 7–9.
 
 use adtrees::analysis::{
-    bdd_bu_with_order, bottom_up, brute_force_front, modular_bdd_bu, naive,
-    unfold_to_tree, unfolded_size, DefenseFirstOrder,
+    bdd_bu_with_order, bottom_up, brute_force_front, modular_bdd_bu, naive, unfold_to_tree,
+    unfolded_size, DefenseFirstOrder,
 };
 use adtrees::gen::{paper_suite, random_adt, RandomAdtConfig, Shape};
 
@@ -74,7 +74,11 @@ fn unfolding_matches_direct_tree_analysis() {
     for seed in 0..10 {
         let t = random_adt(&RandomAdtConfig::tree(30), seed);
         let (copy, _) = unfold_to_tree(&t, 10_000).unwrap();
-        assert_eq!(bottom_up(&t).unwrap(), bottom_up(&copy).unwrap(), "seed {seed}");
+        assert_eq!(
+            bottom_up(&t).unwrap(),
+            bottom_up(&copy).unwrap(),
+            "seed {seed}"
+        );
     }
 }
 
@@ -108,7 +112,10 @@ fn fronts_are_canonical_staircases() {
             "non-canonical front on seed {}",
             instance.seed
         );
-        assert!(!front.is_empty(), "fronts are never empty (the empty defense exists)");
+        assert!(
+            !front.is_empty(),
+            "fronts are never empty (the empty defense exists)"
+        );
     }
 }
 

@@ -4,14 +4,17 @@
 //! system — each assertion cites the paper location it mirrors.
 
 use adtrees::analysis::{
-    bdd_bu, bottom_up, brute_force_front, feasible_events, modular_bdd_bu, naive,
-    optimal_response, unfold_to_tree,
+    bdd_bu, bottom_up, brute_force_front, feasible_events, modular_bdd_bu, naive, optimal_response,
+    unfold_to_tree,
 };
 use adtrees::core::semiring::Ext;
 use adtrees::core::{catalog, DefenseVector};
 
 fn fin(points: &[(u64, u64)]) -> Vec<(Ext<u64>, Ext<u64>)> {
-    points.iter().map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a))).collect()
+    points
+        .iter()
+        .map(|&(d, a)| (Ext::Fin(d), Ext::Fin(a)))
+        .collect()
 }
 
 #[test]
@@ -20,7 +23,10 @@ fn example1_metric_values() {
     let t = catalog::fig3();
     let delta = t.adt().defense_vector(["d1", "d2"]).unwrap();
     let alpha = t.adt().attack_vector(["a1", "a2"]).unwrap();
-    assert_eq!(t.event_metric(&(delta, alpha)).unwrap(), (Ext::Fin(15), Ext::Fin(15)));
+    assert_eq!(
+        t.event_metric(&(delta, alpha)).unwrap(),
+        (Ext::Fin(15), Ext::Fin(15))
+    );
 }
 
 #[test]
@@ -33,7 +39,11 @@ fn example2_feasible_events() {
         .map(|e| {
             (
                 e.defense.to_string(),
-                e.response.attack.as_ref().expect("always attackable").to_string(),
+                e.response
+                    .attack
+                    .as_ref()
+                    .expect("always attackable")
+                    .to_string(),
             )
         })
         .collect();

@@ -59,6 +59,69 @@ proptest! {
         prop_assert_eq!(fx.merge(&fx, &MinCost, &MinCost), fx);
     }
 
+    /// The two-pointer staircase merge agrees exactly with the sort-based
+    /// reduction of the concatenation it replaced.
+    #[test]
+    fn linear_merge_agrees_with_from_points(
+        xs in prop::collection::vec(point(), 0..50),
+        ys in prop::collection::vec(point(), 0..50),
+    ) {
+        let fx = Front::from_points(xs, &MinCost, &MinCost);
+        let fy = Front::from_points(ys, &MinCost, &MinCost);
+        let mut union = fx.points().to_vec();
+        union.extend_from_slice(fy.points());
+        let oracle = Front::from_points(union, &MinCost, &MinCost);
+        prop_assert_eq!(fx.merge(&fy, &MinCost, &MinCost), oracle);
+    }
+
+    /// The row-sweep product agrees exactly with the sort-based reduction
+    /// of all pairwise combinations, for both Table-II attacker operators.
+    #[test]
+    fn sweep_product_agrees_with_from_points(
+        xs in prop::collection::vec(point(), 0..25),
+        ys in prop::collection::vec(point(), 0..25),
+    ) {
+        use adtrees::core::semiring::{AttributeDomain, SemiringOp};
+        let fx = Front::from_points(xs, &MinCost, &MinCost);
+        let fy = Front::from_points(ys, &MinCost, &MinCost);
+        for op in [SemiringOp::Add, SemiringOp::Mul] {
+            let mut pairs = Vec::new();
+            for (d1, a1) in &fx {
+                for (d2, a2) in &fy {
+                    pairs.push((MinCost.mul(d1, d2), op.apply(&MinCost, a1, a2)));
+                }
+            }
+            let oracle = Front::from_points(pairs, &MinCost, &MinCost);
+            prop_assert_eq!(fx.product(&fy, &MinCost, &MinCost, op), oracle);
+        }
+    }
+
+    /// The fused shift-and-merge of BDDBU's defense step agrees with
+    /// shifting through `from_points` and then merging.
+    #[test]
+    fn merge_shifted_agrees_with_two_step(
+        xs in prop::collection::vec(point(), 0..40),
+        ys in prop::collection::vec(point(), 0..40),
+        // ∞ costs collapse every shifted defender value onto one — the
+        // degenerate case the sweep must reduce like the oracle does.
+        cost in prop_oneof![9 => (0u64..500).prop_map(Ext::Fin), 1 => Just(Ext::Inf)],
+    ) {
+        use adtrees::core::semiring::AttributeDomain;
+        let fx = Front::from_points(xs, &MinCost, &MinCost);
+        let fy = Front::from_points(ys, &MinCost, &MinCost);
+        let shifted_raw: Vec<_> = fy
+            .iter()
+            .map(|(d, a)| (MinCost.mul(&cost, d), *a))
+            .collect();
+        let oracle_shift = Front::from_points(shifted_raw, &MinCost, &MinCost);
+        prop_assert_eq!(
+            fy.shift_defender(&cost, &MinCost, &MinCost),
+            oracle_shift.clone()
+        );
+        let oracle = fx.merge(&oracle_shift, &MinCost, &MinCost);
+        prop_assert_eq!(fx.merge_shifted(&fy, &cost, &MinCost, &MinCost), oracle);
+    }
+
     /// `best_within_budget` returns the maximal affordable point.
     #[test]
     fn budget_queries(points in prop::collection::vec(point(), 1..40), budget in 0u64..1_000) {

@@ -1,0 +1,287 @@
+//! Value-generation strategies: a sampling-function view of proptest's
+//! `Strategy`, without shrink trees.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest, a strategy here is just a deterministic
+/// sampling function over a [`TestRng`]; combinators return
+/// [`BoxedStrategy`] so their types stay nameable.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Applies `f` to every generated value.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: 'static,
+        U: 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        BoxedStrategy::new(move |rng| f(self.sample(rng)))
+    }
+
+    /// Builds a recursive strategy: `self` generates the leaves and `branch`
+    /// receives a strategy for subtrees and returns one for inner nodes.
+    ///
+    /// `_target` and `_items` are accepted for signature compatibility; the
+    /// depth bound alone limits recursion here.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _target: u32,
+        _items: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            let inner = branch(level).boxed();
+            let l = leaf.clone();
+            // Mix leaves back in at every level so generated shapes span
+            // all depths, not just the maximal one.
+            level = BoxedStrategy::new(move |rng| {
+                if rng.below(4) == 0 {
+                    l.sample(rng)
+                } else {
+                    inner.sample(rng)
+                }
+            });
+        }
+        level
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy::new(move |rng| self.sample(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    sampler: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a sampling function.
+    pub fn new(sampler: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy {
+            sampler: Rc::new(sampler),
+        }
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sampler: Rc::clone(&self.sampler),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.sampler)(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy (a sliver of upstream's
+/// `Arbitrary`).
+pub trait ArbitrarySample: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl ArbitrarySample for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitrarySample for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical strategy for `T` (`any::<bool>()` and friends).
+#[derive(Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: ArbitrarySample>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: ArbitrarySample> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + (rng.below_u128(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as u128) - (start as u128) + 1;
+                start + (rng.below_u128(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (S0 0, S1 1);
+    (S0 0, S1 1, S2 2);
+    (S0 0, S1 1, S2 2, S3 3);
+}
+
+/// A weighted choice among strategies; built by [`prop_oneof!`].
+pub fn union<T: 'static>(arms: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+    assert!(total > 0, "prop_oneof! weights sum to zero");
+    BoxedStrategy::new(move |rng| {
+        let mut pick = rng.below(total);
+        for (weight, strat) in &arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strat.sample(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick exceeded total")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(0xDEADBEEF)
+    }
+
+    #[test]
+    fn ranges_and_maps() {
+        let mut rng = rng();
+        let strat = (0u32..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!(v < 20 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weight_avoidance() {
+        let mut rng = rng();
+        let strat = union(vec![(1, Just(1u8).boxed()), (3, Just(2u8).boxed())]);
+        let twos = (0..400).filter(|_| strat.sample(&mut rng) == 2).count();
+        assert!((200..400).contains(&twos), "weighting looks off: {twos}");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate_and_vary() {
+        #[derive(Clone, Debug)]
+        #[allow(dead_code)] // Leaf's payload is only read via Debug
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u8..8)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = rng();
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            max_depth = max_depth.max(depth(&strat.sample(&mut rng)));
+        }
+        assert!(max_depth >= 2, "recursion never went deep: {max_depth}");
+        assert!(max_depth <= 4, "depth bound exceeded: {max_depth}");
+    }
+}

@@ -1,0 +1,102 @@
+//! The per-case RNG and the pieces the [`proptest!`](crate::proptest) macro
+//! expands to.
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+/// Number of cases per property: `PROPTEST_CASES` or 64.
+///
+/// Upstream defaults to 256; this harness has no shrinker, so it trades a
+/// slightly lower per-run case count for keeping the whole suite fast. CI
+/// can raise it via the environment.
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// Deterministic seed for case `case` of the test named `name`
+/// (FNV-1a of the name, mixed with the case index).
+pub fn case_seed(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// The deterministic generator handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator whose whole stream is a function of `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform draw from `0..bound` for bounds that may exceed `u64`.
+    pub fn below_u128(&mut self, bound: u128) -> u128 {
+        debug_assert!(bound > 0);
+        if bound <= u128::from(u64::MAX) {
+            u128::from(self.below(bound as u64))
+        } else {
+            // Bounds above 2^64 only arise for u128-spanning ranges, which
+            // this workspace does not use; fall back to modulo.
+            (u128::from(self.next_u64()) << 64 | u128::from(self.next_u64())) % bound
+        }
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_deterministic_and_name_sensitive() {
+        assert_eq!(case_seed("foo", 3), case_seed("foo", 3));
+        assert_ne!(case_seed("foo", 3), case_seed("bar", 3));
+        assert_ne!(case_seed("foo", 3), case_seed("foo", 4));
+    }
+
+    #[test]
+    fn below_is_in_bounds() {
+        let mut rng = TestRng::from_seed(5);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..100 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+}
