@@ -16,6 +16,19 @@
 //! Because the BDD shares isomorphic subgraphs, each node's front is
 //! computed once (memoized), giving the `O(|W| p²)` complexity the paper
 //! reports.
+//!
+//! # Algorithm 3 correspondence
+//!
+//! Where each step of the paper's `BDDBU` pseudocode lives in this code:
+//!
+//! | Algorithm 3 | Here |
+//! |---|---|
+//! | input: ROBDD of the structure function under a defense-first order | [`compile`] called from [`bdd_bu_report`]; order from [`DefenseFirstOrder`] |
+//! | traversal "for `w` in reverse topological order" | the `reachable_topological` sweep in `Run::front` (ascending arena indices are children-first; no recursion) |
+//! | lines 2–5: terminal fronts (goal terminal depends on the root agent) | the `Bdd::FALSE`/`Bdd::TRUE` arm of `Run::front` |
+//! | lines 6–9: attack-level nodes — singleton fronts `{(1⊗_D, u)}` | the else-arm of `Run::front`, stored as bare scalars (`NodeFront::Scalar`, no allocation) |
+//! | lines 11–14: defense-level nodes — `min_⊑(P₀ ∪ shift(P₁))` | the `is_defense_level` arm; `ParetoFront::merge_shifted` fuses the `β_D ⊗_D ·` shift, the union and the reduction into one linear sweep |
+//! | line 15: return the root's front | the final `match` of `Run::front` |
 
 use adt_bdd::{Bdd, NodeRef};
 use adt_core::{Agent, AttributeDomain, AugmentedAdt, ParetoFront};
@@ -52,6 +65,42 @@ use crate::Front;
 ///         (Ext::Fin(50), Ext::Fin(140)),
 ///     ]
 /// );
+/// # Ok(())
+/// # }
+/// ```
+///
+/// The full pipeline from text: parse a DSL document, attribute it from
+/// the `cost` attribute, and analyze. `BDDBU` compiles the ROBDD
+/// internally; [`compile`] is public for callers that want to inspect the
+/// diagram itself (sizes, orders, DOT export) before propagating fronts:
+///
+/// ```
+/// use adt_analysis::{bdd_bu, compile, DefenseFirstOrder};
+/// use adt_core::dsl::Document;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let doc = Document::parse(
+///     r#"
+///     adt "demo" {
+///         attack steal  { cost = 100 }
+///         defense vault { cost = 30 }
+///         inh guarded (steal ! vault)
+///         attack bribe  { cost = 250 }
+///         or heist [guarded, bribe]
+///         root heist
+///     }
+///     "#,
+/// )?;
+/// let tree = doc.to_cost_adt("cost")?;
+///
+/// // Optional detour: look at the compiled diagram.
+/// let order = DefenseFirstOrder::declaration(tree.adt());
+/// let (bdd, root) = compile(tree.adt(), &order);
+/// assert!(bdd.node_count(root) > 2);
+///
+/// // The front: do nothing → steal costs 100; buy the vault → bribe (250).
+/// let front = bdd_bu(&tree)?;
+/// assert_eq!(front.to_string(), "{(0, 100), (30, 250)}");
 /// # Ok(())
 /// # }
 /// ```

@@ -62,9 +62,52 @@ pub use semantics::{brute_force_front, feasible_events, optimal_response};
 pub use strategies::{pareto_strategies, pareto_strategies_with_order, Strategy};
 pub use tree_transform::{unfold_to_tree, unfolded, unfolded_size, DEFAULT_UNFOLD_LIMIT};
 
-use adt_core::{AttributeDomain, ParetoFront};
+use adt_core::{AttributeDomain, AugmentedAdt, ParetoFront};
 
 /// The Pareto front between a defender domain and an attacker domain —
 /// shorthand for the value-typed [`ParetoFront`].
 pub type Front<DD, DA> =
     ParetoFront<<DD as AttributeDomain>::Value, <DA as AttributeDomain>::Value>;
+
+/// Computes the Pareto front of one augmented ADT with the best applicable
+/// algorithm: the linear-pass bottom-up analysis (Algorithm 1) when the
+/// shape is a tree, `BDDBU` (Algorithm 3) otherwise.
+///
+/// This is a self-contained per-job entry point for batch evaluation: it
+/// takes one instance, builds any state it needs (including the BDD
+/// manager) locally, and returns the front — no globals, so concurrent
+/// callers never contend. (The suite pool in `adt-bench` calls the richer
+/// [`bdd_bu_report`] instead, which additionally reports BDD size and
+/// front width; use `analyze` when all you want is the front.)
+///
+/// # Errors
+///
+/// Currently infallible (both backing algorithms accept every valid
+/// [`AugmentedAdt`]); the `Result` keeps room for resource limits.
+///
+/// # Examples
+///
+/// ```
+/// use adt_analysis::analyze;
+/// use adt_core::catalog;
+///
+/// # fn main() -> Result<(), adt_analysis::AnalysisError> {
+/// // Tree-shaped: dispatches to bottom-up. DAG-shaped: dispatches to BDDBU.
+/// let tree_front = analyze(&catalog::money_theft_tree())?;
+/// let dag_front = analyze(&catalog::money_theft())?;
+/// assert_eq!(tree_front.to_string(), "{(0, 90), (30, 150), (50, 165)}");
+/// assert_eq!(dag_front.to_string(), "{(0, 80), (20, 90), (50, 140)}");
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze<DD, DA>(t: &AugmentedAdt<DD, DA>) -> Result<Front<DD, DA>, AnalysisError>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    if t.adt().is_tree() {
+        bottom_up(t)
+    } else {
+        bdd_bu(t)
+    }
+}

@@ -16,7 +16,7 @@ use std::time::Duration;
 
 use adt_analysis::{bdd_bu, compile, DefenseFirstOrder};
 use adt_bdd::control::{ControlBdd, ControlRef};
-use adt_bench::time_avg;
+use adt_bench::{geomean, time_avg};
 use adt_core::semiring::{AttributeDomain, MinCost};
 use adt_core::{catalog, Adt, Agent, AugmentedAdt, Gate, ParetoFront};
 use adt_gen::{random_adt, RandomAdtConfig};
@@ -141,11 +141,6 @@ impl Measurement {
 
 fn ns(d: Duration) -> f64 {
     d.as_secs_f64() * 1e9
-}
-
-fn geomean(values: impl Iterator<Item = f64>) -> f64 {
-    let (sum, n) = values.fold((0.0, 0u32), |(s, n), v| (s + v.ln(), n + 1));
-    (sum / f64::from(n.max(1))).exp()
 }
 
 fn main() {

@@ -1,0 +1,220 @@
+//! Wall-clock accounting for the PR-3 parallel suite-evaluation pool.
+//!
+//! Evaluates the same workload families as `BENCH_PR1.json` — the paper
+//! suite of Fig. 9, the 20-node bucket suite of Figs. 9c/10, and the
+//! exponential Fig. 4 family — once sequentially (`--jobs 1`) and once on
+//! the worker pool, and writes the measured whole-suite wall-clock ratios
+//! to `BENCH_PR3.json`. Before timing anything it asserts that both paths
+//! return identical fronts, front-for-front.
+//!
+//! The pool's speedup is bounded by the host's available parallelism: on a
+//! single-core machine the parallel path degenerates to the sequential one
+//! plus scheduling overhead, which the emitted JSON records honestly via
+//! the `available_parallelism` field and the summary note.
+//!
+//! Usage: `cargo run --release -p adt-bench --bin bench_pool [-- OUT]`
+//! (default output path `BENCH_PR3.json`; set `BENCH_POOL_REPEATS` to
+//! change the per-case repeat count, default 3, median reported).
+
+use std::time::{Duration, Instant};
+
+use adt_analysis::bdd_bu;
+use adt_bench::{default_jobs, evaluate_suite, geomean, median, run_jobs};
+use adt_core::catalog;
+use adt_gen::{bucket_suite, paper_suite, suite_jobs, OrderingKind, Shape, SuiteJob};
+
+struct Case {
+    suite: &'static str,
+    case: String,
+    instances: usize,
+    seq: Duration,
+    par: Duration,
+}
+
+impl Case {
+    fn speedup(&self) -> f64 {
+        self.seq.as_secs_f64() / self.par.as_secs_f64()
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Median wall-clock of `repeats` runs of `f`.
+fn wall_clock(repeats: usize, mut f: impl FnMut()) -> Duration {
+    let mut times: Vec<Duration> = (0..repeats.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    median(&mut times).expect("at least one repeat")
+}
+
+/// The shared measurement protocol: run the workload once sequentially and
+/// once on `par_jobs` workers, assert the comparable results agree
+/// job-for-job (lengths included) *before* any clock starts, then report
+/// the median wall-clock of each path.
+///
+/// `run(worker_count)` must return one comparable value per job, in job
+/// order — fronts, not timings, so runs compare equal across repetitions.
+fn measure_case<R: PartialEq + std::fmt::Debug>(
+    suite: &'static str,
+    case: String,
+    instances: usize,
+    par_jobs: usize,
+    repeats: usize,
+    run: impl Fn(usize) -> Vec<R>,
+) -> Case {
+    let sequential = run(1);
+    let parallel = run(par_jobs);
+    assert_eq!(
+        sequential.len(),
+        parallel.len(),
+        "{suite}/{case}: parallel path lost or invented jobs"
+    );
+    for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+        assert_eq!(s, p, "{suite}/{case}: parallel result diverged on job {i}");
+    }
+    let seq = wall_clock(repeats, || {
+        std::hint::black_box(run(1));
+    });
+    let par = wall_clock(repeats, || {
+        std::hint::black_box(run(par_jobs));
+    });
+    eprintln!(
+        "{suite}/{case}: {instances} instances, seq {:.1}ms, {par_jobs}-way {:.1}ms",
+        ms(seq),
+        ms(par)
+    );
+    Case {
+        suite,
+        case,
+        instances,
+        seq,
+        par,
+    }
+}
+
+/// [`measure_case`] for a generated suite: the comparable per-job value is
+/// the front plus the compiled BDD size.
+fn measure_suite(
+    suite: &'static str,
+    case: String,
+    jobs: &[SuiteJob],
+    par_jobs: usize,
+    repeats: usize,
+) -> Case {
+    measure_case(suite, case, jobs.len(), par_jobs, repeats, |workers| {
+        evaluate_suite(jobs, workers)
+            .into_iter()
+            .map(|o| (o.result.front, o.result.bdd_nodes))
+            .collect()
+    })
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR3.json".into());
+    let repeats = std::env::var("BENCH_POOL_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let cores = default_jobs();
+    // On a single-core host, still exercise the pool machinery with an
+    // oversubscribed worker count; the JSON labels the core count so the
+    // ratio is interpretable.
+    let par_jobs = cores.max(2);
+    let mut cases: Vec<Case> = Vec::new();
+
+    // --- fig9 paper suite: 120 instances, |N| < 45, tree + DAG halves ----
+    for (shape, name) in [(Shape::Tree, "paper_tree"), (Shape::Dag, "paper_dag")] {
+        let jobs: Vec<SuiteJob> =
+            suite_jobs(paper_suite(60, 45, shape, 42), OrderingKind::Declaration).collect();
+        cases.push(measure_suite(
+            "fig9_paper_suite",
+            name.to_owned(),
+            &jobs,
+            par_jobs,
+            repeats,
+        ));
+    }
+
+    // --- fig10 bucket suite: 20-node buckets up to 200 nodes -------------
+    let jobs: Vec<SuiteJob> = suite_jobs(
+        bucket_suite(4, 200, Shape::Tree, 43),
+        OrderingKind::Declaration,
+    )
+    .collect();
+    cases.push(measure_suite(
+        "fig10_bucket_suite",
+        "buckets_to_200".to_owned(),
+        &jobs,
+        par_jobs,
+        repeats,
+    ));
+
+    // --- fig4 exponential family through BDDBU ---------------------------
+    let sizes: Vec<u32> = (1..=12).collect();
+    cases.push(measure_case(
+        "fig4_exponential",
+        "bddbu_1_to_12".to_owned(),
+        sizes.len(),
+        par_jobs,
+        repeats,
+        |workers| {
+            run_jobs(&sizes, workers, |_, &n| bdd_bu(&catalog::fig4(n)).unwrap())
+                .into_iter()
+                .map(|o| o.result)
+                .collect()
+        },
+    ));
+
+    // --- JSON emission ---------------------------------------------------
+    let overall = geomean(cases.iter().map(Case::speedup));
+    let note = if cores == 1 {
+        format!(
+            "Host exposes a single core (available_parallelism = 1); the {par_jobs}-way \
+             numbers measure pool overhead, not parallel speedup. On an N-core host the \
+             embarrassingly parallel suites scale with min(N, suite size); the differential \
+             tests assert result equality at every worker count."
+        )
+    } else {
+        format!("Measured on {cores} available cores with {par_jobs} workers.")
+    };
+    let mut json = String::from("{\n");
+    json.push_str("  \"pr\": 3,\n");
+    json.push_str(
+        "  \"description\": \"Whole-suite evaluation wall-clock, sequential (--jobs 1) vs \
+         the scoped-thread worker pool, over the BENCH_PR1 workload families: the Fig. 9 \
+         paper suite, the Fig. 10 bucket suite, and the Fig. 4 exponential family. Workers \
+         pull jobs from a shared atomic cursor, each on a private BDD manager; results are \
+         index-ordered and asserted equal to the sequential path before timing.\",\n",
+    );
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    json.push_str(&format!("  \"pool_workers\": {par_jobs},\n"));
+    json.push_str("  \"benches\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"suite\": \"{}\", \"case\": \"{}\", \"instances\": {}, \
+             \"sequential_ms\": {:.2}, \"parallel_ms\": {:.2}, \"speedup\": {:.2}}}{}\n",
+            c.suite,
+            c.case,
+            c.instances,
+            ms(c.seq),
+            ms(c.par),
+            c.speedup(),
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"summary\": {\n");
+    json.push_str(&format!("    \"geomean_speedup\": {overall:.2},\n"));
+    json.push_str(&format!("    \"note\": \"{note}\"\n"));
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write pool benchmark");
+    eprintln!("wrote {out_path}: geomean ×{overall:.2} on {cores} core(s)");
+}

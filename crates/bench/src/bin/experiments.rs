@@ -21,6 +21,17 @@
 //!                        modular decomposition vs plain BDDBU
 //!   all                  everything above with fast defaults
 //! ```
+//!
+//! Every suite-driven command (`fig4`, `fig9`, `fig10`, both ablations, and
+//! `all`) additionally accepts `--jobs N`: the suite is sharded across `N`
+//! worker threads (default: the host's available parallelism), each
+//! evaluating instances on its own private BDD manager, with results
+//! reported in suite order. `--jobs 1` runs the exact sequential loop of
+//! the pre-pool driver — same iteration order on the calling thread — and
+//! is the reproducibility baseline the parallel path is tested against.
+//! Note that the per-instance *timings* are measured inside the workers, so
+//! with `--jobs > 1` on a busy machine they include scheduler contention;
+//! use `--jobs 1` when the timing columns themselves are the result.
 
 use std::collections::HashMap;
 use std::time::Duration;
@@ -29,7 +40,9 @@ use adt_analysis::{
     bdd_bu, bdd_bu_report, bdd_bu_with_order, bottom_up, modular_bdd_bu, naive, table2_attacker_op,
     DefenseFirstOrder,
 };
-use adt_bench::{bucket_of, median, naive_work, secs, secs_opt, time_avg, time_once, Csv};
+use adt_bench::{
+    bucket_of, default_jobs, median, naive_work, run_jobs, secs, secs_opt, time_avg, time_once, Csv,
+};
 use adt_core::semiring::{
     AttributeDomain, Ext, MinCost, MinSkill, MinTimePar, MinTimeSeq, Prob, Probability,
 };
@@ -44,7 +57,7 @@ fn main() {
         "table1" => table1(),
         "table2" => table2(),
         "fig3" => fig3(),
-        "fig4" => fig4(flags.num("max-n", 10) as u32),
+        "fig4" => fig4(flags.num("max-n", 10) as u32, &flags),
         "fig5" => fig5(),
         "fig6" => fig6(),
         "case-study" | "fig7" | "fig8" => case_study(),
@@ -58,7 +71,7 @@ fn main() {
             fig3();
             fig5();
             fig6();
-            fig4(8);
+            fig4(8, &flags);
             case_study();
             fig9(&flags);
             fig10(&flags);
@@ -87,6 +100,29 @@ impl Flags {
 
     fn path(&self, key: &str) -> Option<&str> {
         self.0.get(key).map(String::as_str)
+    }
+
+    /// The `--jobs` worker count; defaults to the host's available
+    /// parallelism. The pool clamps it to `[1, suite size]`.
+    ///
+    /// With more than one worker, a one-time note goes to stderr: the
+    /// per-instance timing columns are then measured inside concurrently
+    /// scheduled workers and include contention, so runs whose *timings*
+    /// are the result should pass `--jobs 1` (stdout/CSV is unaffected —
+    /// the fronts and structural columns are identical either way).
+    fn jobs(&self) -> usize {
+        let jobs = self.num("jobs", default_jobs() as u64) as usize;
+        if jobs > 1 {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "note: --jobs {jobs}: timing columns are measured inside concurrent \
+                     workers and may include scheduler contention; use --jobs 1 when the \
+                     timings themselves are the result"
+                );
+            });
+        }
+        jobs
     }
 }
 
@@ -223,13 +259,14 @@ fn fig3() {
     println!("expected (paper): feasible events S = {{(00,010),(01,010),(10,010),(11,110)}}");
 }
 
-fn fig4(max_n: u32) {
+fn fig4(max_n: u32, flags: &Flags) {
     heading("Fig. 4 — worst case |PF(T)| = 2^n");
     println!(
         "{:>3} {:>8} {:>10} {:>12} {:>12} {:>12}",
         "n", "|N|", "|PF|", "t_bu (s)", "t_bddbu (s)", "t_naive (s)"
     );
-    for n in 1..=max_n {
+    let sizes: Vec<u32> = (1..=max_n).collect();
+    let rows = run_jobs(&sizes, flags.jobs(), |_, &n| {
         let t = catalog::fig4(n);
         let front = bottom_up(&t).unwrap();
         assert_eq!(front.len(), 1usize << n, "|PF| must equal 2^n");
@@ -240,14 +277,18 @@ fn fig4(max_n: u32) {
         } else {
             None
         };
+        (t.adt().node_count(), front.len(), t_bu, t_bdd, t_naive)
+    });
+    for (row, n) in rows.iter().zip(&sizes) {
+        let (nodes, front_len, t_bu, t_bdd, t_naive) = &row.result;
         println!(
             "{:>3} {:>8} {:>10} {:>12} {:>12} {:>12}",
             n,
-            t.adt().node_count(),
-            front.len(),
-            secs(t_bu),
-            secs(t_bdd),
-            secs_opt(t_naive),
+            nodes,
+            front_len,
+            secs(*t_bu),
+            secs(*t_bdd),
+            secs_opt(*t_naive),
         );
     }
 }
@@ -376,8 +417,14 @@ fn fig9(flags: &Flags) {
         Shape::Dag,
         seed + 1,
     ));
-    for (i, instance) in instances.iter().enumerate() {
-        let timings = measure(instance, work_cap);
+    // Each instance is a self-contained job: workers own their BDD managers,
+    // and `run_jobs` reports in suite order, so the CSV rows come out
+    // exactly as the sequential driver emitted them.
+    let measured = run_jobs(&instances, flags.jobs(), |_, instance| {
+        measure(instance, work_cap)
+    });
+    for (i, (instance, timed)) in instances.iter().zip(&measured).enumerate() {
+        let timings = &timed.result;
         let shape = if instance.adt.adt().is_tree() {
             "tree"
         } else {
@@ -445,9 +492,12 @@ fn fig10(flags: &Flags) {
 
     type BucketTimes = (Vec<Duration>, Vec<Duration>, Vec<Duration>);
     let instances = bucket_suite(per_bucket, max_nodes, Shape::Tree, seed);
+    let measured = run_jobs(&instances, flags.jobs(), |_, instance| {
+        measure(instance, work_cap)
+    });
     let mut buckets: HashMap<usize, BucketTimes> = HashMap::new();
-    for instance in &instances {
-        let timings = measure(instance, work_cap);
+    for (instance, timed) in instances.iter().zip(&measured) {
+        let timings = &timed.result;
         let entry = buckets.entry(bucket_of(instance.nodes())).or_default();
         if let Some(t) = timings.t_naive {
             entry.0.push(t);
@@ -493,7 +543,7 @@ fn ablation_ordering(flags: &Flags) {
         "t_force_s",
     ]);
     let mut totals = [0usize; 3];
-    for (i, instance) in instances.iter().enumerate() {
+    let measured = run_jobs(&instances, flags.jobs(), |_, instance| {
         let t = &instance.adt;
         let orders = [
             DefenseFirstOrder::declaration(t.adt()),
@@ -513,15 +563,20 @@ fn ablation_ordering(flags: &Flags) {
                 })
             })
             .collect();
-        for (k, report) in reports.iter().enumerate() {
-            totals[k] += report.bdd_nodes;
+        let sizes: Vec<usize> = reports.iter().map(|r| r.bdd_nodes).collect();
+        (sizes, times)
+    });
+    for (i, (instance, timed)) in instances.iter().zip(&measured).enumerate() {
+        let (sizes, times) = &timed.result;
+        for (k, nodes) in sizes.iter().enumerate() {
+            totals[k] += nodes;
         }
         csv.row([
             i.to_string(),
             instance.nodes().to_string(),
-            reports[0].bdd_nodes.to_string(),
-            reports[1].bdd_nodes.to_string(),
-            reports[2].bdd_nodes.to_string(),
+            sizes[0].to_string(),
+            sizes[1].to_string(),
+            sizes[2].to_string(),
             secs(times[0]),
             secs(times[1]),
             secs(times[2]),
@@ -542,7 +597,7 @@ fn ablation_modular(flags: &Flags) {
     let instances = paper_suite(count, max_nodes, Shape::Dag, seed);
     let mut csv = Csv::new(&["instance", "nodes", "shared", "t_bddbu_s", "t_modular_s"]);
     let mut wins = 0usize;
-    for (i, instance) in instances.iter().enumerate() {
+    let measured = run_jobs(&instances, flags.jobs(), |_, instance| {
         let t = &instance.adt;
         assert_eq!(
             modular_bdd_bu(t).unwrap(),
@@ -551,13 +606,17 @@ fn ablation_modular(flags: &Flags) {
         );
         let t_bdd = time_avg(Duration::from_millis(2), || bdd_bu(t).unwrap());
         let t_mod = time_avg(Duration::from_millis(2), || modular_bdd_bu(t).unwrap());
+        (t_bdd, t_mod)
+    });
+    for (i, (instance, timed)) in instances.iter().zip(&measured).enumerate() {
+        let (t_bdd, t_mod) = timed.result;
         if t_mod < t_bdd {
             wins += 1;
         }
         csv.row([
             i.to_string(),
             instance.nodes().to_string(),
-            t.adt().stats().shared_nodes.to_string(),
+            instance.adt.adt().stats().shared_nodes.to_string(),
             secs(t_bdd),
             secs(t_mod),
         ]);

@@ -1,12 +1,19 @@
 //! Shared harness utilities for the experiment binary and the Criterion
-//! benches: timing, work estimation, size buckets, medians and CSV output.
+//! benches: timing, work estimation, size buckets, medians, CSV output, and
+//! the parallel suite-evaluation worker pool ([`pool`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pool;
+
 use std::time::{Duration, Instant};
 
 use adt_core::{AttributeDomain, AugmentedAdt};
+
+pub use pool::{
+    build_order, clamp_jobs, default_jobs, evaluate_suite, run_jobs, JobOutput, SuiteReport,
+};
 
 /// Times one run of a closure.
 pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, Duration) {
@@ -29,6 +36,13 @@ pub fn time_avg<R>(min_total: Duration, mut f: impl FnMut() -> R) -> Duration {
             return elapsed / runs;
         }
     }
+}
+
+/// Geometric mean of a stream of (positive) ratios — the summary statistic
+/// of the `BENCH_*.json` speedup reports. Returns 1.0 for an empty stream.
+pub fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = values.fold((0.0, 0u32), |(s, n), v| (s + v.ln(), n + 1));
+    (sum / f64::from(n.max(1))).exp()
 }
 
 /// Median of a slice of durations (`None` when empty).

@@ -1,0 +1,242 @@
+//! A scoped-thread worker pool for parallel suite evaluation.
+//!
+//! The paper's experiments (Figs. 4, 9 and 10) evaluate whole generated
+//! suites of attack-defense trees, and those suites are embarrassingly
+//! parallel: every instance is analyzed on its own private BDD manager, so
+//! there is no shared mutable state between jobs at all. This module
+//! exploits that with the smallest possible machinery:
+//!
+//! * [`run_jobs`] shards any slice of jobs across `N` workers spawned with
+//!   [`std::thread::scope`] (no external dependencies — the build
+//!   environment is offline). Workers pull job indices from one shared
+//!   [`AtomicUsize`] cursor, so a straggler never holds idle workers
+//!   hostage the way static chunking would.
+//! * Results are **index-ordered, not arrival-ordered**: each outcome is
+//!   stored in the slot of the job that produced it, so the caller observes
+//!   exactly the sequential order regardless of which worker finished when.
+//!   A differential test asserts parallel output equals sequential output
+//!   front-for-front.
+//! * `workers == 1` short-circuits to a plain in-place loop on the calling
+//!   thread — byte-identical behavior to the pre-pool drivers, used by the
+//!   `--jobs 1` path of the `experiments` binary.
+//! * Every job's wall-clock and executing worker are captured in its
+//!   [`JobOutput`] for callers that account per-job time (the `bench_pool`
+//!   harness and the pool tests). The figure drivers' timing *columns*
+//!   still come from `time_avg` calls inside their job closures — the
+//!   pool measures around the closure, not inside it.
+//!
+//! [`evaluate_suite`] layers the ADT-specific part on top: it maps a
+//! [`SuiteJob`] (instance + ordering configuration, from `adt-gen`) to a
+//! [`BddBuReport`] by materializing the configured defense-first order and
+//! running `BDDBU` — each worker owning its own manager.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use adt_analysis::{bdd_bu_report, BddBuReport, DefenseFirstOrder};
+use adt_core::semiring::{AttributeDomain, MinCost};
+use adt_gen::{OrderingKind, SuiteJob};
+
+/// The worker count [`run_jobs`] defaults to: the host's available
+/// parallelism, or 1 when that cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Clamps a requested `--jobs` value to something the pool can honor:
+/// at least 1 (a request of 0 means "sequential", not "no work"), and at
+/// most `job_count` (extra workers would only spawn, find the cursor
+/// exhausted, and exit).
+pub fn clamp_jobs(requested: usize, job_count: usize) -> usize {
+    requested.max(1).min(job_count.max(1))
+}
+
+/// One job's outcome, with provenance.
+#[derive(Debug, Clone)]
+pub struct JobOutput<R> {
+    /// Position of the job in the input slice (results are returned sorted
+    /// by this, so it equals the output position too).
+    pub index: usize,
+    /// Which worker (0-based) executed the job. Always 0 on the sequential
+    /// path.
+    pub worker: usize,
+    /// Wall-clock spent inside the job closure for this job alone.
+    pub elapsed: Duration,
+    /// Whatever the job closure returned.
+    pub result: R,
+}
+
+/// Runs `f` over every job, on `workers` scoped threads pulling from a
+/// shared atomic cursor, and returns the outcomes **in job order**.
+///
+/// `workers` is clamped with [`clamp_jobs`]; a clamped value of 1 runs the
+/// jobs in a plain loop on the calling thread (no threads spawned), which
+/// is the reproducibility baseline the parallel path is tested against.
+///
+/// The closure receives `(index, &job)` so workers can be fully stateless.
+/// If a job panics, the panic propagates out of the scope and the whole
+/// call aborts — suite evaluation has no partial-result semantics.
+///
+/// # Examples
+///
+/// ```
+/// let jobs: Vec<u64> = (0..100).collect();
+/// let outputs = adt_bench::run_jobs(&jobs, 4, |_, &n| n * n);
+/// // Index-ordered, regardless of worker interleaving:
+/// assert!(outputs.iter().enumerate().all(|(i, o)| o.index == i));
+/// assert_eq!(outputs[7].result, 49);
+/// ```
+pub fn run_jobs<J, R, F>(jobs: &[J], workers: usize, f: F) -> Vec<JobOutput<R>>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+{
+    let workers = clamp_jobs(workers, jobs.len());
+    if workers == 1 {
+        // Sequential fast path: same iteration order, same closure, no
+        // synchronization — the `--jobs 1` reproducibility baseline.
+        return jobs
+            .iter()
+            .enumerate()
+            .map(|(index, job)| {
+                let start = Instant::now();
+                let result = f(index, job);
+                JobOutput {
+                    index,
+                    worker: 0,
+                    elapsed: start.elapsed(),
+                    result,
+                }
+            })
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    // One pre-sized slot per job. Workers hold the lock only to deposit a
+    // finished result (an O(1) move), never while computing, so contention
+    // is negligible next to per-job analysis time; `forbid(unsafe_code)`
+    // rules out lock-free disjoint writes into the shared Vec.
+    let slots: Mutex<Vec<Option<JobOutput<R>>>> =
+        Mutex::new((0..jobs.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let cursor = &cursor;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= jobs.len() {
+                    break;
+                }
+                let start = Instant::now();
+                let result = f(index, &jobs[index]);
+                let output = JobOutput {
+                    index,
+                    worker,
+                    elapsed: start.elapsed(),
+                    result,
+                };
+                slots.lock().expect("no worker panicked holding the lock")[index] = Some(output);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("scope joined every worker")
+        .into_iter()
+        .map(|slot| slot.expect("cursor covered every index"))
+        .collect()
+}
+
+/// Materializes a job's [`OrderingKind`] into an actual
+/// [`DefenseFirstOrder`] over the job's tree.
+pub fn build_order(job: &SuiteJob) -> DefenseFirstOrder {
+    let adt = job.instance.adt.adt();
+    match job.ordering {
+        OrderingKind::Declaration => DefenseFirstOrder::declaration(adt),
+        OrderingKind::Dfs => DefenseFirstOrder::dfs(adt),
+        OrderingKind::Force { rounds } => DefenseFirstOrder::force(adt, rounds),
+    }
+}
+
+/// The report type [`evaluate_suite`] produces per job (the generated
+/// suites are min-cost/min-cost, per the paper's §VI-B setup).
+pub type SuiteReport =
+    BddBuReport<<MinCost as AttributeDomain>::Value, <MinCost as AttributeDomain>::Value>;
+
+/// Evaluates a whole generated suite on `workers` threads: each job is
+/// compiled under its configured defense-first order and pushed through
+/// `BDDBU` on a worker-private BDD manager. Outputs are in suite order.
+pub fn evaluate_suite(jobs: &[SuiteJob], workers: usize) -> Vec<JobOutput<SuiteReport>> {
+    run_jobs(jobs, workers, |_, job| {
+        bdd_bu_report(&job.instance.adt, &build_order(job))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_gen::{bucket_suite, suite_jobs, Shape};
+
+    #[test]
+    fn clamping() {
+        // 0 → 1: "--jobs 0" means sequential, never zero workers.
+        assert_eq!(clamp_jobs(0, 10), 1);
+        // More workers than jobs → one worker per job.
+        assert_eq!(clamp_jobs(64, 10), 10);
+        // In range → unchanged.
+        assert_eq!(clamp_jobs(3, 10), 3);
+        // Empty suites still get one (immediately idle) worker.
+        assert_eq!(clamp_jobs(4, 0), 1);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn results_are_index_ordered() {
+        let jobs: Vec<usize> = (0..57).collect();
+        for workers in [1, 2, 5, 64] {
+            let outputs = run_jobs(&jobs, workers, |i, &j| {
+                assert_eq!(i, j);
+                j * 3
+            });
+            assert_eq!(outputs.len(), jobs.len());
+            for (i, output) in outputs.iter().enumerate() {
+                assert_eq!(output.index, i);
+                assert_eq!(output.result, i * 3);
+                assert!(output.worker < clamp_jobs(workers, jobs.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let outputs = run_jobs(&[] as &[u8], 8, |_, _| unreachable!("no jobs"));
+        assert!(outputs.is_empty());
+    }
+
+    #[test]
+    fn parallel_suite_matches_sequential() {
+        let jobs: Vec<SuiteJob> = suite_jobs(
+            bucket_suite(2, 80, Shape::Dag, 77),
+            OrderingKind::Declaration,
+        )
+        .collect();
+        let sequential = evaluate_suite(&jobs, 1);
+        let parallel = evaluate_suite(&jobs, 4);
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.index, p.index);
+            assert_eq!(s.result.front, p.result.front, "job {}", s.index);
+            assert_eq!(s.result.bdd_nodes, p.result.bdd_nodes);
+        }
+    }
+}

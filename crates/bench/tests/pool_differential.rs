@@ -1,0 +1,119 @@
+//! Differential tests for the parallel suite-evaluation pool: whatever the
+//! worker count, suite evaluation must agree with the sequential path
+//! front-for-front — same fronts, same BDD sizes, same order.
+
+use adt_bench::{clamp_jobs, evaluate_suite, run_jobs};
+use adt_gen::{bucket_suite, paper_suite, suite_jobs, OrderingKind, Shape, SuiteJob};
+use proptest::prelude::*;
+
+/// The acceptance-criterion test: a bucket suite (the Fig. 9c/10 workload)
+/// evaluated with `--jobs 1` and with several worker counts, compared
+/// front-for-front.
+#[test]
+fn parallel_equals_sequential_front_for_front() {
+    let jobs: Vec<SuiteJob> = suite_jobs(
+        bucket_suite(3, 100, Shape::Dag, 42),
+        OrderingKind::Declaration,
+    )
+    .collect();
+    let sequential = evaluate_suite(&jobs, 1);
+    for workers in [2, 3, 8, usize::MAX] {
+        let parallel = evaluate_suite(&jobs, workers);
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.index, p.index, "results must be index-ordered");
+            assert_eq!(
+                s.result.front, p.result.front,
+                "job {} fronts diverge at {} workers",
+                s.index, workers
+            );
+            assert_eq!(s.result.bdd_nodes, p.result.bdd_nodes);
+            assert_eq!(s.result.max_front_width, p.result.max_front_width);
+        }
+    }
+}
+
+/// All three ordering configurations survive the pool and still agree on
+/// the fronts (the orders change BDD sizes, never results).
+#[test]
+fn orderings_agree_under_parallel_evaluation() {
+    let instances = paper_suite(10, 40, Shape::Dag, 7);
+    let declaration: Vec<SuiteJob> =
+        suite_jobs(instances.clone(), OrderingKind::Declaration).collect();
+    let dfs: Vec<SuiteJob> = suite_jobs(instances.clone(), OrderingKind::Dfs).collect();
+    let force: Vec<SuiteJob> = suite_jobs(instances, OrderingKind::Force { rounds: 10 }).collect();
+    let a = evaluate_suite(&declaration, 4);
+    let b = evaluate_suite(&dfs, 4);
+    let c = evaluate_suite(&force, 4);
+    for ((a, b), c) in a.iter().zip(&b).zip(&c) {
+        assert_eq!(a.result.front, b.result.front);
+        assert_eq!(a.result.front, c.result.front);
+    }
+}
+
+#[test]
+fn jobs_flag_clamping() {
+    // `--jobs 0` falls back to sequential, never to zero workers.
+    assert_eq!(clamp_jobs(0, 120), 1);
+    // More workers than the suite has instances is capped at the suite size.
+    assert_eq!(clamp_jobs(256, 120), 120);
+    assert_eq!(clamp_jobs(usize::MAX, 5), 5);
+    // Sensible requests pass through.
+    assert_eq!(clamp_jobs(1, 120), 1);
+    assert_eq!(clamp_jobs(8, 120), 8);
+    // The degenerate empty suite still clamps to one worker.
+    assert_eq!(clamp_jobs(8, 0), 1);
+}
+
+#[test]
+fn per_job_timing_is_captured() {
+    let jobs: Vec<u32> = (0..16).collect();
+    let outputs = run_jobs(&jobs, 4, |_, &n| {
+        // Enough real work that the summed elapsed time cannot round to
+        // zero even on a coarse clock.
+        std::hint::black_box((0..=(n + 1) * 10_000).map(u64::from).sum::<u64>())
+    });
+    for output in &outputs {
+        assert_eq!(
+            output.result,
+            (0..=(jobs[output.index] + 1) * 10_000)
+                .map(u64::from)
+                .sum::<u64>()
+        );
+    }
+    let total: std::time::Duration = outputs.iter().map(|o| o.elapsed).sum();
+    assert!(
+        total > std::time::Duration::ZERO,
+        "per-job elapsed times must actually be measured"
+    );
+}
+
+proptest! {
+    /// Random suites (seed, size, shape, ordering all drawn by proptest)
+    /// evaluate to identical fronts sequentially and in parallel.
+    #[test]
+    fn random_suites_agree_sequential_vs_parallel(
+        seed in 0u64..10_000,
+        count in 1usize..8,
+        max_nodes in 10usize..60,
+        dag in any::<bool>(),
+        workers in 2usize..6,
+        ordering in prop_oneof![
+            Just(OrderingKind::Declaration),
+            Just(OrderingKind::Dfs),
+            Just(OrderingKind::Force { rounds: 5 }),
+        ],
+    ) {
+        let shape = if dag { Shape::Dag } else { Shape::Tree };
+        let jobs: Vec<SuiteJob> =
+            suite_jobs(paper_suite(count, max_nodes, shape, seed), ordering).collect();
+        let sequential = evaluate_suite(&jobs, 1);
+        let parallel = evaluate_suite(&jobs, workers);
+        prop_assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            prop_assert_eq!(s.index, p.index);
+            prop_assert_eq!(&s.result.front, &p.result.front, "job {} diverged", s.index);
+            prop_assert_eq!(s.result.bdd_nodes, p.result.bdd_nodes);
+        }
+    }
+}

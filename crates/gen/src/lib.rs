@@ -21,4 +21,4 @@ pub mod suite;
 
 pub use family::{counter_chain, ladder};
 pub use random::{attribute_random, random_adt, RandomAdtConfig, Shape};
-pub use suite::{bucket_suite, paper_suite, Instance};
+pub use suite::{bucket_suite, paper_suite, suite_jobs, Instance, OrderingKind, SuiteJob};

@@ -30,6 +30,55 @@ impl Instance {
     }
 }
 
+/// Which static defense-first variable order a suite job's BDD compilation
+/// should use.
+///
+/// This mirrors the constructors of `adt_analysis::DefenseFirstOrder`
+/// (declaration order, DFS discovery order, and the FORCE heuristic) as
+/// plain *configuration*, so that jobs stay self-contained without `adt-gen`
+/// depending on the analysis crate. The consumer (the worker pool in
+/// `adt-bench`) materializes the actual order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderingKind {
+    /// Basic steps in declaration order (the paper's default).
+    #[default]
+    Declaration,
+    /// Basic steps in DFS discovery order from the root.
+    Dfs,
+    /// The FORCE hypergraph heuristic with the given number of rounds.
+    Force {
+        /// Improvement rounds of the FORCE sweep.
+        rounds: usize,
+    },
+}
+
+/// One self-contained unit of suite-evaluation work: a generated instance
+/// (tree *and* attribute domains — [`Instance`] bundles both) together with
+/// the variable-ordering configuration its BDD compilation should use.
+///
+/// A `SuiteJob` deliberately carries everything a worker thread needs, so a
+/// pool can hand jobs out from a shared cursor and each worker can evaluate
+/// its job on a private `BddManager` with no shared state at all.
+#[derive(Debug, Clone)]
+pub struct SuiteJob {
+    /// The instance to evaluate.
+    pub instance: Instance,
+    /// The defense-first order to compile under.
+    pub ordering: OrderingKind,
+}
+
+/// Packages a generated suite as self-contained jobs, all sharing one
+/// ordering configuration. The iterator yields jobs in suite order, which is
+/// the order a pool's indexed results are reported in.
+pub fn suite_jobs(
+    instances: impl IntoIterator<Item = Instance>,
+    ordering: OrderingKind,
+) -> impl Iterator<Item = SuiteJob> {
+    instances
+        .into_iter()
+        .map(move |instance| SuiteJob { instance, ordering })
+}
+
 /// The paper's primary suite: `count` random ADTs with target sizes drawn
 /// uniformly from `8..max_nodes` (the paper uses 120 instances with
 /// `|N| < 45`).

@@ -23,15 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for shape in [Shape::Tree, Shape::Dag] {
         for instance in paper_suite(count, max_nodes, shape, seed) {
             let t = &instance.adt;
-            let front = bdd_bu(t)?;
-            // Cross-check against the other algorithms.
+            // `analyze` dispatches: bottom-up on trees, BDDBU on DAGs.
+            let front = analyze(t)?;
+            // Cross-check against the algorithms `analyze` did not pick
+            // (on DAGs it already ran BDDBU itself).
             if t.adt().is_tree() {
-                assert_eq!(
-                    front,
-                    bottom_up(t)?,
-                    "BU disagrees on seed {}",
-                    instance.seed
-                );
+                assert_eq!(front, bdd_bu(t)?, "BDDBU disagrees on {}", instance.seed);
             }
             assert_eq!(
                 front,

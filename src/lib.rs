@@ -54,11 +54,17 @@ pub use adt_bdd as bdd;
 pub use adt_core as core;
 pub use adt_gen as gen;
 
+/// Runs the README's code blocks as doctests (`cargo test --doc`), so the
+/// front-page examples can never drift from the API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+struct ReadmeDoctests;
+
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use adt_analysis::{
-        bdd_bu, bottom_up, brute_force_front, modular_bdd_bu, naive, unfold_to_tree, AnalysisError,
-        DefenseFirstOrder,
+        analyze, bdd_bu, bottom_up, brute_force_front, modular_bdd_bu, naive, unfold_to_tree,
+        AnalysisError, DefenseFirstOrder,
     };
     pub use adt_core::{
         Adt, AdtBuilder, AdtError, Agent, AttackVector, AttributeDomain, AugmentedAdt,

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no network access, so the workspace vendors a
 //! minimal property-testing harness exposing the slice of the proptest API
-//! its test suites use: the [`proptest!`] macro, [`Strategy`] with
+//! its test suites use: the [`proptest!`] macro, [`Strategy`](strategy::Strategy) with
 //! `prop_map` / `prop_recursive`, `prop_oneof!`, `Just`, `any::<bool>()`,
 //! integer-range strategies, tuple strategies, `prop::collection::vec`, and
 //! the `prop_assert*` / `prop_assume!` macros.

@@ -213,7 +213,7 @@ impl_tuple_strategy! {
     (S0 0, S1 1, S2 2, S3 3);
 }
 
-/// A weighted choice among strategies; built by [`prop_oneof!`].
+/// A weighted choice among strategies; built by the `prop_oneof!` macro.
 pub fn union<T: 'static>(arms: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T> {
     assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
     let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
