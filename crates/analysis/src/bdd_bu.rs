@@ -152,21 +152,41 @@ where
     DA: AttributeDomain,
 {
     let (bdd, root) = compile(t.adt(), order);
+    propagate(t, order, &bdd, root)
+}
+
+/// The front-propagation half of Algorithm 3, decoupled from compilation:
+/// runs the terminal-to-root sweep over an already-compiled diagram and
+/// returns the full report. `bdd_nodes` falls out of the same reachability
+/// sweep the propagation walks (`|W|` = the reachable set's size), so no
+/// separate `node_count` pass runs.
+///
+/// Standalone so the [`AnalysisEngine`](crate::engine::AnalysisEngine) can
+/// compile into its long-lived, GC-managed manager and still share this
+/// exact propagation code with the one-shot [`bdd_bu_report`] path.
+pub(crate) fn propagate<DD, DA>(
+    t: &AugmentedAdt<DD, DA>,
+    order: &DefenseFirstOrder,
+    bdd: &Bdd,
+    root: NodeRef,
+) -> BddBuReport<DD::Value, DA::Value>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    let reachable = bdd.reachable_topological(root);
     let mut run = Run {
         t,
-        bdd: &bdd,
+        bdd,
         order,
         root_agent: t.adt().root_agent(),
-        // Dense memo indexed by NodeRef: the compiled manager's arena is
-        // exactly the working set, so a Vec probe (one bounds check)
-        // replaces a SipHash lookup on the hottest path of Algorithm 3.
-        memo: vec![None; bdd.total_nodes()],
+        memo: Scratch::for_query(root.index().max(1) + 1, reachable.len()),
         max_width: 0,
     };
-    let front = run.front(root);
+    let front = run.front(root, &reachable);
     BddBuReport {
         front,
-        bdd_nodes: bdd.node_count(root),
+        bdd_nodes: reachable.len(),
         max_front_width: run.max_width,
     }
 }
@@ -185,12 +205,61 @@ enum NodeFront<VD, VA> {
     Front(ParetoFront<VD, VA>),
 }
 
+/// The per-query memo of node fronts.
+///
+/// The one-shot path compiles into a fresh manager, so the arena *is* the
+/// working set and a dense `Vec` indexed by `NodeRef` — one bounds check
+/// per probe, no hashing — is the PR-1 hot-path choice. Under a long-lived
+/// [`AnalysisEngine`](crate::engine::AnalysisEngine) the arena additionally
+/// holds garbage and other queries' survivors, and zeroing an arena-sized
+/// vector of fat `Option`s per query can dwarf the propagation itself; once
+/// the arena exceeds 4× the query's reachable set, the memo switches to a
+/// `HashMap` keyed by node index, whose cost scales with the query instead
+/// of the arena.
+enum Scratch<VD, VA> {
+    Dense(Vec<Option<NodeFront<VD, VA>>>),
+    Sparse(std::collections::HashMap<u32, NodeFront<VD, VA>>),
+}
+
+impl<VD, VA> Scratch<VD, VA> {
+    fn for_query(arena_span: usize, reachable: usize) -> Self {
+        if arena_span <= 4 * reachable {
+            Scratch::Dense((0..arena_span).map(|_| None).collect())
+        } else {
+            Scratch::Sparse(std::collections::HashMap::with_capacity(reachable))
+        }
+    }
+
+    fn get(&self, node: NodeRef) -> Option<&NodeFront<VD, VA>> {
+        match self {
+            Scratch::Dense(slots) => slots[node.index()].as_ref(),
+            Scratch::Sparse(map) => map.get(&(node.index() as u32)),
+        }
+    }
+
+    fn set(&mut self, node: NodeRef, front: NodeFront<VD, VA>) {
+        match self {
+            Scratch::Dense(slots) => slots[node.index()] = Some(front),
+            Scratch::Sparse(map) => {
+                map.insert(node.index() as u32, front);
+            }
+        }
+    }
+
+    fn take(&mut self, node: NodeRef) -> Option<NodeFront<VD, VA>> {
+        match self {
+            Scratch::Dense(slots) => slots[node.index()].take(),
+            Scratch::Sparse(map) => map.remove(&(node.index() as u32)),
+        }
+    }
+}
+
 struct Run<'a, DD: AttributeDomain, DA: AttributeDomain> {
     t: &'a AugmentedAdt<DD, DA>,
     bdd: &'a Bdd,
     order: &'a DefenseFirstOrder,
     root_agent: Agent,
-    memo: Vec<Option<NodeFront<DD::Value, DA::Value>>>,
+    memo: Scratch<DD::Value, DA::Value>,
     max_width: usize,
 }
 
@@ -203,10 +272,10 @@ impl<DD: AttributeDomain, DA: AttributeDomain> Run<'_, DD, DA> {
     /// Attack-level nodes (the bulk of a defense-first diagram) exchange
     /// plain semiring scalars; fronts materialize only at and above the
     /// defense boundary.
-    fn front(&mut self, root: NodeRef) -> Front<DD, DA> {
+    fn front(&mut self, root: NodeRef, reachable: &[NodeRef]) -> Front<DD, DA> {
         let dd = self.t.defender_domain();
         let da = self.t.attacker_domain();
-        for w in self.bdd.reachable_topological(root) {
+        for &w in reachable {
             // Terminals (lines 2–5 of Algorithm 3): which terminal is the
             // attacker's goal depends on the root agent.
             if w == Bdd::FALSE || w == Bdd::TRUE {
@@ -215,7 +284,7 @@ impl<DD: AttributeDomain, DA: AttributeDomain> Run<'_, DD, DA> {
                     Agent::Defender => w == Bdd::FALSE,
                 };
                 let value = if reached_goal { da.one() } else { da.zero() };
-                self.memo[w.index()] = Some(NodeFront::Scalar(value));
+                self.memo.set(w, NodeFront::Scalar(value));
                 continue;
             }
             let level = self.bdd.level(w);
@@ -230,20 +299,14 @@ impl<DD: AttributeDomain, DA: AttributeDomain> Run<'_, DD, DA> {
                     .defense_value_of(self.order.event(level))
                     .expect("defense level maps to a defense step");
                 let (p0_singleton, p1_singleton);
-                let p0 = match self.memo[low.index()]
-                    .as_ref()
-                    .expect("child before parent")
-                {
+                let p0 = match self.memo.get(low).expect("child before parent") {
                     NodeFront::Front(front) => front,
                     NodeFront::Scalar(u) => {
                         p0_singleton = ParetoFront::singleton((dd.one(), u.clone()));
                         &p0_singleton
                     }
                 };
-                let p1 = match self.memo[high.index()]
-                    .as_ref()
-                    .expect("child before parent")
-                {
+                let p1 = match self.memo.get(high).expect("child before parent") {
                     NodeFront::Front(front) => front,
                     NodeFront::Scalar(u) => {
                         p1_singleton = ParetoFront::singleton((dd.one(), u.clone()));
@@ -257,15 +320,10 @@ impl<DD: AttributeDomain, DA: AttributeDomain> Run<'_, DD, DA> {
                 // Lines 6–9: below the boundary, fronts are singletons; the
                 // attacker skips the step or pays for it, whichever is
                 // better. Pure scalar semiring arithmetic — no allocation.
-                let NodeFront::Scalar(u0) = self.memo[low.index()]
-                    .as_ref()
-                    .expect("child before parent")
-                else {
+                let NodeFront::Scalar(u0) = self.memo.get(low).expect("child before parent") else {
                     unreachable!("attack-level children are attack-level or terminal")
                 };
-                let NodeFront::Scalar(u1) = self.memo[high.index()]
-                    .as_ref()
-                    .expect("child before parent")
+                let NodeFront::Scalar(u1) = self.memo.get(high).expect("child before parent")
                 else {
                     unreachable!("attack-level children are attack-level or terminal")
                 };
@@ -277,9 +335,9 @@ impl<DD: AttributeDomain, DA: AttributeDomain> Run<'_, DD, DA> {
                 self.max_width = self.max_width.max(1);
                 NodeFront::Scalar(da.add(u0, &paid))
             };
-            self.memo[w.index()] = Some(result);
+            self.memo.set(w, result);
         }
-        match self.memo[root.index()].take().expect("root front computed") {
+        match self.memo.take(root).expect("root front computed") {
             NodeFront::Front(front) => front,
             NodeFront::Scalar(u) => ParetoFront::singleton((dd.one(), u)),
         }

@@ -210,6 +210,21 @@ impl DefenseFirstOrder {
 /// BDDs handle DAGs that the bottom-up front propagation cannot.
 pub fn compile(adt: &Adt, order: &DefenseFirstOrder) -> (Bdd, NodeRef) {
     let mut bdd = Bdd::new(order.var_count());
+    let root = compile_into(&mut bdd, adt, order);
+    (bdd, root)
+}
+
+/// [`compile`] into a caller-owned (typically long-lived) manager.
+///
+/// Grows the manager's variable count to cover the order if needed and
+/// returns the root function. This is the entry point of the
+/// [`AnalysisEngine`](crate::engine::AnalysisEngine): one manager serves
+/// many queries, each interpreting levels through its own order, and
+/// structurally identical sub-functions are shared across queries by the
+/// unique table. The returned ref is **not** GC-protected — callers that
+/// may trigger a collection must `protect` it first.
+pub fn compile_into(bdd: &mut Bdd, adt: &Adt, order: &DefenseFirstOrder) -> NodeRef {
+    bdd.ensure_var_count(order.var_count());
     let mut refs: Vec<NodeRef> = vec![Bdd::FALSE; adt.node_count()];
     for &v in adt.topological_order() {
         let node = &adt[v];
@@ -237,8 +252,7 @@ pub fn compile(adt: &Adt, order: &DefenseFirstOrder) -> (Bdd, NodeRef) {
         };
         refs[v.index()] = f;
     }
-    let root = refs[adt.root().index()];
-    (bdd, root)
+    refs[adt.root().index()]
 }
 
 #[cfg(test)]

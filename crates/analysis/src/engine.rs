@@ -1,0 +1,718 @@
+//! The long-lived analysis engine: one BDD manager, many queries.
+//!
+//! Every other entry point of this crate ([`bdd_bu`](crate::bdd_bu::bdd_bu),
+//! [`analyze`](crate::analyze), …) builds a throwaway manager per call —
+//! correct, contention-free, and exactly wrong for a server that answers
+//! millions of queries from one process. [`AnalysisEngine`] is the
+//! server-style counterpart:
+//!
+//! * **Manager reuse** — queries compile into one shared [`Bdd`] (via
+//!   [`compile_into`]), so structurally identical sub-functions are shared
+//!   across queries by the unique table, and the arena/table/cache
+//!   allocations amortize over the query stream.
+//! * **Bounded memory** — after each query the root is unprotected and
+//!   [`Bdd::maybe_gc`] applies the engine's GC threshold: nothing survives
+//!   a collection except the roots of in-flight queries, so the arena peak
+//!   is bounded by `threshold + one query's traffic` instead of growing
+//!   monotonically. (`BENCH_PR4.json` quantifies this.)
+//! * **Cross-query memoization** — finished fronts are cached under a
+//!   *structural* key (shape + agents + attribute values, names ignored),
+//!   so repeated queries — and, through [`AnalysisEngine::modular`],
+//!   repeated shared *modules* — cost a hash lookup instead of a
+//!   compilation. The cache stores value-space fronts, never `NodeRef`s,
+//!   so it is immune to GC renumbering.
+//!
+//! # Correctness of the cache key
+//!
+//! A cache hit requires bit-for-bit equality of the structural encoding
+//! *and* `PartialEq`-equality of every attribute value (the hash only
+//! buckets; a colliding hash falls through to the full comparison). Equal
+//! keys describe isomorphic augmented ADTs, and every algorithm in this
+//! crate computes the same front for isomorphic inputs (Theorem 2 — the
+//! front is a function of the structure function and the attributions, not
+//! of names or node identity). One caveat is *domain instances*: the key
+//! does not include `DD`/`DA` state, so an engine must only serve queries
+//! whose domain instances are interchangeable. Every domain in `adt-core`
+//! is a stateless unit struct, which satisfies this trivially; a future
+//! stateful domain would need to become part of the key.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use adt_bdd::{Bdd, GcStats};
+use adt_core::{Agent, AttributeDomain, AugmentedAdt, Gate};
+
+use crate::bdd_bu::{propagate, BddBuReport};
+use crate::bdd_compile::{compile_into, DefenseFirstOrder};
+use crate::bottom_up::bottom_up;
+use crate::error::AnalysisError;
+use crate::modular::{modular_core, ModuleAnalyzer};
+use crate::Front;
+
+/// Default automatic-GC threshold of a fresh engine, in arena nodes.
+///
+/// 2²⁰ nodes ≈ 12 MiB of arena — far above any single query of the paper's
+/// workloads (so the threshold never fires mid-stream pathologies) yet
+/// small enough that a long query stream stays inside cache-friendly
+/// memory. Tune per deployment with [`AnalysisEngine::set_gc_threshold`].
+pub const DEFAULT_GC_THRESHOLD: usize = 1 << 20;
+
+/// Key-space tag: which algorithm/shape produced a cached front (fronts
+/// agree across algorithms, but the cached *report metadata* — BDD size,
+/// width — does not, so the tags keep the entries apart).
+const TAG_BOTTOM_UP: u32 = 0;
+const TAG_BDD: u32 = 1;
+const TAG_MODULAR: u32 = 2;
+
+/// Cache-effectiveness counters of an [`AnalysisEngine`].
+///
+/// Every cache-consulting analysis — top-level queries *and* module
+/// sub-analyses — counts as one lookup, so
+/// `cache_hits + cache_misses` is the total number of front requests the
+/// engine has served.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Front requests answered from the cross-query cache.
+    pub cache_hits: usize,
+    /// Front requests that had to compile and propagate.
+    pub cache_misses: usize,
+}
+
+impl EngineStats {
+    /// Total front requests served.
+    pub fn lookups(&self) -> usize {
+        self.cache_hits + self.cache_misses
+    }
+
+    /// Fraction of requests served from cache (0.0 for an idle engine).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// The full structural identity of a query: what must match for a cached
+/// front to be reused. See the module docs for the correctness argument.
+struct QueryKey<VD, VA> {
+    /// Canonical encoding of the ADT shape: tag, then per topological node
+    /// `[agent/gate head, child count, child local indices…]` (levels of
+    /// the variable order appended for BDD-path keys), then the root's
+    /// local index.
+    structure: Vec<u32>,
+    /// Defense-leaf values in topological encounter order.
+    defense_values: Vec<VD>,
+    /// Attack-leaf values in topological encounter order.
+    attack_values: Vec<VA>,
+}
+
+impl<VD: PartialEq, VA: PartialEq> QueryKey<VD, VA> {
+    fn matches(&self, other: &Self) -> bool {
+        self.structure == other.structure
+            && self.defense_values == other.defense_values
+            && self.attack_values == other.attack_values
+    }
+}
+
+/// What the cache stores per key: the front plus the report metadata of
+/// the producing run (zero for the non-BDD tags).
+#[derive(Clone)]
+struct CachedReport<VD: Clone, VA: Clone> {
+    front: Front2<VD, VA>,
+    bdd_nodes: usize,
+    max_front_width: usize,
+}
+
+/// Value-typed front alias (the crate's [`Front`] is domain-typed).
+type Front2<VD, VA> = adt_core::ParetoFront<VD, VA>;
+
+struct MemoEntry<VD: Clone, VA: Clone> {
+    key: QueryKey<VD, VA>,
+    report: CachedReport<VD, VA>,
+}
+
+/// The hash-bucketed cross-query cache (hash → entries whose keys landed
+/// there; see [`QueryKey::matches`] for the collision-proof equality).
+type Memo<VD, VA> = HashMap<u64, Vec<MemoEntry<VD, VA>>>;
+
+/// Builds the structural key (and its hash) of one query.
+///
+/// Node names are deliberately excluded: two differently-named but
+/// isomorphic, identically-attributed trees share one entry. Attribute
+/// values enter the *hash* through their `Debug` rendering (the only
+/// representation `AttributeDomain::Value` guarantees) but enter the
+/// *equality check* through `PartialEq`, so an ambiguous `Debug` can only
+/// cost a bucket collision, never a wrong hit.
+fn query_key<DD, DA>(
+    t: &AugmentedAdt<DD, DA>,
+    tag: u32,
+    order: Option<&DefenseFirstOrder>,
+) -> (u64, QueryKey<DD::Value, DA::Value>)
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    let adt = t.adt();
+    let mut local = vec![u32::MAX; adt.node_count()];
+    let mut structure = Vec::with_capacity(3 * adt.node_count() + 2);
+    let mut defense_values = Vec::with_capacity(adt.defense_count());
+    let mut attack_values = Vec::with_capacity(adt.attack_count());
+    structure.push(tag);
+    for (position, &v) in adt.topological_order().iter().enumerate() {
+        local[v.index()] = position as u32;
+        let node = &adt[v];
+        let agent_bit = match node.agent() {
+            Agent::Defender => 0u32,
+            Agent::Attacker => 1,
+        };
+        let gate_tag = match node.gate() {
+            Gate::Basic => 0u32,
+            Gate::And => 1,
+            Gate::Or => 2,
+            Gate::Inh => 3,
+        };
+        structure.push(agent_bit << 2 | gate_tag);
+        structure.push(node.children().len() as u32);
+        for &c in node.children() {
+            debug_assert_ne!(local[c.index()], u32::MAX, "child after parent");
+            structure.push(local[c.index()]);
+        }
+        if node.is_leaf() {
+            if let Some(order) = order {
+                structure.push(order.level(v).expect("basic steps are ordered"));
+            }
+            match node.agent() {
+                Agent::Defender => {
+                    defense_values.push(t.defense_value_of(v).expect("defense leaf value").clone())
+                }
+                Agent::Attacker => {
+                    attack_values.push(t.attack_value_of(v).expect("attack leaf value").clone())
+                }
+            }
+        }
+    }
+    structure.push(local[adt.root().index()]);
+
+    let mut hasher = DefaultHasher::new();
+    structure.hash(&mut hasher);
+    for value in &defense_values {
+        hash_debug(&mut hasher, value);
+    }
+    for value in &attack_values {
+        hash_debug(&mut hasher, value);
+    }
+    (
+        hasher.finish(),
+        QueryKey {
+            structure,
+            defense_values,
+            attack_values,
+        },
+    )
+}
+
+/// Streams a value's `Debug` rendering straight into the hasher — no
+/// intermediate `String`, which matters because keys are built on *every*
+/// lookup, cache hits included. A `0xFF` terminator delimits values (an
+/// ambiguity here could only cost a bucket collision anyway — hits are
+/// verified by `PartialEq` — but cheap separators keep the hash honest).
+fn hash_debug(hasher: &mut impl Hasher, value: &impl std::fmt::Debug) {
+    struct HashWriter<'a, H: Hasher>(&'a mut H);
+    impl<H: Hasher> std::fmt::Write for HashWriter<'_, H> {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            self.0.write(s.as_bytes());
+            Ok(())
+        }
+    }
+    use std::fmt::Write as _;
+    write!(HashWriter(hasher), "{value:?}").expect("Debug formatting never fails");
+    hasher.write_u8(0xFF);
+}
+
+/// A persistent Pareto-front analysis engine: one GC-managed BDD manager
+/// and one cross-query front cache, reused across an unbounded stream of
+/// queries.
+///
+/// Construct once (per worker thread — the engine is single-threaded by
+/// design, workers never share managers), then call
+/// [`analyze`](AnalysisEngine::analyze),
+/// [`bdd_bu_report`](AnalysisEngine::bdd_bu_report) or
+/// [`modular`](AnalysisEngine::modular) per query. Results are identical
+/// to the one-shot functions they mirror — the workspace's differential
+/// tests pin warm-engine output to fresh-manager output front-for-front.
+///
+/// # Examples
+///
+/// ```
+/// use adt_analysis::AnalysisEngine;
+/// use adt_core::{catalog, MinCost};
+///
+/// let mut engine: AnalysisEngine<MinCost, MinCost> = AnalysisEngine::new();
+/// let first = engine.analyze(&catalog::money_theft()).unwrap();
+/// // The repeat is served from the cross-query cache — no recompilation.
+/// let again = engine.analyze(&catalog::money_theft()).unwrap();
+/// assert_eq!(first, again);
+/// assert_eq!(engine.stats().cache_hits, 1);
+/// assert_eq!(first.to_string(), "{(0, 80), (20, 90), (50, 140)}");
+/// ```
+pub struct AnalysisEngine<DD: AttributeDomain, DA: AttributeDomain> {
+    bdd: Bdd,
+    memo: Memo<DD::Value, DA::Value>,
+    stats: EngineStats,
+}
+
+impl<DD: AttributeDomain, DA: AttributeDomain> Default for AnalysisEngine<DD, DA> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<DD, DA> AnalysisEngine<DD, DA>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    /// A fresh engine with the [`DEFAULT_GC_THRESHOLD`].
+    pub fn new() -> Self {
+        Self::with_gc_threshold(DEFAULT_GC_THRESHOLD)
+    }
+
+    /// A fresh engine whose manager auto-collects once its arena reaches
+    /// `gc_threshold` nodes (`usize::MAX` disables GC).
+    pub fn with_gc_threshold(gc_threshold: usize) -> Self {
+        let mut bdd = Bdd::new(0);
+        bdd.set_gc_threshold(gc_threshold);
+        AnalysisEngine {
+            bdd,
+            memo: HashMap::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Changes the automatic-GC threshold of the underlying manager.
+    pub fn set_gc_threshold(&mut self, nodes: usize) {
+        self.bdd.set_gc_threshold(nodes);
+    }
+
+    /// The current automatic-GC threshold.
+    pub fn gc_threshold(&self) -> usize {
+        self.bdd.gc_threshold()
+    }
+
+    /// Restores the engine to its just-constructed state (empty manager,
+    /// empty cache, zeroed stats), keeping only the GC threshold. This is
+    /// the "cold" baseline of the `bench_engine` harness and the
+    /// per-suite reset of the worker pool's non-warm mode.
+    pub fn reset(&mut self) {
+        *self = Self::with_gc_threshold(self.gc_threshold());
+    }
+
+    /// Drops every cached front, keeping the manager. Bounds the memory of
+    /// the (otherwise unbounded) cross-query cache on streams with little
+    /// repetition.
+    pub fn clear_cache(&mut self) {
+        self.memo.clear();
+    }
+
+    /// Number of distinct fronts currently cached.
+    pub fn cached_fronts(&self) -> usize {
+        self.memo.values().map(Vec::len).sum()
+    }
+
+    /// Cache-effectiveness counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Garbage-collection statistics of the underlying manager.
+    pub fn gc_stats(&self) -> GcStats {
+        self.bdd.gc_stats()
+    }
+
+    /// Current arena size of the underlying manager (nodes, terminals and
+    /// not-yet-collected garbage included).
+    pub fn arena_nodes(&self) -> usize {
+        self.bdd.total_nodes()
+    }
+
+    /// Largest arena size the engine's manager ever reached — the memory
+    /// high-water mark that GC is there to bound.
+    pub fn peak_arena(&self) -> usize {
+        self.bdd.peak_arena()
+    }
+
+    /// Serves a front from the cache, or computes-and-caches it.
+    fn cached_front(
+        &mut self,
+        hash: u64,
+        key: QueryKey<DD::Value, DA::Value>,
+        compute: impl FnOnce(&mut Self) -> Result<Front<DD, DA>, AnalysisError>,
+    ) -> Result<Front<DD, DA>, AnalysisError> {
+        if let Some(hit) = self.lookup(hash, &key) {
+            return Ok(hit.front);
+        }
+        let front = compute(self)?;
+        self.insert(
+            hash,
+            key,
+            CachedReport {
+                front: front.clone(),
+                bdd_nodes: 0,
+                max_front_width: 0,
+            },
+        );
+        Ok(front)
+    }
+
+    fn lookup(
+        &mut self,
+        hash: u64,
+        key: &QueryKey<DD::Value, DA::Value>,
+    ) -> Option<CachedReport<DD::Value, DA::Value>> {
+        if let Some(bucket) = self.memo.get(&hash) {
+            if let Some(entry) = bucket.iter().find(|e| e.key.matches(key)) {
+                self.stats.cache_hits += 1;
+                return Some(entry.report.clone());
+            }
+        }
+        self.stats.cache_misses += 1;
+        None
+    }
+
+    fn insert(
+        &mut self,
+        hash: u64,
+        key: QueryKey<DD::Value, DA::Value>,
+        report: CachedReport<DD::Value, DA::Value>,
+    ) {
+        self.memo
+            .entry(hash)
+            .or_default()
+            .push(MemoEntry { key, report });
+    }
+
+    /// The engine counterpart of [`crate::analyze`]: bottom-up on trees,
+    /// `BDDBU` (under the declaration order, into the shared manager) on
+    /// DAGs — with the cross-query cache consulted first either way.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible, like the one-shot algorithms it dispatches to.
+    pub fn analyze(&mut self, t: &AugmentedAdt<DD, DA>) -> Result<Front<DD, DA>, AnalysisError> {
+        if t.adt().is_tree() {
+            let (hash, key) = query_key(t, TAG_BOTTOM_UP, None);
+            self.cached_front(hash, key, |_| bottom_up(t))
+        } else {
+            let order = DefenseFirstOrder::declaration(t.adt());
+            Ok(self.bdd_bu_report(t, &order).front)
+        }
+    }
+
+    /// The engine counterpart of [`crate::bdd_bu::bdd_bu_report`]: runs
+    /// `BDDBU` under `order` against the engine's shared manager, applying
+    /// the engine's query lifecycle — compile, protect, propagate,
+    /// unprotect, maybe-GC — and the cross-query cache (which stores the
+    /// full report, so hits reproduce BDD size and width too).
+    pub fn bdd_bu_report(
+        &mut self,
+        t: &AugmentedAdt<DD, DA>,
+        order: &DefenseFirstOrder,
+    ) -> BddBuReport<DD::Value, DA::Value> {
+        let (hash, key) = query_key(t, TAG_BDD, Some(order));
+        if let Some(hit) = self.lookup(hash, &key) {
+            return BddBuReport {
+                front: hit.front,
+                bdd_nodes: hit.bdd_nodes,
+                max_front_width: hit.max_front_width,
+            };
+        }
+        // The query lifecycle. The protect/unprotect pair brackets every
+        // use of `root`: nothing in between collects today, but the
+        // registry is the engine's contract with the kernel — any future
+        // mid-query collection (e.g. compile-triggered) keeps this root
+        // alive, and debug builds assert registry discipline.
+        let root = compile_into(&mut self.bdd, t.adt(), order);
+        let handle = self.bdd.protect(root);
+        let root = self.bdd.resolve(handle);
+        let report = propagate(t, order, &self.bdd, root);
+        self.bdd.unprotect(handle);
+        self.bdd.maybe_gc();
+        self.insert(
+            hash,
+            key,
+            CachedReport {
+                front: report.front.clone(),
+                bdd_nodes: report.bdd_nodes,
+                max_front_width: report.max_front_width,
+            },
+        );
+        report
+    }
+}
+
+impl<DD, DA> AnalysisEngine<DD, DA>
+where
+    DD: AttributeDomain + Clone,
+    DA: AttributeDomain + Clone,
+{
+    /// The engine counterpart of [`crate::modular::modular_bdd_bu`], with
+    /// every module front routed through the cross-query cache: a module
+    /// shared by many queries (or recurring inside one query stream) is
+    /// analyzed once, then served by structural lookup — this is the
+    /// paper's §VII modular future-work direction made incremental.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible, like [`crate::modular::modular_bdd_bu`].
+    pub fn modular(&mut self, t: &AugmentedAdt<DD, DA>) -> Result<Front<DD, DA>, AnalysisError> {
+        let (hash, key) = query_key(t, TAG_MODULAR, None);
+        self.cached_front(hash, key, |engine| modular_core(t, engine))
+    }
+}
+
+impl<DD, DA> ModuleAnalyzer<DD, DA> for AnalysisEngine<DD, DA>
+where
+    DD: AttributeDomain + Clone,
+    DA: AttributeDomain + Clone,
+{
+    fn module_front(&mut self, t: &AugmentedAdt<DD, DA>) -> Result<Front<DD, DA>, AnalysisError> {
+        self.modular(t)
+    }
+
+    fn direct_front(&mut self, t: &AugmentedAdt<DD, DA>) -> Result<Front<DD, DA>, AnalysisError> {
+        let order = DefenseFirstOrder::declaration(t.adt());
+        Ok(self.bdd_bu_report(t, &order).front)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::modular_bdd_bu;
+    use adt_core::{catalog, MinCost};
+
+    type Engine = AnalysisEngine<MinCost, MinCost>;
+
+    #[test]
+    fn warm_engine_matches_fresh_analysis_on_the_catalog() {
+        let mut engine = Engine::new();
+        for _round in 0..3 {
+            for t in [
+                catalog::fig1(),
+                catalog::fig2(),
+                catalog::fig3(),
+                catalog::fig5(),
+                catalog::fig4(5),
+                catalog::money_theft(),
+                catalog::money_theft_tree(),
+            ] {
+                assert_eq!(
+                    engine.analyze(&t).unwrap(),
+                    crate::analyze(&t).unwrap(),
+                    "engine diverged from the one-shot path"
+                );
+            }
+        }
+        let stats = engine.stats();
+        // Rounds 2 and 3 are pure cache hits.
+        assert_eq!(stats.cache_misses, 7);
+        assert_eq!(stats.cache_hits, 14);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forced_gc_between_queries_changes_nothing() {
+        // Threshold 1: the arena exceeds it after every query, so each
+        // query ends with a collection — maximal renumbering pressure.
+        let mut engine = Engine::with_gc_threshold(1);
+        for t in [catalog::fig2(), catalog::money_theft(), catalog::fig4(6)] {
+            let order = DefenseFirstOrder::declaration(t.adt());
+            let warm = engine.bdd_bu_report(&t, &order);
+            let fresh = crate::bdd_bu::bdd_bu_report(&t, &order);
+            assert_eq!(warm.front, fresh.front);
+            assert_eq!(warm.bdd_nodes, fresh.bdd_nodes);
+            assert_eq!(warm.max_front_width, fresh.max_front_width);
+            assert_eq!(engine.arena_nodes(), 2, "post-query GC must sweep all");
+        }
+        assert_eq!(engine.gc_stats().collections, 3);
+        assert!(engine.gc_stats().nodes_freed > 0);
+    }
+
+    #[test]
+    fn cache_hit_reproduces_the_full_report() {
+        let mut engine = Engine::new();
+        let t = catalog::money_theft();
+        let order = DefenseFirstOrder::declaration(t.adt());
+        let miss = engine.bdd_bu_report(&t, &order);
+        let hit = engine.bdd_bu_report(&t, &order);
+        assert_eq!(miss.front, hit.front);
+        assert_eq!(miss.bdd_nodes, hit.bdd_nodes);
+        assert_eq!(miss.max_front_width, hit.max_front_width);
+        assert_eq!(engine.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn different_orders_do_not_share_report_entries() {
+        let mut engine = Engine::new();
+        let t = catalog::money_theft();
+        let declaration = engine.bdd_bu_report(&t, &DefenseFirstOrder::declaration(t.adt()));
+        let dfs = engine.bdd_bu_report(&t, &DefenseFirstOrder::dfs(t.adt()));
+        // Fronts agree; sizes may not — the key must keep them apart.
+        assert_eq!(declaration.front, dfs.front);
+        assert_eq!(engine.stats().cache_hits, 0);
+        assert_eq!(engine.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn modular_routes_shared_modules_through_the_cache() {
+        let mut engine = Engine::new();
+        let t = catalog::money_theft();
+        assert_eq!(engine.modular(&t).unwrap(), modular_bdd_bu(&t).unwrap());
+        let misses_after_first = engine.stats().cache_misses;
+        assert!(misses_after_first >= 2, "modules are cached individually");
+        // The same query again: one hit, zero new misses — and crucially
+        // the *modules* would be hits even from a different host query.
+        assert_eq!(engine.modular(&t).unwrap(), modular_bdd_bu(&t).unwrap());
+        assert_eq!(engine.stats().cache_misses, misses_after_first);
+        assert!(engine.stats().cache_hits >= 1);
+    }
+
+    #[test]
+    fn structurally_identical_queries_share_one_entry() {
+        // The same shape and values under different names must hit.
+        let build = |prefix: &str| {
+            let mut b = adt_core::AdtBuilder::new();
+            let a = b.attack(format!("{prefix}_a")).unwrap();
+            let d = b.defense(format!("{prefix}_d")).unwrap();
+            let g = b.inh(format!("{prefix}_g"), a, d).unwrap();
+            let e = b.attack(format!("{prefix}_e")).unwrap();
+            let root = b.or(format!("{prefix}_root"), [g, e]).unwrap();
+            let adt = b.build(root).unwrap();
+            AugmentedAdt::from_fns(
+                adt,
+                MinCost,
+                MinCost,
+                |_, _| adt_core::Ext::Fin(3),
+                |_, id| adt_core::Ext::Fin(10 + id.index() as u64),
+            )
+        };
+        let mut engine = Engine::new();
+        let f1 = engine.analyze(&build("x")).unwrap();
+        let f2 = engine.analyze(&build("completely_different")).unwrap();
+        assert_eq!(f1, f2);
+        assert_eq!(engine.stats().cache_hits, 1);
+        assert_eq!(engine.cached_fronts(), 1);
+    }
+
+    #[test]
+    fn different_values_never_hit() {
+        let with_cost = |c: u64| {
+            let t = catalog::fig6();
+            AugmentedAdt::from_fns(
+                t,
+                MinCost,
+                MinCost,
+                |_, _| adt_core::Ext::Fin(1),
+                |_, _| adt_core::Ext::Fin(c),
+            )
+        };
+        let mut engine = Engine::new();
+        let cheap = engine.analyze(&with_cost(1)).unwrap();
+        let dear = engine.analyze(&with_cost(100)).unwrap();
+        assert_ne!(cheap, dear);
+        assert_eq!(engine.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn tiny_queries_in_a_garbage_heavy_arena_match_fresh_runs() {
+        // Fill the shared arena with a big query's nodes, then run small
+        // distinct queries whose reachable sets are a sliver of the arena
+        // — the propagation memo takes its sparse path — and pin every
+        // report to the fresh-manager (dense-path) result.
+        let mut engine = Engine::with_gc_threshold(usize::MAX);
+        let big = catalog::fig4(9);
+        let order_big = DefenseFirstOrder::declaration(big.adt());
+        engine.bdd_bu_report(&big, &order_big);
+        assert!(engine.arena_nodes() > 1_000);
+        for c in 1..20u64 {
+            let t = AugmentedAdt::from_fns(
+                catalog::fig6(),
+                MinCost,
+                MinCost,
+                |_, _| adt_core::Ext::Fin(c),
+                |_, id| adt_core::Ext::Fin(c + id.index() as u64),
+            );
+            let order = DefenseFirstOrder::declaration(t.adt());
+            let warm = engine.bdd_bu_report(&t, &order);
+            let fresh = crate::bdd_bu::bdd_bu_report(&t, &order);
+            assert_eq!(warm.front, fresh.front, "cost scale {c}");
+            assert_eq!(warm.bdd_nodes, fresh.bdd_nodes);
+            assert_eq!(warm.max_front_width, fresh.max_front_width);
+        }
+    }
+
+    #[test]
+    fn reset_restores_the_cold_state() {
+        let mut engine = Engine::with_gc_threshold(1 << 10);
+        engine.analyze(&catalog::money_theft()).unwrap();
+        assert!(engine.cached_fronts() > 0);
+        assert!(engine.arena_nodes() > 2);
+        engine.reset();
+        assert_eq!(engine.cached_fronts(), 0);
+        assert_eq!(engine.arena_nodes(), 2);
+        assert_eq!(engine.stats(), EngineStats::default());
+        assert_eq!(engine.gc_threshold(), 1 << 10, "threshold survives reset");
+    }
+
+    #[test]
+    fn bounded_arena_on_a_monotone_stream() {
+        // Without GC the arena only ever grows; with a threshold it is
+        // swept back after every query that crosses it, so the peak stays
+        // bounded by threshold + one query's compile traffic.
+        let threshold = 64;
+        let mut engine = Engine::with_gc_threshold(threshold);
+        let mut no_gc = Engine::with_gc_threshold(usize::MAX);
+        let mut single_peak = 0usize;
+        let mut last_no_gc_arena = 0usize;
+        for n in 1..=9 {
+            // fig4 is tree-shaped, which `analyze` would hand to the
+            // BDD-free bottom-up pass — call the BDD path directly, since
+            // arena pressure is the point here.
+            let t = catalog::fig4(n);
+            let order = DefenseFirstOrder::declaration(t.adt());
+            let fresh = {
+                let (bdd, _) = crate::bdd_compile::compile(t.adt(), &order);
+                bdd.total_nodes()
+            };
+            single_peak = single_peak.max(fresh);
+            assert_eq!(
+                engine.bdd_bu_report(&t, &order).front,
+                no_gc.bdd_bu_report(&t, &order).front,
+                "GC policy must not affect fronts"
+            );
+            assert!(
+                no_gc.arena_nodes() >= last_no_gc_arena,
+                "the no-GC arena must grow monotonically"
+            );
+            last_no_gc_arena = no_gc.arena_nodes();
+        }
+        assert!(engine.gc_stats().collections >= 1, "threshold never fired");
+        assert_eq!(no_gc.gc_stats().collections, 0);
+        assert!(
+            engine.arena_nodes() < no_gc.arena_nodes(),
+            "GC must leave the long-lived arena smaller ({} vs {})",
+            engine.arena_nodes(),
+            no_gc.arena_nodes()
+        );
+        assert!(
+            engine.peak_arena() <= threshold + single_peak,
+            "GC peak {} exceeds threshold {} + single-query peak {}",
+            engine.peak_arena(),
+            threshold,
+            single_peak
+        );
+    }
+}

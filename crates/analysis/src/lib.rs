@@ -17,7 +17,10 @@
 //!   extension): confined sharing is analyzed in isolation and substituted
 //!   as pseudo-leaf fronts;
 //! * [`strategies`] — the front *with witnesses*: which defenses realize
-//!   each Pareto point and which attack the rational attacker answers with.
+//!   each Pareto point and which attack the rational attacker answers with;
+//! * [`engine`] — the long-lived [`AnalysisEngine`]: one GC-managed BDD
+//!   manager and a cross-query front cache reused across a stream of
+//!   queries (the server-style counterpart of the one-shot functions).
 //!
 //! All algorithms are generic over the attacker/defender attribute domains
 //! of `adt-core` and agree with each other; the workspace's property tests
@@ -45,6 +48,7 @@
 pub mod bdd_bu;
 pub mod bdd_compile;
 pub mod bottom_up;
+pub mod engine;
 mod error;
 pub mod modular;
 pub mod naive;
@@ -53,8 +57,9 @@ pub mod strategies;
 pub mod tree_transform;
 
 pub use bdd_bu::{bdd_bu, bdd_bu_report, bdd_bu_with_order, BddBuReport};
-pub use bdd_compile::{compile, DefenseFirstOrder};
+pub use bdd_compile::{compile, compile_into, DefenseFirstOrder};
 pub use bottom_up::{bottom_up, table2_attacker_op};
+pub use engine::{AnalysisEngine, EngineStats, DEFAULT_GC_THRESHOLD};
 pub use error::AnalysisError;
 pub use modular::{find_modules, modular_bdd_bu, proper_modules};
 pub use naive::{naive, naive_bitparallel};
@@ -78,7 +83,10 @@ pub type Front<DD, DA> =
 /// manager) locally, and returns the front — no globals, so concurrent
 /// callers never contend. (The suite pool in `adt-bench` calls the richer
 /// [`bdd_bu_report`] instead, which additionally reports BDD size and
-/// front width; use `analyze` when all you want is the front.)
+/// front width; use `analyze` when all you want is the front. For a long
+/// query stream, [`AnalysisEngine::analyze`](engine::AnalysisEngine::analyze)
+/// is the same dispatch with manager reuse, bounded-memory GC and a
+/// cross-query front cache.)
 ///
 /// # Errors
 ///

@@ -71,6 +71,45 @@ pub fn proper_modules(adt: &Adt) -> Vec<NodeId> {
         .collect()
 }
 
+/// How [`modular_core`] obtains the fronts it cannot compute itself: the
+/// front of an extracted module (which may decompose further) and the front
+/// of a host whose sharing crosses every module boundary.
+///
+/// Two implementations exist: the stateless one behind [`modular_bdd_bu`]
+/// (recursive decomposition, plain `BDDBU` fallback) and the
+/// [`AnalysisEngine`](crate::engine::AnalysisEngine), whose implementation
+/// consults its cross-query module-root cache first — the same shared
+/// module then costs one computation across an entire query stream.
+pub(crate) trait ModuleAnalyzer<DD, DA>
+where
+    DD: AttributeDomain + Clone,
+    DA: AttributeDomain + Clone,
+{
+    /// The front of an extracted module.
+    fn module_front(&mut self, t: &AugmentedAdt<DD, DA>) -> Result<Front<DD, DA>, AnalysisError>;
+
+    /// The front of a tree that modular decomposition cannot split.
+    fn direct_front(&mut self, t: &AugmentedAdt<DD, DA>) -> Result<Front<DD, DA>, AnalysisError>;
+}
+
+/// The stateless analyzer of [`modular_bdd_bu`]: recurse on modules, fall
+/// back to plain [`bdd_bu`] on undecomposable hosts.
+struct PlainAnalyzer;
+
+impl<DD, DA> ModuleAnalyzer<DD, DA> for PlainAnalyzer
+where
+    DD: AttributeDomain + Clone,
+    DA: AttributeDomain + Clone,
+{
+    fn module_front(&mut self, t: &AugmentedAdt<DD, DA>) -> Result<Front<DD, DA>, AnalysisError> {
+        modular_core(t, self)
+    }
+
+    fn direct_front(&mut self, t: &AugmentedAdt<DD, DA>) -> Result<Front<DD, DA>, AnalysisError> {
+        bdd_bu(t)
+    }
+}
+
 /// Pareto-front analysis by modular decomposition.
 ///
 /// Shared subtrees confined to modules are analyzed in isolation with
@@ -81,7 +120,10 @@ pub fn proper_modules(adt: &Adt) -> Vec<NodeId> {
 /// on the whole tree.
 ///
 /// Always computes the same front as [`bdd_bu`]; the point is speed on
-/// DAGs with localized sharing (see the `modular_ablation` bench).
+/// DAGs with localized sharing (see the `modular_ablation` bench). When the
+/// same modules recur across many queries, prefer
+/// [`AnalysisEngine::modular`](crate::engine::AnalysisEngine::modular),
+/// which funnels every module front through a cross-query cache.
 ///
 /// # Errors
 ///
@@ -91,6 +133,22 @@ pub fn modular_bdd_bu<DD, DA>(t: &AugmentedAdt<DD, DA>) -> Result<Front<DD, DA>,
 where
     DD: AttributeDomain + Clone,
     DA: AttributeDomain + Clone,
+{
+    modular_core(t, &mut PlainAnalyzer)
+}
+
+/// The decomposition skeleton shared by [`modular_bdd_bu`] and the engine:
+/// find maximal proper modules, collapse them to pseudo-leaves whose fronts
+/// come from `analyzer`, and run the generalized bottom-up pass over the
+/// quotient.
+pub(crate) fn modular_core<DD, DA, M>(
+    t: &AugmentedAdt<DD, DA>,
+    analyzer: &mut M,
+) -> Result<Front<DD, DA>, AnalysisError>
+where
+    DD: AttributeDomain + Clone,
+    DA: AttributeDomain + Clone,
+    M: ModuleAnalyzer<DD, DA> + ?Sized,
 {
     if t.adt().is_tree() {
         return Ok(bu_with_leaf_fronts(t, |_, front| front));
@@ -111,7 +169,7 @@ where
         maximal.push(v);
     }
     if maximal.is_empty() {
-        return bdd_bu(t);
+        return analyzer.direct_front(t);
     }
 
     // Build the quotient: walk from the root, stopping at module boundaries.
@@ -150,7 +208,7 @@ where
                         .clone()
                 },
             );
-            let front = modular_bdd_bu(&sub_aadt)?;
+            let front = analyzer.module_front(&sub_aadt)?;
             module_fronts.insert(node.name().to_owned(), front);
             builder.leaf(node.agent(), node.name())?
         } else {
@@ -179,7 +237,7 @@ where
     if !quotient.is_tree() {
         // Sharing crosses module boundaries: the decomposition does not
         // apply. Fall back to the direct BDD analysis.
-        return bdd_bu(t);
+        return analyzer.direct_front(t);
     }
 
     // Attribute the quotient: real leaves keep their values; pseudo-leaves

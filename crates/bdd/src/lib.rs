@@ -22,6 +22,10 @@
 //! * restriction (cofactoring), support computation, SAT counting, path
 //!   enumeration and Graphviz export — all iterative, so deep DAG-shaped
 //!   diagrams cannot overflow the call stack;
+//! * mark-and-compact garbage collection for long-lived managers:
+//!   [`Bdd::protect`] registers roots, [`Bdd::gc`] compacts the arena
+//!   (renumbering [`NodeRef`]s; handles resolve through [`Bdd::resolve`]),
+//!   and [`Bdd::maybe_gc`] applies a configurable arena threshold;
 //! * the FORCE static ordering heuristic with *ordering groups*
 //!   ([`force_order`]), used for defense-first order ablations;
 //! * the frozen PR-1 baseline manager ([`control::ControlBdd`]) for
@@ -52,5 +56,5 @@ mod reorder;
 pub type Level = u32;
 
 pub use expr::Bexpr;
-pub use manager::{Bdd, NodeRef};
+pub use manager::{Bdd, GcStats, NodeRef, RootHandle};
 pub use reorder::force_order;

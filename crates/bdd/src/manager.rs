@@ -43,6 +43,18 @@
 //!   stacks or index sweeps instead of recursion, so the DAG-shaped
 //!   workloads from `adt-gen` (whose diagrams can be thousands of levels
 //!   deep) cannot overflow the call stack.
+//!
+//! * **Mark-and-compact GC** — long-lived managers (the `AnalysisEngine`
+//!   in `adt-analysis` reuses one manager across queries) reclaim garbage
+//!   with [`Bdd::gc`]: nodes reachable from the explicit root registry
+//!   ([`Bdd::protect`] / [`Bdd::unprotect`]) are compacted to the front of
+//!   the arena *in their original index order*, which preserves the
+//!   child-index < parent-index invariant every sweep relies on. The
+//!   tombstone-free unique table is rebuilt by the same reinsertion loop
+//!   that growth uses, and the lossy ITE cache — whose entries hold raw
+//!   arena indices — is invalidated wholesale. **A GC renumbers every
+//!   [`NodeRef`]**: refs held outside the root registry are invalidated,
+//!   and the registry's refs must be re-read through [`Bdd::resolve`].
 
 use std::fmt::Write as _;
 
@@ -138,12 +150,30 @@ impl UniqueTable {
     }
 
     /// Doubles the slot array, reinserting every node index. No tombstones
-    /// exist (nodes are never deleted) and all triples are distinct, so
-    /// reinsertion never compares keys.
+    /// exist (nodes are only deleted by a full [`rebuild`]) and all triples
+    /// are distinct, so reinsertion never compares keys.
+    ///
+    /// [`rebuild`]: UniqueTable::rebuild
     #[cold]
     fn grow(&mut self, nodes: &[BddNode]) {
-        let mask = self.slots.len() * 2 - 1;
-        let mut slots = vec![EMPTY; self.slots.len() * 2];
+        self.rebuild(nodes, self.slots.len() * 2);
+    }
+
+    /// Reinserts every (non-terminal) node of `nodes` into a fresh slot
+    /// array of at least `min_slots` slots (grown further until load stays
+    /// below 1/2). This is both the growth path and the post-GC rebuild:
+    /// because the table is tombstone-free, "rebuild after compaction" and
+    /// "grow" are the same reinsertion loop over the arena.
+    #[cold]
+    fn rebuild(&mut self, nodes: &[BddNode], min_slots: usize) {
+        let inner = nodes.len().saturating_sub(2);
+        let mut target = min_slots.max(UNIQUE_INITIAL_SLOTS);
+        while inner * 2 >= target {
+            target *= 2;
+        }
+        debug_assert!(target.is_power_of_two());
+        let mask = target - 1;
+        let mut slots = vec![EMPTY; target];
         for (index, node) in nodes.iter().enumerate().skip(2) {
             let mut i = hash_triple(node.level, node.low.0, node.high.0) as usize & mask;
             while slots[i] != EMPTY {
@@ -152,6 +182,7 @@ impl UniqueTable {
             slots[i] = index as u32;
         }
         self.slots = slots;
+        self.len = inner;
     }
 }
 
@@ -231,6 +262,40 @@ impl IteCache {
         }
         self.entries = vec![VACANT_ENTRY; target];
     }
+
+    /// Empties the cache in place, keeping its capacity. Required after a
+    /// GC: entries key and store raw arena indices, all of which a
+    /// compaction renumbers. (Lossy cache — clearing costs recomputation,
+    /// never correctness.)
+    #[cold]
+    fn clear(&mut self) {
+        self.entries.fill(VACANT_ENTRY);
+    }
+}
+
+/// A stable handle to a GC-protected root function.
+///
+/// [`Bdd::gc`] renumbers every [`NodeRef`], so long-lived callers register
+/// the functions they keep with [`Bdd::protect`] and re-read the current
+/// ref through [`Bdd::resolve`] after (potential) collections. Handles stay
+/// valid across any number of GCs until [`Bdd::unprotect`] releases them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RootHandle(usize);
+
+/// Cumulative garbage-collection statistics of one manager.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Number of collections run.
+    pub collections: usize,
+    /// Total nodes reclaimed across all collections.
+    pub nodes_freed: usize,
+    /// Arena size (live nodes, terminals included) right after the most
+    /// recent collection; 0 before the first one.
+    pub last_live: usize,
+    /// Largest arena size observed at any collection start. The arena only
+    /// grows between collections, so `peak_at_gc.max(total_nodes())` is
+    /// the true all-time peak; [`Bdd::peak_arena`] computes exactly that.
+    pub peak_at_gc: usize,
 }
 
 /// A pending step of the iterative [`Bdd::ite`] evaluation.
@@ -269,6 +334,16 @@ pub struct Bdd {
     /// Scratch result stack of [`Bdd::ite`] (always left empty between
     /// calls).
     ite_results: Vec<NodeRef>,
+    /// The GC root registry: `roots[h]` is the (renumbered-on-GC) function
+    /// behind [`RootHandle`] `h`, or `None` once unprotected.
+    roots: Vec<Option<NodeRef>>,
+    /// Free slots of `roots`, reused by [`Bdd::protect`].
+    free_roots: Vec<usize>,
+    /// Arena size at which [`Bdd::maybe_gc`] collects; `usize::MAX`
+    /// (the default) means "manual GC only".
+    gc_threshold: usize,
+    /// Cumulative collection statistics.
+    gc_stats: GcStats,
 }
 
 impl Bdd {
@@ -292,12 +367,25 @@ impl Bdd {
             var_count,
             ite_frames: Vec::new(),
             ite_results: Vec::new(),
+            roots: Vec::new(),
+            free_roots: Vec::new(),
+            gc_threshold: usize::MAX,
+            gc_stats: GcStats::default(),
         }
     }
 
     /// Number of variables of this manager.
     pub fn var_count(&self) -> usize {
         self.var_count
+    }
+
+    /// Raises the variable count to at least `var_count` (never shrinks).
+    ///
+    /// Long-lived managers serve functions over many variable universes;
+    /// existing nodes are untouched — a level keeps whatever meaning its
+    /// caller assigned to it.
+    pub fn ensure_var_count(&mut self, var_count: usize) {
+        self.var_count = self.var_count.max(var_count);
     }
 
     /// Total number of nodes ever created (including both terminals).
@@ -903,6 +991,190 @@ impl Bdd {
         }
         Ok(())
     }
+
+    // -----------------------------------------------------------------
+    // Garbage collection
+    // -----------------------------------------------------------------
+
+    /// Registers `f` as a GC root and returns a stable handle for it.
+    ///
+    /// Protected functions (and everything they reach) survive [`Bdd::gc`];
+    /// the handle stays valid across collections even though the underlying
+    /// [`NodeRef`] is renumbered — read the current ref with
+    /// [`Bdd::resolve`]. Release the registration with [`Bdd::unprotect`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `f` is not a node of this manager —
+    /// protecting a stale or foreign ref would silently pin garbage.
+    pub fn protect(&mut self, f: NodeRef) -> RootHandle {
+        debug_assert!(
+            f.index() < self.nodes.len(),
+            "protecting a NodeRef outside the arena (stale after GC, or from another manager?)"
+        );
+        match self.free_roots.pop() {
+            Some(slot) => {
+                debug_assert!(self.roots[slot].is_none());
+                self.roots[slot] = Some(f);
+                RootHandle(slot)
+            }
+            None => {
+                self.roots.push(Some(f));
+                RootHandle(self.roots.len() - 1)
+            }
+        }
+    }
+
+    /// The current [`NodeRef`] behind a protected root (renumbered by any
+    /// intervening [`Bdd::gc`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was already [`Bdd::unprotect`]ed.
+    pub fn resolve(&self, handle: RootHandle) -> NodeRef {
+        self.roots[handle.0].expect("resolving an unprotected root handle")
+    }
+
+    /// Releases a root registration; the function's nodes become
+    /// reclaimable by the next [`Bdd::gc`] (unless reachable from another
+    /// root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was already unprotected (double release is a
+    /// bookkeeping bug worth failing loudly on).
+    pub fn unprotect(&mut self, handle: RootHandle) {
+        let slot = self
+            .roots
+            .get_mut(handle.0)
+            .expect("unprotecting a handle from another manager");
+        assert!(slot.is_some(), "root handle unprotected twice");
+        *slot = None;
+        self.free_roots.push(handle.0);
+    }
+
+    /// Number of currently protected roots.
+    pub fn protected_count(&self) -> usize {
+        self.roots.iter().flatten().count()
+    }
+
+    /// Sets the arena size (in nodes) at which [`Bdd::maybe_gc`] collects.
+    /// `usize::MAX` (the default) disables automatic collection.
+    pub fn set_gc_threshold(&mut self, nodes: usize) {
+        self.gc_threshold = nodes;
+    }
+
+    /// The current automatic-GC threshold (see [`Bdd::set_gc_threshold`]).
+    pub fn gc_threshold(&self) -> usize {
+        self.gc_threshold
+    }
+
+    /// Cumulative garbage-collection statistics.
+    pub fn gc_stats(&self) -> GcStats {
+        self.gc_stats
+    }
+
+    /// The largest arena size this manager ever reached (terminals and
+    /// since-collected garbage included).
+    pub fn peak_arena(&self) -> usize {
+        self.gc_stats.peak_at_gc.max(self.nodes.len())
+    }
+
+    /// Runs [`Bdd::gc`] if the arena has reached the configured threshold;
+    /// returns whether a collection ran.
+    pub fn maybe_gc(&mut self) -> bool {
+        if self.nodes.len() >= self.gc_threshold {
+            self.gc();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Mark-and-compact garbage collection: reclaims every node not
+    /// reachable from a protected root, returning the number of nodes
+    /// freed.
+    ///
+    /// Survivors are compacted to the front of the arena **in their
+    /// original index order**, so the child-index < parent-index invariant
+    /// (and with it every topological index sweep) is preserved. The
+    /// unique table is rebuilt by the same tombstone-free reinsertion loop
+    /// that growth uses, sized back down to the live node count; the lossy
+    /// ITE cache is invalidated wholesale (its entries key raw arena
+    /// indices).
+    ///
+    /// **Every [`NodeRef`] is renumbered.** Refs obtained before the
+    /// collection — other than through [`Bdd::resolve`] — must not be used
+    /// afterwards: out-of-range ones panic on first use, in-range ones
+    /// silently alias a different node. Run tests with
+    /// `RUSTFLAGS="-C debug-assertions"` to catch the registry-level
+    /// misuses (stale protects, double unprotects) early.
+    pub fn gc(&mut self) -> usize {
+        debug_assert!(
+            self.ite_frames.is_empty() && self.ite_results.is_empty(),
+            "gc during an ITE walk"
+        );
+        let old_len = self.nodes.len();
+        self.gc_stats.peak_at_gc = self.gc_stats.peak_at_gc.max(old_len);
+
+        // Mark: seed every protected root, then one descending sweep — by
+        // the time an index is visited, its own reachability is final, so
+        // its children can be marked immediately (same scheme as
+        // `mark_above`, generalized to many roots).
+        let mut marked = vec![false; old_len];
+        marked[Self::FALSE.index()] = true;
+        marked[Self::TRUE.index()] = true;
+        for root in self.roots.iter().flatten() {
+            marked[root.index()] = true;
+        }
+        for index in (2..old_len).rev() {
+            if marked[index] {
+                let node = self.nodes[index];
+                marked[node.low.index()] = true;
+                marked[node.high.index()] = true;
+            }
+        }
+
+        // Compact in place, ascending: survivors move to the next free
+        // index (`next <= index` always, and children — having smaller old
+        // indices — were remapped before any parent reads the remap).
+        let mut remap: Vec<u32> = vec![EMPTY; old_len];
+        remap[0] = 0;
+        remap[1] = 1;
+        let mut next = 2u32;
+        for index in 2..old_len {
+            if !marked[index] {
+                continue;
+            }
+            let node = self.nodes[index];
+            remap[index] = next;
+            self.nodes[next as usize] = BddNode {
+                level: node.level,
+                low: NodeRef(remap[node.low.index()]),
+                high: NodeRef(remap[node.high.index()]),
+            };
+            next += 1;
+        }
+        self.nodes.truncate(next as usize);
+
+        // Rebuild the unique table over the compacted arena and drop every
+        // (index-keyed, now meaningless) ITE cache entry.
+        self.unique.rebuild(&self.nodes, UNIQUE_INITIAL_SLOTS);
+        self.ite_cache.clear();
+
+        // Renumber the registry.
+        for slot in self.roots.iter_mut().flatten() {
+            let renumbered = remap[slot.index()];
+            debug_assert_ne!(renumbered, EMPTY, "protected root swept");
+            *slot = NodeRef(renumbered);
+        }
+
+        let freed = old_len - self.nodes.len();
+        self.gc_stats.collections += 1;
+        self.gc_stats.nodes_freed += freed;
+        self.gc_stats.last_live = self.nodes.len();
+        freed
+    }
 }
 
 #[cfg(test)]
@@ -1199,6 +1471,160 @@ mod tests {
             chain = bdd.and(var, chain);
         }
         assert_eq!(bdd.sat_count(chain), 1);
+    }
+
+    #[test]
+    fn gc_reclaims_garbage_and_keeps_protected_roots() {
+        let n = 8;
+        let mut bdd = Bdd::new(n);
+        let vars: Vec<NodeRef> = (0..n as Level).map(|l| bdd.var(l)).collect();
+        // The function to keep: a parity over the first four variables.
+        let mut keep = Bdd::FALSE;
+        for &v in &vars[..4] {
+            keep = bdd.xor(keep, v);
+        }
+        let truth: Vec<bool> = (0u32..1 << n)
+            .map(|mask| {
+                let a: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+                bdd.eval(keep, &a)
+            })
+            .collect();
+        let live_before = bdd.node_count(keep);
+        let handle = bdd.protect(keep);
+        // Garbage: a pile of unrelated conjunction chains.
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    bdd.and(vars[i], vars[j]);
+                }
+            }
+        }
+        let arena_before = bdd.total_nodes();
+        let freed = bdd.gc();
+        assert!(freed > 0, "garbage must be reclaimed");
+        assert_eq!(bdd.total_nodes(), arena_before - freed);
+        let keep = bdd.resolve(handle);
+        // Live set = the kept function plus terminals, nothing else.
+        assert_eq!(bdd.total_nodes(), live_before.max(3));
+        assert_eq!(bdd.node_count(keep), live_before);
+        bdd.check_invariants(keep).unwrap();
+        for (mask, &expected) in truth.iter().enumerate() {
+            let a: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+            assert_eq!(bdd.eval(keep, &a), expected, "semantics changed at {a:?}");
+        }
+        bdd.unprotect(handle);
+        bdd.gc();
+        assert_eq!(bdd.total_nodes(), 2, "only terminals survive with no roots");
+    }
+
+    #[test]
+    fn gc_rebuilt_unique_table_still_hash_conses() {
+        let n = 6;
+        let mut bdd = Bdd::new(n);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let keep = bdd.xor(a, b);
+        let handle = bdd.protect(keep);
+        for l in 2..n as Level {
+            let v = bdd.var(l);
+            bdd.or(keep, v); // garbage
+        }
+        bdd.gc();
+        let keep = bdd.resolve(handle);
+        // Rebuilding the same function must *find* the surviving nodes via
+        // the rebuilt table, not duplicate them.
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let again = bdd.xor(a, b);
+        assert_eq!(again, keep, "post-GC unique table lost canonicity");
+        bdd.check_invariants(keep).unwrap();
+    }
+
+    #[test]
+    fn gc_threshold_drives_maybe_gc_and_stats() {
+        let mut bdd = Bdd::new(10);
+        assert_eq!(bdd.gc_threshold(), usize::MAX);
+        assert!(!bdd.maybe_gc(), "default threshold never auto-collects");
+        bdd.set_gc_threshold(8);
+        let vars: Vec<NodeRef> = (0..10).map(|l| bdd.var(l)).collect();
+        let mut acc = Bdd::FALSE;
+        for &v in &vars {
+            acc = bdd.or(acc, v);
+        }
+        assert!(bdd.total_nodes() >= 8);
+        let peak = bdd.total_nodes();
+        assert!(bdd.maybe_gc(), "arena crossed the threshold");
+        assert_eq!(bdd.total_nodes(), 2, "nothing was protected");
+        assert!(!bdd.maybe_gc(), "arena is back under the threshold");
+        let stats = bdd.gc_stats();
+        assert_eq!(stats.collections, 1);
+        assert_eq!(stats.last_live, 2);
+        assert_eq!(stats.nodes_freed, peak - 2);
+        assert_eq!(stats.peak_at_gc, peak);
+        assert_eq!(bdd.peak_arena(), peak);
+    }
+
+    #[test]
+    fn root_handle_slots_are_reused() {
+        let mut bdd = Bdd::new(4);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let ha = bdd.protect(a);
+        let hb = bdd.protect(b);
+        assert_ne!(ha, hb);
+        assert_eq!(bdd.protected_count(), 2);
+        bdd.unprotect(ha);
+        let c = bdd.var(2);
+        let hc = bdd.protect(c);
+        assert_eq!(hc, ha, "freed slot is recycled");
+        assert_eq!(bdd.resolve(hc), c);
+        assert_eq!(bdd.resolve(hb), b);
+        assert_eq!(bdd.protected_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unprotected twice")]
+    fn double_unprotect_panics() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let h = bdd.protect(a);
+        bdd.unprotect(h);
+        bdd.unprotect(h);
+    }
+
+    #[test]
+    fn gc_is_idempotent_and_ops_work_after_it() {
+        let mut bdd = Bdd::new(6);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.and(a, b);
+        let h = bdd.protect(f);
+        bdd.gc();
+        let live = bdd.total_nodes();
+        assert_eq!(bdd.gc(), 0, "second GC has nothing to free");
+        assert_eq!(bdd.total_nodes(), live);
+        // The invalidated ITE cache must not poison post-GC operations.
+        let f = bdd.resolve(h);
+        let c = bdd.var(2);
+        let g = bdd.or(f, c);
+        assert!(bdd.eval(g, &[true, true, false, false, false, false]));
+        assert!(bdd.eval(g, &[false, false, true, false, false, false]));
+        assert!(!bdd.eval(g, &[true, false, false, false, false, false]));
+        bdd.check_invariants(g).unwrap();
+        // sat_count's topological sweep relies on the preserved
+        // child-before-parent order.
+        assert_eq!(bdd.sat_count(f), 16);
+    }
+
+    #[test]
+    fn ensure_var_count_only_grows() {
+        let mut bdd = Bdd::new(2);
+        bdd.ensure_var_count(5);
+        assert_eq!(bdd.var_count(), 5);
+        bdd.ensure_var_count(3);
+        assert_eq!(bdd.var_count(), 5);
+        let v = bdd.var(4);
+        assert!(bdd.eval(v, &[false, false, false, false, true]));
     }
 
     #[test]

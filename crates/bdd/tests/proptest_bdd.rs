@@ -176,4 +176,89 @@ proptest! {
             }
         }
     }
+
+    /// Random interleavings of builds, ITE combinations, `unprotect`s and
+    /// forced GCs against the GC-free `ControlBdd` oracle: every function
+    /// still protected at the end must have the oracle's exact truth table
+    /// and reduced shape, no matter where the collections fell.
+    ///
+    /// This is the kernel-level half of the "fronts identical before/after
+    /// forced GC" guarantee — the analysis layer's sweeps consume exactly
+    /// the structure this pins (canonical shape + child-first indices).
+    #[test]
+    fn gc_interleavings_match_control(
+        steps in prop::collection::vec(
+            // (expression, gc after this step?, drop a random earlier root?)
+            (bexpr(), any::<bool>(), any::<bool>()),
+            1..10,
+        ),
+    ) {
+        let mut bdd = Bdd::new(VARS);
+        let mut control = ControlBdd::new(VARS);
+        // (handle into `bdd`, oracle ref, source expression index) per
+        // still-protected function; `exprs` owns the sources.
+        let mut live: Vec<(adt_bdd::RootHandle, _, usize)> = Vec::new();
+        let mut exprs: Vec<Bexpr> = Vec::new();
+        for (i, (expr, gc_now, drop_one)) in steps.into_iter().enumerate() {
+            let f = bdd.build(&expr);
+            let cf = control.build(&expr);
+            // Combine with the previous function so diagrams share
+            // structure across GC boundaries (ITE traffic, not just
+            // builds).
+            let (f, cf) = if let Some(&(prev, cprev, _)) = live.last() {
+                let prev = bdd.resolve(prev);
+                let ncprev = control.not(cprev);
+                (bdd.xor(f, prev), control.ite(cf, ncprev, cprev))
+            } else {
+                (f, cf)
+            };
+            exprs.push(expr);
+            live.push((bdd.protect(f), cf, i));
+            if drop_one && live.len() > 1 {
+                let victim = live.remove(i % live.len());
+                bdd.unprotect(victim.0);
+            }
+            if gc_now {
+                bdd.gc();
+            }
+        }
+        bdd.gc();
+        for (handle, cf, _) in &live {
+            let f = bdd.resolve(*handle);
+            prop_assert!(bdd.check_invariants(f).is_ok());
+            for assignment in assignments() {
+                prop_assert_eq!(
+                    bdd.eval(f, &assignment),
+                    control.eval(*cf, &assignment),
+                    "GC changed semantics at {:?}", assignment
+                );
+            }
+            // Equal functions over equal orders have isomorphic ROBDDs.
+            prop_assert_eq!(bdd.node_count(f), control.node_count(*cf));
+        }
+    }
+
+    /// A forced GC between construction and *use* never changes results:
+    /// restrict, sat_count and paths on the resolved root agree with the
+    /// values computed before the collection.
+    #[test]
+    fn walks_agree_before_and_after_gc(expr in bexpr(), level in 0u32..VARS as u32) {
+        let mut bdd = Bdd::new(VARS);
+        let f = bdd.build(&expr);
+        let sat_before = bdd.sat_count(f);
+        let paths_before = bdd.paths(f, true).len();
+        let hi_semantics: Vec<bool> = {
+            let hi = bdd.restrict(f, level, true);
+            assignments().map(|a| bdd.eval(hi, &a)).collect()
+        };
+        let handle = bdd.protect(f);
+        bdd.gc();
+        let f = bdd.resolve(handle);
+        prop_assert_eq!(bdd.sat_count(f), sat_before);
+        prop_assert_eq!(bdd.paths(f, true).len(), paths_before);
+        let hi = bdd.restrict(f, level, true);
+        for (assignment, expected) in assignments().zip(hi_semantics) {
+            prop_assert_eq!(bdd.eval(hi, &assignment), expected);
+        }
+    }
 }

@@ -1,0 +1,211 @@
+//! Wall-clock and memory accounting for the PR-4 long-lived
+//! `AnalysisEngine`, written to `BENCH_PR4.json`.
+//!
+//! Two questions, two workloads:
+//!
+//! 1. **Cold vs warm suite throughput.** The same generated suite is
+//!    evaluated repeatedly on one engine, once with the engine reset
+//!    before every round ("cold" — the pre-engine behavior of a fresh
+//!    manager per suite) and once with the engine persisting ("warm" — the
+//!    cross-query front cache serves every repeat). Both paths are
+//!    asserted front-for-front identical to the fresh-manager baseline
+//!    *before* any clock starts. Reported per-round wall-clock is the
+//!    median of the rounds (the first warm round, which pays the misses,
+//!    is reported separately). Single-threaded by design — the numbers are
+//!    engine effects, not parallelism; the parallel story is
+//!    `BENCH_PR3.json`'s.
+//!
+//! 2. **GC-bounded arena on a monotone stream.** A stream of *distinct*
+//!    instances is pushed through two engines: one that never collects
+//!    (its arena grows monotonically — the failure mode the ROADMAP's GC
+//!    item describes) and one whose threshold equals the largest
+//!    single-instance compile footprint. The JSON records both arena
+//!    peaks, the bound `2 × largest single compile` that the GC peak must
+//!    stay under (it does by construction: at most one threshold-crossing
+//!    query's traffic sits on top of the threshold), and the collection
+//!    stats. Fronts from both engines are asserted identical to the
+//!    baseline.
+//!
+//! Usage: `cargo run --release -p adt-bench --bin bench_engine [-- OUT]`
+//! (default output path `BENCH_PR4.json`; set `BENCH_ENGINE_ROUNDS` to
+//! change the per-mode round count, default 4, median reported).
+
+use std::time::{Duration, Instant};
+
+use adt_analysis::compile;
+use adt_bench::{
+    build_order, default_jobs, engine_suite_report, evaluate_suite, median, SuiteEngine,
+};
+use adt_gen::{bucket_suite, paper_suite, suite_jobs, OrderingKind, Shape, SuiteJob};
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// One timed full-suite pass on the given engine.
+fn suite_round(engine: &mut SuiteEngine, jobs: &[SuiteJob]) -> Duration {
+    let start = Instant::now();
+    for job in jobs {
+        std::hint::black_box(engine_suite_report(engine, job));
+    }
+    start.elapsed()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR4.json".into());
+    let rounds: usize = std::env::var("BENCH_ENGINE_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .max(1);
+    let cores = default_jobs();
+
+    // --- workload 1: repeated-suite throughput, cold vs warm -------------
+    let jobs: Vec<SuiteJob> = suite_jobs(
+        paper_suite(40, 45, Shape::Dag, 42),
+        OrderingKind::Declaration,
+    )
+    .collect();
+    let baseline = evaluate_suite(&jobs, 1);
+
+    // Correctness gate before any timing: both engine modes must agree
+    // with the fresh-manager baseline front-for-front.
+    let mut engine = SuiteEngine::new();
+    for mode in ["cold", "warm"] {
+        engine.reset();
+        for round in 0..2 {
+            if mode == "cold" {
+                engine.reset();
+            }
+            for (job, expected) in jobs.iter().zip(&baseline) {
+                let report = engine_suite_report(&mut engine, job);
+                assert_eq!(
+                    report.front, expected.result.front,
+                    "{mode} round {round}: engine front diverged"
+                );
+                assert_eq!(report.bdd_nodes, expected.result.bdd_nodes);
+            }
+        }
+    }
+
+    let mut cold_rounds: Vec<Duration> = (0..rounds)
+        .map(|_| {
+            engine.reset();
+            suite_round(&mut engine, &jobs)
+        })
+        .collect();
+    engine.reset();
+    let warm_first = suite_round(&mut engine, &jobs); // pays every miss
+    let mut warm_rounds: Vec<Duration> = (0..rounds)
+        .map(|_| suite_round(&mut engine, &jobs))
+        .collect();
+    let warm_hit_rate = engine.stats().hit_rate();
+    let cold_ms = ms(median(&mut cold_rounds).expect("rounds >= 1"));
+    let warm_ms = ms(median(&mut warm_rounds).expect("rounds >= 1"));
+    let speedup = cold_ms / warm_ms;
+    eprintln!(
+        "throughput: {} instances/round, cold {cold_ms:.2}ms, warm first {:.2}ms, \
+         warm steady {warm_ms:.2}ms (×{speedup:.1})",
+        jobs.len(),
+        ms(warm_first),
+    );
+
+    // --- workload 2: GC-bounded arena on a stream of distinct instances --
+    let stream: Vec<SuiteJob> = suite_jobs(
+        bucket_suite(3, 160, Shape::Dag, 77),
+        OrderingKind::Declaration,
+    )
+    .collect();
+    let largest_single = stream
+        .iter()
+        .map(|job| {
+            let (bdd, _root) = compile(job.instance.adt.adt(), &build_order(job));
+            bdd.total_nodes()
+        })
+        .max()
+        .expect("nonempty stream");
+    let stream_baseline = evaluate_suite(&stream, 1);
+
+    let mut no_gc = SuiteEngine::with_gc_threshold(usize::MAX);
+    let mut with_gc = SuiteEngine::with_gc_threshold(largest_single);
+    let mut no_gc_arena_monotone = true;
+    let mut last_arena = 0usize;
+    for (job, expected) in stream.iter().zip(&stream_baseline) {
+        let plain = engine_suite_report(&mut no_gc, job);
+        let collected = engine_suite_report(&mut with_gc, job);
+        assert_eq!(plain.front, expected.result.front, "no-GC front diverged");
+        assert_eq!(collected.front, expected.result.front, "GC front diverged");
+        no_gc_arena_monotone &= no_gc.arena_nodes() >= last_arena;
+        last_arena = no_gc.arena_nodes();
+    }
+    assert!(no_gc_arena_monotone, "the no-GC arena must only grow");
+    let bound = 2 * largest_single;
+    let gc_stats = with_gc.gc_stats();
+    let peak_gc = with_gc.peak_arena();
+    let peak_no_gc = no_gc.peak_arena();
+    assert!(
+        peak_gc <= bound,
+        "GC peak {peak_gc} exceeded the 2×largest-single bound {bound}"
+    );
+    eprintln!(
+        "gc: {} distinct instances, peak arena {peak_no_gc} without GC vs {peak_gc} with \
+         (bound {bound}, {} collections, {} nodes freed)",
+        stream.len(),
+        gc_stats.collections,
+        gc_stats.nodes_freed,
+    );
+
+    // --- JSON emission ---------------------------------------------------
+    let json = format!(
+        r#"{{
+  "pr": 4,
+  "description": "Long-lived AnalysisEngine accounting. throughput: one suite evaluated repeatedly on one engine, single-threaded; cold resets the engine every round (fresh-manager behavior), warm persists it so repeats are served by the cross-query front cache; per-round medians of {rounds} rounds, correctness asserted against the fresh-manager baseline before timing. gc: a stream of distinct instances through a never-collecting engine (arena grows monotonically) vs one with gc_threshold = largest single-instance compile arena; the GC peak must stay under 2x that largest single footprint (at most one query's traffic on top of the threshold).",
+  "available_parallelism": {cores},
+  "throughput": {{
+    "suite": "fig9_paper_dag",
+    "instances": {instances},
+    "rounds": {rounds},
+    "cold_round_ms": {cold_ms:.2},
+    "warm_first_round_ms": {warm_first_ms:.2},
+    "warm_round_ms": {warm_ms:.2},
+    "warm_speedup": {speedup:.2},
+    "warm_cache_hit_rate": {warm_hit_rate:.4}
+  }},
+  "gc": {{
+    "suite": "fig10_bucket_dag",
+    "instances": {stream_len},
+    "largest_single_compile_nodes": {largest_single},
+    "peak_arena_no_gc": {peak_no_gc},
+    "peak_arena_gc": {peak_gc},
+    "gc_peak_bound": {bound},
+    "gc_peak_within_bound": {bound_ok},
+    "collections": {collections},
+    "nodes_freed": {nodes_freed}
+  }},
+  "summary": {{
+    "note": "Single-threaded by design: throughput isolates engine reuse (manager + front cache) from parallelism, so the numbers hold on any core count; the warm speedup measures cache service vs recompilation of an identical repeated suite — a stream with no repetition sees ~1x and relies on the GC bound instead. Parallel scaling is BENCH_PR3.json's subject; the worker pool now composes both (persistent engines inside long-lived workers)."
+  }}
+}}
+"#,
+        rounds = rounds,
+        cores = cores,
+        instances = jobs.len(),
+        cold_ms = cold_ms,
+        warm_first_ms = ms(warm_first),
+        warm_ms = warm_ms,
+        speedup = speedup,
+        warm_hit_rate = warm_hit_rate,
+        stream_len = stream.len(),
+        largest_single = largest_single,
+        peak_no_gc = peak_no_gc,
+        peak_gc = peak_gc,
+        bound = bound,
+        bound_ok = peak_gc <= bound,
+        collections = gc_stats.collections,
+        nodes_freed = gc_stats.nodes_freed,
+    );
+    std::fs::write(&out_path, &json).expect("write engine benchmark");
+    eprintln!("wrote {out_path}: warm ×{speedup:.1}, GC peak {peak_gc}/{bound}");
+}

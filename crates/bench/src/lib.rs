@@ -12,7 +12,9 @@ use std::time::{Duration, Instant};
 use adt_core::{AttributeDomain, AugmentedAdt};
 
 pub use pool::{
-    build_order, clamp_jobs, default_jobs, evaluate_suite, run_jobs, JobOutput, SuiteReport,
+    build_order, clamp_jobs, default_jobs, engine_suite_report, evaluate_suite,
+    evaluate_suite_warm, run_engine_jobs, run_jobs, EngineWorker, JobOutput, SuiteEngine,
+    SuiteReport, WorkerPool,
 };
 
 /// Times one run of a closure.

@@ -1,16 +1,28 @@
-//! A scoped-thread worker pool for parallel suite evaluation.
+//! Worker pools for parallel suite evaluation: a scoped one-shot sharder
+//! ([`run_jobs`]) and a long-lived submission pool ([`WorkerPool`]).
 //!
 //! The paper's experiments (Figs. 4, 9 and 10) evaluate whole generated
 //! suites of attack-defense trees, and those suites are embarrassingly
 //! parallel: every instance is analyzed on its own private BDD manager, so
-//! there is no shared mutable state between jobs at all. This module
-//! exploits that with the smallest possible machinery:
+//! there is no shared mutable state between jobs at all. Two designs serve
+//! that, both dependency-free (the build environment is offline):
 //!
-//! * [`run_jobs`] shards any slice of jobs across `N` workers spawned with
-//!   [`std::thread::scope`] (no external dependencies — the build
-//!   environment is offline). Workers pull job indices from one shared
-//!   [`AtomicUsize`] cursor, so a straggler never holds idle workers
-//!   hostage the way static chunking would.
+//! * [`WorkerPool`] — the long-lived engine pool: workers are spawned
+//!   **once** and survive across suites, pulling type-erased tasks from an
+//!   injector queue (a `Mutex<VecDeque>` + condvar — contention is one
+//!   lock round per *job*, negligible next to per-job analysis time). Each
+//!   worker owns an [`AnalysisEngine`], so with [`WorkerPool::submit`]ed
+//!   batches the engine's GC-bounded manager and cross-query front cache
+//!   persist from one suite to the next — the "warm" path of the
+//!   `experiments` binary and the `bench_engine` harness.
+//!   [`WorkerPool::reset_engines`] restores the cold baseline between
+//!   batches without tearing down the threads.
+//!
+//! * [`run_jobs`] — the PR-3 one-shot sharder, kept as the stateless
+//!   baseline: it shards one slice of jobs across `N` workers spawned with
+//!   [`std::thread::scope`] and tears them down at the end. Workers pull
+//!   job indices from one shared [`AtomicUsize`] cursor, so a straggler
+//!   never holds idle workers hostage the way static chunking would.
 //! * Results are **index-ordered, not arrival-ordered**: each outcome is
 //!   stored in the slot of the job that produced it, so the caller observes
 //!   exactly the sequential order regardless of which worker finished when.
@@ -30,12 +42,14 @@
 //! [`BddBuReport`] by materializing the configured defense-first order and
 //! running `BDDBU` — each worker owning its own manager.
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use adt_analysis::{bdd_bu_report, BddBuReport, DefenseFirstOrder};
+use adt_analysis::{bdd_bu_report, AnalysisEngine, BddBuReport, DefenseFirstOrder};
 use adt_core::semiring::{AttributeDomain, MinCost};
 use adt_gen::{OrderingKind, SuiteJob};
 
@@ -178,10 +192,311 @@ pub fn evaluate_suite(jobs: &[SuiteJob], workers: usize) -> Vec<JobOutput<SuiteR
     })
 }
 
+// ---------------------------------------------------------------------------
+// The long-lived engine pool
+// ---------------------------------------------------------------------------
+
+/// The engine type the pool's workers own (the generated suites are
+/// min-cost/min-cost, per the paper's §VI-B setup).
+pub type SuiteEngine = AnalysisEngine<MinCost, MinCost>;
+
+/// The per-worker state a [`WorkerPool`] task receives: the worker's index
+/// and its private, suite-surviving [`AnalysisEngine`].
+pub struct EngineWorker {
+    /// 0-based index of this worker (0 on the sequential path).
+    pub worker: usize,
+    /// The worker's private engine: GC-managed manager + cross-query
+    /// front cache, alive until the pool is dropped (or
+    /// [`WorkerPool::reset_engines`] runs).
+    pub engine: SuiteEngine,
+}
+
+/// A type-erased unit of work for one worker.
+type Task = Box<dyn FnOnce(&mut EngineWorker) + Send>;
+
+/// The injector queue shared between submitters and workers.
+struct PoolShared {
+    queue: Mutex<QueueState>,
+    work_ready: Condvar,
+}
+
+struct QueueState {
+    tasks: VecDeque<Task>,
+    shutdown: bool,
+}
+
+/// Completion tracking of one submitted batch.
+struct Batch<R> {
+    /// One pre-sized slot per job, filled in arbitrary completion order,
+    /// read out in index order.
+    slots: Mutex<Vec<Option<JobOutput<R>>>>,
+    /// Jobs not yet finished; the submitter blocks on `done` until 0.
+    remaining: Mutex<usize>,
+    done: Condvar,
+    /// The payload of the first job that panicked, re-raised on the
+    /// submitting thread (suite evaluation has no partial-result
+    /// semantics).
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// A long-lived worker pool: `N` threads spawned once, each owning an
+/// [`AnalysisEngine`] that survives across submitted batches.
+///
+/// Submit work with [`WorkerPool::submit`]; workers pull tasks from a
+/// shared injector queue, so a straggler never idles the rest. Results are
+/// index-ordered like [`run_jobs`]'s. Dropping the pool shuts the workers
+/// down and joins them.
+///
+/// # Examples
+///
+/// ```
+/// use adt_bench::WorkerPool;
+///
+/// let pool = WorkerPool::new(4, adt_analysis::DEFAULT_GC_THRESHOLD);
+/// let jobs: Vec<u64> = (0..100).collect();
+/// // The same threads serve both batches; closures that consult
+/// // `ctx.engine` (e.g. `evaluate_suite_warm`) additionally keep each
+/// // worker's engine state — manager and front cache — across batches.
+/// let squares = pool.submit(jobs.clone(), |_ctx, _, &n| n * n);
+/// let cubes = pool.submit(jobs, |_ctx, _, &n| n * n * n);
+/// assert_eq!(squares[7].result, 49);
+/// assert_eq!(cubes[3].result, 27);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (clamped to at least 1), each owning an
+    /// engine with the given GC threshold.
+    pub fn new(workers: usize, gc_threshold: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(QueueState {
+                tasks: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, worker, gc_threshold))
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `f` over every job on the pool's workers and returns the
+    /// outcomes **in job order** (same contract as [`run_jobs`]). Blocks
+    /// until the whole batch is done.
+    ///
+    /// The closure receives the executing worker's [`EngineWorker`] state,
+    /// the job index and the job; jobs of one batch may run on any worker,
+    /// so closures must not assume engine affinity beyond "some persistent
+    /// engine". If a job panics, the panic is re-raised here after the
+    /// rest of the batch drains (the panicking worker's engine is reset —
+    /// a half-updated engine must not serve later jobs).
+    ///
+    /// Accepts an owned `Vec` or an `Arc<Vec<_>>` — pass the `Arc` when
+    /// the caller keeps the jobs for post-processing, so the suite is
+    /// shared with the workers instead of deep-copied.
+    pub fn submit<J, R, F>(&self, jobs: impl Into<Arc<Vec<J>>>, f: F) -> Vec<JobOutput<R>>
+    where
+        J: Send + Sync + 'static,
+        R: Send + 'static,
+        F: Fn(&mut EngineWorker, usize, &J) -> R + Send + Sync + 'static,
+    {
+        let jobs: Arc<Vec<J>> = jobs.into();
+        let count = jobs.len();
+        if count == 0 {
+            return Vec::new();
+        }
+        let f = Arc::new(f);
+        let batch = Arc::new(Batch::<R> {
+            slots: Mutex::new((0..count).map(|_| None).collect()),
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            for index in 0..count {
+                let jobs = Arc::clone(&jobs);
+                let f = Arc::clone(&f);
+                let batch = Arc::clone(&batch);
+                queue
+                    .tasks
+                    .push_back(Box::new(move |ctx: &mut EngineWorker| {
+                        let start = Instant::now();
+                        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            f(ctx, index, &jobs[index])
+                        }));
+                        match outcome {
+                            Ok(result) => {
+                                let output = JobOutput {
+                                    index,
+                                    worker: ctx.worker,
+                                    elapsed: start.elapsed(),
+                                    result,
+                                };
+                                batch.slots.lock().expect("batch slots poisoned")[index] =
+                                    Some(output);
+                            }
+                            Err(payload) => {
+                                // The engine may be mid-mutation; never let it
+                                // serve another job.
+                                ctx.engine.reset();
+                                let mut first = batch.panic.lock().expect("panic slot poisoned");
+                                first.get_or_insert(payload);
+                            }
+                        }
+                        let mut remaining = batch.remaining.lock().expect("batch count poisoned");
+                        *remaining -= 1;
+                        if *remaining == 0 {
+                            batch.done.notify_all();
+                        }
+                    }));
+            }
+            self.shared.work_ready.notify_all();
+        }
+        let mut remaining = batch.remaining.lock().expect("batch count poisoned");
+        while *remaining > 0 {
+            remaining = batch.done.wait(remaining).expect("batch condvar poisoned");
+        }
+        drop(remaining);
+        if let Some(payload) = batch.panic.lock().expect("panic slot poisoned").take() {
+            std::panic::resume_unwind(payload);
+        }
+        let slots = std::mem::take(&mut *batch.slots.lock().expect("batch slots poisoned"));
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every job deposited a result"))
+            .collect()
+    }
+
+    /// Resets every worker's engine to the cold state (see
+    /// [`AnalysisEngine::reset`]) without restarting threads — the
+    /// per-suite baseline of the non-`--warm` experiment paths.
+    ///
+    /// Implemented as a barrier batch: one task per worker, each blocking
+    /// until all of them have started, which forces the queue to hand
+    /// every worker exactly one reset. Must not overlap concurrent
+    /// [`WorkerPool::submit`] calls from other threads (a worker stuck on
+    /// a foreign batch would starve the barrier); the experiment drivers
+    /// submit from a single thread, where this cannot arise.
+    pub fn reset_engines(&self) {
+        let workers = self.workers();
+        let barrier = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let indices: Vec<usize> = (0..workers).collect();
+        self.submit(indices, move |ctx, _, _| {
+            let (count, all_started) = &*barrier;
+            let mut started = count.lock().expect("barrier poisoned");
+            *started += 1;
+            if *started == workers {
+                all_started.notify_all();
+            }
+            while *started < workers {
+                started = all_started.wait(started).expect("barrier poisoned");
+            }
+            drop(started);
+            ctx.engine.reset();
+        });
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+            queue.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for handle in self.handles.drain(..) {
+            // A worker can only have panicked through a bug outside the
+            // per-task catch; don't double-panic during drop.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker thread: construct the private engine, then serve tasks until
+/// shutdown. Tasks arrive type-erased; panics are handled inside the task
+/// closures (see [`WorkerPool::submit`]), so the loop itself never unwinds.
+fn worker_loop(shared: &PoolShared, worker: usize, gc_threshold: usize) {
+    let mut ctx = EngineWorker {
+        worker,
+        engine: SuiteEngine::with_gc_threshold(gc_threshold),
+    };
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(task) = queue.tasks.pop_front() {
+                    break Some(task);
+                }
+                if queue.shutdown {
+                    break None;
+                }
+                queue = shared.work_ready.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        match task {
+            Some(task) => task(&mut ctx),
+            None => return,
+        }
+    }
+}
+
+/// The sequential twin of [`WorkerPool::submit`]: runs every job in order
+/// on the calling thread against one caller-owned [`EngineWorker`]. This
+/// *is* the `--jobs 1` path of the `experiments` binary (warm when the
+/// caller keeps the worker across suites), and the reproducibility
+/// baseline the pool is pinned against.
+pub fn run_engine_jobs<J, R, F>(worker: &mut EngineWorker, jobs: &[J], f: F) -> Vec<JobOutput<R>>
+where
+    F: Fn(&mut EngineWorker, usize, &J) -> R,
+{
+    jobs.iter()
+        .enumerate()
+        .map(|(index, job)| {
+            let start = Instant::now();
+            let result = f(worker, index, job);
+            JobOutput {
+                index,
+                worker: worker.worker,
+                elapsed: start.elapsed(),
+                result,
+            }
+        })
+        .collect()
+}
+
+/// The per-job body both warm suite paths share: evaluate one [`SuiteJob`]
+/// on a persistent engine (order materialized per job, report served from
+/// the engine's cross-query cache when the instance recurs).
+pub fn engine_suite_report(engine: &mut SuiteEngine, job: &SuiteJob) -> SuiteReport {
+    engine.bdd_bu_report(&job.instance.adt, &build_order(job))
+}
+
+/// Evaluates a suite on a long-lived pool (cf. [`evaluate_suite`], the
+/// fresh-manager-per-job baseline). Outputs are in suite order.
+pub fn evaluate_suite_warm(pool: &WorkerPool, jobs: Vec<SuiteJob>) -> Vec<JobOutput<SuiteReport>> {
+    pool.submit(jobs, |ctx, _, job| {
+        engine_suite_report(&mut ctx.engine, job)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adt_gen::{bucket_suite, suite_jobs, Shape};
+    use adt_gen::{bucket_suite, paper_suite, suite_jobs, Shape};
 
     #[test]
     fn clamping() {
@@ -238,5 +553,121 @@ mod tests {
             assert_eq!(s.result.front, p.result.front, "job {}", s.index);
             assert_eq!(s.result.bdd_nodes, p.result.bdd_nodes);
         }
+    }
+
+    fn fresh_worker() -> EngineWorker {
+        EngineWorker {
+            worker: 0,
+            engine: SuiteEngine::new(),
+        }
+    }
+
+    #[test]
+    fn pool_submit_is_index_ordered_and_matches_the_sequential_loop() {
+        let pool = WorkerPool::new(3, adt_analysis::DEFAULT_GC_THRESHOLD);
+        let jobs: Vec<usize> = (0..41).collect();
+        let pooled = pool.submit(jobs.clone(), |_, i, &j| {
+            assert_eq!(i, j);
+            j * 7
+        });
+        let sequential = run_engine_jobs(&mut fresh_worker(), &jobs, |_, i, &j| {
+            assert_eq!(i, j);
+            j * 7
+        });
+        assert_eq!(pooled.len(), sequential.len());
+        for (p, s) in pooled.iter().zip(&sequential) {
+            assert_eq!(p.index, s.index);
+            assert_eq!(p.result, s.result);
+            assert!(p.worker < 3);
+        }
+    }
+
+    #[test]
+    fn pool_engines_survive_across_batches() {
+        // One worker so both batches hit the same engine deterministically.
+        let pool = WorkerPool::new(1, adt_analysis::DEFAULT_GC_THRESHOLD);
+        let jobs: Vec<SuiteJob> = suite_jobs(
+            paper_suite(6, 40, Shape::Dag, 21),
+            OrderingKind::Declaration,
+        )
+        .collect();
+        let cold = evaluate_suite_warm(&pool, jobs.clone());
+        // Same suite again: every report must come from the engine's
+        // cross-query cache now.
+        let warm = evaluate_suite_warm(&pool, jobs.clone());
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.result.front, w.result.front);
+            assert_eq!(c.result.bdd_nodes, w.result.bdd_nodes);
+        }
+        let hits = pool
+            .submit(vec![()], |ctx, _, ()| ctx.engine.stats())
+            .remove(0)
+            .result
+            .cache_hits;
+        assert_eq!(hits, jobs.len(), "second batch must be pure cache hits");
+    }
+
+    #[test]
+    fn reset_engines_restores_the_cold_baseline() {
+        let pool = WorkerPool::new(2, adt_analysis::DEFAULT_GC_THRESHOLD);
+        let jobs: Vec<SuiteJob> = suite_jobs(
+            paper_suite(4, 30, Shape::Tree, 5),
+            OrderingKind::Declaration,
+        )
+        .collect();
+        evaluate_suite_warm(&pool, jobs);
+        pool.reset_engines();
+        let stats = pool.submit(vec![(), ()], |ctx, _, ()| {
+            (ctx.engine.stats(), ctx.engine.cached_fronts())
+        });
+        for s in stats {
+            let (engine_stats, cached) = s.result;
+            // Either worker may have answered either probe job, but every
+            // engine was reset, so nothing may be cached anywhere.
+            assert_eq!(cached, 0);
+            assert!(engine_stats.lookups() <= 1, "only the probe itself ran");
+        }
+    }
+
+    #[test]
+    fn warm_pool_agrees_with_cold_baseline_front_for_front() {
+        let jobs: Vec<SuiteJob> = suite_jobs(
+            bucket_suite(2, 60, Shape::Dag, 99),
+            OrderingKind::Declaration,
+        )
+        .collect();
+        let baseline = evaluate_suite(&jobs, 1);
+        let pool = WorkerPool::new(4, 1 << 12);
+        for _round in 0..2 {
+            let warm = evaluate_suite_warm(&pool, jobs.clone());
+            assert_eq!(baseline.len(), warm.len());
+            for (b, w) in baseline.iter().zip(&warm) {
+                assert_eq!(b.index, w.index);
+                assert_eq!(b.result.front, w.result.front, "job {}", b.index);
+                assert_eq!(b.result.bdd_nodes, w.result.bdd_nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_returns_immediately() {
+        let pool = WorkerPool::new(2, adt_analysis::DEFAULT_GC_THRESHOLD);
+        let outputs = pool.submit(Vec::<u8>::new(), |_, _, _| unreachable!("no jobs"));
+        assert!(outputs.is_empty());
+    }
+
+    #[test]
+    fn job_panic_propagates_to_the_submitter() {
+        let pool = WorkerPool::new(2, adt_analysis::DEFAULT_GC_THRESHOLD);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.submit(vec![0u32, 1, 2, 3], |_, _, &j| {
+                assert!(j != 2, "job two exploded");
+                j
+            })
+        }));
+        assert!(result.is_err(), "the panic must reach the submitter");
+        // The pool survives a panicked batch and keeps serving.
+        let next = pool.submit(vec![10u32], |_, _, &j| j + 1);
+        assert_eq!(next[0].result, 11);
     }
 }

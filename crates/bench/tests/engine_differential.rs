@@ -1,0 +1,229 @@
+//! Differential tests of the long-lived engine stack against the
+//! fresh-manager baseline: forced-GC round-trips on every suite family,
+//! the `--jobs 1 --warm` sequential-loop pin, and warm-pool equivalence.
+
+use adt_analysis::{analyze, DefenseFirstOrder};
+use adt_bench::{
+    engine_suite_report, evaluate_suite, run_engine_jobs, EngineWorker, SuiteEngine, WorkerPool,
+};
+use adt_gen::{bucket_suite, paper_suite, suite_jobs, Instance, OrderingKind, Shape, SuiteJob};
+use proptest::prelude::*;
+
+/// Every generated suite family the experiment drivers evaluate, sized
+/// down for test time but spanning both shapes and both generators.
+fn suite_families() -> Vec<(&'static str, Vec<SuiteJob>)> {
+    let jobs = |instances: Vec<Instance>| -> Vec<SuiteJob> {
+        suite_jobs(instances, OrderingKind::Declaration).collect()
+    };
+    vec![
+        ("paper_tree", jobs(paper_suite(10, 40, Shape::Tree, 42))),
+        ("paper_dag", jobs(paper_suite(10, 40, Shape::Dag, 43))),
+        ("bucket_tree", jobs(bucket_suite(2, 80, Shape::Tree, 44))),
+        ("bucket_dag", jobs(bucket_suite(2, 80, Shape::Dag, 45))),
+        (
+            "fig4_family",
+            jobs(
+                (1..=8)
+                    .map(|n| Instance {
+                        adt: adt_core::catalog::fig4(n),
+                        seed: u64::from(n),
+                        target_nodes: 0,
+                    })
+                    .collect(),
+            ),
+        ),
+    ]
+}
+
+/// Acceptance criterion of the GC tentpole: on every suite family, a
+/// forced-GC-after-every-query engine (threshold 1 — each query ends with
+/// a full collection and the next one recompiles into a renumbered arena)
+/// yields fronts identical to the no-GC fresh-manager baseline.
+#[test]
+fn forced_gc_round_trip_is_identical_on_every_family() {
+    for (family, jobs) in suite_families() {
+        let baseline = evaluate_suite(&jobs, 1);
+        let mut forced_gc = SuiteEngine::with_gc_threshold(1);
+        let mut no_gc = SuiteEngine::with_gc_threshold(usize::MAX);
+        for (job, expected) in jobs.iter().zip(&baseline) {
+            let collected = engine_suite_report(&mut forced_gc, job);
+            let plain = engine_suite_report(&mut no_gc, job);
+            assert_eq!(
+                collected.front, expected.result.front,
+                "{family}: forced-GC front diverged from the baseline"
+            );
+            assert_eq!(
+                plain.front, expected.result.front,
+                "{family}: no-GC engine front diverged from the baseline"
+            );
+            assert_eq!(collected.bdd_nodes, expected.result.bdd_nodes, "{family}");
+            assert_eq!(
+                collected.max_front_width, expected.result.max_front_width,
+                "{family}"
+            );
+            assert_eq!(
+                forced_gc.arena_nodes(),
+                2,
+                "{family}: threshold 1 must sweep everything after each query"
+            );
+        }
+        assert_eq!(forced_gc.gc_stats().collections, jobs.len());
+    }
+}
+
+fn sequential_worker() -> EngineWorker {
+    EngineWorker {
+        worker: 0,
+        engine: SuiteEngine::new(),
+    }
+}
+
+/// The `--jobs 1 --warm` pin: the `experiments` binary's sequential path
+/// is `run_engine_jobs` over one caller-owned engine that persists across
+/// suites. That must be *exactly* the hand-written sequential engine loop
+/// — same outputs, same indices, same worker ids, same engine state
+/// afterwards.
+#[test]
+fn jobs1_warm_reproduces_the_sequential_engine_loop_exactly() {
+    let suite_a: Vec<SuiteJob> =
+        suite_jobs(paper_suite(8, 35, Shape::Dag, 7), OrderingKind::Declaration).collect();
+    let suite_b: Vec<SuiteJob> = suite_jobs(
+        paper_suite(8, 35, Shape::Tree, 8),
+        OrderingKind::Declaration,
+    )
+    .collect();
+
+    // Path A: the driver's `--jobs 1 --warm` loop (two suites, one worker).
+    let mut driver = sequential_worker();
+    let mut driver_outputs = Vec::new();
+    for suite in [&suite_a, &suite_b] {
+        driver_outputs.push(run_engine_jobs(&mut driver, suite, |ctx, _, job| {
+            engine_suite_report(&mut ctx.engine, job)
+        }));
+    }
+
+    // Path B: the plain sequential engine loop, no harness at all.
+    let mut plain = SuiteEngine::new();
+    let mut plain_outputs = Vec::new();
+    for suite in [&suite_a, &suite_b] {
+        plain_outputs.push(
+            suite
+                .iter()
+                .map(|job| engine_suite_report(&mut plain, job))
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    for (driver_suite, plain_suite) in driver_outputs.iter().zip(&plain_outputs) {
+        assert_eq!(driver_suite.len(), plain_suite.len());
+        for (i, (d, p)) in driver_suite.iter().zip(plain_suite).enumerate() {
+            assert_eq!(d.index, i);
+            assert_eq!(d.worker, 0);
+            assert_eq!(d.result.front, p.front, "job {i}");
+            assert_eq!(d.result.bdd_nodes, p.bdd_nodes, "job {i}");
+            assert_eq!(d.result.max_front_width, p.max_front_width, "job {i}");
+        }
+    }
+    // Same queries in the same order leave both engines in the same
+    // cache/GC state — the loop really is reproduced, not just its output.
+    assert_eq!(driver.engine.stats(), plain.stats());
+    assert_eq!(driver.engine.cached_fronts(), plain.cached_fronts());
+    assert_eq!(driver.engine.arena_nodes(), plain.arena_nodes());
+}
+
+/// A warm pool at any worker count returns the sequential warm loop's
+/// results (index-ordered), across consecutive suites.
+#[test]
+fn warm_pool_matches_sequential_warm_loop_at_every_worker_count() {
+    let suite: Vec<SuiteJob> = suite_jobs(
+        paper_suite(12, 40, Shape::Dag, 17),
+        OrderingKind::Declaration,
+    )
+    .collect();
+    let mut reference = sequential_worker();
+    let expected: Vec<_> = (0..2)
+        .map(|_| {
+            run_engine_jobs(&mut reference, &suite, |ctx, _, job| {
+                engine_suite_report(&mut ctx.engine, job)
+            })
+        })
+        .collect();
+    for workers in [1, 2, 4, 8] {
+        let pool = WorkerPool::new(workers, adt_analysis::DEFAULT_GC_THRESHOLD);
+        for round in &expected {
+            let got = pool.submit(suite.clone(), |ctx, _, job| {
+                engine_suite_report(&mut ctx.engine, job)
+            });
+            assert_eq!(got.len(), round.len());
+            for (g, e) in got.iter().zip(round) {
+                assert_eq!(g.index, e.index);
+                assert_eq!(g.result.front, e.result.front, "workers={workers}");
+                assert_eq!(g.result.bdd_nodes, e.result.bdd_nodes);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Warm-engine `analyze` ≡ fresh-manager `analyze`, front-for-front,
+    /// over random suites — including the second pass where every answer
+    /// comes from the cross-query cache, and under a GC threshold small
+    /// enough that collections interleave the queries.
+    #[test]
+    fn warm_engine_analyze_matches_fresh_analyze(
+        seed in 0u64..1_000,
+        tree_shaped in any::<bool>(),
+        gc_threshold in prop_oneof![Just(1usize), Just(256), Just(usize::MAX)],
+    ) {
+        let shape = if tree_shaped { Shape::Tree } else { Shape::Dag };
+        let instances = paper_suite(5, 35, shape, seed);
+        let mut engine = SuiteEngine::with_gc_threshold(gc_threshold);
+        for _pass in 0..2 {
+            for instance in &instances {
+                let fresh = analyze(&instance.adt).unwrap();
+                let warm = engine.analyze(&instance.adt).unwrap();
+                prop_assert_eq!(warm, fresh, "seed {} diverged", instance.seed);
+            }
+        }
+        // Second pass must have been served entirely from the cache.
+        prop_assert!(engine.stats().cache_hits >= instances.len());
+    }
+
+    /// Engine-cached `bdd_bu_report` under every ordering kind matches the
+    /// one-shot report, across interleaved orders on one engine.
+    #[test]
+    fn warm_engine_reports_match_fresh_reports_across_orders(seed in 0u64..500) {
+        let instances = paper_suite(4, 40, Shape::Dag, seed);
+        let mut engine = SuiteEngine::with_gc_threshold(512);
+        for instance in &instances {
+            let t = &instance.adt;
+            for order in [
+                DefenseFirstOrder::declaration(t.adt()),
+                DefenseFirstOrder::dfs(t.adt()),
+                DefenseFirstOrder::force(t.adt(), 10),
+            ] {
+                let fresh = adt_analysis::bdd_bu_report(t, &order);
+                let warm = engine.bdd_bu_report(t, &order);
+                prop_assert_eq!(warm.front, fresh.front);
+                prop_assert_eq!(warm.bdd_nodes, fresh.bdd_nodes);
+                prop_assert_eq!(warm.max_front_width, fresh.max_front_width);
+            }
+        }
+    }
+
+    /// The engine's cached modular path agrees with the stateless
+    /// `modular_bdd_bu` (and hence, transitively, with plain BDDBU) on
+    /// random DAGs, warm passes included.
+    #[test]
+    fn warm_engine_modular_matches_stateless_modular(seed in 0u64..500) {
+        let instances = paper_suite(4, 45, Shape::Dag, seed);
+        let mut engine = SuiteEngine::with_gc_threshold(256);
+        for _pass in 0..2 {
+            for instance in &instances {
+                let fresh = adt_analysis::modular_bdd_bu(&instance.adt).unwrap();
+                let warm = engine.modular(&instance.adt).unwrap();
+                prop_assert_eq!(warm, fresh, "seed {}", instance.seed);
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! The long-lived engine against the paper's ground truth, through the
+//! `adtrees` facade: a warm [`AnalysisEngine`] serving a stream of random
+//! queries — with forced garbage collections interleaved — must agree with
+//! the brute-force Definitions 7–9 on every instance small enough to
+//! enumerate, and with the one-shot algorithms everywhere.
+//!
+//! [`AnalysisEngine`]: adtrees::analysis::AnalysisEngine
+
+use adtrees::analysis::{analyze, brute_force_front, modular_bdd_bu, AnalysisEngine};
+use adtrees::core::MinCost;
+use adtrees::gen::{paper_suite, Shape};
+use proptest::prelude::*;
+
+type Engine = AnalysisEngine<MinCost, MinCost>;
+
+#[test]
+fn warm_engine_agrees_with_definitions_7_to_9() {
+    // Small instances so the 2^{|D|+|A|} oracle stays cheap; threshold 1
+    // forces a collection after every BDD-path query.
+    let mut engine = Engine::with_gc_threshold(1);
+    for (i, shape) in [Shape::Tree, Shape::Dag].into_iter().enumerate() {
+        for instance in paper_suite(25, 22, shape, 0xE64 + i as u64) {
+            let reference = brute_force_front(&instance.adt).unwrap();
+            assert_eq!(
+                engine.analyze(&instance.adt).unwrap(),
+                reference,
+                "engine diverges from Definitions 7-9 on seed {}",
+                instance.seed
+            );
+            assert_eq!(
+                engine.modular(&instance.adt).unwrap(),
+                reference,
+                "engine modular path diverges on seed {}",
+                instance.seed
+            );
+        }
+    }
+}
+
+proptest! {
+    /// One engine, a random stream mixing shapes, thresholds and repeat
+    /// passes: every answer equals the one-shot `analyze`, and repeated
+    /// instances are cache hits.
+    #[test]
+    fn engine_stream_matches_one_shot_analysis(
+        seed in 0u64..2_000,
+        gc_threshold in prop_oneof![Just(1usize), Just(128), Just(usize::MAX)],
+    ) {
+        let mut engine = Engine::with_gc_threshold(gc_threshold);
+        let mut instances = paper_suite(3, 30, Shape::Tree, seed);
+        instances.extend(paper_suite(3, 30, Shape::Dag, seed ^ 0xF00D));
+        for _pass in 0..2 {
+            for instance in &instances {
+                prop_assert_eq!(
+                    engine.analyze(&instance.adt).unwrap(),
+                    analyze(&instance.adt).unwrap(),
+                    "seed {}", instance.seed
+                );
+            }
+        }
+        prop_assert!(engine.stats().cache_hits >= instances.len());
+    }
+
+    /// The engine's cached modular decomposition equals the stateless one
+    /// on random DAG streams.
+    #[test]
+    fn engine_modular_matches_stateless_on_random_dags(seed in 0u64..2_000) {
+        let mut engine = Engine::with_gc_threshold(64);
+        for instance in paper_suite(4, 35, Shape::Dag, seed) {
+            prop_assert_eq!(
+                engine.modular(&instance.adt).unwrap(),
+                modular_bdd_bu(&instance.adt).unwrap(),
+                "seed {}", instance.seed
+            );
+        }
+    }
+}
