@@ -24,9 +24,9 @@
 //! | Algorithm 3 | Here |
 //! |---|---|
 //! | input: ROBDD of the structure function under a defense-first order | [`compile`] called from [`bdd_bu_report`]; order from [`DefenseFirstOrder`] |
-//! | traversal "for `w` in reverse topological order" | the `reachable_topological` sweep in `Run::front` (ascending arena indices are children-first; no recursion) |
-//! | lines 2–5: terminal fronts (goal terminal depends on the root agent) | the `Bdd::FALSE`/`Bdd::TRUE` arm of `Run::front` |
-//! | lines 6–9: attack-level nodes — singleton fronts `{(1⊗_D, u)}` | the else-arm of `Run::front`, stored as bare scalars (`NodeFront::Scalar`, no allocation) |
+//! | traversal "for `w` in reverse topological order" | the `reachable_topological` sweep in `Run::front` over *tagged* refs (ascending arena indices are children-first; a node reached under both complement polarities is visited once per polarity; no recursion) |
+//! | lines 2–5: terminal fronts (goal terminal depends on the root agent) | the `is_terminal` arm of `Run::front`. The paper reads two terminal nodes; the complement-edge kernel stores one, and its two polarities (`Bdd::TRUE` plain, `Bdd::FALSE` tagged) *are* the two terminals |
+//! | lines 6–9: attack-level nodes — singleton fronts `{(1⊗_D, u)}` | the else-arm of `Run::front`, stored as bare scalars (`NodeFront::Scalar`, no allocation); `Bdd::low`/`Bdd::high` return tag-adjusted cofactor *functions*, so complement edges are invisible to the recurrence |
 //! | lines 11–14: defense-level nodes — `min_⊑(P₀ ∪ shift(P₁))` | the `is_defense_level` arm; `ParetoFront::merge_shifted` fuses the `β_D ⊗_D ·` shift, the union and the reduction into one linear sweep |
 //! | line 15: return the root's front | the final `match` of `Run::front` |
 
@@ -135,7 +135,11 @@ where
 pub struct BddBuReport<VD, VA> {
     /// The computed Pareto front.
     pub front: ParetoFront<VD, VA>,
-    /// `|W|`: nodes of the compiled ROBDD (including terminals).
+    /// `|W|`: distinct sub-functions the propagation visits — tagged refs
+    /// of the compiled ROBDD, terminal polarities included. Under
+    /// complement edges this is the memo-entry count (the work measure);
+    /// the *memory* measure, arena nodes, is `Bdd::node_count` and is up
+    /// to 2× smaller.
     pub bdd_nodes: usize,
     /// The largest intermediate front encountered (the paper's `p`).
     pub max_front_width: usize,
@@ -180,7 +184,8 @@ where
         bdd,
         order,
         root_agent: t.adt().root_agent(),
-        memo: Scratch::for_query(root.index().max(1) + 1, reachable.len()),
+        // Two memo slots per arena index: one per complement polarity.
+        memo: Scratch::for_query(2 * (root.index() + 1), reachable.len()),
         max_width: 0,
     };
     let front = run.front(root, &reachable);
@@ -205,23 +210,34 @@ enum NodeFront<VD, VA> {
     Front(ParetoFront<VD, VA>),
 }
 
-/// The per-query memo of node fronts.
+/// The per-query memo of node fronts, keyed by *tagged* ref.
+///
+/// Under complement edges an arena node stands for two functions — itself
+/// and its negation — and the propagation may encounter both (a node
+/// reached through an odd and an even number of complemented edges), so
+/// the memo key is the full tagged ref: two slots per index, polarity in
+/// the low bit.
 ///
 /// The one-shot path compiles into a fresh manager, so the arena *is* the
-/// working set and a dense `Vec` indexed by `NodeRef` — one bounds check
-/// per probe, no hashing — is the PR-1 hot-path choice. Under a long-lived
+/// working set and a dense `Vec` — one bounds check per probe, no hashing
+/// — is the PR-1 hot-path choice. Under a long-lived
 /// [`AnalysisEngine`](crate::engine::AnalysisEngine) the arena additionally
 /// holds garbage and other queries' survivors, and zeroing an arena-sized
 /// vector of fat `Option`s per query can dwarf the propagation itself; once
-/// the arena exceeds 4× the query's reachable set, the memo switches to a
-/// `HashMap` keyed by node index, whose cost scales with the query instead
-/// of the arena.
+/// the (doubled) arena span exceeds 4× the query's reachable set, the memo
+/// switches to a `HashMap` keyed by the same tagged key, whose cost scales
+/// with the query instead of the arena.
 enum Scratch<VD, VA> {
     Dense(Vec<Option<NodeFront<VD, VA>>>),
     Sparse(std::collections::HashMap<u32, NodeFront<VD, VA>>),
 }
 
 impl<VD, VA> Scratch<VD, VA> {
+    /// The memo key of a tagged ref: index doubled, polarity in bit 0.
+    fn key(node: NodeRef) -> u32 {
+        (node.index() as u32) << 1 | u32::from(node.is_complemented())
+    }
+
     fn for_query(arena_span: usize, reachable: usize) -> Self {
         if arena_span <= 4 * reachable {
             Scratch::Dense((0..arena_span).map(|_| None).collect())
@@ -232,24 +248,24 @@ impl<VD, VA> Scratch<VD, VA> {
 
     fn get(&self, node: NodeRef) -> Option<&NodeFront<VD, VA>> {
         match self {
-            Scratch::Dense(slots) => slots[node.index()].as_ref(),
-            Scratch::Sparse(map) => map.get(&(node.index() as u32)),
+            Scratch::Dense(slots) => slots[Self::key(node) as usize].as_ref(),
+            Scratch::Sparse(map) => map.get(&Self::key(node)),
         }
     }
 
     fn set(&mut self, node: NodeRef, front: NodeFront<VD, VA>) {
         match self {
-            Scratch::Dense(slots) => slots[node.index()] = Some(front),
+            Scratch::Dense(slots) => slots[Self::key(node) as usize] = Some(front),
             Scratch::Sparse(map) => {
-                map.insert(node.index() as u32, front);
+                map.insert(Self::key(node), front);
             }
         }
     }
 
     fn take(&mut self, node: NodeRef) -> Option<NodeFront<VD, VA>> {
         match self {
-            Scratch::Dense(slots) => slots[node.index()].take(),
-            Scratch::Sparse(map) => map.remove(&(node.index() as u32)),
+            Scratch::Dense(slots) => slots[Self::key(node) as usize].take(),
+            Scratch::Sparse(map) => map.remove(&Self::key(node)),
         }
     }
 }
@@ -276,9 +292,14 @@ impl<DD: AttributeDomain, DA: AttributeDomain> Run<'_, DD, DA> {
         let dd = self.t.defender_domain();
         let da = self.t.attacker_domain();
         for &w in reachable {
-            // Terminals (lines 2–5 of Algorithm 3): which terminal is the
-            // attacker's goal depends on the root agent.
-            if w == Bdd::FALSE || w == Bdd::TRUE {
+            // Terminals (lines 2–5 of Algorithm 3). The paper's pseudocode
+            // reads two terminal nodes; the complement-edge kernel stores
+            // one, and the two "terminals" here are its two polarities —
+            // `Bdd::TRUE` the plain ref, `Bdd::FALSE` the tagged one — so
+            // the goal test is a tagged-ref comparison, not a node lookup.
+            // Which polarity is the attacker's goal depends on the root
+            // agent.
+            if w.is_terminal() {
                 let reached_goal = match self.root_agent {
                     Agent::Attacker => w == Bdd::TRUE,
                     Agent::Defender => w == Bdd::FALSE,

@@ -208,6 +208,12 @@ impl DefenseFirstOrder {
 /// Shared subtrees of DAG-shaped ADTs are compiled once (the compilation
 /// walks the topological order and memoizes per node), which is exactly why
 /// BDDs handle DAGs that the bottom-up front propagation cannot.
+///
+/// The returned root is a complement-tagged [`NodeRef`] and may itself be
+/// complemented (INH-rooted structure functions typically are): under the
+/// complement-edge kernel every INH gate's `and_not` is a conjunction with
+/// a tag flip, so the negative phase of each trigger subtree shares all of
+/// its nodes with the positive phase instead of being materialized.
 pub fn compile(adt: &Adt, order: &DefenseFirstOrder) -> (Bdd, NodeRef) {
     let mut bdd = Bdd::new(order.var_count());
     let root = compile_into(&mut bdd, adt, order);

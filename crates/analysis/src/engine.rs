@@ -35,6 +35,22 @@
 //! whose domain instances are interchangeable. Every domain in `adt-core`
 //! is a stateless unit struct, which satisfies this trivially; a future
 //! stateful domain would need to become part of the key.
+//!
+//! The key is built from the *ADT* (shape, agents, values, order levels),
+//! never from kernel [`NodeRef`](adt_bdd::NodeRef)s — deliberately so:
+//! refs are renumbered
+//! by GC and, since the complement-edge kernel, carry a polarity tag, so
+//! a ref-based key would need both the tag bits and GC-epoch bookkeeping
+//! to stay sound. A pre-compilation key sidesteps both hazards, and the
+//! cached value space (fronts) is equally ref-free.
+//!
+//! # Bounded cache (LRU)
+//!
+//! The cache holds at most [`AnalysisEngine::cache_capacity`] entries
+//! ([`DEFAULT_CACHE_CAPACITY`] unless configured): past that, the entry
+//! whose last hit is oldest is evicted, so unbounded streams of distinct
+//! queries no longer grow the cache without limit while hot modules stay
+//! resident. [`AnalysisEngine::clear_cache`] still empties it wholesale.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -57,6 +73,15 @@ use crate::Front;
 /// small enough that a long query stream stays inside cache-friendly
 /// memory. Tune per deployment with [`AnalysisEngine::set_gc_threshold`].
 pub const DEFAULT_GC_THRESHOLD: usize = 1 << 20;
+
+/// Default capacity of the cross-query front cache, in entries.
+///
+/// Deliberately generous — a front plus its structural key is hundreds of
+/// bytes, so 4096 entries are low single-digit MiB — but *bounded*: an
+/// unbounded stream of distinct queries previously grew the cache without
+/// limit (the ROADMAP's "eviction smarter than `clear_cache`" item). Tune
+/// with [`AnalysisEngine::set_cache_capacity`].
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
 /// Key-space tag: which algorithm/shape produced a cached front (fronts
 /// agree across algorithms, but the cached *report metadata* — BDD size,
@@ -132,6 +157,9 @@ type Front2<VD, VA> = adt_core::ParetoFront<VD, VA>;
 struct MemoEntry<VD: Clone, VA: Clone> {
     key: QueryKey<VD, VA>,
     report: CachedReport<VD, VA>,
+    /// Engine tick of the last hit (or the insertion), driving LRU
+    /// eviction once the cache reaches its capacity.
+    last_used: u64,
 }
 
 /// The hash-bucketed cross-query cache (hash → entries whose keys landed
@@ -262,6 +290,11 @@ pub struct AnalysisEngine<DD: AttributeDomain, DA: AttributeDomain> {
     bdd: Bdd,
     memo: Memo<DD::Value, DA::Value>,
     stats: EngineStats,
+    /// Maximum entries of the front cache; the least-recently-used entry
+    /// is evicted past this. `0` disables caching entirely.
+    cache_capacity: usize,
+    /// Monotone logical clock stamping cache touches for LRU.
+    tick: u64,
 }
 
 impl<DD: AttributeDomain, DA: AttributeDomain> Default for AnalysisEngine<DD, DA> {
@@ -289,6 +322,8 @@ where
             bdd,
             memo: HashMap::new(),
             stats: EngineStats::default(),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            tick: 0,
         }
     }
 
@@ -302,12 +337,32 @@ where
         self.bdd.gc_threshold()
     }
 
+    /// Bounds the front cache to at most `entries` entries, evicting the
+    /// least-recently-used entries immediately if the cache is already
+    /// over the new bound. `0` disables caching (every query recomputes),
+    /// `usize::MAX` restores the unbounded pre-LRU behavior.
+    pub fn set_cache_capacity(&mut self, entries: usize) {
+        self.cache_capacity = entries;
+        while self.cached_fronts() > self.cache_capacity {
+            self.evict_lru();
+        }
+    }
+
+    /// The current front-cache capacity (see
+    /// [`AnalysisEngine::set_cache_capacity`]).
+    pub fn cache_capacity(&self) -> usize {
+        self.cache_capacity
+    }
+
     /// Restores the engine to its just-constructed state (empty manager,
-    /// empty cache, zeroed stats), keeping only the GC threshold. This is
-    /// the "cold" baseline of the `bench_engine` harness and the
-    /// per-suite reset of the worker pool's non-warm mode.
+    /// empty cache, zeroed stats), keeping only its configuration — the GC
+    /// threshold and the cache capacity. This is the "cold" baseline of
+    /// the `bench_engine` harness and the per-suite reset of the worker
+    /// pool's non-warm mode.
     pub fn reset(&mut self) {
+        let capacity = self.cache_capacity;
         *self = Self::with_gc_threshold(self.gc_threshold());
+        self.cache_capacity = capacity;
     }
 
     /// Drops every cached front, keeping the manager. Bounds the memory of
@@ -372,8 +427,11 @@ where
         hash: u64,
         key: &QueryKey<DD::Value, DA::Value>,
     ) -> Option<CachedReport<DD::Value, DA::Value>> {
-        if let Some(bucket) = self.memo.get(&hash) {
-            if let Some(entry) = bucket.iter().find(|e| e.key.matches(key)) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(bucket) = self.memo.get_mut(&hash) {
+            if let Some(entry) = bucket.iter_mut().find(|e| e.key.matches(key)) {
+                entry.last_used = tick;
                 self.stats.cache_hits += 1;
                 return Some(entry.report.clone());
             }
@@ -388,10 +446,43 @@ where
         key: QueryKey<DD::Value, DA::Value>,
         report: CachedReport<DD::Value, DA::Value>,
     ) {
-        self.memo
-            .entry(hash)
-            .or_default()
-            .push(MemoEntry { key, report });
+        if self.cache_capacity == 0 {
+            return;
+        }
+        while self.cached_fronts() >= self.cache_capacity {
+            self.evict_lru();
+        }
+        self.tick += 1;
+        self.memo.entry(hash).or_default().push(MemoEntry {
+            key,
+            report,
+            last_used: self.tick,
+        });
+    }
+
+    /// Drops the least-recently-used cache entry (no-op on an empty
+    /// cache). A linear scan over the entries: eviction only runs once per
+    /// insert past capacity, and capacities are in the thousands — an
+    /// ordered index would cost more in bookkeeping on every hit than the
+    /// scan costs here.
+    fn evict_lru(&mut self) {
+        let Some((&hash, oldest)) = self
+            .memo
+            .iter()
+            .flat_map(|(hash, bucket)| bucket.iter().map(move |entry| (hash, entry.last_used)))
+            .min_by_key(|&(_, last_used)| last_used)
+        else {
+            return;
+        };
+        let bucket = self.memo.get_mut(&hash).expect("bucket of scanned entry");
+        let index = bucket
+            .iter()
+            .position(|e| e.last_used == oldest)
+            .expect("entry of scanned bucket");
+        bucket.swap_remove(index);
+        if bucket.is_empty() {
+            self.memo.remove(&hash);
+        }
     }
 
     /// The engine counterpart of [`crate::analyze`]: bottom-up on trees,
@@ -535,7 +626,7 @@ mod tests {
             assert_eq!(warm.front, fresh.front);
             assert_eq!(warm.bdd_nodes, fresh.bdd_nodes);
             assert_eq!(warm.max_front_width, fresh.max_front_width);
-            assert_eq!(engine.arena_nodes(), 2, "post-query GC must sweep all");
+            assert_eq!(engine.arena_nodes(), 1, "post-query GC must sweep all");
         }
         assert_eq!(engine.gc_stats().collections, 3);
         assert!(engine.gc_stats().nodes_freed > 0);
@@ -660,11 +751,75 @@ mod tests {
         engine.analyze(&catalog::money_theft()).unwrap();
         assert!(engine.cached_fronts() > 0);
         assert!(engine.arena_nodes() > 2);
+        engine.set_cache_capacity(17);
         engine.reset();
         assert_eq!(engine.cached_fronts(), 0);
-        assert_eq!(engine.arena_nodes(), 2);
+        assert_eq!(engine.arena_nodes(), 1, "only the terminal survives");
         assert_eq!(engine.stats(), EngineStats::default());
         assert_eq!(engine.gc_threshold(), 1 << 10, "threshold survives reset");
+        assert_eq!(engine.cache_capacity(), 17, "capacity survives reset");
+    }
+
+    /// A family of structurally identical queries distinguished only by
+    /// their attack values — each is its own cache entry.
+    fn costed(c: u64) -> AugmentedAdt<MinCost, MinCost> {
+        AugmentedAdt::from_fns(
+            catalog::fig6(),
+            MinCost,
+            MinCost,
+            |_, _| adt_core::Ext::Fin(1),
+            |_, _| adt_core::Ext::Fin(c),
+        )
+    }
+
+    #[test]
+    fn lru_eviction_bounds_the_cache_and_keeps_recent_entries() {
+        let mut engine = Engine::new();
+        engine.set_cache_capacity(2);
+        engine.analyze(&costed(1)).unwrap(); // cache: {1}
+        engine.analyze(&costed(2)).unwrap(); // cache: {1, 2}
+        assert_eq!(engine.cached_fronts(), 2);
+        engine.analyze(&costed(1)).unwrap(); // hit: 1 becomes most recent
+        assert_eq!(engine.stats().cache_hits, 1);
+        engine.analyze(&costed(3)).unwrap(); // evicts 2 (least recent)
+        assert_eq!(engine.cached_fronts(), 2, "capacity must bound the cache");
+        engine.analyze(&costed(1)).unwrap();
+        assert_eq!(engine.stats().cache_hits, 2, "recently-used entry kept");
+        let misses = engine.stats().cache_misses;
+        engine.analyze(&costed(2)).unwrap();
+        assert_eq!(
+            engine.stats().cache_misses,
+            misses + 1,
+            "the LRU entry must have been evicted"
+        );
+    }
+
+    #[test]
+    fn shrinking_the_capacity_evicts_immediately() {
+        let mut engine = Engine::new();
+        for c in 1..=6 {
+            engine.analyze(&costed(c)).unwrap();
+        }
+        assert_eq!(engine.cached_fronts(), 6);
+        engine.set_cache_capacity(3);
+        assert_eq!(engine.cached_fronts(), 3);
+        // The three most recent queries (4, 5, 6) survived.
+        for c in 4..=6 {
+            engine.analyze(&costed(c)).unwrap();
+        }
+        assert_eq!(engine.stats().cache_hits, 3);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching_without_changing_results() {
+        let mut engine = Engine::new();
+        engine.set_cache_capacity(0);
+        let first = engine.analyze(&catalog::money_theft()).unwrap();
+        let again = engine.analyze(&catalog::money_theft()).unwrap();
+        assert_eq!(first, again);
+        assert_eq!(engine.cached_fronts(), 0);
+        assert_eq!(engine.stats().cache_hits, 0);
+        assert_eq!(first, crate::analyze(&catalog::money_theft()).unwrap());
     }
 
     #[test]

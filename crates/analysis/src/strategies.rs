@@ -132,7 +132,12 @@ struct WitnessPoint<VD, VA> {
     attack: BitVec,
 }
 
-/// Per-node memo of partially built witnesses.
+/// Per-function memo of partially built witnesses, keyed by the full
+/// *tagged* [`NodeRef`]: under complement edges a node and its negation
+/// share an arena index but are distinct functions with distinct
+/// witnesses, and the tag bit in the key keeps them apart. (`Bdd::low`/
+/// `Bdd::high` return tag-adjusted cofactor functions, so the recursion
+/// below needs no other complement handling.)
 type WitnessMemo<DD, DA> = HashMap<
     NodeRef,
     Vec<WitnessPoint<<DD as AttributeDomain>::Value, <DA as AttributeDomain>::Value>>,

@@ -13,23 +13,32 @@
 //!
 //! Features:
 //!
-//! * hash-consed unique table — equal functions are pointer-equal
+//! * **complement edges** — a [`NodeRef`] packs a negation tag into bit 31
+//!   of its `u32`, with a single `1` terminal and the no-complemented-high
+//!   canonicity rule, so `not` is O(1) (a bit flip, [`Bdd::not`]) and a
+//!   function shares every node with its negation (see `docs/KERNEL.md`
+//!   at the workspace root for the full encoding);
+//! * hash-consed unique table — equal functions get equal 32-bit refs
 //!   ([`Bdd::ite`] and friends never build unreduced nodes); the table is
 //!   a custom open-addressed array of `u32` node indices with
 //!   multiplicative hashing (see the kernel-design notes in `manager`);
-//! * ITE-based `and`/`or`/`not`/`xor`/`and_not` with a direct-mapped lossy
-//!   operation cache, evaluated with an explicit work stack;
+//! * ITE-based `and`/`or`/`not`/`xor`/`and_not` with standard-triple
+//!   normalization (a call and its complement dual share one entry of the
+//!   direct-mapped lossy operation cache), evaluated with an explicit
+//!   work stack;
 //! * restriction (cofactoring), support computation, SAT counting, path
 //!   enumeration and Graphviz export — all iterative, so deep DAG-shaped
 //!   diagrams cannot overflow the call stack;
 //! * mark-and-compact garbage collection for long-lived managers:
 //!   [`Bdd::protect`] registers roots, [`Bdd::gc`] compacts the arena
-//!   (renumbering [`NodeRef`]s; handles resolve through [`Bdd::resolve`]),
-//!   and [`Bdd::maybe_gc`] applies a configurable arena threshold;
+//!   (renumbering indices but preserving complement tags; handles resolve
+//!   tag-faithfully through [`Bdd::resolve`]), and [`Bdd::maybe_gc`]
+//!   applies a configurable arena threshold;
 //! * the FORCE static ordering heuristic with *ordering groups*
 //!   ([`force_order`]), used for defense-first order ablations;
-//! * the frozen PR-1 baseline manager ([`control::ControlBdd`]) for
-//!   differential tests and speedup accounting.
+//! * the frozen PR-1 baseline manager ([`control::ControlBdd`] — no
+//!   complement edges, two terminals) for differential tests and
+//!   speedup/node-count accounting.
 //!
 //! ## Example
 //!

@@ -1,74 +1,107 @@
-//! The ROBDD manager: hash-consed node store with ITE-based operations.
+//! The ROBDD manager: hash-consed node store with ITE-based operations and
+//! **complement edges**.
 //!
 //! The manager owns every node; functions are referred to by [`NodeRef`].
 //! Reducedness (Definition 10 of the paper) is maintained structurally:
 //! `mk` never creates a node with equal children and never duplicates an
 //! existing `(level, low, high)` triple, so two equal Boolean functions over
 //! the same variable order always receive the same [`NodeRef`] — equality of
-//! functions is pointer equality.
+//! functions is equality of the 32-bit ref.
+//!
+//! # Complement edges
+//!
+//! A [`NodeRef`] packs a *complement tag* into bit 31 of the arena index
+//! (the encoding of Brace, Rudell & Bryant's ITE paper): the ref `(i, ¬)`
+//! denotes the **negation** of the function stored at index `i`. Two
+//! canonicity rules keep refs unique per function:
+//!
+//! * **the high edge is never complemented** — `mk` pushes a complemented
+//!   high edge onto the low edge and the returned ref instead
+//!   (`(l, g, ¬h) = ¬(l, ¬g, h)`), so each function/negation pair is stored
+//!   exactly once;
+//! * **a single `1` terminal** — `0` is just its complement, so the arena
+//!   holds one terminal node at index 0 ([`Bdd::TRUE`] is the plain ref,
+//!   [`Bdd::FALSE`] the tagged one).
+//!
+//! The payoff: negation is **O(1)** (flip one bit, touch no memory — see
+//! [`NodeRef::complement`]), a diagram and its complement share all their
+//! nodes (live node counts drop up to 2× on negation-rich workloads such as
+//! the ADT defense step's `and_not`), and the ITE cache can fold a call and
+//! its complement dual into one entry via *standard-triple normalization*
+//! (see [`Bdd::ite`]).
 //!
 //! # Kernel design
 //!
 //! The two data structures on the `BDDBU` hot path are engineered for
 //! throughput rather than generality (the `HashMap`-based baseline they
-//! replaced survives as [`crate::control::ControlBdd`] for differential
-//! tests and benchmarks):
+//! replaced survives as [`crate::control::ControlBdd`] — tag-free, two
+//! terminals — for differential tests and benchmarks):
 //!
 //! * **Node store** — a flat `Vec<BddNode>` arena; a [`NodeRef`] is a `u32`
-//!   index into it. Nodes are never deleted, and `mk` creates children
-//!   before parents, so *child indices are always smaller than parent
-//!   indices*: ascending index order is a topological order of every
-//!   diagram, which the iterative `sat_count`/`restrict` sweeps exploit.
+//!   whose low 31 bits index into it. Nodes are never deleted, and `mk`
+//!   creates children before parents, so *child indices are always smaller
+//!   than parent indices*: ascending index order is a topological order of
+//!   every diagram, which the iterative `sat_count`/`restrict` sweeps
+//!   exploit (tags ride along without disturbing the order — both
+//!   polarities of an index share its arena slot).
 //!
 //! * **Unique table** — open addressing with linear probing over a
 //!   power-of-two slot array of `u32` node indices (`u32::MAX` = empty).
 //!   The key of a slot is the `(level, low, high)` triple of the node it
-//!   points at, so the table stores 4 bytes per entry instead of a
-//!   16-byte key plus SipHash state. Hashing is multiplicative (two
-//!   rounds of golden-ratio mixing, FxHash-style), a handful of cycles
-//!   versus SipHash's dozens. Since nodes are never removed there are no
-//!   tombstones: growth (at 1/2 load — linear probing degrades sharply
-//!   past that) simply reinserts every node index into a doubled array.
+//!   points at — `low` with its tag bit, `high` always untagged — so the
+//!   table stores 4 bytes per entry instead of a 16-byte key plus SipHash
+//!   state. Hashing is multiplicative (two rounds of golden-ratio mixing,
+//!   FxHash-style). Since nodes are never removed there are no tombstones:
+//!   growth (at 1/2 load) simply reinserts every node index into a doubled
+//!   array.
 //!
-//! * **ITE cache** — a *direct-mapped, lossy* cache: a power-of-two array
-//!   of `(f, g, h, result)` quadruples where a new entry simply overwrites
-//!   whatever hashed to the same slot. Collisions cost a recomputation,
-//!   never correctness, and the cache needs no eviction bookkeeping and no
-//!   rehashing. It starts at 64 entries and doubles (discarding contents —
-//!   it is a cache) whenever the node count overtakes it, capped at 2^18
-//!   entries (4 MiB), so small managers stay allocation-light while large
-//!   compilations keep a useful hit rate.
+//! * **ITE cache** — a *direct-mapped, lossy* cache of *standard triples*:
+//!   [`Bdd::ite`] first rewrites `(f, g, h)` into a canonical equivalent
+//!   with `f` and `g` untagged (recording whether the result must be
+//!   complemented on the way out), so `ite(f, g, h)` and its complement
+//!   dual `¬ite(f, ¬g, ¬h)` — and the commuted and/or forms — all share
+//!   one entry. Collisions cost a recomputation, never correctness.
 //!
 //! * **Iterative walks** — `ite`, `sat_count` and `restrict` use explicit
 //!   stacks or index sweeps instead of recursion, so the DAG-shaped
 //!   workloads from `adt-gen` (whose diagrams can be thousands of levels
-//!   deep) cannot overflow the call stack.
+//!   deep) cannot overflow the call stack. Sweeps run over *indices*;
+//!   where a result depends on the polarity a node is reached with
+//!   (`sat_count`, [`Bdd::reachable_topological`]), the complement is
+//!   derived per tagged ref, not recomputed per node.
 //!
 //! * **Mark-and-compact GC** — long-lived managers (the `AnalysisEngine`
 //!   in `adt-analysis` reuses one manager across queries) reclaim garbage
-//!   with [`Bdd::gc`]: nodes reachable from the explicit root registry
-//!   ([`Bdd::protect`] / [`Bdd::unprotect`]) are compacted to the front of
-//!   the arena *in their original index order*, which preserves the
-//!   child-index < parent-index invariant every sweep relies on. The
-//!   tombstone-free unique table is rebuilt by the same reinsertion loop
-//!   that growth uses, and the lossy ITE cache — whose entries hold raw
-//!   arena indices — is invalidated wholesale. **A GC renumbers every
-//!   [`NodeRef`]**: refs held outside the root registry are invalidated,
-//!   and the registry's refs must be re-read through [`Bdd::resolve`].
+//!   with [`Bdd::gc`]: marking strips tags (a node is live if either
+//!   polarity is), compaction renumbers **indices but preserves tags** on
+//!   low edges and registry roots, so root handles stay tag-faithful —
+//!   [`Bdd::resolve`] returns a complemented ref iff a complemented ref
+//!   was protected. The tombstone-free unique table is rebuilt by the same
+//!   reinsertion loop that growth uses, and the lossy ITE cache — whose
+//!   entries hold raw tagged refs — is invalidated wholesale. **A GC
+//!   renumbers every [`NodeRef`]**: refs held outside the root registry
+//!   are invalidated, and the registry's refs must be re-read through
+//!   [`Bdd::resolve`].
 
 use std::fmt::Write as _;
 
 use crate::expr::Bexpr;
 use crate::Level;
 
-/// Level number used for the two terminal nodes; compares greater than any
-/// real variable level so that `min` over levels finds the branching
-/// variable.
+/// Level number used for the terminal node; compares greater than any real
+/// variable level so that `min` over levels finds the branching variable.
 const TERMINAL_LEVEL: Level = Level::MAX;
 
-/// Empty-slot sentinel of the unique table and the ITE cache. Also the one
-/// `u32` that is never a valid node index (`mk` asserts the arena stays
-/// below it).
+/// The complement tag: bit 31 of a [`NodeRef`]. The arena index lives in
+/// the low 31 bits, so a manager holds at most 2³¹ − 1 nodes — half the
+/// untagged kernel's ceiling, but complement sharing means a diagram needs
+/// at most half the nodes, so the reachable function space is unchanged.
+const TAG: u32 = 1 << 31;
+
+/// Empty-slot sentinel of the unique table and the ITE cache. Bit pattern
+/// `TAG | 0x7FFF_FFFF`; `mk` asserts the arena stays below index
+/// `0x7FFF_FFFF`, and cache keys store `f` untagged, so no live key ever
+/// collides with the sentinel.
 const EMPTY: u32 = u32::MAX;
 
 /// Initial slot count of the unique table (power of two).
@@ -82,37 +115,65 @@ const ITE_CACHE_INITIAL: usize = 1 << 6;
 /// Entry-count ceiling of the ITE cache: 2^18 quadruples = 4 MiB.
 const ITE_CACHE_MAX: usize = 1 << 18;
 
-/// A reference to a node owned by a [`Bdd`] manager.
+/// A reference to a Boolean function owned by a [`Bdd`] manager: an arena
+/// index plus a complement tag (bit 31) that negates the stored function.
 ///
-/// The constants [`Bdd::FALSE`] and [`Bdd::TRUE`] refer to the two terminal
-/// nodes of every manager.
+/// The constants [`Bdd::FALSE`] and [`Bdd::TRUE`] are the two polarities of
+/// the single terminal node of every manager.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeRef(u32);
 
 impl NodeRef {
-    /// Index of this node in the manager's arena.
+    /// Index of this ref's node in the manager's arena (tag stripped).
     pub fn index(self) -> usize {
-        self.0 as usize
+        (self.0 & !TAG) as usize
     }
 
-    /// `true` for the `0`/`1` terminals.
+    /// `true` if this ref denotes the *negation* of its arena node.
+    pub fn is_complemented(self) -> bool {
+        self.0 & TAG != 0
+    }
+
+    /// The negation of this function — a pure bit flip, no manager access,
+    /// no allocation. This is what makes `not` O(1) under complement edges.
+    #[must_use]
+    pub fn complement(self) -> NodeRef {
+        NodeRef(self.0 ^ TAG)
+    }
+
+    /// Applies an *additional* complement when `complemented` holds — the
+    /// tag-propagation step of every cofactor walk (`¬f`'s cofactors are
+    /// the complements of `f`'s).
+    #[must_use]
+    fn complement_if(self, complemented: bool) -> NodeRef {
+        if complemented {
+            self.complement()
+        } else {
+            self
+        }
+    }
+
+    /// `true` for the two polarities of the terminal (`0` and `1`).
     pub fn is_terminal(self) -> bool {
-        self.0 <= 1
+        self.0 & !TAG == 0
     }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct BddNode {
     level: Level,
+    /// May carry a complement tag.
     low: NodeRef,
+    /// Never carries a complement tag (canonicity rule; `mk` enforces it).
     high: NodeRef,
 }
 
 /// Two rounds of golden-ratio multiplicative mixing over the node triple.
 ///
 /// Weak by hash-table-theory standards, strong enough in practice: the
-/// inputs are small dense integers, and linear probing over a power-of-two
-/// table only needs the high bits to spread.
+/// inputs are small dense integers (plus the complement bit in the top
+/// position), and linear probing over a power-of-two table only needs the
+/// high bits to spread.
 #[inline]
 fn hash_triple(level: Level, low: u32, high: u32) -> u64 {
     const K: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -123,9 +184,9 @@ fn hash_triple(level: Level, low: u32, high: u32) -> u64 {
     h ^ (h >> 29)
 }
 
-/// The open-addressed unique table: maps `(level, low, high)` to the node
-/// index holding that triple. Keys live in the node arena; the table stores
-/// only indices.
+/// The open-addressed unique table: maps `(level, low, high)` — `low`
+/// tagged, `high` untagged — to the node index holding that triple. Keys
+/// live in the node arena; the table stores only indices.
 #[derive(Debug, Clone)]
 struct UniqueTable {
     /// Power-of-two slot array of node indices; [`EMPTY`] marks a free slot.
@@ -166,7 +227,7 @@ impl UniqueTable {
     /// "grow" are the same reinsertion loop over the arena.
     #[cold]
     fn rebuild(&mut self, nodes: &[BddNode], min_slots: usize) {
-        let inner = nodes.len().saturating_sub(2);
+        let inner = nodes.len().saturating_sub(1);
         let mut target = min_slots.max(UNIQUE_INITIAL_SLOTS);
         while inner * 2 >= target {
             target *= 2;
@@ -174,7 +235,7 @@ impl UniqueTable {
         debug_assert!(target.is_power_of_two());
         let mask = target - 1;
         let mut slots = vec![EMPTY; target];
-        for (index, node) in nodes.iter().enumerate().skip(2) {
+        for (index, node) in nodes.iter().enumerate().skip(1) {
             let mut i = hash_triple(node.level, node.low.0, node.high.0) as usize & mask;
             while slots[i] != EMPTY {
                 i = (i + 1) & mask;
@@ -186,7 +247,9 @@ impl UniqueTable {
     }
 }
 
-/// One quadruple of the direct-mapped ITE cache.
+/// One quadruple of the direct-mapped ITE cache. `f` and `g` are stored
+/// untagged (the standard-triple normalization guarantees it); `h` and
+/// `result` may carry tags.
 #[derive(Debug, Clone, Copy)]
 struct IteEntry {
     f: u32,
@@ -264,7 +327,7 @@ impl IteCache {
     }
 
     /// Empties the cache in place, keeping its capacity. Required after a
-    /// GC: entries key and store raw arena indices, all of which a
+    /// GC: entries key and store raw (tagged) arena refs, all of which a
     /// compaction renumbers. (Lossy cache — clearing costs recomputation,
     /// never correctness.)
     #[cold]
@@ -278,7 +341,9 @@ impl IteCache {
 /// [`Bdd::gc`] renumbers every [`NodeRef`], so long-lived callers register
 /// the functions they keep with [`Bdd::protect`] and re-read the current
 /// ref through [`Bdd::resolve`] after (potential) collections. Handles stay
-/// valid across any number of GCs until [`Bdd::unprotect`] releases them.
+/// valid across any number of GCs until [`Bdd::unprotect`] releases them,
+/// and stay **tag-faithful**: protecting a complemented ref resolves to a
+/// complemented ref after every collection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RootHandle(usize);
 
@@ -289,7 +354,7 @@ pub struct GcStats {
     pub collections: usize,
     /// Total nodes reclaimed across all collections.
     pub nodes_freed: usize,
-    /// Arena size (live nodes, terminals included) right after the most
+    /// Arena size (live nodes, the terminal included) right after the most
     /// recent collection; 0 before the first one.
     pub last_live: usize,
     /// Largest arena size observed at any collection start. The arena only
@@ -304,12 +369,14 @@ enum IteFrame {
     /// Evaluate `ite(f, g, h)` and push the result.
     Expand(NodeRef, NodeRef, NodeRef),
     /// Pop the two cofactor results, build the node at `level`, cache it
-    /// under the original `(f, g, h)`.
-    Reduce(Level, NodeRef, NodeRef, NodeRef),
+    /// under the normalized `(f, g, h)`, and push the result complemented
+    /// when the flag is set (the output-negation recorded by the
+    /// standard-triple normalization).
+    Reduce(Level, NodeRef, NodeRef, NodeRef, bool),
 }
 
-/// A reduced ordered binary decision diagram manager over a fixed number of
-/// variables.
+/// A reduced ordered binary decision diagram manager (with complement
+/// edges) over a fixed number of variables.
 ///
 /// # Examples
 ///
@@ -334,8 +401,8 @@ pub struct Bdd {
     /// Scratch result stack of [`Bdd::ite`] (always left empty between
     /// calls).
     ite_results: Vec<NodeRef>,
-    /// The GC root registry: `roots[h]` is the (renumbered-on-GC) function
-    /// behind [`RootHandle`] `h`, or `None` once unprotected.
+    /// The GC root registry: `roots[h]` is the (renumbered-on-GC, tagged)
+    /// function behind [`RootHandle`] `h`, or `None` once unprotected.
     roots: Vec<Option<NodeRef>>,
     /// Free slots of `roots`, reused by [`Bdd::protect`].
     free_roots: Vec<usize>,
@@ -347,21 +414,22 @@ pub struct Bdd {
 }
 
 impl Bdd {
-    /// The `0` terminal.
-    pub const FALSE: NodeRef = NodeRef(0);
-    /// The `1` terminal.
-    pub const TRUE: NodeRef = NodeRef(1);
+    /// The `0` terminal: the complemented polarity of the single terminal
+    /// node.
+    pub const FALSE: NodeRef = NodeRef(TAG);
+    /// The `1` terminal: the plain polarity of the single terminal node.
+    pub const TRUE: NodeRef = NodeRef(0);
 
     /// Creates a manager for Boolean functions over `var_count` variables
     /// (levels `0..var_count`).
     pub fn new(var_count: usize) -> Self {
         let terminal = BddNode {
             level: TERMINAL_LEVEL,
-            low: Self::FALSE,
-            high: Self::FALSE,
+            low: Self::TRUE,
+            high: Self::TRUE,
         };
         Bdd {
-            nodes: vec![terminal, terminal],
+            nodes: vec![terminal],
             unique: UniqueTable::new(),
             ite_cache: IteCache::new(),
             var_count,
@@ -388,7 +456,10 @@ impl Bdd {
         self.var_count = self.var_count.max(var_count);
     }
 
-    /// Total number of nodes ever created (including both terminals).
+    /// Total number of nodes ever created (including the terminal). With
+    /// complement edges a function and its negation share all their nodes,
+    /// so this is typically up to 2× smaller than the tag-free
+    /// [`crate::control::ControlBdd`]'s count for the same workload.
     pub fn total_nodes(&self) -> usize {
         self.nodes.len()
     }
@@ -416,38 +487,59 @@ impl Bdd {
         self.mk(level, Self::FALSE, Self::TRUE)
     }
 
-    /// The branching level of a node ([`Level::MAX`] for terminals).
+    /// The branching level of a ref's node ([`Level::MAX`] for terminals).
+    /// Complementing does not change the level.
     pub fn level(&self, f: NodeRef) -> Level {
         self.nodes[f.index()].level
     }
 
-    /// The low (`0`-labeled) child of a nonterminal node.
+    /// The low (`0`-labeled) cofactor of a nonterminal function. For a
+    /// complemented ref this is the complement of the stored low edge —
+    /// cofactoring commutes with negation, and the public accessors speak
+    /// *functions*, not storage.
     ///
     /// # Panics
     ///
     /// Panics if `f` is a terminal.
     pub fn low(&self, f: NodeRef) -> NodeRef {
         assert!(!f.is_terminal(), "terminals have no children");
-        self.nodes[f.index()].low
+        self.nodes[f.index()].low.complement_if(f.is_complemented())
     }
 
-    /// The high (`1`-labeled) child of a nonterminal node.
+    /// The high (`1`-labeled) cofactor of a nonterminal function (see
+    /// [`Bdd::low`] for the tag semantics; the *stored* high edge is never
+    /// complemented, so this is complemented iff `f` is).
     ///
     /// # Panics
     ///
     /// Panics if `f` is a terminal.
     pub fn high(&self, f: NodeRef) -> NodeRef {
         assert!(!f.is_terminal(), "terminals have no children");
-        self.nodes[f.index()].high
+        self.nodes[f.index()]
+            .high
+            .complement_if(f.is_complemented())
     }
 
-    /// Hash-consing constructor: the canonical node for
-    /// `(level, low, high)`, reusing an existing one when the triple is
-    /// already in the arena.
+    /// Hash-consing constructor: the canonical ref for the function
+    /// `(level, low, high)`, applying the complement-edge canonicity rule —
+    /// a complemented high edge is pushed onto the low edge and the
+    /// returned ref (`(l, g, ¬h) = ¬(l, ¬g, h)`), so the stored high edge
+    /// is always plain and each function/negation pair occupies one node.
     fn mk(&mut self, level: Level, low: NodeRef, high: NodeRef) -> NodeRef {
         if low == high {
             return low;
         }
+        if high.is_complemented() {
+            let r = self.mk_raw(level, low.complement(), high.complement());
+            return r.complement();
+        }
+        self.mk_raw(level, low, high)
+    }
+
+    /// The unique-table probe behind [`Bdd::mk`]; requires an untagged
+    /// high edge.
+    fn mk_raw(&mut self, level: Level, low: NodeRef, high: NodeRef) -> NodeRef {
+        debug_assert!(!high.is_complemented(), "canonicity: high edge is plain");
         if self.unique.needs_growth() {
             self.unique.grow(&self.nodes);
         }
@@ -457,8 +549,8 @@ impl Bdd {
             let slot = self.unique.slots[i];
             if slot == EMPTY {
                 assert!(
-                    self.nodes.len() < EMPTY as usize,
-                    "node arena exhausted the u32 index space"
+                    self.nodes.len() < (TAG as usize) - 1,
+                    "node arena exhausted the 31-bit index space"
                 );
                 let r = NodeRef(self.nodes.len() as u32);
                 self.nodes.push(BddNode { level, low, high });
@@ -475,7 +567,8 @@ impl Bdd {
     }
 
     /// The constant-time ITE exits: terminal conditions and absorptions
-    /// that need no cache lookup.
+    /// that need no cache lookup. The last arm is new with complement
+    /// edges: `ite(f, 0, 1) = ¬f` costs a bit flip.
     #[inline]
     fn ite_shortcut(f: NodeRef, g: NodeRef, h: NodeRef) -> Option<NodeRef> {
         if f == Self::TRUE {
@@ -490,26 +583,63 @@ impl Bdd {
         if g == Self::TRUE && h == Self::FALSE {
             return Some(f);
         }
+        if g == Self::FALSE && h == Self::TRUE {
+            return Some(f.complement());
+        }
         None
     }
 
-    /// Rewrites `(f, g, h)` into an equivalent canonical triple so that
-    /// commuting calls share one cache entry and one expansion:
-    /// `ite(f, f, h) = ite(f, 1, h)`, `ite(f, g, f) = ite(f, g, 0)`, and
-    /// the conjunction `ite(f, g, 0)` / disjunction `ite(f, 1, h)` forms
-    /// order their two operands by arena index.
+    /// Standard-triple normalization (Brace–Rudell–Bryant): rewrites
+    /// `(f, g, h)` into an equivalent canonical triple with `f` and `g`
+    /// untagged, returning `true` when the *result* of the rewritten call
+    /// must be complemented. Equivalent calls — the commuted conjunction
+    /// and disjunction forms, and a call and its complement dual
+    /// `¬ite(f, ¬g, ¬h)` — all normalize to the same triple, so they share
+    /// one cache entry and one expansion.
     #[inline]
-    fn ite_normalize(f: &mut NodeRef, g: &mut NodeRef, h: &mut NodeRef) {
-        if g == f {
-            *g = Self::TRUE;
+    fn ite_normalize(f: &mut NodeRef, g: &mut NodeRef, h: &mut NodeRef) -> bool {
+        // Branches of the condition collapse to constants.
+        if g.index() == f.index() {
+            *g = if g == f { Self::TRUE } else { Self::FALSE };
         }
-        if h == f {
-            *h = Self::FALSE;
+        if h.index() == f.index() {
+            *h = if h == f { Self::FALSE } else { Self::TRUE };
         }
-        if *h == Self::FALSE && g.0 < f.0 {
-            std::mem::swap(f, g);
-        } else if *g == Self::TRUE && h.0 < f.0 {
+        // One operand-ordering rewrite per derived form, choosing the
+        // smaller arena index as the condition: ∨ (`ite(f,1,h) = ite(h,1,f)`),
+        // ∧ (`ite(f,g,0) = ite(g,f,0)`), ¬∧ (`ite(f,0,h) = ite(¬h,0,¬f)`),
+        // → (`ite(f,g,1) = ite(¬g,¬f,1)`) and ⊕ (`ite(f,g,¬g) = ite(g,f,¬f)`).
+        if *g == Self::TRUE && h.index() < f.index() {
             std::mem::swap(f, h);
+        } else if *h == Self::FALSE && g.index() < f.index() {
+            std::mem::swap(f, g);
+        } else if *g == Self::FALSE && h.index() < f.index() {
+            let (of, oh) = (*f, *h);
+            *f = oh.complement();
+            *h = of.complement();
+        } else if *h == Self::TRUE && g.index() < f.index() {
+            let (of, og) = (*f, *g);
+            *f = og.complement();
+            *g = of.complement();
+        } else if *h == g.complement() && !g.is_terminal() && g.index() < f.index() {
+            let (of, og) = (*f, *g);
+            *f = og;
+            *g = of;
+            *h = of.complement();
+        }
+        // Untag the condition (`ite(¬f, g, h) = ite(f, h, g)`), then the
+        // then-branch — the complement-dual fold, which surfaces as the
+        // output negation the caller applies.
+        if f.is_complemented() {
+            *f = f.complement();
+            std::mem::swap(g, h);
+        }
+        if g.is_complemented() {
+            *g = g.complement();
+            *h = h.complement();
+            true
+        } else {
+            false
         }
     }
 
@@ -517,7 +647,9 @@ impl Bdd {
     /// operations are derived from this one.
     ///
     /// Evaluated with an explicit work stack, so arbitrarily deep diagrams
-    /// cannot overflow the call stack.
+    /// cannot overflow the call stack. Each step normalizes its triple to
+    /// the Brace–Rudell–Bryant standard form (see the module docs and
+    /// `docs/KERNEL.md`) before consulting the cache.
     pub fn ite(&mut self, f: NodeRef, g: NodeRef, h: NodeRef) -> NodeRef {
         if let Some(r) = Self::ite_shortcut(f, g, h) {
             return r;
@@ -535,26 +667,29 @@ impl Bdd {
                         results.push(r);
                         continue;
                     }
-                    Self::ite_normalize(&mut f, &mut g, &mut h);
+                    let negate = Self::ite_normalize(&mut f, &mut g, &mut h);
                     // Normalization can expose a new shortcut
                     // (e.g. ite(f, f, 0) became ite(f, 1, 0) = f).
                     if let Some(r) = Self::ite_shortcut(f, g, h) {
-                        results.push(r);
+                        results.push(r.complement_if(negate));
                         continue;
                     }
                     if let Some(r) = self.ite_cache.get(f, g, h) {
-                        results.push(r);
+                        results.push(r.complement_if(negate));
                         continue;
                     }
                     // One arena load per operand: the node copy serves
-                    // both the level minimum and the cofactor split.
+                    // both the level minimum and the cofactor split. The
+                    // split propagates each operand's tag onto its
+                    // cofactors (¬x branches to ¬x₀ / ¬x₁).
                     let nf = self.nodes[f.index()];
                     let ng = self.nodes[g.index()];
                     let nh = self.nodes[h.index()];
                     let level = nf.level.min(ng.level).min(nh.level);
                     let split = |node: BddNode, operand: NodeRef| {
                         if node.level == level {
-                            (node.low, node.high)
+                            let c = operand.is_complemented();
+                            (node.low.complement_if(c), node.high.complement_if(c))
                         } else {
                             (operand, operand)
                         }
@@ -562,18 +697,18 @@ impl Bdd {
                     let (f0, f1) = split(nf, f);
                     let (g0, g1) = split(ng, g);
                     let (h0, h1) = split(nh, h);
-                    frames.push(IteFrame::Reduce(level, f, g, h));
+                    frames.push(IteFrame::Reduce(level, f, g, h, negate));
                     // The low branch is pushed last so it evaluates first;
                     // `Reduce` pops high then low.
                     frames.push(IteFrame::Expand(f1, g1, h1));
                     frames.push(IteFrame::Expand(f0, g0, h0));
                 }
-                IteFrame::Reduce(level, f, g, h) => {
+                IteFrame::Reduce(level, f, g, h, negate) => {
                     let high = results.pop().expect("high cofactor result");
                     let low = results.pop().expect("low cofactor result");
                     let r = self.mk(level, low, high);
                     self.ite_cache.insert(f, g, h, r, self.nodes.len());
-                    results.push(r);
+                    results.push(r.complement_if(negate));
                 }
             }
         }
@@ -593,26 +728,43 @@ impl Bdd {
         self.ite(f, Self::TRUE, g)
     }
 
-    /// Negation.
+    /// Negation — **O(1)**: with complement edges, `¬f` is `f` with the
+    /// tag bit flipped ([`NodeRef::complement`]). No ITE runs, no node is
+    /// created, the arena does not grow.
+    ///
+    /// ```
+    /// use adt_bdd::{Bdd, Bexpr};
+    ///
+    /// let mut bdd = Bdd::new(3);
+    /// let f = bdd.build(&Bexpr::or([Bexpr::var(0), Bexpr::var(2)]));
+    /// let before = bdd.total_nodes();
+    /// let nf = bdd.not(f);
+    /// assert_eq!(bdd.total_nodes(), before, "negation allocates nothing");
+    /// assert_eq!(bdd.not(nf), f, "double negation is the identity");
+    /// assert!(bdd.eval(nf, &[false, false, false]));
+    /// ```
     #[allow(clippy::should_implement_trait)]
     pub fn not(&mut self, f: NodeRef) -> NodeRef {
-        self.ite(f, Self::FALSE, Self::TRUE)
+        f.complement()
     }
 
-    /// Exclusive or.
+    /// Exclusive or: one ITE, `ite(f, ¬g, g)` — the negated branch is a
+    /// tag flip, and the normalization folds the call with its complement
+    /// dual in the cache.
     pub fn xor(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
-        let ng = self.not(g);
-        self.ite(f, ng, g)
+        self.ite(f, g.complement(), g)
     }
 
     /// `f ∧ ¬g` — the inhibition clause of the structure function.
     ///
-    /// A single ITE (`ite(g, 0, f)`), not a negation followed by a
-    /// conjunction: the complement diagram of `g` is never materialized,
-    /// which matters because every INH gate of an ADT compiles through
-    /// here.
+    /// With complement edges `¬g` is free (a tag flip), so this is exactly
+    /// the conjunction `f ∧ ¬g` as one ITE over shared nodes: nothing is
+    /// materialized for the complement, and the diagram of `¬g` *is* the
+    /// diagram of `g`. Every INH gate of an ADT compiles through here, so
+    /// the defense step (`and_not` in `BDDBU`) rides entirely on existing
+    /// nodes.
     pub fn and_not(&mut self, f: NodeRef, g: NodeRef) -> NodeRef {
-        self.ite(g, Self::FALSE, f)
+        self.and(f, g.complement())
     }
 
     /// Builds the ROBDD of a Boolean expression.
@@ -653,7 +805,8 @@ impl Bdd {
         }
     }
 
-    /// Evaluates `f` under a full assignment (index = level).
+    /// Evaluates `f` under a full assignment (index = level), propagating
+    /// the complement tag down the walked path.
     ///
     /// # Panics
     ///
@@ -668,11 +821,12 @@ impl Bdd {
         let mut cur = f;
         while !cur.is_terminal() {
             let node = &self.nodes[cur.index()];
-            cur = if assignment[node.level as usize] {
+            let child = if assignment[node.level as usize] {
                 node.high
             } else {
                 node.low
             };
+            cur = child.complement_if(cur.is_complemented());
         }
         cur == Self::TRUE
     }
@@ -680,14 +834,15 @@ impl Bdd {
     /// Marks, in `reachable` (indexed by node index, sized `top + 1`), the
     /// nodes of the sub-diagram rooted at index `top` whose restriction at
     /// `cutoff` may differ from the node itself — i.e. nodes reachable
-    /// through branchings strictly above `cutoff`.
+    /// through branchings strictly above `cutoff`. Complement tags are
+    /// irrelevant here: a ref and its complement reach the same *nodes*.
     ///
     /// Runs as a single descending index sweep: children always have
     /// smaller indices than parents, so by the time an index is visited its
     /// reachability is final.
     fn mark_above(&self, top: usize, cutoff: Level, reachable: &mut [bool]) {
         reachable[top] = true;
-        for index in (2..=top).rev() {
+        for index in (1..=top).rev() {
             if !reachable[index] {
                 continue;
             }
@@ -704,7 +859,10 @@ impl Bdd {
     /// `value`.
     ///
     /// Implemented as two linear index sweeps (mark, then rebuild in
-    /// ascending = topological order) instead of recursion.
+    /// ascending = topological order) instead of recursion. The sweep
+    /// computes restrictions of the *stored* (untagged) nodes; restriction
+    /// commutes with complement, so tags are re-applied when edges (and
+    /// the root) are read.
     pub fn restrict(&mut self, f: NodeRef, level: Level, value: bool) -> NodeRef {
         if f.is_terminal() || self.level(f) > level {
             return f;
@@ -712,11 +870,12 @@ impl Bdd {
         let top = f.index();
         let mut reachable = vec![false; top + 1];
         self.mark_above(top, level, &mut reachable);
-        // results[i] = the restriction of node i; only filled for marked
-        // indices, whose children are either terminals, marked earlier
-        // indices, or nodes at levels > `level` (which map to themselves).
+        // results[i] = the restriction of (untagged) node i; only filled
+        // for marked indices, whose children are either terminals, marked
+        // earlier indices, or nodes at levels > `level` (which map to
+        // themselves).
         let mut results: Vec<NodeRef> = vec![NodeRef(EMPTY); top + 1];
-        for index in 2..=top {
+        for index in 1..=top {
             if !reachable[index] {
                 continue;
             }
@@ -736,11 +895,12 @@ impl Bdd {
             };
             results[index] = r;
         }
-        results[top]
+        results[top].complement_if(f.is_complemented())
     }
 
-    /// The already-computed restriction of `child` during a [`restrict`]
-    /// sweep (terminals restrict to themselves).
+    /// The already-computed restriction of the `child` edge during a
+    /// [`restrict`] sweep: terminals restrict to themselves, and a
+    /// complemented edge complements the stored node's restriction.
     ///
     /// [`restrict`]: Bdd::restrict
     fn restricted_child(results: &[NodeRef], child: NodeRef) -> NodeRef {
@@ -749,7 +909,21 @@ impl Bdd {
         } else {
             let r = results[child.index()];
             debug_assert_ne!(r.0, EMPTY, "child restricted before parent");
-            r
+            r.complement_if(child.is_complemented())
+        }
+    }
+
+    /// `2^bits - count`: the satisfying-assignment count of a function's
+    /// complement over `bits` free variables. Errors loudly (never wraps)
+    /// when the complement count itself exceeds `u128` — which at
+    /// `bits == 128` it does *not* as long as `count >= 1`, since
+    /// `2^128 - count = u128::MAX - (count - 1)`.
+    fn complement_count(count: u128, bits: u64) -> u128 {
+        if bits < 128 {
+            (1u128 << bits) - count
+        } else {
+            assert!(bits == 128 && count >= 1, "sat_count exceeds u128");
+            u128::MAX - (count - 1)
         }
     }
 
@@ -757,7 +931,10 @@ impl Bdd {
     /// variables.
     ///
     /// A single ascending (= topological) index sweep over the reachable
-    /// sub-diagram; no recursion, no hashing.
+    /// sub-diagram, computing the count of every *stored* node once;
+    /// complemented edges read the complement count (`2^k - c` over the
+    /// `k` variables below the child's level), so the sweep stays
+    /// single-pass under complement edges.
     ///
     /// # Panics
     ///
@@ -788,54 +965,106 @@ impl Bdd {
         let top = f.index();
         let mut reachable = vec![false; top + 1];
         self.mark_above(top, TERMINAL_LEVEL, &mut reachable);
-        // counts[i] = satisfying assignments of node i over the variables
-        // at or below its own level.
+        // counts[i] = satisfying assignments of (untagged) node i over the
+        // variables at or below its own level.
         let mut counts = vec![0u128; top + 1];
-        counts[Self::TRUE.index()] = 1;
-        let child_level = |child: NodeRef| -> u64 {
+        let n = self.var_count as u64;
+        // (count over the child's own variable span, child level) for one
+        // stored edge, complement applied for tagged edges.
+        let child_info = |counts: &[u128], child: NodeRef| -> (u128, u64) {
             if child.is_terminal() {
-                self.var_count as u64
+                (u128::from(child == Self::TRUE), n)
             } else {
-                u64::from(self.nodes[child.index()].level)
+                let level = u64::from(self.nodes[child.index()].level);
+                let count = counts[child.index()];
+                let count = if child.is_complemented() {
+                    Self::complement_count(count, n - level)
+                } else {
+                    count
+                };
+                (count, level)
             }
         };
-        for index in 2..=top {
+        for index in 1..=top {
             if !reachable[index] {
                 continue;
             }
             let node = &self.nodes[index];
             let level = u64::from(node.level);
-            let low = shifted(counts[node.low.index()], child_level(node.low) - level - 1);
-            let high = shifted(
-                counts[node.high.index()],
-                child_level(node.high) - level - 1,
-            );
+            let (c0, l0) = child_info(&counts, node.low);
+            let (c1, l1) = child_info(&counts, node.high);
+            let low = shifted(c0, l0 - level - 1);
+            let high = shifted(c1, l1 - level - 1);
             counts[index] = low.checked_add(high).expect("sat_count exceeds u128");
         }
-        shifted(counts[top], u64::from(self.nodes[top].level))
+        let top_level = u64::from(self.nodes[top].level);
+        let count = if f.is_complemented() {
+            Self::complement_count(counts[top], n - top_level)
+        } else {
+            counts[top]
+        };
+        shifted(count, top_level)
     }
 
-    /// The nodes reachable from `f` (terminals included), in ascending
-    /// index order — which is a topological order: every node appears
-    /// after both of its children.
+    /// The distinct sub-*functions* reachable from `f` (terminal polarities
+    /// included), in ascending index order — which is a topological order:
+    /// every ref appears after both of its cofactors. A node reached under
+    /// both polarities contributes two refs (its plain ref first).
     ///
     /// This is the iteration scheme `BDDBU` uses to propagate Pareto
-    /// fronts without recursion.
+    /// fronts without recursion; the length of the result is the paper's
+    /// `|W|` — the number of memo entries the propagation fills.
     pub fn reachable_topological(&self, f: NodeRef) -> Vec<NodeRef> {
         if f.is_terminal() {
             return vec![f];
         }
         let top = f.index();
-        let mut reachable = vec![false; top + 1];
-        self.mark_above(top, TERMINAL_LEVEL, &mut reachable);
-        (0..=top)
-            .filter(|&i| reachable[i])
-            .map(|i| NodeRef(i as u32))
-            .collect()
+        // Per-index reachability, one flag per polarity.
+        let mut plain = vec![false; top + 1];
+        let mut tagged = vec![false; top + 1];
+        if f.is_complemented() {
+            tagged[top] = true;
+        } else {
+            plain[top] = true;
+        }
+        for index in (1..=top).rev() {
+            let node = self.nodes[index];
+            for complemented in [false, true] {
+                let seen = if complemented {
+                    tagged[index]
+                } else {
+                    plain[index]
+                };
+                if !seen {
+                    continue;
+                }
+                for child in [node.low, node.high] {
+                    let c = child.complement_if(complemented);
+                    if c.is_complemented() {
+                        tagged[c.index()] = true;
+                    } else {
+                        plain[c.index()] = true;
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for index in 0..=top {
+            if plain[index] {
+                out.push(NodeRef(index as u32));
+            }
+            if tagged[index] {
+                out.push(NodeRef(index as u32 | TAG));
+            }
+        }
+        out
     }
 
-    /// Number of nodes reachable from `f`, including terminals — the
-    /// paper's `|W|`, the driver of `BDDBU`'s complexity.
+    /// Number of arena nodes reachable from `f`, the terminal included —
+    /// the *memory* footprint of the diagram. A function and its
+    /// complement share every node, so this is polarity-blind (the
+    /// propagation workload `|W|` is [`Bdd::reachable_topological`]'s
+    /// length instead).
     pub fn node_count(&self, f: NodeRef) -> usize {
         if f.is_terminal() {
             return 1;
@@ -854,7 +1083,7 @@ impl Bdd {
         let top = f.index();
         let mut reachable = vec![false; top + 1];
         self.mark_above(top, TERMINAL_LEVEL, &mut reachable);
-        let mut levels: Vec<Level> = (2..=top)
+        let mut levels: Vec<Level> = (1..=top)
             .filter(|&i| reachable[i])
             .map(|i| self.nodes[i].level)
             .collect();
@@ -867,14 +1096,17 @@ impl Bdd {
     ///
     /// Each path lists `(level, value)` for the variables *tested* on the
     /// path; untested (skipped) variables are unconstrained, which is how the
-    /// paper's Example 6 writes `f_T(10, 0*) = 0`.
+    /// paper's Example 6 writes `f_T(10, 0*) = 0`. Which terminal a path
+    /// reaches depends on the parity of complemented edges along it, so the
+    /// walk carries the tag.
     ///
     /// Iterative (explicit walk stack), like every other diagram walk of
     /// this manager; the output itself can of course be exponential.
     pub fn paths(&self, f: NodeRef, target: bool) -> Vec<Vec<(Level, bool)>> {
         /// One step of the depth-first path walk.
         enum Walk {
-            /// Explore a node (emitting the prefix if it is the target).
+            /// Explore a (tagged) ref (emitting the prefix if it is the
+            /// target).
             Enter(NodeRef),
             /// Append an edge label to the prefix.
             Push(Level, bool),
@@ -896,13 +1128,14 @@ impl Bdd {
                         continue;
                     }
                     let node = self.nodes[cur.index()];
+                    let c = cur.is_complemented();
                     // Reverse push order so the low branch walks first,
                     // matching the recursive formulation's output order.
                     walk.push(Walk::Pop);
-                    walk.push(Walk::Enter(node.high));
+                    walk.push(Walk::Enter(node.high.complement_if(c)));
                     walk.push(Walk::Push(node.level, true));
                     walk.push(Walk::Pop);
-                    walk.push(Walk::Enter(node.low));
+                    walk.push(Walk::Enter(node.low.complement_if(c)));
                     walk.push(Walk::Push(node.level, false));
                 }
                 Walk::Push(level, value) => prefix.push((level, value)),
@@ -915,42 +1148,54 @@ impl Bdd {
     }
 
     /// Renders the sub-diagram rooted at `f` as a Graphviz `digraph`, with
-    /// dashed `0`-edges and solid `1`-edges (the paper's Fig. 6 convention).
+    /// dashed `0`-edges and solid `1`-edges (the paper's Fig. 6 convention)
+    /// and the classic dot marker (`arrowhead=odot`) on complemented edges.
+    /// An entry arrow records the root's own polarity; the single terminal
+    /// renders as the square `1`.
     ///
     /// `var_name` maps levels to display names.
     pub fn to_dot(&self, f: NodeRef, var_name: impl Fn(Level) -> String) -> String {
         let mut out = String::from("digraph bdd {\n");
-        let mut stack = vec![f];
+        let _ = writeln!(out, "    root [shape=point];");
+        let _ = writeln!(
+            out,
+            "    root -> n{}{};",
+            f.index(),
+            if f.is_complemented() {
+                " [arrowhead=odot]"
+            } else {
+                ""
+            }
+        );
+        let mut stack = vec![f.index()];
         let mut visited = vec![false; self.nodes.len()];
         visited[f.index()] = true;
         while let Some(cur) = stack.pop() {
-            if cur.is_terminal() {
-                let _ = writeln!(
-                    out,
-                    "    n{} [label=\"{}\", shape=square];",
-                    cur.index(),
-                    if cur == Self::TRUE { 1 } else { 0 },
-                );
+            if cur == 0 {
+                let _ = writeln!(out, "    n0 [label=\"1\", shape=square];");
                 continue;
             }
-            let node = &self.nodes[cur.index()];
+            let node = &self.nodes[cur];
             let _ = writeln!(
                 out,
-                "    n{} [label=\"{}\", shape=circle];",
-                cur.index(),
+                "    n{cur} [label=\"{}\", shape=circle];",
                 var_name(node.level),
             );
             let _ = writeln!(
                 out,
-                "    n{} -> n{} [style=dashed];",
-                cur.index(),
-                node.low.index()
+                "    n{cur} -> n{} [style=dashed{}];",
+                node.low.index(),
+                if node.low.is_complemented() {
+                    ", arrowhead=odot"
+                } else {
+                    ""
+                }
             );
-            let _ = writeln!(out, "    n{} -> n{};", cur.index(), node.high.index());
+            let _ = writeln!(out, "    n{cur} -> n{};", node.high.index());
             for child in [node.low, node.high] {
                 if !visited[child.index()] {
                     visited[child.index()] = true;
-                    stack.push(child);
+                    stack.push(child.index());
                 }
             }
         }
@@ -958,34 +1203,42 @@ impl Bdd {
         out
     }
 
-    /// Checks the reducedness and ordering invariants of Definition 10 for
-    /// the sub-diagram rooted at `f`; used by tests.
+    /// Checks the reducedness and ordering invariants (Definition 10 plus
+    /// the complement-edge canonicity rules) for the sub-diagram rooted at
+    /// `f`; used by tests. Verified per node: the stored high edge is never
+    /// complemented, the stored children differ, children branch strictly
+    /// below their parent, and child indices precede parent indices.
     pub fn check_invariants(&self, f: NodeRef) -> Result<(), String> {
-        let mut stack = vec![f];
+        let mut stack = vec![f.index()];
         let mut visited = vec![false; self.nodes.len()];
         visited[f.index()] = true;
         while let Some(cur) = stack.pop() {
-            if cur.is_terminal() {
+            if cur == 0 {
                 continue;
             }
-            let node = &self.nodes[cur.index()];
+            let node = &self.nodes[cur];
+            if node.high.is_complemented() {
+                return Err(format!("node n{cur} stores a complemented high edge"));
+            }
             if node.low == node.high {
-                return Err(format!("node {cur:?} has identical children"));
+                return Err(format!("node n{cur} has identical children"));
             }
             for child in [node.low, node.high] {
                 if !child.is_terminal() && self.level(child) <= node.level {
                     return Err(format!(
-                        "edge {cur:?} -> {child:?} violates the variable order"
+                        "edge n{cur} -> n{} violates the variable order",
+                        child.index()
                     ));
                 }
-                if child.index() >= cur.index() {
+                if child.index() >= cur {
                     return Err(format!(
-                        "edge {cur:?} -> {child:?} violates the arena's child-first order"
+                        "edge n{cur} -> n{} violates the arena's child-first order",
+                        child.index()
                     ));
                 }
                 if !visited[child.index()] {
                     visited[child.index()] = true;
-                    stack.push(child);
+                    stack.push(child.index());
                 }
             }
         }
@@ -1001,7 +1254,8 @@ impl Bdd {
     /// Protected functions (and everything they reach) survive [`Bdd::gc`];
     /// the handle stays valid across collections even though the underlying
     /// [`NodeRef`] is renumbered — read the current ref with
-    /// [`Bdd::resolve`]. Release the registration with [`Bdd::unprotect`].
+    /// [`Bdd::resolve`], which preserves the protected ref's complement
+    /// tag. Release the registration with [`Bdd::unprotect`].
     ///
     /// # Panics
     ///
@@ -1026,7 +1280,7 @@ impl Bdd {
     }
 
     /// The current [`NodeRef`] behind a protected root (renumbered by any
-    /// intervening [`Bdd::gc`]).
+    /// intervening [`Bdd::gc`], complement tag preserved).
     ///
     /// # Panics
     ///
@@ -1074,7 +1328,7 @@ impl Bdd {
         self.gc_stats
     }
 
-    /// The largest arena size this manager ever reached (terminals and
+    /// The largest arena size this manager ever reached (the terminal and
     /// since-collected garbage included).
     pub fn peak_arena(&self) -> usize {
         self.gc_stats.peak_at_gc.max(self.nodes.len())
@@ -1095,13 +1349,17 @@ impl Bdd {
     /// reachable from a protected root, returning the number of nodes
     /// freed.
     ///
-    /// Survivors are compacted to the front of the arena **in their
-    /// original index order**, so the child-index < parent-index invariant
-    /// (and with it every topological index sweep) is preserved. The
-    /// unique table is rebuilt by the same tombstone-free reinsertion loop
-    /// that growth uses, sized back down to the live node count; the lossy
-    /// ITE cache is invalidated wholesale (its entries key raw arena
-    /// indices).
+    /// Marking strips complement tags (a node is live if *either* polarity
+    /// is reachable — they share the arena slot). Survivors are compacted
+    /// to the front of the arena **in their original index order**, so the
+    /// child-index < parent-index invariant (and with it every topological
+    /// index sweep) is preserved; compaction renumbers indices but
+    /// **preserves tags** — a complemented low edge stays complemented,
+    /// and a protected complemented root resolves to a complemented ref.
+    /// The unique table is rebuilt by the same tombstone-free reinsertion
+    /// loop that growth uses, sized back down to the live node count; the
+    /// lossy ITE cache is invalidated wholesale (its entries key raw
+    /// tagged refs).
     ///
     /// **Every [`NodeRef`] is renumbered.** Refs obtained before the
     /// collection — other than through [`Bdd::resolve`] — must not be used
@@ -1117,17 +1375,16 @@ impl Bdd {
         let old_len = self.nodes.len();
         self.gc_stats.peak_at_gc = self.gc_stats.peak_at_gc.max(old_len);
 
-        // Mark: seed every protected root, then one descending sweep — by
-        // the time an index is visited, its own reachability is final, so
-        // its children can be marked immediately (same scheme as
-        // `mark_above`, generalized to many roots).
+        // Mark: seed every protected root (tag stripped), then one
+        // descending sweep — by the time an index is visited, its own
+        // reachability is final, so its children can be marked immediately
+        // (same scheme as `mark_above`, generalized to many roots).
         let mut marked = vec![false; old_len];
-        marked[Self::FALSE.index()] = true;
-        marked[Self::TRUE.index()] = true;
+        marked[0] = true;
         for root in self.roots.iter().flatten() {
             marked[root.index()] = true;
         }
-        for index in (2..old_len).rev() {
+        for index in (1..old_len).rev() {
             if marked[index] {
                 let node = self.nodes[index];
                 marked[node.low.index()] = true;
@@ -1138,11 +1395,12 @@ impl Bdd {
         // Compact in place, ascending: survivors move to the next free
         // index (`next <= index` always, and children — having smaller old
         // indices — were remapped before any parent reads the remap).
+        // Renumbering goes through the index; each edge's tag is carried
+        // over verbatim.
         let mut remap: Vec<u32> = vec![EMPTY; old_len];
         remap[0] = 0;
-        remap[1] = 1;
-        let mut next = 2u32;
-        for index in 2..old_len {
+        let mut next = 1u32;
+        for index in 1..old_len {
             if !marked[index] {
                 continue;
             }
@@ -1150,7 +1408,7 @@ impl Bdd {
             remap[index] = next;
             self.nodes[next as usize] = BddNode {
                 level: node.level,
-                low: NodeRef(remap[node.low.index()]),
+                low: NodeRef(remap[node.low.index()]).complement_if(node.low.is_complemented()),
                 high: NodeRef(remap[node.high.index()]),
             };
             next += 1;
@@ -1158,15 +1416,15 @@ impl Bdd {
         self.nodes.truncate(next as usize);
 
         // Rebuild the unique table over the compacted arena and drop every
-        // (index-keyed, now meaningless) ITE cache entry.
+        // (ref-keyed, now meaningless) ITE cache entry.
         self.unique.rebuild(&self.nodes, UNIQUE_INITIAL_SLOTS);
         self.ite_cache.clear();
 
-        // Renumber the registry.
+        // Renumber the registry, keeping each root's tag.
         for slot in self.roots.iter_mut().flatten() {
             let renumbered = remap[slot.index()];
             debug_assert_ne!(renumbered, EMPTY, "protected root swept");
-            *slot = NodeRef(renumbered);
+            *slot = NodeRef(renumbered).complement_if(slot.is_complemented());
         }
 
         let freed = old_len - self.nodes.len();
@@ -1202,6 +1460,10 @@ mod tests {
         assert_eq!(bdd.constant(true), Bdd::TRUE);
         assert_eq!(bdd.constant(false), Bdd::FALSE);
         assert!(Bdd::TRUE.is_terminal() && Bdd::FALSE.is_terminal());
+        // One terminal node, two polarities of it.
+        assert_eq!(bdd.total_nodes(), 1);
+        assert_eq!(Bdd::FALSE, Bdd::TRUE.complement());
+        assert!(Bdd::FALSE.is_complemented() && !Bdd::TRUE.is_complemented());
     }
 
     #[test]
@@ -1228,7 +1490,50 @@ mod tests {
         assert_eq!(f1, f2, "AND is commutative, so the ROBDDs must coincide");
         let n = bdd.not(f1);
         let nn = bdd.not(n);
-        assert_eq!(nn, f1, "double negation restores the same node");
+        assert_eq!(nn, f1, "double negation restores the same ref");
+    }
+
+    #[test]
+    fn negation_is_constant_time_and_allocation_free() {
+        let mut bdd = Bdd::new(4);
+        let expr = Bexpr::or([
+            Bexpr::and([Bexpr::var(0), Bexpr::var(1)]),
+            Bexpr::and([Bexpr::var(2), Bexpr::not(Bexpr::var(3))]),
+        ]);
+        let f = bdd.build(&expr);
+        let arena = bdd.total_nodes();
+        let mut cur = f;
+        for _ in 0..10_000 {
+            cur = bdd.not(cur);
+            cur = bdd.not(cur);
+        }
+        assert_eq!(cur, f);
+        assert_eq!(bdd.total_nodes(), arena, "not must never grow the arena");
+        let nf = bdd.not(f);
+        assert_eq!(
+            nf.index(),
+            f.index(),
+            "a function shares its complement's node"
+        );
+        assert_ne!(nf, f);
+        assert_equals_expr(&bdd, nf, &Bexpr::not(expr), 4);
+    }
+
+    #[test]
+    fn complement_pairs_share_all_nodes() {
+        // Parity over n variables: the tag-free kernel needs two nodes per
+        // level (even/odd), complement edges need one.
+        let n = 10;
+        let mut bdd = Bdd::new(n);
+        let mut f = Bdd::FALSE;
+        for level in 0..n as Level {
+            let v = bdd.var(level);
+            f = bdd.xor(f, v);
+        }
+        assert_eq!(bdd.node_count(f), n + 1, "one node per level + terminal");
+        let nf = bdd.not(f);
+        assert_eq!(bdd.node_count(nf), bdd.node_count(f));
+        assert_eq!(bdd.sat_count(f) + bdd.sat_count(nf), 1 << n);
     }
 
     #[test]
@@ -1280,6 +1585,49 @@ mod tests {
     }
 
     #[test]
+    fn ite_on_tagged_operands_matches_definition() {
+        // Every combination of complemented operands must still satisfy
+        // the ITE truth table — the normalization juggles all three tags.
+        let mut bdd = Bdd::new(3);
+        let vars = [bdd.var(0), bdd.var(1), bdd.var(2)];
+        for tags in 0u32..8 {
+            let f = vars[0].complement_if(tags & 1 == 1);
+            let g = vars[1].complement_if(tags & 2 == 2);
+            let h = vars[2].complement_if(tags & 4 == 4);
+            let ite = bdd.ite(f, g, h);
+            bdd.check_invariants(ite).unwrap();
+            for mask in 0u32..8 {
+                let a: Vec<bool> = (0..3).map(|i| mask >> i & 1 == 1).collect();
+                let (fa, ga, ha) = (
+                    a[0] ^ (tags & 1 == 1),
+                    a[1] ^ (tags & 2 == 2),
+                    a[2] ^ (tags & 4 == 4),
+                );
+                assert_eq!(
+                    bdd.eval(ite, &a),
+                    if fa { ga } else { ha },
+                    "tags {tags:#b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ite_complement_dual_shares_the_cache_and_the_nodes() {
+        let mut bdd = Bdd::new(4);
+        let f = bdd.var(0);
+        let g = bdd.build(&Bexpr::and([Bexpr::var(1), Bexpr::var(2)]));
+        let h = bdd.var(3);
+        let direct = bdd.ite(f, g, h);
+        let arena = bdd.total_nodes();
+        // ¬ite(f, ¬g, ¬h) = ite(f, g, h): the dual normalizes to the same
+        // standard triple, so no new nodes appear.
+        let dual = bdd.ite(f, g.complement(), h.complement());
+        assert_eq!(dual.complement(), direct);
+        assert_eq!(bdd.total_nodes(), arena, "dual must reuse every node");
+    }
+
+    #[test]
     fn sat_count_of_standard_functions() {
         let mut bdd = Bdd::new(3);
         let a = bdd.var(0);
@@ -1288,13 +1636,17 @@ mod tests {
         let and3 = bdd.and(a, b);
         let and3 = bdd.and(and3, c);
         assert_eq!(bdd.sat_count(and3), 1);
+        let nand3 = bdd.not(and3);
+        assert_eq!(bdd.sat_count(nand3), 7);
         let or3 = bdd.or(a, b);
         let or3 = bdd.or(or3, c);
         assert_eq!(bdd.sat_count(or3), 7);
         assert_eq!(bdd.sat_count(Bdd::TRUE), 8);
         assert_eq!(bdd.sat_count(Bdd::FALSE), 0);
-        // A single variable is satisfied by half the assignments.
+        // A single variable is satisfied by half the assignments, and so
+        // is its complement.
         assert_eq!(bdd.sat_count(b), 4);
+        assert_eq!(bdd.sat_count(b.complement()), 4);
     }
 
     #[test]
@@ -1309,6 +1661,10 @@ mod tests {
         // Restricting a variable outside the support is the identity.
         let g = bdd.restrict(b, 0, true);
         assert_eq!(g, b);
+        // Restriction commutes with complement.
+        let nf = bdd.not(f);
+        let r = bdd.restrict(nf, 0, true);
+        assert_eq!(r, b.complement());
     }
 
     #[test]
@@ -1318,6 +1674,8 @@ mod tests {
         let c = bdd.var(2);
         let f = bdd.or(a, c);
         assert_eq!(bdd.support(f), vec![0, 2]);
+        let nf = bdd.not(f);
+        assert_eq!(bdd.support(nf), vec![0, 2]);
         assert!(bdd.support(Bdd::TRUE).is_empty());
     }
 
@@ -1327,9 +1685,37 @@ mod tests {
         let a = bdd.var(0);
         let b = bdd.var(1);
         let f = bdd.and(a, b);
-        // Nodes: x0, x1, and both terminals.
-        assert_eq!(bdd.node_count(f), 4);
+        // Nodes: x0, x1, and the single terminal.
+        assert_eq!(bdd.node_count(f), 3);
         assert_eq!(bdd.node_count(Bdd::TRUE), 1);
+        assert_eq!(bdd.node_count(Bdd::FALSE), 1);
+        let nf = bdd.not(f);
+        assert_eq!(bdd.node_count(nf), 3, "complement shares nodes");
+    }
+
+    #[test]
+    fn reachable_topological_lists_both_polarities() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.xor(a, b);
+        let reachable = bdd.reachable_topological(f);
+        // Children precede parents, and the xor node reaches x1 under both
+        // polarities plus both terminal polarities.
+        for (pos, &w) in reachable.iter().enumerate() {
+            if w.is_terminal() {
+                continue;
+            }
+            for child in [bdd.low(w), bdd.high(w)] {
+                assert!(
+                    reachable[..pos].contains(&child),
+                    "cofactor {child:?} must precede {w:?}"
+                );
+            }
+        }
+        assert!(reachable.contains(&Bdd::TRUE) && reachable.contains(&Bdd::FALSE));
+        assert_eq!(reachable.last(), Some(&f));
+        assert_eq!(bdd.reachable_topological(Bdd::FALSE), vec![Bdd::FALSE]);
     }
 
     #[test]
@@ -1345,6 +1731,10 @@ mod tests {
         assert!(to_one.contains(&vec![(0, false), (1, true)]));
         let to_zero = bdd.paths(f, false);
         assert_eq!(to_zero, vec![vec![(0, false), (1, false)]]);
+        // The complement swaps the terminals path-for-path.
+        let nf = bdd.not(f);
+        assert_eq!(bdd.paths(nf, false), to_one);
+        assert_eq!(bdd.paths(nf, true), to_zero);
     }
 
     #[test]
@@ -1359,6 +1749,11 @@ mod tests {
         assert!(dot.contains("x1"));
         assert!(dot.contains("style=dashed"));
         assert!(dot.contains("shape=square"));
+        // Complemented edges carry the classic dot marker; a complemented
+        // root puts it on the entry arrow.
+        let nf = bdd.not(f);
+        let ndot = bdd.to_dot(nf, |l| format!("x{l}"));
+        assert!(ndot.contains("root -> ") && ndot.contains("arrowhead=odot"));
     }
 
     #[test]
@@ -1380,6 +1775,7 @@ mod tests {
         // Function over level 3 only: the three levels above are free.
         let d = bdd.var(3);
         assert_eq!(bdd.sat_count(d), 8);
+        assert_eq!(bdd.sat_count(d.complement()), 8);
     }
 
     #[test]
@@ -1393,23 +1789,27 @@ mod tests {
 
     #[test]
     fn unique_table_survives_many_growth_rounds() {
-        // Force thousands of distinct nodes through the table so it grows
-        // repeatedly, then verify hash consing still deduplicates.
+        // Force many distinct nodes through the table so it grows
+        // repeatedly, then verify hash consing still deduplicates. (With
+        // complement edges, parity is one node per level — the pre-tag
+        // kernel's two-per-level is exactly what the tags eliminate — so
+        // the growth pressure comes from pairwise products too.)
         let n = 14;
         let mut bdd = Bdd::new(n);
+        let vars: Vec<NodeRef> = (0..n as Level).map(|l| bdd.var(l)).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                bdd.and(vars[i], vars[j]);
+                bdd.or(vars[i], vars[j]);
+            }
+        }
         let mut f = Bdd::FALSE;
-        // A parity-ish function has an exponential-free but wide diagram.
-        for level in 0..n as Level {
-            let v = bdd.var(level);
+        for &v in &vars {
             f = bdd.xor(f, v);
         }
-        assert!(
-            bdd.total_nodes() > 2 * n,
-            "parity needs two nodes per level"
-        );
+        assert_eq!(bdd.node_count(f), n + 1, "parity is one node per level");
         let mut g = Bdd::FALSE;
-        for level in 0..n as Level {
-            let v = bdd.var(level);
+        for &v in &vars {
             g = bdd.xor(g, v);
         }
         assert_eq!(f, g, "rebuilding must hit the unique table, not copy");
@@ -1464,13 +1864,17 @@ mod tests {
         let result =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bdd.sat_count(Bdd::TRUE)));
         assert!(result.is_err(), "2^130 does not fit in u128");
-        // But a sparse function whose count fits is still exact.
+        // But a sparse function whose count fits is still exact — and so
+        // is its complement's failure mode (2^130 - 1 does not fit).
         let mut chain = Bdd::TRUE;
         for level in (0..130).rev() {
             let var = bdd.var(level);
             chain = bdd.and(var, chain);
         }
         assert_eq!(bdd.sat_count(chain), 1);
+        let nc = bdd.not(chain);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| bdd.sat_count(nc)));
+        assert!(result.is_err(), "2^130 - 1 does not fit in u128");
     }
 
     #[test]
@@ -1504,8 +1908,9 @@ mod tests {
         assert!(freed > 0, "garbage must be reclaimed");
         assert_eq!(bdd.total_nodes(), arena_before - freed);
         let keep = bdd.resolve(handle);
-        // Live set = the kept function plus terminals, nothing else.
-        assert_eq!(bdd.total_nodes(), live_before.max(3));
+        // Live set = the kept function's nodes (terminal included),
+        // nothing else.
+        assert_eq!(bdd.total_nodes(), live_before);
         assert_eq!(bdd.node_count(keep), live_before);
         bdd.check_invariants(keep).unwrap();
         for (mask, &expected) in truth.iter().enumerate() {
@@ -1514,7 +1919,33 @@ mod tests {
         }
         bdd.unprotect(handle);
         bdd.gc();
-        assert_eq!(bdd.total_nodes(), 2, "only terminals survive with no roots");
+        assert_eq!(bdd.total_nodes(), 1, "only the terminal survives rootless");
+    }
+
+    #[test]
+    fn gc_preserves_root_tags() {
+        // Protect a *complemented* root; the resolved ref must stay
+        // complemented (and semantically the negation) across collections.
+        let mut bdd = Bdd::new(4);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.and(a, b);
+        let nf = bdd.not(f);
+        assert!(nf.is_complemented());
+        let handle = bdd.protect(nf);
+        for l in 2..4 {
+            let v = bdd.var(l);
+            bdd.or(f, v); // garbage
+        }
+        bdd.gc();
+        let nf = bdd.resolve(handle);
+        assert!(nf.is_complemented(), "GC must keep the root's tag");
+        assert!(bdd.eval(nf, &[false, true, false, false]));
+        assert!(!bdd.eval(nf, &[true, true, false, false]));
+        // And the double complement is the (renumbered) plain function.
+        let f = bdd.not(nf);
+        assert!(!f.is_complemented());
+        assert!(bdd.eval(f, &[true, true, false, false]));
     }
 
     #[test]
@@ -1554,12 +1985,12 @@ mod tests {
         assert!(bdd.total_nodes() >= 8);
         let peak = bdd.total_nodes();
         assert!(bdd.maybe_gc(), "arena crossed the threshold");
-        assert_eq!(bdd.total_nodes(), 2, "nothing was protected");
+        assert_eq!(bdd.total_nodes(), 1, "nothing was protected");
         assert!(!bdd.maybe_gc(), "arena is back under the threshold");
         let stats = bdd.gc_stats();
         assert_eq!(stats.collections, 1);
-        assert_eq!(stats.last_live, 2);
-        assert_eq!(stats.nodes_freed, peak - 2);
+        assert_eq!(stats.last_live, 1);
+        assert_eq!(stats.nodes_freed, peak - 1);
         assert_eq!(stats.peak_at_gc, peak);
         assert_eq!(bdd.peak_arena(), peak);
     }

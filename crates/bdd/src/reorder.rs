@@ -7,6 +7,13 @@
 //! support for *ordering groups*: variables are first ranked by their group
 //! and only reordered within it, which is exactly what defense-first
 //! orderings need (defenses in group 0, attacks in group 1).
+//!
+//! Levels are orthogonal to the kernel's complement tags: an order speaks
+//! about *variables*, a tag about a function's polarity, so FORCE output
+//! plugs into the complement-edge manager unchanged (a [`crate::NodeRef`]'s
+//! level is its node's level whatever the tag — see `Bdd::level`). Any
+//! future *dynamic* reordering (sifting) must preserve the
+//! no-complemented-high canonicity rule on every level swap.
 
 use crate::Level;
 

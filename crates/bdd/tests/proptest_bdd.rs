@@ -107,11 +107,11 @@ proptest! {
         }
     }
 
-    /// Differential check of the open-addressed unique table and the lossy
-    /// ITE cache against the frozen `HashMap`-based control manager: both
-    /// kernels must produce the same truth table *and* the same reduced
-    /// diagram (same reachable node count — reduced ordered BDDs of equal
-    /// functions over equal orders are isomorphic).
+    /// Differential check of the complement-edge kernel against the frozen
+    /// tag-free `HashMap`-based control manager: both kernels must produce
+    /// the same truth table, and the tagged diagram can only be *smaller* —
+    /// complement pairs share nodes (and the single terminal replaces the
+    /// control's two), never the other way around.
     #[test]
     fn optimized_kernel_matches_hashmap_control(expr in bexpr()) {
         let mut bdd = Bdd::new(VARS);
@@ -123,7 +123,72 @@ proptest! {
             prop_assert_eq!(bdd.eval(f, &assignment), expected);
             prop_assert_eq!(control.eval(cf, &assignment), expected);
         }
-        prop_assert_eq!(bdd.node_count(f), control.node_count(cf));
+        prop_assert!(
+            bdd.node_count(f) <= control.node_count(cf),
+            "complement edges grew the diagram: {} > {}",
+            bdd.node_count(f),
+            control.node_count(cf)
+        );
+    }
+
+    /// Deep alternating `not`/`xor`/`and_not` chains — the negation-rich
+    /// shape the complement tags exist for — pinned to the control kernel
+    /// assignment-for-assignment, with the arena asserted not to grow on
+    /// any of the `not` steps.
+    #[test]
+    fn deep_negation_chains_match_control(
+        exprs in prop::collection::vec(bexpr(), 1..6),
+        ops in prop::collection::vec(0u8..3, 1..40),
+    ) {
+        let mut bdd = Bdd::new(VARS);
+        let mut control = ControlBdd::new(VARS);
+        let seeds: Vec<_> = exprs.iter().map(|e| bdd.build(e)).collect();
+        let cseeds: Vec<_> = exprs.iter().map(|e| control.build(e)).collect();
+        let mut acc = seeds[0];
+        let mut cacc = cseeds[0];
+        for (step, &op) in ops.iter().enumerate() {
+            let pick = step % seeds.len();
+            match op {
+                0 => {
+                    let arena = bdd.total_nodes();
+                    acc = bdd.not(acc);
+                    prop_assert_eq!(bdd.total_nodes(), arena, "not grew the arena");
+                    cacc = control.not(cacc);
+                }
+                1 => {
+                    acc = bdd.xor(acc, seeds[pick]);
+                    let ncs = control.not(cseeds[pick]);
+                    cacc = control.ite(cacc, ncs, cseeds[pick]);
+                }
+                _ => {
+                    acc = bdd.and_not(acc, seeds[pick]);
+                    cacc = control.and_not(cacc, cseeds[pick]);
+                }
+            }
+            prop_assert!(bdd.check_invariants(acc).is_ok());
+        }
+        for assignment in assignments() {
+            prop_assert_eq!(bdd.eval(acc, &assignment), control.eval(cacc, &assignment));
+        }
+    }
+
+    /// Double negation is the identity on *tagged* refs — at every point of
+    /// a random operation chain, complemented intermediates included — and
+    /// `f` and `¬f` always share the same arena node.
+    #[test]
+    fn double_negation_is_identity_on_tagged_refs(exprs in prop::collection::vec(bexpr(), 1..8)) {
+        let mut bdd = Bdd::new(VARS);
+        for expr in &exprs {
+            let f = bdd.build(expr);
+            let nf = bdd.not(f);
+            prop_assert_eq!(bdd.not(nf), f);
+            prop_assert_eq!(nf.index(), f.index(), "complement pair must share its node");
+            prop_assert_ne!(nf.is_complemented(), f.is_complemented());
+            // The tagged ref is a first-class function: ops on it agree
+            // with ops on the De Morgan rewrite.
+            let g = bdd.build(&Bexpr::not(expr.clone()));
+            prop_assert_eq!(g, nf, "build(¬e) and ¬build(e) must coincide");
+        }
     }
 
     /// Interleaving many operations (stressing lossy-cache eviction and
@@ -233,8 +298,12 @@ proptest! {
                     "GC changed semantics at {:?}", assignment
                 );
             }
-            // Equal functions over equal orders have isomorphic ROBDDs.
-            prop_assert_eq!(bdd.node_count(f), control.node_count(*cf));
+            // Equal functions over equal orders have isomorphic ROBDDs up
+            // to complement sharing: the tagged diagram is never larger.
+            prop_assert!(
+                bdd.node_count(f) <= control.node_count(*cf),
+                "complement edges grew the diagram"
+            );
         }
     }
 

@@ -1,0 +1,304 @@
+//! Complement-edge accounting for the PR-5 kernel, written to
+//! `BENCH_PR5.json`.
+//!
+//! Three questions, three workloads, all measured against the frozen
+//! tag-free [`ControlBdd`]:
+//!
+//! 1. **Live-node reduction.** Every suite family is compiled on both
+//!    kernels and the reachable node counts summed; the tagged kernel
+//!    shares each function's nodes with its complement, so the ratio
+//!    `control / complement` measures what the tags buy. Semantics are
+//!    gated first: both kernels must agree on sampled assignments.
+//! 2. **`not` is O(1).** A burst of negations on a compiled root must
+//!    leave the arena size untouched (a `not` is a tag flip, not an ITE),
+//!    and its per-call cost is compared with the control's ITE-walk `not`.
+//! 3. **Negation-heavy throughput.** An interleaved `not`/`xor`/`and_not`
+//!    chain over compiled roots — the shape of `BDDBU`'s defense step —
+//!    timed on both kernels.
+//!
+//! Usage: `cargo run --release -p adt-bench --bin bench_complement [-- OUT]`
+//! (default output path `BENCH_PR5.json`; set `BENCH_MS` to change the
+//! per-case measurement window, default 200 ms).
+
+use std::time::Duration;
+
+use adt_analysis::{compile, DefenseFirstOrder};
+use adt_bdd::control::ControlBdd;
+use adt_bdd::{Bdd, Level, NodeRef};
+use adt_bench::{build_order, control_compile, geomean, sampled_assignments, time_avg};
+use adt_gen::{bucket_suite, paper_suite, suite_jobs, Instance, OrderingKind, Shape, SuiteJob};
+
+/// The generated suite families of the experiment drivers (plus, appended
+/// by `main`, the synthetic parity family — the negation-dense extreme).
+fn families() -> Vec<(&'static str, Vec<SuiteJob>)> {
+    let jobs = |instances: Vec<Instance>| -> Vec<SuiteJob> {
+        suite_jobs(instances, OrderingKind::Declaration).collect()
+    };
+    vec![
+        ("paper_tree", jobs(paper_suite(30, 45, Shape::Tree, 42))),
+        ("paper_dag", jobs(paper_suite(30, 45, Shape::Dag, 43))),
+        ("bucket_tree", jobs(bucket_suite(3, 160, Shape::Tree, 44))),
+        ("bucket_dag", jobs(bucket_suite(3, 160, Shape::Dag, 45))),
+        (
+            "fig4_family",
+            jobs(
+                (1..=10)
+                    .map(|n| Instance {
+                        adt: adt_core::catalog::fig4(n),
+                        seed: u64::from(n),
+                        target_nodes: 0,
+                    })
+                    .collect(),
+            ),
+        ),
+    ]
+}
+
+struct Reduction {
+    family: &'static str,
+    instances: usize,
+    control_nodes: usize,
+    complement_nodes: usize,
+}
+
+impl Reduction {
+    fn ratio(&self) -> f64 {
+        self.control_nodes as f64 / self.complement_nodes as f64
+    }
+}
+
+fn ns(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e9
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR5.json".into());
+    let window = Duration::from_millis(
+        std::env::var("BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200),
+    );
+
+    // --- workload 1: live-node reduction, family by family ---------------
+    let mut reductions: Vec<Reduction> = Vec::new();
+    for (family, jobs) in families() {
+        let (mut complement_nodes, mut control_nodes) = (0usize, 0usize);
+        for job in &jobs {
+            let t = &job.instance.adt;
+            let order = build_order(job);
+            let (bdd, root) = compile(t.adt(), &order);
+            let (control, croot) = control_compile(t.adt(), &order);
+            // Correctness gate before any accounting.
+            for a in sampled_assignments(job.instance.seed, order.var_count(), 64) {
+                assert_eq!(
+                    bdd.eval(root, &a),
+                    control.eval(croot, &a),
+                    "{family} seed {}: kernel semantics diverged",
+                    job.instance.seed
+                );
+            }
+            let new = bdd.node_count(root);
+            let old = control.node_count(croot);
+            assert!(new <= old, "{family}: complement edges grew the diagram");
+            complement_nodes += new;
+            control_nodes += old;
+        }
+        eprintln!(
+            "node_reduction/{family}: {control_nodes} control vs {complement_nodes} \
+             complement (×{:.2})",
+            control_nodes as f64 / complement_nodes as f64
+        );
+        reductions.push(Reduction {
+            family,
+            instances: jobs.len(),
+            control_nodes,
+            complement_nodes,
+        });
+    }
+    // The synthetic extreme: parity (xor chains), where the tag-free
+    // kernel stores both polarities of every level.
+    {
+        let (mut complement_nodes, mut control_nodes) = (0usize, 0usize);
+        let sizes = [16usize, 32, 64];
+        for &n in &sizes {
+            let mut bdd = Bdd::new(n);
+            let mut control = ControlBdd::new(n);
+            let mut f = Bdd::FALSE;
+            let mut cf = ControlBdd::FALSE;
+            for level in 0..n as Level {
+                let v = bdd.var(level);
+                f = bdd.xor(f, v);
+                let cv = control.var(level);
+                let ncv = control.not(cv);
+                cf = control.ite(cf, ncv, cv);
+            }
+            for a in sampled_assignments(n as u64, n, 64) {
+                assert_eq!(bdd.eval(f, &a), control.eval(cf, &a), "parity diverged");
+            }
+            complement_nodes += bdd.node_count(f);
+            control_nodes += control.node_count(cf);
+        }
+        eprintln!(
+            "node_reduction/parity_chain: {control_nodes} control vs {complement_nodes} \
+             complement (×{:.2})",
+            control_nodes as f64 / complement_nodes as f64
+        );
+        reductions.push(Reduction {
+            family: "parity_chain",
+            instances: sizes.len(),
+            control_nodes,
+            complement_nodes,
+        });
+    }
+
+    // --- workload 2: not is O(1) — no arena growth, per-call cost --------
+    let probe = paper_suite(1, 45, Shape::Dag, 46).remove(0);
+    let order = DefenseFirstOrder::declaration(probe.adt.adt());
+    let (mut bdd, root) = compile(probe.adt.adt(), &order);
+    let arena_before = bdd.total_nodes();
+    const NOT_CALLS: usize = 1_000_000;
+    let mut cur = root;
+    for _ in 0..NOT_CALLS {
+        cur = bdd.not(cur);
+    }
+    assert_eq!(cur, root, "an even burst of nots is the identity");
+    let arena_after = bdd.total_nodes();
+    assert_eq!(arena_before, arena_after, "not must never grow the arena");
+    // `black_box` on every intermediate: `not` is a pure bit flip on the
+    // tagged kernel, and without the barrier the whole even-parity loop
+    // constant-folds to `root`, timing nothing. The control loop gets the
+    // same barrier so both sides pay identical per-iteration overhead.
+    let complement_not = time_avg(window, || {
+        let mut x = root;
+        for _ in 0..1024 {
+            x = std::hint::black_box(bdd.not(std::hint::black_box(x)));
+        }
+        x
+    });
+    let (mut control, croot) = control_compile(probe.adt.adt(), &order);
+    let control_not = time_avg(window, || {
+        let mut x = croot;
+        for _ in 0..1024 {
+            x = std::hint::black_box(control.not(std::hint::black_box(x)));
+        }
+        x
+    });
+    let complement_not_ns = ns(complement_not) / 1024.0;
+    let control_not_ns = ns(control_not) / 1024.0;
+    eprintln!(
+        "not_o1: arena {arena_before} -> {arena_after} over {NOT_CALLS} nots; \
+         {complement_not_ns:.2}ns/not vs control {control_not_ns:.2}ns/not"
+    );
+
+    // --- workload 3: negation-heavy throughput ---------------------------
+    // The defense-step shape: interleaved not/xor/and_not over compiled
+    // roots, fresh managers per run so unique-table/cache traffic is
+    // measured too.
+    let chain_jobs: Vec<SuiteJob> = suite_jobs(
+        paper_suite(12, 45, Shape::Dag, 47),
+        OrderingKind::Declaration,
+    )
+    .collect();
+    let complement_chain = time_avg(window, || {
+        let mut acc = 0usize;
+        for job in &chain_jobs {
+            let order = build_order(job);
+            let (mut bdd, root) = compile(job.instance.adt.adt(), &order);
+            let mut x: NodeRef = root;
+            for step in 0..24 {
+                x = match step % 3 {
+                    0 => bdd.not(x),
+                    1 => bdd.xor(x, root),
+                    _ => bdd.and_not(root, x),
+                };
+            }
+            acc += bdd.total_nodes();
+        }
+        acc
+    });
+    let control_chain = time_avg(window, || {
+        let mut acc = 0usize;
+        for job in &chain_jobs {
+            let order = build_order(job);
+            let (mut bdd, root) = control_compile(job.instance.adt.adt(), &order);
+            let mut x = root;
+            for step in 0..24 {
+                x = match step % 3 {
+                    0 => bdd.not(x),
+                    1 => {
+                        let nr = bdd.not(root);
+                        bdd.ite(x, nr, root)
+                    }
+                    _ => bdd.and_not(root, x),
+                };
+            }
+            acc += bdd.total_nodes();
+        }
+        acc
+    });
+    let chain_speedup = ns(control_chain) / ns(complement_chain);
+    eprintln!(
+        "not_heavy_workload: complement {:.0}ns vs control {:.0}ns (×{chain_speedup:.2})",
+        ns(complement_chain),
+        ns(control_chain)
+    );
+
+    // --- JSON emission ---------------------------------------------------
+    let max_reduction = reductions.iter().map(Reduction::ratio).fold(0.0, f64::max);
+    let geomean_reduction = geomean(reductions.iter().map(Reduction::ratio));
+    let mut json = String::from("{\n");
+    json.push_str("  \"pr\": 5,\n");
+    json.push_str(
+        "  \"description\": \"Complement-edge kernel vs the frozen tag-free control. \
+         node_reduction: both kernels compile every suite family (semantics gated on sampled \
+         assignments first); reduction = control reachable nodes / complement reachable nodes, \
+         summed per family. not_o1: a 1e6-negation burst must leave the arena untouched (not \
+         is a tag flip), per-call cost vs the control's ITE-walk not. not_heavy_workload: \
+         interleaved not/xor/and_not chains over compiled roots (the BDDBU defense-step \
+         shape), compile included, fresh managers per run.\",\n",
+    );
+    json.push_str("  \"node_reduction\": [\n");
+    for (i, r) in reductions.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"family\": \"{}\", \"instances\": {}, \"control_nodes\": {}, \
+             \"complement_nodes\": {}, \"reduction\": {:.3}}}{}\n",
+            r.family,
+            r.instances,
+            r.control_nodes,
+            r.complement_nodes,
+            r.ratio(),
+            if i + 1 < reductions.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"not_o1\": {{\n    \"not_calls\": {NOT_CALLS},\n    \"arena_nodes_before\": \
+         {arena_before},\n    \"arena_nodes_after\": {arena_after},\n    \"arena_growth\": \
+         {},\n    \"complement_ns_per_not\": {complement_not_ns:.3},\n    \
+         \"control_ns_per_not\": {control_not_ns:.3}\n  }},\n",
+        arena_after - arena_before,
+    ));
+    json.push_str(&format!(
+        "  \"not_heavy_workload\": {{\n    \"suite\": \"paper_dag\",\n    \"instances\": {},\n    \
+         \"ops_per_instance\": 24,\n    \"complement_ns\": {:.1},\n    \"control_ns\": {:.1},\n    \
+         \"speedup\": {chain_speedup:.2}\n  }},\n",
+        chain_jobs.len(),
+        ns(complement_chain),
+        ns(control_chain),
+    ));
+    json.push_str(&format!(
+        "  \"summary\": {{\n    \"max_family_reduction\": {max_reduction:.3},\n    \
+         \"geomean_reduction\": {geomean_reduction:.3},\n    \
+         \"reduction_geq_1_5_on_some_family\": {},\n    \"not_is_o1\": {}\n  }}\n}}\n",
+        max_reduction >= 1.5,
+        arena_before == arena_after,
+    ));
+    std::fs::write(&out_path, &json).expect("write complement benchmark");
+    eprintln!(
+        "wrote {out_path}: max reduction ×{max_reduction:.2}, not O(1): {}, chain ×{chain_speedup:.2}",
+        arena_before == arena_after
+    );
+}

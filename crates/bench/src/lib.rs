@@ -9,13 +9,71 @@ pub mod pool;
 
 use std::time::{Duration, Instant};
 
-use adt_core::{AttributeDomain, AugmentedAdt};
+use adt_analysis::DefenseFirstOrder;
+use adt_bdd::control::{ControlBdd, ControlRef};
+use adt_core::{Adt, AttributeDomain, AugmentedAdt, Gate};
 
 pub use pool::{
     build_order, clamp_jobs, default_jobs, engine_suite_report, evaluate_suite,
     evaluate_suite_warm, run_engine_jobs, run_jobs, EngineWorker, JobOutput, SuiteEngine,
     SuiteReport, WorkerPool,
 };
+
+/// Compiles an ADT's structure function on the frozen tag-free control
+/// manager — the same topological-order loop as [`adt_analysis::compile`],
+/// minus the complement-edge kernel.
+///
+/// This is *the* differential oracle compilation: every benchmark and
+/// differential test that compares the current kernel against
+/// [`ControlBdd`] must route through this one definition, so the oracle
+/// cannot silently diverge between call sites.
+pub fn control_compile(adt: &Adt, order: &DefenseFirstOrder) -> (ControlBdd, ControlRef) {
+    let mut bdd = ControlBdd::new(order.var_count());
+    let mut refs: Vec<ControlRef> = vec![ControlBdd::FALSE; adt.node_count()];
+    for &v in adt.topological_order() {
+        let node = &adt[v];
+        let f = match node.gate() {
+            Gate::Basic => bdd.var(order.level(v).expect("basic steps are ordered")),
+            Gate::And => node
+                .children()
+                .iter()
+                .fold(ControlBdd::TRUE, |acc, &c| bdd.and(acc, refs[c.index()])),
+            Gate::Or => node
+                .children()
+                .iter()
+                .fold(ControlBdd::FALSE, |acc, &c| bdd.or(acc, refs[c.index()])),
+            Gate::Inh => {
+                let inhibited = refs[node.children()[0].index()];
+                let trigger = refs[node.children()[1].index()];
+                bdd.and_not(inhibited, trigger)
+            }
+        };
+        refs[v.index()] = f;
+    }
+    let root = refs[adt.root().index()];
+    (bdd, root)
+}
+
+/// splitmix64: a tiny deterministic stream for assignment sampling in
+/// differential checks (suites reach ~60 variables — exhaustive truth
+/// tables are out of reach there).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `samples` pseudo-random full assignments over `vars` variables, seeded
+/// deterministically — the sampled semantic gate of the kernel
+/// differentials.
+pub fn sampled_assignments(seed: u64, vars: usize, samples: usize) -> Vec<Vec<bool>> {
+    let mut state = seed ^ 0xC0DE_F00D;
+    (0..samples)
+        .map(|_| (0..vars).map(|_| splitmix64(&mut state) & 1 == 1).collect())
+        .collect()
+}
 
 /// Times one run of a closure.
 pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, Duration) {

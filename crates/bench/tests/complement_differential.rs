@@ -1,0 +1,167 @@
+//! Complement-edge kernel differentials on every generated suite family:
+//! tagged-kernel vs `ControlBdd` semantics, the node-count reduction the
+//! tags buy, and interleaved GC with *complemented* protected roots — the
+//! acceptance shape of the complement-edge tentpole (the front-level
+//! forced-GC equivalences live in `engine_differential.rs`; this file
+//! exercises the kernel surface the fronts ride on).
+
+use adt_analysis::{compile, compile_into};
+use adt_bdd::Bdd;
+use adt_bench::{build_order, control_compile, sampled_assignments};
+use adt_gen::{bucket_suite, paper_suite, suite_jobs, Instance, OrderingKind, Shape, SuiteJob};
+
+/// Every generated suite family the experiment drivers evaluate, sized
+/// down for test time but spanning both shapes and both generators (the
+/// same five families as `engine_differential.rs`).
+fn suite_families() -> Vec<(&'static str, Vec<SuiteJob>)> {
+    let jobs = |instances: Vec<Instance>| -> Vec<SuiteJob> {
+        suite_jobs(instances, OrderingKind::Declaration).collect()
+    };
+    vec![
+        ("paper_tree", jobs(paper_suite(10, 40, Shape::Tree, 42))),
+        ("paper_dag", jobs(paper_suite(10, 40, Shape::Dag, 43))),
+        ("bucket_tree", jobs(bucket_suite(2, 80, Shape::Tree, 44))),
+        ("bucket_dag", jobs(bucket_suite(2, 80, Shape::Dag, 45))),
+        (
+            "fig4_family",
+            jobs(
+                (1..=8)
+                    .map(|n| Instance {
+                        adt: adt_core::catalog::fig4(n),
+                        seed: u64::from(n),
+                        target_nodes: 0,
+                    })
+                    .collect(),
+            ),
+        ),
+    ]
+}
+
+/// Kernel-vs-control semantics and the node-count reduction, family by
+/// family: every sampled assignment must agree, and the tagged diagram is
+/// never larger than the control's (per instance *and* summed — the
+/// summed ratio is what `bench_complement` reports as the reduction).
+#[test]
+fn complement_kernel_matches_control_on_every_family() {
+    for (family, jobs) in suite_families() {
+        let (mut total_new, mut total_control) = (0usize, 0usize);
+        for job in &jobs {
+            let t = &job.instance.adt;
+            let order = build_order(job);
+            let (bdd, root) = compile(t.adt(), &order);
+            let (control, croot) = control_compile(t.adt(), &order);
+            bdd.check_invariants(root).unwrap();
+            for assignment in sampled_assignments(job.instance.seed, order.var_count(), 128) {
+                assert_eq!(
+                    bdd.eval(root, &assignment),
+                    control.eval(croot, &assignment),
+                    "{family} seed {}: kernel semantics diverged",
+                    job.instance.seed
+                );
+            }
+            let new_nodes = bdd.node_count(root);
+            let control_nodes = control.node_count(croot);
+            assert!(
+                new_nodes <= control_nodes,
+                "{family} seed {}: complement edges grew the diagram ({new_nodes} > {control_nodes})",
+                job.instance.seed
+            );
+            total_new += new_nodes;
+            total_control += control_nodes;
+        }
+        assert!(total_new <= total_control, "{family}: no reduction at all");
+    }
+}
+
+/// Interleaved GC with complemented protected roots, on one shared manager
+/// per family: protect the *negation* of every third compiled root, keep
+/// it alive across later compilations and collections, and require every
+/// resolve to stay tag-faithful and semantically the control's negation —
+/// with double negation restoring the (renumbered) plain function.
+#[test]
+fn gc_with_complemented_roots_round_trips_on_every_family() {
+    const SAMPLES: usize = 64;
+    for (family, jobs) in suite_families() {
+        let mut bdd = Bdd::new(0);
+        // (handle, protected ref's tag, seed, var_count, control truth
+        // under the sampled assignments) per root kept alive across the
+        // whole family.
+        let mut kept: Vec<(adt_bdd::RootHandle, bool, u64, usize, Vec<bool>)> = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            let t = &job.instance.adt;
+            let order = build_order(job);
+            let root = compile_into(&mut bdd, t.adt(), &order);
+            let complemented = bdd.not(root);
+            assert_ne!(complemented, root);
+            assert_eq!(
+                bdd.not(complemented),
+                root,
+                "double negation on tagged refs"
+            );
+            let (control, croot) = control_compile(t.adt(), &order);
+            let truth: Vec<bool> =
+                sampled_assignments(job.instance.seed, order.var_count(), SAMPLES)
+                    .iter()
+                    .map(|a| control.eval(croot, a))
+                    .collect();
+            // The compiled root may itself carry a tag (an INH-rooted
+            // structure function, say); what GC must preserve is whatever
+            // polarity was protected.
+            let tag = complemented.is_complemented();
+            let handle = bdd.protect(complemented);
+            // Collect mid-stream: everything unprotected is swept, every
+            // kept negated root is renumbered (tag preserved).
+            bdd.gc();
+            if i % 3 == 0 {
+                kept.push((handle, tag, job.instance.seed, order.var_count(), truth));
+            } else {
+                let resolved = bdd.resolve(handle);
+                assert_eq!(
+                    resolved.is_complemented(),
+                    tag,
+                    "{family}: GC changed the tag"
+                );
+                bdd.unprotect(handle);
+            }
+            // All still-kept roots must have survived this job's GC with
+            // their semantics (and tags) intact.
+            for &(handle, tag, seed, vars, ref truth) in &kept {
+                let resolved = bdd.resolve(handle);
+                assert_eq!(
+                    resolved.is_complemented(),
+                    tag,
+                    "{family}: kept root changed its tag"
+                );
+                let plain = bdd.not(resolved);
+                assert_ne!(plain.is_complemented(), tag);
+                bdd.check_invariants(plain).unwrap();
+                for (a, &expected) in sampled_assignments(seed, vars, SAMPLES)
+                    .iter()
+                    .zip(truth.iter())
+                {
+                    // Pad: the shared manager's var_count grows with the
+                    // widest query seen so far.
+                    let mut padded = a.clone();
+                    padded.resize(bdd.var_count(), false);
+                    assert_eq!(
+                        bdd.eval(resolved, &padded),
+                        !expected,
+                        "{family} seed {seed}: complemented root diverged after GC"
+                    );
+                    assert_eq!(
+                        bdd.eval(plain, &padded),
+                        expected,
+                        "{family} seed {seed}: double negation diverged after GC"
+                    );
+                }
+            }
+        }
+        // Drain: unprotecting everything and collecting leaves only the
+        // terminal.
+        for (handle, ..) in kept {
+            bdd.unprotect(handle);
+        }
+        bdd.gc();
+        assert_eq!(bdd.total_nodes(), 1, "{family}: rootless GC must sweep all");
+    }
+}

@@ -63,8 +63,8 @@ fn forced_gc_round_trip_is_identical_on_every_family() {
             );
             assert_eq!(
                 forced_gc.arena_nodes(),
-                2,
-                "{family}: threshold 1 must sweep everything after each query"
+                1,
+                "{family}: threshold 1 must sweep everything but the terminal"
             );
         }
         assert_eq!(forced_gc.gc_stats().collections, jobs.len());
