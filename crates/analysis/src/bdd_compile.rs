@@ -200,6 +200,58 @@ impl DefenseFirstOrder {
     pub fn is_defense_level(&self, level: Level) -> bool {
         (level as usize) < self.defense_count
     }
+
+    /// The order after a kernel sifting pass: the basic step at old level
+    /// `l` moves to level `new_level[l]` (the permutation reported by
+    /// [`adt_bdd::SiftOutcome::new_level`]; entries beyond this order's
+    /// variables — a long-lived manager may hold more levels — are
+    /// ignored).
+    ///
+    /// Sifting never crosses ordering groups, defenses stay in levels
+    /// `0..defense_count`, so the permuted order is defense-first by
+    /// construction — the debug assertion checks it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_level` is shorter than [`Self::var_count`] or maps a
+    /// variable outside `0..var_count` (a group-crossing permutation).
+    pub fn permuted(&self, new_level: &[Level]) -> Self {
+        assert!(
+            new_level.len() >= self.var_count(),
+            "permutation must cover every variable of the order"
+        );
+        let mut slots: Vec<Option<NodeId>> = vec![None; self.event_at.len()];
+        for (old, &event) in self.event_at.iter().enumerate() {
+            let new = new_level[old] as usize;
+            assert!(
+                new < slots.len(),
+                "sift permutation moved a variable out of the order's range"
+            );
+            slots[new] = Some(event);
+        }
+        let event_at: Vec<NodeId> = slots
+            .into_iter()
+            .map(|slot| slot.expect("sift permutation must be a bijection on the order"))
+            .collect();
+        let mut level_of = vec![None; self.level_of.len()];
+        for (level, &id) in event_at.iter().enumerate() {
+            level_of[id.index()] = Some(level as Level);
+        }
+        let permuted = DefenseFirstOrder {
+            event_at,
+            level_of,
+            defense_count: self.defense_count,
+        };
+        debug_assert!(
+            (0..permuted.defense_count).all(|l| {
+                let old = permuted.event(l as Level);
+                self.level(old)
+                    .is_some_and(|x| (x as usize) < self.defense_count)
+            }),
+            "sifting crossed the defense/attack boundary"
+        );
+        permuted
+    }
 }
 
 /// Compiles the structure function `f_T` into an ROBDD under the given

@@ -242,6 +242,26 @@ where
     )
 }
 
+/// Sifting groups for the manager's levels under a defense-first order:
+/// defense levels form group 0, attack levels group 1, and any manager
+/// levels beyond this query's order (parked there by earlier queries with
+/// wider orders — necessarily empty of this query's live cone) group 2.
+/// Group windows are never crossed, so the Definition 11 defense-first
+/// shape survives every sift (see `DefenseFirstOrder::permuted`).
+fn reorder_groups(order: &DefenseFirstOrder, manager_levels: usize) -> Vec<u32> {
+    (0..manager_levels)
+        .map(|level| {
+            if level < order.defense_count() {
+                0
+            } else if level < order.var_count() {
+                1
+            } else {
+                2
+            }
+        })
+        .collect()
+}
+
 /// Streams a value's `Debug` rendering straight into the hasher — no
 /// intermediate `String`, which matters because keys are built on *every*
 /// lookup, cache hits included. A `0xFF` terminator delimits values (an
@@ -337,6 +357,25 @@ where
         self.bdd.gc_threshold()
     }
 
+    /// Arms dynamic variable reordering: once a query's compiled diagram
+    /// reaches `nodes` live nodes, the engine sifts the manager (defense
+    /// levels never crossing into attack levels) and propagates under the
+    /// learned order. `usize::MAX` (the default) disables reordering, and
+    /// every existing code path is byte-identical in that mode.
+    ///
+    /// The learned order becomes part of the structural cache key: the
+    /// result is cached under *both* the requested and the learned order,
+    /// so a repeat of either query is a pure cache hit.
+    pub fn set_reorder_threshold(&mut self, nodes: usize) {
+        self.bdd.set_reorder_threshold(nodes);
+    }
+
+    /// The current dynamic-reordering threshold (see
+    /// [`AnalysisEngine::set_reorder_threshold`]).
+    pub fn reorder_threshold(&self) -> usize {
+        self.bdd.reorder_threshold()
+    }
+
     /// Bounds the front cache to at most `entries` entries, evicting the
     /// least-recently-used entries immediately if the cache is already
     /// over the new bound. `0` disables caching (every query recomputes),
@@ -361,8 +400,10 @@ where
     /// pool's non-warm mode.
     pub fn reset(&mut self) {
         let capacity = self.cache_capacity;
+        let reorder = self.reorder_threshold();
         *self = Self::with_gc_threshold(self.gc_threshold());
         self.cache_capacity = capacity;
+        self.bdd.set_reorder_threshold(reorder);
     }
 
     /// Drops every cached front, keeping the manager. Bounds the memory of
@@ -521,25 +562,63 @@ where
             };
         }
         // The query lifecycle. The protect/unprotect pair brackets every
-        // use of `root`: nothing in between collects today, but the
-        // registry is the engine's contract with the kernel — any future
-        // mid-query collection (e.g. compile-triggered) keeps this root
-        // alive, and debug builds assert registry discipline.
+        // use of `root`: the reordering hook below *does* restructure the
+        // arena mid-query (compaction renumbers, sifting relevels), and the
+        // registry is what keeps this root alive and resolvable through it.
         let root = compile_into(&mut self.bdd, t.adt(), order);
         let handle = self.bdd.protect(root);
+        // Dynamic reordering hook — inert at the default threshold of
+        // `usize::MAX`. When armed and the compiled diagram is big enough,
+        // the manager sifts (defense window and attack window separately;
+        // the boundary of Definition 11 is never crossed) and the query
+        // continues under the *learned* order: levels mean different
+        // variables now, so propagation must use the permuted order, and
+        // the result is cached under the learned key too — a later query
+        // that asks for the learned order directly, or any static order
+        // that sifts to it, hits without recompiling.
+        let learned = if self.bdd.reorder_threshold() == usize::MAX {
+            None
+        } else {
+            let groups = reorder_groups(order, self.bdd.var_count());
+            self.bdd.maybe_reorder(&groups).and_then(|outcome| {
+                // An identity permutation learned nothing: the requested
+                // key already covers it, so skip the second cache entry.
+                let moved = outcome
+                    .new_level
+                    .iter()
+                    .enumerate()
+                    .any(|(old, &new)| old != new as usize);
+                moved.then(|| order.permuted(&outcome.new_level))
+            })
+        };
+        let mut sifted_entry = None;
+        if let Some(sifted) = &learned {
+            let (sifted_hash, sifted_key) = query_key(t, TAG_BDD, Some(sifted));
+            if let Some(hit) = self.lookup(sifted_hash, &sifted_key) {
+                self.bdd.unprotect(handle);
+                self.bdd.maybe_gc();
+                self.insert(hash, key, hit.clone());
+                return BddBuReport {
+                    front: hit.front,
+                    bdd_nodes: hit.bdd_nodes,
+                    max_front_width: hit.max_front_width,
+                };
+            }
+            sifted_entry = Some((sifted_hash, sifted_key));
+        }
         let root = self.bdd.resolve(handle);
-        let report = propagate(t, order, &self.bdd, root);
+        let report = propagate(t, learned.as_ref().unwrap_or(order), &self.bdd, root);
         self.bdd.unprotect(handle);
         self.bdd.maybe_gc();
-        self.insert(
-            hash,
-            key,
-            CachedReport {
-                front: report.front.clone(),
-                bdd_nodes: report.bdd_nodes,
-                max_front_width: report.max_front_width,
-            },
-        );
+        let cached = CachedReport {
+            front: report.front.clone(),
+            bdd_nodes: report.bdd_nodes,
+            max_front_width: report.max_front_width,
+        };
+        if let Some((sifted_hash, sifted_key)) = sifted_entry {
+            self.insert(sifted_hash, sifted_key, cached.clone());
+        }
+        self.insert(hash, key, cached);
         report
     }
 }
@@ -630,6 +709,64 @@ mod tests {
         }
         assert_eq!(engine.gc_stats().collections, 3);
         assert!(engine.gc_stats().nodes_freed > 0);
+    }
+
+    #[test]
+    fn sifting_engine_matches_the_static_path_on_the_catalog() {
+        // Maximal reordering pressure: every query sifts (threshold 1) and
+        // every query ends in a collection (GC threshold 1). Fronts must
+        // still be identical to the fresh static-order path — sifting may
+        // change the diagram, never the function.
+        let mut engine = Engine::with_gc_threshold(1);
+        engine.set_reorder_threshold(1);
+        assert_eq!(engine.reorder_threshold(), 1);
+        for t in [
+            catalog::fig2(),
+            catalog::money_theft(),
+            catalog::fig4(6),
+            catalog::fig5(),
+        ] {
+            for order in [
+                DefenseFirstOrder::declaration(t.adt()),
+                DefenseFirstOrder::dfs(t.adt()),
+            ] {
+                let warm = engine.bdd_bu_report(&t, &order);
+                let fresh = crate::bdd_bu::bdd_bu_report(&t, &order);
+                assert_eq!(warm.front, fresh.front, "sifting changed a front");
+                assert_eq!(engine.arena_nodes(), 1, "post-query GC must sweep all");
+            }
+        }
+    }
+
+    #[test]
+    fn sifted_repeat_is_a_pure_cache_hit() {
+        let mut engine = Engine::new();
+        engine.set_reorder_threshold(1);
+        let t = catalog::money_theft();
+        let order = DefenseFirstOrder::declaration(t.adt());
+        let miss = engine.bdd_bu_report(&t, &order);
+        let nodes_after_first = engine.arena_nodes();
+        let hit = engine.bdd_bu_report(&t, &order);
+        assert_eq!(miss.front, hit.front);
+        assert_eq!(miss.bdd_nodes, hit.bdd_nodes);
+        assert_eq!(miss.max_front_width, hit.max_front_width);
+        assert_eq!(engine.stats().cache_hits, 1);
+        assert_eq!(
+            engine.arena_nodes(),
+            nodes_after_first,
+            "a cache hit must not recompile"
+        );
+    }
+
+    #[test]
+    fn reorder_threshold_survives_reset() {
+        let mut engine = Engine::with_gc_threshold(1 << 10);
+        engine.set_reorder_threshold(64);
+        engine.analyze(&catalog::money_theft()).unwrap();
+        engine.reset();
+        assert_eq!(engine.reorder_threshold(), 64);
+        assert_eq!(engine.gc_threshold(), 1 << 10);
+        assert_eq!(engine.cached_fronts(), 0);
     }
 
     #[test]

@@ -36,6 +36,13 @@
 //!   applies a configurable arena threshold;
 //! * the FORCE static ordering heuristic with *ordering groups*
 //!   ([`force_order`]), used for defense-first order ablations;
+//! * **dynamic variable reordering** — Rudell sifting on the live arena
+//!   ([`Bdd::sift`]), built on in-place adjacent-level swaps that keep
+//!   every root handle and tagged [`NodeRef`] index-stable and
+//!   re-establish the no-complemented-high rule with zero tag cascade;
+//!   group windows (defenses before attacks) are never crossed, and
+//!   [`Bdd::maybe_reorder`] auto-triggers a pass when the live-node count
+//!   passes a configurable threshold;
 //! * the frozen PR-1 baseline manager ([`control::ControlBdd`] — no
 //!   complement edges, two terminals) for differential tests and
 //!   speedup/node-count accounting.
@@ -65,5 +72,5 @@ mod reorder;
 pub type Level = u32;
 
 pub use expr::Bexpr;
-pub use manager::{Bdd, GcStats, NodeRef, RootHandle};
+pub use manager::{Bdd, GcStats, NodeRef, RootHandle, SiftOutcome};
 pub use reorder::force_order;

@@ -115,6 +115,11 @@ const ITE_CACHE_INITIAL: usize = 1 << 6;
 /// Entry-count ceiling of the ITE cache: 2^18 quadruples = 4 MiB.
 const ITE_CACHE_MAX: usize = 1 << 18;
 
+/// Growth-abort factor of [`Bdd::sift`]: a sweep direction is abandoned as
+/// soon as the arena exceeds this multiple of the best size seen for the
+/// variable being sifted (Rudell's classic cut-off).
+const SIFT_GROWTH_ABORT: f64 = 1.2;
+
 /// A reference to a Boolean function owned by a [`Bdd`] manager: an arena
 /// index plus a complement tag (bit 31) that negates the stored function.
 ///
@@ -363,6 +368,36 @@ pub struct GcStats {
     pub peak_at_gc: usize,
 }
 
+/// Result of one [`Bdd::sift`] pass: the level permutation the caller must
+/// apply to its own variable↔level mapping, plus size accounting.
+///
+/// Levels *are* variables in this kernel, so sifting permutes what each
+/// level means. `new_level[old]` is the level now holding the variable that
+/// sat at level `old` before the pass; consumers that index assignments or
+/// attribute tables by level (e.g. the analysis layer's defense-first
+/// order) must remap through it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiftOutcome {
+    /// Permutation of the variable order: `new_level[old] = new`.
+    pub new_level: Vec<Level>,
+    /// Live arena size (terminal included) entering the pass, after the
+    /// initial compaction.
+    pub live_before: usize,
+    /// Live arena size (terminal included) leaving the pass. Never larger
+    /// than `live_before`: every variable ends at the best position seen,
+    /// and staying put is always a candidate.
+    pub live_after: usize,
+    /// Number of adjacent-level swaps performed.
+    pub swaps: usize,
+}
+
+impl SiftOutcome {
+    /// Live-node reduction factor of the pass (≥ 1.0).
+    pub fn reduction(&self) -> f64 {
+        self.live_before as f64 / self.live_after as f64
+    }
+}
+
 /// A pending step of the iterative [`Bdd::ite`] evaluation.
 #[derive(Debug, Clone)]
 enum IteFrame {
@@ -411,6 +446,15 @@ pub struct Bdd {
     gc_threshold: usize,
     /// Cumulative collection statistics.
     gc_stats: GcStats,
+    /// Per-level node-count index: `level_counts[l]` stored nonterminal
+    /// nodes branching at level `l`. Incremented by `mk_raw`, recomputed
+    /// wholesale by `gc` and `compact_topological` (nodes are only ever
+    /// freed in bulk); drives the variable-processing order of
+    /// [`Bdd::sift`].
+    level_counts: Vec<usize>,
+    /// Live-node count at which [`Bdd::maybe_reorder`] sifts;
+    /// `usize::MAX` (the default) disables dynamic reordering.
+    reorder_threshold: usize,
 }
 
 impl Bdd {
@@ -439,6 +483,8 @@ impl Bdd {
             free_roots: Vec::new(),
             gc_threshold: usize::MAX,
             gc_stats: GcStats::default(),
+            level_counts: Vec::new(),
+            reorder_threshold: usize::MAX,
         }
     }
 
@@ -554,6 +600,10 @@ impl Bdd {
                 );
                 let r = NodeRef(self.nodes.len() as u32);
                 self.nodes.push(BddNode { level, low, high });
+                if self.level_counts.len() <= level as usize {
+                    self.level_counts.resize(level as usize + 1, 0);
+                }
+                self.level_counts[level as usize] += 1;
                 self.unique.slots[i] = r.0;
                 self.unique.len += 1;
                 return r;
@@ -1431,7 +1481,475 @@ impl Bdd {
         self.gc_stats.collections += 1;
         self.gc_stats.nodes_freed += freed;
         self.gc_stats.last_live = self.nodes.len();
+        self.recount_levels();
+        #[cfg(debug_assertions)]
+        if let Err(message) = self.check_all_invariants() {
+            panic!("kernel invariant violated after gc: {message}");
+        }
         freed
+    }
+
+    // -----------------------------------------------------------------
+    // Dynamic variable reordering (sifting)
+    // -----------------------------------------------------------------
+
+    /// Number of stored nonterminal nodes branching at `level` (garbage
+    /// included until the next collection or sift compaction).
+    pub fn level_node_count(&self, level: Level) -> usize {
+        self.level_counts.get(level as usize).copied().unwrap_or(0)
+    }
+
+    /// Sets the live-node count at which [`Bdd::maybe_reorder`] runs a
+    /// sifting pass. `usize::MAX` (the default) disables dynamic
+    /// reordering entirely — `maybe_reorder` then never touches the arena.
+    pub fn set_reorder_threshold(&mut self, nodes: usize) {
+        self.reorder_threshold = nodes;
+    }
+
+    /// The current automatic-reordering threshold (see
+    /// [`Bdd::set_reorder_threshold`]).
+    pub fn reorder_threshold(&self) -> usize {
+        self.reorder_threshold
+    }
+
+    /// Recomputes the per-level node-count index from the arena.
+    fn recount_levels(&mut self) {
+        for count in self.level_counts.iter_mut() {
+            *count = 0;
+        }
+        for index in 1..self.nodes.len() {
+            let level = self.nodes[index].level as usize;
+            if level >= self.level_counts.len() {
+                self.level_counts.resize(level + 1, 0);
+            }
+            self.level_counts[level] += 1;
+        }
+    }
+
+    /// Checks every manager-wide invariant: the canonicity rules of
+    /// [`Bdd::check_invariants`] for **all** stored nodes (not just one
+    /// root's cone), plus unique-table consistency — the table holds
+    /// exactly the nonterminal nodes, each findable at its own triple,
+    /// with no duplicate triples — and every protected root in-arena.
+    ///
+    /// Always compiled; the *automatic* calls (at the end of every [`Bdd::gc`]
+    /// and [`Bdd::sift`]) are `debug_assertions`-gated so release builds
+    /// pay nothing. Run tests with `RUSTFLAGS="-C debug-assertions"` (the
+    /// CI canary job) to catch a canonicity violation where it happens
+    /// instead of as a wrong front downstream.
+    pub fn check_all_invariants(&self) -> Result<(), String> {
+        if self.nodes.is_empty() || self.nodes[0].level != TERMINAL_LEVEL {
+            return Err("the terminal must sit at index 0".into());
+        }
+        for index in 1..self.nodes.len() {
+            let node = &self.nodes[index];
+            if node.level == TERMINAL_LEVEL {
+                return Err(format!("nonterminal index n{index} stores a terminal"));
+            }
+            if node.level as usize >= self.var_count {
+                return Err(format!(
+                    "node n{index} branches at level {} beyond var_count {}",
+                    node.level, self.var_count
+                ));
+            }
+            if node.high.is_complemented() {
+                return Err(format!("node n{index} stores a complemented high edge"));
+            }
+            if node.low == node.high {
+                return Err(format!("node n{index} has identical children"));
+            }
+            for child in [node.low, node.high] {
+                if child.index() >= self.nodes.len() {
+                    return Err(format!(
+                        "edge n{index} -> n{} leaves the arena",
+                        child.index()
+                    ));
+                }
+                if !child.is_terminal() && self.nodes[child.index()].level <= node.level {
+                    return Err(format!(
+                        "edge n{index} -> n{} violates the variable order",
+                        child.index()
+                    ));
+                }
+                if child.index() >= index {
+                    return Err(format!(
+                        "edge n{index} -> n{} violates the arena's child-first order",
+                        child.index()
+                    ));
+                }
+            }
+        }
+        if self.unique.len != self.nodes.len() - 1 {
+            return Err(format!(
+                "unique table holds {} entries for {} nonterminal nodes",
+                self.unique.len,
+                self.nodes.len() - 1
+            ));
+        }
+        let mask = self.unique.slots.len() - 1;
+        for index in 1..self.nodes.len() {
+            let node = &self.nodes[index];
+            let mut i = hash_triple(node.level, node.low.0, node.high.0) as usize & mask;
+            loop {
+                let slot = self.unique.slots[i];
+                if slot == EMPTY {
+                    return Err(format!("node n{index} is missing from the unique table"));
+                }
+                if slot as usize == index {
+                    break;
+                }
+                let other = &self.nodes[slot as usize];
+                if other.level == node.level && other.low == node.low && other.high == node.high {
+                    return Err(format!("nodes n{index} and n{slot} store the same triple"));
+                }
+                i = (i + 1) & mask;
+            }
+        }
+        for root in self.roots.iter().flatten() {
+            if root.index() >= self.nodes.len() {
+                return Err(format!(
+                    "protected root n{} is outside the arena",
+                    root.index()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Swaps the variables at levels `upper` and `upper + 1` in place.
+    ///
+    /// CUDD-style: every node of the two levels keeps its arena index, so
+    /// parents above, protected roots and outstanding tagged [`NodeRef`]s
+    /// stay valid — only the *meaning* of the two levels is exchanged.
+    /// Three node classes:
+    ///
+    /// * `upper` nodes with a child branching at `upper + 1` are rewritten
+    ///   through the cofactor algebra below (same index, same function);
+    /// * `upper` nodes independent of the `upper + 1` variable are
+    ///   relabeled to `upper + 1` (their function now tests the lower
+    ///   level);
+    /// * `upper + 1` nodes are relabeled to `upper`.
+    ///
+    /// Rewriting node `n = (upper, l, h)` (stored `h` plain by canonicity)
+    /// needs the four grandchild cofactors with respect to the
+    /// `upper + 1` variable — `l0`/`l1` carry `l`'s tag, `h0`/`h1` are
+    /// `h`'s stored edges — and rebuilds
+    /// `n = (upper, mk(l0, h0), mk(l1, h1))`. The new high edge
+    /// `mk(l1, h1)` is **always plain**: `h1` is either the stored plain
+    /// `h` or its stored plain high edge, so `mk` never has to push a tag
+    /// — a level swap re-establishes the no-complemented-high rule with
+    /// zero tag cascade. The unique table is rebuilt (tombstone-free
+    /// reinsertion, same path as growth/GC) *between* the relabeling and
+    /// the `mk` calls so new `upper + 1` nodes share with the relabeled
+    /// independent ones.
+    ///
+    /// Leaves freshly created nodes at the arena tail (breaking the
+    /// child-index < parent-index invariant for rewritten nodes) and stale
+    /// unique-table entries for rewritten triples; callers **must** run
+    /// [`Bdd::compact_topological`] before any other manager operation —
+    /// [`Bdd::sift`] does so after every swap.
+    fn swap_adjacent(&mut self, upper: Level) {
+        let lower = upper + 1;
+        // Classify both levels' nodes and read the cofactors of every
+        // dependent `upper` node *before* relabeling (the "branches at
+        // `lower`" test is a level comparison, destroyed by relabeling).
+        let mut dependent: Vec<(u32, [NodeRef; 4])> = Vec::new();
+        let mut independent: Vec<u32> = Vec::new();
+        let mut relabel: Vec<u32> = Vec::new();
+        for index in 1..self.nodes.len() {
+            let node = self.nodes[index];
+            if node.level == lower {
+                relabel.push(index as u32);
+                continue;
+            }
+            if node.level != upper {
+                continue;
+            }
+            let low_branches =
+                !node.low.is_terminal() && self.nodes[node.low.index()].level == lower;
+            let high_branches =
+                !node.high.is_terminal() && self.nodes[node.high.index()].level == lower;
+            if !low_branches && !high_branches {
+                independent.push(index as u32);
+                continue;
+            }
+            let (l0, l1) = if low_branches {
+                let child = self.nodes[node.low.index()];
+                let tag = node.low.is_complemented();
+                (child.low.complement_if(tag), child.high.complement_if(tag))
+            } else {
+                (node.low, node.low)
+            };
+            let (h0, h1) = if high_branches {
+                let child = self.nodes[node.high.index()];
+                (child.low, child.high)
+            } else {
+                (node.high, node.high)
+            };
+            dependent.push((index as u32, [l0, l1, h0, h1]));
+        }
+        if dependent.is_empty() && independent.is_empty() && relabel.is_empty() {
+            return;
+        }
+        for &index in &relabel {
+            self.nodes[index as usize].level = upper;
+        }
+        for &index in &independent {
+            self.nodes[index as usize].level = lower;
+        }
+        // Relabeled nodes hash to new triples; rebuild before the `mk`
+        // calls below so they can share with the relabeled nodes instead
+        // of duplicating them.
+        self.unique.rebuild(&self.nodes, UNIQUE_INITIAL_SLOTS);
+        for (index, [l0, l1, h0, h1]) in dependent {
+            let high = self.mk(lower, l1, h1);
+            debug_assert!(
+                !high.is_complemented(),
+                "swap must not produce a complemented high edge"
+            );
+            let low = self.mk(lower, l0, h0);
+            debug_assert_ne!(low, high, "a dependent node cannot collapse");
+            let node = &mut self.nodes[index as usize];
+            node.low = low;
+            node.high = high;
+        }
+    }
+
+    /// Compacts the arena to exactly the nodes reachable from protected
+    /// roots, renumbering in child-first (topological) order.
+    ///
+    /// This is the restore-invariants half of a level swap: unlike
+    /// [`Bdd::gc`]'s in-index-order compaction (which *relies* on the
+    /// child-first invariant), this walk is an explicit iterative
+    /// postorder DFS from the roots, so it is correct on the mixed-order
+    /// arena a swap leaves behind. The unique table is rebuilt, the ITE
+    /// cache invalidated, roots renumbered tag-faithfully, and the
+    /// per-level index recounted. Does **not** touch [`GcStats`] — it is
+    /// reordering plumbing, not a collection.
+    ///
+    /// Like `gc`, this drops everything unreachable from the root
+    /// registry and renumbers every [`NodeRef`].
+    fn compact_topological(&mut self) {
+        debug_assert!(
+            self.ite_frames.is_empty() && self.ite_results.is_empty(),
+            "compaction during an ITE walk"
+        );
+        let old_len = self.nodes.len();
+        let mut remap: Vec<u32> = vec![EMPTY; old_len];
+        remap[0] = 0;
+        let mut compacted: Vec<BddNode> = Vec::with_capacity(old_len);
+        compacted.push(self.nodes[0]);
+        let mut stack: Vec<(u32, bool)> = self
+            .roots
+            .iter()
+            .flatten()
+            .map(|root| (root.index() as u32, false))
+            .collect();
+        while let Some((index, expanded)) = stack.pop() {
+            if remap[index as usize] != EMPTY {
+                continue;
+            }
+            let node = self.nodes[index as usize];
+            if expanded {
+                remap[index as usize] = compacted.len() as u32;
+                compacted.push(BddNode {
+                    level: node.level,
+                    low: NodeRef(remap[node.low.index()]).complement_if(node.low.is_complemented()),
+                    high: NodeRef(remap[node.high.index()]),
+                });
+            } else {
+                stack.push((index, true));
+                for child in [node.low, node.high] {
+                    if remap[child.index()] == EMPTY {
+                        stack.push((child.index() as u32, false));
+                    }
+                }
+            }
+        }
+        self.nodes = compacted;
+        self.unique.rebuild(&self.nodes, UNIQUE_INITIAL_SLOTS);
+        self.ite_cache.clear();
+        for slot in self.roots.iter_mut().flatten() {
+            let renumbered = remap[slot.index()];
+            debug_assert_ne!(renumbered, EMPTY, "protected root lost in compaction");
+            *slot = NodeRef(renumbered).complement_if(slot.is_complemented());
+        }
+        self.recount_levels();
+    }
+
+    /// One swap of the variables at positions `upper_pos` and
+    /// `upper_pos + 1`, immediately compacted so the arena is live-only,
+    /// sweep-safe and exactly measurable, with the position bookkeeping
+    /// updated.
+    fn swap_positions(&mut self, upper_pos: usize, var_at: &mut [Level], new_level: &mut [Level]) {
+        self.swap_adjacent(upper_pos as Level);
+        self.compact_topological();
+        var_at.swap(upper_pos, upper_pos + 1);
+        new_level[var_at[upper_pos] as usize] = upper_pos as Level;
+        new_level[var_at[upper_pos + 1] as usize] = (upper_pos + 1) as Level;
+    }
+
+    /// Rudell sifting within ordering groups: moves each variable through
+    /// every position of its group's contiguous window via adjacent-level
+    /// swaps, keeps the position minimizing the live arena, and abandons a
+    /// sweep direction early once the arena exceeds the growth-abort
+    /// factor (`SIFT_GROWTH_ABORT` = 1.2×) of the variable's best size.
+    /// Variables are
+    /// processed in descending order of node population (the populous
+    /// levels have the most to gain). Group boundaries are **never
+    /// crossed** — with defenses in group 0 and attacks in group 1 (the
+    /// same convention as [`crate::force_order`]) a defense-first order
+    /// stays defense-first.
+    ///
+    /// `groups[p]` is the group of *position* `p`; it must have one entry
+    /// per variable and be non-decreasing (groups are contiguous windows).
+    /// Within-group swaps never move a variable across a boundary, so the
+    /// position→group map is invariant throughout the pass.
+    ///
+    /// Like [`Bdd::gc`], this begins by dropping everything not reachable
+    /// from a protected root and **renumbers every [`NodeRef`]** — re-read
+    /// roots through [`Bdd::resolve`] afterwards. The returned
+    /// [`SiftOutcome::new_level`] tells callers how to remap their
+    /// level-indexed bookkeeping (assignments, attribute tables); the
+    /// analysis layer's `DefenseFirstOrder::permuted` consumes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups.len() != var_count` or `groups` is not
+    /// non-decreasing.
+    pub fn sift(&mut self, groups: &[u32]) -> SiftOutcome {
+        assert_eq!(
+            groups.len(),
+            self.var_count,
+            "one group per variable required"
+        );
+        assert!(
+            groups.windows(2).all(|w| w[0] <= w[1]),
+            "groups must be contiguous (non-decreasing by position)"
+        );
+        self.compact_topological();
+        let live_before = self.nodes.len();
+        let var_count = self.var_count;
+        let mut swaps = 0usize;
+
+        // Group window [group_lo[p], group_hi[p]] of every position —
+        // computed once; within-group swaps keep the map invariant.
+        let mut group_lo = vec![0usize; var_count];
+        let mut group_hi = vec![0usize; var_count];
+        if var_count > 0 {
+            let mut start = 0usize;
+            for (p, lo) in group_lo.iter_mut().enumerate() {
+                if groups[p] != groups[start] {
+                    start = p;
+                }
+                *lo = start;
+            }
+            let mut end = var_count - 1;
+            for (p, hi) in group_hi.iter_mut().enumerate().rev() {
+                if groups[p] != groups[end] {
+                    end = p;
+                }
+                *hi = end;
+            }
+        }
+
+        // var_at[p] = original level of the variable now at position p;
+        // new_level is its inverse (what the outcome reports).
+        let mut var_at: Vec<Level> = (0..var_count as Level).collect();
+        let mut new_level: Vec<Level> = (0..var_count as Level).collect();
+
+        // Rudell's processing order: descending node population at pass
+        // start.
+        let mut by_population: Vec<Level> = (0..var_count as Level).collect();
+        by_population.sort_by_key(|&v| std::cmp::Reverse(self.level_node_count(v)));
+
+        for &variable in &by_population {
+            let start = new_level[variable as usize] as usize;
+            if self.level_node_count(start as Level) == 0 {
+                continue;
+            }
+            let (lo, hi) = (group_lo[start], group_hi[start]);
+            if lo == hi {
+                continue;
+            }
+            let mut cur = start;
+            let mut best_size = self.nodes.len();
+            let mut best_pos = cur;
+            // Downward sweep to the bottom of the window…
+            while cur < hi {
+                self.swap_positions(cur, &mut var_at, &mut new_level);
+                swaps += 1;
+                cur += 1;
+                let size = self.nodes.len();
+                if size < best_size {
+                    best_size = size;
+                    best_pos = cur;
+                }
+                if size as f64 > SIFT_GROWTH_ABORT * best_size as f64 {
+                    break;
+                }
+            }
+            // …then upward through the start position to the top…
+            while cur > lo {
+                self.swap_positions(cur - 1, &mut var_at, &mut new_level);
+                swaps += 1;
+                cur -= 1;
+                let size = self.nodes.len();
+                if size < best_size {
+                    best_size = size;
+                    best_pos = cur;
+                }
+                if size as f64 > SIFT_GROWTH_ABORT * best_size as f64 {
+                    break;
+                }
+            }
+            // …and settle at the best position seen.
+            while cur < best_pos {
+                self.swap_positions(cur, &mut var_at, &mut new_level);
+                swaps += 1;
+                cur += 1;
+            }
+            while cur > best_pos {
+                self.swap_positions(cur - 1, &mut var_at, &mut new_level);
+                swaps += 1;
+                cur -= 1;
+            }
+        }
+
+        #[cfg(debug_assertions)]
+        if let Err(message) = self.check_all_invariants() {
+            panic!("kernel invariant violated after sift: {message}");
+        }
+        SiftOutcome {
+            new_level,
+            live_before,
+            live_after: self.nodes.len(),
+            swaps,
+        }
+    }
+
+    /// The automatic-reordering trigger: runs [`Bdd::sift`] when the
+    /// **live** node count has reached the configured
+    /// [`Bdd::set_reorder_threshold`].
+    ///
+    /// With the threshold at its `usize::MAX` default this is a no-op
+    /// returning `None` — the arena is not touched. Otherwise the arena
+    /// is first compacted to live nodes (garbage must not trigger a
+    /// reorder — [`Bdd::maybe_gc`]'s job is cheaper); if the live count
+    /// is still below the threshold, `None` is returned, but **refs have
+    /// been renumbered** — resolve roots again. The engine calls this
+    /// between compile and propagate, when exactly the current query's
+    /// root is protected, which makes the decision (and the learned
+    /// order) a pure function of the query — cache-key safe.
+    pub fn maybe_reorder(&mut self, groups: &[u32]) -> Option<SiftOutcome> {
+        if self.reorder_threshold == usize::MAX {
+            return None;
+        }
+        self.compact_topological();
+        if self.nodes.len() < self.reorder_threshold {
+            return None;
+        }
+        Some(self.sift(groups))
     }
 }
 
@@ -2078,5 +2596,202 @@ mod tests {
         let again = bdd.and(vars[0], vars[1]);
         assert_eq!(first, again);
         bdd.check_invariants(again).unwrap();
+    }
+
+    /// The classic sifting testbed: Σ xᵢ·x₍ₙ/₂₊ᵢ₎ under the interleaving
+    /// order that forces exponential width. Pairing the factors back up is
+    /// exactly what adjacent-level swaps must discover.
+    fn disjoint_products(bdd: &mut Bdd, pairs: usize) -> (NodeRef, Bexpr) {
+        let mut f = Bdd::FALSE;
+        let mut terms = Vec::new();
+        for i in 0..pairs as Level {
+            let a = bdd.var(i);
+            let b = bdd.var(i + pairs as Level);
+            let t = bdd.and(a, b);
+            f = bdd.or(f, t);
+            terms.push(Bexpr::and([Bexpr::var(i), Bexpr::var(i + pairs as Level)]));
+        }
+        (f, Bexpr::or(terms))
+    }
+
+    /// Evaluates a sifted diagram on an assignment expressed in the
+    /// *original* levels, remapping through the outcome's permutation.
+    fn eval_sifted(bdd: &Bdd, f: NodeRef, outcome: &SiftOutcome, original: &[bool]) -> bool {
+        let mut permuted = vec![false; original.len()];
+        for (old, &value) in original.iter().enumerate() {
+            permuted[outcome.new_level[old] as usize] = value;
+        }
+        bdd.eval(f, &permuted)
+    }
+
+    #[test]
+    fn sift_shrinks_the_interleaved_products_and_preserves_the_function() {
+        let n = 8;
+        let mut bdd = Bdd::new(n);
+        let (f, expr) = disjoint_products(&mut bdd, n / 2);
+        let h = bdd.protect(f);
+        let outcome = bdd.sift(&vec![0u32; n]);
+        let f = bdd.resolve(h);
+        assert!(
+            outcome.live_after < outcome.live_before,
+            "sifting must shrink the interleaved order ({} -> {})",
+            outcome.live_before,
+            outcome.live_after
+        );
+        assert!(outcome.swaps > 0);
+        // The permutation is a bijection on levels.
+        let mut seen = outcome.new_level.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..n as Level).collect::<Vec<_>>());
+        for mask in 0u32..(1 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+            assert_eq!(
+                eval_sifted(&bdd, f, &outcome, &assignment),
+                expr.eval(&assignment),
+                "sift changed the function on {assignment:?}"
+            );
+        }
+        bdd.check_all_invariants().unwrap();
+        // A second pass starts from the improved order and cannot grow.
+        let second = bdd.sift(&vec![0u32; n]);
+        assert!(second.live_after <= second.live_before);
+        assert_eq!(second.live_before, outcome.live_after);
+    }
+
+    #[test]
+    fn sift_never_crosses_group_boundaries() {
+        let n = 8;
+        let mut bdd = Bdd::new(n);
+        let (f, expr) = disjoint_products(&mut bdd, n / 2);
+        // Split the interleaved pairs across a hard boundary: levels 0..4
+        // in group 0, 4..8 in group 1 — every product would love to cross.
+        let groups = [0u32, 0, 0, 0, 1, 1, 1, 1];
+        let h = bdd.protect(f);
+        let outcome = bdd.sift(&groups);
+        let f = bdd.resolve(h);
+        for old in 0..n {
+            assert_eq!(
+                groups[outcome.new_level[old] as usize], groups[old],
+                "variable at level {old} crossed its group boundary"
+            );
+        }
+        for mask in 0u32..(1 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+            assert_eq!(
+                eval_sifted(&bdd, f, &outcome, &assignment),
+                expr.eval(&assignment)
+            );
+        }
+        bdd.check_all_invariants().unwrap();
+        bdd.unprotect(h);
+    }
+
+    #[test]
+    fn sift_keeps_complemented_roots_tag_faithful() {
+        let mut bdd = Bdd::new(6);
+        let (f, expr) = disjoint_products(&mut bdd, 3);
+        let nf = bdd.not(f);
+        let h = bdd.protect(nf);
+        let outcome = bdd.sift(&[0; 6]);
+        let nf = bdd.resolve(h);
+        assert!(nf.is_complemented());
+        for mask in 0u32..(1 << 6) {
+            let assignment: Vec<bool> = (0..6).map(|i| mask >> i & 1 == 1).collect();
+            assert_eq!(
+                eval_sifted(&bdd, nf, &outcome, &assignment),
+                !expr.eval(&assignment)
+            );
+        }
+    }
+
+    #[test]
+    fn sift_drops_unprotected_garbage_like_gc() {
+        let mut bdd = Bdd::new(6);
+        let (f, _) = disjoint_products(&mut bdd, 3);
+        let keep = bdd.var(0);
+        let h = bdd.protect(keep);
+        let _ = f; // unprotected: the pass must sweep it
+        let outcome = bdd.sift(&[0; 6]);
+        assert_eq!(outcome.live_after, 2, "terminal + the one protected var");
+        assert_eq!(bdd.total_nodes(), 2);
+        let keep = bdd.resolve(h);
+        assert!(bdd.eval(keep, &[true, false, false, false, false, false]));
+    }
+
+    #[test]
+    fn maybe_reorder_is_inert_by_default() {
+        let mut bdd = Bdd::new(6);
+        let (f, _) = disjoint_products(&mut bdd, 3);
+        let _h = bdd.protect(f);
+        let before = bdd.total_nodes();
+        assert_eq!(bdd.reorder_threshold(), usize::MAX);
+        assert!(bdd.maybe_reorder(&[0; 6]).is_none());
+        assert_eq!(
+            bdd.total_nodes(),
+            before,
+            "inert maybe_reorder must not even compact"
+        );
+        assert_eq!(bdd.resolve(_h), f, "refs must survive an inert call");
+    }
+
+    #[test]
+    fn maybe_reorder_fires_on_live_nodes_not_garbage() {
+        let mut bdd = Bdd::new(6);
+        let (f, _) = disjoint_products(&mut bdd, 3);
+        let keep = bdd.var(0);
+        let h = bdd.protect(keep);
+        let _ = f;
+        // Arena is fat with garbage, but only 2 nodes are live: below the
+        // threshold, so the call compacts and declines to sift.
+        bdd.set_reorder_threshold(4);
+        assert!(bdd.maybe_reorder(&[0; 6]).is_none());
+        assert_eq!(bdd.total_nodes(), 2, "the decline still compacted");
+        bdd.unprotect(h);
+        // Now protect a genuinely large function: the pass fires.
+        let (f, _) = disjoint_products(&mut bdd, 3);
+        let h = bdd.protect(f);
+        let outcome = bdd
+            .maybe_reorder(&[0; 6])
+            .expect("live count over threshold");
+        assert!(outcome.live_before >= 4);
+        bdd.unprotect(h);
+    }
+
+    #[test]
+    fn level_counts_track_the_arena() {
+        let mut bdd = Bdd::new(4);
+        assert_eq!(bdd.level_node_count(0), 0);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        assert_eq!(bdd.level_node_count(0), 1);
+        assert_eq!(bdd.level_node_count(1), 1);
+        let f = bdd.and(a, b);
+        assert_eq!(
+            bdd.level_node_count(0),
+            2,
+            "the conjunction adds a level-0 node"
+        );
+        let h = bdd.protect(f);
+        bdd.gc();
+        assert_eq!(
+            bdd.level_node_count(0) + bdd.level_node_count(1),
+            bdd.total_nodes() - 1,
+            "recount after GC must cover exactly the live nonterminals"
+        );
+        assert_eq!(bdd.level_node_count(3), 0);
+        bdd.unprotect(h);
+    }
+
+    #[test]
+    fn check_all_invariants_accepts_every_green_manager() {
+        let mut bdd = Bdd::new(6);
+        let (f, _) = disjoint_products(&mut bdd, 3);
+        bdd.check_all_invariants().unwrap();
+        let h = bdd.protect(f);
+        bdd.gc();
+        bdd.check_all_invariants().unwrap();
+        bdd.sift(&[0; 6]);
+        bdd.check_all_invariants().unwrap();
+        bdd.unprotect(h);
     }
 }

@@ -11,9 +11,12 @@
 //! Levels are orthogonal to the kernel's complement tags: an order speaks
 //! about *variables*, a tag about a function's polarity, so FORCE output
 //! plugs into the complement-edge manager unchanged (a [`crate::NodeRef`]'s
-//! level is its node's level whatever the tag — see `Bdd::level`). Any
-//! future *dynamic* reordering (sifting) must preserve the
-//! no-complemented-high canonicity rule on every level swap.
+//! level is its node's level whatever the tag — see `Bdd::level`). The
+//! *dynamic* counterpart, [`crate::Bdd::sift`], reuses this module's group
+//! convention (one group rank per variable, windows never crossed) and
+//! preserves the no-complemented-high canonicity rule on every level swap
+//! — see the "Level swaps and dynamic reordering" section of
+//! `docs/KERNEL.md`.
 
 use crate::Level;
 

@@ -1,0 +1,177 @@
+//! Property-based checks of the PR-6 sifting pass at the kernel surface:
+//! `sift` must preserve every protected function (pinned to the frozen
+//! [`ControlBdd`] oracle and to direct expression evaluation through the
+//! learned permutation), must keep every variable inside its group window
+//! (the defense-first constraint, abstracted to group ids), must leave the
+//! manager-wide invariants intact, and must be monotone — a second pass
+//! from the settled position can never grow the diagram.
+
+use proptest::prelude::*;
+
+use adt_bdd::control::ControlBdd;
+use adt_bdd::{Bdd, Bexpr, Level};
+
+const VARS: usize = 6;
+
+/// Random Boolean expressions over `VARS` variables, up to depth 4 (the
+/// same shape as `proptest_bdd.rs`).
+fn bexpr() -> impl Strategy<Value = Bexpr> {
+    let leaf = prop_oneof![
+        (0u32..VARS as u32).prop_map(Bexpr::Var),
+        any::<bool>().prop_map(Bexpr::Const),
+    ];
+    leaf.prop_recursive(4, 64, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Bexpr::not),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Bexpr::And),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Bexpr::Or),
+            (inner.clone(), inner).prop_map(|(a, b)| Bexpr::inhibit(a, b)),
+        ]
+    })
+}
+
+/// Random *non-decreasing* group vectors over the levels — the shape
+/// `Bdd::sift` requires (contiguous windows; the defense-first split is the
+/// two-group special case, a finer modular split uses more).
+fn groups() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..3, VARS..VARS + 1).prop_map(|mut v| {
+        v.sort_unstable();
+        v
+    })
+}
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0u32..1 << VARS).map(|mask| (0..VARS).map(|i| mask >> i & 1 == 1).collect())
+}
+
+/// The assignment the sifted diagram must see for the *original* variables
+/// to take the values of `a`: variable at old level `old` now lives at
+/// level `new_level[old]`.
+fn permute_assignment(a: &[bool], new_level: &[Level]) -> Vec<bool> {
+    let mut out = vec![false; a.len()];
+    for (old, &value) in a.iter().enumerate() {
+        out[new_level[old] as usize] = value;
+    }
+    out
+}
+
+proptest! {
+    /// Sifting preserves every protected function: evaluation through the
+    /// learned permutation matches both direct expression evaluation and
+    /// the frozen control kernel, and the manager-wide invariants (level
+    /// map, canonicity, unique-table integrity, level counts) still hold.
+    #[test]
+    fn sift_preserves_protected_functions(
+        exprs in prop::collection::vec(bexpr(), 1..5),
+        groups in groups(),
+    ) {
+        let mut bdd = Bdd::new(VARS);
+        let handles: Vec<_> = exprs
+            .iter()
+            .map(|e| {
+                let f = bdd.build(e);
+                bdd.protect(f)
+            })
+            .collect();
+        let outcome = bdd.sift(&groups);
+        prop_assert!(bdd.check_all_invariants().is_ok());
+        prop_assert!(outcome.live_after <= outcome.live_before);
+        let mut control = ControlBdd::new(VARS);
+        for (expr, handle) in exprs.iter().zip(&handles) {
+            let f = bdd.resolve(*handle);
+            let cf = control.build(expr);
+            for a in assignments() {
+                let permuted = permute_assignment(&a, &outcome.new_level);
+                prop_assert_eq!(bdd.eval(f, &permuted), expr.eval(&a));
+                prop_assert_eq!(bdd.eval(f, &permuted), control.eval(cf, &a));
+            }
+        }
+    }
+
+    /// The group constraint: sifting never moves a variable out of its
+    /// group's window. With non-decreasing groups the windows are
+    /// contiguous level ranges, so membership preservation is exactly
+    /// `groups[new_level[old]] == groups[old]` — the defense-first
+    /// boundary, in the two-group case, is never crossed.
+    #[test]
+    fn sift_never_crosses_group_windows(
+        exprs in prop::collection::vec(bexpr(), 1..5),
+        groups in groups(),
+    ) {
+        let mut bdd = Bdd::new(VARS);
+        for e in &exprs {
+            let f = bdd.build(e);
+            bdd.protect(f);
+        }
+        let outcome = bdd.sift(&groups);
+        // A permutation of the levels...
+        let mut seen = [false; VARS];
+        for &new in &outcome.new_level {
+            prop_assert!(!seen[new as usize], "new_level is not a bijection");
+            seen[new as usize] = true;
+        }
+        // ...that respects every window.
+        for (old, &new) in outcome.new_level.iter().enumerate() {
+            prop_assert_eq!(
+                groups[new as usize], groups[old],
+                "variable at level {} crossed from group {} to group {}",
+                old, groups[old], groups[new as usize]
+            );
+        }
+    }
+
+    /// Sifting is monotone at its fixpoint: a second pass from the settled
+    /// position never grows the diagram, and the live count it reports
+    /// matches the arena.
+    #[test]
+    fn second_sift_never_grows(
+        exprs in prop::collection::vec(bexpr(), 1..5),
+        groups in groups(),
+    ) {
+        let mut bdd = Bdd::new(VARS);
+        for e in &exprs {
+            let f = bdd.build(e);
+            bdd.protect(f);
+        }
+        let first = bdd.sift(&groups);
+        prop_assert_eq!(first.live_after, bdd.total_nodes());
+        // The windows moved with the variables (same windows, preserved
+        // membership), so the same group vector still describes them.
+        let second = bdd.sift(&groups);
+        prop_assert!(second.live_after <= first.live_after);
+        prop_assert!(bdd.check_all_invariants().is_ok());
+    }
+
+    /// GC → sift → GC round-trips: collections before and after the
+    /// reordering pass change neither semantics nor the settled size, no
+    /// matter which roots were dropped in between.
+    #[test]
+    fn gc_sift_gc_round_trips(
+        steps in prop::collection::vec((bexpr(), any::<bool>()), 1..6),
+        groups in groups(),
+    ) {
+        let mut bdd = Bdd::new(VARS);
+        let mut live: Vec<(Bexpr, adt_bdd::RootHandle)> = Vec::new();
+        for (expr, keep) in steps {
+            let f = bdd.build(&expr);
+            let handle = bdd.protect(f);
+            if keep || live.is_empty() {
+                live.push((expr, handle));
+            } else {
+                bdd.unprotect(handle);
+            }
+        }
+        bdd.gc();
+        let outcome = bdd.sift(&groups);
+        bdd.gc();
+        prop_assert_eq!(bdd.total_nodes(), outcome.live_after.max(1));
+        prop_assert!(bdd.check_all_invariants().is_ok());
+        for (expr, handle) in &live {
+            let f = bdd.resolve(*handle);
+            for a in assignments() {
+                let permuted = permute_assignment(&a, &outcome.new_level);
+                prop_assert_eq!(bdd.eval(f, &permuted), expr.eval(&a));
+            }
+        }
+    }
+}

@@ -16,6 +16,7 @@ use std::time::Duration;
 
 use adt_analysis::{bdd_bu, compile, DefenseFirstOrder};
 use adt_bdd::control::{ControlBdd, ControlRef};
+use adt_bench::json::{bench_report, Object, Value};
 use adt_bench::{control_compile, geomean, time_avg};
 use adt_core::semiring::{AttributeDomain, MinCost};
 use adt_core::{catalog, Agent, AugmentedAdt, ParetoFront};
@@ -179,28 +180,6 @@ fn main() {
     }
 
     // --- JSON emission ---------------------------------------------------
-    let mut json = String::from("{\n");
-    json.push_str("  \"pr\": 1,\n");
-    json.push_str(
-        "  \"description\": \"Optimized BDD kernel (open-addressed unique table, \
-         direct-mapped lossy ITE cache, iterative walks, linear Pareto merges, dense memo) \
-         vs the frozen HashMap-based control on the bdd_construction and fig4_exponential \
-         workloads.\",\n",
-    );
-    json.push_str("  \"benches\": [\n");
-    for (i, m) in results.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"suite\": \"{}\", \"case\": \"{}\", \"control_ns\": {:.1}, \
-             \"optimized_ns\": {:.1}, \"speedup\": {:.2}}}{}\n",
-            m.suite,
-            m.case,
-            m.control_ns,
-            m.optimized_ns,
-            m.speedup(),
-            if i + 1 < results.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ],\n");
     let construction = geomean(
         results
             .iter()
@@ -213,14 +192,37 @@ fn main() {
             .filter(|m| m.suite == "fig4_exponential")
             .map(Measurement::speedup),
     );
-    json.push_str("  \"summary\": {\n");
-    json.push_str(&format!(
-        "    \"bdd_construction_geomean_speedup\": {construction:.2},\n"
-    ));
-    json.push_str(&format!(
-        "    \"fig4_exponential_geomean_speedup\": {fig4:.2}\n"
-    ));
-    json.push_str("  }\n}\n");
-    std::fs::write(&out_path, &json).expect("write benchmark baseline");
+    let report = bench_report(
+        1,
+        "Optimized BDD kernel (open-addressed unique table, direct-mapped lossy ITE cache, \
+         iterative walks, linear Pareto merges, dense memo) vs the frozen HashMap-based \
+         control on the bdd_construction and fig4_exponential workloads.",
+    )
+    .field(
+        "benches",
+        results
+            .iter()
+            .map(|m| {
+                Value::from(
+                    Object::new()
+                        .field("suite", m.suite)
+                        .field("case", m.case.as_str())
+                        .field("control_ns", Value::float(m.control_ns, 1))
+                        .field("optimized_ns", Value::float(m.optimized_ns, 1))
+                        .field("speedup", Value::float(m.speedup(), 2)),
+                )
+            })
+            .collect::<Vec<Value>>(),
+    )
+    .field(
+        "summary",
+        Object::new()
+            .field(
+                "bdd_construction_geomean_speedup",
+                Value::float(construction, 2),
+            )
+            .field("fig4_exponential_geomean_speedup", Value::float(fig4, 2)),
+    );
+    std::fs::write(&out_path, report.render()).expect("write benchmark baseline");
     eprintln!("wrote {out_path}: construction ×{construction:.2}, fig4 ×{fig4:.2}");
 }

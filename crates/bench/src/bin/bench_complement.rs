@@ -25,6 +25,7 @@ use std::time::Duration;
 use adt_analysis::{compile, DefenseFirstOrder};
 use adt_bdd::control::ControlBdd;
 use adt_bdd::{Bdd, Level, NodeRef};
+use adt_bench::json::{bench_report, Object, Value};
 use adt_bench::{build_order, control_compile, geomean, sampled_assignments, time_avg};
 use adt_gen::{bucket_suite, paper_suite, suite_jobs, Instance, OrderingKind, Shape, SuiteJob};
 
@@ -249,54 +250,61 @@ fn main() {
     // --- JSON emission ---------------------------------------------------
     let max_reduction = reductions.iter().map(Reduction::ratio).fold(0.0, f64::max);
     let geomean_reduction = geomean(reductions.iter().map(Reduction::ratio));
-    let mut json = String::from("{\n");
-    json.push_str("  \"pr\": 5,\n");
-    json.push_str(
-        "  \"description\": \"Complement-edge kernel vs the frozen tag-free control. \
-         node_reduction: both kernels compile every suite family (semantics gated on sampled \
-         assignments first); reduction = control reachable nodes / complement reachable nodes, \
-         summed per family. not_o1: a 1e6-negation burst must leave the arena untouched (not \
-         is a tag flip), per-call cost vs the control's ITE-walk not. not_heavy_workload: \
+    let report = bench_report(
+        5,
+        "Complement-edge kernel vs the frozen tag-free control. node_reduction: both \
+         kernels compile every suite family (semantics gated on sampled assignments first); \
+         reduction = control reachable nodes / complement reachable nodes, summed per \
+         family. not_o1: a 1e6-negation burst must leave the arena untouched (not is a tag \
+         flip), per-call cost vs the control's ITE-walk not. not_heavy_workload: \
          interleaved not/xor/and_not chains over compiled roots (the BDDBU defense-step \
-         shape), compile included, fresh managers per run.\",\n",
+         shape), compile included, fresh managers per run.",
+    )
+    .field(
+        "node_reduction",
+        reductions
+            .iter()
+            .map(|r| {
+                Value::from(
+                    Object::new()
+                        .field("family", r.family)
+                        .field("instances", r.instances)
+                        .field("control_nodes", r.control_nodes)
+                        .field("complement_nodes", r.complement_nodes)
+                        .field("reduction", Value::float(r.ratio(), 3)),
+                )
+            })
+            .collect::<Vec<Value>>(),
+    )
+    .field(
+        "not_o1",
+        Object::new()
+            .field("not_calls", NOT_CALLS)
+            .field("arena_nodes_before", arena_before)
+            .field("arena_nodes_after", arena_after)
+            .field("arena_growth", arena_after - arena_before)
+            .field("complement_ns_per_not", Value::float(complement_not_ns, 3))
+            .field("control_ns_per_not", Value::float(control_not_ns, 3)),
+    )
+    .field(
+        "not_heavy_workload",
+        Object::new()
+            .field("suite", "paper_dag")
+            .field("instances", chain_jobs.len())
+            .field("ops_per_instance", 24usize)
+            .field("complement_ns", Value::float(ns(complement_chain), 1))
+            .field("control_ns", Value::float(ns(control_chain), 1))
+            .field("speedup", Value::float(chain_speedup, 2)),
+    )
+    .field(
+        "summary",
+        Object::new()
+            .field("max_family_reduction", Value::float(max_reduction, 3))
+            .field("geomean_reduction", Value::float(geomean_reduction, 3))
+            .field("reduction_geq_1_5_on_some_family", max_reduction >= 1.5)
+            .field("not_is_o1", arena_before == arena_after),
     );
-    json.push_str("  \"node_reduction\": [\n");
-    for (i, r) in reductions.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"family\": \"{}\", \"instances\": {}, \"control_nodes\": {}, \
-             \"complement_nodes\": {}, \"reduction\": {:.3}}}{}\n",
-            r.family,
-            r.instances,
-            r.control_nodes,
-            r.complement_nodes,
-            r.ratio(),
-            if i + 1 < reductions.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ],\n");
-    json.push_str(&format!(
-        "  \"not_o1\": {{\n    \"not_calls\": {NOT_CALLS},\n    \"arena_nodes_before\": \
-         {arena_before},\n    \"arena_nodes_after\": {arena_after},\n    \"arena_growth\": \
-         {},\n    \"complement_ns_per_not\": {complement_not_ns:.3},\n    \
-         \"control_ns_per_not\": {control_not_ns:.3}\n  }},\n",
-        arena_after - arena_before,
-    ));
-    json.push_str(&format!(
-        "  \"not_heavy_workload\": {{\n    \"suite\": \"paper_dag\",\n    \"instances\": {},\n    \
-         \"ops_per_instance\": 24,\n    \"complement_ns\": {:.1},\n    \"control_ns\": {:.1},\n    \
-         \"speedup\": {chain_speedup:.2}\n  }},\n",
-        chain_jobs.len(),
-        ns(complement_chain),
-        ns(control_chain),
-    ));
-    json.push_str(&format!(
-        "  \"summary\": {{\n    \"max_family_reduction\": {max_reduction:.3},\n    \
-         \"geomean_reduction\": {geomean_reduction:.3},\n    \
-         \"reduction_geq_1_5_on_some_family\": {},\n    \"not_is_o1\": {}\n  }}\n}}\n",
-        max_reduction >= 1.5,
-        arena_before == arena_after,
-    ));
-    std::fs::write(&out_path, &json).expect("write complement benchmark");
+    std::fs::write(&out_path, report.render()).expect("write complement benchmark");
     eprintln!(
         "wrote {out_path}: max reduction ×{max_reduction:.2}, not O(1): {}, chain ×{chain_speedup:.2}",
         arena_before == arena_after

@@ -33,9 +33,8 @@
 use std::time::{Duration, Instant};
 
 use adt_analysis::compile;
-use adt_bench::{
-    build_order, default_jobs, engine_suite_report, evaluate_suite, median, SuiteEngine,
-};
+use adt_bench::json::{bench_report, Object, Value};
+use adt_bench::{build_order, engine_suite_report, evaluate_suite, median, SuiteEngine};
 use adt_gen::{bucket_suite, paper_suite, suite_jobs, OrderingKind, Shape, SuiteJob};
 
 fn ms(d: Duration) -> f64 {
@@ -60,7 +59,6 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(4)
         .max(1);
-    let cores = default_jobs();
 
     // --- workload 1: repeated-suite throughput, cold vs warm -------------
     let jobs: Vec<SuiteJob> = suite_jobs(
@@ -158,54 +156,54 @@ fn main() {
     );
 
     // --- JSON emission ---------------------------------------------------
-    let json = format!(
-        r#"{{
-  "pr": 4,
-  "description": "Long-lived AnalysisEngine accounting. throughput: one suite evaluated repeatedly on one engine, single-threaded; cold resets the engine every round (fresh-manager behavior), warm persists it so repeats are served by the cross-query front cache; per-round medians of {rounds} rounds, correctness asserted against the fresh-manager baseline before timing. gc: a stream of distinct instances through a never-collecting engine (arena grows monotonically) vs one with gc_threshold = largest single-instance compile arena; the GC peak must stay under 2x that largest single footprint (at most one query's traffic on top of the threshold).",
-  "available_parallelism": {cores},
-  "throughput": {{
-    "suite": "fig9_paper_dag",
-    "instances": {instances},
-    "rounds": {rounds},
-    "cold_round_ms": {cold_ms:.2},
-    "warm_first_round_ms": {warm_first_ms:.2},
-    "warm_round_ms": {warm_ms:.2},
-    "warm_speedup": {speedup:.2},
-    "warm_cache_hit_rate": {warm_hit_rate:.4}
-  }},
-  "gc": {{
-    "suite": "fig10_bucket_dag",
-    "instances": {stream_len},
-    "largest_single_compile_nodes": {largest_single},
-    "peak_arena_no_gc": {peak_no_gc},
-    "peak_arena_gc": {peak_gc},
-    "gc_peak_bound": {bound},
-    "gc_peak_within_bound": {bound_ok},
-    "collections": {collections},
-    "nodes_freed": {nodes_freed}
-  }},
-  "summary": {{
-    "note": "Single-threaded by design: throughput isolates engine reuse (manager + front cache) from parallelism, so the numbers hold on any core count; the warm speedup measures cache service vs recompilation of an identical repeated suite — a stream with no repetition sees ~1x and relies on the GC bound instead. Parallel scaling is BENCH_PR3.json's subject; the worker pool now composes both (persistent engines inside long-lived workers)."
-  }}
-}}
-"#,
-        rounds = rounds,
-        cores = cores,
-        instances = jobs.len(),
-        cold_ms = cold_ms,
-        warm_first_ms = ms(warm_first),
-        warm_ms = warm_ms,
-        speedup = speedup,
-        warm_hit_rate = warm_hit_rate,
-        stream_len = stream.len(),
-        largest_single = largest_single,
-        peak_no_gc = peak_no_gc,
-        peak_gc = peak_gc,
-        bound = bound,
-        bound_ok = peak_gc <= bound,
-        collections = gc_stats.collections,
-        nodes_freed = gc_stats.nodes_freed,
+    let description = format!(
+        "Long-lived AnalysisEngine accounting. throughput: one suite evaluated repeatedly \
+         on one engine, single-threaded; cold resets the engine every round (fresh-manager \
+         behavior), warm persists it so repeats are served by the cross-query front cache; \
+         per-round medians of {rounds} rounds, correctness asserted against the \
+         fresh-manager baseline before timing. gc: a stream of distinct instances through a \
+         never-collecting engine (arena grows monotonically) vs one with gc_threshold = \
+         largest single-instance compile arena; the GC peak must stay under 2x that largest \
+         single footprint (at most one query's traffic on top of the threshold)."
     );
-    std::fs::write(&out_path, &json).expect("write engine benchmark");
+    let report = bench_report(4, &description)
+        .field(
+            "throughput",
+            Object::new()
+                .field("suite", "fig9_paper_dag")
+                .field("instances", jobs.len())
+                .field("rounds", rounds)
+                .field("cold_round_ms", Value::float(cold_ms, 2))
+                .field("warm_first_round_ms", Value::float(ms(warm_first), 2))
+                .field("warm_round_ms", Value::float(warm_ms, 2))
+                .field("warm_speedup", Value::float(speedup, 2))
+                .field("warm_cache_hit_rate", Value::float(warm_hit_rate, 4)),
+        )
+        .field(
+            "gc",
+            Object::new()
+                .field("suite", "fig10_bucket_dag")
+                .field("instances", stream.len())
+                .field("largest_single_compile_nodes", largest_single)
+                .field("peak_arena_no_gc", peak_no_gc)
+                .field("peak_arena_gc", peak_gc)
+                .field("gc_peak_bound", bound)
+                .field("gc_peak_within_bound", peak_gc <= bound)
+                .field("collections", gc_stats.collections)
+                .field("nodes_freed", gc_stats.nodes_freed),
+        )
+        .field(
+            "summary",
+            Object::new().field(
+                "note",
+                "Single-threaded by design: throughput isolates engine reuse (manager + \
+                 front cache) from parallelism, so the numbers hold on any core count; the \
+                 warm speedup measures cache service vs recompilation of an identical \
+                 repeated suite — a stream with no repetition sees ~1x and relies on the GC \
+                 bound instead. Parallel scaling is BENCH_PR3.json's subject; the worker \
+                 pool now composes both (persistent engines inside long-lived workers).",
+            ),
+        );
+    std::fs::write(&out_path, report.render()).expect("write engine benchmark");
     eprintln!("wrote {out_path}: warm ×{speedup:.1}, GC peak {peak_gc}/{bound}");
 }

@@ -19,6 +19,7 @@
 use std::time::{Duration, Instant};
 
 use adt_analysis::bdd_bu;
+use adt_bench::json::{bench_report, parallelism_note, Object, Value};
 use adt_bench::{default_jobs, evaluate_suite, geomean, median, run_jobs};
 use adt_core::catalog;
 use adt_gen::{bucket_suite, paper_suite, suite_jobs, OrderingKind, Shape, SuiteJob};
@@ -175,46 +176,38 @@ fn main() {
 
     // --- JSON emission ---------------------------------------------------
     let overall = geomean(cases.iter().map(Case::speedup));
-    let note = if cores == 1 {
-        format!(
-            "Host exposes a single core (available_parallelism = 1); the {par_jobs}-way \
-             numbers measure pool overhead, not parallel speedup. On an N-core host the \
-             embarrassingly parallel suites scale with min(N, suite size); the differential \
-             tests assert result equality at every worker count."
-        )
-    } else {
-        format!("Measured on {cores} available cores with {par_jobs} workers.")
-    };
-    let mut json = String::from("{\n");
-    json.push_str("  \"pr\": 3,\n");
-    json.push_str(
-        "  \"description\": \"Whole-suite evaluation wall-clock, sequential (--jobs 1) vs \
-         the scoped-thread worker pool, over the BENCH_PR1 workload families: the Fig. 9 \
-         paper suite, the Fig. 10 bucket suite, and the Fig. 4 exponential family. Workers \
-         pull jobs from a shared atomic cursor, each on a private BDD manager; results are \
-         index-ordered and asserted equal to the sequential path before timing.\",\n",
+    let report = bench_report(
+        3,
+        "Whole-suite evaluation wall-clock, sequential (--jobs 1) vs the scoped-thread \
+         worker pool, over the BENCH_PR1 workload families: the Fig. 9 paper suite, the \
+         Fig. 10 bucket suite, and the Fig. 4 exponential family. Workers pull jobs from a \
+         shared atomic cursor, each on a private BDD manager; results are index-ordered and \
+         asserted equal to the sequential path before timing.",
+    )
+    .field("pool_workers", par_jobs)
+    .field(
+        "benches",
+        cases
+            .iter()
+            .map(|c| {
+                Value::from(
+                    Object::new()
+                        .field("suite", c.suite)
+                        .field("case", c.case.as_str())
+                        .field("instances", c.instances)
+                        .field("sequential_ms", Value::float(ms(c.seq), 2))
+                        .field("parallel_ms", Value::float(ms(c.par), 2))
+                        .field("speedup", Value::float(c.speedup(), 2)),
+                )
+            })
+            .collect::<Vec<Value>>(),
+    )
+    .field(
+        "summary",
+        Object::new()
+            .field("geomean_speedup", Value::float(overall, 2))
+            .field("note", parallelism_note(par_jobs)),
     );
-    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
-    json.push_str(&format!("  \"pool_workers\": {par_jobs},\n"));
-    json.push_str("  \"benches\": [\n");
-    for (i, c) in cases.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"suite\": \"{}\", \"case\": \"{}\", \"instances\": {}, \
-             \"sequential_ms\": {:.2}, \"parallel_ms\": {:.2}, \"speedup\": {:.2}}}{}\n",
-            c.suite,
-            c.case,
-            c.instances,
-            ms(c.seq),
-            ms(c.par),
-            c.speedup(),
-            if i + 1 < cases.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ],\n");
-    json.push_str("  \"summary\": {\n");
-    json.push_str(&format!("    \"geomean_speedup\": {overall:.2},\n"));
-    json.push_str(&format!("    \"note\": \"{note}\"\n"));
-    json.push_str("  }\n}\n");
-    std::fs::write(&out_path, &json).expect("write pool benchmark");
+    std::fs::write(&out_path, report.render()).expect("write pool benchmark");
     eprintln!("wrote {out_path}: geomean ×{overall:.2} on {cores} core(s)");
 }

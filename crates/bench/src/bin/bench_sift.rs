@@ -1,0 +1,320 @@
+//! Dynamic-reordering accounting for the PR-6 sifting pass, written to
+//! `BENCH_PR6.json`.
+//!
+//! Two questions, two workloads, measured on the suite families of the
+//! experiment drivers:
+//!
+//! 1. **Live-node reduction vs the best static order.** Every instance is
+//!    compiled under each static defense-first order (declaration, DFS,
+//!    FORCE-20) and the smallest diagram is kept as the static champion;
+//!    sifting then starts *from that champion* and runs to convergence, so
+//!    the reported ratio `best static / sifted` is what the dynamic pass
+//!    buys on top of the best order a static heuristic could have picked.
+//!    Two oracles gate every instance before accounting: the frozen
+//!    [`ControlBdd`] compiled under the *post-sift* order must agree with
+//!    the sifted diagram on sampled assignments, and remapped assignments
+//!    must agree with the pre-sift diagram (the permutation is consistent).
+//! 2. **Front preservation through the engine trigger.** Each family is
+//!    evaluated through [`AnalysisEngine`]s with the reorder threshold
+//!    armed at 1 (sift on every query) and the fronts asserted identical to
+//!    the static fresh-manager baseline; small instances are additionally
+//!    checked against the `naive` Definitions 7–9 oracle.
+//!
+//! Usage: `cargo run --release -p adt-bench --bin bench_sift [-- OUT]`
+//! (default output path `BENCH_PR6.json`; set `BENCH_SIFT_QUICK=1` to
+//! shrink the families for smoke runs).
+//!
+//! [`AnalysisEngine`]: adt_analysis::AnalysisEngine
+//! [`ControlBdd`]: adt_bdd::control::ControlBdd
+
+use std::time::{Duration, Instant};
+
+use adt_analysis::{compile, naive, DefenseFirstOrder};
+use adt_bench::json::{bench_report, Object, Value};
+use adt_bench::{
+    build_order, control_compile, evaluate_suite, geomean, naive_work, sampled_assignments,
+    SuiteEngine,
+};
+use adt_gen::{bucket_suite, paper_suite, suite_jobs, Instance, OrderingKind, Shape, SuiteJob};
+
+/// Enumeration budget for the `naive` oracle gate (`2^(|D|+|A|)` structure
+/// function evaluations).
+const NAIVE_GATE_WORK: u128 = 1 << 18;
+
+/// The static defense-first orders sifting has to beat. FORCE gets the same
+/// round budget the `ablation-ordering` experiment uses.
+fn static_orders(adt: &adt_core::Adt) -> [(&'static str, DefenseFirstOrder); 3] {
+    [
+        ("declaration", DefenseFirstOrder::declaration(adt)),
+        ("dfs", DefenseFirstOrder::dfs(adt)),
+        ("force20", DefenseFirstOrder::force(adt, 20)),
+    ]
+}
+
+/// The suite families of the experiment drivers. The bucket families are
+/// the headline (their instances are deep enough for ordering to matter);
+/// the paper suite shows the typical case.
+fn families(quick: bool) -> Vec<(&'static str, Vec<SuiteJob>)> {
+    let jobs = |instances: Vec<Instance>| -> Vec<SuiteJob> {
+        suite_jobs(instances, OrderingKind::Declaration).collect()
+    };
+    let (paper, bucket, deep) = if quick { (6, 60, 120) } else { (30, 160, 320) };
+    vec![
+        ("paper_tree", jobs(paper_suite(paper, 45, Shape::Tree, 42))),
+        ("paper_dag", jobs(paper_suite(paper, 45, Shape::Dag, 43))),
+        (
+            "bucket_tree",
+            jobs(bucket_suite(3, bucket, Shape::Tree, 44)),
+        ),
+        ("bucket_dag", jobs(bucket_suite(3, bucket, Shape::Dag, 45))),
+        (
+            "bucket_dag_deep",
+            jobs(bucket_suite(2, deep, Shape::Dag, 46)),
+        ),
+    ]
+}
+
+struct FamilyReduction {
+    family: &'static str,
+    instances: usize,
+    declaration_nodes: usize,
+    dfs_nodes: usize,
+    force_nodes: usize,
+    best_static_nodes: usize,
+    sifted_nodes: usize,
+    swaps: usize,
+    static_total: Duration,
+    sift_total: Duration,
+}
+
+impl FamilyReduction {
+    fn ratio(&self) -> f64 {
+        self.best_static_nodes as f64 / self.sifted_nodes as f64
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR6.json".into());
+    let quick = std::env::var("BENCH_SIFT_QUICK").is_ok();
+
+    // --- workload 1: node reduction vs the best static order -------------
+    let mut reductions: Vec<FamilyReduction> = Vec::new();
+    for (family, jobs) in families(quick) {
+        let mut fam = FamilyReduction {
+            family,
+            instances: jobs.len(),
+            declaration_nodes: 0,
+            dfs_nodes: 0,
+            force_nodes: 0,
+            best_static_nodes: 0,
+            sifted_nodes: 0,
+            swaps: 0,
+            static_total: Duration::ZERO,
+            sift_total: Duration::ZERO,
+        };
+        for job in &jobs {
+            let t = &job.instance.adt;
+            // Pick the static champion: smallest diagram over the three
+            // static defense-first orders.
+            let static_start = Instant::now();
+            let mut best: Option<(usize, DefenseFirstOrder)> = None;
+            for (name, order) in static_orders(t.adt()) {
+                let (bdd, root) = compile(t.adt(), &order);
+                let nodes = bdd.node_count(root);
+                match name {
+                    "declaration" => fam.declaration_nodes += nodes,
+                    "dfs" => fam.dfs_nodes += nodes,
+                    _ => fam.force_nodes += nodes,
+                }
+                if best.as_ref().is_none_or(|(b, _)| nodes < *b) {
+                    best = Some((nodes, order));
+                }
+            }
+            let (best_nodes, best_order) = best.expect("three static orders");
+            fam.static_total += static_start.elapsed();
+            fam.best_static_nodes += best_nodes;
+
+            // Sift to convergence from the champion. Groups: defenses
+            // before attacks, never crossed (the manager is fresh, so there
+            // are no parked levels beyond the order).
+            let sift_start = Instant::now();
+            let (mut bdd, root) = compile(t.adt(), &best_order);
+            let handle = bdd.protect(root);
+            let groups: Vec<u32> = (0..best_order.var_count())
+                .map(|level| u32::from(!best_order.is_defense_level(level as adt_bdd::Level)))
+                .collect();
+            let mut order = best_order.clone();
+            loop {
+                let before = bdd.node_count(bdd.resolve(handle));
+                let outcome = bdd.sift(&groups);
+                order = order.permuted(&outcome.new_level);
+                fam.swaps += outcome.swaps;
+                if bdd.node_count(bdd.resolve(handle)) >= before {
+                    break;
+                }
+            }
+            fam.sift_total += sift_start.elapsed();
+            let root = bdd.resolve(handle);
+            let sifted_nodes = bdd.node_count(root);
+            assert!(
+                sifted_nodes <= best_nodes,
+                "{family} seed {}: sifting grew the diagram ({sifted_nodes} > {best_nodes})",
+                job.instance.seed
+            );
+            fam.sifted_nodes += sifted_nodes;
+
+            // Oracle gate 1: the frozen control, compiled under the
+            // post-sift order, must agree on sampled assignments.
+            let (control, croot) = control_compile(t.adt(), &order);
+            // Oracle gate 2: the pre-sift diagram under the champion
+            // order, reached through remapped assignments (permutation
+            // consistency).
+            let (pre_bdd, pre_root) = compile(t.adt(), &best_order);
+            let new_level = {
+                // Recover old-level -> new-level from the two orders.
+                (0..best_order.var_count())
+                    .map(|old| {
+                        order
+                            .level(best_order.event(old as adt_bdd::Level))
+                            .expect("sifted order covers the same events")
+                    })
+                    .collect::<Vec<adt_bdd::Level>>()
+            };
+            for a in sampled_assignments(job.instance.seed, order.var_count(), 64) {
+                let sifted = bdd.eval(root, &a);
+                assert_eq!(
+                    sifted,
+                    control.eval(croot, &a),
+                    "{family} seed {}: sifted kernel diverged from the control oracle",
+                    job.instance.seed
+                );
+                let mut remapped = vec![false; a.len()];
+                for (old, &new) in new_level.iter().enumerate() {
+                    remapped[old] = a[new as usize];
+                }
+                assert_eq!(
+                    sifted,
+                    pre_bdd.eval(pre_root, &remapped),
+                    "{family} seed {}: sift permutation is inconsistent",
+                    job.instance.seed
+                );
+            }
+        }
+        eprintln!(
+            "node_reduction/{family}: best static {} (decl {}, dfs {}, force {}) vs sifted {} \
+             (×{:.2}, {} swaps, {:.0}ms static / {:.0}ms sift)",
+            fam.best_static_nodes,
+            fam.declaration_nodes,
+            fam.dfs_nodes,
+            fam.force_nodes,
+            fam.sifted_nodes,
+            fam.ratio(),
+            fam.swaps,
+            ms(fam.static_total),
+            ms(fam.sift_total),
+        );
+        reductions.push(fam);
+    }
+
+    // --- workload 2: front preservation through the engine trigger -------
+    let mut naive_checked = 0usize;
+    let mut front_checked = 0usize;
+    for (family, jobs) in families(quick) {
+        let baseline = evaluate_suite(&jobs, 1);
+        let mut engine = SuiteEngine::new();
+        engine.set_reorder_threshold(1);
+        for (job, expected) in jobs.iter().zip(&baseline) {
+            let report = engine.bdd_bu_report(&job.instance.adt, &build_order(job));
+            assert_eq!(
+                report.front, expected.result.front,
+                "{family} seed {}: sifting engine front diverged from the static baseline",
+                job.instance.seed
+            );
+            front_checked += 1;
+            if naive_work(&job.instance.adt).is_some_and(|w| w <= NAIVE_GATE_WORK) {
+                let oracle = naive(&job.instance.adt).expect("gated on naive_work");
+                assert_eq!(
+                    report.front, oracle,
+                    "{family} seed {}: sifting engine front diverged from the naive oracle",
+                    job.instance.seed
+                );
+                naive_checked += 1;
+            }
+        }
+    }
+    eprintln!(
+        "fronts: {front_checked} instances identical to the static baseline, \
+         {naive_checked} also checked against the naive Definitions 7-9 oracle"
+    );
+
+    // --- JSON emission ---------------------------------------------------
+    let max_reduction = reductions
+        .iter()
+        .map(FamilyReduction::ratio)
+        .fold(0.0, f64::max);
+    let geomean_reduction = geomean(reductions.iter().map(FamilyReduction::ratio));
+    let bucket_geq = reductions
+        .iter()
+        .any(|r| r.family.starts_with("bucket") && r.ratio() >= 1.5);
+    let report = bench_report(
+        6,
+        "Dynamic variable reordering (sifting) on the complement-edge kernel. \
+         node_reduction: every instance is compiled under the three static defense-first \
+         orders (declaration, DFS, FORCE-20), the smallest diagram is the static champion, \
+         and sifting runs to convergence from that champion; reduction = champion nodes / \
+         sifted nodes, summed per family, so it measures what the dynamic pass buys beyond \
+         the best static heuristic. Every instance is gated on two oracles first: the frozen \
+         tag-free control compiled under the post-sift order (sampled assignments) and the \
+         pre-sift diagram through remapped assignments. fronts: the same families evaluated \
+         through engines with the reorder threshold armed at 1 must reproduce the static \
+         baseline fronts; small instances are also checked against the naive oracle.",
+    )
+    .field(
+        "node_reduction",
+        reductions
+            .iter()
+            .map(|r| {
+                Value::from(
+                    Object::new()
+                        .field("family", r.family)
+                        .field("instances", r.instances)
+                        .field("declaration_nodes", r.declaration_nodes)
+                        .field("dfs_nodes", r.dfs_nodes)
+                        .field("force20_nodes", r.force_nodes)
+                        .field("best_static_nodes", r.best_static_nodes)
+                        .field("sifted_nodes", r.sifted_nodes)
+                        .field("reduction", Value::float(r.ratio(), 3))
+                        .field("swaps", r.swaps)
+                        .field("static_compile_ms", Value::float(ms(r.static_total), 1))
+                        .field("sift_ms", Value::float(ms(r.sift_total), 1)),
+                )
+            })
+            .collect::<Vec<Value>>(),
+    )
+    .field(
+        "fronts",
+        Object::new()
+            .field("instances_vs_static_baseline", front_checked)
+            .field("instances_vs_naive_oracle", naive_checked)
+            .field("reorder_threshold", 1usize),
+    )
+    .field(
+        "summary",
+        Object::new()
+            .field("max_family_reduction", Value::float(max_reduction, 3))
+            .field("geomean_reduction", Value::float(geomean_reduction, 3))
+            .field("bucket_reduction_geq_1_5", bucket_geq)
+            .field("quick_mode", quick),
+    );
+    std::fs::write(&out_path, report.render()).expect("write sift benchmark");
+    eprintln!(
+        "wrote {out_path}: max family reduction ×{max_reduction:.2}, geomean \
+         ×{geomean_reduction:.2}, bucket >= 1.5x: {bucket_geq}"
+    );
+}

@@ -16,7 +16,8 @@
 //!   fig10 [--per-bucket K] [--max-nodes M] [--seed S] [--work-cap E] [--csv F]
 //!                        Fig. 10  — median runtime per 20-node bucket
 //!   ablation-ordering [--count N] [--max-nodes M] [--seed S]
-//!                        BDD size/time under three defense-first orders
+//!                        BDD size/time under three static defense-first
+//!                        orders plus dynamic sifting
 //!   ablation-modular  [--count N] [--max-nodes M] [--seed S]
 //!                        modular decomposition vs plain BDDBU
 //!   all                  everything above with fast defaults
@@ -40,6 +41,14 @@
 //! * `--gc-threshold N` — arena node count at which a worker's manager
 //!   garbage-collects between queries (default 2^20; `bench_engine`
 //!   quantifies the bound).
+//! * `--order sift` — worker engines learn their variable orders
+//!   dynamically: every engine-served front compiles under the declaration
+//!   order and sifts once the diagram passes the reorder threshold
+//!   (`--order declaration`, the default, keeps static orders). The
+//!   ordering ablation always reports the sifted column regardless.
+//! * `--reorder-threshold N` — live-node count at which an engine's
+//!   sifting pass triggers (default 256 when `--order sift` is given;
+//!   passing the flag arms reordering even without `--order sift`).
 //!
 //! The per-instance *timing columns* still measure the paper's one-shot
 //! algorithms on fresh managers (that is the published methodology); the
@@ -59,7 +68,7 @@ use adt_analysis::{
 };
 use adt_bench::{
     bucket_of, default_jobs, median, naive_work, run_engine_jobs, secs, secs_opt, time_avg,
-    time_once, Csv, EngineWorker, JobOutput, SuiteEngine, WorkerPool,
+    time_once, Csv, EngineWorker, JobOutput, SuiteEngine, WorkerPool, DEFAULT_REORDER_THRESHOLD,
 };
 use adt_core::semiring::{
     AttributeDomain, Ext, MinCost, MinSkill, MinTimePar, MinTimeSeq, Prob, Probability,
@@ -119,6 +128,7 @@ fn main() {
 struct Exec {
     jobs: usize,
     gc_threshold: usize,
+    reorder_threshold: usize,
     warm: bool,
     pool: OnceCell<WorkerPool>,
     sequential: RefCell<Option<EngineWorker>>,
@@ -129,6 +139,7 @@ impl Exec {
         Exec {
             jobs: flags.jobs(),
             gc_threshold: flags.gc_threshold(),
+            reorder_threshold: flags.reorder_threshold(),
             warm: flags.flag("warm"),
             pool: OnceCell::new(),
             sequential: RefCell::new(None),
@@ -156,18 +167,23 @@ impl Exec {
                      timings themselves are the result"
                 );
             });
-            let pool = self
-                .pool
-                .get_or_init(|| WorkerPool::new(self.jobs, self.gc_threshold));
+            let pool = self.pool.get_or_init(|| {
+                let pool = WorkerPool::new(self.jobs, self.gc_threshold);
+                if self.reorder_threshold != usize::MAX {
+                    pool.set_reorder_threshold(self.reorder_threshold);
+                }
+                pool
+            });
             if !self.warm {
                 pool.reset_engines();
             }
             pool.submit(Arc::clone(jobs), f)
         } else {
             let mut slot = self.sequential.borrow_mut();
-            let worker = slot.get_or_insert_with(|| EngineWorker {
-                worker: 0,
-                engine: SuiteEngine::with_gc_threshold(self.gc_threshold),
+            let worker = slot.get_or_insert_with(|| {
+                let mut engine = SuiteEngine::with_gc_threshold(self.gc_threshold);
+                engine.set_reorder_threshold(self.reorder_threshold);
+                EngineWorker { worker: 0, engine }
             });
             if !self.warm {
                 worker.engine.reset();
@@ -202,6 +218,36 @@ impl Flags {
     /// The `--gc-threshold` arena bound for worker engines (nodes).
     fn gc_threshold(&self) -> usize {
         self.num("gc-threshold", DEFAULT_GC_THRESHOLD as u64) as usize
+    }
+
+    /// The engine-front variable-ordering mode chosen by `--order`:
+    /// `declaration` (default, static) or `sift` (dynamic reordering on
+    /// every worker engine).
+    fn order(&self) -> &str {
+        let order = self
+            .0
+            .get("order")
+            .map(String::as_str)
+            .unwrap_or("declaration");
+        assert!(
+            matches!(order, "declaration" | "sift"),
+            "--order expects `declaration` or `sift`, got `{order}`"
+        );
+        order
+    }
+
+    /// The reorder threshold worker engines are armed with: the explicit
+    /// `--reorder-threshold` value when given, the
+    /// [`DEFAULT_REORDER_THRESHOLD`] under `--order sift`, and disarmed
+    /// (`usize::MAX`) otherwise.
+    fn reorder_threshold(&self) -> usize {
+        if self.flag("reorder-threshold") {
+            self.num("reorder-threshold", DEFAULT_REORDER_THRESHOLD as u64) as usize
+        } else if self.order() == "sift" {
+            DEFAULT_REORDER_THRESHOLD
+        } else {
+            usize::MAX
+        }
     }
 
     /// The `--jobs` worker count; defaults to the host's available
@@ -644,11 +690,13 @@ fn ablation_ordering(flags: &Flags, exec: &Exec) {
         "bdd_declaration",
         "bdd_dfs",
         "bdd_force",
+        "bdd_sift",
         "t_decl_s",
         "t_dfs_s",
         "t_force_s",
+        "t_sift_s",
     ]);
-    let mut totals = [0usize; 3];
+    let mut totals = [0usize; 4];
     let measured = exec.run(&instances, |ctx, _, instance| {
         let t = &instance.adt;
         let orders = [
@@ -658,15 +706,24 @@ fn ablation_ordering(flags: &Flags, exec: &Exec) {
         ];
         // Size/front columns through the worker's engine (cached when the
         // instance recurs under --warm); timings below stay one-shot.
-        let reports: Vec<_> = orders
+        let mut reports: Vec<_> = orders
             .iter()
             .map(|o| ctx.engine.bdd_bu_report(t, o))
             .collect();
+        // The sifted column: a job-local engine (deterministic at any
+        // --jobs value) armed to always reorder, so the column reports
+        // what dynamic reordering achieves on this instance rather than
+        // whether a production threshold would have fired.
+        let sift = |engine: &mut SuiteEngine| {
+            engine.set_reorder_threshold(1);
+            engine.bdd_bu_report(t, &orders[0])
+        };
+        reports.push(sift(&mut SuiteEngine::new()));
         assert!(
             reports.windows(2).all(|w| w[0].front == w[1].front),
             "orders must agree on the front"
         );
-        let times: Vec<Duration> = orders
+        let mut times: Vec<Duration> = orders
             .iter()
             .map(|o| {
                 time_avg(Duration::from_millis(2), || {
@@ -674,6 +731,9 @@ fn ablation_ordering(flags: &Flags, exec: &Exec) {
                 })
             })
             .collect();
+        times.push(time_avg(Duration::from_millis(2), || {
+            sift(&mut SuiteEngine::new())
+        }));
         let sizes: Vec<usize> = reports.iter().map(|r| r.bdd_nodes).collect();
         (sizes, times)
     });
@@ -688,15 +748,17 @@ fn ablation_ordering(flags: &Flags, exec: &Exec) {
             sizes[0].to_string(),
             sizes[1].to_string(),
             sizes[2].to_string(),
+            sizes[3].to_string(),
             secs(times[0]),
             secs(times[1]),
             secs(times[2]),
+            secs(times[3]),
         ]);
     }
     emit(&csv, flags.path("csv"));
     println!(
-        "total BDD nodes — declaration: {}, dfs: {}, force: {}",
-        totals[0], totals[1], totals[2]
+        "total BDD nodes — declaration: {}, dfs: {}, force: {}, sift: {}",
+        totals[0], totals[1], totals[2], totals[3]
     );
 }
 

@@ -5,6 +5,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod pool;
 
 use std::time::{Duration, Instant};
@@ -16,7 +17,7 @@ use adt_core::{Adt, AttributeDomain, AugmentedAdt, Gate};
 pub use pool::{
     build_order, clamp_jobs, default_jobs, engine_suite_report, evaluate_suite,
     evaluate_suite_warm, run_engine_jobs, run_jobs, EngineWorker, JobOutput, SuiteEngine,
-    SuiteReport, WorkerPool,
+    SuiteReport, WorkerPool, DEFAULT_REORDER_THRESHOLD,
 };
 
 /// Compiles an ADT's structure function on the frozen tag-free control

@@ -167,12 +167,22 @@ where
         .collect()
 }
 
+/// The reorder threshold suite evaluators arm when a job asks for
+/// [`OrderingKind::Sift`] and the engine has none configured: diagrams
+/// below this many live nodes keep their static order (a sift pass there
+/// costs more than it can save), bigger ones trigger a sifting pass.
+pub const DEFAULT_REORDER_THRESHOLD: usize = 256;
+
 /// Materializes a job's [`OrderingKind`] into an actual
 /// [`DefenseFirstOrder`] over the job's tree.
+///
+/// [`OrderingKind::Sift`] starts from the declaration order — the dynamic
+/// part happens inside the evaluating engine (see
+/// [`engine_suite_report`]), not in the order itself.
 pub fn build_order(job: &SuiteJob) -> DefenseFirstOrder {
     let adt = job.instance.adt.adt();
     match job.ordering {
-        OrderingKind::Declaration => DefenseFirstOrder::declaration(adt),
+        OrderingKind::Declaration | OrderingKind::Sift => DefenseFirstOrder::declaration(adt),
         OrderingKind::Dfs => DefenseFirstOrder::dfs(adt),
         OrderingKind::Force { rounds } => DefenseFirstOrder::force(adt, rounds),
     }
@@ -187,8 +197,12 @@ pub type SuiteReport =
 /// compiled under its configured defense-first order and pushed through
 /// `BDDBU` on a worker-private BDD manager. Outputs are in suite order.
 pub fn evaluate_suite(jobs: &[SuiteJob], workers: usize) -> Vec<JobOutput<SuiteReport>> {
-    run_jobs(jobs, workers, |_, job| {
-        bdd_bu_report(&job.instance.adt, &build_order(job))
+    run_jobs(jobs, workers, |_, job| match job.ordering {
+        // Sifting needs an engine lifecycle (protect → reorder →
+        // propagate); a fresh job-private engine keeps the same isolation
+        // as the plain manager path.
+        OrderingKind::Sift => engine_suite_report(&mut SuiteEngine::new(), job),
+        _ => bdd_bu_report(&job.instance.adt, &build_order(job)),
     })
 }
 
@@ -384,14 +398,30 @@ impl WorkerPool {
     /// Resets every worker's engine to the cold state (see
     /// [`AnalysisEngine::reset`]) without restarting threads — the
     /// per-suite baseline of the non-`--warm` experiment paths.
+    /// Configuration (GC threshold, cache capacity, reorder threshold)
+    /// survives the reset.
+    pub fn reset_engines(&self) {
+        self.for_each_engine(|engine| engine.reset());
+    }
+
+    /// Arms (or, with `usize::MAX`, disarms) dynamic variable reordering
+    /// on every worker's engine (see
+    /// [`AnalysisEngine::set_reorder_threshold`]) — the `--reorder-threshold`
+    /// path of the `experiments` binary. The setting survives
+    /// [`WorkerPool::reset_engines`].
+    pub fn set_reorder_threshold(&self, nodes: usize) {
+        self.for_each_engine(move |engine| engine.set_reorder_threshold(nodes));
+    }
+
+    /// Runs `f` exactly once on every worker's engine.
     ///
     /// Implemented as a barrier batch: one task per worker, each blocking
     /// until all of them have started, which forces the queue to hand
-    /// every worker exactly one reset. Must not overlap concurrent
+    /// every worker exactly one task. Must not overlap concurrent
     /// [`WorkerPool::submit`] calls from other threads (a worker stuck on
     /// a foreign batch would starve the barrier); the experiment drivers
     /// submit from a single thread, where this cannot arise.
-    pub fn reset_engines(&self) {
+    fn for_each_engine(&self, f: impl Fn(&mut SuiteEngine) + Send + Sync + 'static) {
         let workers = self.workers();
         let barrier = Arc::new((Mutex::new(0usize), Condvar::new()));
         let indices: Vec<usize> = (0..workers).collect();
@@ -406,7 +436,7 @@ impl WorkerPool {
                 started = all_started.wait(started).expect("barrier poisoned");
             }
             drop(started);
-            ctx.engine.reset();
+            f(&mut ctx.engine);
         });
     }
 }
@@ -481,8 +511,23 @@ where
 /// The per-job body both warm suite paths share: evaluate one [`SuiteJob`]
 /// on a persistent engine (order materialized per job, report served from
 /// the engine's cross-query cache when the instance recurs).
+///
+/// A [`OrderingKind::Sift`] job arms the engine's reorder threshold
+/// ([`DEFAULT_REORDER_THRESHOLD`]) for the duration of the job when the
+/// caller left it unconfigured, so sift jobs are self-contained on any
+/// engine; an explicitly configured threshold (e.g. `--reorder-threshold`)
+/// is respected as-is.
 pub fn engine_suite_report(engine: &mut SuiteEngine, job: &SuiteJob) -> SuiteReport {
-    engine.bdd_bu_report(&job.instance.adt, &build_order(job))
+    let arm =
+        matches!(job.ordering, OrderingKind::Sift) && engine.reorder_threshold() == usize::MAX;
+    if arm {
+        engine.set_reorder_threshold(DEFAULT_REORDER_THRESHOLD);
+    }
+    let report = engine.bdd_bu_report(&job.instance.adt, &build_order(job));
+    if arm {
+        engine.set_reorder_threshold(usize::MAX);
+    }
+    report
 }
 
 /// Evaluates a suite on a long-lived pool (cf. [`evaluate_suite`], the
@@ -647,6 +692,50 @@ mod tests {
                 assert_eq!(b.result.bdd_nodes, w.result.bdd_nodes);
             }
         }
+    }
+
+    #[test]
+    fn pool_reorder_threshold_reaches_every_worker_and_survives_reset() {
+        let pool = WorkerPool::new(3, adt_analysis::DEFAULT_GC_THRESHOLD);
+        pool.set_reorder_threshold(99);
+        pool.reset_engines();
+        let probes = pool.submit(vec![(), (), ()], |ctx, _, ()| {
+            ctx.engine.reorder_threshold()
+        });
+        for p in probes {
+            assert_eq!(p.result, 99, "reset must not disarm reordering");
+        }
+    }
+
+    #[test]
+    fn sift_jobs_agree_with_declaration_fronts_cold_and_warm() {
+        let instances = bucket_suite(2, 60, Shape::Dag, 31);
+        let declaration: Vec<SuiteJob> =
+            suite_jobs(instances.clone(), OrderingKind::Declaration).collect();
+        let sift: Vec<SuiteJob> = suite_jobs(instances, OrderingKind::Sift).collect();
+        let baseline = evaluate_suite(&declaration, 1);
+        let cold = evaluate_suite(&sift, 2);
+        let pool = WorkerPool::new(2, 1 << 12);
+        let warm = evaluate_suite_warm(&pool, sift);
+        assert_eq!(baseline.len(), cold.len());
+        for ((b, c), w) in baseline.iter().zip(&cold).zip(&warm) {
+            assert_eq!(b.result.front, c.result.front, "job {}", b.index);
+            assert_eq!(b.result.front, w.result.front, "job {}", b.index);
+        }
+    }
+
+    #[test]
+    fn sift_jobs_leave_an_unarmed_engine_unarmed() {
+        let job = suite_jobs(bucket_suite(1, 60, Shape::Dag, 32), OrderingKind::Sift)
+            .next()
+            .expect("one instance requested");
+        let mut engine = SuiteEngine::new();
+        engine_suite_report(&mut engine, &job);
+        assert_eq!(engine.reorder_threshold(), usize::MAX);
+        // An explicitly armed threshold is respected and kept.
+        engine.set_reorder_threshold(7);
+        engine_suite_report(&mut engine, &job);
+        assert_eq!(engine.reorder_threshold(), 7);
     }
 
     #[test]

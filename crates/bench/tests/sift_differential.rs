@@ -1,0 +1,139 @@
+//! Sifting differentials on every generated suite family — the acceptance
+//! shape of the PR-6 dynamic-reordering tentpole. The kernel-level half
+//! forces GC → sift → GC round-trips and pins the post-sift diagram to the
+//! frozen [`ControlBdd`] compiled under the learned order; the engine-level
+//! half arms the reorder trigger on every query (threshold 1, GC threshold
+//! 1 — every query collects, reorders, and collects again) and requires the
+//! fronts to stay identical to the static fresh-manager baseline.
+//!
+//! [`ControlBdd`]: adt_bdd::control::ControlBdd
+
+use adt_analysis::{compile, DefenseFirstOrder};
+use adt_bdd::Level;
+use adt_bench::{build_order, control_compile, evaluate_suite, sampled_assignments, SuiteEngine};
+use adt_gen::{bucket_suite, paper_suite, suite_jobs, Instance, OrderingKind, Shape, SuiteJob};
+
+/// Every generated suite family the experiment drivers evaluate, sized
+/// down for test time (the same five families as `engine_differential.rs`
+/// and `complement_differential.rs`).
+fn suite_families() -> Vec<(&'static str, Vec<SuiteJob>)> {
+    let jobs = |instances: Vec<Instance>| -> Vec<SuiteJob> {
+        suite_jobs(instances, OrderingKind::Declaration).collect()
+    };
+    vec![
+        ("paper_tree", jobs(paper_suite(10, 40, Shape::Tree, 42))),
+        ("paper_dag", jobs(paper_suite(10, 40, Shape::Dag, 43))),
+        ("bucket_tree", jobs(bucket_suite(2, 80, Shape::Tree, 44))),
+        ("bucket_dag", jobs(bucket_suite(2, 80, Shape::Dag, 45))),
+        (
+            "fig4_family",
+            jobs(
+                (1..=8)
+                    .map(|n| Instance {
+                        adt: adt_core::catalog::fig4(n),
+                        seed: u64::from(n),
+                        target_nodes: 0,
+                    })
+                    .collect(),
+            ),
+        ),
+    ]
+}
+
+/// Defense levels in group 0, attack levels in group 1 — the windows
+/// `AnalysisEngine` hands `maybe_reorder` (fresh managers here, so there
+/// are no parked levels beyond the order).
+fn defense_first_groups(order: &DefenseFirstOrder) -> Vec<u32> {
+    (0..order.var_count())
+        .map(|level| u32::from(!order.is_defense_level(level as Level)))
+        .collect()
+}
+
+/// Forced GC → sift → forced GC on every instance of every family: the
+/// collections must not disturb the reordering pass (or vice versa), the
+/// settled diagram can never be larger than the static one, the learned
+/// permutation must stay inside the defense-first windows, and the
+/// post-sift diagram must agree with the frozen control compiled under the
+/// *learned* order on every sampled assignment.
+#[test]
+fn gc_sift_gc_round_trips_on_every_family() {
+    for (family, jobs) in suite_families() {
+        for job in &jobs {
+            let t = &job.instance.adt;
+            let order = build_order(job);
+            let (mut bdd, root) = compile(t.adt(), &order);
+            let static_nodes = bdd.node_count(root);
+            let handle = bdd.protect(root);
+            bdd.gc();
+            let outcome = bdd.sift(&defense_first_groups(&order));
+            bdd.gc();
+            let root = bdd.resolve(handle);
+            bdd.check_invariants(root).unwrap();
+            assert!(
+                bdd.node_count(root) <= static_nodes,
+                "{family} seed {}: sifting grew the diagram",
+                job.instance.seed
+            );
+            // The learned order is still defense-first.
+            for (old, &new) in outcome.new_level.iter().enumerate() {
+                assert_eq!(
+                    order.is_defense_level(new),
+                    order.is_defense_level(old as Level),
+                    "{family} seed {}: sift crossed the defense/attack boundary",
+                    job.instance.seed
+                );
+            }
+            // Control oracle under the learned order: same levels mean the
+            // same events, so the very same assignments must agree.
+            let learned = order.permuted(&outcome.new_level);
+            let (control, croot) = control_compile(t.adt(), &learned);
+            for a in sampled_assignments(job.instance.seed, learned.var_count(), 128) {
+                assert_eq!(
+                    bdd.eval(root, &a),
+                    control.eval(croot, &a),
+                    "{family} seed {}: post-sift kernel diverged from the control oracle",
+                    job.instance.seed
+                );
+            }
+            // Drain: nothing but the terminal survives the last unprotect.
+            bdd.unprotect(handle);
+            bdd.gc();
+            assert_eq!(bdd.total_nodes(), 1, "{family}: rootless GC must sweep all");
+        }
+    }
+}
+
+/// The engine trigger under maximal pressure: reorder threshold 1 (every
+/// query sifts) *and* GC threshold 1 (every query collects afterwards), on
+/// one long-lived engine per family. Fronts must be identical to the
+/// static fresh-manager baseline on the first pass and on a repeat pass
+/// (which exercises the learned-order cache entries), and the engine must
+/// come out of each query with a bounded arena.
+#[test]
+fn armed_engine_fronts_survive_gc_and_sift_on_every_family() {
+    for (family, jobs) in suite_families() {
+        let baseline = evaluate_suite(&jobs, 1);
+        let mut engine = SuiteEngine::with_gc_threshold(1);
+        engine.set_reorder_threshold(1);
+        for round in 0..2 {
+            for (job, expected) in jobs.iter().zip(&baseline) {
+                let report = engine.bdd_bu_report(&job.instance.adt, &build_order(job));
+                assert_eq!(
+                    report.front, expected.result.front,
+                    "{family} seed {} round {round}: armed-engine front diverged",
+                    job.instance.seed
+                );
+                assert_eq!(
+                    engine.arena_nodes(),
+                    1,
+                    "{family} seed {} round {round}: GC left garbage behind",
+                    job.instance.seed
+                );
+            }
+        }
+        assert!(
+            engine.gc_stats().collections >= jobs.len(),
+            "{family}: threshold 1 must collect at least once per fresh query"
+        );
+    }
+}

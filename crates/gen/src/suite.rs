@@ -50,6 +50,12 @@ pub enum OrderingKind {
         /// Improvement rounds of the FORCE sweep.
         rounds: usize,
     },
+    /// Dynamic reordering: compile under the declaration order, then let
+    /// the engine's sifting pass (`Bdd::sift`, triggered by its
+    /// reorder threshold) learn a better order at run time. Consumers
+    /// materialize this as the declaration order plus an armed reorder
+    /// threshold on the evaluating engine.
+    Sift,
 }
 
 /// One self-contained unit of suite-evaluation work: a generated instance
