@@ -30,7 +30,7 @@
 //! | lines 11–14: defense-level nodes — `min_⊑(P₀ ∪ shift(P₁))` | the `is_defense_level` arm; `ParetoFront::merge_shifted` fuses the `β_D ⊗_D ·` shift, the union and the reduction into one linear sweep |
 //! | line 15: return the root's front | the final `match` of `Run::front` |
 
-use adt_bdd::{Bdd, NodeRef};
+use adt_bdd::{Bdd, BddRead, NodeRef};
 use adt_core::{Agent, AttributeDomain, AugmentedAdt, ParetoFront};
 
 use crate::bdd_compile::{compile, DefenseFirstOrder};
@@ -168,13 +168,19 @@ where
 /// Standalone so the [`AnalysisEngine`](crate::engine::AnalysisEngine) can
 /// compile into its long-lived, GC-managed manager and still share this
 /// exact propagation code with the one-shot [`bdd_bu_report`] path.
-pub(crate) fn propagate<DD, DA>(
+///
+/// Generic over [`BddRead`], so the identical (monomorphized) sweep runs
+/// against the sequential [`Bdd`] and the concurrent
+/// [`SharedBdd`](adt_bdd::SharedBdd) — the parallel path of
+/// [`crate::parallel`] reuses this function verbatim.
+pub(crate) fn propagate<B, DD, DA>(
     t: &AugmentedAdt<DD, DA>,
     order: &DefenseFirstOrder,
-    bdd: &Bdd,
+    bdd: &B,
     root: NodeRef,
 ) -> BddBuReport<DD::Value, DA::Value>
 where
+    B: BddRead + ?Sized,
     DD: AttributeDomain,
     DA: AttributeDomain,
 {
@@ -270,16 +276,16 @@ impl<VD, VA> Scratch<VD, VA> {
     }
 }
 
-struct Run<'a, DD: AttributeDomain, DA: AttributeDomain> {
+struct Run<'a, B: BddRead + ?Sized, DD: AttributeDomain, DA: AttributeDomain> {
     t: &'a AugmentedAdt<DD, DA>,
-    bdd: &'a Bdd,
+    bdd: &'a B,
     order: &'a DefenseFirstOrder,
     root_agent: Agent,
     memo: Scratch<DD::Value, DA::Value>,
     max_width: usize,
 }
 
-impl<DD: AttributeDomain, DA: AttributeDomain> Run<'_, DD, DA> {
+impl<B: BddRead + ?Sized, DD: AttributeDomain, DA: AttributeDomain> Run<'_, B, DD, DA> {
     /// Propagates fronts from the terminals to `root` in one ascending
     /// (= topological, children-first) sweep over the reachable arena
     /// indices — no recursion, so arbitrarily deep diagrams are fine, and

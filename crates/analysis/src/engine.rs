@@ -56,14 +56,15 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
-use adt_bdd::{Bdd, GcStats};
+use adt_bdd::{Bdd, GcStats, Team};
 use adt_core::{Agent, AttributeDomain, AugmentedAdt, Gate};
 
 use crate::bdd_bu::{propagate, BddBuReport};
 use crate::bdd_compile::{compile_into, DefenseFirstOrder};
-use crate::bottom_up::bottom_up;
+use crate::bottom_up::{bottom_up, bu_with_leaf_fronts};
 use crate::error::AnalysisError;
-use crate::modular::{modular_core, ModuleAnalyzer};
+use crate::modular::{decompose, modular_core, recombine, Decomposed, ModuleAnalyzer};
+use crate::parallel::{par_bdd_bu_report, par_module_reports};
 use crate::Front;
 
 /// Default automatic-GC threshold of a fresh engine, in arena nodes.
@@ -102,6 +103,12 @@ pub struct EngineStats {
     pub cache_hits: usize,
     /// Front requests that had to compile and propagate.
     pub cache_misses: usize,
+    /// The subset of `cache_hits` that only hit because module keys are
+    /// *permutation-canonical*: the probe and the resident entry describe
+    /// order-isomorphic modules (children of `AND`/`OR` gates permuted,
+    /// same multiset of subtrees and values), which the pre-canonical key
+    /// scheme would have missed. Always `≤ cache_hits`.
+    pub perm_module_hits: usize,
 }
 
 impl EngineStats {
@@ -126,12 +133,21 @@ struct QueryKey<VD, VA> {
     /// Canonical encoding of the ADT shape: tag, then per topological node
     /// `[agent/gate head, child count, child local indices…]` (levels of
     /// the variable order appended for BDD-path keys), then the root's
-    /// local index.
+    /// local index. Module keys ([`TAG_MODULAR`], tree-shaped) list
+    /// `AND`/`OR` children in a *sorted canonical order* instead of
+    /// declaration order, so order-isomorphic modules share one entry.
     structure: Vec<u32>,
     /// Defense-leaf values in topological encounter order.
     defense_values: Vec<VD>,
     /// Attack-leaf values in topological encounter order.
     attack_values: Vec<VA>,
+    /// Hash of the *pre-canonicalization* (declaration-order) key.
+    /// Deliberately excluded from [`QueryKey::matches`]: it only exists so
+    /// a hit whose probe and resident fingerprints differ can be counted
+    /// as a permutation-canonical hit ([`EngineStats::perm_module_hits`])
+    /// — the hit the old key scheme would have missed. For non-canonical
+    /// keys it equals the key's own hash.
+    raw_fingerprint: u64,
 }
 
 impl<VD: PartialEq, VA: PartialEq> QueryKey<VD, VA> {
@@ -223,7 +239,19 @@ where
         }
     }
     structure.push(local[adt.root().index()]);
+    finish_key(structure, defense_values, attack_values, None)
+}
 
+/// Hashes the assembled key parts and packs the [`QueryKey`]. The hash is
+/// what buckets the memo; `raw_fingerprint` (if `None`, the hash itself)
+/// tags where the key came from before canonicalization — see
+/// [`QueryKey::raw_fingerprint`].
+fn finish_key<VD: std::fmt::Debug, VA: std::fmt::Debug>(
+    structure: Vec<u32>,
+    defense_values: Vec<VD>,
+    attack_values: Vec<VA>,
+    raw_fingerprint: Option<u64>,
+) -> (u64, QueryKey<VD, VA>) {
     let mut hasher = DefaultHasher::new();
     structure.hash(&mut hasher);
     for value in &defense_values {
@@ -232,14 +260,181 @@ where
     for value in &attack_values {
         hash_debug(&mut hasher, value);
     }
+    let hash = hasher.finish();
     (
-        hasher.finish(),
+        hash,
         QueryKey {
             structure,
             defense_values,
             attack_values,
+            raw_fingerprint: raw_fingerprint.unwrap_or(hash),
         },
     )
+}
+
+/// The [`TAG_MODULAR`] key of one module, *permutation-canonical* on trees:
+/// `AND`/`OR` children are listed in a canonical sorted order, so two
+/// modules that differ only by the declaration order of commutative
+/// children — order-isomorphic modules, whose structure functions and
+/// hence fronts are identical (Theorem 2) — produce bit-identical keys and
+/// share one cache entry. `INH` children are order-*significant*
+/// (`INH(a, d) ≠ INH(d, a)`) and keep their positions.
+///
+/// DAG-shaped modules keep the declaration-order key: under sharing, child
+/// lists hold *references*, and sorting them by subtree encoding would
+/// conflate a DAG with the tree that unfolds it — which has a different
+/// front in general. Trees are the overwhelmingly common module shape
+/// (every maximal module of the paper's suites is one), so that is where
+/// the canonicalization pays.
+fn module_query_key<DD, DA>(t: &AugmentedAdt<DD, DA>) -> (u64, QueryKey<DD::Value, DA::Value>)
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    let (raw_hash, raw_key) = query_key(t, TAG_MODULAR, None);
+    if !t.adt().is_tree() {
+        return (raw_hash, raw_key);
+    }
+    let adt = t.adt();
+    // Bottom-up canonical encoding of every subtree: gate/agent head, then
+    // the children's encodings (sorted for AND/OR, positional for INH),
+    // each length-prefixed, and leaf values through their `Debug`
+    // rendering. Equal encodings ⇒ order-isomorphic subtrees (up to
+    // `Debug` ambiguity, which the `PartialEq` check in `matches` turns
+    // into a miss, never a wrong hit).
+    let mut enc: Vec<Vec<u8>> = vec![Vec::new(); adt.node_count()];
+    for &v in adt.topological_order() {
+        let node = &adt[v];
+        let mut e = Vec::new();
+        let agent_bit = match node.agent() {
+            Agent::Defender => 0u8,
+            Agent::Attacker => 1,
+        };
+        let gate_tag = match node.gate() {
+            Gate::Basic => 0u8,
+            Gate::And => 1,
+            Gate::Or => 2,
+            Gate::Inh => 3,
+        };
+        e.push(agent_bit << 2 | gate_tag);
+        match node.gate() {
+            Gate::Basic => {
+                use std::fmt::Write as _;
+                struct ByteWriter<'a>(&'a mut Vec<u8>);
+                impl std::fmt::Write for ByteWriter<'_> {
+                    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                        self.0.extend_from_slice(s.as_bytes());
+                        Ok(())
+                    }
+                }
+                match node.agent() {
+                    Agent::Defender => {
+                        let value = t.defense_value_of(v).expect("defense leaf value");
+                        write!(ByteWriter(&mut e), "{value:?}").expect("Debug never fails");
+                    }
+                    Agent::Attacker => {
+                        let value = t.attack_value_of(v).expect("attack leaf value");
+                        write!(ByteWriter(&mut e), "{value:?}").expect("Debug never fails");
+                    }
+                }
+                e.push(0xFF);
+            }
+            Gate::Inh => {
+                for &c in node.children() {
+                    let child = &enc[c.index()];
+                    e.extend_from_slice(&(child.len() as u32).to_le_bytes());
+                    e.extend_from_slice(child);
+                }
+            }
+            Gate::And | Gate::Or => {
+                let mut kids: Vec<&[u8]> = node
+                    .children()
+                    .iter()
+                    .map(|c| &enc[c.index()][..])
+                    .collect();
+                kids.sort_unstable();
+                for child in kids {
+                    e.extend_from_slice(&(child.len() as u32).to_le_bytes());
+                    e.extend_from_slice(child);
+                }
+            }
+        }
+        enc[v.index()] = e;
+    }
+
+    // Re-emit the key in the canonical order: an iterative postorder DFS
+    // from the root, descending into AND/OR children sorted by encoding,
+    // assigning local indices on completion (children before parents) —
+    // the same `[head, child count, child locals…]` record format as
+    // `query_key`, just in a declaration-order-independent sequence.
+    let mut local = vec![u32::MAX; adt.node_count()];
+    let mut structure = Vec::with_capacity(3 * adt.node_count() + 2);
+    let mut defense_values = Vec::with_capacity(adt.defense_count());
+    let mut attack_values = Vec::with_capacity(adt.attack_count());
+    structure.push(TAG_MODULAR);
+    let mut emitted = 0u32;
+    // Stack frames: (node, children in canonical order, next child slot).
+    let mut stack = vec![(
+        adt.root(),
+        canonical_children(adt, adt.root(), &enc),
+        0usize,
+    )];
+    while let Some((v, children, cursor)) = stack.last_mut() {
+        if let Some(&c) = children.get(*cursor) {
+            *cursor += 1;
+            let frame = (c, canonical_children(adt, c, &enc), 0usize);
+            stack.push(frame);
+            continue;
+        }
+        let (v, children) = (*v, std::mem::take(children));
+        stack.pop();
+        let node = &adt[v];
+        let agent_bit = match node.agent() {
+            Agent::Defender => 0u32,
+            Agent::Attacker => 1,
+        };
+        let gate_tag = match node.gate() {
+            Gate::Basic => 0u32,
+            Gate::And => 1,
+            Gate::Or => 2,
+            Gate::Inh => 3,
+        };
+        structure.push(agent_bit << 2 | gate_tag);
+        structure.push(children.len() as u32);
+        for c in children {
+            debug_assert_ne!(local[c.index()], u32::MAX, "child after parent");
+            structure.push(local[c.index()]);
+        }
+        if node.is_leaf() {
+            match node.agent() {
+                Agent::Defender => {
+                    defense_values.push(t.defense_value_of(v).expect("defense leaf value").clone())
+                }
+                Agent::Attacker => {
+                    attack_values.push(t.attack_value_of(v).expect("attack leaf value").clone())
+                }
+            }
+        }
+        local[v.index()] = emitted;
+        emitted += 1;
+    }
+    structure.push(local[adt.root().index()]);
+    finish_key(structure, defense_values, attack_values, Some(raw_hash))
+}
+
+/// The children of `v` in canonical-key order: sorted by subtree encoding
+/// for the commutative gates, positional otherwise.
+fn canonical_children(
+    adt: &adt_core::Adt,
+    v: adt_core::NodeId,
+    enc: &[Vec<u8>],
+) -> Vec<adt_core::NodeId> {
+    let node = &adt[v];
+    let mut children: Vec<adt_core::NodeId> = node.children().to_vec();
+    if matches!(node.gate(), Gate::And | Gate::Or) {
+        children.sort_by(|a, b| enc[a.index()].cmp(&enc[b.index()]));
+    }
+    children
 }
 
 /// Sifting groups for the manager's levels under a defense-first order:
@@ -315,6 +510,12 @@ pub struct AnalysisEngine<DD: AttributeDomain, DA: AttributeDomain> {
     cache_capacity: usize,
     /// Monotone logical clock stamping cache touches for LRU.
     tick: u64,
+    /// Intra-query kernel threads (1 = the sequential fast path; see
+    /// [`AnalysisEngine::set_kernel_threads`]).
+    kernel_threads: usize,
+    /// The work-stealing thread team, spawned once and reused across
+    /// queries. `None` exactly when `kernel_threads == 1`.
+    team: Option<Team>,
 }
 
 impl<DD: AttributeDomain, DA: AttributeDomain> Default for AnalysisEngine<DD, DA> {
@@ -344,7 +545,38 @@ where
             stats: EngineStats::default(),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             tick: 0,
+            kernel_threads: 1,
+            team: None,
         }
+    }
+
+    /// Switches the engine's *intra-query* parallelism: cache misses of
+    /// [`bdd_bu_report`](AnalysisEngine::bdd_bu_report) compile with the
+    /// work-stealing apply on a team of `threads` workers, and
+    /// [`modular`](AnalysisEngine::modular) dispatches independent module
+    /// misses to the same team. `threads ≤ 1` (the default) restores the
+    /// sequential path — byte-identical behavior, zero thread overhead.
+    ///
+    /// Fronts are identical at every thread count (the kernel is
+    /// canonical and propagation is value-space; the workspace pins this
+    /// differentially). Two sequential-mode features are bypassed in
+    /// parallel mode, where each miss compiles into a fresh shared
+    /// manager: dynamic reordering and cross-query node sharing — the
+    /// cross-query *front* cache works identically in both modes.
+    pub fn set_kernel_threads(&mut self, threads: usize) {
+        let threads = threads.max(1);
+        self.kernel_threads = threads;
+        if threads == 1 {
+            self.team = None;
+        } else if self.team.as_ref().map(Team::threads) != Some(threads) {
+            self.team = Some(Team::new(threads));
+        }
+    }
+
+    /// The configured intra-query thread count (see
+    /// [`AnalysisEngine::set_kernel_threads`]).
+    pub fn kernel_threads(&self) -> usize {
+        self.kernel_threads
     }
 
     /// Changes the automatic-GC threshold of the underlying manager.
@@ -401,9 +633,17 @@ where
     pub fn reset(&mut self) {
         let capacity = self.cache_capacity;
         let reorder = self.reorder_threshold();
+        let threads = self.kernel_threads;
+        // Keep the already-spawned team alive across the reset — it holds
+        // no query state, and respawning OS threads per reset would make
+        // the pool's non-warm mode pay a spawn cost the sequential mode
+        // doesn't.
+        let team = self.team.take();
         *self = Self::with_gc_threshold(self.gc_threshold());
         self.cache_capacity = capacity;
         self.bdd.set_reorder_threshold(reorder);
+        self.kernel_threads = threads;
+        self.team = team;
     }
 
     /// Drops every cached front, keeping the manager. Bounds the memory of
@@ -474,6 +714,12 @@ where
             if let Some(entry) = bucket.iter_mut().find(|e| e.key.matches(key)) {
                 entry.last_used = tick;
                 self.stats.cache_hits += 1;
+                if entry.key.raw_fingerprint != key.raw_fingerprint {
+                    // The canonical keys match but the declaration-order
+                    // fingerprints differ: this hit exists only because
+                    // module keys canonicalize commutative child order.
+                    self.stats.perm_module_hits += 1;
+                }
                 return Some(entry.report.clone());
             }
         }
@@ -561,6 +807,24 @@ where
                 max_front_width: hit.max_front_width,
             };
         }
+        // Parallel mode: the miss compiles into a fresh shared manager
+        // with the work-stealing apply and propagates over it — the report
+        // is byte-identical to the sequential lifecycle below (canonical
+        // kernel, same reachable sweep), but the long-lived sequential
+        // manager, its GC and its reordering hook are not involved.
+        if let Some(team) = &self.team {
+            let report = par_bdd_bu_report(t, order, team);
+            self.insert(
+                hash,
+                key,
+                CachedReport {
+                    front: report.front.clone(),
+                    bdd_nodes: report.bdd_nodes,
+                    max_front_width: report.max_front_width,
+                },
+            );
+            return report;
+        }
         // The query lifecycle. The protect/unprotect pair brackets every
         // use of `root`: the reordering hook below *does* restructure the
         // arena mid-query (compaction renumbers, sifting relevels), and the
@@ -625,8 +889,10 @@ where
 
 impl<DD, DA> AnalysisEngine<DD, DA>
 where
-    DD: AttributeDomain + Clone,
-    DA: AttributeDomain + Clone,
+    DD: AttributeDomain + Clone + Send + 'static,
+    DA: AttributeDomain + Clone + Send + 'static,
+    DD::Value: Send,
+    DA::Value: Send,
 {
     /// The engine counterpart of [`crate::modular::modular_bdd_bu`], with
     /// every module front routed through the cross-query cache: a module
@@ -634,19 +900,88 @@ where
     /// analyzed once, then served by structural lookup — this is the
     /// paper's §VII modular future-work direction made incremental.
     ///
+    /// Module keys are *permutation-canonical* (see `module_query_key`):
+    /// two modules differing only in the order of commutative children hit
+    /// one entry, and [`EngineStats::perm_module_hits`] counts how often
+    /// that canonicalization is what produced the hit.
+    ///
+    /// With [`set_kernel_threads`](AnalysisEngine::set_kernel_threads)
+    /// `> 1`, module fronts missing from the cache are analyzed *in
+    /// parallel* on the kernel team — every job compiling into one shared
+    /// concurrent manager — before the sequential bottom-up join over the
+    /// quotient. Fronts (and cache contents) are identical to the
+    /// sequential mode; only the sub-module recursion differs (parallel
+    /// jobs analyze their module directly, so nested sub-modules get no
+    /// cache entries of their own).
+    ///
     /// # Errors
     ///
     /// Currently infallible, like [`crate::modular::modular_bdd_bu`].
     pub fn modular(&mut self, t: &AugmentedAdt<DD, DA>) -> Result<Front<DD, DA>, AnalysisError> {
-        let (hash, key) = query_key(t, TAG_MODULAR, None);
-        self.cached_front(hash, key, |engine| modular_core(t, engine))
+        let (hash, key) = module_query_key(t);
+        self.cached_front(hash, key, |engine| engine.modular_uncached(t))
+    }
+
+    /// The cache-miss body of [`AnalysisEngine::modular`]: the sequential
+    /// mode delegates to the shared [`modular_core`] skeleton (recursive,
+    /// cache-aware via the [`ModuleAnalyzer`] impl below); the parallel
+    /// mode batches the module misses onto the kernel team.
+    fn modular_uncached(
+        &mut self,
+        t: &AugmentedAdt<DD, DA>,
+    ) -> Result<Front<DD, DA>, AnalysisError> {
+        if self.team.is_none() {
+            return modular_core(t, self);
+        }
+        match decompose(t)? {
+            Decomposed::Tree => Ok(bu_with_leaf_fronts(t, |_, front| front)),
+            Decomposed::Direct => self.direct_front(t),
+            Decomposed::Modular { modules, quotient } => {
+                // Cache lookups stay sequential (the memo is engine
+                // state); only the misses fan out to the team.
+                let mut fronts: HashMap<String, Front<DD, DA>> = HashMap::new();
+                let mut miss_meta = Vec::new();
+                let mut miss_jobs = Vec::new();
+                for (name, sub) in modules {
+                    let (hash, key) = module_query_key(&sub);
+                    match self.lookup(hash, &key) {
+                        Some(hit) => {
+                            fronts.insert(name, hit.front);
+                        }
+                        None => {
+                            miss_meta.push((name, hash, key));
+                            miss_jobs.push(sub);
+                        }
+                    }
+                }
+                if !miss_jobs.is_empty() {
+                    let team = self.team.as_ref().expect("parallel branch");
+                    let reports = par_module_reports(team, miss_jobs);
+                    for ((name, hash, key), report) in miss_meta.into_iter().zip(reports) {
+                        self.insert(
+                            hash,
+                            key,
+                            CachedReport {
+                                front: report.front.clone(),
+                                bdd_nodes: 0,
+                                max_front_width: 0,
+                            },
+                        );
+                        fronts.insert(name, report.front);
+                    }
+                }
+                Ok(recombine(&quotient, &fronts))
+            }
+        }
     }
 }
 
 impl<DD, DA> ModuleAnalyzer<DD, DA> for AnalysisEngine<DD, DA>
 where
-    DD: AttributeDomain + Clone,
-    DA: AttributeDomain + Clone,
+    DD: AttributeDomain + Clone + Send + 'static,
+    DA: AttributeDomain + Clone + Send + 'static,
+    DD::Value: Send,
+    DA::Value: Send,
 {
     fn module_front(&mut self, t: &AugmentedAdt<DD, DA>) -> Result<Front<DD, DA>, AnalysisError> {
         self.modular(t)
@@ -957,6 +1292,150 @@ mod tests {
         assert_eq!(engine.cached_fronts(), 0);
         assert_eq!(engine.stats().cache_hits, 0);
         assert_eq!(first, crate::analyze(&catalog::money_theft()).unwrap());
+    }
+
+    #[test]
+    fn kernel_threads_produce_identical_results() {
+        // The acceptance gate in miniature: every analysis surface of the
+        // engine must be front-identical across kernel thread counts.
+        let inputs = [
+            catalog::fig2(),
+            catalog::money_theft(),
+            catalog::fig4(6),
+            catalog::fig5(),
+        ];
+        let mut sequential = Engine::new();
+        for threads in [2usize, 4, 8] {
+            let mut parallel = Engine::new();
+            parallel.set_kernel_threads(threads);
+            assert_eq!(parallel.kernel_threads(), threads);
+            for t in &inputs {
+                let order = DefenseFirstOrder::declaration(t.adt());
+                let seq = sequential.bdd_bu_report(t, &order);
+                let par = parallel.bdd_bu_report(t, &order);
+                assert_eq!(par.front, seq.front, "{threads} threads");
+                assert_eq!(par.bdd_nodes, seq.bdd_nodes, "{threads} threads");
+                assert_eq!(par.max_front_width, seq.max_front_width);
+                assert_eq!(
+                    parallel.modular(t).unwrap(),
+                    sequential.modular(t).unwrap(),
+                    "{threads}-thread modular diverged"
+                );
+                assert_eq!(parallel.analyze(t).unwrap(), sequential.analyze(t).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_threads_survive_reset_and_downshift() {
+        let mut engine = Engine::new();
+        engine.set_kernel_threads(4);
+        engine.analyze(&catalog::money_theft()).unwrap();
+        engine.reset();
+        assert_eq!(engine.kernel_threads(), 4);
+        assert_eq!(
+            engine.analyze(&catalog::money_theft()).unwrap(),
+            crate::analyze(&catalog::money_theft()).unwrap()
+        );
+        engine.set_kernel_threads(1);
+        assert_eq!(engine.kernel_threads(), 1);
+        assert_eq!(
+            engine.analyze(&catalog::money_theft()).unwrap(),
+            crate::analyze(&catalog::money_theft()).unwrap()
+        );
+    }
+
+    /// Two order-isomorphic trees: the same OR of an INH branch and a
+    /// plain attack, with the OR children declared in opposite orders.
+    fn permuted_pair() -> [AugmentedAdt<MinCost, MinCost>; 2] {
+        let build = |flip: bool| {
+            let mut b = adt_core::AdtBuilder::new();
+            let a = b.attack("a").unwrap();
+            let d = b.defense("d").unwrap();
+            let g = b.inh("g", a, d).unwrap();
+            let e = b.attack("e").unwrap();
+            let children = if flip { [e, g] } else { [g, e] };
+            let root = b.or("root", children).unwrap();
+            let adt = b.build(root).unwrap();
+            AugmentedAdt::from_fns(
+                adt,
+                MinCost,
+                MinCost,
+                |_, _| adt_core::Ext::Fin(3),
+                |q, id| adt_core::Ext::Fin(if q[id].name() == "a" { 10 } else { 25 }),
+            )
+        };
+        [build(false), build(true)]
+    }
+
+    #[test]
+    fn permuted_commutative_children_hit_one_modular_entry() {
+        let [plain, flipped] = permuted_pair();
+        // Sanity: the two fronts agree (same structure function).
+        assert_eq!(
+            crate::analyze(&plain).unwrap(),
+            crate::analyze(&flipped).unwrap()
+        );
+        let mut engine = Engine::new();
+        let first = engine.modular(&plain).unwrap();
+        assert_eq!(engine.stats().cache_hits, 0);
+        assert_eq!(engine.stats().perm_module_hits, 0);
+        let second = engine.modular(&flipped).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(engine.stats().cache_hits, 1, "canonical keys must hit");
+        assert_eq!(
+            engine.stats().perm_module_hits,
+            1,
+            "the hit exists only thanks to canonicalization"
+        );
+        assert_eq!(engine.cached_fronts(), 1, "one entry serves both orders");
+        // A verbatim repeat is an ordinary hit, not a permutation hit.
+        engine.modular(&plain).unwrap();
+        assert_eq!(engine.stats().cache_hits, 2);
+        assert_eq!(engine.stats().perm_module_hits, 1);
+    }
+
+    #[test]
+    fn canonical_keys_carry_values_with_their_leaves() {
+        // AND children with *different values* declared in swapped order:
+        // the canonical key sorts children by subtree encoding (value
+        // included), so both declarations land on one entry — the values
+        // travel with their leaves, they are not positional.
+        let build = |swap: bool| {
+            let mut b = adt_core::AdtBuilder::new();
+            let x = b.attack("x").unwrap();
+            let y = b.attack("y").unwrap();
+            let children = if swap { [y, x] } else { [x, y] };
+            let root = b.and("root", children).unwrap();
+            let adt = b.build(root).unwrap();
+            AugmentedAdt::from_fns(
+                adt,
+                MinCost,
+                MinCost,
+                |_, _| adt_core::Ext::Fin(1),
+                |q, id| adt_core::Ext::Fin(if q[id].name() == "x" { 7 } else { 11 }),
+            )
+        };
+        let mut engine = Engine::new();
+        let f1 = engine.modular(&build(false)).unwrap();
+        let f2 = engine.modular(&build(true)).unwrap();
+        assert_eq!(f1, f2);
+        assert_eq!(engine.stats().cache_hits, 1);
+        assert_eq!(engine.stats().perm_module_hits, 1);
+    }
+
+    #[test]
+    fn parallel_modular_fills_the_same_cache() {
+        let mut engine = Engine::new();
+        engine.set_kernel_threads(4);
+        let t = catalog::money_theft();
+        assert_eq!(engine.modular(&t).unwrap(), modular_bdd_bu(&t).unwrap());
+        let misses = engine.stats().cache_misses;
+        assert!(misses >= 2, "modules are cached individually");
+        // The repeat — and each module individually — hits.
+        assert_eq!(engine.modular(&t).unwrap(), modular_bdd_bu(&t).unwrap());
+        assert_eq!(engine.stats().cache_misses, misses);
+        assert!(engine.stats().cache_hits >= 1);
     }
 
     #[test]

@@ -137,6 +137,33 @@ where
     modular_core(t, &mut PlainAnalyzer)
 }
 
+/// The outcome of splitting one query into modules — the structural half
+/// of [`modular_core`], decoupled from *computing* the module fronts so
+/// that the engine's parallel path ([`crate::parallel`]) can dispatch the
+/// extracted modules to a thread team instead of analyzing them inline.
+pub(crate) enum Decomposed<DD: AttributeDomain, DA: AttributeDomain> {
+    /// The input is already a tree: the generalized bottom-up pass applies
+    /// directly, no modules involved.
+    Tree,
+    /// No maximal proper module exists, or the quotient still shares
+    /// (sharing crosses every module boundary): analyze the whole tree
+    /// directly.
+    Direct,
+    /// A proper decomposition: each extracted module's front must be
+    /// substituted for its pseudo-leaf (by name) in the quotient.
+    Modular {
+        /// `(pseudo-leaf name, extracted module)` in topological order of
+        /// the module roots — the order the sequential path analyzes them
+        /// in, which keeps engine cache statistics deterministic.
+        modules: Vec<(String, AugmentedAdt<DD, DA>)>,
+        /// The host with every maximal module collapsed to a pseudo-leaf
+        /// (guaranteed tree-shaped; pseudo-leaves carry placeholder unit
+        /// values that [`recombine`] overrides with the module fronts).
+        /// Boxed to keep the enum small next to the unit variants.
+        quotient: Box<AugmentedAdt<DD, DA>>,
+    },
+}
+
 /// The decomposition skeleton shared by [`modular_bdd_bu`] and the engine:
 /// find maximal proper modules, collapse them to pseudo-leaves whose fronts
 /// come from `analyzer`, and run the generalized bottom-up pass over the
@@ -150,8 +177,31 @@ where
     DA: AttributeDomain + Clone,
     M: ModuleAnalyzer<DD, DA> + ?Sized,
 {
+    match decompose(t)? {
+        Decomposed::Tree => Ok(bu_with_leaf_fronts(t, |_, front| front)),
+        Decomposed::Direct => analyzer.direct_front(t),
+        Decomposed::Modular { modules, quotient } => {
+            let mut fronts: HashMap<String, Front<DD, DA>> = HashMap::new();
+            for (name, sub) in &modules {
+                fronts.insert(name.clone(), analyzer.module_front(sub)?);
+            }
+            Ok(recombine(&quotient, &fronts))
+        }
+    }
+}
+
+/// Splits `t` into maximal proper modules and the tree-shaped quotient
+/// that remains when each is collapsed to a pseudo-leaf. Pure structure:
+/// no fronts are computed here.
+pub(crate) fn decompose<DD, DA>(
+    t: &AugmentedAdt<DD, DA>,
+) -> Result<Decomposed<DD, DA>, AnalysisError>
+where
+    DD: AttributeDomain + Clone,
+    DA: AttributeDomain + Clone,
+{
     if t.adt().is_tree() {
-        return Ok(bu_with_leaf_fronts(t, |_, front| front));
+        return Ok(Decomposed::Tree);
     }
     let adt = t.adt();
     // Maximal proper modules: keep a module only if none of its ancestors is
@@ -169,11 +219,11 @@ where
         maximal.push(v);
     }
     if maximal.is_empty() {
-        return analyzer.direct_front(t);
+        return Ok(Decomposed::Direct);
     }
 
     // Build the quotient: walk from the root, stopping at module boundaries.
-    let mut module_fronts: HashMap<String, Front<DD, DA>> = HashMap::new();
+    let mut modules: Vec<(String, AugmentedAdt<DD, DA>)> = Vec::new();
     let mut builder = AdtBuilder::new();
     let mut new_ids: HashMap<NodeId, NodeId> = HashMap::new();
     // Instantiate in topological order, skipping module interiors.
@@ -208,8 +258,7 @@ where
                         .clone()
                 },
             );
-            let front = analyzer.module_front(&sub_aadt)?;
-            module_fronts.insert(node.name().to_owned(), front);
+            modules.push((node.name().to_owned(), sub_aadt));
             builder.leaf(node.agent(), node.name())?
         } else {
             match node.gate() {
@@ -237,11 +286,11 @@ where
     if !quotient.is_tree() {
         // Sharing crosses module boundaries: the decomposition does not
         // apply. Fall back to the direct BDD analysis.
-        return analyzer.direct_front(t);
+        return Ok(Decomposed::Direct);
     }
 
     // Attribute the quotient: real leaves keep their values; pseudo-leaves
-    // get placeholder units (their fronts are substituted below).
+    // get placeholder units (their fronts are substituted by `recombine`).
     let dd = t.defender_domain().clone();
     let da = t.attacker_domain().clone();
     let quotient_aadt = AugmentedAdt::from_fns(
@@ -265,13 +314,29 @@ where
             None => t.attacker_domain().one(),
         },
     );
-    Ok(bu_with_leaf_fronts(
-        &quotient_aadt,
-        |id, default| match module_fronts.get(quotient_aadt.adt()[id].name()) {
+    Ok(Decomposed::Modular {
+        modules,
+        quotient: Box::new(quotient_aadt),
+    })
+}
+
+/// The join at the module boundary: runs the generalized bottom-up pass
+/// over the quotient, substituting each pseudo-leaf's default front with
+/// its module's computed front (matched by name).
+pub(crate) fn recombine<DD, DA>(
+    quotient: &AugmentedAdt<DD, DA>,
+    module_fronts: &HashMap<String, Front<DD, DA>>,
+) -> Front<DD, DA>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    bu_with_leaf_fronts(quotient, |id, default| {
+        match module_fronts.get(quotient.adt()[id].name()) {
             Some(front) => front.clone(),
             None => default,
-        },
-    ))
+        }
+    })
 }
 
 #[cfg(test)]

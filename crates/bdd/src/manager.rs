@@ -90,19 +90,19 @@ use crate::Level;
 
 /// Level number used for the terminal node; compares greater than any real
 /// variable level so that `min` over levels finds the branching variable.
-const TERMINAL_LEVEL: Level = Level::MAX;
+pub(crate) const TERMINAL_LEVEL: Level = Level::MAX;
 
 /// The complement tag: bit 31 of a [`NodeRef`]. The arena index lives in
 /// the low 31 bits, so a manager holds at most 2³¹ − 1 nodes — half the
 /// untagged kernel's ceiling, but complement sharing means a diagram needs
 /// at most half the nodes, so the reachable function space is unchanged.
-const TAG: u32 = 1 << 31;
+pub(crate) const TAG: u32 = 1 << 31;
 
 /// Empty-slot sentinel of the unique table and the ITE cache. Bit pattern
 /// `TAG | 0x7FFF_FFFF`; `mk` asserts the arena stays below index
 /// `0x7FFF_FFFF`, and cache keys store `f` untagged, so no live key ever
 /// collides with the sentinel.
-const EMPTY: u32 = u32::MAX;
+pub(crate) const EMPTY: u32 = u32::MAX;
 
 /// Initial slot count of the unique table (power of two).
 const UNIQUE_INITIAL_SLOTS: usize = 64;
@@ -150,7 +150,7 @@ impl NodeRef {
     /// tag-propagation step of every cofactor walk (`¬f`'s cofactors are
     /// the complements of `f`'s).
     #[must_use]
-    fn complement_if(self, complemented: bool) -> NodeRef {
+    pub(crate) fn complement_if(self, complemented: bool) -> NodeRef {
         if complemented {
             self.complement()
         } else {
@@ -162,15 +162,26 @@ impl NodeRef {
     pub fn is_terminal(self) -> bool {
         self.0 & !TAG == 0
     }
+
+    /// The raw 32-bit encoding (index plus tag bit) — the currency of the
+    /// unique tables and operation caches, sequential and shared alike.
+    pub(crate) fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a ref from its raw encoding (inverse of [`NodeRef::raw`]).
+    pub(crate) fn from_raw(raw: u32) -> NodeRef {
+        NodeRef(raw)
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct BddNode {
-    level: Level,
+pub(crate) struct BddNode {
+    pub(crate) level: Level,
     /// May carry a complement tag.
-    low: NodeRef,
+    pub(crate) low: NodeRef,
     /// Never carries a complement tag (canonicity rule; `mk` enforces it).
-    high: NodeRef,
+    pub(crate) high: NodeRef,
 }
 
 /// Two rounds of golden-ratio multiplicative mixing over the node triple.
@@ -180,7 +191,7 @@ struct BddNode {
 /// position), and linear probing over a power-of-two table only needs the
 /// high bits to spread.
 #[inline]
-fn hash_triple(level: Level, low: u32, high: u32) -> u64 {
+pub(crate) fn hash_triple(level: Level, low: u32, high: u32) -> u64 {
     const K: u64 = 0x9E37_79B9_7F4A_7C15;
     let packed = (u64::from(low) << 32) | u64::from(high);
     let mut h = packed.wrapping_mul(K);
@@ -620,7 +631,7 @@ impl Bdd {
     /// that need no cache lookup. The last arm is new with complement
     /// edges: `ite(f, 0, 1) = ¬f` costs a bit flip.
     #[inline]
-    fn ite_shortcut(f: NodeRef, g: NodeRef, h: NodeRef) -> Option<NodeRef> {
+    pub(crate) fn ite_shortcut(f: NodeRef, g: NodeRef, h: NodeRef) -> Option<NodeRef> {
         if f == Self::TRUE {
             return Some(g);
         }
@@ -647,7 +658,7 @@ impl Bdd {
     /// `¬ite(f, ¬g, ¬h)` — all normalize to the same triple, so they share
     /// one cache entry and one expansion.
     #[inline]
-    fn ite_normalize(f: &mut NodeRef, g: &mut NodeRef, h: &mut NodeRef) -> bool {
+    pub(crate) fn ite_normalize(f: &mut NodeRef, g: &mut NodeRef, h: &mut NodeRef) -> bool {
         // Branches of the condition collapse to constants.
         if g.index() == f.index() {
             *g = if g == f { Self::TRUE } else { Self::FALSE };
@@ -1950,6 +1961,46 @@ impl Bdd {
             return None;
         }
         Some(self.sift(groups))
+    }
+}
+
+/// Read-only diagram access shared by the sequential [`Bdd`] and the
+/// concurrent [`crate::SharedBdd`] kernels.
+///
+/// Consumers that only *walk* a compiled diagram — the bottom-up Pareto
+/// propagation above all — are generic over this trait, so the same
+/// monomorphized sweep runs against either kernel. The contract mirrors
+/// the sequential accessors: `low`/`high` speak *functions* (complement
+/// tags propagate onto cofactors), and [`BddRead::reachable_topological`]
+/// lists every reachable `(index, polarity)` pair ascending by index, so
+/// children always precede parents.
+pub trait BddRead {
+    /// The branching level of a ref's node ([`Level::MAX`] for terminals).
+    fn level(&self, f: NodeRef) -> Level;
+    /// The low (`0`-labeled) cofactor of a nonterminal function.
+    fn low(&self, f: NodeRef) -> NodeRef;
+    /// The high (`1`-labeled) cofactor of a nonterminal function.
+    fn high(&self, f: NodeRef) -> NodeRef;
+    /// Every reachable tagged ref of `f`'s diagram in ascending index
+    /// order (children before parents), both polarities listed separately.
+    fn reachable_topological(&self, f: NodeRef) -> Vec<NodeRef>;
+}
+
+impl BddRead for Bdd {
+    fn level(&self, f: NodeRef) -> Level {
+        Bdd::level(self, f)
+    }
+
+    fn low(&self, f: NodeRef) -> NodeRef {
+        Bdd::low(self, f)
+    }
+
+    fn high(&self, f: NodeRef) -> NodeRef {
+        Bdd::high(self, f)
+    }
+
+    fn reachable_topological(&self, f: NodeRef) -> Vec<NodeRef> {
+        Bdd::reachable_topological(self, f)
     }
 }
 

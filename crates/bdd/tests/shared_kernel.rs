@@ -1,0 +1,278 @@
+//! Concurrency tests for the shared-manager kernel: seeded interleaving
+//! stress (N threads hammering `mk`/ITE on one [`SharedBdd`]), pinned
+//! byte-for-byte against the frozen single-threaded [`ControlBdd`] truth
+//! tables, plus thread-count determinism of the work-stealing `ite_par`.
+//!
+//! The stress tests are deterministic per seed in *what* they compute
+//! (each thread replays a splitmix-derived op script), while the table
+//! interleavings vary run to run — exactly the surface the sharded unique
+//! table and lossy seqlock cache must keep invisible.
+
+use std::sync::OnceLock;
+
+use adt_bdd::control::{ControlBdd, ControlRef};
+use adt_bdd::{Bdd, NodeRef, SharedBdd, Team};
+use proptest::prelude::*;
+
+const VARS: usize = 10;
+const OPS_PER_THREAD: usize = 150;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0u32..1 << VARS).map(|mask| (0..VARS).map(|i| mask >> i & 1 == 1).collect())
+}
+
+/// One scripted operation: opcode plus operand indices into the thread's
+/// growing node pool. The same script drives the shared kernel and the
+/// control oracle.
+#[derive(Clone, Copy)]
+struct Op {
+    code: u64,
+    a: u64,
+    b: u64,
+    c: u64,
+}
+
+fn script(seed: u64) -> Vec<Op> {
+    let mut state = seed;
+    (0..OPS_PER_THREAD)
+        .map(|_| Op {
+            code: splitmix(&mut state),
+            a: splitmix(&mut state),
+            b: splitmix(&mut state),
+            c: splitmix(&mut state),
+        })
+        .collect()
+}
+
+/// Replays a script on the shared kernel, starting from the projection
+/// pool `x_0..x_{VARS-1}`; every result is appended to the pool.
+fn replay_shared(bdd: &SharedBdd, ops: &[Op]) -> Vec<NodeRef> {
+    let mut pool: Vec<NodeRef> = (0..VARS as u32).map(|l| bdd.var(l)).collect();
+    for op in ops {
+        let pick = |raw: u64| pool[(raw % pool.len() as u64) as usize];
+        let (f, g, h) = (pick(op.a), pick(op.b), pick(op.c));
+        let result = match op.code % 6 {
+            0 => bdd.apply_and(f, g),
+            1 => bdd.apply_or(f, g),
+            2 => bdd.apply_xor(f, g),
+            3 => bdd.apply_and_not(f, g),
+            4 => bdd.apply_not(f),
+            _ => bdd.ite(f, g, h),
+        };
+        pool.push(result);
+    }
+    pool
+}
+
+/// The same replay on the frozen control kernel (ops it lacks are spelled
+/// as their ITE definitions, matching what the shared kernel computes).
+fn replay_control(bdd: &mut ControlBdd, ops: &[Op]) -> Vec<ControlRef> {
+    let mut pool: Vec<ControlRef> = (0..VARS as u32).map(|l| bdd.var(l)).collect();
+    for op in ops {
+        let pick = |pool: &[ControlRef], raw: u64| pool[(raw % pool.len() as u64) as usize];
+        let (f, g, h) = (pick(&pool, op.a), pick(&pool, op.b), pick(&pool, op.c));
+        let result = match op.code % 6 {
+            0 => bdd.ite(f, g, ControlBdd::FALSE),
+            1 => bdd.ite(f, ControlBdd::TRUE, g),
+            2 => {
+                let ng = bdd.not(g);
+                bdd.ite(f, ng, g)
+            }
+            3 => bdd.and_not(f, g),
+            4 => bdd.not(f),
+            _ => bdd.ite(f, g, h),
+        };
+        pool.push(result);
+    }
+    pool
+}
+
+/// N threads hammer one shared manager with interleaved scripted op
+/// bursts; every node each thread produced must have exactly the truth
+/// table the control oracle computes for its script, and the quiescent
+/// manager must still satisfy every structural invariant.
+#[test]
+fn concurrent_threads_match_control_truth_tables() {
+    for &threads in &[2usize, 4, 8] {
+        let shared = SharedBdd::new(VARS);
+        let pools: Vec<Vec<NodeRef>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let shared = &shared;
+                    scope.spawn(move || replay_shared(shared, &script(0xC0FFEE + t as u64)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panics"))
+                .collect()
+        });
+        shared
+            .check_invariants_quiescent()
+            .unwrap_or_else(|e| panic!("invariants after {threads}-thread stress: {e}"));
+        for (t, pool) in pools.iter().enumerate() {
+            let mut control = ControlBdd::new(VARS);
+            let expected = replay_control(&mut control, &script(0xC0FFEE + t as u64));
+            assert_eq!(pool.len(), expected.len());
+            for a in assignments() {
+                for (i, (&node, &oracle)) in pool.iter().zip(&expected).enumerate() {
+                    assert_eq!(
+                        shared.eval(node, &a),
+                        control.eval(oracle, &a),
+                        "{threads} threads: thread {t} pool entry {i} diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Canonicity is thread-count independent: the same script replayed on
+/// managers stressed by different team sizes yields identical reachable
+/// node counts (the canonical diagram), whatever the table interleaving.
+#[test]
+fn reachable_counts_are_thread_count_independent() {
+    let counts: Vec<Vec<usize>> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| {
+            let shared = SharedBdd::new(VARS);
+            let pools: Vec<Vec<NodeRef>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let shared = &shared;
+                        scope.spawn(move || replay_shared(shared, &script(0xDEC0DE + t as u64)))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("no panics"))
+                    .collect()
+            });
+            // Only thread 0's pool exists at every team size; its scripted
+            // functions are the comparable surface.
+            pools[0].iter().map(|&n| shared.node_count(n)).collect()
+        })
+        .collect();
+    for sizes in &counts[1..] {
+        assert_eq!(
+            &counts[0], sizes,
+            "canonical sizes must not depend on threads"
+        );
+    }
+}
+
+fn team(threads: usize) -> &'static Team {
+    static TEAMS: OnceLock<Vec<Team>> = OnceLock::new();
+    let teams = TEAMS.get_or_init(|| [1, 2, 4, 8].map(Team::new).into_iter().collect());
+    &teams[[1usize, 2, 4, 8]
+        .iter()
+        .position(|&t| t == threads)
+        .expect("known size")]
+}
+
+/// Work-stealing ITE agrees with the sequential kernel on scripted
+/// workloads at every team size, and with itself across team sizes.
+#[test]
+fn ite_par_is_deterministic_across_team_sizes() {
+    let ops = script(0xFEED);
+    let mut sequential = Bdd::new(VARS);
+    let mut seq_pool: Vec<NodeRef> = (0..VARS as u32).map(|l| sequential.var(l)).collect();
+    for op in &ops {
+        let pick = |pool: &[NodeRef], raw: u64| pool[(raw % pool.len() as u64) as usize];
+        let (f, g, h) = (
+            pick(&seq_pool, op.a),
+            pick(&seq_pool, op.b),
+            pick(&seq_pool, op.c),
+        );
+        let result = match op.code % 6 {
+            0 => sequential.and(f, g),
+            1 => sequential.or(f, g),
+            2 => sequential.xor(f, g),
+            3 => sequential.and_not(f, g),
+            4 => sequential.not(f),
+            _ => sequential.ite(f, g, h),
+        };
+        seq_pool.push(result);
+    }
+    for &threads in &[1usize, 2, 4, 8] {
+        let shared = SharedBdd::new(VARS);
+        let team = team(threads);
+        let mut pool: Vec<NodeRef> = (0..VARS as u32).map(|l| shared.var(l)).collect();
+        for op in &ops {
+            let pick = |pool: &[NodeRef], raw: u64| pool[(raw % pool.len() as u64) as usize];
+            let (f, g, h) = (pick(&pool, op.a), pick(&pool, op.b), pick(&pool, op.c));
+            let result = match op.code % 6 {
+                0 => shared.and_par(team, f, g),
+                1 => shared.or_par(team, f, g),
+                2 => shared.ite_par(team, f, shared.apply_not(g), g),
+                3 => shared.and_not_par(team, f, g),
+                4 => shared.apply_not(f),
+                _ => shared.ite_par(team, f, g, h),
+            };
+            pool.push(result);
+        }
+        shared
+            .check_invariants_quiescent()
+            .expect("quiescent invariants");
+        for a in assignments() {
+            for (i, (&node, &reference)) in pool.iter().zip(&seq_pool).enumerate() {
+                assert_eq!(
+                    shared.eval(node, &a),
+                    sequential.eval(reference, &a),
+                    "{threads}-thread team: pool entry {i} diverged"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Differential proptest: a random scripted workload replayed on the
+    /// shared kernel under a random team size always matches the control
+    /// oracle's truth tables.
+    #[test]
+    fn random_scripts_match_control(seed in any::<u64>(), size_index in 0u32..4) {
+        let threads = [1usize, 2, 4, 8][size_index as usize];
+        let shared = SharedBdd::new(VARS);
+        let ops = script(seed);
+        let pool = {
+            let team = team(threads);
+            let mut pool: Vec<NodeRef> = (0..VARS as u32).map(|l| shared.var(l)).collect();
+            for op in &ops {
+                let pick = |pool: &[NodeRef], raw: u64| pool[(raw % pool.len() as u64) as usize];
+                let (f, g, h) = (pick(&pool, op.a), pick(&pool, op.b), pick(&pool, op.c));
+                let result = match op.code % 6 {
+                    0 => shared.and_par(team, f, g),
+                    1 => shared.or_par(team, f, g),
+                    2 => shared.apply_xor(f, g),
+                    3 => shared.and_not_par(team, f, g),
+                    4 => shared.apply_not(f),
+                    _ => shared.ite_par(team, f, g, h),
+                };
+                pool.push(result);
+            }
+            pool
+        };
+        let mut control = ControlBdd::new(VARS);
+        let expected = replay_control(&mut control, &ops);
+        shared.check_invariants_quiescent().expect("quiescent invariants");
+        // Sampled assignments keep the proptest cheap; the exhaustive
+        // sweep is the deterministic tests' job.
+        let mut state = seed ^ 0xA5A5;
+        for _ in 0..64 {
+            let mask = splitmix(&mut state);
+            let a: Vec<bool> = (0..VARS).map(|i| mask >> i & 1 == 1).collect();
+            for (&node, &oracle) in pool.iter().zip(&expected) {
+                prop_assert_eq!(shared.eval(node, &a), control.eval(oracle, &a));
+            }
+        }
+    }
+}

@@ -197,6 +197,7 @@ fn main() {
         "Optimized BDD kernel (open-addressed unique table, direct-mapped lossy ITE cache, \
          iterative walks, linear Pareto merges, dense memo) vs the frozen HashMap-based \
          control on the bdd_construction and fig4_exponential workloads.",
+        1,
     )
     .field(
         "benches",

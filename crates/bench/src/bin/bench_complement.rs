@@ -259,6 +259,7 @@ fn main() {
          flip), per-call cost vs the control's ITE-walk not. not_heavy_workload: \
          interleaved not/xor/and_not chains over compiled roots (the BDDBU defense-step \
          shape), compile included, fresh managers per run.",
+        1,
     )
     .field(
         "node_reduction",

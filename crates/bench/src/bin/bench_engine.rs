@@ -166,7 +166,7 @@ fn main() {
          largest single-instance compile arena; the GC peak must stay under 2x that largest \
          single footprint (at most one query's traffic on top of the threshold)."
     );
-    let report = bench_report(4, &description)
+    let report = bench_report(4, &description, 1)
         .field(
             "throughput",
             Object::new()

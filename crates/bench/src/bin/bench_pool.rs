@@ -183,6 +183,7 @@ fn main() {
          Fig. 10 bucket suite, and the Fig. 4 exponential family. Workers pull jobs from a \
          shared atomic cursor, each on a private BDD manager; results are index-ordered and \
          asserted equal to the sequential path before timing.",
+        1,
     )
     .field("pool_workers", par_jobs)
     .field(
@@ -206,7 +207,7 @@ fn main() {
         "summary",
         Object::new()
             .field("geomean_speedup", Value::float(overall, 2))
-            .field("note", parallelism_note(par_jobs)),
+            .field("note", parallelism_note(par_jobs, 1)),
     );
     std::fs::write(&out_path, report.render()).expect("write pool benchmark");
     eprintln!("wrote {out_path}: geomean ×{overall:.2} on {cores} core(s)");

@@ -274,6 +274,7 @@ fn main() {
          pre-sift diagram through remapped assignments. fronts: the same families evaluated \
          through engines with the reorder threshold armed at 1 must reproduce the static \
          baseline fronts; small instances are also checked against the naive oracle.",
+        1,
     )
     .field(
         "node_reduction",

@@ -49,6 +49,16 @@
 //! * `--reorder-threshold N` — live-node count at which an engine's
 //!   sifting pass triggers (default 256 when `--order sift` is given;
 //!   passing the flag arms reordering even without `--order sift`).
+//! * `--kernel-threads N` — every engine (each pool worker's, or the
+//!   sequential one) compiles its BDDBU queries on an `N`-thread shared
+//!   kernel: a lock-striped unique table plus work-stealing apply within
+//!   a single query. This is the *intra-query* axis, orthogonal to
+//!   `--jobs` (which parallelizes *across* instances); the two compose as
+//!   `jobs × kernel-threads` live threads. `--kernel-threads 1` (the
+//!   default) keeps the sequential single-owner kernel. Fronts are
+//!   byte-identical at every thread count; parallel-served queries skip
+//!   dynamic reordering, so pair with `--order declaration` (the default)
+//!   when comparing BDD-size columns.
 //!
 //! The per-instance *timing columns* still measure the paper's one-shot
 //! algorithms on fresh managers (that is the published methodology); the
@@ -129,6 +139,7 @@ struct Exec {
     jobs: usize,
     gc_threshold: usize,
     reorder_threshold: usize,
+    kernel_threads: usize,
     warm: bool,
     pool: OnceCell<WorkerPool>,
     sequential: RefCell<Option<EngineWorker>>,
@@ -140,6 +151,7 @@ impl Exec {
             jobs: flags.jobs(),
             gc_threshold: flags.gc_threshold(),
             reorder_threshold: flags.reorder_threshold(),
+            kernel_threads: flags.kernel_threads(),
             warm: flags.flag("warm"),
             pool: OnceCell::new(),
             sequential: RefCell::new(None),
@@ -172,6 +184,9 @@ impl Exec {
                 if self.reorder_threshold != usize::MAX {
                     pool.set_reorder_threshold(self.reorder_threshold);
                 }
+                if self.kernel_threads > 1 {
+                    pool.set_kernel_threads(self.kernel_threads);
+                }
                 pool
             });
             if !self.warm {
@@ -183,6 +198,7 @@ impl Exec {
             let worker = slot.get_or_insert_with(|| {
                 let mut engine = SuiteEngine::with_gc_threshold(self.gc_threshold);
                 engine.set_reorder_threshold(self.reorder_threshold);
+                engine.set_kernel_threads(self.kernel_threads);
                 EngineWorker { worker: 0, engine }
             });
             if !self.warm {
@@ -262,6 +278,16 @@ impl Flags {
     /// pool, so table/figure commands that never shard work stay silent.)
     fn jobs(&self) -> usize {
         self.num("jobs", default_jobs() as u64) as usize
+    }
+
+    /// The `--kernel-threads` intra-query thread count every engine is
+    /// armed with (default 1: the sequential single-owner kernel). Values
+    /// above 1 switch each engine's BDDBU misses onto the shared
+    /// lock-striped kernel with a work-stealing thread team; fronts are
+    /// identical at any value, so this is a throughput knob, never a
+    /// semantics one.
+    fn kernel_threads(&self) -> usize {
+        self.num("kernel-threads", 1).max(1) as usize
     }
 }
 
@@ -775,6 +801,7 @@ fn ablation_modular(flags: &Flags, exec: &Exec) {
         "t_bddbu_s",
         "t_modular_s",
         "cache_hits",
+        "perm_hits",
         "cache_lookups",
     ]);
     let mut wins = 0usize;
@@ -806,15 +833,22 @@ fn ablation_modular(flags: &Flags, exec: &Exec) {
         );
         let t_bdd = time_avg(Duration::from_millis(2), || bdd_bu(t).unwrap());
         let t_mod = time_avg(Duration::from_millis(2), || modular_bdd_bu(t).unwrap());
-        (t_bdd, t_mod, stats.cache_hits, stats.lookups())
+        (
+            t_bdd,
+            t_mod,
+            stats.cache_hits,
+            stats.perm_module_hits,
+            stats.lookups(),
+        )
     });
-    let (mut total_hits, mut total_lookups) = (0usize, 0usize);
+    let (mut total_hits, mut total_perm, mut total_lookups) = (0usize, 0usize, 0usize);
     for (i, (instance, timed)) in instances.iter().zip(&measured).enumerate() {
-        let (t_bdd, t_mod, hits, lookups) = timed.result;
+        let (t_bdd, t_mod, hits, perm_hits, lookups) = timed.result;
         if t_mod < t_bdd {
             wins += 1;
         }
         total_hits += hits;
+        total_perm += perm_hits;
         total_lookups += lookups;
         csv.row([
             i.to_string(),
@@ -823,6 +857,7 @@ fn ablation_modular(flags: &Flags, exec: &Exec) {
             secs(t_bdd),
             secs(t_mod),
             hits.to_string(),
+            perm_hits.to_string(),
             lookups.to_string(),
         ]);
     }
@@ -836,7 +871,8 @@ fn ablation_modular(flags: &Flags, exec: &Exec) {
     println!(
         "module-root cache: {total_hits}/{total_lookups} intra-query lookups hit ({:.1}% — \
          modules recurring within one instance; cross-query reuse under --warm is measured \
-         by BENCH_PR4.json)",
+         by BENCH_PR4.json); {total_perm} of the hits exist only because permutation-\
+         canonical keys matched order-isomorphic modules",
         rate * 100.0
     );
 }

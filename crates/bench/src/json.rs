@@ -150,30 +150,41 @@ impl Object {
 }
 
 /// Starts a benchmark report with the fields every `BENCH_*.json` shares:
-/// the PR number, the human-readable methodology description, and the
-/// host's `available_parallelism` (single-core CI is the honest default
-/// assumption of every speedup claim; see [`parallelism_note`]).
-pub fn bench_report(pr: u32, description: &str) -> Object {
+/// the PR number, the human-readable methodology description, the host's
+/// `available_parallelism` (single-core CI is the honest default
+/// assumption of every speedup claim; see [`parallelism_note`]) and the
+/// *intra-query* `kernel_threads` the measurement ran with (1 = the
+/// sequential kernel; the two parallelism axes are independent).
+pub fn bench_report(pr: u32, description: &str, kernel_threads: usize) -> Object {
     Object::new()
         .field("pr", pr)
         .field("description", description)
         .field("available_parallelism", default_jobs())
+        .field("kernel_threads", kernel_threads)
 }
 
-/// The honest parallelism note of the multi-worker reports: on a
-/// single-core host, `workers`-way numbers measure pool overhead, not
-/// speedup — one shared sentence so every report says it the same way.
-pub fn parallelism_note(workers: usize) -> String {
+/// The honest parallelism note of the multi-worker reports, covering both
+/// axes — `workers` engines *across* instances and `kernel_threads`
+/// threads *within* each query's shared BDD kernel. On a single-core host
+/// every multi-threaded number measures overhead, not speedup — one shared
+/// sentence so every report says it the same way.
+pub fn parallelism_note(workers: usize, kernel_threads: usize) -> String {
     let cores = default_jobs();
     if cores == 1 {
         format!(
             "Host exposes a single core (available_parallelism = 1); the {workers}-way \
-             numbers measure pool overhead, not parallel speedup. On an N-core host the \
-             embarrassingly parallel suites scale with min(N, suite size); the differential \
-             tests assert result equality at every worker count."
+             pool numbers and any {kernel_threads}-thread kernel numbers measure \
+             synchronization overhead, not parallel speedup. On an N-core host the \
+             embarrassingly parallel suites scale across instances with min(N, suite size) \
+             workers, and the shared-manager kernel additionally scales within one query \
+             with up to kernel_threads threads; the differential tests assert result \
+             equality at every worker count and every kernel thread count."
         )
     } else {
-        format!("Measured on {cores} available cores with {workers} workers.")
+        format!(
+            "Measured on {cores} available cores with {workers} workers across instances \
+             and {kernel_threads} kernel threads within each query."
+        )
     }
 }
 
@@ -327,19 +338,22 @@ mod tests {
 
     #[test]
     fn bench_report_carries_the_shared_fields() {
-        let text = bench_report(6, "what was measured").render();
+        let text = bench_report(6, "what was measured", 4).render();
         assert!(text.starts_with("{\n  \"pr\": 6,\n  \"description\": \"what was measured\",\n"));
         assert!(text.contains("\"available_parallelism\": "));
+        assert!(text.contains("\"kernel_threads\": 4"));
     }
 
     #[test]
     fn parallelism_note_is_honest_about_core_counts() {
-        let note = parallelism_note(8);
+        let note = parallelism_note(8, 2);
         if default_jobs() == 1 {
             assert!(note.contains("single core"));
             assert!(note.contains("8-way"));
+            assert!(note.contains("2-thread kernel"));
         } else {
             assert!(note.contains("8 workers"));
+            assert!(note.contains("2 kernel threads"));
         }
     }
 }

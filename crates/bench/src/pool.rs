@@ -413,6 +413,16 @@ impl WorkerPool {
         self.for_each_engine(move |engine| engine.set_reorder_threshold(nodes));
     }
 
+    /// Sets the *intra-query* kernel thread count on every worker's engine
+    /// (see [`AnalysisEngine::set_kernel_threads`]) — the
+    /// `--kernel-threads` path of the `experiments` binary. The setting
+    /// survives [`WorkerPool::reset_engines`]. The two axes compose:
+    /// `workers × kernel_threads` threads do BDD work when both are above
+    /// one, so callers should keep the product near the core count.
+    pub fn set_kernel_threads(&self, threads: usize) {
+        self.for_each_engine(move |engine| engine.set_kernel_threads(threads));
+    }
+
     /// Runs `f` exactly once on every worker's engine.
     ///
     /// Implemented as a barrier batch: one task per worker, each blocking
@@ -704,6 +714,29 @@ mod tests {
         });
         for p in probes {
             assert_eq!(p.result, 99, "reset must not disarm reordering");
+        }
+    }
+
+    #[test]
+    fn pool_kernel_threads_reach_every_worker_and_survive_reset() {
+        let pool = WorkerPool::new(2, adt_analysis::DEFAULT_GC_THRESHOLD);
+        pool.set_kernel_threads(2);
+        pool.reset_engines();
+        let probes = pool.submit(vec![(), ()], |ctx, _, ()| ctx.engine.kernel_threads());
+        for p in probes {
+            assert_eq!(p.result, 2, "reset must not downshift the kernel");
+        }
+        // Fronts under a kernel-threaded pool match the sequential baseline.
+        let jobs: Vec<SuiteJob> = suite_jobs(
+            bucket_suite(2, 60, Shape::Dag, 44),
+            OrderingKind::Declaration,
+        )
+        .collect();
+        let baseline = evaluate_suite(&jobs, 1);
+        let threaded = evaluate_suite_warm(&pool, jobs);
+        for (b, t) in baseline.iter().zip(&threaded) {
+            assert_eq!(b.result.front, t.result.front, "job {}", b.index);
+            assert_eq!(b.result.bdd_nodes, t.result.bdd_nodes);
         }
     }
 

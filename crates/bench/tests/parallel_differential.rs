@@ -1,0 +1,138 @@
+//! Differential tests for the PR-7 intra-query kernel threads: whatever
+//! `set_kernel_threads(n)` is armed with, every engine-served front must
+//! equal the sequential path's — same fronts, same BDD sizes, same front
+//! widths — and, on instances small enough to enumerate, the Definitions
+//! 7–9 oracle (`naive`).
+
+use adt_analysis::naive;
+use adt_bench::{engine_suite_report, evaluate_suite, naive_work, SuiteEngine};
+use adt_gen::{bucket_suite, paper_suite, suite_jobs, OrderingKind, Shape, SuiteJob};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The acceptance-criterion sweep: random tree and DAG suites evaluated by
+/// engines at 1/2/4/8 kernel threads, report-for-report equal to the
+/// fresh-manager sequential baseline.
+#[test]
+fn kernel_threads_agree_front_for_front() {
+    let mut jobs: Vec<SuiteJob> = suite_jobs(
+        paper_suite(8, 45, Shape::Dag, 99),
+        OrderingKind::Declaration,
+    )
+    .collect();
+    jobs.extend(suite_jobs(
+        paper_suite(8, 45, Shape::Tree, 100),
+        OrderingKind::Declaration,
+    ));
+    jobs.extend(suite_jobs(
+        bucket_suite(2, 100, Shape::Dag, 101),
+        OrderingKind::Declaration,
+    ));
+    let baseline = evaluate_suite(&jobs, 1);
+    for threads in THREAD_COUNTS {
+        let mut engine = SuiteEngine::new();
+        engine.set_kernel_threads(threads);
+        for (job, expected) in jobs.iter().zip(&baseline) {
+            let report = engine_suite_report(&mut engine, job);
+            assert_eq!(
+                report.front, expected.result.front,
+                "{threads} kernel threads: front diverged on job {}",
+                expected.index
+            );
+            assert_eq!(report.bdd_nodes, expected.result.bdd_nodes);
+            assert_eq!(report.max_front_width, expected.result.max_front_width);
+        }
+    }
+}
+
+/// Thread-count determinism, stated directly: the reports at every kernel
+/// thread count are identical to each other (not merely each equal to a
+/// baseline), for both the plain and the modular analysis.
+#[test]
+fn fronts_are_kernel_thread_count_independent() {
+    let jobs: Vec<SuiteJob> = suite_jobs(
+        paper_suite(10, 50, Shape::Dag, 7),
+        OrderingKind::Declaration,
+    )
+    .collect();
+    let per_count: Vec<_> = THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            let mut engine = SuiteEngine::new();
+            engine.set_kernel_threads(threads);
+            jobs.iter()
+                .map(|job| {
+                    let report = engine_suite_report(&mut engine, job);
+                    let modular = engine.modular(&job.instance.adt).expect("modular analysis");
+                    (report.front, report.bdd_nodes, modular)
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for (i, rows) in per_count.iter().enumerate().skip(1) {
+        assert_eq!(
+            &per_count[0], rows,
+            "thread count {} diverged from 1",
+            THREAD_COUNTS[i]
+        );
+    }
+}
+
+/// On instances small enough to enumerate all strategy pairs, every kernel
+/// thread count agrees with the paper's Definitions 7–9 oracle.
+#[test]
+fn naive_oracle_agrees_at_every_thread_count() {
+    let jobs: Vec<SuiteJob> = suite_jobs(
+        paper_suite(10, 24, Shape::Dag, 55),
+        OrderingKind::Declaration,
+    )
+    .collect();
+    let mut checked = 0usize;
+    for job in &jobs {
+        let t = &job.instance.adt;
+        match naive_work(t) {
+            Some(work) if work <= 1 << 22 => {}
+            _ => continue,
+        }
+        let oracle = naive(t).expect("naive oracle");
+        for threads in THREAD_COUNTS {
+            let mut engine = SuiteEngine::new();
+            engine.set_kernel_threads(threads);
+            assert_eq!(
+                engine_suite_report(&mut engine, job).front,
+                oracle,
+                "{threads} kernel threads diverged from the naive oracle (seed {})",
+                job.instance.seed
+            );
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 5,
+        "the oracle sweep must cover several instances"
+    );
+}
+
+proptest! {
+    /// Differential proptest over random suites: any master seed, any
+    /// kernel thread count, the engine front and the modular front both
+    /// equal the sequential baseline.
+    #[test]
+    fn random_suites_agree_at_random_thread_counts(seed in any::<u64>(), size_index in 0u32..4, dag in any::<bool>()) {
+        let threads = THREAD_COUNTS[size_index as usize];
+        let shape = if dag { Shape::Dag } else { Shape::Tree };
+        let jobs: Vec<SuiteJob> =
+            suite_jobs(paper_suite(2, 30, shape, seed), OrderingKind::Declaration).collect();
+        let baseline = evaluate_suite(&jobs, 1);
+        let mut engine = SuiteEngine::new();
+        engine.set_kernel_threads(threads);
+        for (job, expected) in jobs.iter().zip(&baseline) {
+            let report = engine_suite_report(&mut engine, job);
+            prop_assert_eq!(&report.front, &expected.result.front);
+            prop_assert_eq!(report.bdd_nodes, expected.result.bdd_nodes);
+            let modular = engine.modular(&job.instance.adt).expect("modular analysis");
+            prop_assert_eq!(&modular, &expected.result.front);
+        }
+    }
+}
