@@ -562,7 +562,9 @@ where
     /// differentially). Two sequential-mode features are bypassed in
     /// parallel mode, where each miss compiles into a fresh shared
     /// manager: dynamic reordering and cross-query node sharing — the
-    /// cross-query *front* cache works identically in both modes.
+    /// cross-query *front* cache serves and stores the same fronts in
+    /// both modes (see [`modular`](AnalysisEngine::modular) for the
+    /// bookkeeping-only differences in its entries).
     pub fn set_kernel_threads(&mut self, threads: usize) {
         let threads = threads.max(1);
         self.kernel_threads = threads;
@@ -909,10 +911,11 @@ where
     /// `> 1`, module fronts missing from the cache are analyzed *in
     /// parallel* on the kernel team — every job compiling into one shared
     /// concurrent manager — before the sequential bottom-up join over the
-    /// quotient. Fronts (and cache contents) are identical to the
-    /// sequential mode; only the sub-module recursion differs (parallel
-    /// jobs analyze their module directly, so nested sub-modules get no
-    /// cache entries of their own).
+    /// quotient. Fronts are identical to the sequential mode; the cache
+    /// *entries* differ in bookkeeping only: parallel jobs analyze their
+    /// module directly, so nested sub-modules get no entries of their
+    /// own, and a parallel module entry records its run's BDD stats where
+    /// the sequential modular path stores zeros.
     ///
     /// # Errors
     ///
@@ -958,13 +961,19 @@ where
                     let team = self.team.as_ref().expect("parallel branch");
                     let reports = par_module_reports(team, miss_jobs);
                     for ((name, hash, key), report) in miss_meta.into_iter().zip(reports) {
+                        // Unlike the sequential modular path (whose
+                        // recombined fronts have no single producing BDD
+                        // run), a parallel module job is one full BDDBU
+                        // report — keep its stats instead of zeros so a
+                        // future reader of TAG_MODULAR entries sees real
+                        // numbers.
                         self.insert(
                             hash,
                             key,
                             CachedReport {
                                 front: report.front.clone(),
-                                bdd_nodes: 0,
-                                max_front_width: 0,
+                                bdd_nodes: report.bdd_nodes,
+                                max_front_width: report.max_front_width,
                             },
                         );
                         fronts.insert(name, report.front);

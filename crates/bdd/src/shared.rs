@@ -285,9 +285,8 @@ impl SharedIteCache {
         if s & 1 != 0 {
             return; // a writer is mid-flight: lossy skip
         }
-        // Claim the entry (odd stamp). Acquire keeps the data stores
-        // below the claim; a failed claim means we lost the race and the
-        // insert is dropped (lossy by design).
+        // Claim the entry (odd stamp); a failed claim means we lost the
+        // race and the insert is dropped (lossy by design).
         if entry
             .stamp
             .compare_exchange(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
@@ -295,6 +294,15 @@ impl SharedIteCache {
         {
             return;
         }
+        // Release fence: orders the odd-stamp claim above before the
+        // Relaxed data stores below. It pairs with the reader's Acquire
+        // fence in `get` — a reader whose data loads observe either store
+        // below is guaranteed, after its fence, to observe the odd stamp
+        // on its validating re-read and reject the entry. Without this
+        // fence a weakly-ordered CPU may let a reader see the new key
+        // while both of its stamp loads return the stale even stamp,
+        // validating a torn key/value mix as a hit.
+        fence(Ordering::Release);
         entry.key.store(
             (u64::from(f.raw()) << 32) | u64::from(g.raw()),
             Ordering::Relaxed,
@@ -864,6 +872,12 @@ struct TeamState {
     gate: Mutex<u64>,
     signal: Condvar,
     shutdown: AtomicBool,
+    /// First panic payload caught from a task, re-raised on the
+    /// submitting thread when [`Team::run`] reaches the barrier. Tasks
+    /// are caught (never unwound through a worker loop) so a panicking
+    /// task can neither kill a worker thread nor silently shrink the
+    /// team.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
 impl TeamState {
@@ -923,7 +937,20 @@ impl TeamState {
             state: self,
             was_in_task: IN_TEAM_TASK.with(|flag| flag.replace(true)),
         };
-        task(&TeamCtx { state: self, me });
+        // Catch the unwind so a panicking task cannot kill a worker
+        // thread (permanently shrinking the team) or escape mid-drain;
+        // the first payload is stashed and re-raised by `Team::run` at
+        // the barrier. `AssertUnwindSafe` is sound: the task is consumed
+        // either way, and the shared structures it touches are lock- or
+        // seqlock-guarded (a poisoned queue Mutex would surface as its
+        // own panic at the next lock).
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            task(&TeamCtx { state: self, me });
+        }));
+        if let Err(payload) = result {
+            let mut slot = self.panic.lock().expect("team panic slot poisoned");
+            slot.get_or_insert(payload);
+        }
     }
 }
 
@@ -979,6 +1006,7 @@ impl Team {
             gate: Mutex::new(0),
             signal: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            panic: Mutex::new(None),
         });
         let workers = (0..threads.saturating_sub(1))
             .map(|me| {
@@ -1004,6 +1032,13 @@ impl Team {
     /// Runs `tasks` (and everything they spawn) to completion, with the
     /// calling thread participating in the stealing loop. Returns once
     /// the pending count drains to zero — the quiescence barrier.
+    ///
+    /// # Panics
+    ///
+    /// If any task panicked, the first caught payload is re-raised here
+    /// (on the submitting thread) after the drain completes. Worker
+    /// threads themselves survive task panics, so the team stays at full
+    /// strength for subsequent runs.
     pub fn run(&self, tasks: Vec<TeamTask>) {
         if tasks.is_empty() {
             return;
@@ -1020,7 +1055,7 @@ impl Team {
         state.bump();
         loop {
             if state.pending.load(Ordering::Acquire) == 0 {
-                return;
+                break;
             }
             if let Some(task) = state.find_task(me) {
                 state.execute(task, me);
@@ -1036,6 +1071,10 @@ impl Team {
             while *generation == seen && state.pending.load(Ordering::Acquire) != 0 {
                 generation = state.signal.wait(generation).expect("team gate poisoned");
             }
+        }
+        let payload = state.panic.lock().expect("team panic slot poisoned").take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
         }
     }
 }
@@ -1383,6 +1422,35 @@ mod tests {
             c.fetch_add(10, Ordering::Relaxed);
         })]);
         assert_eq!(counter.load(Ordering::Relaxed), 27);
+    }
+
+    #[test]
+    fn team_survives_task_panic() {
+        let team = Team::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            team.run(vec![Box::new(|_| panic!("task boom"))]);
+        }));
+        // The payload reaches the submitter at the barrier...
+        let payload = caught.expect_err("task panic must re-raise at run()");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("task boom"),
+            "run() re-raises the task's own payload"
+        );
+        // ...and the worker thread survives: a panicked run drained its
+        // pending count, the team stays at full strength, and later runs
+        // (with tasks fanned out to the worker) behave normally.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<TeamTask> = (0..16)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                Box::new(move |_: &TeamCtx<'_>| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }) as TeamTask
+            })
+            .collect();
+        team.run(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
     }
 
     #[test]
