@@ -887,6 +887,48 @@ where
         self.insert(hash, key, cached);
         report
     }
+
+    /// Request-scoped front door over
+    /// [`bdd_bu_report`](AnalysisEngine::bdd_bu_report) for callers that
+    /// must outlive a bad request (the `adt-serve` query server): instead
+    /// of panicking, it reports.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalysisError::InvalidOrder`] when `order` does not cover every
+    ///   basic step of `t` — the precondition whose violation the
+    ///   panicking entry points `expect` on.
+    /// * [`AnalysisError::Internal`] when the analysis panics anyway: the
+    ///   panic is caught at this boundary and the engine is [`reset`]
+    ///   (wiping the manager and the front cache), so the engine stays
+    ///   usable; only the offending request is lost.
+    ///
+    /// [`reset`]: AnalysisEngine::reset
+    pub fn try_bdd_bu_report(
+        &mut self,
+        t: &AugmentedAdt<DD, DA>,
+        order: &DefenseFirstOrder,
+    ) -> Result<BddBuReport<DD::Value, DA::Value>, AnalysisError> {
+        for &v in t.adt().topological_order() {
+            if t.adt()[v].gate() == Gate::Basic && order.level(v).is_none() {
+                return Err(AnalysisError::InvalidOrder {
+                    reason: format!("basic step #{} has no level in the order", v.index()),
+                });
+            }
+        }
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.bdd_bu_report(t, order)
+        }));
+        attempt.map_err(|payload| {
+            self.reset();
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            AnalysisError::Internal { message }
+        })
+    }
 }
 
 impl<DD, DA> AnalysisEngine<DD, DA>
@@ -1035,6 +1077,45 @@ mod tests {
         assert_eq!(stats.cache_misses, 7);
         assert_eq!(stats.cache_hits, 14);
         assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_bdd_bu_report_agrees_with_the_panicking_entry_point() {
+        let t = catalog::fig3();
+        let order = DefenseFirstOrder::declaration(t.adt());
+        let mut engine = Engine::new();
+        let checked = engine
+            .try_bdd_bu_report(&t, &order)
+            .expect("valid order analyzes");
+        let mut fresh = Engine::new();
+        let direct = fresh.bdd_bu_report(&t, &order);
+        assert_eq!(checked.front, direct.front);
+        assert_eq!(checked.bdd_nodes, direct.bdd_nodes);
+        assert_eq!(checked.max_front_width, direct.max_front_width);
+    }
+
+    #[test]
+    fn try_bdd_bu_report_rejects_an_order_missing_basic_steps() {
+        // An order built over a one-leaf tree covers only node id 0, so
+        // fig3's later basic steps have no level — the request must be
+        // rejected up front, and the engine must stay usable.
+        let t = catalog::fig3();
+        let mut b = adt_core::adt::AdtBuilder::new();
+        let lone = b.attack("lone").expect("fresh name");
+        let tiny = b.build(lone).expect("one-leaf tree builds");
+        let foreign = DefenseFirstOrder::declaration(&tiny);
+        let mut engine = Engine::new();
+        match engine.try_bdd_bu_report(&t, &foreign) {
+            Err(AnalysisError::InvalidOrder { reason }) => {
+                assert!(reason.contains("has no level"), "reason: {reason}");
+            }
+            other => panic!("expected InvalidOrder, got {other:?}"),
+        }
+        let order = DefenseFirstOrder::declaration(t.adt());
+        let report = engine
+            .try_bdd_bu_report(&t, &order)
+            .expect("engine survives the rejected request");
+        assert_eq!(report.front, crate::analyze(&t).unwrap());
     }
 
     #[test]

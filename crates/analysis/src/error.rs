@@ -38,6 +38,13 @@ pub enum AnalysisError {
     },
     /// An underlying structural operation failed.
     Adt(AdtError),
+    /// The engine hit an unexpected internal failure (a panic caught at a
+    /// request boundary). The engine has been reset and remains usable;
+    /// the request that triggered the failure is lost.
+    Internal {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -65,6 +72,9 @@ impl fmt::Display for AnalysisError {
                 write!(f, "invalid defense-first order: {reason}")
             }
             AnalysisError::Adt(e) => e.fmt(f),
+            AnalysisError::Internal { message } => {
+                write!(f, "internal engine error: {message}")
+            }
         }
     }
 }
@@ -105,6 +115,13 @@ mod tests {
         assert_eq!(
             AnalysisError::UnfoldTooLarge { limit: 100 }.to_string(),
             "unfolding exceeded the budget of 100 nodes"
+        );
+        assert_eq!(
+            AnalysisError::Internal {
+                message: "slot out of range".to_owned()
+            }
+            .to_string(),
+            "internal engine error: slot out of range"
         );
     }
 

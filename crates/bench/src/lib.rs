@@ -16,7 +16,7 @@ use adt_core::{Adt, AttributeDomain, AugmentedAdt, Gate};
 
 pub use pool::{
     build_order, clamp_jobs, default_jobs, engine_suite_report, evaluate_suite,
-    evaluate_suite_warm, run_engine_jobs, run_jobs, EngineWorker, JobOutput, SuiteEngine,
+    evaluate_suite_warm, run_engine_jobs, run_jobs, EngineWorker, JobOutput, PoolFull, SuiteEngine,
     SuiteReport, WorkerPool, DEFAULT_REORDER_THRESHOLD,
 };
 

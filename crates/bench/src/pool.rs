@@ -232,12 +232,41 @@ type Task = Box<dyn FnOnce(&mut EngineWorker) + Send>;
 struct PoolShared {
     queue: Mutex<QueueState>,
     work_ready: Condvar,
+    /// Notified whenever a worker finishes a task and the pool might have
+    /// gone idle — what [`WorkerPool::drain`] blocks on.
+    idle: Condvar,
 }
 
 struct QueueState {
     tasks: VecDeque<Task>,
+    /// Tasks currently executing on a worker (popped but not finished).
+    /// `tasks.len() + active` is the pool's pending count — the quantity
+    /// [`WorkerPool::try_submit`]'s admission bound is checked against.
+    active: usize,
     shutdown: bool,
 }
+
+/// Rejection of a [`WorkerPool::try_submit`] admission attempt: the pool's
+/// pending count (queued + executing tasks) had reached the caller's
+/// limit. Carries the observed count so servers can report queue depth in
+/// their backpressure responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolFull {
+    /// Queued-plus-executing tasks at the moment of rejection.
+    pub pending: usize,
+}
+
+impl std::fmt::Display for PoolFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pool admission queue full ({} tasks pending)",
+            self.pending
+        )
+    }
+}
+
+impl std::error::Error for PoolFull {}
 
 /// Completion tracking of one submitted batch.
 struct Batch<R> {
@@ -289,9 +318,11 @@ impl WorkerPool {
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(QueueState {
                 tasks: VecDeque::new(),
+                active: 0,
                 shutdown: false,
             }),
             work_ready: Condvar::new(),
+            idle: Condvar::new(),
         });
         let handles = (0..workers)
             .map(|worker| {
@@ -305,6 +336,63 @@ impl WorkerPool {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Tasks queued or currently executing — the pool's pending count.
+    ///
+    /// This is the quantity the [`WorkerPool::try_submit`] admission bound
+    /// is checked against; a server's queue-depth observability reads it
+    /// between admissions too. The count is momentary: workers pop and
+    /// finish tasks concurrently, so it can be stale by the time the
+    /// caller acts on it (admission itself re-checks under the lock).
+    pub fn pending_tasks(&self) -> usize {
+        let queue = self.shared.queue.lock().expect("pool queue poisoned");
+        queue.tasks.len() + queue.active
+    }
+
+    /// Non-blocking single-task admission with an explicit bound: enqueues
+    /// `task` if the pending count (queued + executing) is below `limit`,
+    /// else returns [`PoolFull`] without enqueuing anything. This is the
+    /// serving front's path into the pool — the bound is the admission
+    /// queue, and a rejection is what becomes a backpressure response.
+    ///
+    /// Unlike [`WorkerPool::submit`], nothing blocks and no results are
+    /// collected: the task is *detached*. Deliver results through the
+    /// closure itself (e.g. by writing to a shared sink). A detached task
+    /// that panics is swallowed by the worker loop after the worker's
+    /// engine is reset (a half-updated engine must not serve later tasks),
+    /// so callers that need to observe failures must catch them inside the
+    /// closure — there is no submitter to re-raise on.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolFull`] when the pending count had reached `limit`; the task
+    /// is returned to the caller untouched inside the closure it arrived
+    /// in (dropped with the `Err` if unused).
+    pub fn try_submit<F>(&self, limit: usize, task: F) -> Result<(), PoolFull>
+    where
+        F: FnOnce(&mut EngineWorker) + Send + 'static,
+    {
+        let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+        let pending = queue.tasks.len() + queue.active;
+        if pending >= limit {
+            return Err(PoolFull { pending });
+        }
+        queue.tasks.push_back(Box::new(task));
+        drop(queue);
+        self.shared.work_ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until the pool has no queued and no executing tasks — the
+    /// graceful-shutdown barrier of the serving front. Tasks submitted
+    /// concurrently with the wait extend it; callers are expected to stop
+    /// admitting first.
+    pub fn drain(&self) {
+        let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+        while !queue.tasks.is_empty() || queue.active > 0 {
+            queue = self.shared.idle.wait(queue).expect("pool queue poisoned");
+        }
     }
 
     /// Runs `f` over every job on the pool's workers and returns the
@@ -467,8 +555,12 @@ impl Drop for WorkerPool {
 }
 
 /// One worker thread: construct the private engine, then serve tasks until
-/// shutdown. Tasks arrive type-erased; panics are handled inside the task
-/// closures (see [`WorkerPool::submit`]), so the loop itself never unwinds.
+/// shutdown. Tasks arrive type-erased; batch tasks handle panics inside
+/// their closures (see [`WorkerPool::submit`]), and the loop's own
+/// `catch_unwind` covers detached [`WorkerPool::try_submit`] tasks — a
+/// panicking detached task resets the worker's engine and is otherwise
+/// swallowed (there is no submitter to re-raise on), so the worker thread
+/// itself never dies and the pool stays full-strength.
 fn worker_loop(shared: &PoolShared, worker: usize, gc_threshold: usize) {
     let mut ctx = EngineWorker {
         worker,
@@ -479,6 +571,7 @@ fn worker_loop(shared: &PoolShared, worker: usize, gc_threshold: usize) {
             let mut queue = shared.queue.lock().expect("pool queue poisoned");
             loop {
                 if let Some(task) = queue.tasks.pop_front() {
+                    queue.active += 1;
                     break Some(task);
                 }
                 if queue.shutdown {
@@ -488,7 +581,20 @@ fn worker_loop(shared: &PoolShared, worker: usize, gc_threshold: usize) {
             }
         };
         match task {
-            Some(task) => task(&mut ctx),
+            Some(task) => {
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| task(&mut ctx)));
+                if outcome.is_err() {
+                    // A detached task unwound: the engine may be
+                    // mid-mutation; never let it serve another task.
+                    ctx.engine.reset();
+                }
+                let mut queue = shared.queue.lock().expect("pool queue poisoned");
+                queue.active -= 1;
+                if queue.tasks.is_empty() && queue.active == 0 {
+                    drop(queue);
+                    shared.idle.notify_all();
+                }
+            }
             None => return,
         }
     }
@@ -776,6 +882,83 @@ mod tests {
         let pool = WorkerPool::new(2, adt_analysis::DEFAULT_GC_THRESHOLD);
         let outputs = pool.submit(Vec::<u8>::new(), |_, _, _| unreachable!("no jobs"));
         assert!(outputs.is_empty());
+    }
+
+    #[test]
+    fn try_submit_respects_the_admission_bound() {
+        let pool = WorkerPool::new(1, adt_analysis::DEFAULT_GC_THRESHOLD);
+        // Gate the single worker so admitted tasks stay pending
+        // deterministically while we probe the bound.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let release = {
+            let gate = Arc::clone(&gate);
+            move || {
+                let (open, opened) = &*gate;
+                *open.lock().unwrap() = true;
+                opened.notify_all();
+            }
+        };
+        let blocker = {
+            let gate = Arc::clone(&gate);
+            move |_: &mut EngineWorker| {
+                let (open, opened) = &*gate;
+                let mut open = open.lock().unwrap();
+                while !*open {
+                    open = opened.wait(open).unwrap();
+                }
+            }
+        };
+        assert_eq!(pool.pending_tasks(), 0);
+        pool.try_submit(2, blocker).expect("first admission fits");
+        let done = Arc::new(AtomicUsize::new(0));
+        let bump = {
+            let done = Arc::clone(&done);
+            move |_: &mut EngineWorker| {
+                done.fetch_add(1, Ordering::SeqCst);
+            }
+        };
+        pool.try_submit(2, bump.clone())
+            .expect("second admission fits");
+        // Pending is now 2 (one executing, one queued): the bound rejects.
+        let rejected = pool.try_submit(2, bump.clone());
+        assert_eq!(rejected, Err(PoolFull { pending: 2 }));
+        assert_eq!(pool.pending_tasks(), 2);
+        release();
+        pool.drain();
+        assert_eq!(pool.pending_tasks(), 0);
+        assert_eq!(done.load(Ordering::SeqCst), 1, "rejected task never ran");
+        // After the drain the bound admits again.
+        pool.try_submit(2, bump).expect("post-drain admission");
+        pool.drain();
+        assert_eq!(done.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn drain_on_an_idle_pool_returns_immediately() {
+        let pool = WorkerPool::new(3, adt_analysis::DEFAULT_GC_THRESHOLD);
+        pool.drain();
+        assert_eq!(pool.pending_tasks(), 0);
+    }
+
+    #[test]
+    fn detached_panic_resets_the_engine_and_keeps_the_worker() {
+        let pool = WorkerPool::new(1, adt_analysis::DEFAULT_GC_THRESHOLD);
+        // Warm the engine's cache, then panic a detached task: the reset
+        // must wipe the cache and the worker must keep serving.
+        let jobs: Vec<SuiteJob> = suite_jobs(
+            paper_suite(2, 30, Shape::Tree, 8),
+            OrderingKind::Declaration,
+        )
+        .collect();
+        evaluate_suite_warm(&pool, jobs);
+        pool.try_submit(usize::MAX, |_| panic!("detached task exploded"))
+            .expect("admission");
+        pool.drain();
+        let cached = pool
+            .submit(vec![()], |ctx, _, ()| ctx.engine.cached_fronts())
+            .remove(0)
+            .result;
+        assert_eq!(cached, 0, "the panicking task's engine must be reset");
     }
 
     #[test]

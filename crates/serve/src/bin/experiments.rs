@@ -20,6 +20,10 @@
 //!                        orders plus dynamic sifting
 //!   ablation-modular  [--count N] [--max-nodes M] [--seed S]
 //!                        modular decomposition vs plain BDDBU
+//!   serve [--unix PATH | --tcp ADDR] [--max-inflight N]
+//!                        framed query server over the engine pool
+//!                        (default transport: stdin/stdout; see
+//!                        docs/SERVE.md for the wire protocol)
 //!   all                  everything above with fast defaults
 //! ```
 //!
@@ -85,6 +89,7 @@ use adt_core::semiring::{
 };
 use adt_core::{catalog, Agent, AugmentedAdt, Gate};
 use adt_gen::{bucket_suite, paper_suite, Instance, Shape};
+use adt_serve::{ServeConfig, Server, DEFAULT_MAX_QUERY_BYTES};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -106,6 +111,7 @@ fn main() {
         "fig10" => fig10(&flags, &exec),
         "ablation-ordering" => ablation_ordering(&flags, &exec),
         "ablation-modular" => ablation_modular(&flags, &exec),
+        "serve" => serve(&flags),
         "all" => {
             table1();
             table2();
@@ -123,6 +129,66 @@ fn main() {
             eprintln!("unknown command `{command}`; see the module docs for usage");
             std::process::exit(2);
         }
+    }
+}
+
+/// The `serve` subcommand: a framed query server over the engine pool.
+///
+/// Transports: `--unix PATH` listens on a Unix socket, `--tcp ADDR`
+/// (e.g. `127.0.0.1:7878`) on TCP, and the default serves one session on
+/// stdin/stdout (the inetd/pipe mode the tests and `bench_serve` script).
+/// Socket modes accept connections until the process is killed; each
+/// connection gets its own session thread, all sharing the one pool.
+fn serve(flags: &Flags) {
+    let jobs = flags.jobs();
+    let cfg = ServeConfig {
+        jobs,
+        kernel_threads: flags.kernel_threads(),
+        max_inflight: flags.num("max-inflight", 2 * jobs as u64) as usize,
+        gc_threshold: flags.gc_threshold(),
+        max_query_bytes: DEFAULT_MAX_QUERY_BYTES,
+    };
+    eprintln!(
+        "serving with --jobs {} --kernel-threads {} --max-inflight {}",
+        cfg.jobs, cfg.kernel_threads, cfg.max_inflight
+    );
+    let server = Server::new(cfg);
+    if let Some(path) = flags.path("unix") {
+        let listener = std::os::unix::net::UnixListener::bind(path).expect("bindable --unix path");
+        eprintln!("listening on unix socket {path}");
+        std::thread::scope(|scope| {
+            for stream in listener.incoming() {
+                let stream = stream.expect("accept");
+                let server = &server;
+                scope.spawn(move || {
+                    let write_half = stream.try_clone().expect("clonable unix stream");
+                    if let Err(e) = server.serve_connection(&stream, write_half) {
+                        eprintln!("connection closed on protocol error: {e}");
+                    }
+                });
+            }
+        });
+    } else if let Some(addr) = flags.path("tcp") {
+        let listener = std::net::TcpListener::bind(addr).expect("bindable --tcp address");
+        eprintln!("listening on tcp {addr}");
+        std::thread::scope(|scope| {
+            for stream in listener.incoming() {
+                let stream = stream.expect("accept");
+                let server = &server;
+                scope.spawn(move || {
+                    let write_half = stream.try_clone().expect("clonable tcp stream");
+                    if let Err(e) = server.serve_connection(&stream, write_half) {
+                        eprintln!("connection closed on protocol error: {e}");
+                    }
+                });
+            }
+        });
+    } else {
+        if let Err(e) = server.serve_connection(std::io::stdin().lock(), std::io::stdout()) {
+            eprintln!("session closed on protocol error: {e}");
+            std::process::exit(1);
+        }
+        server.drain();
     }
 }
 

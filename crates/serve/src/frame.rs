@@ -1,0 +1,359 @@
+//! The wire framing of the query protocol: length-prefixed frames in the
+//! style of git's packetline side-band format.
+//!
+//! Every frame starts with 4 lowercase ASCII hex digits giving the **total**
+//! frame length — the 4 length digits and the channel byte included — so a
+//! data frame is `len(4) ++ channel(1) ++ payload(len - 5)`. The special
+//! length `0000` is a *flush* frame with no channel byte and no payload;
+//! lengths 1–4 are reserved (they cannot describe a well-formed frame) and
+//! are rejected; lengths above [`MAX_FRAME_LEN`] (`0xfff0`, git's cap) are
+//! rejected as oversized, which keeps `fff1`–`ffff` free for future
+//! control words exactly as packetline does.
+//!
+//! Only *lowercase* hex digits are accepted. That makes the encoding
+//! canonical: every byte stream the decoder accepts is byte-identical to
+//! what the encoder produces for the decoded frames, so the round-trip law
+//! `encode(decode(x)) == x` holds exactly (property-tested in
+//! `tests/proptest_frame.rs`, golden-tested in `tests/protocol.rs`).
+//!
+//! The module is split push/pull: [`FrameDecoder`] is a pure push-based
+//! state machine (feed bytes, pull frames — what the fuzz harness drives),
+//! and [`FrameReader`]/[`FrameWriter`] adapt it over [`std::io`] streams.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+
+/// Maximum total frame length, in bytes — `0xfff0`, mirroring git's
+/// packetline cap so the top 15 length words stay reserved.
+pub const MAX_FRAME_LEN: usize = 0xfff0;
+
+/// Maximum payload of one data frame: [`MAX_FRAME_LEN`] minus the 4
+/// length digits and the channel byte.
+pub const MAX_PAYLOAD: usize = MAX_FRAME_LEN - 5;
+
+/// One decoded frame, owning its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OwnedFrame {
+    /// The `0000` flush frame: a protocol-level punctuation mark (end of
+    /// query on the client side, end of session on the server side).
+    Flush,
+    /// A data frame: one channel byte and up to [`MAX_PAYLOAD`] bytes.
+    Data {
+        /// The side-band channel byte (see `docs/SERVE.md` for the
+        /// channel registry).
+        channel: u8,
+        /// The frame body.
+        payload: Vec<u8>,
+    },
+}
+
+impl OwnedFrame {
+    /// The canonical wire encoding of this frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::PayloadTooLong`] when a data payload exceeds
+    /// [`MAX_PAYLOAD`].
+    pub fn encode(&self) -> Result<Vec<u8>, FrameError> {
+        match self {
+            OwnedFrame::Flush => Ok(b"0000".to_vec()),
+            OwnedFrame::Data { channel, payload } => {
+                if payload.len() > MAX_PAYLOAD {
+                    return Err(FrameError::PayloadTooLong { len: payload.len() });
+                }
+                let total = payload.len() + 5;
+                let mut out = Vec::with_capacity(total);
+                out.extend_from_slice(format!("{total:04x}").as_bytes());
+                out.push(*channel);
+                out.extend_from_slice(payload);
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// Typed decoding/encoding failures. Everything a hostile byte stream can
+/// provoke is one of these — never a panic (property-tested).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A length digit was not a lowercase ASCII hex digit.
+    BadLengthDigit {
+        /// The offending byte.
+        byte: u8,
+    },
+    /// A length in the reserved band 1–4: too short to hold its own
+    /// length prefix.
+    ReservedLength {
+        /// The decoded length.
+        len: usize,
+    },
+    /// A length above [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The decoded length.
+        len: usize,
+    },
+    /// The stream ended in the middle of a frame.
+    UnexpectedEof,
+    /// An outgoing payload exceeded [`MAX_PAYLOAD`].
+    PayloadTooLong {
+        /// The rejected payload size.
+        len: usize,
+    },
+    /// The underlying transport failed. Only the [`ErrorKind`] is kept so
+    /// the error stays comparable in tests.
+    Io {
+        /// The transport error's kind.
+        kind: ErrorKind,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadLengthDigit { byte } => {
+                write!(f, "length digit {byte:#04x} is not lowercase hex")
+            }
+            FrameError::ReservedLength { len } => {
+                write!(f, "frame length {len} is in the reserved band 1-4")
+            }
+            FrameError::Oversized { len } => {
+                write!(
+                    f,
+                    "frame length {len:#x} exceeds the {MAX_FRAME_LEN:#x} cap"
+                )
+            }
+            FrameError::UnexpectedEof => write!(f, "stream ended mid-frame"),
+            FrameError::PayloadTooLong { len } => {
+                write!(f, "payload of {len} bytes exceeds the {MAX_PAYLOAD} cap")
+            }
+            FrameError::Io { kind } => write!(f, "transport error: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io { kind: e.kind() }
+    }
+}
+
+/// The value of one lowercase ASCII hex digit, or an error for anything
+/// else (uppercase included — the encoding is canonical).
+fn hex_value(byte: u8) -> Result<usize, FrameError> {
+    match byte {
+        b'0'..=b'9' => Ok(usize::from(byte - b'0')),
+        b'a'..=b'f' => Ok(usize::from(byte - b'a' + 10)),
+        _ => Err(FrameError::BadLengthDigit { byte }),
+    }
+}
+
+/// Push-based frame decoder: [`feed`](FrameDecoder::feed) arbitrary byte
+/// chunks, then [`next_frame`](FrameDecoder::next_frame) until it reports
+/// that it needs more input. Chunk boundaries are invisible: any split of
+/// the same stream decodes to the same frames and the same first error
+/// (property-tested).
+///
+/// Errors do **not** consume input: once the stream is malformed, framing
+/// sync is lost for good, and `next_frame` keeps returning the same error.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: VecDeque<u8>,
+}
+
+impl FrameDecoder {
+    /// A decoder with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw transport bytes to the internal buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend(bytes);
+    }
+
+    /// True when no undecoded bytes are buffered — i.e. the stream is at a
+    /// frame boundary, so EOF here is a *clean* end of stream.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Decodes the next frame: `Ok(None)` means the buffer holds only a
+    /// frame prefix and more input is needed.
+    pub fn next_frame(&mut self) -> Result<Option<OwnedFrame>, FrameError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let mut len = 0usize;
+        for i in 0..4 {
+            len = len * 16 + hex_value(self.buf[i])?;
+        }
+        if len == 0 {
+            self.buf.drain(..4);
+            return Ok(Some(OwnedFrame::Flush));
+        }
+        if len <= 4 {
+            return Err(FrameError::ReservedLength { len });
+        }
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::Oversized { len });
+        }
+        if self.buf.len() < len {
+            return Ok(None);
+        }
+        let mut frame: Vec<u8> = self.buf.drain(..len).collect();
+        let payload = frame.split_off(5);
+        Ok(Some(OwnedFrame::Data {
+            channel: frame[4],
+            payload,
+        }))
+    }
+}
+
+/// Pull-based frame reader over any [`Read`] transport.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    decoder: FrameDecoder,
+    chunk: [u8; 4096],
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a transport.
+    pub fn new(inner: R) -> Self {
+        FrameReader {
+            inner,
+            decoder: FrameDecoder::new(),
+            chunk: [0; 4096],
+        }
+    }
+
+    /// Reads the next frame. `Ok(None)` is a **clean** end of stream (EOF
+    /// exactly at a frame boundary); EOF with a partial frame buffered is
+    /// [`FrameError::UnexpectedEof`].
+    pub fn next_frame(&mut self) -> Result<Option<OwnedFrame>, FrameError> {
+        loop {
+            if let Some(frame) = self.decoder.next_frame()? {
+                return Ok(Some(frame));
+            }
+            match self.inner.read(&mut self.chunk) {
+                Ok(0) => {
+                    return if self.decoder.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(FrameError::UnexpectedEof)
+                    };
+                }
+                Ok(n) => self.decoder.feed(&self.chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+/// Frame writer over any [`Write`] transport. Each frame is flushed to the
+/// transport as it is written — queries are interactive, latency beats
+/// batching here.
+#[derive(Debug)]
+pub struct FrameWriter<W> {
+    inner: W,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Wraps a transport.
+    pub fn new(inner: W) -> Self {
+        FrameWriter { inner }
+    }
+
+    /// Writes one data frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::PayloadTooLong`] for payloads over [`MAX_PAYLOAD`];
+    /// [`FrameError::Io`] when the transport fails.
+    pub fn write_data(&mut self, channel: u8, payload: &[u8]) -> Result<(), FrameError> {
+        let frame = OwnedFrame::Data {
+            channel,
+            payload: payload.to_vec(),
+        };
+        self.write_frame(&frame)
+    }
+
+    /// Writes a flush frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Io`] when the transport fails.
+    pub fn write_flush(&mut self) -> Result<(), FrameError> {
+        self.write_frame(&OwnedFrame::Flush)
+    }
+
+    /// Writes any frame in its canonical encoding.
+    ///
+    /// # Errors
+    ///
+    /// As [`write_data`](FrameWriter::write_data).
+    pub fn write_frame(&mut self, frame: &OwnedFrame) -> Result<(), FrameError> {
+        let bytes = frame.encode()?;
+        self.inner.write_all(&bytes)?;
+        self.inner.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_round_trip() {
+        let mut d = FrameDecoder::new();
+        d.feed(b"0000");
+        assert_eq!(d.next_frame(), Ok(Some(OwnedFrame::Flush)));
+        assert_eq!(d.next_frame(), Ok(None));
+        assert!(d.is_empty());
+        assert_eq!(OwnedFrame::Flush.encode().unwrap(), b"0000");
+    }
+
+    #[test]
+    fn data_round_trip() {
+        let frame = OwnedFrame::Data {
+            channel: b'Q',
+            payload: b"cost".to_vec(),
+        };
+        let bytes = frame.encode().unwrap();
+        assert_eq!(bytes, b"0009Qcost");
+        let mut d = FrameDecoder::new();
+        d.feed(&bytes);
+        assert_eq!(d.next_frame(), Ok(Some(frame)));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn errors_are_sticky() {
+        let mut d = FrameDecoder::new();
+        d.feed(b"00FF");
+        let err = FrameError::BadLengthDigit { byte: b'F' };
+        assert_eq!(d.next_frame(), Err(err.clone()));
+        assert_eq!(d.next_frame(), Err(err));
+    }
+
+    #[test]
+    fn payload_cap_is_enforced_symmetrically() {
+        let frame = OwnedFrame::Data {
+            channel: b'R',
+            payload: vec![0; MAX_PAYLOAD + 1],
+        };
+        assert_eq!(
+            frame.encode(),
+            Err(FrameError::PayloadTooLong {
+                len: MAX_PAYLOAD + 1
+            })
+        );
+        let mut d = FrameDecoder::new();
+        d.feed(b"fff1");
+        assert_eq!(d.next_frame(), Err(FrameError::Oversized { len: 0xfff1 }));
+    }
+}

@@ -1,0 +1,27 @@
+//! `adt-serve`: the wire-protocol serving front over the analysis engine
+//! pool.
+//!
+//! The crate turns the batch experiment harness into a servable system:
+//! clients send DSL queries over any byte transport (stdin/stdout, Unix
+//! socket, TCP) in a packetline-style framed protocol ([`frame`]), a
+//! per-connection state machine assigns request ids and accumulates query
+//! fragments ([`session`]), and a [`Server`] routes complete queries into
+//! the persistent [`adt_bench::WorkerPool`] with bounded admission and
+//! explicit backpressure ([`server`]).
+//!
+//! The wire format, channel registry, and backpressure/shutdown protocol
+//! are specified in `docs/SERVE.md`; a doc-honesty test (`serve_doc.rs`)
+//! decodes the byte examples given there against this implementation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod server;
+pub mod session;
+
+pub use frame::{
+    FrameDecoder, FrameError, FrameReader, FrameWriter, OwnedFrame, MAX_FRAME_LEN, MAX_PAYLOAD,
+};
+pub use server::{ServeConfig, Server};
+pub use session::{Session, SessionStep, DEFAULT_MAX_QUERY_BYTES, SESSION_ID};

@@ -1,0 +1,337 @@
+//! The request router: one [`Server`] owning the persistent engine pool,
+//! serving any number of framed connections (sequentially or from
+//! caller-managed threads).
+//!
+//! ## Request lifecycle
+//!
+//! A query is parsed **on the connection thread** (malformed DSL never
+//! occupies a worker), then admitted into the pool with
+//! [`WorkerPool::try_submit`] under the `max_inflight` bound. Admission
+//! rejection is answered with a `B` (busy) frame — explicit backpressure,
+//! never blocking the connection's read loop. Admitted requests run
+//! detached on a pool worker: the worker computes the `BDDBU` report via
+//! the request-scoped [`try_bdd_bu_report`] entry point, streams the
+//! Pareto front back as tagged `R` chunks, and terminates the request with
+//! an `S` (status, with BDD size / front width / wall-clock) or `E`
+//! (error) frame. Responses of concurrent requests may interleave —
+//! delivery is *tagged*, not ordered.
+//!
+//! ## Disconnect and shutdown
+//!
+//! Client EOF closes the connection immediately: inflight requests keep
+//! their worker only until they finish computing (writes to the dead
+//! transport are swallowed), so a disconnecting client cannot wedge the
+//! pool. A graceful `X` shutdown instead waits for the connection's
+//! inflight requests, answers a final flush frame, and then closes.
+//!
+//! [`try_bdd_bu_report`]: adt_analysis::AnalysisEngine::try_bdd_bu_report
+
+use std::io::{Read, Write};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use adt_analysis::{DefenseFirstOrder, DEFAULT_GC_THRESHOLD};
+use adt_bench::{default_jobs, PoolFull, WorkerPool};
+use adt_core::dsl::Document;
+
+use crate::frame::{FrameError, FrameReader, FrameWriter, OwnedFrame};
+use crate::session::{
+    busy_frame, error_frame, result_frames, status_frame, Session, SessionStep,
+    DEFAULT_MAX_QUERY_BYTES, SESSION_ID,
+};
+
+/// Server tuning knobs, mirrored by the `experiments serve` CLI flags.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Pool workers (`--jobs`): concurrent queries in execution.
+    pub jobs: usize,
+    /// Kernel threads per worker engine (`--kernel-threads`): intra-query
+    /// parallelism of the shared-manager kernel.
+    pub kernel_threads: usize,
+    /// Admission bound (`--max-inflight`): queued + executing requests
+    /// above this answer `B` (busy) instead of being admitted.
+    pub max_inflight: usize,
+    /// Automatic-GC threshold of each worker engine, in arena nodes.
+    pub gc_threshold: usize,
+    /// Per-query DSL size cap, in bytes.
+    pub max_query_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let jobs = default_jobs();
+        ServeConfig {
+            jobs,
+            kernel_threads: 1,
+            max_inflight: 2 * jobs,
+            gc_threshold: DEFAULT_GC_THRESHOLD,
+            max_query_bytes: DEFAULT_MAX_QUERY_BYTES,
+        }
+    }
+}
+
+/// A query server over a persistent [`WorkerPool`] of analysis engines.
+pub struct Server {
+    cfg: ServeConfig,
+    pool: WorkerPool,
+}
+
+/// The per-connection inflight tracker: count + "drained" signal.
+type Inflight = Arc<(Mutex<usize>, Condvar)>;
+
+impl Server {
+    /// Builds a server with its own pool of `cfg.jobs` workers.
+    pub fn new(cfg: ServeConfig) -> Self {
+        let pool = WorkerPool::new(cfg.jobs.max(1), cfg.gc_threshold);
+        pool.set_kernel_threads(cfg.kernel_threads.max(1));
+        Server { cfg, pool }
+    }
+
+    /// Builds a server over a caller-supplied pool — the hook the
+    /// robustness tests use to pre-occupy workers deterministically.
+    pub fn with_pool(cfg: ServeConfig, pool: WorkerPool) -> Self {
+        Server { cfg, pool }
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The underlying pool (tests inspect queue depth through this).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Blocks until every admitted request (across all connections) has
+    /// finished — the server-level drain of a graceful process shutdown.
+    pub fn drain(&self) {
+        self.pool.drain();
+    }
+
+    /// Serves one framed connection until client EOF, graceful shutdown,
+    /// or a protocol error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FrameError`] that desynchronized the stream (after
+    /// answering a final session-level `E` frame, best-effort). Client
+    /// EOF and `X` shutdown return `Ok(())`.
+    pub fn serve_connection<R, W>(&self, reader: R, writer: W) -> Result<(), FrameError>
+    where
+        R: Read,
+        W: Write + Send + 'static,
+    {
+        let writer = Arc::new(Mutex::new(FrameWriter::new(writer)));
+        let inflight: Inflight = Arc::new((Mutex::new(0), Condvar::new()));
+        let mut session = Session::new(self.cfg.max_query_bytes);
+        let mut reader = FrameReader::new(reader);
+        loop {
+            let frame = match reader.next_frame() {
+                // Client EOF: close now. Inflight requests finish on their
+                // workers; their writes to the dead transport are
+                // swallowed, so no worker is wedged.
+                Ok(None) => return Ok(()),
+                Err(e) => {
+                    // Framing sync is lost: report once, then close.
+                    let fatal = error_frame(SESSION_ID, &format!("protocol: {e}"));
+                    write_best_effort(&writer, &fatal);
+                    return Err(e);
+                }
+                Ok(Some(frame)) => frame,
+            };
+            match session.on_frame(frame) {
+                SessionStep::None => {}
+                SessionStep::Reply(reply) => write_best_effort(&writer, &reply),
+                SessionStep::Submit { id, query } => {
+                    self.route(id, &query, &writer, &inflight);
+                }
+                SessionStep::Shutdown => {
+                    let (count, drained) = &*inflight;
+                    let mut n = count.lock().expect("inflight lock poisoned");
+                    while *n > 0 {
+                        n = drained.wait(n).expect("inflight lock poisoned");
+                    }
+                    drop(n);
+                    write_best_effort(&writer, &OwnedFrame::Flush);
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Parses, admits, and (on admission) detaches one query.
+    fn route<W: Write + Send + 'static>(
+        &self,
+        id: u32,
+        query: &str,
+        writer: &Arc<Mutex<FrameWriter<W>>>,
+        inflight: &Inflight,
+    ) {
+        let t = match Document::parse(query).and_then(|doc| doc.to_cost_adt("cost")) {
+            Ok(t) => t,
+            Err(e) => {
+                write_best_effort(writer, &error_frame(id, &e.to_string()));
+                return;
+            }
+        };
+        // Count the request before admission so a racing `X` shutdown can
+        // never observe it half-registered.
+        *inflight.0.lock().expect("inflight lock poisoned") += 1;
+        let start = Instant::now();
+        let task_writer = Arc::clone(writer);
+        let tracker = Arc::clone(inflight);
+        let admitted = self.pool.try_submit(self.cfg.max_inflight, move |ctx| {
+            let order = DefenseFirstOrder::declaration(t.adt());
+            let frames = match ctx.engine.try_bdd_bu_report(&t, &order) {
+                Ok(report) => {
+                    let micros = start.elapsed().as_micros();
+                    let mut frames = result_frames(id, &report.front.to_string());
+                    frames.push(status_frame(
+                        id,
+                        report.bdd_nodes,
+                        report.max_front_width,
+                        micros,
+                    ));
+                    frames
+                }
+                Err(e) => vec![error_frame(id, &e.to_string())],
+            };
+            for frame in &frames {
+                write_best_effort(&task_writer, frame);
+            }
+            finish_one(&tracker);
+        });
+        if let Err(PoolFull { pending }) = admitted {
+            finish_one(inflight);
+            write_best_effort(writer, &busy_frame(id, pending));
+        }
+    }
+}
+
+/// Decrements a connection's inflight count, waking its drain waiter at
+/// zero.
+fn finish_one(inflight: &Inflight) {
+    let (count, drained) = &**inflight;
+    let mut n = count.lock().expect("inflight lock poisoned");
+    *n -= 1;
+    if *n == 0 {
+        drained.notify_all();
+    }
+}
+
+/// Writes one frame, swallowing transport failures — the peer may be gone,
+/// and a dead client must not take a worker down with it.
+fn write_best_effort<W: Write>(writer: &Arc<Mutex<FrameWriter<W>>>, frame: &OwnedFrame) {
+    if let Ok(mut w) = writer.lock() {
+        let _ = w.write_frame(frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{CH_ERROR, CH_QUERY, CH_RESULT, CH_SHUTDOWN, CH_STATUS};
+    use adt_core::catalog;
+    use adt_core::dsl::Document;
+
+    /// Drives one query stream through an in-memory connection and
+    /// returns the decoded response frames.
+    fn exchange(server: &Server, frames: &[OwnedFrame]) -> Vec<OwnedFrame> {
+        let mut request = Vec::new();
+        for f in frames {
+            request.extend_from_slice(&f.encode().expect("request frame fits"));
+        }
+        let response: Arc<Mutex<Vec<u8>>> = Arc::default();
+        let sink = SharedSink(Arc::clone(&response));
+        server
+            .serve_connection(&request[..], sink)
+            .expect("clean session");
+        server.drain();
+        let bytes = response.lock().unwrap().clone();
+        let mut decoder = crate::frame::FrameDecoder::new();
+        decoder.feed(&bytes);
+        let mut out = Vec::new();
+        while let Some(f) = decoder.next_frame().expect("well-formed response") {
+            out.push(f);
+        }
+        out
+    }
+
+    #[derive(Debug, Clone)]
+    struct SharedSink(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn query_frames(dsl: &str) -> Vec<OwnedFrame> {
+        vec![
+            OwnedFrame::Data {
+                channel: CH_QUERY,
+                payload: dsl.as_bytes().to_vec(),
+            },
+            OwnedFrame::Flush,
+        ]
+    }
+
+    #[test]
+    fn one_query_round_trip() {
+        let server = Server::new(ServeConfig {
+            jobs: 1,
+            ..ServeConfig::default()
+        });
+        let t = catalog::fig3();
+        let dsl = Document::from_cost_adt("fig3", &t).to_dsl();
+        let mut frames = query_frames(&dsl);
+        frames.push(OwnedFrame::Data {
+            channel: CH_SHUTDOWN,
+            payload: Vec::new(),
+        });
+        let replies = exchange(&server, &frames);
+        // R chunk(s) for id 0, S frame, final shutdown flush.
+        let (body, mut status): (Vec<u8>, Vec<Vec<u8>>) =
+            replies
+                .iter()
+                .fold((Vec::new(), Vec::new()), |(mut body, mut status), f| {
+                    if let OwnedFrame::Data { channel, payload } = f {
+                        assert_eq!(&payload[..8], b"00000000");
+                        match *channel {
+                            CH_RESULT => body.extend_from_slice(&payload[8..]),
+                            CH_STATUS => status.push(payload[8..].to_vec()),
+                            other => panic!("unexpected channel {other:#04x}"),
+                        }
+                    }
+                    (body, status)
+                });
+        let direct = adt_analysis::analyze(&t).expect("fig3 analyzes");
+        assert_eq!(body, direct.to_string().as_bytes());
+        assert_eq!(status.len(), 1);
+        let status = String::from_utf8(status.remove(0)).unwrap();
+        assert!(status.starts_with(" ok nodes="), "status: {status}");
+        assert_eq!(replies.last(), Some(&OwnedFrame::Flush));
+    }
+
+    #[test]
+    fn malformed_dsl_gets_a_tagged_error() {
+        let server = Server::new(ServeConfig {
+            jobs: 1,
+            ..ServeConfig::default()
+        });
+        let replies = exchange(&server, &query_frames("this is not DSL"));
+        assert_eq!(replies.len(), 1);
+        match &replies[0] {
+            OwnedFrame::Data { channel, payload } => {
+                assert_eq!(*channel, CH_ERROR);
+                assert!(payload.starts_with(b"00000000 err "));
+            }
+            other => panic!("expected error frame, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The per-connection session state machine: pure frame-in → step-out,
+//! with no transport and no engine attached, so the fuzz harness can
+//! drive it over arbitrary frame sequences.
+//!
+//! ## Channels
+//!
+//! Client → server: `Q` accumulates DSL query bytes; a flush frame ends
+//! the query and assigns it the next request id; `X` asks for graceful
+//! shutdown. Server → client: `R` result chunk, `S` status (success
+//! summary), `E` error, `B` busy (admission backpressure). Every server
+//! payload begins with the 8 lowercase hex digits of the request id it
+//! answers; session-level errors (not attributable to a request) use
+//! [`SESSION_ID`].
+
+use crate::frame::{OwnedFrame, MAX_PAYLOAD};
+
+/// Query-fragment channel (client → server).
+pub const CH_QUERY: u8 = b'Q';
+/// Graceful-shutdown channel (client → server).
+pub const CH_SHUTDOWN: u8 = b'X';
+/// Result-chunk channel (server → client).
+pub const CH_RESULT: u8 = b'R';
+/// Status channel (server → client): terminates a successful request.
+pub const CH_STATUS: u8 = b'S';
+/// Error channel (server → client): terminates a failed request.
+pub const CH_ERROR: u8 = b'E';
+/// Busy channel (server → client): the admission queue rejected the
+/// request; retry later.
+pub const CH_BUSY: u8 = b'B';
+
+/// The request id used for session-level errors that no request owns.
+pub const SESSION_ID: u32 = 0xffff_ffff;
+
+/// Default cap on one query's accumulated DSL bytes (1 MiB).
+pub const DEFAULT_MAX_QUERY_BYTES: usize = 1 << 20;
+
+/// What the connection driver must do after handing the session a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionStep {
+    /// Nothing — the frame only advanced internal state.
+    None,
+    /// A complete query: hand it to the router under the given id.
+    Submit {
+        /// The request id assigned to this query.
+        id: u32,
+        /// The accumulated query text.
+        query: String,
+    },
+    /// Send this frame back to the client and carry on.
+    Reply(OwnedFrame),
+    /// The client asked for graceful shutdown: drain this connection's
+    /// inflight requests, send a flush frame, close.
+    Shutdown,
+}
+
+/// Session state: the query accumulator and the id counter.
+///
+/// Ids are assigned **at flush**, sequentially from 0, one per query —
+/// including queries that die before submission (oversized, non-UTF-8):
+/// their error frame consumes the id, so the client can always match
+/// responses to queries by counting its own flushes.
+#[derive(Debug)]
+pub struct Session {
+    buf: Vec<u8>,
+    next_id: u32,
+    overflow: bool,
+    max_query_bytes: usize,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new(DEFAULT_MAX_QUERY_BYTES)
+    }
+}
+
+impl Session {
+    /// A fresh session with the given query-size cap.
+    pub fn new(max_query_bytes: usize) -> Self {
+        Session {
+            buf: Vec::new(),
+            next_id: 0,
+            overflow: false,
+            max_query_bytes,
+        }
+    }
+
+    /// Ids handed out so far (== queries flushed).
+    pub fn issued_ids(&self) -> u32 {
+        self.next_id
+    }
+
+    /// Advances the state machine by one frame.
+    pub fn on_frame(&mut self, frame: OwnedFrame) -> SessionStep {
+        match frame {
+            OwnedFrame::Data { channel, payload } => match channel {
+                CH_QUERY => {
+                    if self.overflow {
+                        return SessionStep::None;
+                    }
+                    if self.buf.len() + payload.len() > self.max_query_bytes {
+                        // Remember the overflow, report it at flush time
+                        // (where the query's id exists), and stop buffering
+                        // so a hostile stream cannot grow memory.
+                        self.overflow = true;
+                        self.buf.clear();
+                        return SessionStep::None;
+                    }
+                    self.buf.extend_from_slice(&payload);
+                    SessionStep::None
+                }
+                CH_SHUTDOWN => SessionStep::Shutdown,
+                other => SessionStep::Reply(error_frame(
+                    SESSION_ID,
+                    &format!("unknown channel {:#04x}", other),
+                )),
+            },
+            OwnedFrame::Flush => {
+                if self.overflow {
+                    self.overflow = false;
+                    let id = self.take_id();
+                    return SessionStep::Reply(error_frame(
+                        id,
+                        &format!("query exceeds {} bytes", self.max_query_bytes),
+                    ));
+                }
+                if self.buf.is_empty() {
+                    // An empty flush is protocol punctuation, not a query.
+                    return SessionStep::None;
+                }
+                let bytes = std::mem::take(&mut self.buf);
+                let id = self.take_id();
+                match String::from_utf8(bytes) {
+                    Ok(query) => SessionStep::Submit { id, query },
+                    Err(_) => SessionStep::Reply(error_frame(id, "query is not valid UTF-8")),
+                }
+            }
+        }
+    }
+
+    fn take_id(&mut self) -> u32 {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        id
+    }
+}
+
+/// Prefixes a response body with its request id, as 8 lowercase hex
+/// digits.
+fn tagged(id: u32, body: &str) -> Vec<u8> {
+    let mut payload = format!("{id:08x}").into_bytes();
+    payload.extend_from_slice(body.as_bytes());
+    payload
+}
+
+/// One `R` frame carrying a chunk of an already-split result body.
+fn result_chunk(id: u32, chunk: &[u8]) -> OwnedFrame {
+    let mut payload = format!("{id:08x}").into_bytes();
+    payload.extend_from_slice(chunk);
+    OwnedFrame::Data {
+        channel: CH_RESULT,
+        payload,
+    }
+}
+
+/// The `R` frames of one result body, split so every frame respects
+/// [`MAX_PAYLOAD`] after the 8-digit id prefix.
+pub fn result_frames(id: u32, body: &str) -> Vec<OwnedFrame> {
+    let chunk = MAX_PAYLOAD - 8;
+    let bytes = body.as_bytes();
+    if bytes.is_empty() {
+        return vec![result_chunk(id, b"")];
+    }
+    bytes.chunks(chunk).map(|c| result_chunk(id, c)).collect()
+}
+
+/// The `S` frame that terminates a successful request: BDD size, maximal
+/// intermediate front width, and the request's wall-clock (admission to
+/// completion) in microseconds.
+pub fn status_frame(id: u32, nodes: usize, width: usize, micros: u128) -> OwnedFrame {
+    OwnedFrame::Data {
+        channel: CH_STATUS,
+        payload: tagged(
+            id,
+            &format!(" ok nodes={nodes} width={width} micros={micros}"),
+        ),
+    }
+}
+
+/// The `E` frame that terminates a failed request (or reports a
+/// session-level error under [`SESSION_ID`]). Long messages are truncated
+/// to fit one frame.
+pub fn error_frame(id: u32, message: &str) -> OwnedFrame {
+    let budget = MAX_PAYLOAD - 8 - " err ".len();
+    let mut message = message;
+    if message.len() > budget {
+        let mut end = budget;
+        while !message.is_char_boundary(end) {
+            end -= 1;
+        }
+        message = &message[..end];
+    }
+    OwnedFrame::Data {
+        channel: CH_ERROR,
+        payload: tagged(id, &format!(" err {message}")),
+    }
+}
+
+/// The `B` frame reporting admission-queue backpressure: the request was
+/// **not** accepted (its id is still consumed) and the client should retry
+/// once inflight work drains.
+pub fn busy_frame(id: u32, inflight: usize) -> OwnedFrame {
+    OwnedFrame::Data {
+        channel: CH_BUSY,
+        payload: tagged(id, &format!(" busy inflight={inflight}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(channel: u8, payload: &[u8]) -> OwnedFrame {
+        OwnedFrame::Data {
+            channel,
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn fragments_accumulate_and_flush_submits() {
+        let mut s = Session::default();
+        assert_eq!(s.on_frame(data(CH_QUERY, b"cost att")), SessionStep::None);
+        assert_eq!(s.on_frame(data(CH_QUERY, b"ack a = 5;")), SessionStep::None);
+        assert_eq!(
+            s.on_frame(OwnedFrame::Flush),
+            SessionStep::Submit {
+                id: 0,
+                query: "cost attack a = 5;".to_owned()
+            }
+        );
+        // The accumulator is consumed; an empty flush is a no-op.
+        assert_eq!(s.on_frame(OwnedFrame::Flush), SessionStep::None);
+        assert_eq!(s.issued_ids(), 1);
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let mut s = Session::default();
+        for expect in 0..3u32 {
+            s.on_frame(data(CH_QUERY, b"q"));
+            match s.on_frame(OwnedFrame::Flush) {
+                SessionStep::Submit { id, .. } => assert_eq!(id, expect),
+                other => panic!("expected Submit, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_query_errors_at_flush_and_consumes_the_id() {
+        let mut s = Session::new(8);
+        assert_eq!(s.on_frame(data(CH_QUERY, b"0123456789")), SessionStep::None);
+        assert_eq!(s.on_frame(data(CH_QUERY, b"more")), SessionStep::None);
+        match s.on_frame(OwnedFrame::Flush) {
+            SessionStep::Reply(OwnedFrame::Data { channel, payload }) => {
+                assert_eq!(channel, CH_ERROR);
+                assert!(payload.starts_with(b"00000000 err "));
+            }
+            other => panic!("expected error reply, got {other:?}"),
+        }
+        // The session recovered: the next query gets id 1.
+        s.on_frame(data(CH_QUERY, b"ok"));
+        match s.on_frame(OwnedFrame::Flush) {
+            SessionStep::Submit { id, query } => {
+                assert_eq!(id, 1);
+                assert_eq!(query, "ok");
+            }
+            other => panic!("expected Submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_channel_is_a_session_error() {
+        let mut s = Session::default();
+        match s.on_frame(data(b'Z', b"?")) {
+            SessionStep::Reply(OwnedFrame::Data { channel, payload }) => {
+                assert_eq!(channel, CH_ERROR);
+                assert!(payload.starts_with(b"ffffffff err unknown channel 0x5a"));
+            }
+            other => panic!("expected session error, got {other:?}"),
+        }
+        assert_eq!(s.issued_ids(), 0, "session errors consume no id");
+    }
+
+    #[test]
+    fn invalid_utf8_errors_but_keeps_the_session() {
+        let mut s = Session::default();
+        s.on_frame(data(CH_QUERY, &[0xff, 0xfe]));
+        match s.on_frame(OwnedFrame::Flush) {
+            SessionStep::Reply(OwnedFrame::Data { channel, payload }) => {
+                assert_eq!(channel, CH_ERROR);
+                assert!(payload.starts_with(b"00000000 err query is not valid UTF-8"));
+            }
+            other => panic!("expected error reply, got {other:?}"),
+        }
+        assert_eq!(s.on_frame(data(CH_SHUTDOWN, b"")), SessionStep::Shutdown);
+    }
+
+    #[test]
+    fn response_frames_are_tagged_and_bounded() {
+        assert_eq!(
+            status_frame(7, 12, 3, 450),
+            data(CH_STATUS, b"00000007 ok nodes=12 width=3 micros=450")
+        );
+        assert_eq!(
+            busy_frame(2, 64),
+            data(CH_BUSY, b"00000002 busy inflight=64")
+        );
+        let long = "x".repeat(2 * MAX_PAYLOAD);
+        for frame in [error_frame(1, &long)]
+            .into_iter()
+            .chain(result_frames(3, &long))
+        {
+            let encoded = frame.encode().expect("every response frame fits");
+            assert!(encoded.len() <= crate::frame::MAX_FRAME_LEN);
+        }
+        // Chunked results reassemble to the original body.
+        let rebuilt: Vec<u8> = result_frames(3, &long)
+            .into_iter()
+            .flat_map(|f| match f {
+                OwnedFrame::Data { channel, payload } => {
+                    assert_eq!(channel, CH_RESULT);
+                    assert_eq!(&payload[..8], b"00000003");
+                    payload[8..].to_vec()
+                }
+                OwnedFrame::Flush => panic!("no flush in a result body"),
+            })
+            .collect();
+        assert_eq!(rebuilt, long.as_bytes());
+    }
+}

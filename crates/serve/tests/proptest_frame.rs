@@ -1,0 +1,185 @@
+//! Property-based fuzzing of the frame parser and the session state
+//! machine: arbitrary byte streams must decode to well-formed frames or a
+//! typed error (never a panic), chunking must be invisible, and the
+//! canonical encoding must satisfy the round-trip law
+//! `encode(decode(x)) == x`.
+//!
+//! Wired into the deep-proptest CI soak at `PROPTEST_CASES=2048`.
+
+use proptest::prelude::*;
+
+use adt_serve::{FrameDecoder, FrameError, FrameReader, OwnedFrame, Session, SessionStep};
+
+/// Decodes a whole stream, collecting frames up to the first error; the
+/// trailing flag says whether the stream ended cleanly at a boundary.
+fn decode_stream(bytes: &[u8]) -> (Vec<OwnedFrame>, Option<FrameError>, bool) {
+    let mut decoder = FrameDecoder::new();
+    decoder.feed(bytes);
+    let mut frames = Vec::new();
+    loop {
+        match decoder.next_frame() {
+            Ok(Some(frame)) => frames.push(frame),
+            Ok(None) => return (frames, None, decoder.is_empty()),
+            Err(e) => return (frames, Some(e), decoder.is_empty()),
+        }
+    }
+}
+
+/// Arbitrary frames, biased toward the protocol's real channels but
+/// covering the full channel byte space.
+fn frame() -> impl Strategy<Value = OwnedFrame> {
+    let channel = prop_oneof![
+        Just(b'Q'),
+        Just(b'X'),
+        Just(b'R'),
+        Just(b'S'),
+        Just(b'E'),
+        Just(b'B'),
+        any::<u8>(),
+    ];
+    prop_oneof![
+        Just(OwnedFrame::Flush),
+        (channel, prop::collection::vec(any::<u8>(), 0..200))
+            .prop_map(|(channel, payload)| OwnedFrame::Data { channel, payload }),
+    ]
+}
+
+proptest! {
+    /// Arbitrary bytes never panic the decoder: every outcome is frames
+    /// plus an optional typed error.
+    #[test]
+    fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        let (frames, error, _) = decode_stream(&bytes);
+        // Whatever decoded must individually re-encode (valid frames
+        // only ever come from valid byte ranges).
+        for f in &frames {
+            prop_assert!(f.encode().is_ok());
+        }
+        // Errors are sticky: a second pull reproduces the same error.
+        if let Some(e) = error {
+            let mut d = FrameDecoder::new();
+            d.feed(&bytes);
+            let mut last = None;
+            loop {
+                match d.next_frame() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(err) => { last = Some(err); break; }
+                }
+            }
+            prop_assert_eq!(last, Some(e));
+        }
+    }
+
+    /// Chunk boundaries are invisible: any split of the stream yields the
+    /// same frames and the same first error as feeding it whole.
+    #[test]
+    fn chunking_is_invisible(
+        bytes in prop::collection::vec(any::<u8>(), 0..400),
+        cut in 0usize..400,
+    ) {
+        let whole = decode_stream(&bytes);
+        let split = cut.min(bytes.len());
+        let mut decoder = FrameDecoder::new();
+        let mut frames = Vec::new();
+        let mut error = None;
+        'outer: for chunk in [&bytes[..split], &bytes[split..]] {
+            decoder.feed(chunk);
+            loop {
+                match decoder.next_frame() {
+                    Ok(Some(frame)) => frames.push(frame),
+                    Ok(None) => break,
+                    Err(e) => { error = Some(e); break 'outer; }
+                }
+            }
+        }
+        // An error surfacing needs 4 buffered length digits; feeding in
+        // two chunks can only delay it past a partial prefix, never
+        // change it once the bytes are all in.
+        prop_assert_eq!(frames, whole.0);
+        prop_assert_eq!(error, whole.1);
+    }
+
+    /// The round-trip law on valid streams: decoding a concatenation of
+    /// canonical encodings and re-encoding reproduces the input bytes.
+    #[test]
+    fn write_read_round_trip(frames in prop::collection::vec(frame(), 0..12)) {
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&f.encode().unwrap());
+        }
+        let (decoded, error, clean) = decode_stream(&wire);
+        prop_assert_eq!(error, None);
+        prop_assert!(clean);
+        prop_assert_eq!(&decoded, &frames);
+        let mut rewire = Vec::new();
+        for f in &decoded {
+            rewire.extend_from_slice(&f.encode().unwrap());
+        }
+        prop_assert_eq!(rewire, wire);
+    }
+
+    /// The blocking reader agrees with the push decoder on every stream,
+    /// including the EOF-mid-frame refinement.
+    #[test]
+    fn reader_agrees_with_decoder(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let (frames, error, clean) = decode_stream(&bytes);
+        let mut reader = FrameReader::new(&bytes[..]);
+        let mut read_frames = Vec::new();
+        let read_end = loop {
+            match reader.next_frame() {
+                Ok(Some(f)) => read_frames.push(f),
+                Ok(None) => break Ok(()),
+                Err(e) => break Err(e),
+            }
+        };
+        prop_assert_eq!(read_frames, frames);
+        match (error, clean) {
+            (Some(e), _) => prop_assert_eq!(read_end, Err(e)),
+            (None, true) => prop_assert_eq!(read_end, Ok(())),
+            // Decoder still waiting on bytes at EOF: the reader turns
+            // that into UnexpectedEof.
+            (None, false) => prop_assert_eq!(read_end, Err(FrameError::UnexpectedEof)),
+        }
+    }
+
+    /// The session state machine never panics on arbitrary frame
+    /// sequences, hands out strictly sequential ids, and never submits a
+    /// query larger than its cap.
+    #[test]
+    fn session_ids_are_sequential_and_bounded(
+        frames in prop::collection::vec(frame(), 0..40),
+        cap in 1usize..300,
+    ) {
+        let mut session = Session::new(cap);
+        let mut expected_id = 0u32;
+        for f in frames {
+            match session.on_frame(f) {
+                SessionStep::Submit { id, query } => {
+                    prop_assert_eq!(id, expected_id);
+                    prop_assert!(query.len() <= cap);
+                    prop_assert!(!query.is_empty());
+                    expected_id += 1;
+                }
+                SessionStep::Reply(OwnedFrame::Data { channel, payload }) => {
+                    prop_assert_eq!(channel, b'E');
+                    prop_assert!(payload.len() >= 8);
+                    // A request-scoped error consumes that request's id.
+                    let id = u32::from_str_radix(
+                        std::str::from_utf8(&payload[..8]).unwrap(),
+                        16,
+                    ).unwrap();
+                    if id != adt_serve::SESSION_ID {
+                        prop_assert_eq!(id, expected_id);
+                        expected_id += 1;
+                    }
+                }
+                SessionStep::Reply(OwnedFrame::Flush) => {
+                    prop_assert!(false, "sessions never reply with a bare flush");
+                }
+                SessionStep::None | SessionStep::Shutdown => {}
+            }
+            prop_assert_eq!(session.issued_ids(), expected_id);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Protocol conformance: golden byte-level tests of the framing
+//! reader/writer. Every malformed input must come back as a typed
+//! [`FrameError`] — never a panic, never silent resynchronization.
+
+use adt_serve::{FrameDecoder, FrameError, FrameReader, FrameWriter, OwnedFrame, MAX_PAYLOAD};
+
+fn data(channel: u8, payload: &[u8]) -> OwnedFrame {
+    OwnedFrame::Data {
+        channel,
+        payload: payload.to_vec(),
+    }
+}
+
+/// Decodes a complete byte stream into frames, requiring a clean end.
+fn decode_all(bytes: &[u8]) -> Result<Vec<OwnedFrame>, FrameError> {
+    let mut reader = FrameReader::new(bytes);
+    let mut frames = Vec::new();
+    while let Some(frame) = reader.next_frame()? {
+        frames.push(frame);
+    }
+    Ok(frames)
+}
+
+#[test]
+fn golden_encodings() {
+    // (bytes, decoded frame) — the canonical wire examples, also quoted
+    // in docs/SERVE.md (kept honest there by tests/serve_doc.rs).
+    let golden: &[(&[u8], OwnedFrame)] = &[
+        (b"0000", OwnedFrame::Flush),
+        (b"0005Q", data(b'Q', b"")),
+        (b"0006Qx", data(b'Q', b"x")),
+        (b"000fQcost tree;", data(b'Q', b"cost tree;")),
+        (b"0005X", data(b'X', b"")),
+        (
+            b"0020S00000000 ok nodes=9 width=2",
+            data(b'S', b"00000000 ok nodes=9 width=2"),
+        ),
+    ];
+    for (bytes, frame) in golden {
+        assert_eq!(
+            &decode_all(bytes).unwrap(),
+            std::slice::from_ref(frame),
+            "{bytes:?}"
+        );
+        assert_eq!(&frame.encode().unwrap(), bytes, "{bytes:?}");
+    }
+}
+
+#[test]
+fn empty_data_frame_and_empty_stream() {
+    assert_eq!(decode_all(b"").unwrap(), Vec::<OwnedFrame>::new());
+    // `0005Q` is the smallest data frame: channel byte, no payload.
+    assert_eq!(decode_all(b"0005Q").unwrap(), vec![data(b'Q', b"")]);
+}
+
+#[test]
+fn max_length_frame_round_trips() {
+    let frame = data(b'R', &vec![b'z'; MAX_PAYLOAD]);
+    let bytes = frame.encode().unwrap();
+    assert_eq!(bytes.len(), 0xfff0);
+    assert!(bytes.starts_with(b"fff0R"));
+    assert_eq!(decode_all(&bytes).unwrap(), vec![frame]);
+}
+
+#[test]
+fn split_reads_across_every_boundary() {
+    // The same stream must decode identically no matter where the
+    // transport splits it — including one byte at a time.
+    let mut stream = Vec::new();
+    for frame in [
+        data(b'Q', b"cost attack a = 5;"),
+        OwnedFrame::Flush,
+        data(b'X', b""),
+    ] {
+        stream.extend_from_slice(&frame.encode().unwrap());
+    }
+    let expected = decode_all(&stream).unwrap();
+    assert_eq!(expected.len(), 3);
+    for chunk_size in 1..stream.len() {
+        let mut decoder = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for chunk in stream.chunks(chunk_size) {
+            decoder.feed(chunk);
+            while let Some(frame) = decoder.next_frame().unwrap() {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(frames, expected, "chunk size {chunk_size}");
+        assert!(decoder.is_empty());
+    }
+}
+
+#[test]
+fn trailing_garbage_is_a_typed_error() {
+    let mut stream = data(b'Q', b"q").encode().unwrap();
+    stream.extend_from_slice(b"zzzz");
+    let mut reader = FrameReader::new(&stream[..]);
+    assert_eq!(reader.next_frame(), Ok(Some(data(b'Q', b"q"))));
+    assert_eq!(
+        reader.next_frame(),
+        Err(FrameError::BadLengthDigit { byte: b'z' })
+    );
+}
+
+#[test]
+fn reserved_lengths_error() {
+    for len in 1..=4usize {
+        let bytes = format!("{len:04x}AAAA").into_bytes();
+        assert_eq!(
+            decode_all(&bytes),
+            Err(FrameError::ReservedLength { len }),
+            "length {len}"
+        );
+    }
+}
+
+#[test]
+fn oversized_lengths_error_without_reading_the_body() {
+    // Every reserved-band length above the cap errors immediately — no
+    // body bytes are needed (or consumed) to reject it.
+    for bytes in [&b"fff1"[..], b"ffff"] {
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(bytes);
+        assert_eq!(
+            decoder.next_frame(),
+            Err(FrameError::Oversized {
+                len: usize::from_str_radix(std::str::from_utf8(bytes).unwrap(), 16).unwrap()
+            })
+        );
+    }
+}
+
+#[test]
+fn uppercase_hex_is_rejected_keeping_the_encoding_canonical() {
+    // `000A` would decode as 10 under case-insensitive hex; accepting it
+    // would break the round-trip law, so it is a bad digit instead.
+    assert_eq!(
+        decode_all(b"000AQhello"),
+        Err(FrameError::BadLengthDigit { byte: b'A' })
+    );
+}
+
+#[test]
+fn eof_mid_frame_is_unexpected_eof() {
+    for truncated in [&b"0"[..], b"00", b"0009Qco"] {
+        assert_eq!(
+            decode_all(truncated),
+            Err(FrameError::UnexpectedEof),
+            "{truncated:?}"
+        );
+    }
+}
+
+#[test]
+fn writer_and_reader_agree_over_a_pipe_like_buffer() {
+    let mut wire = Vec::new();
+    {
+        let mut writer = FrameWriter::new(&mut wire);
+        writer.write_data(b'Q', b"cost tree;").unwrap();
+        writer.write_flush().unwrap();
+        writer.write_data(b'R', &[0u8, 255, 128]).unwrap();
+        assert_eq!(
+            writer.write_data(b'R', &vec![0; MAX_PAYLOAD + 1]),
+            Err(FrameError::PayloadTooLong {
+                len: MAX_PAYLOAD + 1
+            })
+        );
+    }
+    assert_eq!(
+        decode_all(&wire).unwrap(),
+        vec![
+            data(b'Q', b"cost tree;"),
+            OwnedFrame::Flush,
+            data(b'R', &[0, 255, 128]),
+        ]
+    );
+}

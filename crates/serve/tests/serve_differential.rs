@@ -1,0 +1,202 @@
+//! End-to-end differential test of the serving front: every suite family
+//! the experiment drivers evaluate is pushed through a real socketpair
+//! session, and the streamed responses are pinned **byte-identical** to
+//! direct `AnalysisEngine` results — at every `--jobs` level, at kernel
+//! threads 1 and 2, and with enough queries inflight that completions
+//! arrive out of order (tagged delivery reassembles them).
+
+use std::collections::HashMap;
+use std::os::unix::net::UnixStream;
+
+use adt_analysis::DefenseFirstOrder;
+use adt_bench::SuiteEngine;
+use adt_core::dsl::Document;
+use adt_gen::{bucket_suite, paper_suite, Instance, Shape};
+use adt_serve::{FrameReader, FrameWriter, OwnedFrame, ServeConfig, Server};
+
+/// Every generated suite family of the experiment drivers, sized down for
+/// test time — the same five families `engine_differential.rs` pins.
+fn suite_families() -> Vec<(&'static str, Vec<Instance>)> {
+    vec![
+        ("paper_tree", paper_suite(10, 40, Shape::Tree, 42)),
+        ("paper_dag", paper_suite(10, 40, Shape::Dag, 43)),
+        ("bucket_tree", bucket_suite(2, 80, Shape::Tree, 44)),
+        ("bucket_dag", bucket_suite(2, 80, Shape::Dag, 45)),
+        (
+            "fig4_family",
+            (1..=8)
+                .map(|n| Instance {
+                    adt: adt_core::catalog::fig4(n),
+                    seed: u64::from(n),
+                    target_nodes: 0,
+                })
+                .collect(),
+        ),
+    ]
+}
+
+/// One reassembled response: concatenated `R` bodies plus the terminal
+/// frame's channel and body.
+#[derive(Debug, Default, Clone)]
+struct Response {
+    body: Vec<u8>,
+    terminal: u8,
+    terminal_body: String,
+}
+
+/// Sends every query of `queries` down one connection (all inflight at
+/// once — out-of-order completion is the normal case at `jobs > 1`),
+/// then shuts down gracefully and reassembles the tagged responses.
+fn serve_session(server: &Server, queries: &[String]) -> HashMap<u32, Response> {
+    let (client, remote) = UnixStream::pair().expect("socketpair");
+    let server_thread = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            let read_half = remote.try_clone().expect("clonable stream");
+            server
+                .serve_connection(read_half, remote.try_clone().expect("clonable stream"))
+                .expect("clean session");
+        });
+        // Writer: every query, then graceful shutdown. The reader runs on
+        // this thread concurrently with the server's response stream, so
+        // socket buffers never deadlock the test.
+        let reader_handle = scope.spawn(|| {
+            let mut reader = FrameReader::new(client.try_clone().expect("clonable stream"));
+            let mut responses: HashMap<u32, Response> = HashMap::new();
+            loop {
+                match reader.next_frame().expect("well-formed response stream") {
+                    // Graceful shutdown's final flush (or EOF after it).
+                    None | Some(OwnedFrame::Flush) => return responses,
+                    Some(OwnedFrame::Data { channel, payload }) => {
+                        let id = u32::from_str_radix(
+                            std::str::from_utf8(&payload[..8]).expect("hex id"),
+                            16,
+                        )
+                        .expect("tagged response");
+                        let entry = responses.entry(id).or_default();
+                        match channel {
+                            b'R' => entry.body.extend_from_slice(&payload[8..]),
+                            terminal => {
+                                assert_eq!(entry.terminal, 0, "two terminal frames for {id}");
+                                entry.terminal = terminal;
+                                entry.terminal_body =
+                                    String::from_utf8(payload[8..].to_vec()).expect("utf8");
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        let mut writer = FrameWriter::new(client.try_clone().expect("clonable stream"));
+        for query in queries {
+            writer
+                .write_data(b'Q', query.as_bytes())
+                .expect("query write");
+            writer.write_frame(&OwnedFrame::Flush).expect("flush write");
+        }
+        writer.write_data(b'X', b"").expect("shutdown write");
+        handle.join().expect("server thread");
+        reader_handle.join().expect("reader thread")
+    });
+    server_thread
+}
+
+#[test]
+fn served_responses_are_byte_identical_to_direct_engine_results() {
+    let families = suite_families();
+    for jobs in [1usize, 2, 4] {
+        for kernel_threads in [1usize, 2] {
+            let server = Server::new(ServeConfig {
+                jobs,
+                kernel_threads,
+                // Every query of the largest family fits inflight at
+                // once, so completions genuinely race at jobs > 1.
+                max_inflight: 64,
+                ..ServeConfig::default()
+            });
+            for (family, instances) in &families {
+                let queries: Vec<String> = instances
+                    .iter()
+                    .map(|i| Document::from_cost_adt("g", &i.adt).to_dsl())
+                    .collect();
+                let responses = serve_session(&server, &queries);
+                assert_eq!(
+                    responses.len(),
+                    queries.len(),
+                    "{family} jobs={jobs} kt={kernel_threads}: lost responses"
+                );
+                // The direct-oracle pass: same DSL round-trip, fresh
+                // engine per query stream, declaration order — exactly
+                // what the server's workers compute.
+                let mut engine = SuiteEngine::new();
+                engine.set_kernel_threads(kernel_threads);
+                for (id, (query, instance)) in queries.iter().zip(instances.iter()).enumerate() {
+                    let response = responses
+                        .get(&(id as u32))
+                        .unwrap_or_else(|| panic!("{family}: no response for id {id}"));
+                    let t = Document::parse(query)
+                        .and_then(|d| d.to_cost_adt("cost"))
+                        .expect("server-accepted query parses");
+                    let order = DefenseFirstOrder::declaration(t.adt());
+                    let report = engine.try_bdd_bu_report(&t, &order).expect("direct result");
+                    assert_eq!(
+                        response.body,
+                        report.front.to_string().as_bytes(),
+                        "{family} jobs={jobs} kt={kernel_threads} id={id} \
+                         (instance seed {}): served front diverged",
+                        instance.seed
+                    );
+                    assert_eq!(
+                        response.terminal, b'S',
+                        "{family} id={id}: expected a status terminal"
+                    );
+                    let expected_prefix = format!(
+                        " ok nodes={} width={} micros=",
+                        report.bdd_nodes, report.max_front_width
+                    );
+                    assert!(
+                        response.terminal_body.starts_with(&expected_prefix),
+                        "{family} id={id}: status `{}` != `{expected_prefix}…`",
+                        response.terminal_body
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ids_tag_out_of_order_completions_correctly() {
+    // One heavy query (fig4(8): 256-point front) followed by many light
+    // ones on a 4-worker pool: the light queries overtake the heavy one,
+    // and tagged delivery must still route every body to its id.
+    let server = Server::new(ServeConfig {
+        jobs: 4,
+        kernel_threads: 1,
+        max_inflight: 64,
+        ..ServeConfig::default()
+    });
+    let heavy = Document::from_cost_adt("g", &adt_core::catalog::fig4(8)).to_dsl();
+    let light = Document::from_cost_adt("g", &adt_core::catalog::fig3()).to_dsl();
+    let mut queries = vec![heavy.clone()];
+    queries.extend(std::iter::repeat_with(|| light.clone()).take(15));
+    let responses = serve_session(&server, &queries);
+    assert_eq!(responses.len(), 16);
+    let mut engine = SuiteEngine::new();
+    let expect = |engine: &mut SuiteEngine, dsl: &str| {
+        let t = Document::parse(dsl)
+            .and_then(|d| d.to_cost_adt("cost"))
+            .expect("query parses");
+        let order = DefenseFirstOrder::declaration(t.adt());
+        engine
+            .try_bdd_bu_report(&t, &order)
+            .expect("direct result")
+            .front
+            .to_string()
+    };
+    let heavy_front = expect(&mut engine, &heavy);
+    let light_front = expect(&mut engine, &light);
+    assert_eq!(responses[&0].body, heavy_front.as_bytes());
+    for id in 1..16u32 {
+        assert_eq!(responses[&id].body, light_front.as_bytes(), "id {id}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Keeps `docs/SERVE.md` honest: every line of every ```` ```frames ````
+//! block is a wire example of the form
+//!
+//! ```text
+//! "<bytes>" => flush
+//! "<bytes>" => data <channel> "<payload>"
+//! "<bytes>" => error <FrameError variant>
+//! ```
+//!
+//! and this test decodes the quoted bytes with the real frame reader and
+//! checks the claimed outcome — including the canonical-encoding
+//! round-trip for the valid examples. Editing the doc without keeping the
+//! examples true breaks the build.
+
+use adt_serve::{FrameError, FrameReader, OwnedFrame};
+
+const DOC: &str = include_str!("../../../docs/SERVE.md");
+
+/// Extracts the contents of every fenced block tagged `frames`.
+fn frames_blocks(doc: &str) -> Vec<&str> {
+    let mut blocks = Vec::new();
+    let mut rest = doc;
+    while let Some(start) = rest.find("```frames\n") {
+        let body = &rest[start + "```frames\n".len()..];
+        let end = body.find("```").expect("unterminated ```frames block");
+        blocks.push(&body[..end]);
+        rest = &body[end + 3..];
+    }
+    blocks
+}
+
+/// Pulls one double-quoted literal off the front of `s`, returning the
+/// unquoted bytes and the remainder. The doc's examples are plain ASCII —
+/// no escape sequences needed.
+fn quoted(s: &str) -> (&str, &str) {
+    let s = s.trim_start();
+    let body = s.strip_prefix('"').expect("expected a quoted literal");
+    let end = body.find('"').expect("unterminated quoted literal");
+    (&body[..end], &body[end + 1..])
+}
+
+/// Decodes a complete stream with the blocking reader, requiring exactly
+/// one outcome: a single frame, or a typed error.
+fn decode_one(bytes: &[u8]) -> Result<OwnedFrame, FrameError> {
+    let mut reader = FrameReader::new(bytes);
+    let frame = reader.next_frame()?.expect("example decodes to one frame");
+    assert_eq!(reader.next_frame(), Ok(None), "trailing bytes in example");
+    Ok(frame)
+}
+
+#[test]
+fn every_frames_example_in_the_doc_is_accurate() {
+    let blocks = frames_blocks(DOC);
+    assert!(!blocks.is_empty(), "docs/SERVE.md lost its ```frames block");
+    let mut checked = 0usize;
+    for block in blocks {
+        for line in block.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (bytes, rest) = quoted(line);
+            let claim = rest
+                .trim_start()
+                .strip_prefix("=>")
+                .unwrap_or_else(|| panic!("missing `=>` in example: {line}"))
+                .trim();
+            let outcome = decode_one(bytes.as_bytes());
+            if claim == "flush" {
+                assert_eq!(outcome, Ok(OwnedFrame::Flush), "{line}");
+                assert_eq!(
+                    OwnedFrame::Flush.encode().unwrap(),
+                    bytes.as_bytes(),
+                    "{line}: not the canonical encoding"
+                );
+            } else if let Some(rest) = claim.strip_prefix("data ") {
+                let channel = rest.as_bytes()[0];
+                let (payload, _) = quoted(&rest[1..]);
+                let frame = OwnedFrame::Data {
+                    channel,
+                    payload: payload.as_bytes().to_vec(),
+                };
+                assert_eq!(outcome, Ok(frame.clone()), "{line}");
+                assert_eq!(
+                    frame.encode().unwrap(),
+                    bytes.as_bytes(),
+                    "{line}: not the canonical encoding"
+                );
+            } else if let Some(variant) = claim.strip_prefix("error ") {
+                let error = outcome.expect_err(&format!("{line}: decoded cleanly"));
+                let got = match error {
+                    FrameError::BadLengthDigit { .. } => "BadLengthDigit",
+                    FrameError::ReservedLength { .. } => "ReservedLength",
+                    FrameError::Oversized { .. } => "Oversized",
+                    FrameError::UnexpectedEof => "UnexpectedEof",
+                    FrameError::PayloadTooLong { .. } => "PayloadTooLong",
+                    FrameError::Io { .. } => "Io",
+                };
+                assert_eq!(got, variant, "{line}");
+            } else {
+                panic!("unrecognized claim in example: {line}");
+            }
+            checked += 1;
+        }
+    }
+    // The doc currently carries ten worked examples; a shrinking count
+    // means someone deleted coverage rather than updating it.
+    assert!(checked >= 10, "only {checked} examples checked");
+}
