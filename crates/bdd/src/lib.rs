@@ -43,6 +43,11 @@
 //!   group windows (defenses before attacks) are never crossed, and
 //!   [`Bdd::maybe_reorder`] auto-triggers a pass when the live-node count
 //!   passes a configurable threshold;
+//! * **diagram serialization** — [`Bdd::export_dump`] flattens a function
+//!   into a child-before-parent [`DiagramDump`] (complement tags carried
+//!   verbatim on every edge) and [`Bdd::import_dump`] replays it into any
+//!   manager as one linear hash-consing pass — the kernel half of the
+//!   persistent content-addressed store (`adt-store`);
 //! * the frozen PR-1 baseline manager ([`control::ControlBdd`] — no
 //!   complement edges, two terminals) for differential tests and
 //!   speedup/node-count accounting.
@@ -67,6 +72,7 @@ pub mod control;
 mod expr;
 mod manager;
 mod reorder;
+mod serial;
 mod shared;
 
 /// A variable's position in the global order (0 = tested first).
@@ -75,4 +81,5 @@ pub type Level = u32;
 pub use expr::Bexpr;
 pub use manager::{Bdd, BddRead, GcStats, NodeRef, RootHandle, SiftOutcome};
 pub use reorder::force_order;
+pub use serial::{DiagramDump, DumpNode, DumpRef};
 pub use shared::{in_team_task, BddManager, SharedBdd, Team, TeamCtx, TeamTask};

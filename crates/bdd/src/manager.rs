@@ -550,6 +550,13 @@ impl Bdd {
         self.nodes[f.index()].level
     }
 
+    /// The *stored* node at an arena index, tags exactly as in the arena —
+    /// the raw view the serializer (`crate::serial`) exports, as opposed
+    /// to the function-level cofactors of [`Bdd::low`]/[`Bdd::high`].
+    pub(crate) fn node_storage(&self, index: usize) -> BddNode {
+        self.nodes[index]
+    }
+
     /// The low (`0`-labeled) cofactor of a nonterminal function. For a
     /// complemented ref this is the complement of the stored low edge —
     /// cofactoring commutes with negation, and the public accessors speak
@@ -582,7 +589,7 @@ impl Bdd {
     /// a complemented high edge is pushed onto the low edge and the
     /// returned ref (`(l, g, ¬h) = ¬(l, ¬g, h)`), so the stored high edge
     /// is always plain and each function/negation pair occupies one node.
-    fn mk(&mut self, level: Level, low: NodeRef, high: NodeRef) -> NodeRef {
+    pub(crate) fn mk(&mut self, level: Level, low: NodeRef, high: NodeRef) -> NodeRef {
         if low == high {
             return low;
         }

@@ -511,6 +511,42 @@ impl WorkerPool {
         self.for_each_engine(move |engine| engine.set_kernel_threads(threads));
     }
 
+    /// Attaches the persistent store directory at `dir` to every worker's
+    /// engine (see [`AnalysisEngine::open_store`]) — the `--store` path of
+    /// the `experiments` binary. Each worker holds its own handle onto the
+    /// *same* directory; the store's lock file serializes their appends
+    /// and reads are lockless, so the workers share one on-disk cache. The
+    /// attachment survives [`WorkerPool::reset_engines`] — that asymmetry
+    /// (process state cold, disk tier warm) is what `--store` is for.
+    ///
+    /// # Errors
+    ///
+    /// The first worker's [`Store::open`](adt_store::Store::open) failure,
+    /// if any; workers that failed are left without a store (their engines
+    /// keep working purely in memory).
+    pub fn open_store(&self, dir: impl Into<std::path::PathBuf>) -> std::io::Result<()> {
+        let dir = dir.into();
+        let first_error: Arc<Mutex<Option<std::io::Error>>> = Arc::new(Mutex::new(None));
+        let sink = Arc::clone(&first_error);
+        self.for_each_engine(move |engine| {
+            if let Err(error) = engine.open_store(dir.clone()) {
+                sink.lock()
+                    .expect("store-error slot poisoned")
+                    .get_or_insert(error);
+            }
+        });
+        // Every error write happened-before its task's completion, which
+        // happened-before for_each_engine returned — the lock is enough.
+        let error = first_error
+            .lock()
+            .expect("store-error slot poisoned")
+            .take();
+        match error {
+            Some(error) => Err(error),
+            None => Ok(()),
+        }
+    }
+
     /// Runs `f` exactly once on every worker's engine.
     ///
     /// Implemented as a barrier batch: one task per worker, each blocking
@@ -959,6 +995,64 @@ mod tests {
             .remove(0)
             .result;
         assert_eq!(cached, 0, "the panicking task's engine must be reset");
+    }
+
+    #[test]
+    fn pool_store_is_shared_warm_across_workers_and_resets() {
+        let dir = adt_store::TestDir::new("pool-shared-store");
+        let jobs: Vec<SuiteJob> = suite_jobs(
+            paper_suite(6, 40, Shape::Dag, 21),
+            OrderingKind::Declaration,
+        )
+        .collect();
+        let baseline = evaluate_suite(&jobs, 1);
+
+        // Populate the store through one pool, then tear the pool down —
+        // simulating a finished process.
+        {
+            let pool = WorkerPool::new(2, adt_analysis::DEFAULT_GC_THRESHOLD);
+            pool.open_store(dir.path()).expect("store opens");
+            let cold = evaluate_suite_warm(&pool, jobs.clone());
+            for (b, c) in baseline.iter().zip(&cold) {
+                assert_eq!(b.result.front, c.result.front, "job {}", b.index);
+            }
+        }
+
+        // A brand-new pool over the same directory starts warm: fronts
+        // identical, and every memory miss answered on disk. One worker,
+        // so the stats probe deterministically reads the engine that
+        // served the jobs (probe tasks have no worker affinity).
+        let pool = WorkerPool::new(1, adt_analysis::DEFAULT_GC_THRESHOLD);
+        pool.open_store(dir.path()).expect("store reopens");
+        let warm = evaluate_suite_warm(&pool, jobs.clone());
+        for (b, w) in baseline.iter().zip(&warm) {
+            assert_eq!(b.result.front, w.result.front, "job {}", b.index);
+            assert_eq!(b.result.bdd_nodes, w.result.bdd_nodes);
+        }
+        let stats = pool
+            .submit(vec![()], |ctx, _, ()| ctx.engine.stats())
+            .remove(0)
+            .result;
+        assert_eq!(stats.store_hits, jobs.len(), "every job must store-hit");
+        assert_eq!(stats.store_misses, 0);
+        assert_eq!(stats.store_writes, 0, "nothing new to persist when warm");
+
+        // reset_engines keeps the disk tier: the re-run is store-served
+        // again, not recomputed from scratch.
+        pool.reset_engines();
+        let after_reset = evaluate_suite_warm(&pool, jobs.clone());
+        for (b, a) in baseline.iter().zip(&after_reset) {
+            assert_eq!(b.result.front, a.result.front, "job {}", b.index);
+        }
+        let post = pool
+            .submit(vec![()], |ctx, _, ()| ctx.engine.stats())
+            .remove(0)
+            .result;
+        assert_eq!(
+            post.store_hits,
+            jobs.len(),
+            "reset engines must re-promote from the surviving store"
+        );
     }
 
     #[test]

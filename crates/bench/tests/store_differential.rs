@@ -1,0 +1,192 @@
+//! Differential tests of the persistent store tier on every generated
+//! suite family — the acceptance gate of the store tentpole: with a store
+//! attached, fronts are identical to the storeless engine path in every
+//! lifecycle phase (cold write, warm read after a "restart", and after a
+//! simulated crash that tears the log tail), and the diagram serialization
+//! the store replays is semantically pinned to the frozen control kernel
+//! oracle on sampled assignments.
+
+use std::fs;
+
+use adt_analysis::compile;
+use adt_bdd::Bdd;
+use adt_bench::{
+    build_order, control_compile, engine_suite_report, evaluate_suite, sampled_assignments,
+    SuiteEngine,
+};
+use adt_gen::{bucket_suite, paper_suite, suite_jobs, Instance, OrderingKind, Shape, SuiteJob};
+use adt_store::TestDir;
+
+/// Every generated suite family the experiment drivers evaluate, sized
+/// down for test time but spanning both shapes and both generators (the
+/// same five families as `engine_differential.rs`).
+fn suite_families() -> Vec<(&'static str, Vec<SuiteJob>)> {
+    let jobs = |instances: Vec<Instance>| -> Vec<SuiteJob> {
+        suite_jobs(instances, OrderingKind::Declaration).collect()
+    };
+    vec![
+        ("paper_tree", jobs(paper_suite(10, 40, Shape::Tree, 42))),
+        ("paper_dag", jobs(paper_suite(10, 40, Shape::Dag, 43))),
+        ("bucket_tree", jobs(bucket_suite(2, 80, Shape::Tree, 44))),
+        ("bucket_dag", jobs(bucket_suite(2, 80, Shape::Dag, 45))),
+        (
+            "fig4_family",
+            jobs(
+                (1..=8)
+                    .map(|n| Instance {
+                        adt: adt_core::catalog::fig4(n),
+                        seed: u64::from(n),
+                        target_nodes: 0,
+                    })
+                    .collect(),
+            ),
+        ),
+    ]
+}
+
+/// Runs the whole suite on a fresh engine over `dir` (the process-restart
+/// simulation) and asserts every report equals the storeless baseline.
+fn restarted_pass(
+    family: &str,
+    phase: &str,
+    jobs: &[SuiteJob],
+    baseline: &[adt_bench::JobOutput<adt_bench::SuiteReport>],
+    dir: &TestDir,
+) -> SuiteEngine {
+    let mut engine = SuiteEngine::new();
+    engine
+        .open_store(dir.path())
+        .expect("store opens in the scratch directory");
+    for (job, expected) in jobs.iter().zip(baseline) {
+        let report = engine_suite_report(&mut engine, job);
+        assert_eq!(
+            report.front, expected.result.front,
+            "{family}/{phase} seed {}: store-backed front diverged from the storeless path",
+            job.instance.seed
+        );
+        assert_eq!(
+            report.bdd_nodes, expected.result.bdd_nodes,
+            "{family}/{phase}"
+        );
+        assert_eq!(
+            report.max_front_width, expected.result.max_front_width,
+            "{family}/{phase}"
+        );
+    }
+    engine
+}
+
+/// Cold write then warm read: a store-attached engine matches the
+/// storeless baseline while populating the directory, and a second
+/// ("restarted") engine over the same directory matches it again while
+/// answering *every* front from disk.
+#[test]
+fn store_round_trip_is_identical_on_every_family() {
+    for (family, jobs) in suite_families() {
+        let baseline = evaluate_suite(&jobs, 1);
+        let dir = TestDir::new(&format!("diff-{family}"));
+        let cold = restarted_pass(family, "cold", &jobs, &baseline, &dir);
+        let cold_stats = cold.stats();
+        assert_eq!(
+            cold_stats.store_hits, 0,
+            "{family}: an empty store cannot hit"
+        );
+        assert!(
+            cold_stats.store_writes >= jobs.len(),
+            "{family}: every front must be persisted"
+        );
+        drop(cold);
+        let warm = restarted_pass(family, "warm", &jobs, &baseline, &dir);
+        let warm_stats = warm.stats();
+        assert_eq!(
+            warm_stats.store_misses, 0,
+            "{family}: the warm restart must be pure store service"
+        );
+        assert_eq!(warm_stats.store_hits, jobs.len(), "{family}");
+        assert_eq!(
+            warm_stats.store_writes, 0,
+            "{family}: a warm pass has nothing new to persist"
+        );
+    }
+}
+
+/// Simulated crash mid-append: tear bytes off the log tail and delete the
+/// sidecar index. The next "process" must still produce fronts identical
+/// to the storeless baseline (the torn record degrades to recomputation
+/// and is re-persisted), and the restart after *that* must be fully warm
+/// again.
+#[test]
+fn truncated_log_recovers_to_identical_fronts_on_every_family() {
+    for (family, jobs) in suite_families() {
+        let baseline = evaluate_suite(&jobs, 1);
+        let dir = TestDir::new(&format!("crash-{family}"));
+        drop(restarted_pass(family, "populate", &jobs, &baseline, &dir));
+
+        // The crash: a partially flushed append (7 bytes of the last
+        // record lost) and no index — the worst tail the format promises
+        // to survive.
+        let log = dir.path().join("store.log");
+        let len = fs::metadata(&log).expect("log exists").len();
+        fs::OpenOptions::new()
+            .write(true)
+            .open(&log)
+            .expect("log writable")
+            .set_len(len - 7)
+            .expect("truncate tail");
+        fs::remove_file(dir.path().join("store.idx")).expect("index removable");
+
+        let recovered = restarted_pass(family, "post-crash", &jobs, &baseline, &dir);
+        let stats = recovered.stats();
+        assert!(
+            stats.store_hits < jobs.len(),
+            "{family}: the torn record cannot be served"
+        );
+        assert!(
+            stats.store_writes > 0,
+            "{family}: recomputed fronts must be re-persisted"
+        );
+        drop(recovered);
+
+        let healed = restarted_pass(family, "post-heal", &jobs, &baseline, &dir);
+        assert_eq!(
+            healed.stats().store_hits,
+            jobs.len(),
+            "{family}: after recovery re-persisted, the next restart is fully warm"
+        );
+    }
+}
+
+/// The serialization the store replays, pinned to the frozen control
+/// kernel: every compiled diagram, exported and re-imported into a fresh
+/// manager (the exact linear `mk` replay a store load performs), must
+/// agree with the control oracle on sampled assignments — complement tags
+/// and all.
+#[test]
+fn replayed_diagrams_match_the_control_oracle_on_every_family() {
+    for (family, jobs) in suite_families() {
+        for job in &jobs {
+            let t = &job.instance.adt;
+            let order = build_order(job);
+            let (bdd, root) = compile(t.adt(), &order);
+            let dump = bdd.export_dump(root);
+            let mut replayed = Bdd::new(0);
+            let rroot = replayed.import_dump(&dump).expect("well-formed dump");
+            replayed.check_invariants(rroot).unwrap();
+            let (control, croot) = control_compile(t.adt(), &order);
+            for assignment in sampled_assignments(job.instance.seed, order.var_count(), 64) {
+                assert_eq!(
+                    replayed.eval(rroot, &assignment),
+                    control.eval(croot, &assignment),
+                    "{family} seed {}: replayed diagram diverged from the control oracle",
+                    job.instance.seed
+                );
+            }
+            assert_eq!(
+                replayed.node_count(rroot),
+                bdd.node_count(root),
+                "{family} seed {}: the replay changed the diagram's size",
+                job.instance.seed
+            );
+        }
+    }
+}

@@ -114,6 +114,16 @@ where
         ParetoFront { points: reduced }
     }
 
+    /// Rebuilds a front from points already in canonical staircase order —
+    /// the deserialization inverse of [`points`](Self::points).
+    ///
+    /// The caller asserts the points came from a reduced front (e.g. a
+    /// persisted copy of `front.points()`); no re-reduction is performed,
+    /// so feeding unreduced points breaks the staircase invariant.
+    pub fn from_canonical_points(points: Vec<(VD, VA)>) -> Self {
+        ParetoFront { points }
+    }
+
     /// The points of the front, sorted ascending in the defender coordinate
     /// (and, consequently, ascending in the attacker coordinate).
     pub fn points(&self) -> &[(VD, VA)] {

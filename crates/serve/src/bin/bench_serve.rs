@@ -82,6 +82,7 @@ fn main() {
         max_inflight: 4 * jobs,
         gc_threshold: adt_analysis::DEFAULT_GC_THRESHOLD,
         max_query_bytes: DEFAULT_MAX_QUERY_BYTES,
+        store: None,
     };
     let max_inflight = cfg.max_inflight;
     let server = Server::new(cfg);

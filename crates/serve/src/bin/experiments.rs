@@ -24,6 +24,9 @@
 //!                        framed query server over the engine pool
 //!                        (default transport: stdin/stdout; see
 //!                        docs/SERVE.md for the wire protocol)
+//!   query <QUERY|-> [--unix PATH | --tcp ADDR]
+//!                        one-shot client: send a cost-DSL query to a
+//!                        running `serve` instance and print the front
 //!   all                  everything above with fast defaults
 //! ```
 //!
@@ -63,6 +66,16 @@
 //!   byte-identical at every thread count; parallel-served queries skip
 //!   dynamic reordering, so pair with `--order declaration` (the default)
 //!   when comparing BDD-size columns.
+//! * `--store PATH` — every engine (each pool worker's, the sequential
+//!   one, and `serve`'s pool) additionally reads and writes the
+//!   persistent content-addressed store at `PATH` (created if absent): a
+//!   second cache tier below the in-memory one that **survives process
+//!   restarts** and is shared between concurrent processes, so a re-run
+//!   of a suite — or a restarted server — starts warm from disk (see
+//!   docs/STORE.md; `bench_store` quantifies the warm-start win). Unlike
+//!   engine state, the store is *not* cleared by the per-suite reset of
+//!   the non-`--warm` modes: cold engines over a warm disk tier is
+//!   exactly the scenario the store exists for.
 //!
 //! The per-instance *timing columns* still measure the paper's one-shot
 //! algorithms on fresh managers (that is the published methodology); the
@@ -112,6 +125,7 @@ fn main() {
         "ablation-ordering" => ablation_ordering(&flags, &exec),
         "ablation-modular" => ablation_modular(&flags, &exec),
         "serve" => serve(&flags),
+        "query" => query(&args[1..], &flags),
         "all" => {
             table1();
             table2();
@@ -147,10 +161,17 @@ fn serve(flags: &Flags) {
         max_inflight: flags.num("max-inflight", 2 * jobs as u64) as usize,
         gc_threshold: flags.gc_threshold(),
         max_query_bytes: DEFAULT_MAX_QUERY_BYTES,
+        store: flags.path("store").map(std::path::PathBuf::from),
     };
     eprintln!(
-        "serving with --jobs {} --kernel-threads {} --max-inflight {}",
-        cfg.jobs, cfg.kernel_threads, cfg.max_inflight
+        "serving with --jobs {} --kernel-threads {} --max-inflight {}{}",
+        cfg.jobs,
+        cfg.kernel_threads,
+        cfg.max_inflight,
+        match &cfg.store {
+            Some(dir) => format!(" --store {}", dir.display()),
+            None => String::new(),
+        }
     );
     let server = Server::new(cfg);
     if let Some(path) = flags.path("unix") {
@@ -192,6 +213,76 @@ fn serve(flags: &Flags) {
     }
 }
 
+/// The `query` subcommand: a one-shot blocking client over the library's
+/// [`adt_serve::Client`], for scripting against a running `serve`
+/// instance. The query is the first positional argument (`-` reads it
+/// from stdin); the front goes to stdout, the status line to stderr, and
+/// the session is closed with a graceful `X` shutdown.
+fn query(args: &[String], flags: &Flags) {
+    let source = positional(args).cloned().unwrap_or_else(|| {
+        eprintln!("usage: experiments query <QUERY|-> [--unix PATH | --tcp ADDR]");
+        std::process::exit(2);
+    });
+    let dsl = if source == "-" {
+        let mut buf = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut buf)
+            .expect("readable stdin");
+        buf
+    } else {
+        source
+    };
+    if let Some(path) = flags.path("unix") {
+        let stream =
+            std::os::unix::net::UnixStream::connect(path).expect("connectable --unix path");
+        let write_half = stream.try_clone().expect("clonable unix stream");
+        run_query(stream, write_half, &dsl);
+    } else if let Some(addr) = flags.path("tcp") {
+        let stream = std::net::TcpStream::connect(addr).expect("connectable --tcp address");
+        let write_half = stream.try_clone().expect("clonable tcp stream");
+        run_query(stream, write_half, &dsl);
+    } else {
+        eprintln!("query needs a server to talk to: pass --unix PATH or --tcp ADDR");
+        std::process::exit(2);
+    }
+}
+
+/// Issues one query over an already-connected transport and reports it.
+fn run_query<R: std::io::Read, W: std::io::Write>(reader: R, writer: W, dsl: &str) {
+    let mut client = adt_serve::Client::new(reader, writer);
+    match client.query(dsl) {
+        Ok(reply) => {
+            println!("{}", reply.front);
+            eprintln!(
+                "ok nodes={} width={} micros={}",
+                reply.nodes, reply.width, reply.micros
+            );
+            client.shutdown().expect("graceful shutdown flush");
+        }
+        Err(e) => {
+            eprintln!("query failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The first argument `parse_flags` would *not* consume: tokens starting
+/// with `--` and their immediately following values are flag syntax,
+/// everything else is positional.
+fn positional(args: &[String]) -> Option<&String> {
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            match args.get(i + 1) {
+                Some(value) if !value.starts_with("--") => i += 2,
+                _ => i += 1,
+            }
+        } else {
+            return Some(&args[i]);
+        }
+    }
+    None
+}
+
 /// How suites are executed for the whole process lifetime: either the
 /// long-lived [`WorkerPool`] (`--jobs > 1`; spawned once, engines persist
 /// in the workers) or a single caller-owned engine driven by the exact
@@ -207,6 +298,9 @@ struct Exec {
     reorder_threshold: usize,
     kernel_threads: usize,
     warm: bool,
+    /// `--store PATH`: the persistent cache directory attached to every
+    /// engine at creation. Survives engine resets by design.
+    store: Option<std::path::PathBuf>,
     pool: OnceCell<WorkerPool>,
     sequential: RefCell<Option<EngineWorker>>,
 }
@@ -219,6 +313,7 @@ impl Exec {
             reorder_threshold: flags.reorder_threshold(),
             kernel_threads: flags.kernel_threads(),
             warm: flags.flag("warm"),
+            store: flags.path("store").map(std::path::PathBuf::from),
             pool: OnceCell::new(),
             sequential: RefCell::new(None),
         }
@@ -253,6 +348,10 @@ impl Exec {
                 if self.kernel_threads > 1 {
                     pool.set_kernel_threads(self.kernel_threads);
                 }
+                if let Some(dir) = &self.store {
+                    pool.open_store(dir)
+                        .unwrap_or_else(|e| panic!("--store {}: {e}", dir.display()));
+                }
                 pool
             });
             if !self.warm {
@@ -265,6 +364,11 @@ impl Exec {
                 let mut engine = SuiteEngine::with_gc_threshold(self.gc_threshold);
                 engine.set_reorder_threshold(self.reorder_threshold);
                 engine.set_kernel_threads(self.kernel_threads);
+                if let Some(dir) = &self.store {
+                    engine
+                        .open_store(dir)
+                        .unwrap_or_else(|e| panic!("--store {}: {e}", dir.display()));
+                }
                 EngineWorker { worker: 0, engine }
             });
             if !self.warm {
@@ -868,6 +972,7 @@ fn ablation_modular(flags: &Flags, exec: &Exec) {
         "t_modular_s",
         "cache_hits",
         "perm_hits",
+        "store_hits",
         "cache_lookups",
     ]);
     let mut wins = 0usize;
@@ -887,11 +992,17 @@ fn ablation_modular(flags: &Flags, exec: &Exec) {
             local_front, reference,
             "modular analysis must agree with BDDBU"
         );
+        // The store column *is* per-worker state: it counts how many of
+        // this instance's module fronts the persistent tier served (always
+        // 0 without --store; with --store it shows the disk tier carrying
+        // module reuse across engine resets and process restarts).
+        let store_before = ctx.engine.stats().store_hits;
         assert_eq!(
             ctx.engine.modular(t).unwrap(),
             reference,
             "warm-engine modular analysis must agree with BDDBU"
         );
+        let store_hits = ctx.engine.stats().store_hits - store_before;
         assert_eq!(
             modular_bdd_bu(t).unwrap(),
             reference,
@@ -904,17 +1015,20 @@ fn ablation_modular(flags: &Flags, exec: &Exec) {
             t_mod,
             stats.cache_hits,
             stats.perm_module_hits,
+            store_hits,
             stats.lookups(),
         )
     });
-    let (mut total_hits, mut total_perm, mut total_lookups) = (0usize, 0usize, 0usize);
+    let (mut total_hits, mut total_perm, mut total_store, mut total_lookups) =
+        (0usize, 0usize, 0usize, 0usize);
     for (i, (instance, timed)) in instances.iter().zip(&measured).enumerate() {
-        let (t_bdd, t_mod, hits, perm_hits, lookups) = timed.result;
+        let (t_bdd, t_mod, hits, perm_hits, store_hits, lookups) = timed.result;
         if t_mod < t_bdd {
             wins += 1;
         }
         total_hits += hits;
         total_perm += perm_hits;
+        total_store += store_hits;
         total_lookups += lookups;
         csv.row([
             i.to_string(),
@@ -924,6 +1038,7 @@ fn ablation_modular(flags: &Flags, exec: &Exec) {
             secs(t_mod),
             hits.to_string(),
             perm_hits.to_string(),
+            store_hits.to_string(),
             lookups.to_string(),
         ]);
     }
@@ -940,6 +1055,15 @@ fn ablation_modular(flags: &Flags, exec: &Exec) {
          by BENCH_PR4.json); {total_perm} of the hits exist only because permutation-\
          canonical keys matched order-isomorphic modules",
         rate * 100.0
+    );
+    println!(
+        "persistent store tier: {total_store} worker-engine module fronts served from disk \
+         ({}; see docs/STORE.md and BENCH_PR9.json)",
+        if exec.store.is_some() {
+            "--store attached"
+        } else {
+            "no --store given, so necessarily 0"
+        }
     );
 }
 

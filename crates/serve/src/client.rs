@@ -1,0 +1,306 @@
+//! A minimal blocking client for the framed query protocol: one request
+//! at a time over any byte transport.
+//!
+//! [`Client`] wraps a `Read` half and a `Write` half (two ends of a pipe,
+//! a cloned Unix/TCP stream, an in-memory loopback in tests) and speaks
+//! the wire protocol of `docs/SERVE.md` from the client side: it chunks
+//! the query into `Q` frames, flushes, and blocks on the tagged response
+//! until the request's terminal frame (`S` success, `E` error, `B` busy)
+//! arrives. Request ids are mirrored locally — the session assigns them
+//! sequentially at flush, so a client that counts its own flushes never
+//! needs an id wire field.
+//!
+//! The client is deliberately *blocking and single-inflight*: it is the
+//! scripting/CLI companion (`experiments query`), not a load driver —
+//! `bench_serve` keeps its own open-loop pipelined sender. With one
+//! request outstanding, every response frame must answer the current
+//! request; a frame tagged with any other id is a protocol violation and
+//! reported as such.
+
+use std::io::{Read, Write};
+
+use crate::frame::{FrameError, FrameReader, FrameWriter, MAX_PAYLOAD};
+use crate::session::{CH_BUSY, CH_ERROR, CH_QUERY, CH_RESULT, CH_SHUTDOWN, CH_STATUS};
+
+/// The successful outcome of one query: the rendered Pareto front plus
+/// the server's status line, parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReply {
+    /// The Pareto front, reassembled from the `R` result chunks.
+    pub front: String,
+    /// BDD node count reported by the `S` frame.
+    pub nodes: usize,
+    /// Maximal intermediate front width reported by the `S` frame.
+    pub width: usize,
+    /// Server-side wall-clock (admission to completion), microseconds.
+    pub micros: u128,
+}
+
+/// Everything one query can fail with, from the client's point of view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The transport or the framing layer failed.
+    Frame(FrameError),
+    /// The server answered an `E` frame: the message after `err `.
+    Server(String),
+    /// The server answered a `B` frame: admission backpressure. The
+    /// request was not executed; retry once `inflight` drains.
+    Busy {
+        /// The server's reported inflight count at rejection.
+        inflight: usize,
+    },
+    /// The server violated the protocol (wrong request id, malformed
+    /// status line, session closed mid-request).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "transport: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Busy { inflight } => {
+                write!(f, "server busy ({inflight} inflight); retry later")
+            }
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// A blocking, single-inflight protocol client over split transport
+/// halves.
+#[derive(Debug)]
+pub struct Client<R, W> {
+    reader: FrameReader<R>,
+    writer: FrameWriter<W>,
+    /// Mirror of the server session's id counter: ids are assigned at
+    /// flush, sequentially from 0, one per query.
+    next_id: u32,
+}
+
+impl<R: Read, W: Write> Client<R, W> {
+    /// Wraps the two halves of a connection.
+    pub fn new(reader: R, writer: W) -> Self {
+        Client {
+            reader: FrameReader::new(reader),
+            writer: FrameWriter::new(writer),
+            next_id: 0,
+        }
+    }
+
+    /// Sends one DSL query and blocks until its terminal frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for an `E` reply, [`ClientError::Busy`]
+    /// for a `B` reply, [`ClientError::Frame`] for transport/framing
+    /// failures, and [`ClientError::Protocol`] when the response stream
+    /// violates the single-inflight contract. An empty query is rejected
+    /// locally: the session treats a bare flush as punctuation and would
+    /// assign it no id, silently desynchronizing the client's counter.
+    pub fn query(&mut self, dsl: &str) -> Result<QueryReply, ClientError> {
+        let bytes = dsl.as_bytes();
+        if bytes.is_empty() {
+            return Err(ClientError::Protocol(
+                "empty query: a bare flush consumes no request id".to_owned(),
+            ));
+        }
+        for chunk in bytes.chunks(MAX_PAYLOAD) {
+            self.writer.write_data(CH_QUERY, chunk)?;
+        }
+        self.writer.write_flush()?;
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+
+        let mut front = Vec::new();
+        loop {
+            let (channel, body) = self.next_reply(id)?;
+            match channel {
+                CH_RESULT => front.extend_from_slice(&body),
+                CH_STATUS => {
+                    let status = String::from_utf8(body)
+                        .map_err(|_| ClientError::Protocol("non-UTF-8 status body".to_owned()))?;
+                    let (nodes, width, micros) = parse_status(&status).ok_or_else(|| {
+                        ClientError::Protocol(format!("malformed status line `{status}`"))
+                    })?;
+                    let front = String::from_utf8(front)
+                        .map_err(|_| ClientError::Protocol("non-UTF-8 result body".to_owned()))?;
+                    return Ok(QueryReply {
+                        front,
+                        nodes,
+                        width,
+                        micros,
+                    });
+                }
+                CH_ERROR => {
+                    let body = String::from_utf8_lossy(&body);
+                    let message = body.strip_prefix(" err ").unwrap_or(&body);
+                    return Err(ClientError::Server(message.to_owned()));
+                }
+                CH_BUSY => {
+                    let body = String::from_utf8_lossy(&body);
+                    let inflight = body
+                        .strip_prefix(" busy inflight=")
+                        .and_then(|n| n.parse().ok())
+                        .ok_or_else(|| {
+                            ClientError::Protocol(format!("malformed busy line `{body}`"))
+                        })?;
+                    return Err(ClientError::Busy { inflight });
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unknown response channel {other:#04x}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Asks for graceful shutdown and waits for the server's final flush.
+    ///
+    /// Consumes the client: after the flush the session is closed on both
+    /// sides.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Frame`] when the transport fails, and
+    /// [`ClientError::Protocol`] if the stream ends without the flush the
+    /// protocol promises.
+    pub fn shutdown(mut self) -> Result<(), ClientError> {
+        self.writer.write_data(CH_SHUTDOWN, b"")?;
+        loop {
+            match self.reader.next_frame()? {
+                Some(crate::frame::OwnedFrame::Flush) => return Ok(()),
+                // A single-inflight client has no outstanding requests at
+                // shutdown, so nothing but the flush should arrive — but
+                // tolerate (and drop) stragglers rather than erroring on
+                // a server that drained late.
+                Some(crate::frame::OwnedFrame::Data { .. }) => {}
+                None => {
+                    return Err(ClientError::Protocol(
+                        "session ended without a shutdown flush".to_owned(),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Reads the next tagged data frame, enforcing that it answers `id`.
+    fn next_reply(&mut self, id: u32) -> Result<(u8, Vec<u8>), ClientError> {
+        match self.reader.next_frame()? {
+            Some(crate::frame::OwnedFrame::Data { channel, payload }) => {
+                if payload.len() < 8 {
+                    return Err(ClientError::Protocol(format!(
+                        "untagged response on channel {channel:#04x}"
+                    )));
+                }
+                let tag = std::str::from_utf8(&payload[..8])
+                    .ok()
+                    .and_then(|s| u32::from_str_radix(s, 16).ok())
+                    .ok_or_else(|| {
+                        ClientError::Protocol("unparseable request id tag".to_owned())
+                    })?;
+                if tag != id {
+                    return Err(ClientError::Protocol(format!(
+                        "response for request {tag:#x} while {id:#x} is the only one inflight"
+                    )));
+                }
+                Ok((channel, payload[8..].to_vec()))
+            }
+            Some(crate::frame::OwnedFrame::Flush) => Err(ClientError::Protocol(
+                "server flushed mid-request".to_owned(),
+            )),
+            None => Err(ClientError::Protocol(
+                "session ended mid-request".to_owned(),
+            )),
+        }
+    }
+}
+
+/// Parses the `S` body ` ok nodes=N width=W micros=M`.
+fn parse_status(body: &str) -> Option<(usize, usize, u128)> {
+    let rest = body.strip_prefix(" ok nodes=")?;
+    let (nodes, rest) = rest.split_once(" width=")?;
+    let (width, micros) = rest.split_once(" micros=")?;
+    Some((
+        nodes.parse().ok()?,
+        width.parse().ok()?,
+        micros.parse().ok()?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::status_frame;
+    use crate::OwnedFrame;
+
+    #[test]
+    fn status_parsing_round_trips_the_server_encoder() {
+        let frame = status_frame(5, 120, 7, 31415);
+        let body = match frame {
+            OwnedFrame::Data { payload, .. } => String::from_utf8(payload[8..].to_vec()).unwrap(),
+            OwnedFrame::Flush => panic!("status is a data frame"),
+        };
+        assert_eq!(parse_status(&body), Some((120, 7, 31415)));
+        assert_eq!(parse_status(" ok nodes=1 width="), None);
+        assert_eq!(parse_status("ok nodes=1 width=2 micros=3"), None);
+    }
+
+    #[test]
+    fn error_and_busy_replies_map_to_typed_errors() {
+        // A canned server transcript: E for request 0, B for request 1.
+        let mut transcript = Vec::new();
+        for frame in [
+            OwnedFrame::Data {
+                channel: CH_ERROR,
+                payload: b"00000000 err no such gate".to_vec(),
+            },
+            OwnedFrame::Data {
+                channel: CH_BUSY,
+                payload: b"00000001 busy inflight=9".to_vec(),
+            },
+        ] {
+            transcript.extend_from_slice(&frame.encode().unwrap());
+        }
+        let mut client = Client::new(&transcript[..], Vec::new());
+        assert_eq!(
+            client.query("cost attack a = 1;"),
+            Err(ClientError::Server("no such gate".to_owned()))
+        );
+        assert_eq!(
+            client.query("cost attack a = 1;"),
+            Err(ClientError::Busy { inflight: 9 })
+        );
+    }
+
+    #[test]
+    fn a_mistagged_response_is_a_protocol_violation() {
+        let frame = OwnedFrame::Data {
+            channel: CH_STATUS,
+            payload: b"00000007 ok nodes=1 width=1 micros=1".to_vec(),
+        };
+        let transcript = frame.encode().unwrap();
+        let mut client = Client::new(&transcript[..], Vec::new());
+        match client.query("cost attack a = 1;") {
+            Err(ClientError::Protocol(msg)) => assert!(msg.contains("0x7"), "message: {msg}"),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_queries_are_rejected_locally() {
+        let mut client = Client::new(&b""[..], Vec::new());
+        assert!(matches!(client.query(""), Err(ClientError::Protocol(_))));
+        // The id counter did not advance: nothing was flushed.
+        assert_eq!(client.next_id, 0);
+    }
+}

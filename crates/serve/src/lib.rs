@@ -7,7 +7,9 @@
 //! per-connection state machine assigns request ids and accumulates query
 //! fragments ([`session`]), and a [`Server`] routes complete queries into
 //! the persistent [`adt_bench::WorkerPool`] with bounded admission and
-//! explicit backpressure ([`server`]).
+//! explicit backpressure ([`server`]). The [`client`] module is the
+//! protocol's other side: a minimal blocking [`Client`] for scripting and
+//! tests (`experiments query` is built on it).
 //!
 //! The wire format, channel registry, and backpressure/shutdown protocol
 //! are specified in `docs/SERVE.md`; a doc-honesty test (`serve_doc.rs`)
@@ -16,10 +18,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod frame;
 pub mod server;
 pub mod session;
 
+pub use client::{Client, ClientError, QueryReply};
 pub use frame::{
     FrameDecoder, FrameError, FrameReader, FrameWriter, OwnedFrame, MAX_FRAME_LEN, MAX_PAYLOAD,
 };

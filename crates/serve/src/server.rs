@@ -55,6 +55,11 @@ pub struct ServeConfig {
     pub gc_threshold: usize,
     /// Per-query DSL size cap, in bytes.
     pub max_query_bytes: usize,
+    /// Persistent store directory (`--store`): attached to every worker
+    /// engine as the second cache tier, so a restarted server starts warm
+    /// from the fronts (and compiled diagrams) its predecessor persisted.
+    /// `None` (the default) keeps the pure in-memory engines.
+    pub store: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +71,7 @@ impl Default for ServeConfig {
             max_inflight: 2 * jobs,
             gc_threshold: DEFAULT_GC_THRESHOLD,
             max_query_bytes: DEFAULT_MAX_QUERY_BYTES,
+            store: None,
         }
     }
 }
@@ -81,9 +87,20 @@ type Inflight = Arc<(Mutex<usize>, Condvar)>;
 
 impl Server {
     /// Builds a server with its own pool of `cfg.jobs` workers.
+    ///
+    /// # Panics
+    ///
+    /// When `cfg.store` names a directory the persistent store cannot be
+    /// opened in (unwritable, foreign log file, lock timeout) — a server
+    /// explicitly asked to persist must not silently serve without doing
+    /// so.
     pub fn new(cfg: ServeConfig) -> Self {
         let pool = WorkerPool::new(cfg.jobs.max(1), cfg.gc_threshold);
         pool.set_kernel_threads(cfg.kernel_threads.max(1));
+        if let Some(dir) = &cfg.store {
+            pool.open_store(dir)
+                .unwrap_or_else(|e| panic!("--store {}: {e}", dir.display()));
+        }
         Server { cfg, pool }
     }
 
@@ -231,7 +248,7 @@ fn write_best_effort<W: Write>(writer: &Arc<Mutex<FrameWriter<W>>>, frame: &Owne
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::session::{CH_ERROR, CH_QUERY, CH_RESULT, CH_SHUTDOWN, CH_STATUS};
+    use crate::session::{CH_ERROR, CH_QUERY};
     use adt_core::catalog;
     use adt_core::dsl::Document;
 
@@ -283,39 +300,31 @@ mod tests {
 
     #[test]
     fn one_query_round_trip() {
+        // The client side is the library's own [`crate::Client`] — the
+        // same code path `experiments query` ships — over a socketpair.
         let server = Server::new(ServeConfig {
             jobs: 1,
             ..ServeConfig::default()
         });
         let t = catalog::fig3();
         let dsl = Document::from_cost_adt("fig3", &t).to_dsl();
-        let mut frames = query_frames(&dsl);
-        frames.push(OwnedFrame::Data {
-            channel: CH_SHUTDOWN,
-            payload: Vec::new(),
+        let (local, remote) = std::os::unix::net::UnixStream::pair().expect("socketpair");
+        let server_thread = std::thread::spawn(move || {
+            let write_half = remote.try_clone().expect("clonable stream");
+            server
+                .serve_connection(&remote, write_half)
+                .expect("clean session");
+            server.drain();
         });
-        let replies = exchange(&server, &frames);
-        // R chunk(s) for id 0, S frame, final shutdown flush.
-        let (body, mut status): (Vec<u8>, Vec<Vec<u8>>) =
-            replies
-                .iter()
-                .fold((Vec::new(), Vec::new()), |(mut body, mut status), f| {
-                    if let OwnedFrame::Data { channel, payload } = f {
-                        assert_eq!(&payload[..8], b"00000000");
-                        match *channel {
-                            CH_RESULT => body.extend_from_slice(&payload[8..]),
-                            CH_STATUS => status.push(payload[8..].to_vec()),
-                            other => panic!("unexpected channel {other:#04x}"),
-                        }
-                    }
-                    (body, status)
-                });
+        let write_half = local.try_clone().expect("clonable stream");
+        let mut client = crate::Client::new(&local, write_half);
+        let reply = client.query(&dsl).expect("fig3 serves");
         let direct = adt_analysis::analyze(&t).expect("fig3 analyzes");
-        assert_eq!(body, direct.to_string().as_bytes());
-        assert_eq!(status.len(), 1);
-        let status = String::from_utf8(status.remove(0)).unwrap();
-        assert!(status.starts_with(" ok nodes="), "status: {status}");
-        assert_eq!(replies.last(), Some(&OwnedFrame::Flush));
+        assert_eq!(reply.front, direct.to_string());
+        assert!(reply.nodes > 0, "status carried the BDD size");
+        assert!(reply.width > 0, "status carried the front width");
+        client.shutdown().expect("graceful shutdown flush");
+        server_thread.join().expect("server thread");
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! The canonical byte codec of store payloads.
+//!
+//! Every value the store persists — cache-key components, Pareto-front
+//! points, report metadata — goes through [`ValueCodec`]: a fixed
+//! little-endian encoding with **one** byte string per value, so byte
+//! equality of encodings is value equality. That canonicity is
+//! load-bearing: records embed their full key bytes and lookups compare
+//! them bytewise (never decoding), which is only sound because no value
+//! has two encodings.
+//!
+//! Decoding is total over arbitrary bytes: every method returns `Option`,
+//! and hostile or truncated input yields `None`, never a panic
+//! (property-tested in `tests/proptest_store.rs`).
+
+use adt_core::semiring::Ext;
+
+/// A value with a canonical byte encoding.
+pub trait ValueCodec: Sized {
+    /// Appends the canonical encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the front of `input`, consuming exactly the
+    /// bytes it uses. `None` on malformed or truncated input.
+    fn decode(input: &mut &[u8]) -> Option<Self>;
+}
+
+/// Splits `n` bytes off the front of `input`.
+fn take<'a>(input: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if input.len() < n {
+        return None;
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Some(head)
+}
+
+macro_rules! int_codec {
+    ($($t:ty),*) => {$(
+        impl ValueCodec for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(input: &mut &[u8]) -> Option<Self> {
+                let bytes = take(input, std::mem::size_of::<$t>())?;
+                Some(<$t>::from_le_bytes(bytes.try_into().ok()?))
+            }
+        }
+    )*};
+}
+
+int_codec!(u8, u16, u32, u64, u128, i64);
+
+impl ValueCodec for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match u8::decode(input)? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+// usize travels as u64 so the encoding is identical on every pointer width.
+impl ValueCodec for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        usize::try_from(u64::decode(input)?).ok()
+    }
+}
+
+/// `Ext<T>` encodes as a one-byte discriminant (0 = finite, 1 = ∞)
+/// followed by the finite payload, if any. The canonical-encoding law
+/// holds because the discriminant fully determines whether a payload
+/// follows.
+impl<T: ValueCodec> ValueCodec for Ext<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Ext::Fin(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            Ext::Inf => out.push(1),
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        match u8::decode(input)? {
+            0 => Some(Ext::Fin(T::decode(input)?)),
+            1 => Some(Ext::Inf),
+            _ => None,
+        }
+    }
+}
+
+impl<A: ValueCodec, B: ValueCodec> ValueCodec for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some((A::decode(input)?, B::decode(input)?))
+    }
+}
+
+/// Sequences carry a `u64` length prefix, then the elements in order.
+impl<T: ValueCodec> ValueCodec for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        let len = usize::decode(input)?;
+        // A hostile length cannot force a huge allocation: each element
+        // consumes at least one byte, so the remaining input bounds it.
+        if len > input.len() {
+            return None;
+        }
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            items.push(T::decode(input)?);
+        }
+        Some(items)
+    }
+}
+
+/// Encodes one value into a fresh buffer.
+pub fn encode_to_vec<T: ValueCodec>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.encode(&mut out);
+    out
+}
+
+/// Decodes one value that must consume the whole input.
+pub fn decode_all<T: ValueCodec>(mut input: &[u8]) -> Option<T> {
+    let value = T::decode(&mut input)?;
+    input.is_empty().then_some(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: ValueCodec + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = encode_to_vec(&v);
+        assert_eq!(decode_all::<T>(&bytes), Some(v));
+    }
+
+    #[test]
+    fn primitive_round_trips() {
+        round_trip(0u8);
+        round_trip(u64::MAX);
+        round_trip(true);
+        round_trip(usize::MAX);
+        round_trip(Ext::Fin(42u64));
+        round_trip(Ext::<u64>::Inf);
+        round_trip((Ext::Fin(1u64), Ext::<u64>::Inf));
+        round_trip(vec![(Ext::Fin(1u64), Ext::Fin(2u64)), (Ext::Inf, Ext::Inf)]);
+    }
+
+    #[test]
+    fn truncated_input_is_a_clean_none() {
+        let bytes = encode_to_vec(&vec![Ext::Fin(7u64); 3]);
+        for cut in 0..bytes.len() {
+            assert_eq!(decode_all::<Vec<Ext<u64>>>(&bytes[..cut]), None);
+        }
+        // Trailing garbage is rejected too: decode_all demands exhaustion.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(decode_all::<Vec<Ext<u64>>>(&extended), None);
+    }
+
+    #[test]
+    fn bad_discriminants_are_rejected() {
+        assert_eq!(decode_all::<bool>(&[2]), None);
+        assert_eq!(decode_all::<Ext<u64>>(&[9]), None);
+        // Hostile length prefix larger than the remaining input.
+        let mut huge = Vec::new();
+        u64::MAX.encode(&mut huge);
+        assert_eq!(decode_all::<Vec<u8>>(&huge), None);
+    }
+}

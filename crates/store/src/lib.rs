@@ -1,0 +1,39 @@
+//! # adt-store
+//!
+//! A persistent, content-addressed, crash-safe store for compiled BDDs and
+//! Pareto fronts — the on-disk tier behind `AnalysisEngine`'s in-memory
+//! cache, so warm starts survive process restarts and a fleet of engines
+//! can share one cache directory.
+//!
+//! The design follows gitoxide's pack/odb layer in miniature: an
+//! **append-only data log** of length-prefixed, CRC32-checksummed records
+//! ([`store`]), a **sidecar hash index** that is purely an accelerator
+//! (missing/stale/corrupt ⇒ rebuilt by scanning the log), and
+//! **lock-file write transactions** with write-temp-then-rename index
+//! replacement (the `git-ref` transaction pattern). Readers are lockless;
+//! torn tails from crashes fail their checksum and read as absent.
+//!
+//! Content addressing: records are keyed by the engine's structural cache
+//! key, canonically byte-encoded ([`codec`]) and digested with stable
+//! 128-bit FNV-1a ([`digest`]). Every record embeds its full key bytes and
+//! lookups verify them byte-for-byte ([`record`]), so a digest collision
+//! degrades to a miss — never a wrong answer.
+//!
+//! The full format, key derivation, locking protocol and recovery rules
+//! are specified in `docs/STORE.md`, whose byte examples are machine-
+//! checked by `store_doc.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod digest;
+pub mod record;
+pub mod store;
+pub mod test_dir;
+
+pub use codec::{decode_all, encode_to_vec, ValueCodec};
+pub use digest::{crc32, Digest};
+pub use record::{DiagramRecord, FrontRecord, KIND_DIAGRAM, KIND_FRONT};
+pub use store::{Store, StoreStats};
+pub use test_dir::TestDir;

@@ -1,0 +1,198 @@
+//! Typed record payloads: what the raw byte store actually holds.
+//!
+//! Two record kinds exist today. [`FrontRecord`] persists one cached
+//! analysis result — the Pareto front's points plus the report metadata
+//! (`bdd_nodes`, `max_front_width`) the engine's in-memory cache keeps.
+//! [`DiagramRecord`] persists one compiled BDD as an [`DiagramDump`]
+//! (complement tags preserved, children before parents — see
+//! `adt_bdd::serial`).
+//!
+//! Both kinds **embed the full key bytes** they were stored under. The
+//! store indexes by a 128-bit digest of those bytes; a lookup that lands
+//! on a record whose embedded key differs byte-for-byte from the probe key
+//! is a digest collision and must be treated as a miss. Because the key
+//! encoding is canonical (see [`crate::codec`]), this byte comparison *is*
+//! value comparison — the store can never return a wrong answer, only
+//! (astronomically rarely) fail to return a right one.
+
+use adt_bdd::{DiagramDump, DumpNode, DumpRef};
+
+use crate::codec::{decode_all, ValueCodec};
+
+/// Record kind byte of [`FrontRecord`].
+pub const KIND_FRONT: u8 = 1;
+/// Record kind byte of [`DiagramRecord`].
+pub const KIND_DIAGRAM: u8 = 2;
+
+/// One persisted analysis result: the front's points and the report
+/// metadata, under the full cache-key bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontRecord<VD, VA> {
+    /// The canonical key bytes this record was stored under.
+    pub key: Vec<u8>,
+    /// The front's points, in canonical (staircase) order.
+    pub points: Vec<(VD, VA)>,
+    /// `CachedReport::bdd_nodes`: size of the compiled diagram.
+    pub bdd_nodes: usize,
+    /// `CachedReport::max_front_width`: the propagation's widest
+    /// intermediate front.
+    pub max_front_width: usize,
+}
+
+impl<VD: ValueCodec, VA: ValueCodec> FrontRecord<VD, VA> {
+    /// The record's canonical payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.key.encode(&mut out);
+        self.points.encode(&mut out);
+        self.bdd_nodes.encode(&mut out);
+        self.max_front_width.encode(&mut out);
+        out
+    }
+
+    /// Decodes a payload; `None` on malformed bytes or when the embedded
+    /// key differs from `expect_key` (digest collision → miss).
+    pub fn decode(payload: &[u8], expect_key: &[u8]) -> Option<Self> {
+        let record: FrontRecord<VD, VA> = decode_all(payload)?;
+        (record.key == expect_key).then_some(record)
+    }
+}
+
+impl<VD: ValueCodec, VA: ValueCodec> ValueCodec for FrontRecord<VD, VA> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.key.encode(out);
+        self.points.encode(out);
+        self.bdd_nodes.encode(out);
+        self.max_front_width.encode(out);
+    }
+    fn decode(input: &mut &[u8]) -> Option<Self> {
+        Some(FrontRecord {
+            key: Vec::decode(input)?,
+            points: Vec::decode(input)?,
+            bdd_nodes: usize::decode(input)?,
+            max_front_width: usize::decode(input)?,
+        })
+    }
+}
+
+/// One persisted compiled diagram under the full cache-key bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagramRecord {
+    /// The canonical key bytes this record was stored under.
+    pub key: Vec<u8>,
+    /// The serialized diagram.
+    pub dump: DiagramDump,
+}
+
+impl DiagramRecord {
+    /// The record's canonical payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.key.encode(&mut out);
+        self.dump.var_count.encode(&mut out);
+        self.dump.nodes.len().encode(&mut out);
+        for node in &self.dump.nodes {
+            node.level.encode(&mut out);
+            node.low.0.encode(&mut out);
+            node.high.0.encode(&mut out);
+        }
+        self.dump.root.0.encode(&mut out);
+        out
+    }
+
+    /// Decodes a payload; `None` on malformed bytes or an embedded-key
+    /// mismatch. Structural validation of the dump itself happens at
+    /// import time (`Bdd::import_dump`).
+    pub fn decode(payload: &[u8], expect_key: &[u8]) -> Option<Self> {
+        let input = &mut &payload[..];
+        let key = Vec::<u8>::decode(input)?;
+        let var_count = u32::decode(input)?;
+        let len = usize::decode(input)?;
+        // Each dump node consumes 12 bytes; bound the allocation by the
+        // remaining input before trusting the length.
+        if len > input.len() / 12 {
+            return None;
+        }
+        let mut nodes = Vec::with_capacity(len);
+        for _ in 0..len {
+            nodes.push(DumpNode {
+                level: u32::decode(input)?,
+                low: DumpRef(u32::decode(input)?),
+                high: DumpRef(u32::decode(input)?),
+            });
+        }
+        let root = DumpRef(u32::decode(input)?);
+        if !input.is_empty() || key != expect_key {
+            return None;
+        }
+        Some(DiagramRecord {
+            key,
+            dump: DiagramDump {
+                var_count,
+                nodes,
+                root,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_core::semiring::Ext;
+
+    #[test]
+    fn front_record_round_trips() {
+        let record: FrontRecord<Ext<u64>, Ext<u64>> = FrontRecord {
+            key: vec![1, 2, 3],
+            points: vec![(Ext::Fin(0), Ext::Inf), (Ext::Fin(5), Ext::Fin(9))],
+            bdd_nodes: 42,
+            max_front_width: 7,
+        };
+        let bytes = record.encode();
+        assert_eq!(
+            FrontRecord::<Ext<u64>, Ext<u64>>::decode(&bytes, &[1, 2, 3]),
+            Some(record)
+        );
+        // A different probe key is a miss, not a wrong answer.
+        assert_eq!(
+            FrontRecord::<Ext<u64>, Ext<u64>>::decode(&bytes, &[1, 2, 4]),
+            None
+        );
+    }
+
+    #[test]
+    fn diagram_record_round_trips() {
+        let record = DiagramRecord {
+            key: b"structural key".to_vec(),
+            dump: DiagramDump {
+                var_count: 3,
+                nodes: vec![
+                    DumpNode {
+                        level: 2,
+                        low: DumpRef::FALSE,
+                        high: DumpRef::TRUE,
+                    },
+                    DumpNode {
+                        level: 0,
+                        low: DumpRef::node(0).complement_if(true),
+                        high: DumpRef::node(0),
+                    },
+                ],
+                root: DumpRef::node(1).complement_if(true),
+            },
+        };
+        let bytes = record.encode();
+        assert_eq!(
+            DiagramRecord::decode(&bytes, b"structural key"),
+            Some(record)
+        );
+        assert_eq!(DiagramRecord::decode(&bytes, b"other key"), None);
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                DiagramRecord::decode(&bytes[..cut], b"structural key"),
+                None
+            );
+        }
+    }
+}

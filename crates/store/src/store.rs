@@ -1,0 +1,558 @@
+//! The on-disk store: an append-only checksummed data log plus a sidecar
+//! hash index, with lock-file write transactions.
+//!
+//! ## Layout
+//!
+//! A store is a directory of three files:
+//!
+//! * **`store.log`** — the data log: a 12-byte header (`ADTSTOR1` magic +
+//!   `u32` LE version) followed by records. Each record is
+//!   `body_len(u32 LE) ++ body ++ crc32(body)(u32 LE)` where the body is
+//!   `kind(u8) ++ key_digest(16 bytes LE) ++ payload`. Records are only
+//!   ever appended, never rewritten.
+//! * **`store.idx`** — the sidecar index: `ADTSIDX1` magic, the log length
+//!   it covers, the entry count, then `(kind, digest, offset)` entries,
+//!   all protected by a trailing CRC32. Purely an accelerator: if it is
+//!   missing, stale, or corrupt, [`Store::open`] rebuilds the index by
+//!   scanning the log, and nothing is lost.
+//! * **`store.lock`** — writer mutual exclusion (the gitoxide `git-ref`
+//!   transaction pattern): a writer creates it with `O_EXCL`, appends its
+//!   record, replaces `store.idx` via write-temp-then-rename, and removes
+//!   the lock. Readers take no lock at all.
+//!
+//! ## Crash safety
+//!
+//! The only mutation is an append, so the only possible damage is a torn
+//! *tail*: a crash mid-append leaves a record whose length prefix, body,
+//! or CRC is incomplete. Scans detect this by checksum and stop cleanly —
+//! the intact prefix stays fully usable. The next writer (under the lock,
+//! so no in-flight append can be confused for a torn one) truncates the
+//! torn tail before appending. The index is written only *after* the data
+//! append is flushed, and its rename is atomic, so the index never points
+//! past durable data; a stale index merely costs a tail rescan.
+//!
+//! ## Concurrency
+//!
+//! Readers are lockless: a concurrently-appended half-visible record fails
+//! its CRC and reads as absent — the reader retries the tail on its next
+//! miss (the log only grows). Writers serialize on the lock file; a lock
+//! left behind by a crashed process times the next writer out (see
+//! [`Store::put`]) rather than deadlocking it.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::digest::{crc32, Digest};
+
+/// The data-log magic.
+const LOG_MAGIC: &[u8; 8] = b"ADTSTOR1";
+/// The data-log format version.
+const LOG_VERSION: u32 = 1;
+/// Header length: magic + version.
+const HEADER_LEN: u64 = 12;
+/// The sidecar-index magic.
+const IDX_MAGIC: &[u8; 8] = b"ADTSIDX1";
+/// Cap on one record body (64 MiB) — a corrupted length prefix must not
+/// provoke a giant allocation.
+const MAX_BODY_LEN: usize = 64 << 20;
+/// How long [`Store::put`] waits on a held lock before giving up.
+const LOCK_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Counters and open-time facts, surfaced in bench reports and tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreStats {
+    /// Whether `open` had to rebuild the index by scanning the log
+    /// (sidecar missing, corrupt, or pointing past the log).
+    pub rebuilt_index: bool,
+    /// Torn-tail bytes ignored at open (a crashed writer's partial
+    /// record); reclaimed by the next `put`'s truncation.
+    pub dropped_tail_bytes: u64,
+    /// Records served by [`Store::get`].
+    pub gets: u64,
+    /// Records appended by [`Store::put`].
+    pub puts: u64,
+}
+
+/// A handle on one store directory. Cheap to open; one per engine is the
+/// expected shape (handles share the files, not the struct).
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    log: File,
+    /// `(kind, digest)` → offset of the record's length prefix.
+    index: HashMap<(u8, u128), u64>,
+    /// Log bytes covered by `index` — the clean, fully-scanned prefix.
+    scanned_len: u64,
+    stats: StoreStats,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store at `dir`.
+    ///
+    /// Loads the sidecar index when it is intact and rebuilds it in memory
+    /// otherwise; any log tail past the sidecar's coverage is scanned. The
+    /// sidecar file itself is only (re)written by [`Store::put`], under
+    /// the lock — `open` never writes it, so concurrent opens cannot race.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures creating the directory or opening the log; a log whose
+    /// header bytes exist but are not this format.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Store> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let log_path = dir.join("store.log");
+        let needs_header = fs::metadata(&log_path).map(|m| m.len()).unwrap_or(0) < HEADER_LEN;
+        if needs_header {
+            // Serialize header creation: two processes both appending the
+            // header would corrupt the log.
+            let _lock = LockFile::acquire(&dir)?;
+            let mut log = OpenOptions::new()
+                .read(true)
+                .append(true)
+                .create(true)
+                .open(&log_path)?;
+            if log.metadata()?.len() < HEADER_LEN {
+                log.write_all(LOG_MAGIC)?;
+                log.write_all(&LOG_VERSION.to_le_bytes())?;
+                log.sync_data()?;
+            }
+        }
+        let mut log = OpenOptions::new().read(true).append(true).open(&log_path)?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        log.seek(SeekFrom::Start(0))?;
+        log.read_exact(&mut header)?;
+        if &header[..8] != LOG_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "store.log: bad magic",
+            ));
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        if version != LOG_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("store.log: unsupported version {version}"),
+            ));
+        }
+        let mut store = Store {
+            dir,
+            log,
+            index: HashMap::new(),
+            scanned_len: HEADER_LEN,
+            stats: StoreStats::default(),
+        };
+        store.stats.rebuilt_index = !store.load_sidecar();
+        store.scan_tail()?;
+        store.stats.dropped_tail_bytes = store.log_len()?.saturating_sub(store.scanned_len);
+        Ok(store)
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The counters (see [`StoreStats`]).
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Looks up the payload stored under `(kind, key_bytes)`.
+    ///
+    /// Lockless. On an index miss the tail of the log is rescanned first —
+    /// another process may have appended since we last looked — so a
+    /// record written by *any* process is visible to every open handle.
+    /// I/O failures and integrity failures read as misses.
+    pub fn get(&mut self, kind: u8, key_bytes: &[u8]) -> Option<Vec<u8>> {
+        let digest = Digest::of(key_bytes);
+        if !self.index.contains_key(&(kind, digest.0)) {
+            // The log only grows; a cheap length check gates the rescan.
+            let grown = self.log_len().ok()? > self.scanned_len;
+            if !grown {
+                return None;
+            }
+            self.scan_tail().ok()?;
+        }
+        let offset = *self.index.get(&(kind, digest.0))?;
+        let (record_kind, record_digest, payload) = self.read_record(offset).ok()??;
+        // The index said so, but the bytes have the final word.
+        if record_kind != kind || record_digest != digest {
+            return None;
+        }
+        self.stats.gets += 1;
+        Some(payload)
+    }
+
+    /// Appends `payload` under `(kind, key_bytes)` unless already present.
+    ///
+    /// Returns `Ok(false)` when a record with this key already exists
+    /// (content-addressed: first write wins, duplicates are not appended).
+    /// The write path: take the lock, rescan the tail (another process may
+    /// have appended — or crashed mid-append, in which case the torn tail
+    /// is truncated now, safely, because the lock excludes live writers),
+    /// append + flush the record, then atomically replace the sidecar
+    /// index via write-temp-then-rename.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, including timing out on a lock held longer than 10
+    /// seconds (e.g. left behind by a killed process — remove
+    /// `store.lock` manually to recover).
+    pub fn put(&mut self, kind: u8, key_bytes: &[u8], payload: &[u8]) -> io::Result<bool> {
+        let digest = Digest::of(key_bytes);
+        if self.index.contains_key(&(kind, digest.0)) {
+            return Ok(false);
+        }
+        let _lock = LockFile::acquire(&self.dir)?;
+        self.scan_tail()?;
+        if self.index.contains_key(&(kind, digest.0)) {
+            return Ok(false);
+        }
+        // Under the lock no writer is in flight: bytes past the scanned
+        // prefix are a crashed writer's torn tail. Reclaim them.
+        if self.log_len()? > self.scanned_len {
+            self.log.set_len(self.scanned_len)?;
+        }
+        let mut body = Vec::with_capacity(17 + payload.len());
+        body.push(kind);
+        body.extend_from_slice(&digest.to_bytes());
+        body.extend_from_slice(payload);
+        let mut record = Vec::with_capacity(8 + body.len());
+        record.extend_from_slice(
+            &(u32::try_from(body.len()).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidInput, "record body over 4 GiB")
+            })?)
+            .to_le_bytes(),
+        );
+        record.extend_from_slice(&body);
+        record.extend_from_slice(&crc32(&body).to_le_bytes());
+        let offset = self.scanned_len;
+        self.log.write_all(&record)?;
+        self.log.sync_data()?;
+        self.index.insert((kind, digest.0), offset);
+        self.scanned_len += record.len() as u64;
+        self.stats.puts += 1;
+        self.write_sidecar()?;
+        Ok(true)
+    }
+
+    fn log_len(&self) -> io::Result<u64> {
+        Ok(self.log.metadata()?.len())
+    }
+
+    /// Scans `scanned_len..` of the log, indexing every intact record and
+    /// stopping (without advancing) at the first torn one.
+    fn scan_tail(&mut self) -> io::Result<()> {
+        loop {
+            match self.read_record(self.scanned_len)? {
+                None => return Ok(()),
+                Some((kind, digest, payload)) => {
+                    self.index
+                        .entry((kind, digest.0))
+                        .or_insert(self.scanned_len);
+                    self.scanned_len += 8 + 17 + payload.len() as u64;
+                }
+            }
+        }
+    }
+
+    /// Reads the record at `offset`: `Ok(None)` when the bytes there are
+    /// absent, incomplete, or fail their checksum (torn tail ≡ end of
+    /// log); `Err` only for real I/O failures.
+    #[allow(clippy::type_complexity)]
+    fn read_record(&mut self, offset: u64) -> io::Result<Option<(u8, Digest, Vec<u8>)>> {
+        let len = self.log_len()?;
+        if offset + 4 > len {
+            return Ok(None);
+        }
+        self.log.seek(SeekFrom::Start(offset))?;
+        let mut prefix = [0u8; 4];
+        self.log.read_exact(&mut prefix)?;
+        let body_len = u32::from_le_bytes(prefix) as usize;
+        if !(17..=MAX_BODY_LEN).contains(&body_len) || offset + 4 + body_len as u64 + 4 > len {
+            return Ok(None);
+        }
+        let mut body = vec![0u8; body_len];
+        self.log.read_exact(&mut body)?;
+        let mut crc_bytes = [0u8; 4];
+        self.log.read_exact(&mut crc_bytes)?;
+        if crc32(&body) != u32::from_le_bytes(crc_bytes) {
+            return Ok(None);
+        }
+        let kind = body[0];
+        let digest = Digest::from_bytes(body[1..17].try_into().expect("16 bytes"));
+        Ok(Some((kind, digest, body.split_off(17))))
+    }
+
+    /// Loads the sidecar index; `false` (leaving the index empty and
+    /// `scanned_len` at the header) when it is missing, corrupt, or claims
+    /// to cover more log than exists.
+    fn load_sidecar(&mut self) -> bool {
+        let Ok(bytes) = fs::read(self.dir.join("store.idx")) else {
+            return false;
+        };
+        if bytes.len() < 28 || &bytes[..8] != IDX_MAGIC {
+            return false;
+        }
+        let body = &bytes[..bytes.len() - 4];
+        let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+        if crc32(body) != crc {
+            return false;
+        }
+        let covered = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes"));
+        let count = u64::from_le_bytes(body[16..24].try_into().expect("8 bytes"));
+        if covered < HEADER_LEN || covered > self.log_len().unwrap_or(0) {
+            return false;
+        }
+        let entries = &body[24..];
+        const ENTRY: usize = 1 + 16 + 8;
+        if entries.len() as u64 != count.saturating_mul(ENTRY as u64) {
+            return false;
+        }
+        let mut index = HashMap::with_capacity(entries.len() / ENTRY);
+        for entry in entries.chunks_exact(ENTRY) {
+            let kind = entry[0];
+            let digest = u128::from_le_bytes(entry[1..17].try_into().expect("16 bytes"));
+            let offset = u64::from_le_bytes(entry[17..25].try_into().expect("8 bytes"));
+            if offset < HEADER_LEN || offset >= covered {
+                return false;
+            }
+            index.insert((kind, digest), offset);
+        }
+        self.index = index;
+        self.scanned_len = covered;
+        true
+    }
+
+    /// Replaces `store.idx` atomically (write temp, flush, rename). Only
+    /// called from [`Store::put`], under the lock.
+    fn write_sidecar(&self) -> io::Result<()> {
+        let mut body = Vec::with_capacity(24 + self.index.len() * 25);
+        body.extend_from_slice(IDX_MAGIC);
+        body.extend_from_slice(&self.scanned_len.to_le_bytes());
+        body.extend_from_slice(&(self.index.len() as u64).to_le_bytes());
+        for (&(kind, digest), &offset) in &self.index {
+            body.push(kind);
+            body.extend_from_slice(&digest.to_le_bytes());
+            body.extend_from_slice(&offset.to_le_bytes());
+        }
+        body.extend_from_slice(&crc32(&body).to_le_bytes());
+        let tmp = self.dir.join("store.idx.tmp");
+        let mut file = File::create(&tmp)?;
+        file.write_all(&body)?;
+        file.sync_data()?;
+        drop(file);
+        fs::rename(&tmp, self.dir.join("store.idx"))
+    }
+}
+
+/// RAII writer lock: `O_EXCL`-created `store.lock`, removed on drop.
+#[derive(Debug)]
+struct LockFile {
+    path: PathBuf,
+}
+
+impl LockFile {
+    fn acquire(dir: &Path) -> io::Result<LockFile> {
+        let path = dir.join("store.lock");
+        let start = Instant::now();
+        loop {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(_) => return Ok(LockFile { path }),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if start.elapsed() > LOCK_TIMEOUT {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!(
+                                "store.lock held for over {LOCK_TIMEOUT:?} \
+                                 (crashed writer? remove {} to recover)",
+                                path.display()
+                            ),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for LockFile {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dir::TestDir;
+
+    #[test]
+    fn put_get_round_trip_and_dedup() {
+        let dir = TestDir::new("store-basic");
+        let mut store = Store::open(dir.path()).unwrap();
+        assert!(store.is_empty());
+        assert!(store.put(1, b"key-a", b"payload-a").unwrap());
+        assert!(store.put(2, b"key-a", b"payload-kind2").unwrap());
+        assert!(!store.put(1, b"key-a", b"ignored duplicate").unwrap());
+        assert_eq!(store.get(1, b"key-a").as_deref(), Some(&b"payload-a"[..]));
+        assert_eq!(
+            store.get(2, b"key-a").as_deref(),
+            Some(&b"payload-kind2"[..])
+        );
+        assert_eq!(store.get(1, b"key-b"), None);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn reopen_uses_the_sidecar_index() {
+        let dir = TestDir::new("store-reopen");
+        {
+            let mut store = Store::open(dir.path()).unwrap();
+            store.put(1, b"k", b"v").unwrap();
+        }
+        let mut store = Store::open(dir.path()).unwrap();
+        assert!(
+            !store.stats().rebuilt_index,
+            "a clean sidecar must be trusted"
+        );
+        assert_eq!(store.get(1, b"k").as_deref(), Some(&b"v"[..]));
+    }
+
+    #[test]
+    fn missing_or_stale_sidecar_is_rebuilt() {
+        let dir = TestDir::new("store-rebuild");
+        {
+            let mut store = Store::open(dir.path()).unwrap();
+            store.put(1, b"k1", b"v1").unwrap();
+            store.put(1, b"k2", b"v2").unwrap();
+        }
+        // Missing sidecar.
+        fs::remove_file(dir.path().join("store.idx")).unwrap();
+        let mut store = Store::open(dir.path()).unwrap();
+        assert!(store.stats().rebuilt_index);
+        assert_eq!(store.get(1, b"k1").as_deref(), Some(&b"v1"[..]));
+        assert_eq!(store.get(1, b"k2").as_deref(), Some(&b"v2"[..]));
+        // `open` never writes the sidecar; the next put regenerates it.
+        store.put(1, b"k3", b"v3").unwrap();
+        drop(store);
+        // Corrupt sidecar (flip one byte): rejected by CRC, rebuilt.
+        let idx_path = dir.path().join("store.idx");
+        let mut idx = fs::read(&idx_path).unwrap();
+        let mid = idx.len() / 2;
+        idx[mid] ^= 0x40;
+        fs::write(&idx_path, idx).unwrap();
+        let mut store = Store::open(dir.path()).unwrap();
+        assert!(store.stats().rebuilt_index);
+        assert_eq!(store.get(1, b"k2").as_deref(), Some(&b"v2"[..]));
+    }
+
+    #[test]
+    fn stale_sidecar_covering_less_log_scans_the_tail() {
+        let dir = TestDir::new("store-stale");
+        {
+            let mut store = Store::open(dir.path()).unwrap();
+            store.put(1, b"k1", b"v1").unwrap();
+        }
+        let old_idx = fs::read(dir.path().join("store.idx")).unwrap();
+        {
+            let mut store = Store::open(dir.path()).unwrap();
+            store.put(1, b"k2", b"v2").unwrap();
+        }
+        // Roll the sidecar back: valid but covering only the first record.
+        fs::write(dir.path().join("store.idx"), old_idx).unwrap();
+        let mut store = Store::open(dir.path()).unwrap();
+        assert!(
+            !store.stats().rebuilt_index,
+            "an intact older sidecar is used, then the tail is scanned"
+        );
+        assert_eq!(store.get(1, b"k1").as_deref(), Some(&b"v1"[..]));
+        assert_eq!(store.get(1, b"k2").as_deref(), Some(&b"v2"[..]));
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_and_reclaimed() {
+        let dir = TestDir::new("store-torn");
+        {
+            let mut store = Store::open(dir.path()).unwrap();
+            store.put(1, b"k1", b"v1").unwrap();
+            store.put(1, b"k2", b"v2").unwrap();
+        }
+        // Simulate a crash mid-append: chop bytes off the last record, and
+        // drop the sidecar so open must face the torn tail directly.
+        let log_path = dir.path().join("store.log");
+        let full = fs::metadata(&log_path).unwrap().len();
+        let log = OpenOptions::new().write(true).open(&log_path).unwrap();
+        log.set_len(full - 3).unwrap();
+        drop(log);
+        fs::remove_file(dir.path().join("store.idx")).unwrap();
+        let mut store = Store::open(dir.path()).unwrap();
+        assert_eq!(store.get(1, b"k1").as_deref(), Some(&b"v1"[..]));
+        assert_eq!(store.get(1, b"k2"), None, "the torn record reads as absent");
+        assert!(store.stats().dropped_tail_bytes > 0);
+        // The next write truncates the torn tail and lands cleanly.
+        assert!(store.put(1, b"k3", b"v3").unwrap());
+        assert_eq!(store.get(1, b"k3").as_deref(), Some(&b"v3"[..]));
+        // And k2 can simply be stored again.
+        assert!(store.put(1, b"k2", b"v2-again").unwrap());
+        assert_eq!(store.get(1, b"k2").as_deref(), Some(&b"v2-again"[..]));
+    }
+
+    #[test]
+    fn bit_flip_in_a_record_reads_as_absent() {
+        let dir = TestDir::new("store-bitflip");
+        let payload_marker = b'Z';
+        {
+            let mut store = Store::open(dir.path()).unwrap();
+            store.put(1, b"k", &[payload_marker; 32]).unwrap();
+        }
+        let log_path = dir.path().join("store.log");
+        let mut log = fs::read(&log_path).unwrap();
+        // Flip a payload byte (well inside the record body).
+        let pos = log.iter().rposition(|&b| b == payload_marker).unwrap();
+        log[pos] ^= 0x01;
+        fs::write(&log_path, log).unwrap();
+        let mut store = Store::open(dir.path()).unwrap();
+        assert_eq!(
+            store.get(1, b"k"),
+            None,
+            "a checksum-rejected record must read as absent, never as data"
+        );
+    }
+
+    #[test]
+    fn cross_handle_visibility_without_reopen() {
+        let dir = TestDir::new("store-visibility");
+        let mut writer = Store::open(dir.path()).unwrap();
+        let mut reader = Store::open(dir.path()).unwrap();
+        assert_eq!(reader.get(1, b"k"), None);
+        writer.put(1, b"k", b"v").unwrap();
+        // The reader handle predates the write: its miss path rescans the
+        // grown tail.
+        assert_eq!(reader.get(1, b"k").as_deref(), Some(&b"v"[..]));
+    }
+
+    #[test]
+    fn garbage_log_refuses_to_open() {
+        let dir = TestDir::new("store-garbage");
+        fs::create_dir_all(dir.path()).unwrap();
+        fs::write(dir.path().join("store.log"), b"not a store at all").unwrap();
+        assert!(Store::open(dir.path()).is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! A minimal scratch-directory helper for tests.
+//!
+//! The build environment is offline (no `tempfile` crate), so the store's
+//! own tests — and the cross-crate suites that exercise `--store` — share
+//! this tiny RAII directory instead: unique per process/instant/counter
+//! under [`std::env::temp_dir`], removed (best-effort) on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+use std::{env, fs, process};
+
+/// An RAII scratch directory: created unique on construction, removed
+/// recursively (best-effort) on drop.
+#[derive(Debug)]
+pub struct TestDir {
+    path: PathBuf,
+}
+
+impl TestDir {
+    /// Creates a fresh directory whose name embeds `tag`, the process id,
+    /// a timestamp, and a process-wide counter — unique even across the
+    /// concurrently-running tests of one binary and across test binaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the directory cannot be created (tests have no way to
+    /// proceed without it).
+    pub fn new(tag: &str) -> TestDir {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        let path =
+            env::temp_dir().join(format!("adt-store-{tag}-{}-{nanos}-{count}", process::id()));
+        fs::create_dir_all(&path).expect("create scratch directory");
+        TestDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}

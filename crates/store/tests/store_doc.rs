@@ -1,0 +1,127 @@
+//! Keeps `docs/STORE.md` honest: every line of every ```` ```records ````
+//! block is a byte example of the form
+//!
+//! ```text
+//! header                            => "<hex>"
+//! crc32 "<ascii>"                   => <8 hex digits>
+//! digest "<ascii>"                  => <32 hex digits>
+//! record kind=K key="…" payload="…" => "<hex>" "<hex>" …
+//! ```
+//!
+//! and this test replays the claim against the real implementation: the
+//! `header` line against the bytes a fresh store writes, `crc32`/`digest`
+//! against the actual functions, and `record` lines by `put`ting the
+//! example into a scratch store and comparing the log bytes after the
+//! header. Editing the doc without keeping the examples true breaks the
+//! build.
+
+use adt_store::{crc32, Digest, Store, TestDir};
+
+const DOC: &str = include_str!("../../../docs/STORE.md");
+
+/// Extracts the contents of every fenced block tagged `records`.
+fn records_blocks(doc: &str) -> Vec<&str> {
+    let mut blocks = Vec::new();
+    let mut rest = doc;
+    while let Some(start) = rest.find("```records\n") {
+        let body = &rest[start + "```records\n".len()..];
+        let end = body.find("```").expect("unterminated ```records block");
+        blocks.push(&body[..end]);
+        rest = &body[end + 3..];
+    }
+    blocks
+}
+
+/// Pulls one double-quoted literal off the front of `s`. The doc's
+/// examples are plain ASCII — no escape sequences needed.
+fn quoted(s: &str) -> (&str, &str) {
+    let s = s.trim_start();
+    let body = s.strip_prefix('"').expect("expected a quoted literal");
+    let end = body.find('"').expect("unterminated quoted literal");
+    (&body[..end], &body[end + 1..])
+}
+
+/// Concatenates every quoted hex group in `s` (whitespace inside and
+/// between groups is readability only) into bytes.
+fn hex_groups(mut s: &str) -> Vec<u8> {
+    let mut digits = String::new();
+    while s.trim_start().starts_with('"') {
+        let (group, rest) = quoted(s);
+        digits.extend(group.chars().filter(|c| !c.is_whitespace()));
+        s = rest;
+    }
+    assert!(s.trim().is_empty(), "trailing junk after hex groups: {s}");
+    assert_eq!(digits.len() % 2, 0, "odd hex digit count");
+    digits
+        .as_bytes()
+        .chunks(2)
+        .map(|pair| {
+            u8::from_str_radix(std::str::from_utf8(pair).expect("ascii"), 16)
+                .expect("hex digit pair")
+        })
+        .collect()
+}
+
+#[test]
+fn every_records_example_in_the_doc_is_accurate() {
+    let blocks = records_blocks(DOC);
+    assert!(
+        !blocks.is_empty(),
+        "docs/STORE.md lost its ```records block"
+    );
+    let mut checked = 0usize;
+    for block in blocks {
+        for line in block.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (spec, claim) = line.split_once("=>").expect("missing `=>` in example");
+            let spec = spec.trim();
+            let claim = claim.trim();
+            if spec == "header" {
+                let dir = TestDir::new("doc-header");
+                drop(Store::open(dir.path()).expect("fresh store"));
+                let log = std::fs::read(dir.path().join("store.log")).expect("log exists");
+                assert_eq!(log, hex_groups(claim), "{line}");
+            } else if let Some(rest) = spec.strip_prefix("crc32 ") {
+                let (input, _) = quoted(rest);
+                assert_eq!(format!("{:08x}", crc32(input.as_bytes())), claim, "{line}");
+            } else if let Some(rest) = spec.strip_prefix("digest ") {
+                let (input, _) = quoted(rest);
+                assert_eq!(Digest::of(input.as_bytes()).to_hex(), claim, "{line}");
+            } else if let Some(rest) = spec.strip_prefix("record ") {
+                let rest = rest.trim_start();
+                let rest = rest.strip_prefix("kind=").expect("record needs kind=");
+                let (kind, rest) = rest.split_once(' ').expect("kind then key");
+                let kind: u8 = kind.parse().expect("numeric kind");
+                let rest = rest.trim_start().strip_prefix("key=").expect("key=");
+                let (key, rest) = quoted(rest);
+                let rest = rest
+                    .trim_start()
+                    .strip_prefix("payload=")
+                    .expect("payload=");
+                let (payload, _) = quoted(rest);
+                let dir = TestDir::new("doc-record");
+                let mut store = Store::open(dir.path()).expect("fresh store");
+                assert!(store
+                    .put(kind, key.as_bytes(), payload.as_bytes())
+                    .expect("append"));
+                assert_eq!(
+                    store.get(kind, key.as_bytes()).as_deref(),
+                    Some(payload.as_bytes()),
+                    "{line}: the example must read back"
+                );
+                drop(store);
+                let log = std::fs::read(dir.path().join("store.log")).expect("log exists");
+                assert_eq!(&log[12..], hex_groups(claim), "{line}");
+            } else {
+                panic!("unrecognized example form: {line}");
+            }
+            checked += 1;
+        }
+    }
+    // The doc currently carries five worked examples; a shrinking count
+    // means someone deleted coverage rather than updating it.
+    assert!(checked >= 5, "only {checked} examples checked");
+}

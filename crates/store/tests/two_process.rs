@@ -1,0 +1,58 @@
+//! Cross-process sharing: a record written by a *child process* is served
+//! to the parent's already-open handle, proving the store really is the
+//! cross-process tier (lockless readers, lock-file writers, tail rescan on
+//! miss) and not just a per-process cache with a disk backing.
+//!
+//! The child is this same test binary re-executed with libtest's `--exact`
+//! filter on [`two_process_child`], gated by an environment variable so
+//! the function is inert in a normal test run.
+
+use std::process::Command;
+
+use adt_store::{Store, TestDir, KIND_FRONT};
+
+/// The env var carrying the store directory to the child process.
+const CHILD_DIR_VAR: &str = "ADT_STORE_TWO_PROCESS_DIR";
+
+const KEY: &[u8] = b"two-process key";
+const PAYLOAD: &[u8] = b"written by the child process";
+
+/// Child half: writes one record into the directory named by the env var.
+/// Without the variable (every normal test run) it does nothing.
+#[test]
+fn two_process_child() {
+    let Ok(dir) = std::env::var(CHILD_DIR_VAR) else {
+        return;
+    };
+    let mut store = Store::open(dir).expect("child opens the shared store");
+    store
+        .put(KIND_FRONT, KEY, PAYLOAD)
+        .expect("child write succeeds");
+}
+
+#[test]
+fn record_written_by_child_process_hits_in_parent() {
+    let dir = TestDir::new("two-process");
+    // Open the parent handle BEFORE the child writes: the hit below must
+    // come from the miss-path tail rescan, not from open-time indexing.
+    let mut parent = Store::open(dir.path()).expect("parent opens the store");
+    assert_eq!(parent.get(KIND_FRONT, KEY), None, "store starts empty");
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let status = Command::new(exe)
+        .args(["--exact", "two_process_child", "--nocapture"])
+        .env(CHILD_DIR_VAR, dir.path())
+        .status()
+        .expect("spawn child test process");
+    assert!(status.success(), "child process failed");
+
+    assert_eq!(
+        parent.get(KIND_FRONT, KEY).as_deref(),
+        Some(PAYLOAD),
+        "the parent's open handle must see the child's write"
+    );
+    // The child also left a fresh sidecar; a brand-new open uses it.
+    let mut reopened = Store::open(dir.path()).expect("reopen");
+    assert!(!reopened.stats().rebuilt_index);
+    assert_eq!(reopened.get(KIND_FRONT, KEY).as_deref(), Some(PAYLOAD));
+}
