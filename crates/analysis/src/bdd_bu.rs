@@ -30,7 +30,7 @@
 //! | lines 11–14: defense-level nodes — `min_⊑(P₀ ∪ shift(P₁))` | the `is_defense_level` arm; `ParetoFront::merge_shifted` fuses the `β_D ⊗_D ·` shift, the union and the reduction into one linear sweep |
 //! | line 15: return the root's front | the final `match` of `Run::front` |
 
-use adt_bdd::{Bdd, BddRead, NodeRef};
+use adt_bdd::{Bdd, BddRead, Level, NodeRef};
 use adt_core::{Agent, AttributeDomain, AugmentedAdt, ParetoFront};
 
 use crate::bdd_compile::{compile, DefenseFirstOrder};
@@ -209,11 +209,93 @@ where
 /// the attacker's semiring), so those nodes store just the scalar `u`:
 /// no `Vec`, no allocation. Only defense-level nodes hold real fronts.
 #[derive(Debug, Clone)]
-enum NodeFront<VD, VA> {
+pub(crate) enum NodeFront<VD, VA> {
     /// `{(1⊗_D, u)}`, stored as `u`.
     Scalar(VA),
     /// A genuine multi-point front (defense levels only).
     Front(ParetoFront<VD, VA>),
+}
+
+/// Computes the front of a *terminal* polarity (lines 2–5 of Algorithm 3):
+/// the attacker's goal terminal carries `1⊗_A`, the other `0⊗_A`. Which
+/// polarity is the goal depends on the root agent.
+fn terminal_front<DD, DA>(
+    t: &AugmentedAdt<DD, DA>,
+    root_agent: Agent,
+    w: NodeRef,
+) -> NodeFront<DD::Value, DA::Value>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    let da = t.attacker_domain();
+    let reached_goal = match root_agent {
+        Agent::Attacker => w == Bdd::TRUE,
+        Agent::Defender => w == Bdd::FALSE,
+    };
+    NodeFront::Scalar(if reached_goal { da.one() } else { da.zero() })
+}
+
+/// Computes the front of one *inner* BDD node from its children's fronts —
+/// the body of Algorithm 3's per-node case split (lines 6–14), shared
+/// between the one-shot scratch sweep and the incremental persistent-memo
+/// sweep.
+fn node_step<DD, DA>(
+    t: &AugmentedAdt<DD, DA>,
+    order: &DefenseFirstOrder,
+    level: Level,
+    low: &NodeFront<DD::Value, DA::Value>,
+    high: &NodeFront<DD::Value, DA::Value>,
+    max_width: &mut usize,
+) -> NodeFront<DD::Value, DA::Value>
+where
+    DD: AttributeDomain,
+    DA: AttributeDomain,
+{
+    let dd = t.defender_domain();
+    let da = t.attacker_domain();
+    if order.is_defense_level(level) {
+        // Lines 11–14: skip the defense (P0) or buy it (P1 shifted);
+        // `merge_shifted` fuses the shift, the union and the reduction
+        // into one linear sweep.
+        let cost = t
+            .defense_value_of(order.event(level))
+            .expect("defense level maps to a defense step");
+        let (p0_singleton, p1_singleton);
+        let p0 = match low {
+            NodeFront::Front(front) => front,
+            NodeFront::Scalar(u) => {
+                p0_singleton = ParetoFront::singleton((dd.one(), u.clone()));
+                &p0_singleton
+            }
+        };
+        let p1 = match high {
+            NodeFront::Front(front) => front,
+            NodeFront::Scalar(u) => {
+                p1_singleton = ParetoFront::singleton((dd.one(), u.clone()));
+                &p1_singleton
+            }
+        };
+        let merged = p0.merge_shifted(p1, cost, dd, da);
+        *max_width = (*max_width).max(merged.len());
+        NodeFront::Front(merged)
+    } else {
+        // Lines 6–9: below the boundary, fronts are singletons; the
+        // attacker skips the step or pays for it, whichever is better.
+        // Pure scalar semiring arithmetic — no allocation.
+        let NodeFront::Scalar(u0) = low else {
+            unreachable!("attack-level children are attack-level or terminal")
+        };
+        let NodeFront::Scalar(u1) = high else {
+            unreachable!("attack-level children are attack-level or terminal")
+        };
+        let cost = t
+            .attack_value_of(order.event(level))
+            .expect("attack level maps to an attack step");
+        let paid = da.mul(cost, u1);
+        *max_width = (*max_width).max(1);
+        NodeFront::Scalar(da.add(u0, &paid))
+    }
 }
 
 /// The per-query memo of node fronts, keyed by *tagged* ref.
@@ -295,8 +377,6 @@ impl<B: BddRead + ?Sized, DD: AttributeDomain, DA: AttributeDomain> Run<'_, B, D
     /// plain semiring scalars; fronts materialize only at and above the
     /// defense boundary.
     fn front(&mut self, root: NodeRef, reachable: &[NodeRef]) -> Front<DD, DA> {
-        let dd = self.t.defender_domain();
-        let da = self.t.attacker_domain();
         for &w in reachable {
             // Terminals (lines 2–5 of Algorithm 3). The paper's pseudocode
             // reads two terminal nodes; the complement-edge kernel stores
@@ -306,67 +386,279 @@ impl<B: BddRead + ?Sized, DD: AttributeDomain, DA: AttributeDomain> Run<'_, B, D
             // Which polarity is the attacker's goal depends on the root
             // agent.
             if w.is_terminal() {
-                let reached_goal = match self.root_agent {
-                    Agent::Attacker => w == Bdd::TRUE,
-                    Agent::Defender => w == Bdd::FALSE,
-                };
-                let value = if reached_goal { da.one() } else { da.zero() };
-                self.memo.set(w, NodeFront::Scalar(value));
+                self.memo.set(w, terminal_front(self.t, self.root_agent, w));
                 continue;
             }
             let level = self.bdd.level(w);
-            let low = self.bdd.low(w);
-            let high = self.bdd.high(w);
-            let result = if self.order.is_defense_level(level) {
-                // Lines 11–14: skip the defense (P0) or buy it (P1
-                // shifted); `merge_shifted` fuses the shift, the union and
-                // the reduction into one linear sweep.
-                let cost = self
-                    .t
-                    .defense_value_of(self.order.event(level))
-                    .expect("defense level maps to a defense step");
-                let (p0_singleton, p1_singleton);
-                let p0 = match self.memo.get(low).expect("child before parent") {
-                    NodeFront::Front(front) => front,
-                    NodeFront::Scalar(u) => {
-                        p0_singleton = ParetoFront::singleton((dd.one(), u.clone()));
-                        &p0_singleton
-                    }
-                };
-                let p1 = match self.memo.get(high).expect("child before parent") {
-                    NodeFront::Front(front) => front,
-                    NodeFront::Scalar(u) => {
-                        p1_singleton = ParetoFront::singleton((dd.one(), u.clone()));
-                        &p1_singleton
-                    }
-                };
-                let merged = p0.merge_shifted(p1, cost, dd, da);
-                self.max_width = self.max_width.max(merged.len());
-                NodeFront::Front(merged)
-            } else {
-                // Lines 6–9: below the boundary, fronts are singletons; the
-                // attacker skips the step or pays for it, whichever is
-                // better. Pure scalar semiring arithmetic — no allocation.
-                let NodeFront::Scalar(u0) = self.memo.get(low).expect("child before parent") else {
-                    unreachable!("attack-level children are attack-level or terminal")
-                };
-                let NodeFront::Scalar(u1) = self.memo.get(high).expect("child before parent")
-                else {
-                    unreachable!("attack-level children are attack-level or terminal")
-                };
-                let cost = self
-                    .t
-                    .attack_value_of(self.order.event(level))
-                    .expect("attack level maps to an attack step");
-                let paid = da.mul(cost, u1);
-                self.max_width = self.max_width.max(1);
-                NodeFront::Scalar(da.add(u0, &paid))
-            };
+            let low = self.memo.get(self.bdd.low(w)).expect("child before parent");
+            let high = self
+                .memo
+                .get(self.bdd.high(w))
+                .expect("child before parent");
+            let result = node_step(self.t, self.order, level, low, high, &mut self.max_width);
             self.memo.set(w, result);
         }
         match self.memo.take(root).expect("root front computed") {
             NodeFront::Front(front) => front,
-            NodeFront::Scalar(u) => ParetoFront::singleton((dd.one(), u)),
+            NodeFront::Scalar(u) => ParetoFront::singleton((self.t.defender_domain().one(), u)),
+        }
+    }
+}
+
+/// Retained node fronts keyed by the same tagged-ref key as [`Scratch`]
+/// (`index << 1 | polarity`) — the *carry-over* form of a session's memo,
+/// used only while rebuilding a [`SessionSweep`] across a structural edit.
+///
+/// Always sparse: a session outlives many queries and the arena may hold
+/// other roots' survivors, so an arena-spanning dense vector would be paid
+/// on every rebuild.
+pub(crate) type FrontMemo<VD, VA> = std::collections::HashMap<u32, NodeFront<VD, VA>>;
+
+/// The tagged-ref memo key shared by [`Scratch`] and [`FrontMemo`].
+fn memo_key(node: NodeRef) -> u32 {
+    Scratch::<(), ()>::key(node)
+}
+
+/// What one incremental sweep did: the regular report plus the reuse split.
+pub(crate) struct IncrementalPropagation<VD, VA> {
+    pub report: BddBuReport<VD, VA>,
+    /// Reachable nodes whose fronts were recomputed this sweep (the dirty
+    /// cone plus nodes the memo had never seen).
+    pub recomputed: usize,
+    /// Reachable nodes served from the retained memo.
+    pub reused: usize,
+}
+
+/// One node of a session's cached sweep: its tagged ref, its level, and
+/// the *positions* (not refs) of its cofactors within the same sweep —
+/// children-first order, so position `i`'s cofactors always sit at
+/// positions `< i`. Terminals carry [`NO_CHILD`] sentinels.
+#[derive(Debug, Clone, Copy)]
+struct SweepNode {
+    node: NodeRef,
+    level: Level,
+    low: u32,
+    high: u32,
+}
+
+/// Cofactor-position sentinel of terminal sweep nodes.
+const NO_CHILD: u32 = u32::MAX;
+
+/// The persistent propagation state of an
+/// [`IncrementalSession`](crate::incremental::IncrementalSession): the
+/// children-first traversal of the current diagram *and* every node's
+/// front, as two parallel position-indexed arrays.
+///
+/// This is what makes value edits cheap. The diagram is untouched by a
+/// value edit, so the traversal cached at the last (re)build is still
+/// exact — [`SessionSweep::repropagate`] walks the arrays once, flags the
+/// dirty cone through precomputed cofactor positions, and recomputes only
+/// flagged fronts in place: no manager reads, no hashing, no allocation
+/// beyond one flag vector. Structural edits call
+/// [`SessionSweep::rebuild`], which re-traverses the new root and carries
+/// every still-valid front over from the previous sweep (exported as a
+/// [`FrontMemo`]); a carried entry is valid iff no level of its cone
+/// changed meaning *and* its cofactors were carried too, which keeps the
+/// retained set closed under children — exactly what the children-first
+/// recomputation of the remainder requires.
+#[derive(Debug)]
+pub(crate) struct SessionSweep<VD, VA> {
+    nodes: Vec<SweepNode>,
+    fronts: Vec<NodeFront<VD, VA>>,
+    /// Position of the root's front (the last position in practice, but
+    /// recorded rather than assumed).
+    root_pos: usize,
+}
+
+impl<VD, VA> Default for SessionSweep<VD, VA> {
+    fn default() -> Self {
+        SessionSweep {
+            nodes: Vec::new(),
+            fronts: Vec::new(),
+            root_pos: 0,
+        }
+    }
+}
+
+impl<VD, VA> SessionSweep<VD, VA>
+where
+    VD: Clone + PartialEq + std::fmt::Debug,
+    VA: Clone + PartialEq + std::fmt::Debug,
+{
+    /// `|W|` of the cached diagram.
+    pub(crate) fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Consumes the sweep into its keyed-front form, the carry-over input
+    /// of the next [`SessionSweep::rebuild`].
+    pub(crate) fn export(self) -> FrontMemo<VD, VA> {
+        self.nodes
+            .iter()
+            .zip(self.fronts)
+            .map(|(n, front)| (memo_key(n.node), front))
+            .collect()
+    }
+
+    /// Clones out the root's front, widening scalars into singletons.
+    fn root_front<DD, DA>(&self, t: &AugmentedAdt<DD, DA>) -> ParetoFront<VD, VA>
+    where
+        DD: AttributeDomain<Value = VD>,
+        DA: AttributeDomain<Value = VA>,
+    {
+        match &self.fronts[self.root_pos] {
+            NodeFront::Front(front) => front.clone(),
+            NodeFront::Scalar(u) => ParetoFront::singleton((t.defender_domain().one(), u.clone())),
+        }
+    }
+
+    /// Builds (or rebuilds) the sweep for `root`, carrying over every
+    /// still-valid front from `previous` and recomputing the rest
+    /// children-first.
+    ///
+    /// A previous front is carried iff its node is reachable under the
+    /// same tagged ref, its level is not dirty, and both cofactors were
+    /// carried — the closure under children that lets the recomputed
+    /// remainder find every input it needs. Passing an empty `previous`
+    /// makes this the plain full propagation of Algorithm 3.
+    pub(crate) fn rebuild<B, DD, DA>(
+        t: &AugmentedAdt<DD, DA>,
+        order: &DefenseFirstOrder,
+        bdd: &B,
+        root: NodeRef,
+        mut previous: FrontMemo<VD, VA>,
+        mut is_dirty_level: impl FnMut(Level) -> bool,
+    ) -> (Self, IncrementalPropagation<VD, VA>)
+    where
+        B: BddRead + ?Sized,
+        DD: AttributeDomain<Value = VD>,
+        DA: AttributeDomain<Value = VA>,
+    {
+        let reachable = bdd.reachable_topological(root);
+        let mut pos = std::collections::HashMap::<u32, u32>::with_capacity(reachable.len());
+        let mut nodes = Vec::with_capacity(reachable.len());
+        for (i, &w) in reachable.iter().enumerate() {
+            pos.insert(memo_key(w), i as u32);
+            nodes.push(if w.is_terminal() {
+                SweepNode {
+                    node: w,
+                    level: 0,
+                    low: NO_CHILD,
+                    high: NO_CHILD,
+                }
+            } else {
+                SweepNode {
+                    node: w,
+                    level: bdd.level(w),
+                    low: pos[&memo_key(bdd.low(w))],
+                    high: pos[&memo_key(bdd.high(w))],
+                }
+            });
+        }
+        let root_pos = pos[&memo_key(root)] as usize;
+        let root_agent = t.adt().root_agent();
+        let mut fronts = Vec::with_capacity(nodes.len());
+        let mut carried = vec![false; nodes.len()];
+        let mut recomputed = 0usize;
+        let mut max_width = 0usize;
+        for (i, n) in nodes.iter().enumerate() {
+            let key = memo_key(n.node);
+            let keep = previous.contains_key(&key)
+                && (n.node.is_terminal()
+                    || (!is_dirty_level(n.level)
+                        && carried[n.low as usize]
+                        && carried[n.high as usize]));
+            if keep {
+                carried[i] = true;
+                fronts.push(previous.remove(&key).expect("checked present"));
+            } else {
+                recomputed += 1;
+                fronts.push(if n.node.is_terminal() {
+                    terminal_front(t, root_agent, n.node)
+                } else {
+                    node_step(
+                        t,
+                        order,
+                        n.level,
+                        &fronts[n.low as usize],
+                        &fronts[n.high as usize],
+                        &mut max_width,
+                    )
+                });
+            }
+        }
+        let reused = nodes.len() - recomputed;
+        let sweep = SessionSweep {
+            nodes,
+            fronts,
+            root_pos,
+        };
+        let front = sweep.root_front(t);
+        max_width = max_width.max(front.len());
+        let prop = IncrementalPropagation {
+            report: BddBuReport {
+                front,
+                bdd_nodes: sweep.len(),
+                max_front_width: max_width,
+            },
+            recomputed,
+            reused,
+        };
+        (sweep, prop)
+    }
+
+    /// Re-propagates the dirty cone of a *value* edit entirely in place:
+    /// the diagram is unchanged, so the cached traversal is exact, and
+    /// the cone — every node on a dirty level plus everything above it
+    /// through the precomputed cofactor positions — is recomputed in one
+    /// array pass. Untouched positions keep their fronts untouched.
+    ///
+    /// `max_front_width` in the returned report covers the recomputed
+    /// cone (plus the root front itself) — reused nodes don't replay
+    /// their widths.
+    pub(crate) fn repropagate<DD, DA>(
+        &mut self,
+        t: &AugmentedAdt<DD, DA>,
+        order: &DefenseFirstOrder,
+        mut is_dirty_level: impl FnMut(Level) -> bool,
+    ) -> IncrementalPropagation<VD, VA>
+    where
+        DD: AttributeDomain<Value = VD>,
+        DA: AttributeDomain<Value = VA>,
+    {
+        let mut dirty = vec![false; self.nodes.len()];
+        let mut recomputed = 0usize;
+        let mut max_width = 0usize;
+        for i in 0..self.nodes.len() {
+            let n = self.nodes[i];
+            if n.node.is_terminal() {
+                continue;
+            }
+            let (low, high) = (n.low as usize, n.high as usize);
+            if !(is_dirty_level(n.level) || dirty[low] || dirty[high]) {
+                continue;
+            }
+            dirty[i] = true;
+            recomputed += 1;
+            self.fronts[i] = node_step(
+                t,
+                order,
+                n.level,
+                &self.fronts[low],
+                &self.fronts[high],
+                &mut max_width,
+            );
+        }
+        let front = self.root_front(t);
+        max_width = max_width.max(front.len());
+        IncrementalPropagation {
+            report: BddBuReport {
+                front,
+                bdd_nodes: self.nodes.len(),
+                max_front_width: max_width,
+            },
+            recomputed,
+            reused: self.nodes.len() - recomputed,
         }
     }
 }

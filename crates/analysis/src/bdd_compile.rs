@@ -282,35 +282,64 @@ pub fn compile(adt: &Adt, order: &DefenseFirstOrder) -> (Bdd, NodeRef) {
 /// unique table. The returned ref is **not** GC-protected — callers that
 /// may trigger a collection must `protect` it first.
 pub fn compile_into(bdd: &mut Bdd, adt: &Adt, order: &DefenseFirstOrder) -> NodeRef {
+    let refs = compile_into_refs(bdd, adt, order);
+    refs[adt.root().index()]
+}
+
+/// [`compile_into`], additionally keeping every intermediate: returns the
+/// compiled function of **each** ADT node, indexed by node id.
+///
+/// This is the seed of an [`IncrementalSession`](crate::incremental): a
+/// structural edit recompiles only its dirty ADT cone by re-folding the
+/// edited gates against the *retained* sibling refs from this vector,
+/// instead of replaying the whole arena. Like [`compile_into`], none of the
+/// returned refs are GC-protected.
+pub(crate) fn compile_into_refs(
+    bdd: &mut Bdd,
+    adt: &Adt,
+    order: &DefenseFirstOrder,
+) -> Vec<NodeRef> {
     bdd.ensure_var_count(order.var_count());
     let mut refs: Vec<NodeRef> = vec![Bdd::FALSE; adt.node_count()];
     for &v in adt.topological_order() {
-        let node = &adt[v];
-        let f = match node.gate() {
-            Gate::Basic => bdd.var(order.level(v).expect("basic steps are ordered")),
-            Gate::And => {
-                let mut acc = Bdd::TRUE;
-                for &c in node.children() {
-                    acc = bdd.and(acc, refs[c.index()]);
-                }
-                acc
-            }
-            Gate::Or => {
-                let mut acc = Bdd::FALSE;
-                for &c in node.children() {
-                    acc = bdd.or(acc, refs[c.index()]);
-                }
-                acc
-            }
-            Gate::Inh => {
-                let inhibited = refs[node.children()[0].index()];
-                let trigger = refs[node.children()[1].index()];
-                bdd.and_not(inhibited, trigger)
-            }
-        };
-        refs[v.index()] = f;
+        refs[v.index()] = compile_node(bdd, adt, order, v, &refs);
     }
-    refs[adt.root().index()]
+    refs
+}
+
+/// Compiles one ADT node given the already-compiled functions of its
+/// children (read from `refs`); the single-node step shared by the full
+/// sweep above and the incremental dirty-cone recompile.
+pub(crate) fn compile_node(
+    bdd: &mut Bdd,
+    adt: &Adt,
+    order: &DefenseFirstOrder,
+    v: NodeId,
+    refs: &[NodeRef],
+) -> NodeRef {
+    let node = &adt[v];
+    match node.gate() {
+        Gate::Basic => bdd.var(order.level(v).expect("basic steps are ordered")),
+        Gate::And => {
+            let mut acc = Bdd::TRUE;
+            for &c in node.children() {
+                acc = bdd.and(acc, refs[c.index()]);
+            }
+            acc
+        }
+        Gate::Or => {
+            let mut acc = Bdd::FALSE;
+            for &c in node.children() {
+                acc = bdd.or(acc, refs[c.index()]);
+            }
+            acc
+        }
+        Gate::Inh => {
+            let inhibited = refs[node.children()[0].index()];
+            let trigger = refs[node.children()[1].index()];
+            bdd.and_not(inhibited, trigger)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -140,6 +140,17 @@ pub struct EngineStats {
     /// Compiled diagrams replayed from the store instead of recompiled
     /// from the ADT (sequential BDD path only).
     pub store_bdd_loads: usize,
+    /// Edits applied through an
+    /// [`IncrementalSession`](crate::incremental::IncrementalSession).
+    pub incr_edits: usize,
+    /// BDD nodes re-propagated across all incremental edits (the summed
+    /// dirty-cone sizes; reachable − dirty nodes were served from the
+    /// session's retained memo).
+    pub incr_dirty_nodes: usize,
+    /// Incremental edits that could not reuse anything and fell back to a
+    /// full recompile + propagate (root-agent flips, kernel GC between
+    /// edits).
+    pub incr_full_fallbacks: usize,
 }
 
 impl EngineStats {
@@ -797,6 +808,23 @@ where
     /// Cache-effectiveness counters.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Kernel access for the incremental session (same crate only): the
+    /// session compiles, protects and propagates against the engine's
+    /// manager directly, bypassing the per-query lifecycle.
+    pub(crate) fn kernel(&self) -> &Bdd {
+        &self.bdd
+    }
+
+    /// Mutable kernel access for the incremental session (same crate only).
+    pub(crate) fn kernel_mut(&mut self) -> &mut Bdd {
+        &mut self.bdd
+    }
+
+    /// Mutable stats access for the incremental session (same crate only).
+    pub(crate) fn stats_mut(&mut self) -> &mut EngineStats {
+        &mut self.stats
     }
 
     /// Garbage-collection statistics of the underlying manager.

@@ -20,7 +20,11 @@
 //!   each Pareto point and which attack the rational attacker answers with;
 //! * [`engine`] — the long-lived [`AnalysisEngine`]: one GC-managed BDD
 //!   manager and a cross-query front cache reused across a stream of
-//!   queries (the server-style counterpart of the one-shot functions).
+//!   queries (the server-style counterpart of the one-shot functions);
+//! * [`incremental`] — the what-if layer over the engine: an
+//!   [`IncrementalSession`] keeps one compiled query alive and answers
+//!   leaf-value, gate-kind and subtree edits by re-propagating only the
+//!   dirty cone.
 //!
 //! All algorithms are generic over the attacker/defender attribute domains
 //! of `adt-core` and agree with each other; the workspace's property tests
@@ -50,6 +54,7 @@ pub mod bdd_compile;
 pub mod bottom_up;
 pub mod engine;
 mod error;
+pub mod incremental;
 pub mod modular;
 pub mod naive;
 pub mod parallel;
@@ -62,6 +67,7 @@ pub use bdd_compile::{compile, compile_into, DefenseFirstOrder};
 pub use bottom_up::{bottom_up, table2_attacker_op};
 pub use engine::{AnalysisEngine, EngineStats, DEFAULT_GC_THRESHOLD};
 pub use error::AnalysisError;
+pub use incremental::{EditReport, IncrementalSession};
 pub use modular::{find_modules, modular_bdd_bu, proper_modules};
 pub use naive::{naive, naive_bitparallel};
 pub use parallel::{compile_into_shared, par_bdd_bu_report};

@@ -1,0 +1,244 @@
+//! Differential tests of the incremental what-if engine against cold
+//! recompilation: on every suite family, every edit of a generated script
+//! must leave the session's front byte-identical to a from-scratch
+//! `bdd_bu` of the same edited tree — through the sequential path, the
+//! modular path, and across GC-forced full fallbacks.
+//!
+//! The cold reference is maintained independently by
+//! [`adt_gen::apply_edit`], which replays the same script onto a plain
+//! tree with its own toggle memory, so the session's internal state never
+//! vouches for itself. Wired into the deep-proptest CI soak at
+//! `PROPTEST_CASES=2048`.
+
+use std::collections::HashMap;
+
+use adt_analysis::{bdd_bu, modular_bdd_bu, AnalysisEngine, EditReport, IncrementalSession};
+use adt_core::semiring::{Ext, MinCost};
+use adt_core::{catalog, Agent, AugmentedAdt};
+use adt_gen::{
+    apply_edit, bucket_suite, edit_script, paper_suite, EditOp, EditScriptConfig, Shape,
+};
+use proptest::prelude::*;
+
+type CostAdt = AugmentedAdt<MinCost, MinCost>;
+type Engine = AnalysisEngine<MinCost, MinCost>;
+type Session = IncrementalSession<MinCost, MinCost>;
+
+/// Every generated suite family the experiment drivers evaluate, sized
+/// down for test time but spanning both shapes and both generators.
+fn suite_families() -> Vec<(&'static str, Vec<CostAdt>)> {
+    let adts = |instances: Vec<adt_gen::Instance>| -> Vec<CostAdt> {
+        instances.into_iter().map(|i| i.adt).collect()
+    };
+    vec![
+        ("paper_tree", adts(paper_suite(6, 40, Shape::Tree, 42))),
+        ("paper_dag", adts(paper_suite(6, 40, Shape::Dag, 43))),
+        ("bucket_tree", adts(bucket_suite(1, 80, Shape::Tree, 44))),
+        ("bucket_dag", adts(bucket_suite(1, 80, Shape::Dag, 45))),
+        ("fig4_family", (1..=7).map(catalog::fig4).collect()),
+    ]
+}
+
+/// Applies one generated op through the session's typed edit methods
+/// (value edits dispatch on the leaf's agent, like the wire grammar).
+fn session_apply(
+    session: &mut Session,
+    engine: &mut Engine,
+    op: &EditOp,
+) -> EditReport<Ext<u64>, Ext<u64>> {
+    match op {
+        EditOp::SetValue { name, value } => {
+            let id = session
+                .tree()
+                .adt()
+                .node_id(name)
+                .expect("generated scripts only target live leaves");
+            match session.tree().adt()[id].agent() {
+                Agent::Attacker => session.set_attack_value(engine, name, Ext::Fin(*value)),
+                Agent::Defender => session.set_defense_value(engine, name, Ext::Fin(*value)),
+            }
+        }
+        EditOp::Toggle { name } => session.toggle_defense(engine, name),
+        EditOp::SetGate { name, gate } => session.set_gate_kind(engine, name, *gate),
+        EditOp::Replace { at, replacement } => session.replace_subtree(engine, at, replacement),
+    }
+    .expect("generated scripts replay cleanly")
+}
+
+/// Replays `script` on a session over `engine` while independently
+/// replaying it cold, asserting byte-identical fronts after every edit —
+/// through `bdd_bu` always, and through the modular path too when
+/// `modular` is set.
+fn assert_script_differential(
+    context: &str,
+    engine: &mut Engine,
+    base: &CostAdt,
+    script: &[EditOp],
+    modular: bool,
+) {
+    let mut session = engine.incremental_session(base.clone());
+    let mut cold = base.clone();
+    let mut toggles = HashMap::new();
+    for (i, op) in script.iter().enumerate() {
+        let report = session_apply(&mut session, engine, op);
+        cold = apply_edit(&cold, &mut toggles, op).expect("cold replay accepts the same script");
+        let cold_front = bdd_bu(&cold).expect("edited trees stay analyzable");
+        assert_eq!(
+            report.front, cold_front,
+            "{context}: edit {i} ({op:?}) diverged from the cold recompile"
+        );
+        assert_eq!(
+            report.front.to_string(),
+            cold_front.to_string(),
+            "{context}: edit {i} must render byte-identically"
+        );
+        assert_eq!(
+            report.dirty_nodes + report.reused,
+            report.bdd_nodes,
+            "{context}: the reuse split must cover the reachable set"
+        );
+        if modular {
+            let via_modules = session
+                .modular_front(engine)
+                .expect("modular analysis is infallible on cost trees");
+            let cold_modular = modular_bdd_bu(&cold).expect("edited trees stay analyzable");
+            assert_eq!(via_modules, cold_front, "{context}: modular front diverged");
+            assert_eq!(
+                cold_modular, cold_front,
+                "{context}: modular baseline diverged"
+            );
+        }
+    }
+    session.close(engine);
+}
+
+/// Acceptance criterion of the tentpole: on every family, mixed edit
+/// scripts (values, toggles, gate flips, subtree splices) replay with
+/// every front byte-identical to the cold recompile, on both the
+/// sequential and the modular read path.
+#[test]
+fn scripted_edits_match_cold_recompile_on_every_family() {
+    let config = EditScriptConfig::of_len(10);
+    for (family, instances) in suite_families() {
+        let mut engine = Engine::new();
+        for (i, base) in instances.iter().enumerate() {
+            let script = edit_script(base, &config, 9000 + i as u64);
+            let context = format!("{family}[{i}]");
+            assert_script_differential(&context, &mut engine, base, &script, i % 2 == 0);
+        }
+    }
+}
+
+/// Value-only scripts never leave the dirty-cone fast path: zero full
+/// fallbacks across every family, with the fronts still pinned to the
+/// cold recompile.
+#[test]
+fn value_edits_never_fall_back() {
+    let config = EditScriptConfig::values_only(8);
+    for (family, instances) in suite_families() {
+        let mut engine = Engine::new();
+        for (i, base) in instances.iter().enumerate() {
+            let script = edit_script(base, &config, 500 + i as u64);
+            assert_script_differential(
+                &format!("{family}[{i}]"),
+                &mut engine,
+                base,
+                &script,
+                false,
+            );
+        }
+        assert_eq!(
+            engine.stats().incr_full_fallbacks,
+            0,
+            "{family}: a value edit must stay on the dirty-cone path"
+        );
+        assert!(
+            engine.stats().incr_edits > 0,
+            "{family}: edits were counted"
+        );
+    }
+}
+
+/// Interleaved engine queries under a forced-GC threshold strand the
+/// session's refs between edits; the session must detect the collection
+/// and fall back to a full rebuild without ever serving a stale front.
+#[test]
+fn gc_between_edits_forces_sound_fallbacks() {
+    let config = EditScriptConfig::of_len(6);
+    let mut engine = Engine::with_gc_threshold(1);
+    for (i, base) in paper_suite(4, 40, Shape::Dag, 46)
+        .into_iter()
+        .map(|i| i.adt)
+        .enumerate()
+    {
+        let script = edit_script(&base, &config, 7000 + i as u64);
+        let mut session = engine.incremental_session(base.clone());
+        let mut cold = base.clone();
+        let mut toggles = HashMap::new();
+        for (j, op) in script.iter().enumerate() {
+            // A foreign query through the same engine: threshold 1 ends
+            // it with a full collection, renumbering the arena. Each
+            // query carries a fresh attribute value so it misses the
+            // cross-query cache (a hit would skip the kernel entirely,
+            // and with it the collection this test is about).
+            let mut foreign = catalog::money_theft();
+            let phishing = foreign.adt().node_id("phishing").expect("catalog leaf");
+            foreign
+                .set_attack_value_of(phishing, Ext::Fin(1000 + (i * 100 + j) as u64))
+                .expect("attack leaf accepts a value");
+            let order = adt_analysis::DefenseFirstOrder::declaration(foreign.adt());
+            engine.bdd_bu_report(&foreign, &order);
+            let report = session_apply(&mut session, &mut engine, op);
+            cold = apply_edit(&cold, &mut toggles, op).expect("cold replay accepts the script");
+            assert_eq!(
+                report.front,
+                bdd_bu(&cold).expect("edited trees stay analyzable"),
+                "paper_dag[{i}]: post-GC edit diverged from the cold recompile"
+            );
+            assert!(
+                report.full_fallback,
+                "paper_dag[{i}]: a collected arena must force the fallback"
+            );
+        }
+        session.close(&mut engine);
+    }
+    assert!(engine.stats().incr_full_fallbacks > 0);
+}
+
+proptest! {
+    /// Random trees under random scripts: the session agrees with the
+    /// cold recompile on every prefix. Runs at 2048 cases in the CI soak.
+    #[test]
+    fn random_scripts_agree_with_cold_recompile(
+        shape_dag in any::<bool>(),
+        tree_seed in 0u64..1_000,
+        script_seed in 0u64..1_000,
+        len in 1usize..8,
+        values_only in any::<bool>(),
+    ) {
+        let shape = if shape_dag { Shape::Dag } else { Shape::Tree };
+        let base = paper_suite(1, 36, shape, tree_seed)
+            .pop()
+            .expect("one instance requested")
+            .adt;
+        let config = if values_only {
+            EditScriptConfig::values_only(len)
+        } else {
+            EditScriptConfig::of_len(len)
+        };
+        let script = edit_script(&base, &config, script_seed);
+        let mut engine = Engine::new();
+        let mut session = engine.incremental_session(base.clone());
+        let mut cold = base.clone();
+        let mut toggles = HashMap::new();
+        for op in &script {
+            let report = session_apply(&mut session, &mut engine, op);
+            cold = apply_edit(&cold, &mut toggles, op).expect("cold replay accepts the script");
+            prop_assert_eq!(
+                &report.front,
+                &bdd_bu(&cold).expect("edited trees stay analyzable")
+            );
+        }
+        session.close(&mut engine);
+    }
+}

@@ -237,11 +237,21 @@ impl Adt {
     /// Panics if `v` does not belong to this tree.
     pub fn subtree(&self, v: NodeId) -> (Adt, Vec<NodeId>) {
         let members = self.descendants(v);
+        let mut in_subtree = vec![false; self.nodes.len()];
+        for &m in &members {
+            in_subtree[m.index()] = true;
+        }
         let mut old_to_new: HashMap<NodeId, NodeId> = HashMap::with_capacity(members.len());
         let mut nodes = Vec::with_capacity(members.len());
-        // Members are in increasing id order, so children (smaller ids) are
-        // renumbered before their parents.
-        for &old in &members {
+        let mut mapping = Vec::with_capacity(members.len());
+        // Renumber children before parents. Increasing id order is not good
+        // enough: structural edits such as [`Adt::with_replaced_subtree`] can
+        // splice a parent into a lower slot than its children, so walk the
+        // tree's topological order restricted to the member set instead.
+        for &old in self.topological_order() {
+            if !in_subtree[old.index()] {
+                continue;
+            }
             let node = &self[old];
             let children = node
                 .children()
@@ -250,6 +260,7 @@ impl Adt {
                 .collect::<Vec<_>>();
             let new_id = NodeId::new(nodes.len());
             old_to_new.insert(old, new_id);
+            mapping.push(old);
             nodes.push(Node {
                 name: node.name.clone(),
                 agent: node.agent,
@@ -259,7 +270,164 @@ impl Adt {
         }
         let root = old_to_new[&v];
         let adt = Adt::from_parts(nodes, root).expect("subtree of a valid ADT is a valid ADT");
-        (adt, members)
+        (adt, mapping)
+    }
+
+    /// Returns a copy of this ADT with the gate kind of `v` changed.
+    ///
+    /// Only the `AND` ↔ `OR` rewrite is supported: it keeps every node id,
+    /// name, agent and child list intact, so downstream consumers (variable
+    /// orders, attribute vectors) stay aligned. Changing to or from `BS`/`INH`
+    /// would alter the leaf set or the child arity and is a
+    /// [`Adt::with_replaced_subtree`] job instead.
+    ///
+    /// # Errors
+    ///
+    /// [`AdtError::InvalidNode`] for a foreign id and
+    /// [`AdtError::GateKindUnsupported`] when either the current or the
+    /// requested gate kind is not `AND`/`OR`.
+    pub fn with_gate_kind(&self, v: NodeId, gate: Gate) -> Result<Adt, AdtError> {
+        let node = self.get(v).ok_or(AdtError::InvalidNode {
+            id: v,
+            len: self.nodes.len(),
+        })?;
+        if !matches!(node.gate(), Gate::And | Gate::Or) || !matches!(gate, Gate::And | Gate::Or) {
+            return Err(AdtError::GateKindUnsupported(node.name().to_owned()));
+        }
+        let mut nodes = self.nodes.clone();
+        nodes[v.index()].gate = gate;
+        Adt::from_parts(nodes, self.root)
+    }
+
+    /// Returns a copy of this ADT with the subtree at `at` replaced by
+    /// `replacement` (a standalone ADT, e.g. from [`Adt::subtree`]).
+    ///
+    /// The replacement's root takes over `at`'s arena slot — every parent of
+    /// `at` now points at it — and the replacement's remaining nodes are
+    /// appended. Old nodes that become unreachable (descendants only `at`'s
+    /// subtree used) are pruned and ids compacted in increasing order, so
+    /// surviving nodes keep their relative declaration order. The returned
+    /// [`ReplacedSubtree`] maps both old and replacement ids into the new
+    /// arena.
+    ///
+    /// Replacing the root itself is allowed (the result *is* the
+    /// replacement, renumbered).
+    ///
+    /// # Errors
+    ///
+    /// [`AdtError::InvalidNode`] for a foreign `at`, and any Definition-1
+    /// violation of the spliced result — most commonly
+    /// [`AdtError::DuplicateName`] when the replacement reuses a surviving
+    /// node's name, [`AdtError::MixedAgents`]/[`AdtError::InhSameAgent`]
+    /// when the replacement root's agent does not fit `at`'s parents.
+    pub fn with_replaced_subtree(
+        &self,
+        at: NodeId,
+        replacement: &Adt,
+    ) -> Result<(Adt, ReplacedSubtree), AdtError> {
+        if at.index() >= self.nodes.len() {
+            return Err(AdtError::InvalidNode {
+                id: at,
+                len: self.nodes.len(),
+            });
+        }
+        let n = self.nodes.len();
+        let m = replacement.node_count();
+        // Stage ids: old nodes keep 0..n (with `at`'s slot holding the
+        // replacement root), the replacement's other nodes go to n.. in id
+        // order.
+        let mut sub_staged = Vec::with_capacity(m);
+        let mut appended = 0usize;
+        for i in 0..m {
+            if NodeId::new(i) == replacement.root() {
+                sub_staged.push(at.index());
+            } else {
+                sub_staged.push(n + appended);
+                appended += 1;
+            }
+        }
+        let staged_sub_node = |i: usize| {
+            let node = &replacement[NodeId::new(i)];
+            Node {
+                name: node.name.clone(),
+                agent: node.agent,
+                gate: node.gate,
+                children: node
+                    .children()
+                    .iter()
+                    .map(|c| NodeId::new(sub_staged[c.index()]))
+                    .collect(),
+            }
+        };
+        let mut staged: Vec<Node> = Vec::with_capacity(n + appended);
+        for (i, node) in self.nodes.iter().enumerate() {
+            if i == at.index() {
+                staged.push(staged_sub_node(replacement.root().index()));
+            } else {
+                staged.push(node.clone());
+            }
+        }
+        for i in 0..m {
+            if NodeId::new(i) != replacement.root() {
+                staged.push(staged_sub_node(i));
+            }
+        }
+        // Prune nodes no longer reachable from the (unchanged) root slot:
+        // `from_parts` rejects unreachable arenas, and keeping stale nodes
+        // would leak their names. Reachability over staged child lists.
+        let root_staged = self.root.index();
+        let mut reached = vec![false; staged.len()];
+        let mut stack = vec![root_staged];
+        reached[root_staged] = true;
+        while let Some(u) = stack.pop() {
+            for &c in staged[u].children() {
+                if !reached[c.index()] {
+                    reached[c.index()] = true;
+                    stack.push(c.index());
+                }
+            }
+        }
+        let mut compact: Vec<Option<NodeId>> = vec![None; staged.len()];
+        let mut kept = 0usize;
+        for (i, slot) in compact.iter_mut().enumerate() {
+            if reached[i] {
+                *slot = Some(NodeId::new(kept));
+                kept += 1;
+            }
+        }
+        let nodes: Vec<Node> = staged
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| reached[i])
+            .map(|(_, node)| Node {
+                name: node.name.clone(),
+                agent: node.agent,
+                gate: node.gate,
+                children: node
+                    .children()
+                    .iter()
+                    .map(|c| compact[c.index()].expect("children of reachable nodes are reachable"))
+                    .collect(),
+            })
+            .collect();
+        let new_root = compact[root_staged].expect("the root slot is always reachable");
+        let adt = Adt::from_parts(nodes, new_root)?;
+        let old_to_new = (0..n)
+            .map(|i| if i == at.index() { None } else { compact[i] })
+            .collect();
+        let sub_to_new = (0..m)
+            .map(|i| {
+                compact[sub_staged[i]]
+                    .expect("every replacement node is reachable through its root")
+            })
+            .collect();
+        Ok((
+            adt,
+            ReplacedSubtree {
+                old_to_new,
+                sub_to_new,
+            },
+        ))
     }
 
     /// Longest root-to-leaf path length (a single node has depth 0).
@@ -425,6 +593,18 @@ impl fmt::Display for Adt {
         }
         Ok(())
     }
+}
+
+/// Id mappings produced by [`Adt::with_replaced_subtree`]: how the old
+/// arena and the replacement arena project into the edited ADT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplacedSubtree {
+    /// For each old node id, its id in the edited ADT — `None` for the
+    /// replaced node itself and for old nodes pruned as unreachable.
+    pub old_to_new: Vec<Option<NodeId>>,
+    /// For each replacement node id, its id in the edited ADT (total: every
+    /// replacement node survives the splice).
+    pub sub_to_new: Vec<NodeId>,
 }
 
 /// Summary statistics of an [`Adt`], as reported by [`Adt::stats`].
@@ -1018,6 +1198,165 @@ mod tests {
         for (new_id, node) in sub.iter() {
             assert_eq!(adt[mapping[new_id.index()]].name(), node.name());
         }
+    }
+
+    #[test]
+    fn subtree_survives_spliced_id_order() {
+        // `with_replaced_subtree` puts the replacement root into a low arena
+        // slot while its children are appended at high ids; extracting any
+        // subtree that contains the splice must still renumber children
+        // before parents.
+        let adt = fig3_structure();
+        let mut b = AdtBuilder::new();
+        let f1 = b.attack("f1").unwrap();
+        let f2 = b.attack("f2").unwrap();
+        let gate = b.or("fresh_gate", [f1, f2]).unwrap();
+        let replacement = b.build(gate).unwrap();
+        let a1 = adt.node_id("a1").unwrap();
+        let (edited, _) = adt.with_replaced_subtree(a1, &replacement).unwrap();
+        let spliced = edited.node_id("fresh_gate").unwrap();
+        assert!(
+            edited[spliced].children().iter().any(|c| *c > spliced),
+            "the splice should exercise parent-before-child ids"
+        );
+        for v in [spliced, edited.root()] {
+            let (sub, mapping) = edited.subtree(v);
+            sub.validate().unwrap();
+            assert_eq!(sub[sub.root()].name(), edited[v].name());
+            for (new_id, node) in sub.iter() {
+                assert_eq!(edited[mapping[new_id.index()]].name(), node.name());
+            }
+        }
+    }
+
+    #[test]
+    fn gate_kind_edit_preserves_everything_else() {
+        let adt = fig3_structure();
+        let root = adt.root();
+        let edited = adt.with_gate_kind(root, Gate::And).unwrap();
+        assert_eq!(edited[root].gate(), Gate::And);
+        assert_eq!(edited.node_count(), adt.node_count());
+        assert_eq!(edited.attacks(), adt.attacks());
+        assert_eq!(edited.defenses(), adt.defenses());
+        for (id, node) in adt.iter() {
+            assert_eq!(edited[id].name(), node.name());
+            assert_eq!(edited[id].children(), node.children());
+        }
+        // And back again.
+        let back = edited.with_gate_kind(root, Gate::Or).unwrap();
+        assert_eq!(back[root].gate(), Gate::Or);
+    }
+
+    #[test]
+    fn gate_kind_edit_rejects_leaves_and_inh() {
+        let adt = fig3_structure();
+        let a1 = adt.node_id("a1").unwrap();
+        assert_eq!(
+            adt.with_gate_kind(a1, Gate::And).unwrap_err(),
+            AdtError::GateKindUnsupported("a1".into())
+        );
+        let guarded = adt.node_id("guarded").unwrap();
+        assert_eq!(
+            adt.with_gate_kind(guarded, Gate::Or).unwrap_err(),
+            AdtError::GateKindUnsupported("guarded".into())
+        );
+        let root = adt.root();
+        assert_eq!(
+            adt.with_gate_kind(root, Gate::Inh).unwrap_err(),
+            AdtError::GateKindUnsupported("root".into())
+        );
+        assert!(matches!(
+            adt.with_gate_kind(NodeId::new(99), Gate::And),
+            Err(AdtError::InvalidNode { .. })
+        ));
+    }
+
+    #[test]
+    fn replace_subtree_splices_and_prunes() {
+        let adt = fig3_structure();
+        // Replace the guarded INH branch with a single fresh attack leaf.
+        let mut b = AdtBuilder::new();
+        let fresh = b.attack("fresh").unwrap();
+        let replacement = b.build(fresh).unwrap();
+        let guarded = adt.node_id("guarded").unwrap();
+        let (edited, mapping) = adt.with_replaced_subtree(guarded, &replacement).unwrap();
+        edited.validate().unwrap();
+        // a2, d_eff, d_and, d1, d2, a1 were only reachable through
+        // `guarded` and are pruned; root, a3 and the fresh leaf survive.
+        assert_eq!(edited.node_count(), 3);
+        assert!(edited.node_id("guarded").is_none());
+        assert!(edited.node_id("a1").is_none());
+        let fresh_new = mapping.sub_to_new[fresh.index()];
+        assert_eq!(edited[fresh_new].name(), "fresh");
+        let a3_new = mapping.old_to_new[adt.node_id("a3").unwrap().index()].unwrap();
+        assert_eq!(edited[a3_new].name(), "a3");
+        assert_eq!(mapping.old_to_new[guarded.index()], None);
+        assert_eq!(
+            edited[edited.root()].children(),
+            &[fresh_new, a3_new],
+            "root's child order is preserved with the splice in place"
+        );
+    }
+
+    #[test]
+    fn replace_subtree_keeps_shared_nodes_alive() {
+        // DAG: `shared` sits under both branches; replacing one branch must
+        // not prune it.
+        let mut b = AdtBuilder::new();
+        let shared = b.attack("shared").unwrap();
+        let x = b.attack("x").unwrap();
+        let left = b.and("left", [shared, x]).unwrap();
+        let y = b.attack("y").unwrap();
+        let right = b.and("right", [shared, y]).unwrap();
+        let root = b.or("root", [left, right]).unwrap();
+        let adt = b.build(root).unwrap();
+
+        let mut rb = AdtBuilder::new();
+        let z = rb.attack("z").unwrap();
+        let replacement = rb.build(z).unwrap();
+        let (edited, mapping) = adt.with_replaced_subtree(left, &replacement).unwrap();
+        edited.validate().unwrap();
+        // `x` is pruned; `shared` survives through `right`.
+        assert!(edited.node_id("x").is_none());
+        assert!(edited.node_id("shared").is_some());
+        assert_eq!(mapping.old_to_new[x.index()], None);
+        assert!(mapping.old_to_new[shared.index()].is_some());
+    }
+
+    #[test]
+    fn replace_subtree_at_root_is_the_replacement() {
+        let adt = fig3_structure();
+        let mut b = AdtBuilder::new();
+        let a = b.attack("na").unwrap();
+        let d = b.defense("nd").unwrap();
+        let nr = b.inh("nr", a, d).unwrap();
+        let replacement = b.build(nr).unwrap();
+        let (edited, mapping) = adt.with_replaced_subtree(adt.root(), &replacement).unwrap();
+        assert_eq!(edited.node_count(), 3);
+        assert_eq!(edited[edited.root()].name(), "nr");
+        assert!(mapping.old_to_new.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn replace_subtree_rejects_name_collisions_and_bad_agents() {
+        let adt = fig3_structure();
+        let guarded = adt.node_id("guarded").unwrap();
+        // Name collision with the surviving `a3`.
+        let mut b = AdtBuilder::new();
+        let clash = b.attack("a3").unwrap();
+        let replacement = b.build(clash).unwrap();
+        assert!(matches!(
+            adt.with_replaced_subtree(guarded, &replacement),
+            Err(AdtError::DuplicateName(_))
+        ));
+        // A defender subtree cannot feed the attacker root OR gate.
+        let mut b = AdtBuilder::new();
+        let dleaf = b.defense("dleaf").unwrap();
+        let replacement = b.build(dleaf).unwrap();
+        assert!(matches!(
+            adt.with_replaced_subtree(guarded, &replacement),
+            Err(AdtError::MixedAgents { .. })
+        ));
     }
 
     #[test]

@@ -3,9 +3,9 @@
 
 use std::fmt;
 
-use crate::adt::Adt;
+use crate::adt::{Adt, ReplacedSubtree};
 use crate::error::AdtError;
-use crate::node::{Agent, NodeId};
+use crate::node::{Agent, Gate, NodeId};
 use crate::semiring::AttributeDomain;
 use crate::vectors::{AttackVector, DefenseVector, Event};
 
@@ -141,6 +141,52 @@ impl<DD: AttributeDomain, DA: AttributeDomain> AugmentedAdt<DD, DA> {
         }
     }
 
+    /// Replaces `β_A` of the basic attack step `id` in place — the what-if
+    /// edit primitive: structure, ordering and every other value stay
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`AdtError::InvalidNode`] for a foreign id,
+    /// [`AdtError::AttributeOnGate`] for a gate and
+    /// [`AdtError::WrongAgent`] for a defense step.
+    pub fn set_attack_value_of(&mut self, id: NodeId, value: DA::Value) -> Result<(), AdtError> {
+        let pos = self.leaf_position_by_id(id, Agent::Attacker)?;
+        self.att_values[pos] = value;
+        Ok(())
+    }
+
+    /// Replaces `β_D` of the basic defense step `id` in place (see
+    /// [`AugmentedAdt::set_attack_value_of`]).
+    ///
+    /// # Errors
+    ///
+    /// [`AdtError::InvalidNode`] for a foreign id,
+    /// [`AdtError::AttributeOnGate`] for a gate and
+    /// [`AdtError::WrongAgent`] for an attack step.
+    pub fn set_defense_value_of(&mut self, id: NodeId, value: DD::Value) -> Result<(), AdtError> {
+        let pos = self.leaf_position_by_id(id, Agent::Defender)?;
+        self.def_values[pos] = value;
+        Ok(())
+    }
+
+    fn leaf_position_by_id(&self, id: NodeId, expected: Agent) -> Result<usize, AdtError> {
+        let node = self.adt.get(id).ok_or(AdtError::InvalidNode {
+            id,
+            len: self.adt.node_count(),
+        })?;
+        if !node.is_leaf() {
+            return Err(AdtError::AttributeOnGate(node.name().to_owned()));
+        }
+        if node.agent() != expected {
+            return Err(AdtError::WrongAgent {
+                node: node.name().to_owned(),
+                expected,
+            });
+        }
+        Ok(self.adt.basic_position(id).expect("leaves have positions"))
+    }
+
     /// The defender metric `β̂_D(δ⃗)` (Definition 6): the `⊗_D`-product of
     /// the values of all activated defense steps.
     ///
@@ -225,6 +271,96 @@ impl<DD: AttributeDomain, DA: AttributeDomain> AugmentedAdt<DD, DA> {
             acc = self.dom_att.mul(&acc, &self.att_values[pos]);
         }
         acc
+    }
+}
+
+impl<DD, DA> AugmentedAdt<DD, DA>
+where
+    DD: AttributeDomain + Clone,
+    DA: AttributeDomain + Clone,
+{
+    /// [`Adt::with_gate_kind`] lifted to augmented trees: ids, the leaf set
+    /// and all basic positions are unchanged, so the value vectors carry
+    /// over verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the structural errors of [`Adt::with_gate_kind`].
+    pub fn with_gate_kind(&self, v: NodeId, gate: Gate) -> Result<Self, AdtError> {
+        let adt = self.adt.with_gate_kind(v, gate)?;
+        debug_assert_eq!(adt.attacks(), self.adt.attacks());
+        debug_assert_eq!(adt.defenses(), self.adt.defenses());
+        Ok(AugmentedAdt {
+            adt,
+            dom_def: self.dom_def.clone(),
+            dom_att: self.dom_att.clone(),
+            def_values: self.def_values.clone(),
+            att_values: self.att_values.clone(),
+        })
+    }
+
+    /// [`Adt::with_replaced_subtree`] lifted to augmented trees: values of
+    /// surviving basic steps carry over through the id mapping, values of
+    /// replacement basic steps come from `replacement`'s assignment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the structural errors of [`Adt::with_replaced_subtree`].
+    pub fn with_replaced_subtree(
+        &self,
+        at: NodeId,
+        replacement: &AugmentedAdt<DD, DA>,
+    ) -> Result<(Self, ReplacedSubtree), AdtError> {
+        let (adt, mapping) = self.adt.with_replaced_subtree(at, replacement.adt())?;
+        // Invert the mapping: which source (old arena or replacement arena)
+        // does each new node come from?
+        let mut source: Vec<Option<(bool, NodeId)>> = vec![None; adt.node_count()];
+        for (old, new) in mapping.old_to_new.iter().enumerate() {
+            if let Some(new) = new {
+                source[new.index()] = Some((false, NodeId::new(old)));
+            }
+        }
+        for (sub, new) in mapping.sub_to_new.iter().enumerate() {
+            source[new.index()] = Some((true, NodeId::new(sub)));
+        }
+        let def_values = adt
+            .defenses()
+            .iter()
+            .map(|&d| {
+                let (from_sub, src) = source[d.index()].expect("every new node has a source");
+                let v = if from_sub {
+                    replacement.defense_value_of(src)
+                } else {
+                    self.defense_value_of(src)
+                };
+                v.expect("defense steps keep their agent across the splice")
+                    .clone()
+            })
+            .collect();
+        let att_values = adt
+            .attacks()
+            .iter()
+            .map(|&a| {
+                let (from_sub, src) = source[a.index()].expect("every new node has a source");
+                let v = if from_sub {
+                    replacement.attack_value_of(src)
+                } else {
+                    self.attack_value_of(src)
+                };
+                v.expect("attack steps keep their agent across the splice")
+                    .clone()
+            })
+            .collect();
+        Ok((
+            AugmentedAdt {
+                adt,
+                dom_def: self.dom_def.clone(),
+                dom_att: self.dom_att.clone(),
+                def_values,
+                att_values,
+            },
+            mapping,
+        ))
     }
 }
 
@@ -531,6 +667,75 @@ mod tests {
             .unwrap();
         let alpha = t.adt().attack_vector(["x", "y"]).unwrap();
         assert_eq!(t.attack_metric(&alpha).unwrap(), Ext::Fin(9));
+    }
+
+    #[test]
+    fn value_setters_edit_in_place() {
+        let mut t = fig3();
+        let a2 = t.adt().node_id("a2").unwrap();
+        t.set_attack_value_of(a2, Ext::Fin(77)).unwrap();
+        assert_eq!(t.attack_value_of(a2), Some(&Ext::Fin(77)));
+        let d1 = t.adt().node_id("d1").unwrap();
+        t.set_defense_value_of(d1, Ext::Fin(1)).unwrap();
+        assert_eq!(t.defense_value_of(d1), Some(&Ext::Fin(1)));
+        // Other values untouched.
+        let a1 = t.adt().node_id("a1").unwrap();
+        assert_eq!(t.attack_value_of(a1), Some(&Ext::Fin(5)));
+        // Misaddressed edits are rejected.
+        assert!(matches!(
+            t.set_attack_value_of(d1, Ext::Fin(0)),
+            Err(AdtError::WrongAgent { .. })
+        ));
+        assert!(matches!(
+            t.set_defense_value_of(t.adt().root(), Ext::Fin(0)),
+            Err(AdtError::AttributeOnGate(_))
+        ));
+        assert!(matches!(
+            t.set_attack_value_of(NodeId::new(99), Ext::Fin(0)),
+            Err(AdtError::InvalidNode { .. })
+        ));
+    }
+
+    #[test]
+    fn augmented_gate_kind_edit_keeps_values() {
+        let t = fig3();
+        let root = t.adt().root();
+        let edited = t.with_gate_kind(root, crate::node::Gate::And).unwrap();
+        assert_eq!(edited.adt()[root].gate(), crate::node::Gate::And);
+        for (pos, _) in t.adt().attacks().iter().enumerate() {
+            assert_eq!(edited.attack_value(pos), t.attack_value(pos));
+        }
+        for (pos, _) in t.adt().defenses().iter().enumerate() {
+            assert_eq!(edited.defense_value(pos), t.defense_value(pos));
+        }
+    }
+
+    #[test]
+    fn augmented_replace_subtree_remaps_values() {
+        let t = fig3();
+        let guarded = t.adt().node_id("guarded").unwrap();
+        let mut b = AdtBuilder::new();
+        let f1 = b.attack("f1").unwrap();
+        let f2 = b.attack("f2").unwrap();
+        let fr = b.and("fr", [f1, f2]).unwrap();
+        let sub_adt = b.build(fr).unwrap();
+        let sub = AugmentedAdt::builder(sub_adt, MinCost, MinCost)
+            .attack_value("f1", 2u64)
+            .unwrap()
+            .attack_value("f2", 4u64)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let (edited, mapping) = t.with_replaced_subtree(guarded, &sub).unwrap();
+        // Replacement values arrived.
+        let f1_new = mapping.sub_to_new[f1.index()];
+        assert_eq!(edited.attack_value_of(f1_new), Some(&Ext::Fin(2)));
+        // The surviving old value (a3 = 20) carried over.
+        let a3_new = mapping.old_to_new[t.adt().node_id("a3").unwrap().index()].unwrap();
+        assert_eq!(edited.attack_value_of(a3_new), Some(&Ext::Fin(20)));
+        // Pruned leaves are gone from the vectors.
+        assert_eq!(edited.adt().attack_count(), 3); // f1, f2, a3
+        assert_eq!(edited.adt().defense_count(), 0);
     }
 
     #[test]

@@ -73,6 +73,10 @@ pub enum AdtError {
     },
     /// The tree has no nodes at all.
     Empty,
+    /// A gate-kind edit addressed a node it cannot rewrite: only
+    /// `AND` ↔ `OR` changes preserve ids, arities and the leaf set
+    /// (see [`Adt::with_gate_kind`](crate::adt::Adt::with_gate_kind)).
+    GateKindUnsupported(String),
 }
 
 impl fmt::Display for AdtError {
@@ -128,6 +132,13 @@ impl fmt::Display for AdtError {
                 write!(f, "vector has length {found}, expected {expected}")
             }
             AdtError::Empty => write!(f, "the tree has no nodes"),
+            AdtError::GateKindUnsupported(name) => {
+                write!(
+                    f,
+                    "node `{name}` cannot change gate kind: only AND/OR gates \
+                     can be rewritten into each other"
+                )
+            }
         }
     }
 }
@@ -199,6 +210,11 @@ mod tests {
                 "vector has length 2, expected 3",
             ),
             (AdtError::Empty, "the tree has no nodes"),
+            (
+                AdtError::GateKindUnsupported("g".into()),
+                "node `g` cannot change gate kind: only AND/OR gates can be \
+                 rewritten into each other",
+            ),
         ];
         for (err, want) in cases {
             assert_eq!(err.to_string(), want);

@@ -55,7 +55,7 @@ pub mod semiring;
 pub mod structure;
 pub mod vectors;
 
-pub use adt::{Adt, AdtBuilder, Stats};
+pub use adt::{Adt, AdtBuilder, ReplacedSubtree, Stats};
 pub use attributed::{AugmentedAdt, AugmentedAdtBuilder};
 pub use error::AdtError;
 pub use node::{Agent, Gate, Node, NodeId};

@@ -6,7 +6,10 @@ use std::fmt;
 ///
 /// Node ids are minted by [`AdtBuilder`](crate::adt::AdtBuilder) in
 /// declaration order; children are always declared before their parents, so
-/// `id(child) < id(parent)` holds for every edge.
+/// `id(child) < id(parent)` holds for every edge of a freshly built tree.
+/// Structural edits (e.g. `Adt::with_replaced_subtree`) may splice a parent
+/// into a lower slot than its children, so traversals must not rely on id
+/// order for topology — use `Adt::topological_order` instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(u32);
 

@@ -1,0 +1,582 @@
+//! Seeded edit-script generation for the incremental what-if engine.
+//!
+//! An *edit script* is a sequence of [`EditOp`]s — leaf-value changes,
+//! defense toggles, `AND`↔`OR` gate rewrites and subtree swaps — that is
+//! valid when applied in order to a given base ADT. Scripts drive the
+//! interactive-session benchmarks (`bench_incremental`), the differential
+//! tests that pit [`IncrementalSession`] re-propagation against cold
+//! recompiles, and the `experiments whatif` CLI.
+//!
+//! Each op renders to one line of the `adt-serve` edit grammar via
+//! [`EditOp::to_line`]:
+//!
+//! ```text
+//! set <leaf> <u64>
+//! toggle <leaf>
+//! gate <node> and|or
+//! replace <node> <single-line-dsl>
+//! ```
+//!
+//! Generation tracks the evolving tree (a subtree swap renames part of the
+//! structure, and later ops must target nodes that still exist), so every
+//! generated script replays cleanly with [`apply_edit`]. The same
+//! `(base, config, seed)` triple always yields the same script — the RNG is
+//! a fixed `ChaCha8` stream, like the rest of this crate.
+//!
+//! [`IncrementalSession`]: ../adt_analysis/incremental/struct.IncrementalSession.html
+
+use std::collections::HashMap;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use adt_core::dsl::Document;
+use adt_core::semiring::Ext;
+use adt_core::{AdtBuilder, AdtError, Agent, AttributeDomain, AugmentedAdt, Gate, MinCost, NodeId};
+
+/// One edit against a min-cost/min-cost ADT.
+#[derive(Debug, Clone)]
+pub enum EditOp {
+    /// Replace the cost of the named basic step (attack or defense — the
+    /// applier dispatches on the leaf's agent).
+    SetValue {
+        /// The leaf to edit.
+        name: String,
+        /// The new cost.
+        value: u64,
+    },
+    /// Flip the named defense between disabled (cost `1 = 0`, the
+    /// multiplicative identity — a free defense) and its remembered
+    /// original cost.
+    Toggle {
+        /// The defense leaf to flip.
+        name: String,
+    },
+    /// Rewrite the named gate's kind. Only [`Gate::And`] and [`Gate::Or`]
+    /// are meaningful here; the generator never emits anything else.
+    SetGate {
+        /// The gate to rewrite.
+        name: String,
+        /// The new kind (`And` or `Or`).
+        gate: Gate,
+    },
+    /// Splice a replacement subtree over the named node. The replacement's
+    /// root agent matches the replaced node's agent and its names are
+    /// disjoint from the surviving tree, so the splice always validates.
+    Replace {
+        /// The node to replace (along with its exclusive descendants).
+        at: String,
+        /// The replacement, carried as a full augmented ADT (boxed to keep
+        /// the op enum small — the other variants are a name and a word).
+        replacement: Box<AugmentedAdt<MinCost, MinCost>>,
+    },
+}
+
+impl EditOp {
+    /// Renders the op as one line of the serving wire grammar.
+    ///
+    /// `Replace` payloads are the replacement's DSL collapsed onto a single
+    /// line (the DSL is whitespace-insensitive and generated node names
+    /// never contain spaces, so the flattening round-trips).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `SetGate` op carries [`Gate::Basic`] or [`Gate::Inh`],
+    /// which have no wire spelling (the generator only emits `And`/`Or`).
+    pub fn to_line(&self) -> String {
+        match self {
+            EditOp::SetValue { name, value } => format!("set {name} {value}"),
+            EditOp::Toggle { name } => format!("toggle {name}"),
+            EditOp::SetGate { name, gate } => {
+                let kind = match gate {
+                    Gate::And => "and",
+                    Gate::Or => "or",
+                    other => panic!("gate edit has no wire spelling for {other:?}"),
+                };
+                format!("gate {name} {kind}")
+            }
+            EditOp::Replace { at, replacement } => {
+                let dsl = Document::from_cost_adt("sub", replacement).to_dsl();
+                let flat: Vec<&str> = dsl.split_whitespace().collect();
+                format!("replace {at} {}", flat.join(" "))
+            }
+        }
+    }
+}
+
+/// Knobs of the script generator.
+#[derive(Debug, Clone)]
+pub struct EditScriptConfig {
+    /// Number of ops to generate.
+    pub len: usize,
+    /// Inclusive range new leaf costs are drawn from.
+    pub value_range: (u64, u64),
+    /// Probability of a defense toggle (falls back to a value edit when the
+    /// tree has no defenses).
+    pub p_toggle: f64,
+    /// Probability of an `AND`↔`OR` rewrite (falls back to a value edit
+    /// when the tree has no such gate).
+    pub p_gate: f64,
+    /// Probability of a subtree swap (falls back to a value edit when the
+    /// tree is a single leaf).
+    pub p_replace: f64,
+}
+
+impl Default for EditScriptConfig {
+    fn default() -> Self {
+        EditScriptConfig {
+            len: 20,
+            value_range: (1, 200),
+            p_toggle: 0.2,
+            p_gate: 0.1,
+            p_replace: 0.1,
+        }
+    }
+}
+
+impl EditScriptConfig {
+    /// A script of `len` ops with the default mix.
+    pub fn of_len(len: usize) -> Self {
+        EditScriptConfig {
+            len,
+            ..Self::default()
+        }
+    }
+
+    /// A script of only leaf-value edits — the workload the incremental
+    /// engine's headline benchmark times (no recompilation at all).
+    pub fn values_only(len: usize) -> Self {
+        EditScriptConfig {
+            len,
+            p_toggle: 0.0,
+            p_gate: 0.0,
+            p_replace: 0.0,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates one edit script valid against `base`.
+///
+/// Every prefix of the script is valid: op `k` targets nodes that exist
+/// after ops `0..k` have been applied. Replay with [`apply_edit`] (or an
+/// `IncrementalSession` from `adt-analysis`) to reproduce the final tree.
+///
+/// # Panics
+///
+/// Panics if `config.value_range` is empty or the probabilities do not fit
+/// in `[0, 1]`.
+pub fn edit_script(
+    base: &AugmentedAdt<MinCost, MinCost>,
+    config: &EditScriptConfig,
+    seed: u64,
+) -> Vec<EditOp> {
+    let (lo, hi) = config.value_range;
+    assert!(lo <= hi, "empty value range");
+    let p_structural = config.p_toggle + config.p_gate + config.p_replace;
+    assert!(
+        (0.0..=1.0).contains(&p_structural),
+        "op probabilities must fit in [0, 1]"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut cur = base.clone();
+    let mut toggles = HashMap::new();
+    let mut fresh = 0usize;
+    let mut script = Vec::with_capacity(config.len);
+    for _ in 0..config.len {
+        let op = next_op(&mut rng, &cur, config, &mut fresh);
+        cur = apply_edit(&cur, &mut toggles, &op).expect("generated ops are valid");
+        script.push(op);
+    }
+    script
+}
+
+/// Applies one op to a tree, returning the edited tree.
+///
+/// `toggles` is the toggle memory: the original cost of every currently
+/// disabled defense, keyed by name. Pass the same map across a whole script
+/// so toggles flip back and forth; subtree swaps prune entries for nodes
+/// that did not survive the splice — exactly the bookkeeping an
+/// `IncrementalSession` performs internally.
+///
+/// # Errors
+///
+/// Propagates [`AdtError`] for ops that do not fit the tree: unknown names,
+/// value edits on gates, toggles of non-defense nodes, gate rewrites of
+/// leaves or `INH` gates, and splices that change agents or collide names.
+pub fn apply_edit(
+    t: &AugmentedAdt<MinCost, MinCost>,
+    toggles: &mut HashMap<String, Ext<u64>>,
+    op: &EditOp,
+) -> Result<AugmentedAdt<MinCost, MinCost>, AdtError> {
+    match op {
+        EditOp::SetValue { name, value } => {
+            let id = t.adt().require(name)?;
+            let mut out = t.clone();
+            match t.adt()[id].agent() {
+                Agent::Attacker => out.set_attack_value_of(id, Ext::Fin(*value))?,
+                Agent::Defender => out.set_defense_value_of(id, Ext::Fin(*value))?,
+            }
+            Ok(out)
+        }
+        EditOp::Toggle { name } => {
+            let id = t.adt().require(name)?;
+            let mut out = t.clone();
+            match toggles.remove(name) {
+                Some(original) => out.set_defense_value_of(id, original)?,
+                None => {
+                    let current = *t
+                        .defense_value_of(id)
+                        .ok_or_else(|| AdtError::AttributeOnGate(name.clone()))?;
+                    out.set_defense_value_of(id, MinCost.one())?;
+                    toggles.insert(name.clone(), current);
+                }
+            }
+            Ok(out)
+        }
+        EditOp::SetGate { name, gate } => {
+            let id = t.adt().require(name)?;
+            t.with_gate_kind(id, *gate)
+        }
+        EditOp::Replace { at, replacement } => {
+            let id = t.adt().require(at)?;
+            let (out, _mapping) = t.with_replaced_subtree(id, replacement)?;
+            toggles.retain(|name, _| out.adt().node_id(name).is_some());
+            Ok(out)
+        }
+    }
+}
+
+/// Draws one valid op against the current tree.
+fn next_op(
+    rng: &mut ChaCha8Rng,
+    cur: &AugmentedAdt<MinCost, MinCost>,
+    config: &EditScriptConfig,
+    fresh: &mut usize,
+) -> EditOp {
+    let roll = rng.random_range(0.0..1.0f64);
+    if roll < config.p_replace {
+        if let Some(op) = replace_op(rng, cur, config, fresh) {
+            return op;
+        }
+    } else if roll < config.p_replace + config.p_gate {
+        if let Some(op) = gate_op(rng, cur) {
+            return op;
+        }
+    } else if roll < config.p_replace + config.p_gate + config.p_toggle {
+        if let Some(op) = toggle_op(rng, cur) {
+            return op;
+        }
+    }
+    value_op(rng, cur, config)
+}
+
+fn value_op(
+    rng: &mut ChaCha8Rng,
+    cur: &AugmentedAdt<MinCost, MinCost>,
+    config: &EditScriptConfig,
+) -> EditOp {
+    let leaves: Vec<&str> = cur
+        .adt()
+        .iter()
+        .filter(|(_, node)| node.is_leaf())
+        .map(|(_, node)| node.name())
+        .collect();
+    let (lo, hi) = config.value_range;
+    EditOp::SetValue {
+        name: leaves[rng.random_range(0..leaves.len())].to_owned(),
+        value: rng.random_range(lo..=hi),
+    }
+}
+
+fn toggle_op(rng: &mut ChaCha8Rng, cur: &AugmentedAdt<MinCost, MinCost>) -> Option<EditOp> {
+    let defenses = cur.adt().defenses();
+    if defenses.is_empty() {
+        return None;
+    }
+    let id = defenses[rng.random_range(0..defenses.len())];
+    Some(EditOp::Toggle {
+        name: cur.adt()[id].name().to_owned(),
+    })
+}
+
+fn gate_op(rng: &mut ChaCha8Rng, cur: &AugmentedAdt<MinCost, MinCost>) -> Option<EditOp> {
+    let gates: Vec<(&str, Gate)> = cur
+        .adt()
+        .iter()
+        .filter(|(_, node)| matches!(node.gate(), Gate::And | Gate::Or))
+        .map(|(_, node)| (node.name(), node.gate()))
+        .collect();
+    if gates.is_empty() {
+        return None;
+    }
+    let (name, kind) = gates[rng.random_range(0..gates.len())];
+    let flipped = match kind {
+        Gate::And => Gate::Or,
+        _ => Gate::And,
+    };
+    Some(EditOp::SetGate {
+        name: name.to_owned(),
+        gate: flipped,
+    })
+}
+
+fn replace_op(
+    rng: &mut ChaCha8Rng,
+    cur: &AugmentedAdt<MinCost, MinCost>,
+    config: &EditScriptConfig,
+    fresh: &mut usize,
+) -> Option<EditOp> {
+    let root = cur.adt().root();
+    let candidates: Vec<NodeId> = cur
+        .adt()
+        .iter()
+        .map(|(id, _)| id)
+        .filter(|id| *id != root)
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let at = candidates[rng.random_range(0..candidates.len())];
+    let agent = cur.adt()[at].agent();
+    let replacement = Box::new(replacement_subtree(rng, cur, agent, config, fresh));
+    Some(EditOp::Replace {
+        at: cur.adt()[at].name().to_owned(),
+        replacement,
+    })
+}
+
+/// Builds a small fresh-named replacement rooted at the given agent: a
+/// single leaf, a binary/ternary gate of leaves, or an inhibited leaf with
+/// an opposite-agent trigger.
+fn replacement_subtree(
+    rng: &mut ChaCha8Rng,
+    cur: &AugmentedAdt<MinCost, MinCost>,
+    agent: Agent,
+    config: &EditScriptConfig,
+    fresh: &mut usize,
+) -> AugmentedAdt<MinCost, MinCost> {
+    let fresh_name = |fresh: &mut usize| loop {
+        *fresh += 1;
+        let name = format!("w{fresh}");
+        if cur.adt().node_id(&name).is_none() {
+            return name;
+        }
+    };
+    let mut builder = AdtBuilder::new();
+    let mut leaves: Vec<(String, Agent)> = Vec::new();
+    let leaf = |builder: &mut AdtBuilder,
+                leaves: &mut Vec<(String, Agent)>,
+                fresh: &mut usize,
+                agent: Agent| {
+        let name = fresh_name(fresh);
+        leaves.push((name.clone(), agent));
+        builder.leaf(agent, name).expect("fresh names are unique")
+    };
+    let root = match rng.random_range(0..3u8) {
+        0 => leaf(&mut builder, &mut leaves, fresh, agent),
+        1 => {
+            let arity = rng.random_range(2..=3usize);
+            let children: Vec<NodeId> = (0..arity)
+                .map(|_| leaf(&mut builder, &mut leaves, fresh, agent))
+                .collect();
+            let name = fresh_name(fresh);
+            if rng.random_bool(0.5) {
+                builder.and(name, children).expect("same-agent children")
+            } else {
+                builder.or(name, children).expect("same-agent children")
+            }
+        }
+        _ => {
+            let core = leaf(&mut builder, &mut leaves, fresh, agent);
+            let trigger = leaf(&mut builder, &mut leaves, fresh, agent.opposite());
+            let name = fresh_name(fresh);
+            builder.inh(name, core, trigger).expect("opposite agents")
+        }
+    };
+    let adt = builder.build(root).expect("replacements are well-formed");
+    let (lo, hi) = config.value_range;
+    let mut augmented = AugmentedAdt::builder(adt, MinCost, MinCost);
+    for (name, agent) in leaves {
+        let cost = rng.random_range(lo..=hi);
+        augmented = match agent {
+            Agent::Attacker => augmented.attack_value(&name, cost),
+            Agent::Defender => augmented.defense_value(&name, cost),
+        }
+        .expect("every generated leaf exists");
+    }
+    augmented.finish().expect("every leaf is attributed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{random_adt, RandomAdtConfig};
+    use adt_core::catalog;
+
+    fn lines(script: &[EditOp]) -> Vec<String> {
+        script.iter().map(EditOp::to_line).collect()
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let base = random_adt(&RandomAdtConfig::dag(60), 11);
+        let config = EditScriptConfig::of_len(40);
+        let a = edit_script(&base, &config, 5);
+        let b = edit_script(&base, &config, 5);
+        assert_eq!(lines(&a), lines(&b));
+        let c = edit_script(&base, &config, 6);
+        assert_ne!(lines(&a), lines(&c), "seeds 5 and 6 agreed");
+    }
+
+    #[test]
+    fn scripts_replay_cleanly_on_trees_and_dags() {
+        for config in [RandomAdtConfig::tree(50), RandomAdtConfig::dag(50)] {
+            for seed in 0..10 {
+                let base = random_adt(&config, seed);
+                let script = edit_script(&base, &EditScriptConfig::of_len(30), seed);
+                assert_eq!(script.len(), 30);
+                let mut cur = base;
+                let mut toggles = HashMap::new();
+                for op in &script {
+                    cur = apply_edit(&cur, &mut toggles, op).expect("script op valid");
+                    cur.adt().validate().expect("edited tree validates");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scripts_cover_every_op_kind() {
+        let base = random_adt(&RandomAdtConfig::dag(80), 2);
+        let mut saw = [false; 4];
+        for seed in 0..5 {
+            for op in edit_script(&base, &EditScriptConfig::of_len(60), seed) {
+                match op {
+                    EditOp::SetValue { .. } => saw[0] = true,
+                    EditOp::Toggle { .. } => saw[1] = true,
+                    EditOp::SetGate { .. } => saw[2] = true,
+                    EditOp::Replace { .. } => saw[3] = true,
+                }
+            }
+        }
+        assert_eq!(saw, [true; 4], "[set, toggle, gate, replace] coverage");
+    }
+
+    #[test]
+    fn values_only_scripts_never_touch_structure() {
+        let base = random_adt(&RandomAdtConfig::dag(60), 3);
+        for op in edit_script(&base, &EditScriptConfig::values_only(50), 9) {
+            assert!(matches!(op, EditOp::SetValue { .. }));
+        }
+    }
+
+    #[test]
+    fn wire_lines_follow_the_grammar() {
+        let op = EditOp::SetValue {
+            name: "phishing".into(),
+            value: 25,
+        };
+        assert_eq!(op.to_line(), "set phishing 25");
+        let op = EditOp::Toggle {
+            name: "sms_auth".into(),
+        };
+        assert_eq!(op.to_line(), "toggle sms_auth");
+        let op = EditOp::SetGate {
+            name: "via_atm".into(),
+            gate: Gate::Or,
+        };
+        assert_eq!(op.to_line(), "gate via_atm or");
+    }
+
+    #[test]
+    fn replace_lines_round_trip_through_the_dsl() {
+        let base = catalog::money_theft();
+        let mut found = false;
+        for seed in 0..20 {
+            let config = EditScriptConfig {
+                p_replace: 1.0,
+                p_toggle: 0.0,
+                p_gate: 0.0,
+                ..EditScriptConfig::of_len(1)
+            };
+            let script = edit_script(&base, &config, seed);
+            let EditOp::Replace { at, replacement } = &script[0] else {
+                continue;
+            };
+            found = true;
+            let line = script[0].to_line();
+            let payload = line
+                .strip_prefix(&format!("replace {at} "))
+                .expect("line starts with the op header");
+            assert!(!payload.contains('\n'), "payload stays on one line");
+            let doc = Document::parse(payload).expect("payload re-parses");
+            let round = doc.to_cost_adt("cost").expect("payload re-attributes");
+            assert_eq!(round.adt().node_count(), replacement.adt().node_count());
+            for (id, node) in replacement.adt().iter() {
+                let other = round.adt().require(node.name()).expect("same names");
+                assert_eq!(round.adt()[other].gate(), node.gate());
+                assert_eq!(
+                    round.attack_value_of(other),
+                    replacement.attack_value_of(id)
+                );
+                assert_eq!(
+                    round.defense_value_of(other),
+                    replacement.defense_value_of(id)
+                );
+            }
+        }
+        assert!(found, "p_replace = 1 never produced a replace op");
+    }
+
+    #[test]
+    fn toggling_twice_restores_the_original_cost() {
+        let base = catalog::money_theft();
+        let sms = base.adt().require("sms_auth").unwrap();
+        let original = *base.defense_value_of(sms).unwrap();
+        let op = EditOp::Toggle {
+            name: "sms_auth".into(),
+        };
+        let mut toggles = HashMap::new();
+        let once = apply_edit(&base, &mut toggles, &op).unwrap();
+        assert_eq!(once.defense_value_of(sms), Some(&Ext::Fin(0)));
+        let twice = apply_edit(&once, &mut toggles, &op).unwrap();
+        assert_eq!(twice.defense_value_of(sms), Some(&original));
+        assert!(toggles.is_empty());
+    }
+
+    #[test]
+    fn replace_prunes_toggle_memory_for_dead_defenses() {
+        let base = catalog::money_theft();
+        let mut toggles = HashMap::new();
+        let toggled = apply_edit(
+            &base,
+            &mut toggles,
+            &EditOp::Toggle {
+                name: "cover_keypad".into(),
+            },
+        )
+        .unwrap();
+        assert!(toggles.contains_key("cover_keypad"));
+        // Swap out the whole ATM branch; cover_keypad dies with it.
+        let mut builder = AdtBuilder::new();
+        let leaf = builder.leaf(Agent::Attacker, "skimmer").unwrap();
+        let adt = builder.build(leaf).unwrap();
+        let replacement = AugmentedAdt::builder(adt, MinCost, MinCost)
+            .attack_value("skimmer", 33u64)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let spliced = apply_edit(
+            &toggled,
+            &mut toggles,
+            &EditOp::Replace {
+                at: "via_atm".into(),
+                replacement: Box::new(replacement),
+            },
+        )
+        .unwrap();
+        assert!(spliced.adt().node_id("cover_keypad").is_none());
+        assert!(toggles.is_empty(), "dead defense left toggle memory behind");
+    }
+}

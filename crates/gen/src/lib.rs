@@ -10,15 +10,19 @@
 //!   `|N| < 45`, and 20-node buckets up to 325 nodes;
 //! * [`family`] — parametric families with closed-form fronts (the ladder
 //!   of Fig. 5, alternating counter-chains); the paper's exponential family
-//!   (Fig. 4) lives in `adt_core::catalog::fig4`.
+//!   (Fig. 4) lives in `adt_core::catalog::fig4`;
+//! * [`edits`] — seeded edit scripts (leaf-value, defense-toggle, gate and
+//!   subtree edits) for the incremental what-if engine and its benchmarks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod edits;
 pub mod family;
 pub mod random;
 pub mod suite;
 
+pub use edits::{apply_edit, edit_script, EditOp, EditScriptConfig};
 pub use family::{counter_chain, ladder};
 pub use random::{attribute_random, random_adt, RandomAdtConfig, Shape};
 pub use suite::{bucket_suite, paper_suite, suite_jobs, Instance, OrderingKind, SuiteJob};

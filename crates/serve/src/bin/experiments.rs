@@ -27,6 +27,14 @@
 //!   query <QUERY|-> [--unix PATH | --tcp ADDR]
 //!                        one-shot client: send a cost-DSL query to a
 //!                        running `serve` instance and print the front
+//!   whatif <TREE.dsl> <SCRIPT|-> [--store PATH]
+//!                        scripted what-if session: open the tree in an
+//!                        incremental session and replay the edit script
+//!                        (one wire-grammar op per line; `#` comments),
+//!                        printing each refreshed front with its
+//!                        dirty-cone stats (see docs/INCREMENTAL.md)
+//!   store-compact <PATH> drop superseded records from the store log at
+//!                        PATH and report the bytes reclaimed
 //!   all                  everything above with fast defaults
 //! ```
 //!
@@ -126,6 +134,8 @@ fn main() {
         "ablation-modular" => ablation_modular(&flags, &exec),
         "serve" => serve(&flags),
         "query" => query(&args[1..], &flags),
+        "whatif" => whatif(&args[1..], &flags),
+        "store-compact" => store_compact(&args[1..]),
         "all" => {
             table1();
             table2();
@@ -265,6 +275,127 @@ fn run_query<R: std::io::Read, W: std::io::Write>(reader: R, writer: W, dsl: &st
     }
 }
 
+/// The `whatif` subcommand: replay a scripted edit sequence against a
+/// base tree through the served what-if path.
+///
+/// The first positional is a cost-DSL file for the base tree, the second
+/// an edit script (`-` reads it from stdin) with one wire-grammar op per
+/// line — `set <leaf> <value>`, `toggle <leaf>`, `gate <node> and|or`,
+/// `replace <node> <dsl>` — blank lines and `#` comments skipped. The
+/// session runs over an in-process socketpair against a real [`Server`]
+/// (so `--store`, `--gc-threshold`, and `--kernel-threads` behave exactly
+/// as under `serve`): fronts go to stdout, per-edit dirty-cone stats to
+/// stderr, and the first failing op aborts with a nonzero exit.
+fn whatif(args: &[String], flags: &Flags) {
+    let pos = positionals(args);
+    let [tree_path, script_source] = pos.as_slice() else {
+        eprintln!(
+            "usage: experiments whatif <TREE.dsl> <SCRIPT|-> \
+             [--store PATH] [--gc-threshold N] [--kernel-threads N]"
+        );
+        std::process::exit(2);
+    };
+    let dsl = std::fs::read_to_string(tree_path).unwrap_or_else(|e| {
+        eprintln!("cannot read tree `{tree_path}`: {e}");
+        std::process::exit(2);
+    });
+    let script = if *script_source == "-" {
+        let mut buf = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin().lock(), &mut buf)
+            .expect("readable stdin");
+        buf
+    } else {
+        std::fs::read_to_string(script_source).unwrap_or_else(|e| {
+            eprintln!("cannot read script `{script_source}`: {e}");
+            std::process::exit(2);
+        })
+    };
+    // Edits are stateful and run on the connection thread; one worker is
+    // all the interleaved queries of a what-if session can ever need.
+    let cfg = ServeConfig {
+        jobs: 1,
+        kernel_threads: flags.kernel_threads(),
+        max_inflight: 1,
+        gc_threshold: flags.gc_threshold(),
+        max_query_bytes: DEFAULT_MAX_QUERY_BYTES,
+        store: flags.path("store").map(std::path::PathBuf::from),
+    };
+    let server = Server::new(cfg);
+    let (client_end, server_end) =
+        std::os::unix::net::UnixStream::pair().expect("socketpair for the in-process session");
+    std::thread::scope(|scope| {
+        let server = &server;
+        let serving = scope.spawn(move || {
+            let write_half = server_end.try_clone().expect("clonable socket");
+            server.serve_connection(&server_end, write_half)
+        });
+        let write_half = client_end.try_clone().expect("clonable socket");
+        let mut client = adt_serve::Client::new(&client_end, write_half);
+        let opened = client.edit(&format!("open {dsl}")).unwrap_or_else(|e| {
+            eprintln!("open failed: {e}");
+            std::process::exit(1);
+        });
+        println!("open {tree_path} -> {}", opened.front);
+        eprintln!(
+            "  ok nodes={} width={} micros={}",
+            opened.nodes, opened.width, opened.micros
+        );
+        let (mut edits, mut dirty, mut reused, mut micros) = (0usize, 0usize, 0usize, 0u128);
+        for line in script.lines() {
+            let op = line.trim();
+            if op.is_empty() || op.starts_with('#') {
+                continue;
+            }
+            match client.edit(op) {
+                Ok(reply) => {
+                    println!("{op} -> {}", reply.front);
+                    eprintln!(
+                        "  ok nodes={} width={} micros={} dirty_nodes={} reused={}",
+                        reply.nodes, reply.width, reply.micros, reply.dirty_nodes, reply.reused
+                    );
+                    edits += 1;
+                    dirty += reply.dirty_nodes;
+                    reused += reply.reused;
+                    micros += reply.micros;
+                }
+                Err(e) => {
+                    eprintln!("edit `{op}` failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        eprintln!(
+            "replayed {edits} edits: dirty_nodes={dirty} reused={reused} total_micros={micros}"
+        );
+        client.shutdown().expect("graceful shutdown flush");
+        if let Err(e) = serving.join().expect("server thread") {
+            eprintln!("session closed on protocol error: {e}");
+            std::process::exit(1);
+        }
+    });
+}
+
+/// The `store-compact` subcommand: rewrite the store log at the
+/// positional PATH keeping only live records, and report the reclaim.
+fn store_compact(args: &[String]) {
+    let Some(path) = positional(args) else {
+        eprintln!("usage: experiments store-compact <PATH>");
+        std::process::exit(2);
+    };
+    let mut store = adt_store::Store::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open store at `{path}`: {e}");
+        std::process::exit(1);
+    });
+    let reclaimed = store.compact().unwrap_or_else(|e| {
+        eprintln!("compaction failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "compacted {path}: {reclaimed} bytes reclaimed, {} live records kept",
+        store.len()
+    );
+}
+
 /// The first argument `parse_flags` would *not* consume: tokens starting
 /// with `--` and their immediately following values are flag syntax,
 /// everything else is positional.
@@ -281,6 +412,25 @@ fn positional(args: &[String]) -> Option<&String> {
         }
     }
     None
+}
+
+/// Every positional argument, in order, under the same flag-skipping
+/// rules as [`positional`].
+fn positionals(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            match args.get(i + 1) {
+                Some(value) if !value.starts_with("--") => i += 2,
+                _ => i += 1,
+            }
+        } else {
+            out.push(&args[i]);
+            i += 1;
+        }
+    }
+    out
 }
 
 /// How suites are executed for the whole process lifetime: either the

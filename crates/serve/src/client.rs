@@ -20,7 +20,7 @@
 use std::io::{Read, Write};
 
 use crate::frame::{FrameError, FrameReader, FrameWriter, MAX_PAYLOAD};
-use crate::session::{CH_BUSY, CH_ERROR, CH_QUERY, CH_RESULT, CH_SHUTDOWN, CH_STATUS};
+use crate::session::{CH_BUSY, CH_EDIT, CH_ERROR, CH_QUERY, CH_RESULT, CH_SHUTDOWN, CH_STATUS};
 
 /// The successful outcome of one query: the rendered Pareto front plus
 /// the server's status line, parsed.
@@ -34,6 +34,24 @@ pub struct QueryReply {
     pub width: usize,
     /// Server-side wall-clock (admission to completion), microseconds.
     pub micros: u128,
+}
+
+/// The successful outcome of one what-if edit: the refreshed front plus
+/// the extended status line with the incremental re-propagation stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EditReply {
+    /// The refreshed Pareto front, reassembled from the `R` chunks.
+    pub front: String,
+    /// BDD node count after the edit.
+    pub nodes: usize,
+    /// Largest intermediate front the session has materialized so far.
+    pub width: usize,
+    /// Server-side wall-clock for this edit, microseconds.
+    pub micros: u128,
+    /// BDD-node fronts the dirty cone forced to be recomputed.
+    pub dirty_nodes: usize,
+    /// Memoized fronts reused untouched by this edit.
+    pub reused: usize,
 }
 
 /// Everything one query can fail with, from the client's point of view.
@@ -107,14 +125,53 @@ impl<R: Read, W: Write> Client<R, W> {
     /// locally: the session treats a bare flush as punctuation and would
     /// assign it no id, silently desynchronizing the client's counter.
     pub fn query(&mut self, dsl: &str) -> Result<QueryReply, ClientError> {
-        let bytes = dsl.as_bytes();
+        let (front, status) = self.round_trip(CH_QUERY, dsl)?;
+        let (nodes, width, micros) = parse_status(&status)
+            .ok_or_else(|| ClientError::Protocol(format!("malformed status line `{status}`")))?;
+        Ok(QueryReply {
+            front,
+            nodes,
+            width,
+            micros,
+        })
+    }
+
+    /// Sends one what-if edit op (the `open`/`set`/`toggle`/`gate`/
+    /// `replace` grammar of `docs/SERVE.md`) and blocks until its terminal
+    /// frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`query`](Client::query); additionally the server rejects every
+    /// op but `open` while no session is open on this connection.
+    pub fn edit(&mut self, op: &str) -> Result<EditReply, ClientError> {
+        let (front, status) = self.round_trip(CH_EDIT, op)?;
+        let (nodes, width, micros, dirty_nodes, reused) =
+            parse_edit_status(&status).ok_or_else(|| {
+                ClientError::Protocol(format!("malformed edit status line `{status}`"))
+            })?;
+        Ok(EditReply {
+            front,
+            nodes,
+            width,
+            micros,
+            dirty_nodes,
+            reused,
+        })
+    }
+
+    /// Sends one request body on `channel` (chunked + flushed) and
+    /// collects its tagged response: the reassembled `R` body plus the raw
+    /// `S` status body.
+    fn round_trip(&mut self, channel: u8, body: &str) -> Result<(String, String), ClientError> {
+        let bytes = body.as_bytes();
         if bytes.is_empty() {
             return Err(ClientError::Protocol(
-                "empty query: a bare flush consumes no request id".to_owned(),
+                "empty request: a bare flush consumes no request id".to_owned(),
             ));
         }
         for chunk in bytes.chunks(MAX_PAYLOAD) {
-            self.writer.write_data(CH_QUERY, chunk)?;
+            self.writer.write_data(channel, chunk)?;
         }
         self.writer.write_flush()?;
         let id = self.next_id;
@@ -128,17 +185,9 @@ impl<R: Read, W: Write> Client<R, W> {
                 CH_STATUS => {
                     let status = String::from_utf8(body)
                         .map_err(|_| ClientError::Protocol("non-UTF-8 status body".to_owned()))?;
-                    let (nodes, width, micros) = parse_status(&status).ok_or_else(|| {
-                        ClientError::Protocol(format!("malformed status line `{status}`"))
-                    })?;
                     let front = String::from_utf8(front)
                         .map_err(|_| ClientError::Protocol("non-UTF-8 result body".to_owned()))?;
-                    return Ok(QueryReply {
-                        front,
-                        nodes,
-                        width,
-                        micros,
-                    });
+                    return Ok((front, status));
                 }
                 CH_ERROR => {
                     let body = String::from_utf8_lossy(&body);
@@ -237,6 +286,23 @@ fn parse_status(body: &str) -> Option<(usize, usize, u128)> {
     ))
 }
 
+/// Parses the extended edit `S` body
+/// ` ok nodes=N width=W micros=M dirty_nodes=D reused=U`.
+fn parse_edit_status(body: &str) -> Option<(usize, usize, u128, usize, usize)> {
+    let rest = body.strip_prefix(" ok nodes=")?;
+    let (nodes, rest) = rest.split_once(" width=")?;
+    let (width, rest) = rest.split_once(" micros=")?;
+    let (micros, rest) = rest.split_once(" dirty_nodes=")?;
+    let (dirty_nodes, reused) = rest.split_once(" reused=")?;
+    Some((
+        nodes.parse().ok()?,
+        width.parse().ok()?,
+        micros.parse().ok()?,
+        dirty_nodes.parse().ok()?,
+        reused.parse().ok()?,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +319,18 @@ mod tests {
         assert_eq!(parse_status(&body), Some((120, 7, 31415)));
         assert_eq!(parse_status(" ok nodes=1 width="), None);
         assert_eq!(parse_status("ok nodes=1 width=2 micros=3"), None);
+    }
+
+    #[test]
+    fn edit_status_parsing_round_trips_the_server_encoder() {
+        let frame = crate::session::edit_status_frame(5, 120, 7, 31415, 9, 111);
+        let body = match frame {
+            OwnedFrame::Data { payload, .. } => String::from_utf8(payload[8..].to_vec()).unwrap(),
+            OwnedFrame::Flush => panic!("status is a data frame"),
+        };
+        assert_eq!(parse_edit_status(&body), Some((120, 7, 31415, 9, 111)));
+        // An edit status without the incremental fields is malformed.
+        assert_eq!(parse_edit_status(" ok nodes=1 width=2 micros=3"), None);
     }
 
     #[test]

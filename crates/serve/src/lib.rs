@@ -23,7 +23,7 @@ pub mod frame;
 pub mod server;
 pub mod session;
 
-pub use client::{Client, ClientError, QueryReply};
+pub use client::{Client, ClientError, EditReply, QueryReply};
 pub use frame::{
     FrameDecoder, FrameError, FrameReader, FrameWriter, OwnedFrame, MAX_FRAME_LEN, MAX_PAYLOAD,
 };

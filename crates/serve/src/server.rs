@@ -16,6 +16,18 @@
 //! (error) frame. Responses of concurrent requests may interleave —
 //! delivery is *tagged*, not ordered.
 //!
+//! ## What-if edits
+//!
+//! `E` (edit) requests are *stateful*: a connection's `open` edit compiles
+//! a tree into a per-connection [`IncrementalSession`] over a dedicated
+//! engine, and subsequent `set`/`toggle`/`gate`/`replace` edits mutate
+//! that session in place, re-propagating only the dirty cone. Because
+//! edits mutate connection-local state they run **on the connection
+//! thread**, never on the pool — ordering within a connection is the
+//! ordering the client sent, and a long edit never occupies a query
+//! worker. The refreshed front streams back as `R` chunks; the `S` status
+//! additionally carries `dirty_nodes=`/`reused=` re-propagation stats.
+//!
 //! ## Disconnect and shutdown
 //!
 //! Client EOF closes the connection immediately: inflight requests keep
@@ -30,13 +42,17 @@ use std::io::{Read, Write};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-use adt_analysis::{DefenseFirstOrder, DEFAULT_GC_THRESHOLD};
+use adt_analysis::{
+    AnalysisEngine, DefenseFirstOrder, EditReport, IncrementalSession, DEFAULT_GC_THRESHOLD,
+};
 use adt_bench::{default_jobs, PoolFull, WorkerPool};
 use adt_core::dsl::Document;
+use adt_core::semiring::Ext;
+use adt_core::{Agent, AugmentedAdt, Gate, MinCost};
 
 use crate::frame::{FrameError, FrameReader, FrameWriter, OwnedFrame};
 use crate::session::{
-    busy_frame, error_frame, result_frames, status_frame, Session, SessionStep,
+    busy_frame, edit_status_frame, error_frame, result_frames, status_frame, Session, SessionStep,
     DEFAULT_MAX_QUERY_BYTES, SESSION_ID,
 };
 
@@ -142,6 +158,7 @@ impl Server {
         let writer = Arc::new(Mutex::new(FrameWriter::new(writer)));
         let inflight: Inflight = Arc::new((Mutex::new(0), Condvar::new()));
         let mut session = Session::new(self.cfg.max_query_bytes);
+        let mut whatif: Option<WhatIf> = None;
         let mut reader = FrameReader::new(reader);
         loop {
             let frame = match reader.next_frame() {
@@ -162,6 +179,32 @@ impl Server {
                 SessionStep::Reply(reply) => write_best_effort(&writer, &reply),
                 SessionStep::Submit { id, query } => {
                     self.route(id, &query, &writer, &inflight);
+                }
+                SessionStep::SubmitEdit { id, script } => {
+                    // Stateful: runs here, on the connection thread.
+                    let start = Instant::now();
+                    match apply_wire_edit(&self.cfg, &mut whatif, &script) {
+                        Ok(outcome) => {
+                            let micros = start.elapsed().as_micros();
+                            for frame in result_frames(id, &outcome.front) {
+                                write_best_effort(&writer, &frame);
+                            }
+                            write_best_effort(
+                                &writer,
+                                &edit_status_frame(
+                                    id,
+                                    outcome.nodes,
+                                    outcome.width,
+                                    micros,
+                                    outcome.dirty_nodes,
+                                    outcome.reused,
+                                ),
+                            );
+                        }
+                        Err(message) => {
+                            write_best_effort(&writer, &error_frame(id, &message));
+                        }
+                    }
                 }
                 SessionStep::Shutdown => {
                     let (count, drained) = &*inflight;
@@ -224,6 +267,162 @@ impl Server {
             write_best_effort(writer, &busy_frame(id, pending));
         }
     }
+}
+
+/// A connection's what-if state: one dedicated engine plus the open
+/// incremental session over it. Connection-local by construction — edits
+/// are applied on the connection thread, so no lock is needed.
+struct WhatIf {
+    engine: AnalysisEngine<MinCost, MinCost>,
+    session: Option<IncrementalSession<MinCost, MinCost>>,
+}
+
+/// What a successful edit sends back: the refreshed front plus the
+/// status-line fields.
+struct EditOutcome {
+    front: String,
+    nodes: usize,
+    width: usize,
+    dirty_nodes: usize,
+    reused: usize,
+}
+
+impl EditOutcome {
+    fn from_report(
+        session: &IncrementalSession<MinCost, MinCost>,
+        report: &EditReport<Ext<u64>, Ext<u64>>,
+    ) -> Self {
+        EditOutcome {
+            front: session.front().to_string(),
+            nodes: report.bdd_nodes,
+            width: report.max_front_width,
+            dirty_nodes: report.dirty_nodes,
+            reused: report.reused,
+        }
+    }
+}
+
+/// Parses and applies one wire edit op against the connection's what-if
+/// state. Grammar (one op per request):
+///
+/// ```text
+/// open <dsl>              compile a tree into a fresh session
+/// set <leaf> <u64>        re-cost a basic step (attack or defense)
+/// toggle <leaf>           flip a defense between free and its cost
+/// gate <node> and|or      rewrite a gate's kind
+/// replace <node> <dsl>    splice a replacement subtree in at <node>
+/// ```
+///
+/// Every op except `open` requires an open session. Errors come back as
+/// strings ready for an `E` frame.
+fn apply_wire_edit(
+    cfg: &ServeConfig,
+    whatif: &mut Option<WhatIf>,
+    script: &str,
+) -> Result<EditOutcome, String> {
+    let script = script.trim();
+    let (op, rest) = script
+        .split_once(char::is_whitespace)
+        .unwrap_or((script, ""));
+    let rest = rest.trim();
+    if op == "open" {
+        let t = parse_cost_tree(rest)?;
+        let state = match whatif {
+            Some(state) => {
+                // Re-opening replaces the session; release the old root.
+                if let Some(old) = state.session.take() {
+                    old.close(&mut state.engine);
+                }
+                state
+            }
+            None => {
+                let mut engine = AnalysisEngine::with_gc_threshold(cfg.gc_threshold);
+                engine.set_kernel_threads(cfg.kernel_threads.max(1));
+                if let Some(dir) = &cfg.store {
+                    engine
+                        .open_store(dir)
+                        .map_err(|e| format!("store {}: {e}", dir.display()))?;
+                }
+                whatif.insert(WhatIf {
+                    engine,
+                    session: None,
+                })
+            }
+        };
+        let session = state.engine.incremental_session(t);
+        let outcome = EditOutcome {
+            front: session.front().to_string(),
+            nodes: session.bdd_nodes(),
+            width: session.max_front_width(),
+            dirty_nodes: 0,
+            reused: 0,
+        };
+        state.session = Some(session);
+        return Ok(outcome);
+    }
+    let state = whatif
+        .as_mut()
+        .ok_or_else(|| format!("edit `{op}` before `open`"))?;
+    let session = state
+        .session
+        .as_mut()
+        .ok_or_else(|| format!("edit `{op}` before `open`"))?;
+    let engine = &mut state.engine;
+    let report = match op {
+        "set" => {
+            let (name, value) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| "usage: set <leaf> <u64>".to_owned())?;
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("`{}` is not a u64 cost", value.trim()))?;
+            let id = session
+                .tree()
+                .adt()
+                .require(name)
+                .map_err(|e| e.to_string())?;
+            match session.tree().adt()[id].agent() {
+                Agent::Attacker => session.set_attack_value(engine, name, Ext::Fin(value)),
+                Agent::Defender => session.set_defense_value(engine, name, Ext::Fin(value)),
+            }
+        }
+        "toggle" => {
+            if rest.is_empty() {
+                return Err("usage: toggle <leaf>".to_owned());
+            }
+            session.toggle_defense(engine, rest)
+        }
+        "gate" => {
+            let (name, kind) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| "usage: gate <node> and|or".to_owned())?;
+            let gate = match kind.trim() {
+                "and" => Gate::And,
+                "or" => Gate::Or,
+                other => return Err(format!("`{other}` is not a gate kind (and|or)")),
+            };
+            session.set_gate_kind(engine, name, gate)
+        }
+        "replace" => {
+            let (name, dsl) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| "usage: replace <node> <dsl>".to_owned())?;
+            let replacement = parse_cost_tree(dsl.trim())?;
+            session.replace_subtree(engine, name, &replacement)
+        }
+        other => return Err(format!("unknown edit op `{other}`")),
+    }
+    .map_err(|e| e.to_string())?;
+    Ok(EditOutcome::from_report(session, &report))
+}
+
+/// Parses a DSL document into a min-cost tree, flattening both error
+/// stages into one message.
+fn parse_cost_tree(dsl: &str) -> Result<AugmentedAdt<MinCost, MinCost>, String> {
+    Document::parse(dsl)
+        .and_then(|doc| doc.to_cost_adt("cost"))
+        .map_err(|e| e.to_string())
 }
 
 /// Decrements a connection's inflight count, waking its drain waiter at
@@ -323,6 +522,69 @@ mod tests {
         assert_eq!(reply.front, direct.to_string());
         assert!(reply.nodes > 0, "status carried the BDD size");
         assert!(reply.width > 0, "status carried the front width");
+        client.shutdown().expect("graceful shutdown flush");
+        server_thread.join().expect("server thread");
+    }
+
+    #[test]
+    fn whatif_session_round_trip_over_a_socketpair() {
+        let server = Server::new(ServeConfig {
+            jobs: 1,
+            ..ServeConfig::default()
+        });
+        let t = catalog::money_theft();
+        let dsl = Document::from_cost_adt("money", &t).to_dsl();
+        let (local, remote) = std::os::unix::net::UnixStream::pair().expect("socketpair");
+        let server_thread = std::thread::spawn(move || {
+            let write_half = remote.try_clone().expect("clonable stream");
+            server
+                .serve_connection(&remote, write_half)
+                .expect("clean session");
+            server.drain();
+        });
+        let write_half = local.try_clone().expect("clonable stream");
+        let mut client = crate::Client::new(&local, write_half);
+
+        // Edits before `open` are rejected with a tagged error.
+        match client.edit("set phishing 10") {
+            Err(crate::ClientError::Server(msg)) => assert!(msg.contains("before `open`")),
+            other => panic!("expected server error, got {other:?}"),
+        }
+
+        // `open` compiles the tree and answers the base front.
+        let opened = client.edit(&format!("open {dsl}")).expect("open serves");
+        let direct = adt_analysis::analyze(&t).expect("money_theft analyzes");
+        assert_eq!(opened.front, direct.to_string());
+        assert!(opened.nodes > 0);
+
+        // A value edit re-propagates incrementally and matches a cold
+        // recompute of the edited tree.
+        let reply = client.edit("set phishing 10").expect("value edit serves");
+        let mut edited = t.clone();
+        let phishing = edited.adt().require("phishing").unwrap();
+        edited
+            .set_attack_value_of(phishing, adt_core::semiring::Ext::Fin(10))
+            .unwrap();
+        let cold = adt_analysis::analyze(&edited).expect("edited tree analyzes");
+        assert_eq!(reply.front, cold.to_string());
+        assert!(reply.reused > 0, "value edit reused no memoized fronts");
+
+        // Toggling a defense twice restores the opened front exactly.
+        let toggled = client.edit("toggle sms_auth").expect("toggle serves");
+        assert_ne!(toggled.front, reply.front);
+        let restored = client.edit("toggle sms_auth").expect("toggle serves");
+        assert_eq!(restored.front, reply.front);
+
+        // Structural edits flow through the same channel.
+        client.edit("gate via_atm or").expect("gate edit serves");
+        client
+            .edit("replace learn_pin adt \"sub\" { attack bribe { cost = 45 } root bribe }")
+            .expect("replace serves");
+
+        // Queries and edits interleave on one connection.
+        let query = client.query(&dsl).expect("query still serves");
+        assert_eq!(query.front, direct.to_string());
+
         client.shutdown().expect("graceful shutdown flush");
         server_thread.join().expect("server thread");
     }

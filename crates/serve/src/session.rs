@@ -4,18 +4,25 @@
 //!
 //! ## Channels
 //!
-//! Client → server: `Q` accumulates DSL query bytes; a flush frame ends
-//! the query and assigns it the next request id; `X` asks for graceful
-//! shutdown. Server → client: `R` result chunk, `S` status (success
-//! summary), `E` error, `B` busy (admission backpressure). Every server
-//! payload begins with the 8 lowercase hex digits of the request id it
-//! answers; session-level errors (not attributable to a request) use
+//! Client → server: `Q` accumulates DSL query bytes; `E` accumulates
+//! what-if *edit* bytes (one op of the edit grammar — `open`, `set`,
+//! `toggle`, `gate`, `replace`); a flush frame ends the request — whatever
+//! kind it is — and assigns it the next request id; `X` asks for graceful
+//! shutdown. Mixing `Q` and `E` frames within one request is an error,
+//! reported at flush (where the request's id exists). Server → client:
+//! `R` result chunk, `S` status (success summary), `E` error, `B` busy
+//! (admission backpressure) — the two `E`s never collide because the
+//! channel byte's meaning is per direction. Every server payload begins
+//! with the 8 lowercase hex digits of the request id it answers;
+//! session-level errors (not attributable to a request) use
 //! [`SESSION_ID`].
 
 use crate::frame::{OwnedFrame, MAX_PAYLOAD};
 
 /// Query-fragment channel (client → server).
 pub const CH_QUERY: u8 = b'Q';
+/// Edit-fragment channel (client → server): one incremental what-if op.
+pub const CH_EDIT: u8 = b'E';
 /// Graceful-shutdown channel (client → server).
 pub const CH_SHUTDOWN: u8 = b'X';
 /// Result-chunk channel (server → client).
@@ -46,6 +53,15 @@ pub enum SessionStep {
         /// The accumulated query text.
         query: String,
     },
+    /// A complete what-if edit op: apply it to the connection's
+    /// incremental session under the given id. Edits are stateful, so the
+    /// driver handles them on the connection thread instead of the pool.
+    SubmitEdit {
+        /// The request id assigned to this edit.
+        id: u32,
+        /// The accumulated edit op (one line of the edit grammar).
+        script: String,
+    },
     /// Send this frame back to the client and carry on.
     Reply(OwnedFrame),
     /// The client asked for graceful shutdown: drain this connection's
@@ -62,8 +78,12 @@ pub enum SessionStep {
 #[derive(Debug)]
 pub struct Session {
     buf: Vec<u8>,
+    /// The channel the current request accumulates on ([`CH_QUERY`] or
+    /// [`CH_EDIT`]); fixed by the request's first data frame.
+    kind: u8,
     next_id: u32,
     overflow: bool,
+    mixed: bool,
     max_query_bytes: usize,
 }
 
@@ -78,8 +98,10 @@ impl Session {
     pub fn new(max_query_bytes: usize) -> Self {
         Session {
             buf: Vec::new(),
+            kind: CH_QUERY,
             next_id: 0,
             overflow: false,
+            mixed: false,
             max_query_bytes,
         }
     }
@@ -93,8 +115,18 @@ impl Session {
     pub fn on_frame(&mut self, frame: OwnedFrame) -> SessionStep {
         match frame {
             OwnedFrame::Data { channel, payload } => match channel {
-                CH_QUERY => {
-                    if self.overflow {
+                CH_QUERY | CH_EDIT => {
+                    if self.overflow || self.mixed {
+                        return SessionStep::None;
+                    }
+                    if self.buf.is_empty() {
+                        self.kind = channel;
+                    } else if self.kind != channel {
+                        // Remember the kind clash, report it at flush time
+                        // (where the request's id exists), and stop
+                        // buffering.
+                        self.mixed = true;
+                        self.buf.clear();
                         return SessionStep::None;
                     }
                     if self.buf.len() + payload.len() > self.max_query_bytes {
@@ -123,15 +155,24 @@ impl Session {
                         &format!("query exceeds {} bytes", self.max_query_bytes),
                     ));
                 }
+                if self.mixed {
+                    self.mixed = false;
+                    let id = self.take_id();
+                    return SessionStep::Reply(error_frame(
+                        id,
+                        "request mixes query (Q) and edit (E) frames",
+                    ));
+                }
                 if self.buf.is_empty() {
                     // An empty flush is protocol punctuation, not a query.
                     return SessionStep::None;
                 }
                 let bytes = std::mem::take(&mut self.buf);
                 let id = self.take_id();
-                match String::from_utf8(bytes) {
-                    Ok(query) => SessionStep::Submit { id, query },
-                    Err(_) => SessionStep::Reply(error_frame(id, "query is not valid UTF-8")),
+                match (self.kind, String::from_utf8(bytes)) {
+                    (_, Err(_)) => SessionStep::Reply(error_frame(id, "query is not valid UTF-8")),
+                    (CH_EDIT, Ok(script)) => SessionStep::SubmitEdit { id, script },
+                    (_, Ok(query)) => SessionStep::Submit { id, query },
                 }
             }
         }
@@ -182,6 +223,30 @@ pub fn status_frame(id: u32, nodes: usize, width: usize, micros: u128) -> OwnedF
         payload: tagged(
             id,
             &format!(" ok nodes={nodes} width={width} micros={micros}"),
+        ),
+    }
+}
+
+/// The `S` frame that terminates a successful *edit*: the query status
+/// fields plus the incremental re-propagation stats — how many BDD-node
+/// fronts the dirty cone forced to be recomputed and how many memoized
+/// fronts were reused untouched.
+pub fn edit_status_frame(
+    id: u32,
+    nodes: usize,
+    width: usize,
+    micros: u128,
+    dirty_nodes: usize,
+    reused: usize,
+) -> OwnedFrame {
+    OwnedFrame::Data {
+        channel: CH_STATUS,
+        payload: tagged(
+            id,
+            &format!(
+                " ok nodes={nodes} width={width} micros={micros} \
+                 dirty_nodes={dirty_nodes} reused={reused}"
+            ),
         ),
     }
 }
@@ -276,6 +341,60 @@ mod tests {
             }
             other => panic!("expected Submit, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn edit_fragments_accumulate_and_flush_submits_an_edit() {
+        let mut s = Session::default();
+        assert_eq!(s.on_frame(data(CH_EDIT, b"set phish")), SessionStep::None);
+        assert_eq!(s.on_frame(data(CH_EDIT, b"ing 25")), SessionStep::None);
+        assert_eq!(
+            s.on_frame(OwnedFrame::Flush),
+            SessionStep::SubmitEdit {
+                id: 0,
+                script: "set phishing 25".to_owned()
+            }
+        );
+        // Queries and edits share one id sequence.
+        s.on_frame(data(CH_QUERY, b"q"));
+        match s.on_frame(OwnedFrame::Flush) {
+            SessionStep::Submit { id, .. } => assert_eq!(id, 1),
+            other => panic!("expected Submit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixing_query_and_edit_frames_errors_at_flush() {
+        let mut s = Session::default();
+        s.on_frame(data(CH_QUERY, b"cost"));
+        assert_eq!(s.on_frame(data(CH_EDIT, b"set a 1")), SessionStep::None);
+        match s.on_frame(OwnedFrame::Flush) {
+            SessionStep::Reply(OwnedFrame::Data { channel, payload }) => {
+                assert_eq!(channel, CH_ERROR);
+                assert!(payload.starts_with(b"00000000 err request mixes"));
+            }
+            other => panic!("expected error reply, got {other:?}"),
+        }
+        // The session recovered and the id was consumed.
+        s.on_frame(data(CH_EDIT, b"toggle d"));
+        assert_eq!(
+            s.on_frame(OwnedFrame::Flush),
+            SessionStep::SubmitEdit {
+                id: 1,
+                script: "toggle d".to_owned()
+            }
+        );
+    }
+
+    #[test]
+    fn edit_status_carries_the_incremental_stats() {
+        assert_eq!(
+            edit_status_frame(9, 40, 3, 120, 5, 35),
+            data(
+                CH_STATUS,
+                b"00000009 ok nodes=40 width=3 micros=120 dirty_nodes=5 reused=35"
+            )
+        );
     }
 
     #[test]

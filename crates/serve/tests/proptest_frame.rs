@@ -161,6 +161,12 @@ proptest! {
                     prop_assert!(!query.is_empty());
                     expected_id += 1;
                 }
+                SessionStep::SubmitEdit { id, script } => {
+                    prop_assert_eq!(id, expected_id);
+                    prop_assert!(script.len() <= cap);
+                    prop_assert!(!script.is_empty());
+                    expected_id += 1;
+                }
                 SessionStep::Reply(OwnedFrame::Data { channel, payload }) => {
                     prop_assert_eq!(channel, b'E');
                     prop_assert!(payload.len() >= 8);

@@ -338,6 +338,78 @@ impl Store {
         true
     }
 
+    /// Compacts the log: rewrites exactly the *live* records — those the
+    /// index reaches and whose checksums still hold — into a fresh log,
+    /// atomically renamed over `store.log`, and replaces the sidecar to
+    /// match. Returns the number of bytes reclaimed.
+    ///
+    /// What compaction sheds: a crashed writer's torn tail, records whose
+    /// bytes have rotted (they already read as absent; now their space is
+    /// returned too), and any record stranded behind a corrupt one (the
+    /// tail scan cannot see past a bad checksum, so such records are
+    /// unreachable by every handle).
+    ///
+    /// Runs under the writer lock, so no append can interleave. Readers
+    /// are unaffected: the rename is atomic, handles open on the old log
+    /// keep reading their (consistent) snapshot until their next
+    /// [`Store::open`], and fresh opens see only the compacted log.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, including the lock timeout of [`Store::put`].
+    pub fn compact(&mut self) -> io::Result<u64> {
+        let _lock = LockFile::acquire(&self.dir)?;
+        // Index whatever intact records a foreign writer appended since we
+        // last looked, so compaction never drops live data.
+        self.scan_tail()?;
+        let old_len = self.log_len()?;
+        // Live records in original append order (offsets are unique —
+        // they key distinct appends).
+        let mut live: Vec<((u8, u128), u64)> =
+            self.index.iter().map(|(&k, &off)| (k, off)).collect();
+        live.sort_unstable_by_key(|&(_, offset)| offset);
+        let mut records = Vec::with_capacity(live.len());
+        let mut new_index = HashMap::with_capacity(live.len());
+        let mut new_len = HEADER_LEN;
+        for (key, offset) in live {
+            // A record the index reaches but whose bytes fail their
+            // checksum reads as absent everywhere; compaction drops it.
+            let Some((kind, digest, payload)) = self.read_record(offset)? else {
+                continue;
+            };
+            debug_assert_eq!((kind, digest.0), key);
+            new_index.insert(key, new_len);
+            new_len += 8 + 17 + payload.len() as u64;
+            records.push((kind, digest, payload));
+        }
+        let tmp_path = self.dir.join("store.log.tmp");
+        let mut tmp = File::create(&tmp_path)?;
+        tmp.write_all(LOG_MAGIC)?;
+        tmp.write_all(&LOG_VERSION.to_le_bytes())?;
+        for (kind, digest, payload) in records {
+            let mut body = Vec::with_capacity(17 + payload.len());
+            body.push(kind);
+            body.extend_from_slice(&digest.to_bytes());
+            body.extend_from_slice(&payload);
+            tmp.write_all(&(body.len() as u32).to_le_bytes())?;
+            tmp.write_all(&body)?;
+            tmp.write_all(&crc32(&body).to_le_bytes())?;
+        }
+        tmp.sync_data()?;
+        drop(tmp);
+        fs::rename(&tmp_path, self.dir.join("store.log"))?;
+        // This handle's file descriptor still points at the old inode;
+        // re-open so subsequent reads and appends hit the new log.
+        self.log = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(self.dir.join("store.log"))?;
+        self.index = new_index;
+        self.scanned_len = new_len;
+        self.write_sidecar()?;
+        Ok(old_len.saturating_sub(new_len))
+    }
+
     /// Replaces `store.idx` atomically (write temp, flush, rename). Only
     /// called from [`Store::put`], under the lock.
     fn write_sidecar(&self) -> io::Result<()> {
@@ -512,6 +584,75 @@ mod tests {
         // And k2 can simply be stored again.
         assert!(store.put(1, b"k2", b"v2-again").unwrap());
         assert_eq!(store.get(1, b"k2").as_deref(), Some(&b"v2-again"[..]));
+    }
+
+    #[test]
+    fn compact_reclaims_a_torn_tail_and_keeps_live_records() {
+        let dir = TestDir::new("store-compact-torn");
+        {
+            let mut store = Store::open(dir.path()).unwrap();
+            store.put(1, b"k1", b"v1").unwrap();
+            store.put(1, b"k2", b"v2").unwrap();
+        }
+        // Crash mid-append: a torn third record.
+        let log_path = dir.path().join("store.log");
+        let full = fs::metadata(&log_path).unwrap().len();
+        let log = OpenOptions::new().append(true).open(&log_path).unwrap();
+        log.set_len(full + 9).unwrap();
+        drop(log);
+        let mut store = Store::open(dir.path()).unwrap();
+        assert!(store.stats().dropped_tail_bytes > 0);
+        let reclaimed = store.compact().unwrap();
+        assert_eq!(reclaimed, 9, "exactly the torn bytes go away");
+        // The same handle keeps serving...
+        assert_eq!(store.get(1, b"k1").as_deref(), Some(&b"v1"[..]));
+        assert_eq!(store.get(1, b"k2").as_deref(), Some(&b"v2"[..]));
+        // ...appends land cleanly on the compacted log...
+        assert!(store.put(1, b"k3", b"v3").unwrap());
+        drop(store);
+        // ...and a fresh open trusts the rewritten sidecar.
+        let mut store = Store::open(dir.path()).unwrap();
+        assert!(!store.stats().rebuilt_index);
+        assert_eq!(store.stats().dropped_tail_bytes, 0);
+        assert_eq!(store.get(1, b"k1").as_deref(), Some(&b"v1"[..]));
+        assert_eq!(store.get(1, b"k2").as_deref(), Some(&b"v2"[..]));
+        assert_eq!(store.get(1, b"k3").as_deref(), Some(&b"v3"[..]));
+    }
+
+    #[test]
+    fn compact_drops_checksum_dead_records() {
+        let dir = TestDir::new("store-compact-rot");
+        let payload_marker = b'Z';
+        {
+            let mut store = Store::open(dir.path()).unwrap();
+            store.put(1, b"k1", b"v1").unwrap();
+            store.put(1, b"rotten", &[payload_marker; 64]).unwrap();
+        }
+        // Rot the second record's payload: it reads as absent but its
+        // bytes still sit in the log.
+        let log_path = dir.path().join("store.log");
+        let mut log = fs::read(&log_path).unwrap();
+        let pos = log.iter().rposition(|&b| b == payload_marker).unwrap();
+        log[pos] ^= 0x01;
+        fs::write(&log_path, log).unwrap();
+        let mut store = Store::open(dir.path()).unwrap();
+        assert_eq!(store.get(1, b"rotten"), None);
+        let reclaimed = store.compact().unwrap();
+        assert!(reclaimed >= 64, "the dead record's bytes are returned");
+        assert_eq!(store.get(1, b"k1").as_deref(), Some(&b"v1"[..]));
+        assert_eq!(store.get(1, b"rotten"), None);
+        // The key is free to be stored again.
+        assert!(store.put(1, b"rotten", b"fresh").unwrap());
+        assert_eq!(store.get(1, b"rotten").as_deref(), Some(&b"fresh"[..]));
+    }
+
+    #[test]
+    fn compact_on_a_clean_store_is_a_no_op() {
+        let dir = TestDir::new("store-compact-clean");
+        let mut store = Store::open(dir.path()).unwrap();
+        store.put(1, b"k", b"v").unwrap();
+        assert_eq!(store.compact().unwrap(), 0);
+        assert_eq!(store.get(1, b"k").as_deref(), Some(&b"v"[..]));
     }
 
     #[test]
